@@ -1,0 +1,130 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 6). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment once per iteration
+// and reports the rendered result on the first iteration, so a single
+// `-benchtime=1x` run prints the full paper reproduction.
+package laminar
+
+import (
+	"sync"
+	"testing"
+
+	"laminar/internal/bench"
+)
+
+var renderOnce sync.Map
+
+func reportOnce(b *testing.B, key, rendered string) {
+	if _, loaded := renderOnce.LoadOrStore(key, true); !loaded {
+		b.Logf("\n%s", rendered)
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: execution times of the Internal
+// Extinction workflow (original dispel4py vs Laminar local vs Laminar
+// remote; Simple and Multi mappings).
+func BenchmarkTable5(b *testing.B) {
+	opts := bench.DefaultTable5Options()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOnce(b, "table5", res.Render())
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6: zero-shot text-to-code search MRR
+// on the CoSQA- and CSN-style corpora.
+func BenchmarkTable6(b *testing.B) {
+	opts := bench.DefaultTable6Options()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable6(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOnce(b, "table6", res.Render())
+	}
+}
+
+// BenchmarkTable7 regenerates Table 7: zero-shot clone detection (MAP@100
+// and Precision at 1) for all seven candidate models.
+func BenchmarkTable7(b *testing.B) {
+	opts := bench.DefaultTable7Options()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable7(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOnce(b, "table7", res.Render())
+	}
+}
+
+// BenchmarkFigure1 regenerates Fig. 1: the abstract→concrete workflow
+// expansion of IsPrime over five processes.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOnce(b, "figure1", out)
+	}
+}
+
+// BenchmarkFigures6to9 regenerates the search walkthrough of Figures 6-8
+// and the execution output of Fig. 9 on the populated showcase registry.
+func BenchmarkFigures6to9(b *testing.B) {
+	sc, err := bench.NewShowcase()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sc.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f6, err := bench.Figure6(sc.Client)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f7, err := bench.Figure7(sc.Client)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f8, err := bench.Figure8(sc.Client)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f9, err := bench.Figure9(sc.Client)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOnce(b, "figures", f6+"\n"+f7+"\n"+f8+"\n"+f9)
+	}
+}
+
+// BenchmarkBiVsCrossEncoder measures the Section 2.4 bi-encoder vs
+// cross-encoder trade-off.
+func BenchmarkBiVsCrossEncoder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunBiVsCross(61, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOnce(b, "bivscross", res.Render())
+	}
+}
+
+// BenchmarkEmbeddingReuse measures the Section 3.1.1 design choice of
+// storing embeddings at registration time.
+func BenchmarkEmbeddingReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunEmbeddingReuse(61, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOnce(b, "reuse", res.Render())
+	}
+}

@@ -1,0 +1,86 @@
+// laminar-bench regenerates the paper's evaluation (Section 6) as text:
+// Table 5 (execution latency), Table 6 (zero-shot text-to-code search),
+// Table 7 (zero-shot clone detection), the figures (1, 6-9) and the two
+// design ablations.
+//
+// Usage:
+//
+//	laminar-bench            # everything
+//	laminar-bench -table 6   # one table
+//	laminar-bench -figures   # figures only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"laminar/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "run only this table (5, 6 or 7)")
+	figures := flag.Bool("figures", false, "run only the figures")
+	ablations := flag.Bool("ablations", false, "run only the ablations")
+	flag.Parse()
+
+	all := *table == 0 && !*figures && !*ablations
+
+	if all || *table == 5 {
+		res, err := bench.RunTable5(bench.DefaultTable5Options())
+		if err != nil {
+			log.Fatalf("table 5: %v", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if all || *table == 6 {
+		res, err := bench.RunTable6(bench.DefaultTable6Options())
+		if err != nil {
+			log.Fatalf("table 6: %v", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if all || *table == 7 {
+		res, err := bench.RunTable7(bench.DefaultTable7Options())
+		if err != nil {
+			log.Fatalf("table 7: %v", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if all || *figures {
+		f1, err := bench.Figure1()
+		if err != nil {
+			log.Fatalf("figure 1: %v", err)
+		}
+		fmt.Println(f1)
+		sc, err := bench.NewShowcase()
+		if err != nil {
+			log.Fatalf("showcase: %v", err)
+		}
+		defer sc.Close()
+		for _, fig := range []func() (string, error){
+			func() (string, error) { return bench.Figure6(sc.Client) },
+			func() (string, error) { return bench.Figure7(sc.Client) },
+			func() (string, error) { return bench.Figure8(sc.Client) },
+			func() (string, error) { return bench.Figure9(sc.Client) },
+		} {
+			out, err := fig()
+			if err != nil {
+				log.Fatalf("figure: %v", err)
+			}
+			fmt.Println(out)
+		}
+	}
+	if all || *ablations {
+		bv, err := bench.RunBiVsCross(61, 1)
+		if err != nil {
+			log.Fatalf("bi-vs-cross: %v", err)
+		}
+		fmt.Println(bv.Render())
+		er, err := bench.RunEmbeddingReuse(61, 3)
+		if err != nil {
+			log.Fatalf("embedding reuse: %v", err)
+		}
+		fmt.Println(er.Render())
+	}
+}

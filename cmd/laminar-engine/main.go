@@ -1,0 +1,45 @@
+// laminar-engine runs a standalone remote Execution Engine (Section 3.3) —
+// the deployment the paper packages as a Docker image on Azure App
+// Services. It exposes the single POST /run endpoint and can inject a
+// simulated WAN latency for the Table 5 remote-execution configuration.
+//
+// Usage:
+//
+//	laminar-engine -addr 127.0.0.1:8090 -wan-latency 25ms \
+//	    -vo-url http://127.0.0.1:9090
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"laminar/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
+	wanLatency := flag.Duration("wan-latency", 0, "simulated WAN round trip per request")
+	voURL := flag.String("vo-url", "", "Virtual Observatory simulator base URL (empty = offline catalog)")
+	installScale := flag.Float64("install-scale", 1, "library install latency scale")
+	flag.Parse()
+
+	eng := engine.New(engine.Config{
+		VOBaseURL:         *voURL,
+		InstallDelayScale: *installScale,
+	})
+	rs := engine.NewRemoteServer(eng, *wanLatency)
+	url, err := rs.Start(*addr)
+	if err != nil {
+		log.Fatalf("laminar-engine: %v", err)
+	}
+	log.Printf("laminar-engine: serverless Execution Engine at %s/run", url)
+	log.Printf("laminar-engine: installed libraries: %v", eng.Env().Installed())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	rs.Close()
+}

@@ -1,0 +1,54 @@
+// laminar-server runs the Laminar API server: the registry (Section 3.1)
+// plus the layered controller tree of Table 3, with an embedded execution
+// engine for /execution/{user}/run.
+//
+// Usage:
+//
+//	laminar-server -addr 127.0.0.1:8080 -registry registry.json \
+//	    -registry-latency 10ms -vo-url http://127.0.0.1:9090
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"laminar"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	registryPath := flag.String("registry", "", "JSON file to load/persist the registry (optional)")
+	registryLatency := flag.Duration("registry-latency", 0, "simulated WAN latency of the remote registry")
+	voURL := flag.String("vo-url", "", "Virtual Observatory simulator base URL (empty = offline catalog)")
+	installScale := flag.Float64("install-scale", 1, "library install latency scale (0 disables simulated installs)")
+	flag.Parse()
+
+	srv := laminar.NewServer(laminar.ServerOptions{
+		RegistryLatency:   *registryLatency,
+		VOBaseURL:         *voURL,
+		InstallDelayScale: *installScale,
+		RegistryPath:      *registryPath,
+	})
+	url, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatalf("laminar-server: %v", err)
+	}
+	log.Printf("laminar-server: serving the Laminar API at %s", url)
+	if *registryPath != "" {
+		log.Printf("laminar-server: registry persisted to %s", *registryPath)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("laminar-server: shutting down")
+	if err := srv.SaveRegistry(); err != nil {
+		log.Printf("laminar-server: saving registry: %v", err)
+	}
+	srv.Close()
+	time.Sleep(50 * time.Millisecond)
+}

@@ -1,0 +1,164 @@
+// laminar is the command-line client: it wraps the dual-layer Client
+// (Section 3.4) so PEs and workflows can be registered, searched and run
+// against a laminar-server from the shell.
+//
+// Usage:
+//
+//	laminar -server http://127.0.0.1:8080 register <user> <password>
+//	laminar -server ... -user u -password p register-pe <file.py> [description...]
+//	laminar -server ... -user u -password p register-workflow <file.py> <name> [description...]
+//	laminar -server ... -user u -password p run <name-or-file> [-input N] [-process MULTI] [-num 5]
+//	laminar -server ... -user u -password p search <query> [-type pe|workflow|both] [-query text|semantic|code]
+//	laminar -server ... -user u -password p list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"laminar"
+	"laminar/internal/core"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://127.0.0.1:8080", "Laminar server URL")
+	user := flag.String("user", "", "user name (for authenticated commands)")
+	password := flag.String("password", "", "password")
+	input := flag.Int("input", 1, "run: producer iterations")
+	process := flag.String("process", "SIMPLE", "run: mapping (SIMPLE, MULTI, MPI, REDIS)")
+	num := flag.Int("num", 0, "run: process count for parallel mappings")
+	seed := flag.Int64("seed", 0, "run: deterministic seed")
+	searchType := flag.String("type", "both", "search: pe, workflow or both")
+	queryType := flag.String("query", "text", "search: text, semantic or code")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cli := laminar.NewClient(*serverURL)
+	login := func() {
+		if *user == "" || *password == "" {
+			log.Fatal("laminar: -user and -password are required for this command")
+		}
+		if err := cli.Login(*user, *password); err != nil {
+			log.Fatalf("laminar: login: %v", err)
+		}
+	}
+
+	switch args[0] {
+	case "register":
+		if len(args) != 3 {
+			log.Fatal("usage: laminar register <user> <password>")
+		}
+		if err := cli.Register(args[1], args[2]); err != nil {
+			log.Fatalf("laminar: %v", err)
+		}
+		fmt.Printf("registered user %q\n", args[1])
+
+	case "register-pe":
+		login()
+		if len(args) < 2 {
+			log.Fatal("usage: laminar register-pe <file.py> [description...]")
+		}
+		source, err := os.ReadFile(args[1])
+		if err != nil {
+			log.Fatalf("laminar: %v", err)
+		}
+		desc := strings.Join(args[2:], " ")
+		recs, err := cli.RegisterPEs(string(source), desc)
+		if err != nil {
+			log.Fatalf("laminar: %v", err)
+		}
+		for _, rec := range recs {
+			fmt.Printf("registered PE %q (id %d): %s\n", rec.PEName, rec.PEID, rec.Description)
+		}
+
+	case "register-workflow":
+		login()
+		if len(args) < 3 {
+			log.Fatal("usage: laminar register-workflow <file.py> <name> [description...]")
+		}
+		source, err := os.ReadFile(args[1])
+		if err != nil {
+			log.Fatalf("laminar: %v", err)
+		}
+		desc := strings.Join(args[3:], " ")
+		wf, err := cli.RegisterWorkflow(string(source), args[2], desc)
+		if err != nil {
+			log.Fatalf("laminar: %v", err)
+		}
+		fmt.Printf("registered workflow %q (id %d)\n", wf.EntryPoint, wf.WorkflowID)
+
+	case "run":
+		login()
+		if len(args) != 2 {
+			log.Fatal("usage: laminar run <name-or-file>")
+		}
+		target := args[1]
+		var workflow any = target
+		if data, err := os.ReadFile(target); err == nil {
+			workflow = string(data)
+		} else if id, err := strconv.Atoi(target); err == nil {
+			workflow = id
+		}
+		opts := laminar.RunOptions{Input: *input, Process: *process, Seed: *seed}
+		if *num > 0 {
+			opts.Args = map[string]any{"num": *num}
+		}
+		resp, err := cli.Run(workflow, opts)
+		if err != nil {
+			log.Fatalf("laminar: %v", err)
+		}
+		fmt.Print(resp.Output)
+		fmt.Print(resp.Summary)
+		if len(resp.InstalledLibraries) > 0 {
+			fmt.Printf("auto-installed: %v\n", resp.InstalledLibraries)
+		}
+
+	case "search":
+		login()
+		if len(args) < 2 {
+			log.Fatal("usage: laminar search <query...>")
+		}
+		hits, err := cli.SearchRegistry(strings.Join(args[1:], " "),
+			core.SearchType(*searchType), core.QueryType(*queryType))
+		if err != nil {
+			log.Fatalf("laminar: %v", err)
+		}
+		if len(hits) == 0 {
+			fmt.Println("no results")
+			return
+		}
+		for i, h := range hits {
+			if h.Score != 0 {
+				fmt.Printf("%2d. [%s %d] %-24s %.4f  %s\n", i+1, h.Kind, h.ID, h.Name, h.Score, h.Description)
+			} else {
+				fmt.Printf("%2d. [%s %d] %-24s %s\n", i+1, h.Kind, h.ID, h.Name, h.Description)
+			}
+		}
+
+	case "list":
+		login()
+		listing, err := cli.GetRegistry()
+		if err != nil {
+			log.Fatalf("laminar: %v", err)
+		}
+		fmt.Printf("PEs (%d):\n", len(listing.PEs))
+		for _, pe := range listing.PEs {
+			fmt.Printf("  %3d %-24s %s\n", pe.PEID, pe.PEName, pe.Description)
+		}
+		fmt.Printf("Workflows (%d):\n", len(listing.Workflows))
+		for _, wf := range listing.Workflows {
+			fmt.Printf("  %3d %-24s %s\n", wf.WorkflowID, wf.EntryPoint, wf.Description)
+		}
+
+	default:
+		log.Fatalf("laminar: unknown command %q", args[0])
+	}
+}

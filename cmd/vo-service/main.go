@@ -1,0 +1,38 @@
+// vo-service runs the Virtual Observatory simulator: the stand-in for the
+// amiga.iaa.es VOTable service the astrophysics workflow (Section 5.2)
+// queries. GET /votable?ra=<deg>&dec=<deg> returns a deterministic VOTable
+// for the cone query after the configured latency.
+//
+// Usage:
+//
+//	vo-service -addr 127.0.0.1:9090 -latency 12ms
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"laminar/internal/votable"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "listen address")
+	latency := flag.Duration("latency", 12*time.Millisecond, "simulated service latency per request")
+	flag.Parse()
+
+	svc := votable.NewService(*latency)
+	url, err := svc.Start(*addr)
+	if err != nil {
+		log.Fatalf("vo-service: %v", err)
+	}
+	log.Printf("vo-service: Virtual Observatory simulator at %s/votable?ra=<deg>&dec=<deg>", url)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	svc.Close()
+}

@@ -1,0 +1,114 @@
+// Astrophysics: the Section 5.2 Internal Extinction workflow. A Virtual
+// Observatory simulator serves VOTable cone queries; the four-PE pipeline
+// (readRaDec → getVoTable → filterColumns → internalExt) computes the dust
+// extinction within each galaxy. The run ships a coordinates file as a
+// staged resource and uses the Redis parallel mapping, as Listing 7 does.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"laminar"
+	"laminar/internal/astro"
+)
+
+const workflowSource = `
+import vo
+import astropy
+import astro
+
+class ReadRaDec(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, filename):
+        text = open(filename).read()
+        coords = astro.parse_coordinates(text)
+        for c in coords:
+            self.write("output", [c[0], c[1]])
+
+class GetVOTable(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, coord):
+        # download the VOTable for this coordinate from the VO service
+        return vo.get_votable(coord[0], coord[1])
+
+class FilterColumns(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, xml):
+        table = astropy.parse_votable(xml)
+        filtered = table.filter_columns(["Name", "Mtype", "logR25"])
+        name = filtered.rows[0][0]
+        mtype = int(filtered.rows[0][1])
+        logr = float(filtered.rows[0][2])
+        return [name, mtype, logr]
+
+class InternalExtinction(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, rec):
+        a_int = astro.internal_extinction(rec[1], rec[2])
+        print("%s  T=%d  logR25=%.4f  A_int=%.4f mag" % (rec[0], rec[1], rec[2], a_int))
+        return a_int
+
+graph = WorkflowGraph()
+rd = ReadRaDec()
+gv = GetVOTable()
+fc = FilterColumns()
+ie = InternalExtinction()
+graph.connect(rd, 'output', gv, 'input')
+graph.connect(gv, 'output', fc, 'input')
+graph.connect(fc, 'output', ie, 'input')
+`
+
+func main() {
+	// 1. Start the Virtual Observatory simulator (the amiga.iaa.es
+	//    substitution) with a realistic per-query latency.
+	vos, voURL, err := laminar.NewVOService(10 * time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vos.Close()
+	fmt.Println("Virtual Observatory:", voURL)
+
+	// 2. Start Laminar pointing its engine at the VO service.
+	srv := laminar.NewServer(laminar.ServerOptions{VOBaseURL: voURL})
+	url, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	cli := laminar.NewClient(url)
+	if err := cli.Register("rf208", "password"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Register the workflow under a name (Listing 5) so it can be
+	//    retrieved later (Listing 6).
+	if _, err := cli.RegisterWorkflow(workflowSource, "Astrophysics",
+		"A workflow to compute the internal extinction of galaxies"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Execute with the Redis mapping and staged resources (Listing 7).
+	coords := astro.GenerateCoordinates(10, 2026)
+	resp, err := cli.Run("Astrophysics", laminar.RunOptions{
+		Input:     []any{map[string]any{"input": "coordinates.txt"}},
+		Process:   "REDIS",
+		Args:      map[string]any{"num": 10},
+		Resources: map[string]string{"coordinates.txt": coords},
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("---- engine output ----")
+	fmt.Print(resp.Output)
+	fmt.Print(resp.Summary)
+	if len(resp.InstalledLibraries) > 0 {
+		fmt.Printf("auto-installed libraries: %v\n", resp.InstalledLibraries)
+	}
+}

@@ -1,0 +1,70 @@
+// Code search: the Figures 6-8 walkthrough. Populates a registry with the
+// paper's scenario (5 workflows, 22+ PEs, some auto-summarized), then runs
+// all three search mechanisms: text-based partial matching, semantic code
+// search over description embeddings (unixcoder-code-search), and
+// retrieval-based code completion over code embeddings (ReACC-py-retriever).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"laminar/internal/bench"
+	"laminar/internal/core"
+)
+
+func main() {
+	sc, err := bench.NewShowcase()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sc.Close()
+	pes, wfs, err := sc.Counts()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registry populated: %d PEs, %d workflows\n\n", pes, wfs)
+
+	// Figure 6: text-based search with partial matching — 'prime' matches
+	// the workflow named 'isPrime'.
+	f6, err := bench.Figure6(sc.Client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f6)
+
+	// Figure 7: semantic code search — natural language ranked against
+	// stored description embeddings by cosine similarity.
+	f7, err := bench.Figure7(sc.Client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f7)
+
+	// Figure 8: code completion — a partial snippet ranked against stored
+	// code embeddings.
+	f8, err := bench.Figure8(sc.Client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f8)
+
+	// Beyond the paper's figures: a free-form semantic query.
+	hits, err := sc.Client.SearchRegistry(
+		"a stateful PE that counts how often each word appears",
+		core.SearchPEs, core.QuerySemantic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bonus semantic query: 'a stateful PE that counts how often each word appears'")
+	for i, h := range hits[:min(5, len(hits))] {
+		fmt.Printf("  %d. %-24s %.4f  %s\n", i+1, h.Name, h.Score, h.Description)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

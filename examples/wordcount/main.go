@@ -1,0 +1,97 @@
+// Word count: the Listing 2 showcase. A stateful CountWords PE declares a
+// group-by on the first tuple element — the MapReduce-style routing that
+// sends every occurrence of a word to the same PE instance — accumulates
+// counts in per-instance state, and emits the totals at end of stream via
+// the _postprocess hook. Run under the parallel Multi mapping, the
+// per-instance counts always reassemble into exact global counts because
+// group-by never splits a word across instances.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"laminar/internal/dataflow"
+	"laminar/internal/pype"
+)
+
+const source = `
+import random
+from collections import defaultdict
+
+class WordProducer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+        self.words = ["stream", "data", "flow", "serverless", "registry", "laminar"]
+    def _process(self):
+        word = random.choice(self.words)
+        # Tuples with shape (word, 1); grouping routes by element 0
+        return (word, 1)
+
+class CountWords(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        # Add an input port named "input"; data is group-by (MapReduce)
+        # the first element (index 0) of the tuples
+        self._add_input("input", grouping=[0])
+        # Add an output port named "output"
+        self._add_output("output")
+        # Initialize a stateful variable to store word counts
+        self.count = defaultdict(int)
+    def _process(self, inputs):
+        # Extract word and count from the input
+        word, count = inputs['input']
+        # Update the count for the word
+        self.count[word] += count
+    def _postprocess(self):
+        # End of stream: emit this instance's totals
+        for word in self.count.keys():
+            self.write("output", (word, self.count[word]))
+
+graph = WorkflowGraph()
+wp = WordProducer()
+cw = CountWords()
+graph.connect(wp, 'output', cw, 'input')
+`
+
+func main() {
+	const iterations = 120
+	build, err := pype.BuildWorkflow(source, pype.Options{Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := dataflow.Run(build.Graph, dataflow.Options{
+		Mapping:    dataflow.MappingMulti,
+		Iterations: iterations,
+		Processes:  6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processed %d words across %d CountWords instances (Multi mapping)\n",
+		result.Processed("CountWords"), result.Alloc["CountWords"])
+
+	// Reassemble the per-instance emissions into global counts.
+	counts := map[string]int64{}
+	var total int64
+	for _, v := range result.Outputs("CountWords.output") {
+		rec := v.([]any)
+		word := rec[0].(string)
+		n := rec[1].(int64)
+		counts[word] += n
+		total += n
+	}
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		fmt.Printf("  %-12s %4d\n", w, counts[w])
+	}
+	fmt.Printf("total %d (must equal the %d produced records)\n", total, iterations)
+	if total != iterations {
+		log.Fatalf("count mismatch: %d != %d", total, iterations)
+	}
+}

@@ -1,0 +1,128 @@
+package astro
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGamma(t *testing.T) {
+	for mtype := 1; mtype <= 7; mtype++ {
+		g, err := Gamma(mtype)
+		if err != nil {
+			t.Fatalf("type %d: %v", mtype, err)
+		}
+		if g < 1.0 || g > 1.6 {
+			t.Errorf("gamma(%d) = %f outside plausible range", mtype, g)
+		}
+	}
+	for _, bad := range []int{0, 8, -1, 100} {
+		if _, err := Gamma(bad); err == nil {
+			t.Errorf("Gamma(%d) should fail", bad)
+		}
+	}
+	// Sbc galaxies have the steepest extinction slope in the prescription.
+	gSbc, _ := Gamma(4)
+	for mtype := 1; mtype <= 7; mtype++ {
+		g, _ := Gamma(mtype)
+		if g > gSbc {
+			t.Errorf("gamma(%d)=%f exceeds Sbc %f", mtype, g, gSbc)
+		}
+	}
+}
+
+func TestInternalExtinction(t *testing.T) {
+	// face-on galaxy (logR25 = 0) has no internal extinction
+	a, err := InternalExtinction(3, 0)
+	if err != nil || a != 0 {
+		t.Errorf("face-on: %v %v", a, err)
+	}
+	// edge-on galaxies extinct more
+	low, _ := InternalExtinction(3, 0.1)
+	high, _ := InternalExtinction(3, 0.4)
+	if high <= low {
+		t.Errorf("extinction should grow with inclination: %f vs %f", low, high)
+	}
+	// exact value: gamma(3) = 1.42
+	got, _ := InternalExtinction(3, 0.25)
+	if math.Abs(got-1.42*0.25) > 1e-12 {
+		t.Errorf("got %f", got)
+	}
+	// invalid inputs
+	if _, err := InternalExtinction(9, 0.1); err == nil {
+		t.Error("bad mtype should fail")
+	}
+	if _, err := InternalExtinction(3, -0.1); err == nil {
+		t.Error("negative logR25 should fail")
+	}
+	if _, err := InternalExtinction(3, math.NaN()); err == nil {
+		t.Error("NaN should fail")
+	}
+}
+
+// Property: extinction is monotone in logR25 for every type.
+func TestExtinctionMonotone(t *testing.T) {
+	f := func(mtypeRaw uint8, aRaw, bRaw uint16) bool {
+		mtype := int(mtypeRaw%7) + 1
+		a := float64(aRaw) / 65535.0
+		b := float64(bRaw) / 65535.0
+		if a > b {
+			a, b = b, a
+		}
+		ea, err1 := InternalExtinction(mtype, a)
+		eb, err2 := InternalExtinction(mtype, b)
+		return err1 == nil && err2 == nil && ea <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCoordinates(t *testing.T) {
+	text := "# header comment\n10.5 -20.25\n350.0 89.9\n\n  0.0 0.0  \n"
+	coords, err := ParseCoordinates(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != 3 {
+		t.Fatalf("coords: %v", coords)
+	}
+	if coords[0].RA != 10.5 || coords[0].Dec != -20.25 {
+		t.Errorf("first: %+v", coords[0])
+	}
+}
+
+func TestParseCoordinatesValidation(t *testing.T) {
+	cases := []string{
+		"not numbers\n",
+		"400.0 10.0\n",  // RA out of range
+		"10.0 -100.0\n", // Dec out of range
+	}
+	for _, c := range cases {
+		if _, err := ParseCoordinates(c); err == nil {
+			t.Errorf("ParseCoordinates(%q) should fail", c)
+		}
+	}
+}
+
+func TestGenerateCoordinatesRoundTrips(t *testing.T) {
+	text := GenerateCoordinates(25, 7)
+	coords, err := ParseCoordinates(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != 25 {
+		t.Fatalf("generated %d coords", len(coords))
+	}
+	// deterministic per seed
+	if GenerateCoordinates(25, 7) != text {
+		t.Error("generation must be deterministic")
+	}
+	if GenerateCoordinates(25, 8) == text {
+		t.Error("different seeds should differ")
+	}
+	if !strings.HasPrefix(text, "#") {
+		t.Error("generated file should carry the header comment")
+	}
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"laminar/internal/dataset"
+	"laminar/internal/embed"
+	"laminar/internal/metrics"
+)
+
+// BiVsCrossResult quantifies the Section 2.4 / Fig. 2 trade-off: the
+// cross-encoder performs full attention per (query, candidate) pair, so its
+// query latency grows with the corpus, while the bi-encoder answers from
+// embeddings stored at registration time. This is why Laminar adopts the
+// bi-encoder (Section 2.4: "bi-encoders are faster; cross-encoders achieve
+// better accuracy but may not be practical").
+type BiVsCrossResult struct {
+	BiMRR          float64
+	CrossMRR       float64
+	BiQueryTime    time.Duration // mean per query, embeddings precomputed
+	CrossQueryTime time.Duration
+	CorpusSize     int
+	Queries        int
+}
+
+// RunBiVsCross evaluates both architectures on the CSN-style corpus with
+// the fine-tuned code-search model.
+func RunBiVsCross(seed int64, queriesPerTask int) (*BiVsCrossResult, error) {
+	corpus := dataset.GenCSN(seed, queriesPerTask)
+	m, err := embed.Lookup(embed.ModelCodeSearch)
+	if err != nil {
+		return nil, err
+	}
+	res := &BiVsCrossResult{CorpusSize: len(corpus.Codes), Queries: len(corpus.Queries)}
+
+	// bi-encoder: corpus embedded once (registration time), queries cheap
+	docVecs := make([]embed.Vector, len(corpus.Codes))
+	for i, code := range corpus.Codes {
+		docVecs[i] = m.Embed(code)
+	}
+	rankings := make([][]int, len(corpus.Queries))
+	relevants := make([]map[int]bool, len(corpus.Queries))
+	start := time.Now()
+	for qi, q := range corpus.Queries {
+		qv := m.Embed(q.Query)
+		ranking, _ := embed.Rank(qv, docVecs)
+		rankings[qi] = ranking
+		relevants[qi] = corpus.RelevantSet(q)
+	}
+	res.BiQueryTime = time.Since(start) / time.Duration(len(corpus.Queries))
+	res.BiMRR = metrics.MRR(rankings, relevants)
+
+	// cross-encoder: full attention per (query, candidate) pair
+	ce := embed.NewCrossEncoder(m)
+	start = time.Now()
+	for qi, q := range corpus.Queries {
+		ranking, _ := ce.RankStrings(q.Query, corpus.Codes)
+		rankings[qi] = ranking
+	}
+	res.CrossQueryTime = time.Since(start) / time.Duration(len(corpus.Queries))
+	res.CrossMRR = metrics.MRR(rankings, relevants)
+	return res, nil
+}
+
+// Render prints the ablation.
+func (r *BiVsCrossResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation (Sec. 2.4 / Fig. 2): bi-encoder vs cross-encoder\n")
+	fmt.Fprintf(&sb, "  corpus %d codes, %d queries\n", r.CorpusSize, r.Queries)
+	fmt.Fprintf(&sb, "  %-16s %10s %16s\n", "architecture", "MRR", "per-query time")
+	fmt.Fprintf(&sb, "  %-16s %10.3f %16s\n", "bi-encoder", r.BiMRR, r.BiQueryTime)
+	fmt.Fprintf(&sb, "  %-16s %10.3f %16s\n", "cross-encoder", r.CrossMRR, r.CrossQueryTime)
+	fmt.Fprintf(&sb, "  cross-encoder is %.1fx slower per query\n",
+		float64(r.CrossQueryTime)/float64(maxDuration(r.BiQueryTime, 1)))
+	return sb.String()
+}
+
+func maxDuration(d time.Duration, min time.Duration) time.Duration {
+	if d < min {
+		return min
+	}
+	return d
+}
+
+// EmbeddingReuseResult quantifies Section 3.1.1: storing embeddings at
+// registration time vs recomputing the corpus embedding on every search.
+type EmbeddingReuseResult struct {
+	StoredQueryTime    time.Duration
+	RecomputeQueryTime time.Duration
+	CorpusSize         int
+}
+
+// RunEmbeddingReuse measures both strategies over the CSN corpus.
+func RunEmbeddingReuse(seed int64, queries int) (*EmbeddingReuseResult, error) {
+	corpus := dataset.GenCSN(seed, 2)
+	m, err := embed.Lookup(embed.ModelCodeSearch)
+	if err != nil {
+		return nil, err
+	}
+	res := &EmbeddingReuseResult{CorpusSize: len(corpus.Codes)}
+	if queries > len(corpus.Queries) {
+		queries = len(corpus.Queries)
+	}
+
+	// stored: embed corpus once
+	docVecs := make([]embed.Vector, len(corpus.Codes))
+	for i, code := range corpus.Codes {
+		docVecs[i] = m.Embed(code)
+	}
+	start := time.Now()
+	for qi := 0; qi < queries; qi++ {
+		qv := m.Embed(corpus.Queries[qi].Query)
+		embed.Rank(qv, docVecs)
+	}
+	res.StoredQueryTime = time.Since(start) / time.Duration(queries)
+
+	// recompute: embed the whole corpus per query (models must be rebuilt
+	// to defeat the token cache, as a fresh process would).
+	start = time.Now()
+	for qi := 0; qi < queries; qi++ {
+		fresh := embed.New(embed.Config{
+			Name: "recompute", Seed: 0xA11CE, SplitIdentifiers: true,
+			DropStopwords: true, KeywordWeight: 0.4,
+			Align: embed.CrossModalLexicon, Noise: 0.35,
+		})
+		vecs := make([]embed.Vector, len(corpus.Codes))
+		for i, code := range corpus.Codes {
+			vecs[i] = fresh.Embed(code)
+		}
+		qv := fresh.Embed(corpus.Queries[qi].Query)
+		embed.Rank(qv, vecs)
+	}
+	res.RecomputeQueryTime = time.Since(start) / time.Duration(queries)
+	return res, nil
+}
+
+// Render prints the ablation.
+func (r *EmbeddingReuseResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation (Sec. 3.1.1): stored vs recomputed embeddings\n")
+	fmt.Fprintf(&sb, "  corpus %d codes\n", r.CorpusSize)
+	fmt.Fprintf(&sb, "  %-24s %16s\n", "strategy", "per-query time")
+	fmt.Fprintf(&sb, "  %-24s %16s\n", "stored at registration", r.StoredQueryTime)
+	fmt.Fprintf(&sb, "  %-24s %16s\n", "recomputed per query", r.RecomputeQueryTime)
+	fmt.Fprintf(&sb, "  reuse is %.1fx faster\n",
+		float64(r.RecomputeQueryTime)/float64(maxDuration(r.StoredQueryTime, 1)))
+	return sb.String()
+}

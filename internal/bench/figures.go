@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"laminar/internal/client"
+	"laminar/internal/core"
+	"laminar/internal/dataflow"
+	"laminar/internal/pype"
+)
+
+// Figure1 renders the abstract→concrete expansion of the IsPrime workflow
+// for five processes: PE1 ×1, PE2 ×2, PE3 ×2, as the paper's figure shows.
+func Figure1() (string, error) {
+	build, err := pype.BuildWorkflow(IsPrimeSource, pype.Options{Seed: 1})
+	if err != nil {
+		return "", err
+	}
+	plan, err := dataflow.NewPlan(build.Graph, 5)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 1: abstract workflow (user-described) and concrete workflow (5 processes, Multi)\n")
+	sb.WriteString("abstract:  NumberProducer --output/input--> IsPrime --output/input--> PrintPrime\n")
+	sb.WriteString(plan.Describe())
+	return sb.String(), nil
+}
+
+// Figure6 runs the text-based search of Fig. 6: query 'prime' over
+// workflows finds 'isPrime'.
+func Figure6(c *client.Client) (string, error) {
+	hits, err := c.SearchRegistry("prime", core.SearchWorkflows, core.QueryText)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 6: client.search_Registry(\"prime\", \"workflow\")\n")
+	renderHits(&sb, hits, false)
+	return sb.String(), nil
+}
+
+// Figure7 runs the semantic search of Fig. 7: a natural-language query
+// ranked against PE description embeddings.
+func Figure7(c *client.Client) (string, error) {
+	hits, err := c.SearchRegistry("A PE that checks if a number is prime", core.SearchPEs, core.QuerySemantic)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 7: client.search_Registry(\"A PE that checks if a number is prime\", \"pe\", \"text\")\n")
+	renderHits(&sb, hits, true)
+	return sb.String(), nil
+}
+
+// Figure8 runs the code-completion search of Fig. 8: the snippet
+// random.randint(1, 1000) ranked against PE code embeddings.
+func Figure8(c *client.Client) (string, error) {
+	hits, err := c.SearchRegistry("random.randint(1, 1000)", core.SearchPEs, core.QueryCode)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 8: client.search_Registry(\"random.randint(1, 1000)\", \"pe\", \"code\")\n")
+	renderHits(&sb, hits, true)
+	return sb.String(), nil
+}
+
+// Figure9 executes the IsPrime workflow with the Fig. 9/Listing 4
+// parameters (input=5, Multi, num=5) and returns the engine's output.
+func Figure9(c *client.Client) (string, error) {
+	resp, err := c.Run("isPrime", client.RunOptions{
+		Input:   5,
+		Process: "MULTI",
+		Args:    map[string]any{"num": 5},
+		Seed:    20,
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 9: output sent from the Execution Engine to the Client\n")
+	sb.WriteString(resp.Output)
+	sb.WriteString(resp.Summary)
+	return sb.String(), nil
+}
+
+func renderHits(sb *strings.Builder, hits []core.SearchHit, withScore bool) {
+	if withScore {
+		fmt.Fprintf(sb, "  %-4s %-6s %-24s %-8s %s\n", "rank", "id", "name", "score", "description")
+		for i, h := range hits {
+			fmt.Fprintf(sb, "  %-4d %-6d %-24s %-8.4f %s\n", i+1, h.ID, h.Name, h.Score, truncate(h.Description, 60))
+		}
+		return
+	}
+	fmt.Fprintf(sb, "  %-4s %-6s %-24s %s\n", "rank", "id", "name", "description")
+	for i, h := range hits {
+		fmt.Fprintf(sb, "  %-4d %-6d %-24s %s\n", i+1, h.ID, h.Name, truncate(h.Description, 60))
+	}
+}
+
+func truncate(s string, n int) string {
+	runes := []rune(s)
+	if len(runes) <= n {
+		return s
+	}
+	return string(runes[:n-3]) + "..."
+}

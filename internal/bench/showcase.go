@@ -1,0 +1,341 @@
+package bench
+
+import (
+	"fmt"
+
+	"laminar/internal/client"
+	"laminar/internal/core"
+	"laminar/internal/engine"
+	"laminar/internal/server"
+)
+
+// IsPrimeSource is Listing 3 of the paper.
+const IsPrimeSource = `
+import random
+
+class NumberProducer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        # Generate a random number
+        result = random.randint(1, 1000)
+        # Return the number as the output
+        return result
+
+class IsPrime(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, num):
+        print("before checking data - %s - is prime or not" % num)
+        if num >= 2 and all(num % i != 0 for i in range(2, num)):
+            return num
+
+class PrintPrime(ConsumerPE):
+    def __init__(self):
+        ConsumerPE.__init__(self)
+    def _process(self, num):
+        print("the num %s is prime" % num)
+
+pe1 = NumberProducer()
+pe2 = IsPrime()
+pe3 = PrintPrime()
+graph = WorkflowGraph()
+graph.connect(pe1, 'output', pe2, 'input')
+graph.connect(pe2, 'output', pe3, 'input')
+`
+
+// WordCountSource is Listing 2's stateful group-by pipeline.
+const WordCountSource = `
+import random
+from collections import defaultdict
+
+class WordReader(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+        self.words = ["stream", "data", "flow", "serverless", "registry"]
+    def _process(self):
+        word = random.choice(self.words)
+        return (word, 1)
+
+class CountWords(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input", grouping=[0])
+        self._add_output("output")
+        self.count = defaultdict(int)
+    def _process(self, inputs):
+        word, count = inputs['input']
+        self.count[word] += count
+
+graph = WorkflowGraph()
+reader = WordReader()
+counter = CountWords()
+graph.connect(reader, 'output', counter, 'input')
+`
+
+// showcasePE is one standalone registry entry for the Fig. 6-8 scenario.
+type showcasePE struct {
+	name        string
+	description string // empty → auto-summarized (as Fig. 7 shows for two PEs)
+	source      string
+}
+
+// showcasePEs populate the registry with the variety of PEs the Fig. 7
+// scenario implies (the paper's user has 22 PEs registered; the workflow
+// sources above contribute the rest).
+var showcasePEs = []showcasePE{
+	{"SquareNumber", "A PE that squares each number in the stream", `
+class SquareNumber(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, num):
+        return num * num
+`},
+	{"FilterEven", "A PE that selects the even numbers from a stream", `
+class FilterEven(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, num):
+        if num % 2 == 0:
+            return num
+`},
+	{"IsPrimeChecker", "", `
+class IsPrimeChecker(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, num):
+        # checks whether the incoming number is prime
+        if num >= 2 and all(num % i != 0 for i in range(2, num)):
+            return num
+`},
+	{"SumAggregator", "A stateful PE that sums every value seen on its input", `
+class SumAggregator(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input")
+        self._add_output("output")
+        self.total = 0
+    def _process(self, inputs):
+        self.total += inputs['input']
+`},
+	{"MaxTracker", "A stateful PE that tracks the max value of the stream", `
+class MaxTracker(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input")
+        self._add_output("output")
+        self.best = None
+    def _process(self, inputs):
+        v = inputs['input']
+        if self.best is None or v > self.best:
+            self.best = v
+            self.write("output", v)
+`},
+	{"WordSplitter", "A PE that splits text lines into words", `
+class WordSplitter(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, line):
+        for word in line.split():
+            self.write("output", word)
+`},
+	{"Uppercaser", "A PE that converts strings to upper case", `
+class Uppercaser(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, text):
+        return text.upper()
+`},
+	{"JSONParser", "A PE that parses JSON records from text", `
+import json
+
+class JSONParser(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, text):
+        return json.loads(text)
+`},
+	{"AverageCalculator", "", `
+import statistics
+
+class AverageCalculator(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input")
+        self._add_output("output")
+        self.values = []
+    def _process(self, inputs):
+        # calculate the running average of the numbers
+        self.values.append(inputs['input'])
+        self.write("output", statistics.mean(self.values))
+`},
+	{"TemperatureConverter", "A PE that converts celsius temperature to fahrenheit", `
+class TemperatureConverter(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, celsius):
+        return celsius * 9 / 5 + 32
+`},
+	{"DuplicateFilter", "A PE that deletes duplicate elements keeping distinct values", `
+class DuplicateFilter(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input")
+        self._add_output("output")
+        self.seen = set()
+    def _process(self, inputs):
+        v = inputs['input']
+        if v not in self.seen:
+            self.seen.add(v)
+            self.write("output", v)
+`},
+	{"RandomChoicePE", "A PE that picks random elements from a list", `
+import random
+
+class RandomChoicePE(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, items):
+        return random.choice(items)
+`},
+	{"FibonacciProducer", "A PE that produces the fibonacci sequence", `
+class FibonacciProducer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+        self.a = 0
+        self.b = 1
+    def _process(self):
+        value = self.a
+        self.a, self.b = self.b, self.a + self.b
+        return value
+`},
+	{"LinePrinter", "A PE that prints every value it consumes", `
+class LinePrinter(ConsumerPE):
+    def __init__(self):
+        ConsumerPE.__init__(self)
+    def _process(self, value):
+        print(value)
+`},
+	{"ThresholdAlert", "A PE that prints an alert when values exceed a threshold", `
+class ThresholdAlert(ConsumerPE):
+    def __init__(self):
+        ConsumerPE.__init__(self)
+        self.limit = 100
+    def _process(self, value):
+        if value > self.limit:
+            print("ALERT: %s over limit" % value)
+`},
+}
+
+// showcaseWorkflows are additional registered workflows (entry point,
+// description, source), completing the five-workflow scenario.
+var showcaseWorkflows = []struct {
+	name        string
+	description string
+	source      string
+}{
+	{"isPrime", "Workflow that prints random prime numbers", IsPrimeSource},
+	{"wordCount", "Workflow that counts words with a group-by", WordCountSource},
+	{"Astrophysics", "A workflow to compute the internal extinction of galaxies", AstrophysicsSource},
+	{"squares", "Workflow that squares random numbers", `
+import random
+
+class RandomNumbers(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return random.randint(1, 100)
+
+class Squares(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, num):
+        return num * num
+
+graph = WorkflowGraph()
+rn = RandomNumbers()
+sq = Squares()
+graph.connect(rn, 'output', sq, 'input')
+`},
+	{"evenSum", "Workflow that sums the even numbers of a stream", `
+import random
+
+class Nums(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return random.randint(1, 100)
+
+class EvenOnly(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, num):
+        if num % 2 == 0:
+            return num
+
+class Summer(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input")
+        self._add_output("output")
+        self.total = 0
+    def _process(self, inputs):
+        self.total += inputs['input']
+
+graph = WorkflowGraph()
+n = Nums()
+e = EvenOnly()
+s = Summer()
+graph.connect(n, 'output', e, 'input')
+graph.connect(e, 'output', s, 'input')
+`},
+}
+
+// Showcase is a populated Laminar deployment reproducing the registry state
+// of the Fig. 6-8 scenario: one user with 5 workflows and 22+ PEs, some
+// auto-summarized.
+type Showcase struct {
+	Server *server.Server
+	Client *client.Client
+}
+
+// NewShowcase boots a server and registers the scenario.
+func NewShowcase() (*Showcase, error) {
+	srv := server.New(server.Config{Engine: engine.New(engine.Config{InstallDelayScale: 0})})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c := client.New(addr)
+	if err := c.Register("zz46", "password"); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	for _, wf := range showcaseWorkflows {
+		if _, err := c.RegisterWorkflow(wf.source, wf.name, wf.description); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("showcase: workflow %s: %w", wf.name, err)
+		}
+	}
+	for _, pe := range showcasePEs {
+		if _, err := c.RegisterPE(pe.source, pe.name, pe.description); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("showcase: PE %s: %w", pe.name, err)
+		}
+	}
+	return &Showcase{Server: srv, Client: c}, nil
+}
+
+// Close tears the deployment down.
+func (s *Showcase) Close() { s.Server.Close() }
+
+// Counts returns (#PEs, #workflows) registered.
+func (s *Showcase) Counts() (int, int, error) {
+	listing, err := s.Client.GetRegistry()
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(listing.PEs), len(listing.Workflows), nil
+}
+
+var _ = core.SearchBoth

@@ -1,0 +1,121 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section 6). Each experiment returns a
+// typed result structure and can render itself in the paper's layout;
+// cmd/laminar-bench prints them and the root bench_test.go wires them into
+// `go test -bench`.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"laminar/internal/dataset"
+	"laminar/internal/embed"
+	"laminar/internal/metrics"
+)
+
+// Table6Row is one model's zero-shot text-to-code search result.
+type Table6Row struct {
+	Model     string
+	CosQA_MRR float64 // percentage, as the paper reports
+	CSN_MRR   float64
+}
+
+// Table6Result reproduces Table 6: zero-shot text-to-code search MRR for
+// the UnixCoder base model vs the fine-tuned unixcoder-code-search model.
+type Table6Result struct {
+	Rows []Table6Row
+}
+
+// Table6Options sizes the evaluation.
+type Table6Options struct {
+	Seed           int64
+	QueriesPerTask int
+}
+
+// DefaultTable6Options mirror the scale used in EXPERIMENTS.md.
+func DefaultTable6Options() Table6Options {
+	return Table6Options{Seed: 61, QueriesPerTask: 6}
+}
+
+// RunTable6 evaluates both models on the synthetic CoSQA- and CSN-style
+// corpora.
+func RunTable6(opts Table6Options) (*Table6Result, error) {
+	cosqa := dataset.GenCoSQA(opts.Seed, opts.QueriesPerTask)
+	csn := dataset.GenCSN(opts.Seed+1, opts.QueriesPerTask)
+	models := []string{embed.ModelUnixcoderBase, embed.ModelCodeSearch}
+	res := &Table6Result{}
+	for _, name := range models {
+		m, err := embed.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		cosqaMRR, err := searchMRR(m, cosqa)
+		if err != nil {
+			return nil, err
+		}
+		csnMRR, err := searchMRR(m, csn)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table6Row{
+			Model:     shortModel(name),
+			CosQA_MRR: cosqaMRR * 100,
+			CSN_MRR:   csnMRR * 100,
+		})
+	}
+	return res, nil
+}
+
+// searchMRR embeds the corpus once (the registry stores embeddings at
+// registration time, Section 3.1.1) and ranks every query against it.
+func searchMRR(m *embed.Model, corpus *dataset.SearchCorpus) (float64, error) {
+	docVecs := make([]embed.Vector, len(corpus.Codes))
+	for i, code := range corpus.Codes {
+		docVecs[i] = m.Embed(code)
+	}
+	rankings := make([][]int, len(corpus.Queries))
+	relevants := make([]map[int]bool, len(corpus.Queries))
+	for qi, q := range corpus.Queries {
+		qv := m.Embed(q.Query)
+		ranking, _ := embed.Rank(qv, docVecs)
+		rankings[qi] = ranking
+		relevants[qi] = corpus.RelevantSet(q)
+	}
+	return metrics.MRR(rankings, relevants), nil
+}
+
+// shortModel maps HuggingFace ids to the names the paper's tables use.
+func shortModel(name string) string {
+	switch name {
+	case embed.ModelUnixcoderBase:
+		return "unixcoder-base"
+	case embed.ModelCodeSearch:
+		return "unixcoder-code-search"
+	case embed.ModelCloneDetection:
+		return "unixcoder-clone-detection"
+	case embed.ModelReACC:
+		return "ReACC-retriever-py"
+	case embed.ModelCodeBERT:
+		return "CodeBERT"
+	case embed.ModelGraphCodeBERT:
+		return "GraphCodeBERT"
+	case embed.ModelBGELargeEN:
+		return "BAAI/bge-large-en"
+	case embed.ModelGTELarge:
+		return "thenlper/gte-large"
+	default:
+		return name
+	}
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table6Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 6: Results on zero-shot text-to-code search (MRR)\n")
+	fmt.Fprintf(&sb, "%-28s %10s %10s\n", "Model", "CosQA", "CSN")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-28s %10.1f %10.1f\n", r.Model, r.CosQA_MRR, r.CSN_MRR)
+	}
+	return sb.String()
+}

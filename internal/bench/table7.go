@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"laminar/internal/dataset"
+	"laminar/internal/embed"
+	"laminar/internal/metrics"
+)
+
+// Table7Row is one model's zero-shot clone-detection result.
+type Table7Row struct {
+	Model  string
+	MAP100 float64 // percentage
+	P1     float64 // percentage
+}
+
+// Table7Result reproduces Table 7: zero-shot clone detection over the
+// CodeNet-style corpus for all seven candidate models. The paper selects
+// ReACC-retriever-py for Laminar's code completion because of its Precision
+// at 1.
+type Table7Result struct {
+	Rows []Table7Row
+}
+
+// Table7Options sizes the evaluation.
+type Table7Options struct {
+	Seed         int64
+	SolutionsPer int
+}
+
+// DefaultTable7Options mirror the scale used in EXPERIMENTS.md.
+func DefaultTable7Options() Table7Options {
+	return Table7Options{Seed: 71, SolutionsPer: 10}
+}
+
+// table7Models lists the evaluated models in the paper's row order.
+var table7Models = []string{
+	embed.ModelCodeBERT,
+	embed.ModelGraphCodeBERT,
+	embed.ModelReACC,
+	embed.ModelGTELarge,
+	embed.ModelBGELargeEN,
+	embed.ModelCloneDetection,
+	embed.ModelCodeSearch,
+}
+
+// RunTable7 evaluates every model on the clone corpus.
+func RunTable7(opts Table7Options) (*Table7Result, error) {
+	corpus := dataset.GenCodeNet(opts.Seed, opts.SolutionsPer)
+	res := &Table7Result{}
+	for _, name := range table7Models {
+		m, err := embed.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		mapk, p1 := cloneScores(m, corpus)
+		res.Rows = append(res.Rows, Table7Row{
+			Model:  shortModel(name),
+			MAP100: mapk * 100,
+			P1:     p1 * 100,
+		})
+	}
+	return res, nil
+}
+
+func cloneScores(m *embed.Model, corpus *dataset.CloneCorpus) (mapk, p1 float64) {
+	vecs := make([]embed.Vector, len(corpus.Snippets))
+	for i, s := range corpus.Snippets {
+		vecs[i] = m.Embed(s.Code)
+	}
+	rankings := make([][]int, len(corpus.Queries))
+	relevants := make([]map[int]bool, len(corpus.Queries))
+	for qi, q := range corpus.Queries {
+		qv := m.Embed(q.Partial)
+		ranking, _ := embed.Rank(qv, vecs)
+		rankings[qi] = ranking
+		relevants[qi] = corpus.RelevantSet(q)
+	}
+	return metrics.MAPAtK(rankings, relevants, 100), metrics.PrecisionAt1(rankings, relevants)
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table7Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 7: Zero-shot clone detection evaluation results\n")
+	fmt.Fprintf(&sb, "%-28s %10s %15s\n", "Model", "MAP@100", "Precision at 1")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-28s %10.2f %15.2f\n", r.Model, r.MAP100, r.P1)
+	}
+	return sb.String()
+}
+
+// Row finds a row by model short name.
+func (t *Table7Result) Row(model string) (Table7Row, bool) {
+	for _, r := range t.Rows {
+		if r.Model == model {
+			return r, true
+		}
+	}
+	return Table7Row{}, false
+}

@@ -1,0 +1,15 @@
+package bench
+
+import "os"
+
+func tempDir() (string, error) {
+	return os.MkdirTemp("", "laminar-bench-*")
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func removeAll(path string) {
+	_ = os.RemoveAll(path)
+}

@@ -1,0 +1,9 @@
+package client
+
+import "laminar/internal/pype"
+
+// peClassNames lists the PE classes a source defines (delegates to the
+// pype analyzer so client and engine agree on what counts as a PE).
+func peClassNames(source string) ([]string, error) {
+	return pype.PEClassNames(source)
+}

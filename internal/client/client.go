@@ -1,0 +1,465 @@
+package client
+
+import (
+	"encoding/base64"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"laminar/internal/codec"
+	"laminar/internal/core"
+	"laminar/internal/engine"
+	"laminar/internal/pype"
+	"laminar/internal/search"
+	"laminar/internal/summarize"
+)
+
+// Client is the user-facing layer (Section 3.4.1): it implements the 13
+// documented client functions on top of the WebClient transport. The client
+// computes embeddings and summaries at registration time (Section 3.1.1),
+// detects imports (the findimports behaviour of Section 3.4.2), serializes
+// code into envelopes, and drives serverless execution.
+type Client struct {
+	web  *WebClient
+	user string
+	// LocalEngine, when set, executes run() requests in-process after
+	// resolving the workflow through the remote registry — the paper's
+	// "Local Execution (with Laminar)" configuration from Table 5.
+	LocalEngine *engine.Engine
+	// RemoteEngineURL, when set, sends resolved execution requests to a
+	// standalone remote Execution Engine (engine.RemoteServer) — the
+	// paper's Azure deployment from Table 5.
+	RemoteEngineURL string
+}
+
+// New creates a client for a server URL.
+func New(serverURL string) *Client {
+	return &Client{web: NewWebClient(serverURL)}
+}
+
+// Web exposes the transport layer.
+func (c *Client) Web() *WebClient { return c.web }
+
+// CurrentUser returns the logged-in user name.
+func (c *Client) CurrentUser() string { return c.user }
+
+// Register creates a user account (client.register of the paper).
+func (c *Client) Register(userName, password string) error {
+	if _, err := c.web.RegisterUser(userName, password); err != nil {
+		return err
+	}
+	c.user = userName
+	return nil
+}
+
+// Login authenticates (client.login).
+func (c *Client) Login(userName, password string) error {
+	if _, err := c.web.Login(userName, password); err != nil {
+		return err
+	}
+	c.user = userName
+	return nil
+}
+
+func (c *Client) requireUser() error {
+	if c.user == "" {
+		return fmt.Errorf("client: no user session — call Register or Login first")
+	}
+	return nil
+}
+
+// RegisterPE registers a PE class from source (client.register_PE). When
+// description is empty a summary is generated from the code — the CodeT5
+// workaround of Section 4.2. Both embeddings are computed here, once, and
+// stored in the registry.
+func (c *Client) RegisterPE(source, className, description string) (core.PERecord, error) {
+	if err := c.requireUser(); err != nil {
+		return core.PERecord{}, err
+	}
+	if className == "" {
+		names, err := classNames(source)
+		if err != nil {
+			return core.PERecord{}, err
+		}
+		if len(names) == 0 {
+			return core.PERecord{}, fmt.Errorf("client: source defines no PE class")
+		}
+		className = names[0]
+	}
+	// The registry stores each PE's own code (the paper pickles PEs
+	// individually), so embeddings and retrieval are per class, not per
+	// module.
+	peSource, err := pype.ClassSource(source, className)
+	if err != nil {
+		return core.PERecord{}, err
+	}
+	imports, err := engine.DetectImports(peSource)
+	if err != nil {
+		return core.PERecord{}, fmt.Errorf("client: import detection: %w", err)
+	}
+	encoded, err := codec.Encode(codec.Envelope{
+		Kind: codec.KindPE, Name: className, Source: peSource, Imports: imports,
+	})
+	if err != nil {
+		return core.PERecord{}, err
+	}
+	auto := false
+	if strings.TrimSpace(description) == "" {
+		sum, serr := summarize.SummarizePE(peSource, className)
+		if serr != nil {
+			return core.PERecord{}, fmt.Errorf("client: no description given and summarization failed: %w", serr)
+		}
+		description = sum
+		auto = true
+	}
+	req := core.AddPERequest{
+		PEName:         className,
+		Description:    description,
+		AutoSummarized: auto,
+		PECode:         encoded,
+		PEImports:      imports,
+		CodeEmbedding:  search.EmbedCode(peSource),
+		DescEmbedding:  search.EmbedDescription(description),
+	}
+	return c.web.AddPE(c.user, req)
+}
+
+// RegisterPEs registers every PE class found in the source, returning the
+// records in definition order.
+func (c *Client) RegisterPEs(source, description string) ([]core.PERecord, error) {
+	names, err := classNames(source)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.PERecord
+	for _, n := range names {
+		rec, err := c.RegisterPE(source, n, description)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// RegisterWorkflow registers workflow source under an entry-point name
+// (client.register_Workflow), auto-registering the PEs it defines and
+// associating them with the workflow.
+func (c *Client) RegisterWorkflow(source, name, description string) (core.WorkflowRecord, error) {
+	if err := c.requireUser(); err != nil {
+		return core.WorkflowRecord{}, err
+	}
+	imports, err := engine.DetectImports(source)
+	if err != nil {
+		return core.WorkflowRecord{}, fmt.Errorf("client: import detection: %w", err)
+	}
+	encoded, err := codec.Encode(codec.Envelope{
+		Kind: codec.KindWorkflow, Name: name, Source: source, Imports: imports,
+	})
+	if err != nil {
+		return core.WorkflowRecord{}, err
+	}
+	// Register the constituent PEs so they are searchable and reusable.
+	var peIDs []int
+	names, err := classNames(source)
+	if err != nil {
+		return core.WorkflowRecord{}, err
+	}
+	for _, n := range names {
+		rec, err := c.RegisterPE(source, n, "")
+		if err != nil {
+			return core.WorkflowRecord{}, fmt.Errorf("client: registering PE %q of workflow %q: %w", n, name, err)
+		}
+		peIDs = append(peIDs, rec.PEID)
+	}
+	req := core.AddWorkflowRequest{
+		WorkflowName: name,
+		EntryPoint:   name,
+		Description:  description,
+		WorkflowCode: encoded,
+		PEIDs:        peIDs,
+	}
+	return c.web.AddWorkflow(c.user, req)
+}
+
+// RemovePE removes a PE by name (string) or id (int) — client.remove_PE.
+func (c *Client) RemovePE(pe any) error {
+	if err := c.requireUser(); err != nil {
+		return err
+	}
+	switch v := pe.(type) {
+	case int:
+		return c.web.RemovePEByID(c.user, v)
+	case string:
+		return c.web.RemovePEByName(c.user, v)
+	default:
+		return fmt.Errorf("client: RemovePE takes a name or id, got %T", pe)
+	}
+}
+
+// RemoveWorkflow removes a workflow by name or id — client.remove_Workflow.
+func (c *Client) RemoveWorkflow(wf any) error {
+	if err := c.requireUser(); err != nil {
+		return err
+	}
+	switch v := wf.(type) {
+	case int:
+		return c.web.RemoveWorkflowByID(c.user, v)
+	case string:
+		return c.web.RemoveWorkflowByName(c.user, v)
+	default:
+		return fmt.Errorf("client: RemoveWorkflow takes a name or id, got %T", wf)
+	}
+}
+
+// GetPE fetches a PE by name or id — client.get_PE.
+func (c *Client) GetPE(pe any) (core.PERecord, error) {
+	if err := c.requireUser(); err != nil {
+		return core.PERecord{}, err
+	}
+	switch v := pe.(type) {
+	case int:
+		return c.web.PEByID(c.user, v)
+	case string:
+		return c.web.PEByName(c.user, v)
+	default:
+		return core.PERecord{}, fmt.Errorf("client: GetPE takes a name or id, got %T", pe)
+	}
+}
+
+// GetWorkflow fetches a workflow by name or id — client.get_Workflow.
+func (c *Client) GetWorkflow(wf any) (core.WorkflowRecord, error) {
+	if err := c.requireUser(); err != nil {
+		return core.WorkflowRecord{}, err
+	}
+	switch v := wf.(type) {
+	case int:
+		return c.web.WorkflowByID(c.user, v)
+	case string:
+		return c.web.WorkflowByName(c.user, v)
+	default:
+		return core.WorkflowRecord{}, fmt.Errorf("client: GetWorkflow takes a name or id, got %T", wf)
+	}
+}
+
+// GetPEsByWorkflow lists the PEs of a workflow — client.get_PEs_By_Workflow.
+func (c *Client) GetPEsByWorkflow(wf any) ([]core.PERecord, error) {
+	if err := c.requireUser(); err != nil {
+		return nil, err
+	}
+	switch v := wf.(type) {
+	case int:
+		return c.web.WorkflowPEsByID(c.user, v)
+	case string:
+		return c.web.WorkflowPEsByName(c.user, v)
+	default:
+		return nil, fmt.Errorf("client: GetPEsByWorkflow takes a name or id, got %T", wf)
+	}
+}
+
+// SearchRegistry searches PEs/workflows — client.search_Registry. queryType
+// "text" matches names and descriptions; "semantic" embeds the query with
+// the unixcoder-code-search model; "code" embeds a snippet with the
+// ReACC-py-retriever model. The query embedding is computed client-side
+// (bi-encoder: stored embeddings never leave the registry).
+func (c *Client) SearchRegistry(query string, searchType core.SearchType, queryType core.QueryType) ([]core.SearchHit, error) {
+	if err := c.requireUser(); err != nil {
+		return nil, err
+	}
+	if searchType == "" {
+		searchType = core.SearchBoth
+	}
+	if queryType == "" {
+		queryType = core.QueryText
+	}
+	req := core.SearchRequest{Search: query, SearchType: searchType, QueryType: queryType}
+	switch queryType {
+	case core.QuerySemantic:
+		req.QueryEmbedding = search.EmbedDescription(query)
+	case core.QueryCode:
+		req.QueryEmbedding = search.EmbedCode(query)
+	}
+	resp, err := c.web.Search(c.user, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Hits, nil
+}
+
+// Describe renders a record's name and description — client.describe.
+func (c *Client) Describe(obj any) string {
+	switch v := obj.(type) {
+	case core.PERecord:
+		return fmt.Sprintf("PE %q (id %d): %s", v.PEName, v.PEID, v.Description)
+	case core.WorkflowRecord:
+		return fmt.Sprintf("Workflow %q (id %d): %s", v.EntryPoint, v.WorkflowID, v.Description)
+	case core.SearchHit:
+		return fmt.Sprintf("%s %q (id %d): %s", v.Kind, v.Name, v.ID, v.Description)
+	default:
+		return fmt.Sprintf("%v", obj)
+	}
+}
+
+// GetRegistry lists everything registered — client.get_Registry.
+func (c *Client) GetRegistry() (core.RegistryListing, error) {
+	if err := c.requireUser(); err != nil {
+		return core.RegistryListing{}, err
+	}
+	return c.web.RegistryAll(c.user)
+}
+
+// RunOptions parameterize Run (the keyword arguments of client.run).
+type RunOptions struct {
+	// Input is the iteration count (int) or initial input records
+	// ([]map[string]any).
+	Input any
+	// Process selects the mapping: SIMPLE (default), MULTI, MPI, REDIS.
+	Process string
+	// Args carries runtime arguments; Args["num"] sets the process count.
+	Args map[string]any
+	// ResourceDir uploads every file under the directory as a resource
+	// (resources=True in the paper).
+	ResourceDir string
+	// Resources adds in-memory resources (name → content).
+	Resources map[string]string
+	// Seed makes execution deterministic when non-zero.
+	Seed int64
+}
+
+// Run executes a workflow serverlessly — client.run. The workflow argument
+// accepts a registered name (string), id (int), or inline source (string
+// containing code), mirroring Union[str, int, WorkflowGraph]. Inline source
+// is registered automatically before execution, as the paper's run() does.
+func (c *Client) Run(workflow any, opts RunOptions) (core.ExecutionResponse, error) {
+	if err := c.requireUser(); err != nil {
+		return core.ExecutionResponse{}, err
+	}
+	req := core.ExecutionRequest{
+		Input:   opts.Input,
+		Process: opts.Process,
+		Args:    opts.Args,
+		Seed:    opts.Seed,
+	}
+	switch v := workflow.(type) {
+	case int:
+		req.WorkflowID = v
+	case string:
+		if looksLikeSource(v) {
+			name := inferWorkflowName(v)
+			wf, err := c.RegisterWorkflow(v, name, "")
+			if err != nil {
+				return core.ExecutionResponse{}, err
+			}
+			req.WorkflowCode = wf.WorkflowCode
+		} else {
+			req.WorkflowName = v
+		}
+	default:
+		return core.ExecutionResponse{}, fmt.Errorf("client: Run takes a name, id or source, got %T", workflow)
+	}
+	resources, err := collectResources(opts)
+	if err != nil {
+		return core.ExecutionResponse{}, err
+	}
+	req.Resources = resources
+
+	if c.LocalEngine != nil {
+		return c.runEngine(req, nil)
+	}
+	if c.RemoteEngineURL != "" {
+		return c.runEngine(req, func(resolved core.ExecutionRequest) (core.ExecutionResponse, error) {
+			var out core.ExecutionResponse
+			rc := NewWebClient(c.RemoteEngineURL)
+			err := rc.doJSON("POST", "/run", resolved, &out)
+			return out, err
+		})
+	}
+	return c.web.Run(c.user, req)
+}
+
+// runEngine resolves registered workflows through the remote registry, then
+// executes on the embedded engine (Table 5's local configuration) or, when
+// dispatch is non-nil, on a standalone remote engine.
+func (c *Client) runEngine(req core.ExecutionRequest, dispatch func(core.ExecutionRequest) (core.ExecutionResponse, error)) (core.ExecutionResponse, error) {
+	if req.WorkflowCode == "" {
+		var wf core.WorkflowRecord
+		var err error
+		switch {
+		case req.WorkflowID != 0:
+			wf, err = c.web.WorkflowByID(c.user, req.WorkflowID)
+		case req.WorkflowName != "":
+			wf, err = c.web.WorkflowByName(c.user, req.WorkflowName)
+		default:
+			return core.ExecutionResponse{}, fmt.Errorf("client: no workflow selected")
+		}
+		if err != nil {
+			return core.ExecutionResponse{}, err
+		}
+		req.WorkflowCode = wf.WorkflowCode
+	}
+	if dispatch != nil {
+		return dispatch(req)
+	}
+	resp, err := c.LocalEngine.Execute(req)
+	if err != nil {
+		return core.ExecutionResponse{}, err
+	}
+	return *resp, nil
+}
+
+// collectResources merges directory uploads and in-memory resources into
+// the base64 wire format.
+func collectResources(opts RunOptions) (map[string]string, error) {
+	if opts.ResourceDir == "" && len(opts.Resources) == 0 {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for name, content := range opts.Resources {
+		out[name] = base64.StdEncoding.EncodeToString([]byte(content))
+	}
+	if opts.ResourceDir != "" {
+		err := filepath.Walk(opts.ResourceDir, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() {
+				return nil
+			}
+			rel, err := filepath.Rel(opts.ResourceDir, path)
+			if err != nil {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			out[rel] = base64.StdEncoding.EncodeToString(data)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("client: collecting resources: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// looksLikeSource distinguishes inline code from registered names.
+func looksLikeSource(s string) bool {
+	return strings.Contains(s, "\n") || strings.Contains(s, "class ") ||
+		strings.Contains(s, "def ") || strings.Contains(s, "WorkflowGraph")
+}
+
+// inferWorkflowName derives a registration name for inline source.
+func inferWorkflowName(source string) string {
+	names, err := classNames(source)
+	if err == nil && len(names) > 0 {
+		return names[0] + "Workflow"
+	}
+	return "AnonymousWorkflow"
+}
+
+// classNames lists PE classes via the engine's detector companion.
+func classNames(source string) ([]string, error) {
+	return peClassNames(source)
+}

@@ -1,0 +1,391 @@
+package client_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"laminar/internal/astro"
+	"laminar/internal/client"
+	"laminar/internal/core"
+	"laminar/internal/engine"
+	"laminar/internal/server"
+	"laminar/internal/votable"
+)
+
+// isPrimeSource mirrors Listing 3.
+const isPrimeSource = `
+import random
+
+class NumberProducer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return random.randint(1, 1000)
+
+class IsPrime(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, num):
+        if num >= 2 and all(num % i != 0 for i in range(2, num)):
+            return num
+
+class PrintPrime(ConsumerPE):
+    def __init__(self):
+        ConsumerPE.__init__(self)
+    def _process(self, num):
+        print("the num %s is prime" % num)
+
+pe1 = NumberProducer()
+pe2 = IsPrime()
+pe3 = PrintPrime()
+graph = WorkflowGraph()
+graph.connect(pe1, 'output', pe2, 'input')
+graph.connect(pe2, 'output', pe3, 'input')
+`
+
+// astrophysicsSource is the Section 5.2 Internal Extinction workflow.
+const astrophysicsSource = `
+import vo
+import astropy
+import astro
+
+class ReadRaDec(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, filename):
+        text = open(filename).read()
+        coords = astro.parse_coordinates(text)
+        for c in coords:
+            self.write("output", [c[0], c[1]])
+
+class GetVOTable(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, coord):
+        xml = vo.get_votable(coord[0], coord[1])
+        return xml
+
+class FilterColumns(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, xml):
+        table = astropy.parse_votable(xml)
+        filtered = table.filter_columns(["Mtype", "logR25"])
+        mtype = int(filtered.rows[0][0])
+        logr = float(filtered.rows[0][1])
+        return [mtype, logr]
+
+class InternalExtinction(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, rec):
+        a_int = astro.internal_extinction(rec[0], rec[1])
+        print("internal extinction: %.4f" % a_int)
+        return a_int
+
+graph = WorkflowGraph()
+rd = ReadRaDec()
+gv = GetVOTable()
+fc = FilterColumns()
+ie = InternalExtinction()
+graph.connect(rd, 'output', gv, 'input')
+graph.connect(gv, 'output', fc, 'input')
+graph.connect(fc, 'output', ie, 'input')
+`
+
+// startStack spins up a server with a fast engine and logs in a user.
+func startStack(t *testing.T, voURL string) (*client.Client, *server.Server) {
+	t.Helper()
+	eng := engine.New(engine.Config{InstallDelayScale: 0, VOBaseURL: voURL})
+	srv := server.New(server.Config{Engine: eng})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := client.New(addr)
+	if err := c.Register("zz46", "password"); err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+func TestRegisterLoginFlow(t *testing.T) {
+	c, _ := startStack(t, "")
+	// duplicate registration is a conflict
+	c2 := client.New(c.Web().BaseURL)
+	if err := c2.Register("zz46", "password"); err == nil {
+		t.Fatal("expected conflict for duplicate user")
+	}
+	if err := c2.Login("zz46", "wrong"); err == nil {
+		t.Fatal("expected unauthorized for bad password")
+	}
+	if err := c2.Login("zz46", "password"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPERegistrationAndRetrieval(t *testing.T) {
+	c, _ := startStack(t, "")
+	rec, err := c.RegisterPE(isPrimeSource, "NumberProducer", "Random numbers producer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PEID == 0 || rec.PEName != "NumberProducer" {
+		t.Fatalf("record: %+v", rec)
+	}
+	if len(rec.CodeEmbedding) == 0 || len(rec.DescEmbedding) == 0 {
+		t.Fatal("embeddings not stored at registration")
+	}
+	byName, err := c.GetPE("NumberProducer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID, err := c.GetPE(rec.PEID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.PEID != byID.PEID {
+		t.Fatal("id/name retrieval mismatch")
+	}
+	if err := c.RemovePE("NumberProducer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetPE("NumberProducer"); err == nil {
+		t.Fatal("expected not-found after removal")
+	}
+}
+
+func TestAutoSummarizationOnRegistration(t *testing.T) {
+	c, _ := startStack(t, "")
+	rec, err := c.RegisterPE(isPrimeSource, "IsPrime", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.AutoSummarized {
+		t.Error("description should be auto-summarized")
+	}
+	if !strings.Contains(strings.ToLower(rec.Description), "prime") {
+		t.Errorf("summary should mention the class intent: %q", rec.Description)
+	}
+}
+
+func TestWorkflowRegistrationAssociatesPEs(t *testing.T) {
+	c, _ := startStack(t, "")
+	wf, err := c.RegisterWorkflow(isPrimeSource, "isPrime", "Workflow that prints random prime numbers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pes, err := c.GetPEsByWorkflow("isPrime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pes) != 3 {
+		t.Fatalf("workflow PEs: %d, want 3", len(pes))
+	}
+	got, err := c.GetWorkflow(wf.WorkflowID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EntryPoint != "isPrime" {
+		t.Errorf("entry point: %q", got.EntryPoint)
+	}
+	listing, err := c.GetRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Workflows) != 1 || len(listing.PEs) != 3 {
+		t.Fatalf("listing: %d workflows, %d PEs", len(listing.Workflows), len(listing.PEs))
+	}
+}
+
+func TestTextSearchFindsPrimeWorkflow(t *testing.T) {
+	// Fig. 6: text query 'prime' finds the isPrime workflow.
+	c, _ := startStack(t, "")
+	if _, err := c.RegisterWorkflow(isPrimeSource, "isPrime", "Workflow that prints random prime numbers"); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.SearchRegistry("prime", core.SearchWorkflows, core.QueryText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Name != "isPrime" {
+		t.Fatalf("hits: %+v", hits)
+	}
+}
+
+func TestSemanticSearchRanksPrimePEFirst(t *testing.T) {
+	// Fig. 7: 'A PE that checks if a number is prime' ranks IsPrime first
+	// among a mixed registry.
+	c, _ := startStack(t, "")
+	if _, err := c.RegisterWorkflow(isPrimeSource, "isPrime", ""); err != nil {
+		t.Fatal(err)
+	}
+	other := `
+class WordCounter(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, text):
+        return len(text.split())
+`
+	if _, err := c.RegisterPE(other, "WordCounter", "A PE that counts the words in a text stream"); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.SearchRegistry("A PE that checks if a number is prime", core.SearchPEs, core.QuerySemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) < 2 {
+		t.Fatalf("hits: %+v", hits)
+	}
+	if hits[0].Name != "IsPrime" {
+		t.Errorf("top hit = %s (score %.3f), want IsPrime; all: %+v", hits[0].Name, hits[0].Score, hits)
+	}
+}
+
+func TestCodeCompletionSearch(t *testing.T) {
+	// Fig. 8: the snippet random.randint(1, 1000) retrieves NumberProducer.
+	c, _ := startStack(t, "")
+	if _, err := c.RegisterWorkflow(isPrimeSource, "isPrime", ""); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.SearchRegistry("random.randint(1, 1000)", core.SearchPEs, core.QueryCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Name != "NumberProducer" {
+		t.Errorf("top hit = %s, want NumberProducer; all: %+v", hits[0].Name, hits)
+	}
+}
+
+func TestServerlessRunIsPrime(t *testing.T) {
+	c, _ := startStack(t, "")
+	resp, err := c.Run(isPrimeSource, client.RunOptions{
+		Input:   5,
+		Process: "MULTI",
+		Args:    map[string]any{"num": 5},
+		Seed:    42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Output, "is prime") && resp.Output == "" {
+		t.Logf("output: %q", resp.Output) // primes may be absent in 5 draws, but producer print should exist
+	}
+	if resp.DurationMS <= 0 {
+		t.Error("duration not reported")
+	}
+	// run() auto-registered the workflow
+	listing, err := c.GetRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Workflows) != 1 {
+		t.Fatalf("auto-registration failed: %+v", listing.Workflows)
+	}
+	// registered workflow can be re-run by name
+	resp2, err := c.Run(listing.Workflows[0].EntryPoint, client.RunOptions{Input: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Summary == "" {
+		t.Error("summary missing")
+	}
+}
+
+func TestAstrophysicsWorkflowEndToEnd(t *testing.T) {
+	vos := votable.NewService(2 * time.Millisecond)
+	voURL, err := vos.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vos.Close()
+	c, _ := startStack(t, voURL)
+	coords := astro.GenerateCoordinates(4, 99)
+	resp, err := c.Run(astrophysicsSource, client.RunOptions{
+		Input:   []any{map[string]any{"input": "coordinates.txt"}},
+		Process: "MULTI",
+		Args:    map[string]any{"num": 6},
+		Resources: map[string]string{
+			"coordinates.txt": coords,
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(resp.Output, "internal extinction:"); got != 4 {
+		t.Fatalf("want 4 extinction lines, got %d; output:\n%s", got, resp.Output)
+	}
+	// the engine must have auto-installed astropy + vo
+	joined := strings.Join(resp.InstalledLibraries, ",")
+	if !strings.Contains(joined, "astropy") || !strings.Contains(joined, "vo") {
+		t.Errorf("installed libraries: %v", resp.InstalledLibraries)
+	}
+	if len(resp.Outputs["InternalExtinction.output"]) != 4 {
+		t.Errorf("extinction outputs: %v", resp.Outputs)
+	}
+}
+
+func TestExecutionErrorsAreAPIErrors(t *testing.T) {
+	c, _ := startStack(t, "")
+	_, err := c.Run("NoSuchWorkflow", client.RunOptions{Input: 1})
+	if err == nil {
+		t.Fatal("expected error for unknown workflow")
+	}
+	apiErr, ok := err.(*core.APIError)
+	if !ok {
+		t.Fatalf("want APIError, got %T: %v", err, err)
+	}
+	if apiErr.Type != "NotFoundError" {
+		t.Errorf("type = %s", apiErr.Type)
+	}
+	// broken code produces an ExecutionError
+	broken := `
+class Boom(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return undefined_variable
+`
+	_, err = c.Run(broken, client.RunOptions{Input: 1})
+	if err == nil {
+		t.Fatal("expected execution error")
+	}
+	apiErr, ok = err.(*core.APIError)
+	if !ok || apiErr.Type != "ExecutionError" {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestLocalEngineConfiguration(t *testing.T) {
+	// Table 5's local configuration: remote registry, local engine.
+	c, _ := startStack(t, "")
+	c.LocalEngine = engine.New(engine.Config{InstallDelayScale: 0})
+	if _, err := c.RegisterWorkflow(isPrimeSource, "isPrime", ""); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Run("isPrime", client.RunOptions{Input: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Summary == "" {
+		t.Error("summary missing from local execution")
+	}
+}
+
+func TestDescribeRendering(t *testing.T) {
+	c, _ := startStack(t, "")
+	rec, err := c.RegisterPE(isPrimeSource, "PrintPrime", "prints primes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Describe(rec)
+	if !strings.Contains(d, "PrintPrime") || !strings.Contains(d, "prints primes") {
+		t.Errorf("describe: %q", d)
+	}
+}

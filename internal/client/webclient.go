@@ -1,0 +1,206 @@
+// Package client is Laminar's dual-layer Client (Section 3.4): the client
+// layer exposes the user-facing functions of the paper's manual (register,
+// login, register_PE, register_Workflow, remove/get/search/describe, run),
+// while the web_client layer (this file) handles serialization, HTTP
+// transport and the standardized error decoding.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"laminar/internal/core"
+)
+
+// WebClient is the transport layer: it speaks the Table 3 endpoints.
+type WebClient struct {
+	// BaseURL is the Laminar server root.
+	BaseURL string
+	// HTTP is the underlying client.
+	HTTP *http.Client
+}
+
+// NewWebClient builds a transport for a server URL.
+func NewWebClient(baseURL string) *WebClient {
+	return &WebClient{BaseURL: baseURL, HTTP: &http.Client{Timeout: 120 * time.Second}}
+}
+
+// doJSON performs a request with optional JSON body, decoding into out and
+// surfacing server APIErrors as *core.APIError.
+func (wc *WebClient) doJSON(method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, wc.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := wc.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr core.APIError
+		if jsonErr := json.Unmarshal(data, &apiErr); jsonErr == nil && apiErr.Type != "" {
+			return &apiErr
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, string(data))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// RegisterUser calls POST /auth/register.
+func (wc *WebClient) RegisterUser(userName, password string) (core.AuthResponse, error) {
+	var out core.AuthResponse
+	err := wc.doJSON(http.MethodPost, "/auth/register", core.RegisterUserRequest{UserName: userName, Password: password}, &out)
+	return out, err
+}
+
+// Login calls POST /auth/login.
+func (wc *WebClient) Login(userName, password string) (core.AuthResponse, error) {
+	var out core.AuthResponse
+	err := wc.doJSON(http.MethodPost, "/auth/login", core.LoginRequest{UserName: userName, Password: password}, &out)
+	return out, err
+}
+
+// AddPE calls POST /registry/{user}/pe/add.
+func (wc *WebClient) AddPE(user string, req core.AddPERequest) (core.PERecord, error) {
+	var out core.PERecord
+	err := wc.doJSON(http.MethodPost, "/registry/"+url.PathEscape(user)+"/pe/add", req, &out)
+	return out, err
+}
+
+// AllPEs calls GET /registry/{user}/pe/all.
+func (wc *WebClient) AllPEs(user string) ([]core.PERecord, error) {
+	var out []core.PERecord
+	err := wc.doJSON(http.MethodGet, "/registry/"+url.PathEscape(user)+"/pe/all", nil, &out)
+	return out, err
+}
+
+// PEByID calls GET /registry/{user}/pe/id/{id}.
+func (wc *WebClient) PEByID(user string, id int) (core.PERecord, error) {
+	var out core.PERecord
+	err := wc.doJSON(http.MethodGet, fmt.Sprintf("/registry/%s/pe/id/%d", url.PathEscape(user), id), nil, &out)
+	return out, err
+}
+
+// PEByName calls GET /registry/{user}/pe/name/{name}.
+func (wc *WebClient) PEByName(user, name string) (core.PERecord, error) {
+	var out core.PERecord
+	err := wc.doJSON(http.MethodGet, "/registry/"+url.PathEscape(user)+"/pe/name/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// RemovePEByID calls DELETE /registry/{user}/pe/remove/id/{id}.
+func (wc *WebClient) RemovePEByID(user string, id int) error {
+	return wc.doJSON(http.MethodDelete, fmt.Sprintf("/registry/%s/pe/remove/id/%d", url.PathEscape(user), id), nil, nil)
+}
+
+// RemovePEByName calls DELETE /registry/{user}/pe/remove/name/{name}.
+func (wc *WebClient) RemovePEByName(user, name string) error {
+	return wc.doJSON(http.MethodDelete, "/registry/"+url.PathEscape(user)+"/pe/remove/name/"+url.PathEscape(name), nil, nil)
+}
+
+// AddWorkflow calls POST /registry/{user}/workflow/add.
+func (wc *WebClient) AddWorkflow(user string, req core.AddWorkflowRequest) (core.WorkflowRecord, error) {
+	var out core.WorkflowRecord
+	err := wc.doJSON(http.MethodPost, "/registry/"+url.PathEscape(user)+"/workflow/add", req, &out)
+	return out, err
+}
+
+// AllWorkflows calls GET /registry/{user}/workflow/all.
+func (wc *WebClient) AllWorkflows(user string) ([]core.WorkflowRecord, error) {
+	var out []core.WorkflowRecord
+	err := wc.doJSON(http.MethodGet, "/registry/"+url.PathEscape(user)+"/workflow/all", nil, &out)
+	return out, err
+}
+
+// WorkflowByID calls GET /registry/{user}/workflow/id/{id}.
+func (wc *WebClient) WorkflowByID(user string, id int) (core.WorkflowRecord, error) {
+	var out core.WorkflowRecord
+	err := wc.doJSON(http.MethodGet, fmt.Sprintf("/registry/%s/workflow/id/%d", url.PathEscape(user), id), nil, &out)
+	return out, err
+}
+
+// WorkflowByName calls GET /registry/{user}/workflow/name/{name}.
+func (wc *WebClient) WorkflowByName(user, name string) (core.WorkflowRecord, error) {
+	var out core.WorkflowRecord
+	err := wc.doJSON(http.MethodGet, "/registry/"+url.PathEscape(user)+"/workflow/name/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// WorkflowPEsByID calls GET /registry/{user}/workflow/pes/id/{id}.
+func (wc *WebClient) WorkflowPEsByID(user string, id int) ([]core.PERecord, error) {
+	var out []core.PERecord
+	err := wc.doJSON(http.MethodGet, fmt.Sprintf("/registry/%s/workflow/pes/id/%d", url.PathEscape(user), id), nil, &out)
+	return out, err
+}
+
+// WorkflowPEsByName calls GET /registry/{user}/workflow/pes/name/{name}.
+func (wc *WebClient) WorkflowPEsByName(user, name string) ([]core.PERecord, error) {
+	var out []core.PERecord
+	err := wc.doJSON(http.MethodGet, "/registry/"+url.PathEscape(user)+"/workflow/pes/name/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// RemoveWorkflowByID calls DELETE /registry/{user}/workflow/remove/id/{id}.
+func (wc *WebClient) RemoveWorkflowByID(user string, id int) error {
+	return wc.doJSON(http.MethodDelete, fmt.Sprintf("/registry/%s/workflow/remove/id/%d", url.PathEscape(user), id), nil, nil)
+}
+
+// RemoveWorkflowByName calls DELETE /registry/{user}/workflow/remove/name/{name}.
+func (wc *WebClient) RemoveWorkflowByName(user, name string) error {
+	return wc.doJSON(http.MethodDelete, "/registry/"+url.PathEscape(user)+"/workflow/remove/name/"+url.PathEscape(name), nil, nil)
+}
+
+// AssociatePE calls PUT /registry/{user}/workflow/{workflowId}/pe/{peId}.
+func (wc *WebClient) AssociatePE(user string, workflowID, peID int) error {
+	return wc.doJSON(http.MethodPut, fmt.Sprintf("/registry/%s/workflow/%d/pe/%d", url.PathEscape(user), workflowID, peID), nil, nil)
+}
+
+// RegistryAll calls GET /registry/{user}/all.
+func (wc *WebClient) RegistryAll(user string) (core.RegistryListing, error) {
+	var out core.RegistryListing
+	err := wc.doJSON(http.MethodGet, "/registry/"+url.PathEscape(user)+"/all", nil, &out)
+	return out, err
+}
+
+// Search calls POST /registry/{user}/search with the full request (the
+// GET path form of Table 3 is served too; the POST body carries
+// client-computed embeddings).
+func (wc *WebClient) Search(user string, req core.SearchRequest) (core.SearchResponse, error) {
+	var out core.SearchResponse
+	err := wc.doJSON(http.MethodPost, "/registry/"+url.PathEscape(user)+"/search", req, &out)
+	return out, err
+}
+
+// Run calls POST /execution/{user}/run.
+func (wc *WebClient) Run(user string, req core.ExecutionRequest) (core.ExecutionResponse, error) {
+	var out core.ExecutionResponse
+	err := wc.doJSON(http.MethodPost, "/execution/"+url.PathEscape(user)+"/run", req, &out)
+	return out, err
+}

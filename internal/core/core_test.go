@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestAPIErrorShape(t *testing.T) {
+	err := ErrNotFound("peId", "no PE with id %d", 42)
+	if err.Type != "NotFoundError" || err.Code != http.StatusNotFound || err.Param != "peId" {
+		t.Fatalf("error: %+v", err)
+	}
+	if !strings.Contains(err.Error(), "peId") || !strings.Contains(err.Error(), "42") {
+		t.Errorf("message: %s", err.Error())
+	}
+	if err.HTTPStatus() != 404 {
+		t.Errorf("status: %d", err.HTTPStatus())
+	}
+}
+
+func TestAPIErrorConstructors(t *testing.T) {
+	cases := []struct {
+		err    *APIError
+		typ    string
+		status int
+	}{
+		{ErrBadRequest("x", "bad"), "BadRequestError", 400},
+		{ErrUnauthorized("nope"), "UnauthorizedError", 401},
+		{ErrConflict("name", "dup"), "ConflictError", 409},
+		{ErrExecution("boom"), "ExecutionError", 422},
+		{ErrInternal("oops"), "InternalError", 500},
+	}
+	for _, c := range cases {
+		if c.err.Type != c.typ || c.err.HTTPStatus() != c.status {
+			t.Errorf("%+v: want %s/%d", c.err, c.typ, c.status)
+		}
+	}
+}
+
+func TestAPIErrorJSONFormat(t *testing.T) {
+	// the standardized JSON format of Section 3.2.5: type identification,
+	// error code, failed parameter, details
+	raw, err := json.Marshal(ErrBadRequest("process", "unknown mapping %q", "SPARK"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"type", "code", "param", "message"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON error missing %q: %s", key, raw)
+		}
+	}
+}
+
+func TestHTTPStatusClamping(t *testing.T) {
+	weird := &APIError{Type: "X", Code: 9999}
+	if weird.HTTPStatus() != http.StatusInternalServerError {
+		t.Errorf("status: %d", weird.HTTPStatus())
+	}
+}
+
+func TestRecordsSerializeCleanly(t *testing.T) {
+	pe := PERecord{PEID: 1, PEName: "X", PEImports: []string{"math"}, CodeEmbedding: []float32{0.5}}
+	raw, err := json.Marshal(pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"peId":1`) || !strings.Contains(string(raw), `"peName":"X"`) {
+		t.Errorf("PE json: %s", raw)
+	}
+	u := UserRecord{UserID: 2, UserName: "ann", PasswordHash: "secret"}
+	raw, err = json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "secret") {
+		t.Error("password hash must never serialize")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// APIError is the standardized JSON error format of Section 3.2.5:
+// every server-side failure carries a type identification, an error code,
+// the failed parameter and supplementary details.
+type APIError struct {
+	// Type identifies the error class (e.g. "NotFoundError").
+	Type string `json:"type"`
+	// Code is the numeric error code (mirrors the HTTP status).
+	Code int `json:"code"`
+	// Param names the request parameter that failed, when applicable.
+	Param string `json:"param,omitempty"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Details carries supplementary context.
+	Details string `json:"details,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.Param != "" {
+		return fmt.Sprintf("%s (%d) on %q: %s", e.Type, e.Code, e.Param, e.Message)
+	}
+	return fmt.Sprintf("%s (%d): %s", e.Type, e.Code, e.Message)
+}
+
+// HTTPStatus maps the error to an HTTP status code.
+func (e *APIError) HTTPStatus() int {
+	if e.Code >= 400 && e.Code < 600 {
+		return e.Code
+	}
+	return http.StatusInternalServerError
+}
+
+// Error constructors for the failure classes the server distinguishes.
+
+// ErrNotFound reports a missing entity.
+func ErrNotFound(param, format string, args ...any) *APIError {
+	return &APIError{Type: "NotFoundError", Code: http.StatusNotFound, Param: param, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrBadRequest reports an invalid request.
+func ErrBadRequest(param, format string, args ...any) *APIError {
+	return &APIError{Type: "BadRequestError", Code: http.StatusBadRequest, Param: param, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrUnauthorized reports failed authentication (invalid login credentials
+// are the canonical Section 3.2.5 example).
+func ErrUnauthorized(format string, args ...any) *APIError {
+	return &APIError{Type: "UnauthorizedError", Code: http.StatusUnauthorized, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrConflict reports duplicate registration attempts.
+func ErrConflict(param, format string, args ...any) *APIError {
+	return &APIError{Type: "ConflictError", Code: http.StatusConflict, Param: param, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrExecution reports a failure inside the execution engine.
+func ErrExecution(format string, args ...any) *APIError {
+	return &APIError{Type: "ExecutionError", Code: http.StatusUnprocessableEntity, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrInternal reports an unexpected server failure.
+func ErrInternal(format string, args ...any) *APIError {
+	return &APIError{Type: "InternalError", Code: http.StatusInternalServerError, Message: fmt.Sprintf(format, args...)}
+}

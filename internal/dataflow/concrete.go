@@ -1,0 +1,327 @@
+package dataflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// InstKey identifies one PE instance in a concrete workflow.
+type InstKey struct {
+	PE    string
+	Index int
+}
+
+// String renders the instance id as "PE#i".
+func (k InstKey) String() string { return fmt.Sprintf("%s#%d", k.PE, k.Index) }
+
+// Allocation maps each PE to its instance count under a process budget.
+// Mirrors dispel4py's division for parallel mappings: every source PE gets
+// exactly one instance; the remaining processes are divided evenly among the
+// non-source PEs (Fig. 1 of the paper: 3 PEs / 5 processes → 1 + 2 + 2).
+// Every PE always gets at least one instance.
+func Allocate(g *Graph, processes int) (map[string]int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	alloc := map[string]int{}
+	roots := map[string]bool{}
+	for _, r := range g.Roots() {
+		roots[r] = true
+	}
+	var workers []string
+	for _, n := range topo {
+		if roots[n] {
+			alloc[n] = 1
+		} else {
+			workers = append(workers, n)
+		}
+	}
+	if len(workers) == 0 {
+		return alloc, nil
+	}
+	remaining := processes - len(alloc)
+	if remaining < len(workers) {
+		remaining = len(workers) // at least one instance each
+	}
+	base := remaining / len(workers)
+	extra := remaining % len(workers)
+	// Give remainder to the earlier PEs: upstream stages gate the pipeline
+	// (the VO-fetch stage of the astrophysics workflow is the canonical
+	// bottleneck), so spare processes help most there.
+	for i, n := range workers {
+		alloc[n] = base
+		if i < extra {
+			alloc[n]++
+		}
+	}
+	return alloc, nil
+}
+
+// Plan is a concrete workflow: the DAG expanded into instances with routing.
+type Plan struct {
+	Graph     *Graph
+	Alloc     map[string]int
+	Instances []InstKey
+	// EOSExpected is, per destination instance, the number of EOS tokens it
+	// will receive: one from each source instance of each incoming edge.
+	EOSExpected map[InstKey]int
+	topo        []string
+}
+
+// NewPlan expands the abstract graph into a concrete workflow for the given
+// process budget.
+func NewPlan(g *Graph, processes int) (*Plan, error) {
+	alloc, err := Allocate(g, processes)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Graph: g, Alloc: alloc, EOSExpected: map[InstKey]int{}, topo: topo}
+	for _, name := range topo {
+		for i := 0; i < alloc[name]; i++ {
+			p.Instances = append(p.Instances, InstKey{PE: name, Index: i})
+		}
+	}
+	// Root PEs that have input ports consume externally injected initial
+	// inputs; the injector counts as one virtual upstream instance.
+	hasIn := map[string]bool{}
+	for _, e := range g.edges {
+		hasIn[e.To] = true
+	}
+	for _, name := range topo {
+		pe := g.pes[name]
+		if len(pe.Inputs()) > 0 && !hasIn[name] {
+			for i := 0; i < alloc[name]; i++ {
+				p.EOSExpected[InstKey{PE: name, Index: i}]++
+			}
+		}
+	}
+	// Each source instance sends one EOS per distinct (destination instance,
+	// destination port); destinations expect the matching total. Dedup per
+	// (dest, port) exactly as eosTargets does so the counts always agree.
+	for _, src := range topo {
+		srcN := alloc[src]
+		seen := map[InstKey]map[string]bool{}
+		for _, e := range g.outEdges(src) {
+			for i := 0; i < alloc[e.To]; i++ {
+				k := InstKey{PE: e.To, Index: i}
+				if seen[k] == nil {
+					seen[k] = map[string]bool{}
+				}
+				if seen[k][e.ToPort] {
+					continue
+				}
+				seen[k][e.ToPort] = true
+				p.EOSExpected[k] += srcN
+			}
+		}
+	}
+	return p, nil
+}
+
+// TotalInstances returns how many instances the plan schedules.
+func (p *Plan) TotalInstances() int { return len(p.Instances) }
+
+// Describe renders the concrete workflow like Fig. 1 of the paper: each PE
+// with its instance count.
+func (p *Plan) Describe() string {
+	out := fmt.Sprintf("concrete workflow for %q (%d instances):\n", p.Graph.Name(), len(p.Instances))
+	names := make([]string, 0, len(p.Alloc))
+	for _, n := range p.topo {
+		names = append(names, n)
+	}
+	for _, n := range names {
+		out += fmt.Sprintf("  %-20s x%d\n", n, p.Alloc[n])
+	}
+	for _, e := range p.Graph.Edges() {
+		grouping := p.Graph.inputGrouping(e.To, e.ToPort)
+		out += fmt.Sprintf("  %s.%s -> %s.%s [%s]\n", e.From, e.FromPort, e.To, e.ToPort, grouping.Kind)
+	}
+	return out
+}
+
+// ---- messages ----
+
+// msgKind distinguishes data from end-of-stream tokens.
+type msgKind int
+
+const (
+	msgData msgKind = iota
+	msgEOS
+)
+
+// message travels between instances.
+type message struct {
+	Kind msgKind `json:"kind"`
+	Port string  `json:"port,omitempty"`
+	// Value is the payload for data messages.
+	Value Value `json:"value,omitempty"`
+}
+
+// encodeMessage serializes a message for the Redis transport.
+func encodeMessage(m message) (string, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("dataflow: message not serializable for redis transport: %w", err)
+	}
+	return string(b), nil
+}
+
+// decodeMessage parses a Redis transport message.
+func decodeMessage(s string) (message, error) {
+	var m message
+	if err := json.Unmarshal([]byte(s), &m); err != nil {
+		return message{}, fmt.Errorf("dataflow: bad transport message: %w", err)
+	}
+	m.Value = normalizeJSON(m.Value)
+	return m, nil
+}
+
+// normalizeJSON converts float64-encoded integers back to int64 so values
+// survive the Redis transport the way they travel in memory.
+func normalizeJSON(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) && x >= -1e15 && x <= 1e15 {
+			return int64(x)
+		}
+		return x
+	case []any:
+		for i := range x {
+			x[i] = normalizeJSON(x[i])
+		}
+		return x
+	case map[string]any:
+		for k := range x {
+			x[k] = normalizeJSON(x[k])
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+// ---- routing ----
+
+// router selects destination instances for one sender instance. It keeps
+// per-edge round-robin counters, so each sender spreads data independently
+// (as dispel4py workers do).
+type router struct {
+	plan *Plan
+	self InstKey
+	rr   map[int]int // edge index → round-robin counter
+}
+
+func newRouter(p *Plan, self InstKey) *router {
+	return &router{plan: p, self: self, rr: map[int]int{}}
+}
+
+// destinations returns the destination instances for a value emitted on the
+// given output port. An empty slice means the port is unconnected (the value
+// belongs to the result sink).
+func (r *router) destinations(port string, v Value) []instTarget {
+	var out []instTarget
+	for ei, e := range r.plan.Graph.edges {
+		if e.From != r.self.PE || e.FromPort != port {
+			continue
+		}
+		n := r.plan.Alloc[e.To]
+		grouping := r.plan.Graph.inputGrouping(e.To, e.ToPort)
+		switch grouping.Kind {
+		case GroupAll:
+			for i := 0; i < n; i++ {
+				out = append(out, instTarget{Key: InstKey{PE: e.To, Index: i}, Port: e.ToPort})
+			}
+		case GroupByKey:
+			idx := int(groupHash(v, grouping.Keys) % uint64(n))
+			out = append(out, instTarget{Key: InstKey{PE: e.To, Index: idx}, Port: e.ToPort})
+		case GroupOneToOne:
+			out = append(out, instTarget{Key: InstKey{PE: e.To, Index: r.self.Index % n}, Port: e.ToPort})
+		default: // shuffle
+			i := r.rr[ei] % n
+			r.rr[ei]++
+			out = append(out, instTarget{Key: InstKey{PE: e.To, Index: i}, Port: e.ToPort})
+		}
+	}
+	return out
+}
+
+// eosTargets lists every downstream instance that must learn this sender
+// finished (all instances of all outgoing edges).
+func (r *router) eosTargets() []instTarget {
+	var out []instTarget
+	seen := map[InstKey]map[string]bool{}
+	for _, e := range r.plan.Graph.outEdges(r.self.PE) {
+		for i := 0; i < r.plan.Alloc[e.To]; i++ {
+			k := InstKey{PE: e.To, Index: i}
+			if seen[k] == nil {
+				seen[k] = map[string]bool{}
+			}
+			if seen[k][e.ToPort] {
+				continue
+			}
+			seen[k][e.ToPort] = true
+			out = append(out, instTarget{Key: k, Port: e.ToPort})
+		}
+	}
+	// Deterministic order.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.PE != out[j].Key.PE {
+			return out[i].Key.PE < out[j].Key.PE
+		}
+		if out[i].Key.Index != out[j].Key.Index {
+			return out[i].Key.Index < out[j].Key.Index
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// instTarget is a (destination instance, destination port) pair.
+type instTarget struct {
+	Key  InstKey
+	Port string
+}
+
+// groupHash hashes the grouping-key elements of a value. Values shaped as
+// sequences use the elements at the key indices; scalars hash whole.
+func groupHash(v Value, keys []int) uint64 {
+	h := fnv.New64a()
+	writeVal := func(x any) {
+		b, err := json.Marshal(x)
+		if err != nil {
+			fmt.Fprintf(h, "%v", x)
+			return
+		}
+		h.Write(b)
+	}
+	seq, ok := asSequence(v)
+	if !ok || len(keys) == 0 {
+		writeVal(v)
+		return h.Sum64()
+	}
+	for _, k := range keys {
+		if k >= 0 && k < len(seq) {
+			writeVal(seq[k])
+		}
+	}
+	return h.Sum64()
+}
+
+func asSequence(v Value) ([]any, bool) {
+	switch x := v.(type) {
+	case []any:
+		return x, true
+	default:
+		return nil, false
+	}
+}

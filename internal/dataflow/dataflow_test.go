@@ -1,0 +1,466 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// numbersGraph builds the Fig. 1 pipeline: NumberProducer → IsPrime →
+// collector. The producer emits deterministic sequential numbers so every
+// mapping yields the same multiset.
+func numbersGraph(t *testing.T) *Graph {
+	t.Helper()
+	var ctr int64
+	prod := Producer("NumberProducer", func(ctx *Context) (Value, error) {
+		n := atomic.AddInt64(&ctr, 1)
+		return n, nil
+	})
+	isPrime := Iterative("IsPrime", func(ctx *Context, v Value) (Value, error) {
+		n, ok := v.(int64)
+		if !ok {
+			return nil, fmt.Errorf("want int64, got %T", v)
+		}
+		if n < 2 {
+			return nil, nil
+		}
+		for i := int64(2); i*i <= n; i++ {
+			if n%i == 0 {
+				return nil, nil
+			}
+		}
+		return n, nil
+	})
+	printer := Iterative("PrintPrime", func(ctx *Context, v Value) (Value, error) {
+		ctx.Printf("the num %v is prime\n", v)
+		return v, nil // emit on the unconnected port → result sink
+	})
+	g := NewGraph("IsPrime")
+	if err := g.Connect(prod, DefaultOutput, isPrime, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(isPrime, DefaultOutput, printer, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func collectInt64s(res *Result, key string) []int64 {
+	var out []int64
+	for _, v := range res.Outputs(key) {
+		switch n := v.(type) {
+		case int64:
+			out = append(out, n)
+		case float64:
+			out = append(out, int64(n))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+var primesTo30 = []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+
+func TestSimpleMappingIsPrime(t *testing.T) {
+	g := numbersGraph(t)
+	res, err := Run(g, Options{Mapping: MappingSimple, Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectInt64s(res, "PrintPrime.output")
+	if fmt.Sprint(got) != fmt.Sprint(primesTo30) {
+		t.Fatalf("got %v want %v", got, primesTo30)
+	}
+	if !strings.Contains(res.StdoutText, "the num 7 is prime") {
+		t.Errorf("stdout missing print output: %q", res.StdoutText)
+	}
+	if res.Processed("NumberProducer") != 30 {
+		t.Errorf("producer processed %d", res.Processed("NumberProducer"))
+	}
+}
+
+func TestAllMappingsProduceSameOutputs(t *testing.T) {
+	mappings := []Mapping{MappingSimple, MappingMulti, MappingMPI, MappingRedis}
+	want := fmt.Sprint(primesTo30)
+	for _, m := range mappings {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			g := numbersGraph(t)
+			res, err := Run(g, Options{Mapping: m, Iterations: 30, Processes: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collectInt64s(res, "PrintPrime.output")
+			if fmt.Sprint(got) != want {
+				t.Fatalf("%s: got %v want %v", m, got, want)
+			}
+		})
+	}
+}
+
+func TestAllocationMatchesFig1(t *testing.T) {
+	// Fig. 1: 3 PEs, 5 processes → producer 1 instance, PE2 and PE3 two each.
+	g := numbersGraph(t)
+	alloc, err := Allocate(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc["NumberProducer"] != 1 || alloc["IsPrime"] != 2 || alloc["PrintPrime"] != 2 {
+		t.Fatalf("alloc = %v, want 1/2/2", alloc)
+	}
+}
+
+func TestAllocationAlwaysCoversEachPE(t *testing.T) {
+	g := numbersGraph(t)
+	for _, procs := range []int{0, 1, 2, 3, 17} {
+		alloc, err := Allocate(g, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for name, n := range alloc {
+			if n < 1 {
+				t.Errorf("procs=%d: PE %s got %d instances", procs, name, n)
+			}
+			total += n
+		}
+		if procs > 3 && total != procs {
+			t.Errorf("procs=%d: allocated %d instances", procs, total)
+		}
+	}
+}
+
+func TestGroupByRoutesSameKeyToSameInstance(t *testing.T) {
+	// A stateful word count (Listing 2). Words are emitted repeatedly; with
+	// group-by on element 0, every occurrence of a word must reach the same
+	// instance so per-instance counts equal global counts.
+	words := []string{"stream", "data", "flow", "stream", "data", "stream"}
+	var idx int64 = -1
+	prod := Producer("WordProducer", func(ctx *Context) (Value, error) {
+		i := atomic.AddInt64(&idx, 1)
+		return []any{words[i%int64(len(words))], int64(1)}, nil
+	})
+	counter := Generic("CountWords",
+		[]Port{{Name: "input", Grouping: Grouping{Kind: GroupByKey, Keys: []int{0}}}},
+		[]string{"output"},
+		func() (func(ctx *Context, input map[string]Value) error, func(ctx *Context) error) {
+			counts := map[string]int64{}
+			process := func(ctx *Context, input map[string]Value) error {
+				rec := input["input"].([]any)
+				word := rec[0].(string)
+				counts[word] += rec[1].(int64)
+				return nil
+			}
+			finish := func(ctx *Context) error {
+				for w, c := range counts {
+					if err := ctx.Write("output", []any{w, c}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return process, finish
+		})
+	for _, m := range []Mapping{MappingSimple, MappingMulti, MappingMPI, MappingRedis} {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			g := NewGraph("WordCount")
+			if err := g.Connect(prod, "output", counter, "input"); err != nil {
+				t.Fatal(err)
+			}
+			atomic.StoreInt64(&idx, -1)
+			res, err := Run(g, Options{Mapping: m, Iterations: 12, Processes: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]int64{}
+			for _, v := range res.Outputs("CountWords.output") {
+				rec := v.([]any)
+				got[rec[0].(string)] += rec[1].(int64)
+			}
+			want := map[string]int64{"stream": 6, "data": 4, "flow": 2}
+			for w, c := range want {
+				if got[w] != c {
+					t.Errorf("%s: count[%s] = %d, want %d (all: %v)", m, w, got[w], c, got)
+				}
+			}
+		})
+	}
+}
+
+func TestGroupAllBroadcasts(t *testing.T) {
+	prod := Producer("P", func(ctx *Context) (Value, error) { return int64(1), nil })
+	var received int64
+	sink := &FuncPE{
+		name:   "Sink",
+		inputs: []Port{{Name: "input", Grouping: Grouping{Kind: GroupAll}}},
+		factory: func() (Instance, error) {
+			return &funcInstance{process: func(ctx *Context, input map[string]Value) error {
+				atomic.AddInt64(&received, 1)
+				return nil
+			}}, nil
+		},
+	}
+	g := NewGraph("Broadcast")
+	if err := g.Connect(prod, "output", sink, "input"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Options{Mapping: MappingMulti, Iterations: 10, Processes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Alloc["Sink"]
+	if n < 2 {
+		t.Fatalf("want ≥2 sink instances, got %d", n)
+	}
+	if got := atomic.LoadInt64(&received); got != int64(10*n) {
+		t.Fatalf("broadcast delivered %d, want %d", got, 10*n)
+	}
+}
+
+func TestInitialInputsInjection(t *testing.T) {
+	// The astrophysics pattern: a root PE with an input port receives
+	// initial records (file names) from run options.
+	reader := Iterative("ReadFile", func(ctx *Context, v Value) (Value, error) {
+		return "content:" + v.(string), nil
+	})
+	g := NewGraph("Inject")
+	if err := g.Add(reader); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Mapping{MappingSimple, MappingMulti, MappingMPI, MappingRedis} {
+		res, err := Run(g, Options{
+			Mapping:       m,
+			InitialInputs: []map[string]Value{{"input": "a.txt"}, {"input": "b.txt"}},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		vals := res.Outputs("ReadFile.output")
+		if len(vals) != 2 {
+			t.Fatalf("%s: got %v", m, vals)
+		}
+		joined := fmt.Sprint(vals)
+		if !strings.Contains(joined, "content:a.txt") || !strings.Contains(joined, "content:b.txt") {
+			t.Fatalf("%s: got %v", m, vals)
+		}
+	}
+}
+
+func TestStatefulInstancesAreIndependent(t *testing.T) {
+	// Each instance of a stateful PE gets fresh state from NewInstance.
+	prod := Producer("P", func(ctx *Context) (Value, error) { return int64(1), nil })
+	stateful := Generic("Acc", []Port{{Name: "input"}}, []string{"output"},
+		func() (func(ctx *Context, input map[string]Value) error, func(ctx *Context) error) {
+			total := int64(0)
+			return func(ctx *Context, input map[string]Value) error {
+					total += input["input"].(int64)
+					return nil
+				}, func(ctx *Context) error {
+					return ctx.Write("output", total)
+				}
+		})
+	g := NewGraph("State")
+	if err := g.Connect(prod, "output", stateful, "input"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Options{Mapping: MappingMulti, Iterations: 20, Processes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := res.Outputs("Acc.output")
+	if len(totals) != res.Alloc["Acc"] {
+		t.Fatalf("want one total per instance, got %v (alloc %d)", totals, res.Alloc["Acc"])
+	}
+	var sum int64
+	for _, v := range totals {
+		sum += v.(int64)
+	}
+	if sum != 20 {
+		t.Fatalf("instance totals sum to %d, want 20 (%v)", sum, totals)
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	a := Producer("A", func(ctx *Context) (Value, error) { return 1, nil })
+	b := Iterative("B", func(ctx *Context, v Value) (Value, error) { return v, nil })
+
+	g := NewGraph("bad-port")
+	if err := g.Connect(a, "nosuch", b, "input"); err == nil {
+		t.Error("expected error for bad output port")
+	}
+	if err := g.Connect(a, "output", b, "nosuch"); err == nil {
+		t.Error("expected error for bad input port")
+	}
+
+	empty := NewGraph("empty")
+	if err := empty.Validate(); err == nil {
+		t.Error("expected error for empty graph")
+	}
+
+	dup := NewGraph("dup")
+	a2 := Producer("A", func(ctx *Context) (Value, error) { return 2, nil })
+	if err := dup.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dup.Add(a2); err == nil {
+		t.Error("expected error for duplicate PE name")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	b := Iterative("B", func(ctx *Context, v Value) (Value, error) { return v, nil })
+	c := Iterative("C", func(ctx *Context, v Value) (Value, error) { return v, nil })
+	g := NewGraph("cycle")
+	if err := g.Connect(b, "output", c, "input"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(c, "output", b, "input"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("expected cycle error")
+	}
+	if _, err := Run(g, Options{}); err == nil {
+		t.Error("run should refuse cyclic workflows")
+	}
+}
+
+func TestInitialPEDetection(t *testing.T) {
+	g := numbersGraph(t)
+	pe, err := g.InitialPE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Name() != "NumberProducer" {
+		t.Errorf("initial PE = %s", pe.Name())
+	}
+}
+
+func TestProcessErrorPropagates(t *testing.T) {
+	prod := Producer("Boom", func(ctx *Context) (Value, error) {
+		return nil, fmt.Errorf("synthetic failure")
+	})
+	g := NewGraph("err")
+	if err := g.Add(prod); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Mapping{MappingSimple, MappingMulti, MappingMPI} {
+		_, err := Run(g, Options{Mapping: m, Iterations: 1})
+		if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+			t.Errorf("%s: error = %v", m, err)
+		}
+	}
+}
+
+func TestWriteToUnknownPortFails(t *testing.T) {
+	bad := Producer("Bad", func(ctx *Context) (Value, error) { return nil, ctx.Write("wrong", 1) })
+	g := NewGraph("badport")
+	if err := g.Add(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, Options{Mapping: MappingSimple}); err == nil {
+		t.Error("expected error writing to unknown port")
+	}
+}
+
+func TestParseMapping(t *testing.T) {
+	for in, want := range map[string]Mapping{
+		"simple": MappingSimple, "SIMPLE": MappingSimple, "": MappingSimple,
+		"multi": MappingMulti, "mpi": MappingMPI, "redis": MappingRedis,
+	} {
+		got, err := ParseMapping(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMapping(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseMapping("spark"); err == nil {
+		t.Error("expected error for unknown mapping")
+	}
+}
+
+func TestPlanDescribe(t *testing.T) {
+	g := numbersGraph(t)
+	plan, err := NewPlan(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := plan.Describe()
+	for _, want := range []string{"NumberProducer", "x1", "x2", "IsPrime", "shuffle"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe missing %q:\n%s", want, desc)
+		}
+	}
+	if plan.TotalInstances() != 5 {
+		t.Errorf("total instances = %d", plan.TotalInstances())
+	}
+}
+
+func TestFanOutFanIn(t *testing.T) {
+	// One producer feeding two parallel branches that merge into one sink:
+	// diamond topology exercises multi-port EOS accounting.
+	prod := Producer("Src", func(ctx *Context) (Value, error) { return int64(2), nil })
+	double := Iterative("Double", func(ctx *Context, v Value) (Value, error) {
+		return v.(int64) * 2, nil
+	})
+	square := Iterative("Square", func(ctx *Context, v Value) (Value, error) {
+		return v.(int64) * v.(int64), nil
+	})
+	sink := Generic("Merge", []Port{{Name: "a"}, {Name: "b"}}, []string{"output"},
+		func() (func(ctx *Context, input map[string]Value) error, func(ctx *Context) error) {
+			sum := int64(0)
+			return func(ctx *Context, input map[string]Value) error {
+					if v, ok := input["a"]; ok {
+						sum += v.(int64)
+					}
+					if v, ok := input["b"]; ok {
+						sum += v.(int64)
+					}
+					return nil
+				}, func(ctx *Context) error {
+					return ctx.Write("output", sum)
+				}
+		})
+	for _, m := range []Mapping{MappingSimple, MappingMulti, MappingMPI, MappingRedis} {
+		g := NewGraph("Diamond")
+		if err := g.Connect(prod, "output", double, "input"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect(prod, "output", square, "input"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect(double, "output", sink, "a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect(square, "output", sink, "b"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(g, Options{Mapping: m, Iterations: 10, Processes: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		var total int64
+		for _, v := range res.Outputs("Merge.output") {
+			total += v.(int64)
+		}
+		// Each iteration: produce 2 → branch A doubles (4), branch B squares
+		// (4): every record reaches both branches (fan-out duplicates).
+		if total != 10*(4+4) {
+			t.Fatalf("%s: total = %d, want 80", m, total)
+		}
+	}
+}
+
+func TestResultSummary(t *testing.T) {
+	g := numbersGraph(t)
+	res, err := Run(g, Options{Mapping: MappingSimple, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	if !strings.Contains(s, "mapping=SIMPLE") || !strings.Contains(s, "NumberProducer") {
+		t.Errorf("summary: %s", s)
+	}
+}

@@ -1,0 +1,117 @@
+package dataflow
+
+import (
+	"fmt"
+	"io"
+)
+
+// sendFunc delivers a message to a destination instance.
+type sendFunc func(dest InstKey, m message) error
+
+// recvFunc blocks until the next message for this instance arrives.
+type recvFunc func() (message, error)
+
+// driveInstance runs the full lifecycle of one PE instance: init, the data
+// loop (or producer iterations), finish, and EOS fan-out. It is the shared
+// core of the Multi, MPI and Redis mappings — they differ only in transport.
+func driveInstance(p *Plan, key InstKey, opts Options, res *Result, stdout io.Writer,
+	recv recvFunc, send sendFunc) error {
+	pe, ok := p.Graph.PE(key.PE)
+	if !ok {
+		return fmt.Errorf("dataflow: unknown PE %q", key.PE)
+	}
+	inst, err := pe.NewInstance()
+	if err != nil {
+		return fmt.Errorf("dataflow: creating instance %s: %w", key, err)
+	}
+	rt := newRouter(p, key)
+	ctx := &Context{
+		peName:    key.PE,
+		index:     key.Index,
+		instances: p.Alloc[key.PE],
+		stdout:    stdout,
+		args:      opts.Args,
+	}
+	ctx.write = func(port string, v Value) error {
+		if !containsStr(pe.Outputs(), port) {
+			return fmt.Errorf("dataflow: PE %q has no output port %q", key.PE, port)
+		}
+		dests := rt.destinations(port, v)
+		if len(dests) == 0 {
+			res.sink(key.PE, port, v)
+			return nil
+		}
+		for _, d := range dests {
+			if err := send(d.Key, message{Kind: msgData, Port: d.Port, Value: v}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if init, ok := inst.(Initer); ok {
+		if err := init.Init(ctx); err != nil {
+			return fmt.Errorf("dataflow: %s init: %w", key, err)
+		}
+	}
+
+	if isSource(pe) {
+		for i := 0; i < opts.Iterations; i++ {
+			if err := inst.Process(ctx, nil); err != nil {
+				return fmt.Errorf("dataflow: %s process: %w", key, err)
+			}
+			res.countProcessed(key.PE)
+		}
+	} else {
+		remaining := p.EOSExpected[key]
+		for remaining > 0 {
+			m, err := recv()
+			if err != nil {
+				return fmt.Errorf("dataflow: %s recv: %w", key, err)
+			}
+			if m.Kind == msgEOS {
+				remaining--
+				continue
+			}
+			if err := inst.Process(ctx, map[string]Value{m.Port: m.Value}); err != nil {
+				return fmt.Errorf("dataflow: %s process: %w", key, err)
+			}
+			res.countProcessed(key.PE)
+		}
+	}
+
+	if fin, ok := inst.(Finisher); ok {
+		if err := fin.Finish(ctx); err != nil {
+			return fmt.Errorf("dataflow: %s finish: %w", key, err)
+		}
+	}
+	for _, t := range rt.eosTargets() {
+		if err := send(t.Key, message{Kind: msgEOS, Port: t.Port}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// injectInitialInputs pre-delivers Options.InitialInputs (plus the closing
+// EOS from the virtual injector) to root PEs that consume inputs.
+func injectInitialInputs(p *Plan, opts Options, send sendFunc) error {
+	for _, pe := range p.Graph.PEs() {
+		if !needsInjection(p.Graph, pe) {
+			continue
+		}
+		byInst := initialInputMessages(p, pe.Name(), opts.InitialInputs)
+		for i := 0; i < p.Alloc[pe.Name()]; i++ {
+			k := InstKey{PE: pe.Name(), Index: i}
+			for _, m := range byInst[k] {
+				if err := send(k, m); err != nil {
+					return err
+				}
+			}
+			if err := send(k, message{Kind: msgEOS}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

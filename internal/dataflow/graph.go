@@ -1,0 +1,220 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed connection between two PE ports.
+type Edge struct {
+	From     string // source PE name
+	FromPort string
+	To       string // destination PE name
+	ToPort   string
+}
+
+// Graph is an abstract workflow: PEs and the connections between their
+// ports. This is what users describe; the concrete (parallel) workflow is
+// derived at enactment time.
+type Graph struct {
+	name  string
+	pes   map[string]PE
+	order []string // insertion order for determinism
+	edges []Edge
+}
+
+// NewGraph creates an empty workflow graph.
+func NewGraph(name string) *Graph {
+	return &Graph{name: name, pes: map[string]PE{}}
+}
+
+// Name returns the workflow name.
+func (g *Graph) Name() string { return g.name }
+
+// Add registers a PE without connecting it (single-PE workflows).
+func (g *Graph) Add(pe PE) error {
+	if pe == nil {
+		return fmt.Errorf("dataflow: nil PE")
+	}
+	if existing, ok := g.pes[pe.Name()]; ok {
+		if existing != pe {
+			return fmt.Errorf("dataflow: duplicate PE name %q", pe.Name())
+		}
+		return nil
+	}
+	g.pes[pe.Name()] = pe
+	g.order = append(g.order, pe.Name())
+	return nil
+}
+
+// Connect wires from.fromPort → to.toPort, adding the PEs if needed.
+func (g *Graph) Connect(from PE, fromPort string, to PE, toPort string) error {
+	if err := g.Add(from); err != nil {
+		return err
+	}
+	if err := g.Add(to); err != nil {
+		return err
+	}
+	if !containsStr(from.Outputs(), fromPort) {
+		return fmt.Errorf("dataflow: PE %q has no output port %q (has %v)", from.Name(), fromPort, from.Outputs())
+	}
+	found := false
+	for _, p := range to.Inputs() {
+		if p.Name == toPort {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("dataflow: PE %q has no input port %q", to.Name(), toPort)
+	}
+	g.edges = append(g.edges, Edge{From: from.Name(), FromPort: fromPort, To: to.Name(), ToPort: toPort})
+	return nil
+}
+
+// PEs returns the PEs in insertion order.
+func (g *Graph) PEs() []PE {
+	out := make([]PE, 0, len(g.order))
+	for _, n := range g.order {
+		out = append(out, g.pes[n])
+	}
+	return out
+}
+
+// PE looks up a PE by name.
+func (g *Graph) PE(name string) (PE, bool) {
+	pe, ok := g.pes[name]
+	return pe, ok
+}
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge { return append([]Edge(nil), g.edges...) }
+
+// Roots returns names of PEs with no incoming edges, in insertion order.
+// The Execution Engine uses this to autonomously identify the initial PE of
+// a workflow (Section 3.3 of the paper).
+func (g *Graph) Roots() []string {
+	hasIn := map[string]bool{}
+	for _, e := range g.edges {
+		hasIn[e.To] = true
+	}
+	var roots []string
+	for _, n := range g.order {
+		if !hasIn[n] {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// InitialPE returns the single entry PE of the workflow, or an error when
+// the workflow has no or several roots.
+func (g *Graph) InitialPE() (PE, error) {
+	roots := g.Roots()
+	switch len(roots) {
+	case 0:
+		return nil, fmt.Errorf("dataflow: workflow %q has no initial PE (cycle?)", g.name)
+	case 1:
+		return g.pes[roots[0]], nil
+	default:
+		return nil, fmt.Errorf("dataflow: workflow %q has %d roots: %v", g.name, len(roots), roots)
+	}
+}
+
+// Validate checks that the graph is a non-empty DAG with valid connections.
+func (g *Graph) Validate() error {
+	if len(g.order) == 0 {
+		return fmt.Errorf("dataflow: workflow %q is empty", g.name)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns PE names in a deterministic topological order, failing
+// on cycles.
+func (g *Graph) TopoOrder() ([]string, error) {
+	indeg := map[string]int{}
+	adj := map[string][]string{}
+	for _, n := range g.order {
+		indeg[n] = 0
+	}
+	for _, e := range g.edges {
+		indeg[e.To]++
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	// Kahn's algorithm with sorted frontier for determinism.
+	var frontier []string
+	for _, n := range g.order {
+		if indeg[n] == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	var out []string
+	for len(frontier) > 0 {
+		sort.Strings(frontier)
+		n := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, n)
+		seen := map[string]bool{}
+		for _, m := range adj[n] {
+			if seen[m] {
+				continue // parallel edges count once per edge for indegree
+			}
+			indeg[m]--
+			if indeg[m] == 0 {
+				frontier = append(frontier, m)
+			}
+		}
+	}
+	if len(out) != len(g.order) {
+		return nil, fmt.Errorf("dataflow: workflow %q contains a cycle", g.name)
+	}
+	return out, nil
+}
+
+// inEdges returns edges arriving at PE name.
+func (g *Graph) inEdges(name string) []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		if e.To == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// outEdges returns edges leaving PE name.
+func (g *Graph) outEdges(name string) []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		if e.From == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// inputGrouping finds the grouping declared on a PE's input port.
+func (g *Graph) inputGrouping(peName, port string) Grouping {
+	pe, ok := g.pes[peName]
+	if !ok {
+		return Grouping{}
+	}
+	for _, p := range pe.Inputs() {
+		if p.Name == port {
+			return p.Grouping
+		}
+	}
+	return Grouping{}
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package dataflow
+
+import (
+	"fmt"
+	"io"
+
+	"laminar/internal/mpi"
+)
+
+// dataTag carries workflow messages over the simulated MPI world.
+const dataTag = 1
+
+// runMPI enacts the workflow over the simulated MPI substrate: each PE
+// instance is pinned to a rank (rank = position in the concrete plan's
+// instance list, as dispel4py's MPI mapping assigns processes), and all data
+// and EOS traffic travels as point-to-point messages.
+func runMPI(p *Plan, opts Options, res *Result, stdout io.Writer) error {
+	n := len(p.Instances)
+	world, err := mpi.NewWorld(n)
+	if err != nil {
+		return err
+	}
+	rankOf := make(map[InstKey]int, n)
+	for i, k := range p.Instances {
+		rankOf[k] = i
+	}
+
+	// Initial inputs are delivered by rank 0 before it starts its own
+	// instance; buffer them here and send inside the rank-0 body so sends
+	// happen on a live world.
+	type pending struct {
+		dest InstKey
+		m    message
+	}
+	var injected []pending
+	collect := func(dest InstKey, m message) error {
+		injected = append(injected, pending{dest, m})
+		return nil
+	}
+	if err := injectInitialInputs(p, opts, collect); err != nil {
+		return err
+	}
+
+	return world.Run(func(c *mpi.Comm) error {
+		key := p.Instances[c.Rank()]
+		send := func(dest InstKey, m message) error {
+			r, ok := rankOf[dest]
+			if !ok {
+				return fmt.Errorf("dataflow: mpi mapping: unknown destination %s", dest)
+			}
+			return c.Send(r, dataTag, m)
+		}
+		if c.Rank() == 0 {
+			for _, pnd := range injected {
+				if err := send(pnd.dest, pnd.m); err != nil {
+					return err
+				}
+			}
+		}
+		recv := func() (message, error) {
+			m, err := c.Recv(mpi.AnySource, dataTag)
+			if err != nil {
+				return message{}, err
+			}
+			msg, ok := m.Data.(message)
+			if !ok {
+				return message{}, fmt.Errorf("dataflow: mpi mapping: bad payload %T", m.Data)
+			}
+			return msg, nil
+		}
+		return driveInstance(p, key, opts, res, stdout, recv, send)
+	})
+}

@@ -1,0 +1,60 @@
+package dataflow
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// multiQueueCap bounds each instance's mailbox; senders block when a
+// downstream instance lags, giving natural backpressure (the DAG guarantees
+// this cannot deadlock).
+const multiQueueCap = 1024
+
+// runMulti enacts the workflow with one goroutine per PE instance and
+// buffered channels as the transport — the Go analogue of dispel4py's Multi
+// (multiprocessing) mapping shown in Fig. 1.
+func runMulti(p *Plan, opts Options, res *Result, stdout io.Writer) error {
+	chans := make(map[InstKey]chan message, len(p.Instances))
+	for _, k := range p.Instances {
+		chans[k] = make(chan message, multiQueueCap)
+	}
+	send := func(dest InstKey, m message) error {
+		ch, ok := chans[dest]
+		if !ok {
+			return fmt.Errorf("dataflow: multi mapping: unknown destination %s", dest)
+		}
+		ch <- m
+		return nil
+	}
+	if err := injectInitialInputs(p, opts, send); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(p.Instances))
+	for _, k := range p.Instances {
+		key := k
+		in := chans[key]
+		recv := func() (message, error) {
+			m, ok := <-in
+			if !ok {
+				return message{}, fmt.Errorf("dataflow: multi mapping: channel closed for %s", key)
+			}
+			return m, nil
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := driveInstance(p, key, opts, res, stdout, recv, send); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,266 @@
+// Package dataflow is a from-scratch Go implementation of the dispel4py
+// parallel stream-based dataflow model that Laminar builds on: Processing
+// Elements (PEs) connected into abstract workflow graphs, expanded at
+// enactment time into concrete parallel workflows, and executed under one of
+// four mappings — Simple (sequential), Multi (goroutine per instance), MPI
+// (simulated ranks, internal/mpi) and Redis (work queues on the mini Redis
+// server, internal/redisserver).
+package dataflow
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Value is a unit of stream data. Values crossing the Redis mapping must be
+// JSON-serializable (nil, bool, int64, float64, string, []any,
+// map[string]any); the in-memory mappings carry any Go value.
+type Value = any
+
+// GroupKind selects how an input port distributes data among PE instances.
+type GroupKind int
+
+const (
+	// GroupShuffle distributes round-robin (the default).
+	GroupShuffle GroupKind = iota
+	// GroupByKey routes records with equal key elements to the same
+	// instance (the MapReduce-style group-by of Listing 2).
+	GroupByKey
+	// GroupAll broadcasts every record to all instances.
+	GroupAll
+	// GroupOneToOne routes from instance i to instance i.
+	GroupOneToOne
+)
+
+// String names the grouping for diagnostics.
+func (k GroupKind) String() string {
+	switch k {
+	case GroupShuffle:
+		return "shuffle"
+	case GroupByKey:
+		return "group-by"
+	case GroupAll:
+		return "all"
+	case GroupOneToOne:
+		return "one-to-one"
+	default:
+		return fmt.Sprintf("GroupKind(%d)", int(k))
+	}
+}
+
+// Grouping is an input port's distribution policy.
+type Grouping struct {
+	Kind GroupKind
+	Keys []int // tuple indices for GroupByKey
+}
+
+// Port is a named input port with its grouping.
+type Port struct {
+	Name     string
+	Grouping Grouping
+}
+
+// PE is a Processing Element prototype: the modular computational unit of a
+// Laminar workflow (the serverless analogue of a function). A PE describes
+// its ports; NewInstance creates per-instance state so a PE can be scaled to
+// several parallel instances, each with independent state.
+type PE interface {
+	// Name is the PE's class name, unique within a graph.
+	Name() string
+	// Inputs lists input ports (empty for producers).
+	Inputs() []Port
+	// Outputs lists output port names.
+	Outputs() []string
+	// NewInstance allocates the per-instance processing state.
+	NewInstance() (Instance, error)
+}
+
+// Instance is one parallel copy of a PE.
+type Instance interface {
+	// Process handles one unit of data. For producer PEs (no inputs) it is
+	// invoked once per iteration with a nil input map. Emissions go through
+	// ctx.Write; as in dispel4py, a PE with exactly one output can simply
+	// return the value via ctx.Write in its body.
+	Process(ctx *Context, input map[string]Value) error
+}
+
+// Initer is implemented by instances needing startup logic.
+type Initer interface {
+	Init(ctx *Context) error
+}
+
+// Finisher is implemented by instances that flush state at end of stream
+// (e.g. emitting aggregates).
+type Finisher interface {
+	Finish(ctx *Context) error
+}
+
+// Context is the per-instance execution context handed to Process.
+type Context struct {
+	peName    string
+	index     int // instance index within the PE
+	instances int // number of instances of this PE
+	stdout    io.Writer
+	args      map[string]Value
+	write     func(port string, v Value) error
+}
+
+// PEName returns the owning PE's name.
+func (c *Context) PEName() string { return c.peName }
+
+// InstanceIndex returns this instance's index (0-based).
+func (c *Context) InstanceIndex() int { return c.index }
+
+// NumInstances returns how many instances of this PE are running.
+func (c *Context) NumInstances() int { return c.instances }
+
+// Args returns the workflow arguments passed at run time.
+func (c *Context) Args() map[string]Value { return c.args }
+
+// Stdout is where PE print-style output goes (synchronized across
+// instances).
+func (c *Context) Stdout() io.Writer { return c.stdout }
+
+// Printf writes formatted output to the workflow stdout.
+func (c *Context) Printf(format string, args ...any) {
+	fmt.Fprintf(c.stdout, format, args...)
+}
+
+// Write emits a value on an output port. Writing to a port with no outgoing
+// connection delivers the value to the workflow result sink.
+func (c *Context) Write(port string, v Value) error {
+	if c.write == nil {
+		return fmt.Errorf("dataflow: write outside execution for PE %s", c.peName)
+	}
+	return c.write(port, v)
+}
+
+// syncWriter serializes writes from concurrent instances.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// ---- Go-native PE helpers (the ProducerPE / IterativePE / ConsumerPE /
+// GenericPE taxonomy of dispel4py) ----
+
+// DefaultOutput is the conventional single output port name.
+const DefaultOutput = "output"
+
+// DefaultInput is the conventional single input port name.
+const DefaultInput = "input"
+
+// FuncPE is a PE built from Go functions. Use the constructors below.
+type FuncPE struct {
+	name    string
+	inputs  []Port
+	outputs []string
+	factory func() (Instance, error)
+}
+
+// Name implements PE.
+func (p *FuncPE) Name() string { return p.name }
+
+// Inputs implements PE.
+func (p *FuncPE) Inputs() []Port { return p.inputs }
+
+// Outputs implements PE.
+func (p *FuncPE) Outputs() []string { return p.outputs }
+
+// NewInstance implements PE.
+func (p *FuncPE) NewInstance() (Instance, error) { return p.factory() }
+
+type funcInstance struct {
+	process func(ctx *Context, input map[string]Value) error
+	finish  func(ctx *Context) error
+}
+
+func (fi *funcInstance) Process(ctx *Context, input map[string]Value) error {
+	return fi.process(ctx, input)
+}
+
+func (fi *funcInstance) Finish(ctx *Context) error {
+	if fi.finish == nil {
+		return nil
+	}
+	return fi.finish(ctx)
+}
+
+// Producer builds a stateless source PE with one output port. fn is invoked
+// once per iteration; returning a non-nil value emits it.
+func Producer(name string, fn func(ctx *Context) (Value, error)) *FuncPE {
+	return &FuncPE{
+		name:    name,
+		outputs: []string{DefaultOutput},
+		factory: func() (Instance, error) {
+			return &funcInstance{process: func(ctx *Context, _ map[string]Value) error {
+				v, err := fn(ctx)
+				if err != nil {
+					return err
+				}
+				if v == nil {
+					return nil
+				}
+				return ctx.Write(DefaultOutput, v)
+			}}, nil
+		},
+	}
+}
+
+// Iterative builds a one-in one-out PE. Returning nil drops the record
+// (the IsPrime filter pattern).
+func Iterative(name string, fn func(ctx *Context, v Value) (Value, error)) *FuncPE {
+	return &FuncPE{
+		name:    name,
+		inputs:  []Port{{Name: DefaultInput}},
+		outputs: []string{DefaultOutput},
+		factory: func() (Instance, error) {
+			return &funcInstance{process: func(ctx *Context, input map[string]Value) error {
+				out, err := fn(ctx, input[DefaultInput])
+				if err != nil {
+					return err
+				}
+				if out == nil {
+					return nil
+				}
+				return ctx.Write(DefaultOutput, out)
+			}}, nil
+		},
+	}
+}
+
+// Consumer builds a sink PE with one input port.
+func Consumer(name string, fn func(ctx *Context, v Value) error) *FuncPE {
+	return &FuncPE{
+		name:   name,
+		inputs: []Port{{Name: DefaultInput}},
+		factory: func() (Instance, error) {
+			return &funcInstance{process: func(ctx *Context, input map[string]Value) error {
+				return fn(ctx, input[DefaultInput])
+			}}, nil
+		},
+	}
+}
+
+// Generic builds a PE with arbitrary ports. factory is called once per
+// instance, letting stateful PEs keep private state in the closure; it
+// returns the process function and an optional finish function.
+func Generic(name string, inputs []Port, outputs []string,
+	factory func() (process func(ctx *Context, input map[string]Value) error, finish func(ctx *Context) error)) *FuncPE {
+	return &FuncPE{
+		name:    name,
+		inputs:  inputs,
+		outputs: outputs,
+		factory: func() (Instance, error) {
+			proc, fin := factory()
+			return &funcInstance{process: proc, finish: fin}, nil
+		},
+	}
+}

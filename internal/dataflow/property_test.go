@@ -1,0 +1,161 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandomPipeline builds a deterministic linear pipeline parameterized
+// by quick-generated knobs: producer count N, a filter modulus, a mapper
+// multiplier and a grouping choice on the final stage.
+func buildRandomPipeline(mod, mult int64, groupKind GroupKind) (*Graph, *int64, error) {
+	var ctr int64
+	prod := Producer("Src", func(ctx *Context) (Value, error) {
+		return atomic.AddInt64(&ctr, 1), nil
+	})
+	filter := Iterative("Filter", func(ctx *Context, v Value) (Value, error) {
+		n := v.(int64)
+		if n%mod == 0 {
+			return nil, nil
+		}
+		return n, nil
+	})
+	mapper := Iterative("Map", func(ctx *Context, v Value) (Value, error) {
+		return v.(int64) * mult, nil
+	})
+	sink := &FuncPE{
+		name:    "Sink",
+		inputs:  []Port{{Name: "input", Grouping: Grouping{Kind: groupKind, Keys: []int{0}}}},
+		outputs: []string{"output"},
+		factory: func() (Instance, error) {
+			return &funcInstance{process: func(ctx *Context, input map[string]Value) error {
+				return ctx.Write("output", input["input"])
+			}}, nil
+		},
+	}
+	g := NewGraph("prop")
+	if err := g.Connect(prod, "output", filter, "input"); err != nil {
+		return nil, nil, err
+	}
+	if err := g.Connect(filter, "output", mapper, "input"); err != nil {
+		return nil, nil, err
+	}
+	if err := g.Connect(mapper, "output", sink, "input"); err != nil {
+		return nil, nil, err
+	}
+	return g, &ctr, nil
+}
+
+func runPipeline(t *testing.T, mapping Mapping, mod, mult int64, iters, procs int, groupKind GroupKind) []int64 {
+	t.Helper()
+	g, ctr, err := buildRandomPipeline(mod, mult, groupKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ctr
+	res, err := Run(g, Options{Mapping: mapping, Iterations: iters, Processes: procs})
+	if err != nil {
+		t.Fatalf("%s: %v", mapping, err)
+	}
+	var out []int64
+	for _, v := range res.Outputs("Sink.output") {
+		switch n := v.(type) {
+		case int64:
+			out = append(out, n)
+		case float64:
+			out = append(out, int64(n))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Property: for any pipeline parameters, all four mappings produce the same
+// multiset of outputs — with broadcast groupings scaled by instance count.
+func TestMappingEquivalenceProperty(t *testing.T) {
+	f := func(modRaw, multRaw uint8, itersRaw, procsRaw uint8) bool {
+		mod := int64(modRaw%5) + 2    // 2..6
+		mult := int64(multRaw%7) + 1  // 1..7
+		iters := int(itersRaw%20) + 5 // 5..24
+		procs := int(procsRaw%6) + 2  // 2..7
+		grouping := []GroupKind{GroupShuffle, GroupByKey, GroupOneToOne}[int(modRaw)%3]
+		ref := runPipeline(t, MappingSimple, mod, mult, iters, 0, grouping)
+		for _, m := range []Mapping{MappingMulti, MappingMPI} {
+			got := runPipeline(t, m, mod, mult, iters, procs, grouping)
+			if fmt.Sprint(got) != fmt.Sprint(ref) {
+				t.Logf("mapping %s diverged: %v vs %v (mod=%d mult=%d iters=%d procs=%d grouping=%v)",
+					m, got, ref, mod, mult, iters, procs, grouping)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Redis mapping (heavier: real TCP) matches Simple for a
+// smaller sample of parameter combinations.
+func TestRedisMappingEquivalenceSample(t *testing.T) {
+	for _, p := range []struct {
+		mod, mult   int64
+		iters, proc int
+	}{
+		{2, 3, 10, 4},
+		{3, 1, 15, 6},
+		{5, 7, 8, 3},
+	} {
+		ref := runPipeline(t, MappingSimple, p.mod, p.mult, p.iters, 0, GroupShuffle)
+		got := runPipeline(t, MappingRedis, p.mod, p.mult, p.iters, p.proc, GroupShuffle)
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Errorf("redis diverged for %+v: %v vs %v", p, got, ref)
+		}
+	}
+}
+
+// Property: EOS accounting — every instance of every plan expects exactly
+// the EOS tokens its upstream instances will send, for arbitrary process
+// budgets.
+func TestEOSAccountingConsistent(t *testing.T) {
+	f := func(procsRaw uint8) bool {
+		procs := int(procsRaw%12) + 1
+		g, _, err := buildRandomPipeline(2, 1, GroupShuffle)
+		if err != nil {
+			return false
+		}
+		plan, err := NewPlan(g, procs)
+		if err != nil {
+			return false
+		}
+		// simulate: count EOS each sender instance will emit per target
+		sent := map[InstKey]int{}
+		for _, inst := range plan.Instances {
+			rt := newRouter(plan, inst)
+			for _, tgt := range rt.eosTargets() {
+				sent[tgt.Key]++
+			}
+		}
+		for _, inst := range plan.Instances {
+			pe, _ := g.PE(inst.PE)
+			expected := plan.EOSExpected[inst]
+			if len(pe.Inputs()) == 0 {
+				if expected != 0 {
+					return false
+				}
+				continue
+			}
+			if sent[inst] != expected {
+				t.Logf("instance %s: sent %d expected %d (procs=%d)", inst, sent[inst], expected, procs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

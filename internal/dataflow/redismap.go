@@ -1,0 +1,96 @@
+package dataflow
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"laminar/internal/redisclient"
+	"laminar/internal/redisserver"
+)
+
+// redisPopTimeout bounds how long a worker waits on its queue before
+// declaring the run wedged. The EOS protocol guarantees every instance
+// eventually drains, so a timeout indicates a lost message.
+const redisPopTimeout = 60 * time.Second
+
+// runRedis enacts the workflow using Redis lists as the transport: one list
+// per PE instance, workers blocking on BLPOP — the work-queue architecture
+// of dispel4py's redis mapping. When Options.RedisAddr is empty an embedded
+// mini Redis server (internal/redisserver) is started for the run, removing
+// the external dependency the paper's deployment needs.
+func runRedis(p *Plan, opts Options, res *Result, stdout io.Writer) error {
+	addr := opts.RedisAddr
+	if addr == "" {
+		srv := redisserver.New()
+		a, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("dataflow: starting embedded redis: %w", err)
+		}
+		defer srv.Close()
+		addr = a
+	}
+
+	runID := fmt.Sprintf("%d", time.Now().UnixNano())
+	queueName := func(k InstKey) string {
+		return fmt.Sprintf("laminar:%s:inst:%s", runID, k)
+	}
+
+	// The injector uses its own connection.
+	injector, err := redisclient.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer injector.Close()
+	pushVia := func(c *redisclient.Client) sendFunc {
+		return func(dest InstKey, m message) error {
+			enc, err := encodeMessage(m)
+			if err != nil {
+				return err
+			}
+			_, err = c.RPush(queueName(dest), enc)
+			return err
+		}
+	}
+	if err := injectInitialInputs(p, opts, pushVia(injector)); err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(p.Instances))
+	for _, k := range p.Instances {
+		key := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One connection per worker, as dispel4py redis workers hold.
+			conn, err := redisclient.Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer conn.Close()
+			recv := func() (message, error) {
+				_, payload, err := conn.BLPop(redisPopTimeout, queueName(key))
+				if err == redisclient.ErrNil {
+					return message{}, fmt.Errorf("dataflow: redis mapping: %s timed out waiting for input", key)
+				}
+				if err != nil {
+					return message{}, err
+				}
+				return decodeMessage(payload)
+			}
+			if err := driveInstance(p, key, opts, res, stdout, recv, pushVia(conn)); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,96 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Result captures everything a workflow run produced: values emitted on
+// unconnected output ports (the workflow's observable outputs), combined
+// stdout text from all PE instances, the instance allocation used, and
+// counters.
+type Result struct {
+	mu sync.Mutex
+	// outputs maps "PE.port" to emitted values in arrival order.
+	outputs map[string][]Value
+	// processed counts Process invocations per PE.
+	processed map[string]int64
+
+	// StdoutText is the combined print output of all instances.
+	StdoutText string
+	// Alloc is the instance count per PE in the concrete workflow.
+	Alloc map[string]int
+	// Duration is the wall-clock enactment time.
+	Duration time.Duration
+	// Mapping that executed the run.
+	Mapping Mapping
+}
+
+func newResult() *Result {
+	return &Result{outputs: map[string][]Value{}, processed: map[string]int64{}}
+}
+
+func (r *Result) sink(peName, port string, v Value) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := peName + "." + port
+	r.outputs[key] = append(r.outputs[key], v)
+}
+
+func (r *Result) countProcessed(peName string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.processed[peName]++
+}
+
+// Outputs returns the values emitted on an unconnected port, keyed
+// "PE.port".
+func (r *Result) Outputs(key string) []Value {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Value(nil), r.outputs[key]...)
+}
+
+// OutputKeys lists the sink keys that received values, sorted.
+func (r *Result) OutputKeys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.outputs))
+	for k := range r.outputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Processed returns how many records a PE processed across instances.
+func (r *Result) Processed(peName string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.processed[peName]
+}
+
+// Summary renders a short human-readable account of the run (the output the
+// Execution Engine sends back to the Client, Fig. 9).
+func (r *Result) Summary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mapping=%s duration=%s\n", r.Mapping, r.Duration.Round(time.Microsecond))
+	names := make([]string, 0, len(r.processed))
+	for n := range r.processed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %s: processed %d (x%d instances)\n", n, r.processed[n], r.Alloc[n])
+	}
+	if r.StdoutText != "" {
+		sb.WriteString("---- output ----\n")
+		sb.WriteString(r.StdoutText)
+	}
+	return sb.String()
+}

@@ -1,0 +1,184 @@
+package dataflow
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Mapping selects the enactment strategy, mirroring dispel4py's mappings.
+type Mapping string
+
+// The four mappings of the paper (Section 2.1).
+const (
+	MappingSimple Mapping = "SIMPLE"
+	MappingMulti  Mapping = "MULTI"
+	MappingMPI    Mapping = "MPI"
+	MappingRedis  Mapping = "REDIS"
+)
+
+// ParseMapping normalizes a mapping name.
+func ParseMapping(s string) (Mapping, error) {
+	switch Mapping(normalizeUpper(s)) {
+	case MappingSimple, "":
+		return MappingSimple, nil
+	case MappingMulti:
+		return MappingMulti, nil
+	case MappingMPI:
+		return MappingMPI, nil
+	case MappingRedis:
+		return MappingRedis, nil
+	default:
+		return "", fmt.Errorf("dataflow: unknown mapping %q (want SIMPLE, MULTI, MPI or REDIS)", s)
+	}
+}
+
+func normalizeUpper(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+// Options configures a workflow run.
+type Options struct {
+	// Mapping selects the enactment engine (default Simple).
+	Mapping Mapping
+	// Iterations is how many times each producer's Process runs (default 1).
+	Iterations int
+	// Processes is the parallel process budget for concrete-workflow
+	// expansion (parallel mappings; default: one per PE).
+	Processes int
+	// Args are workflow arguments visible through Context.Args.
+	Args map[string]Value
+	// Stdout additionally receives PE print output as it is produced
+	// (always also captured in Result.StdoutText).
+	Stdout io.Writer
+	// InitialInputs are records delivered to the workflow's initial PE when
+	// that PE has input ports (the astrophysics pattern:
+	// input=[{"input": "resources/coordinates.txt"}]).
+	InitialInputs []map[string]Value
+	// RedisAddr points the Redis mapping at a server; empty starts an
+	// embedded mini Redis for the duration of the run.
+	RedisAddr string
+}
+
+func (o *Options) normalize() {
+	if o.Mapping == "" {
+		o.Mapping = MappingSimple
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 1
+	}
+}
+
+// Run enacts the workflow graph under the selected mapping and returns the
+// collected result. All mappings produce the same multiset of outputs for
+// the same inputs (property-tested); they differ in parallelism and
+// transport.
+func Run(g *Graph, opts Options) (*Result, error) {
+	opts.normalize()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	processes := opts.Processes
+	if processes <= 0 {
+		processes = len(g.PEs())
+	}
+	var plan *Plan
+	var err error
+	if opts.Mapping == MappingSimple {
+		// Simple is strictly sequential: one instance per PE.
+		plan, err = NewPlan(g, 0)
+	} else {
+		plan, err = NewPlan(g, processes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := newResult()
+	res.Alloc = plan.Alloc
+	res.Mapping = opts.Mapping
+
+	var buf bytes.Buffer
+	var out io.Writer = &buf
+	if opts.Stdout != nil {
+		out = io.MultiWriter(&buf, opts.Stdout)
+	}
+	stdout := &syncWriter{w: out}
+
+	start := time.Now()
+	switch opts.Mapping {
+	case MappingSimple:
+		err = runSimple(plan, opts, res, stdout)
+	case MappingMulti:
+		err = runMulti(plan, opts, res, stdout)
+	case MappingMPI:
+		err = runMPI(plan, opts, res, stdout)
+	case MappingRedis:
+		err = runRedis(plan, opts, res, stdout)
+	default:
+		err = fmt.Errorf("dataflow: unknown mapping %q", opts.Mapping)
+	}
+	res.Duration = time.Since(start)
+	res.StdoutText = buf.String()
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// isSource reports whether the PE is a pure producer (no input ports).
+func isSource(pe PE) bool { return len(pe.Inputs()) == 0 }
+
+// needsInjection reports whether a root PE consumes initial inputs.
+func needsInjection(g *Graph, pe PE) bool {
+	if len(pe.Inputs()) == 0 {
+		return false
+	}
+	for _, e := range g.Edges() {
+		if e.To == pe.Name() {
+			return false
+		}
+	}
+	return true
+}
+
+// initialInputMessages converts Options.InitialInputs into routed messages
+// for a root PE. Inputs are spread across instances with the port's
+// grouping (round-robin by default).
+func initialInputMessages(p *Plan, peName string, inputs []map[string]Value) map[InstKey][]message {
+	out := map[InstKey][]message{}
+	n := p.Alloc[peName]
+	if n == 0 {
+		return out
+	}
+	rr := 0
+	for _, rec := range inputs {
+		for port, v := range rec {
+			grouping := p.Graph.inputGrouping(peName, port)
+			switch grouping.Kind {
+			case GroupAll:
+				for i := 0; i < n; i++ {
+					k := InstKey{PE: peName, Index: i}
+					out[k] = append(out[k], message{Kind: msgData, Port: port, Value: v})
+				}
+			case GroupByKey:
+				i := int(groupHash(v, grouping.Keys) % uint64(n))
+				k := InstKey{PE: peName, Index: i}
+				out[k] = append(out[k], message{Kind: msgData, Port: port, Value: v})
+			default:
+				k := InstKey{PE: peName, Index: rr % n}
+				rr++
+				out[k] = append(out[k], message{Kind: msgData, Port: port, Value: v})
+			}
+		}
+	}
+	return out
+}

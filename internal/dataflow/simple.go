@@ -1,0 +1,49 @@
+package dataflow
+
+import (
+	"fmt"
+	"io"
+)
+
+// runSimple enacts the workflow sequentially in a single process: every PE
+// has exactly one instance; PEs are drained in topological order, so all of
+// a PE's input is available before it runs. This reproduces dispel4py's
+// Simple mapping semantics (and its lack of pipeline overlap, which is what
+// Table 5's Simple column measures).
+func runSimple(p *Plan, opts Options, res *Result, stdout io.Writer) error {
+	topo, err := p.Graph.TopoOrder()
+	if err != nil {
+		return err
+	}
+	// Per-instance FIFO queues; with one instance per PE the key index is 0.
+	queues := map[InstKey][]message{}
+	send := func(dest InstKey, m message) error {
+		queues[dest] = append(queues[dest], m)
+		return nil
+	}
+	if err := injectInitialInputs(p, opts, send); err != nil {
+		return err
+	}
+	for _, name := range topo {
+		key := InstKey{PE: name, Index: 0}
+		q := queues[key]
+		pos := 0
+		recv := func() (message, error) {
+			if pos >= len(q) {
+				// All upstream PEs already ran to completion in topo order,
+				// so a starved queue is a protocol bug, not a race.
+				return message{}, fmt.Errorf("dataflow: simple mapping: instance %s starved (missing EOS)", key)
+			}
+			m := q[pos]
+			pos++
+			return m, nil
+		}
+		// Upstream PEs may still append to q while this PE emits to itself?
+		// The DAG guarantee means no self-edges; downstream queues only.
+		if err := driveInstance(p, key, opts, res, stdout, recv, send); err != nil {
+			return err
+		}
+		delete(queues, key)
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// CloneSnippet is one solution in the CodeNet-style corpus.
+type CloneSnippet struct {
+	Problem int // problem id — snippets sharing it are clones
+	Code    string
+}
+
+// CloneQuery is a partial-code query (the ReACC zero-shot clone detection
+// setup, Section 6.2.2): the prefix of a held-out solution must retrieve
+// the other solutions of the same problem.
+type CloneQuery struct {
+	Problem int
+	Partial string
+}
+
+// CloneCorpus is a clone-detection evaluation set.
+type CloneCorpus struct {
+	Snippets []CloneSnippet
+	Queries  []CloneQuery
+}
+
+// approach is one algorithmic strategy for a problem; each problem has
+// several, and each approach is rendered under multiple identifier styles.
+type approach struct {
+	lines []string // body lines with {v0} {v1} {fn} placeholders
+}
+
+// problemSpec defines a CodeNet-style problem.
+type problemSpec struct {
+	fnBase     string
+	approaches []approach
+}
+
+// cloneProblems are the generated problems. They reuse the same low-level
+// vocabulary (loops, accumulators, conditionals) so cross-problem snippets
+// are lexically confusable — that is what drives absolute scores down, as
+// in CodeNet where millions of solutions share surface forms.
+var cloneProblems = func() []problemSpec {
+	// Parameterized families: each family instantiates several problems
+	// differing in operation and constant, with two approaches each
+	// (loop-based and builtin/comprehension-based).
+	type fam struct {
+		name      string
+		loopBody  string
+		builtin   string
+		constants []string
+	}
+	families := []fam{
+		{
+			name:      "sum_multiples",
+			loopBody:  "    total = 0\n    for {v0} in range(n):\n        if {v0} % {C} == 0:\n            total += {v0}\n    return total",
+			builtin:   "    return sum({v0} for {v0} in range(n) if {v0} % {C} == 0)",
+			constants: []string{"3", "5", "7", "4", "6", "9", "11", "13"},
+		},
+		{
+			name:      "count_divisors",
+			loopBody:  "    cnt = 0\n    for {v0} in range(1, n + 1):\n        if n % {v0} == {C}:\n            cnt += 1\n    return cnt",
+			builtin:   "    return len([{v0} for {v0} in range(1, n + 1) if n % {v0} == {C}])",
+			constants: []string{"0"},
+		},
+		{
+			name:      "power_mod",
+			loopBody:  "    result = 1\n    for {v0} in range(k):\n        result = result * n % {C}\n    return result",
+			builtin:   "    return pow(n, k, {C})",
+			constants: []string{"1000000007", "998244353", "97", "13", "31", "63"},
+		},
+		{
+			name:      "max_window",
+			loopBody:  "    best = 0\n    for {v0} in range(len(a) - {C} + 1):\n        cur = sum(a[{v0}:{v0} + {C}])\n        if cur > best:\n            best = cur\n    return best",
+			builtin:   "    return max(sum(a[{v0}:{v0} + {C}]) for {v0} in range(len(a) - {C} + 1))",
+			constants: []string{"2", "3", "5"},
+		},
+		{
+			name:      "digit_root",
+			loopBody:  "    while n >= {C}:\n        s = 0\n        while n > 0:\n            s += n % 10\n            n //= 10\n        n = s\n    return n",
+			builtin:   "    return 1 + (n - 1) % 9 if n else 0  # {C}",
+			constants: []string{"10"},
+		},
+		{
+			name:      "collatz_steps",
+			loopBody:  "    steps = 0\n    while n != 1:\n        if n % 2 == 0:\n            n //= 2\n        else:\n            n = {C} * n + 1\n        steps += 1\n    return steps",
+			builtin:   "    steps = 0\n    while n > 1:\n        n = n // 2 if n % 2 == 0 else {C} * n + 1\n        steps += 1\n    return steps",
+			constants: []string{"3"},
+		},
+		{
+			name:      "triangle_number",
+			loopBody:  "    total = 0\n    for {v0} in range(1, n + 1):\n        total += {v0} ** {C}\n    return total",
+			builtin:   "    return sum({v0} ** {C} for {v0} in range(1, n + 1))",
+			constants: []string{"1", "2", "3", "4", "5"},
+		},
+		{
+			name:      "count_pairs",
+			loopBody:  "    cnt = 0\n    for {v0} in range(len(a)):\n        for {v1} in range({v0} + 1, len(a)):\n            if a[{v0}] + a[{v1}] == {C}:\n                cnt += 1\n    return cnt",
+			builtin:   "    return sum(1 for {v0} in range(len(a)) for {v1} in range({v0} + 1, len(a)) if a[{v0}] + a[{v1}] == {C})",
+			constants: []string{"0", "10", "100", "7", "50", "42"},
+		},
+	}
+	var specs []problemSpec
+	for _, f := range families {
+		for _, c := range f.constants {
+			specs = append(specs, problemSpec{
+				fnBase: fmt.Sprintf("%s_%s", f.name, sanitizeConst(c)),
+				approaches: []approach{
+					{lines: strings.Split(strings.ReplaceAll(f.loopBody, "{C}", c), "\n")},
+					{lines: strings.Split(strings.ReplaceAll(f.builtin, "{C}", c), "\n")},
+				},
+			})
+		}
+	}
+	return specs
+}()
+
+func sanitizeConst(c string) string {
+	return strings.NewReplacer("-", "m", ".", "_").Replace(c)
+}
+
+// identStyles are renaming schemes applied per snippet.
+var identStyles = [][2]string{
+	{"i", "j"}, {"x", "y"}, {"idx", "jdx"}, {"a1", "b1"}, {"p", "q"},
+}
+
+// fnStyles rename the solution entry point.
+var fnStyles = []string{"solve", "main_logic", "answer", "calc", "f"}
+
+// heldOutStyles are identifier schemes reserved for queries: no corpus
+// snippet uses them, so queries never match the corpus verbatim.
+var heldOutStyles = [][2]string{
+	{"val", "pos"}, {"aa", "bb"}, {"left", "right"}, {"u", "w"},
+}
+
+// queryFnNames are entry-point names reserved for queries.
+var queryFnNames = []string{"submission", "attempt", "entry", "prog"}
+
+// cutDenoms vary how much of the held-out solution each query keeps
+// (1/denom of the lines) — shorter prefixes are harder, as partial code in
+// the ReACC evaluation.
+var cutDenoms = []int{3, 2, 4, 3}
+
+// GenCodeNet builds the clone-detection corpus: for every problem,
+// `solutionsPer` snippets (cycling approaches × identifier styles), plus
+// four partial-code queries per problem derived from held-out renderings
+// (unseen identifier styles and entry-point names).
+func GenCodeNet(seed int64, solutionsPer int) *CloneCorpus {
+	return GenCodeNetQueries(seed, solutionsPer, 4)
+}
+
+// GenCodeNetQueries is GenCodeNet with an explicit per-problem query count
+// (capped at the number of held-out styles).
+func GenCodeNetQueries(seed int64, solutionsPer, queriesPer int) *CloneCorpus {
+	rng := rand.New(rand.NewSource(seed))
+	if queriesPer > len(heldOutStyles) {
+		queriesPer = len(heldOutStyles)
+	}
+	c := &CloneCorpus{}
+	for pid, spec := range cloneProblems {
+		for s := 0; s < solutionsPer; s++ {
+			ap := spec.approaches[s%len(spec.approaches)]
+			style := identStyles[(s/len(spec.approaches))%len(identStyles)]
+			fn := fnStyles[s%len(fnStyles)]
+			code := renderSolution(spec, ap, fn, style, rng)
+			c.Snippets = append(c.Snippets, CloneSnippet{Problem: pid, Code: code})
+		}
+		for q := 0; q < queriesPer; q++ {
+			ap := spec.approaches[(pid+q)%len(spec.approaches)]
+			full := renderSolution(spec, ap, queryFnNames[q], heldOutStyles[q], rng)
+			lines := strings.Split(full, "\n")
+			cut := len(lines)/cutDenoms[q] + 1
+			if cut < 2 {
+				cut = 2
+			}
+			partial := strings.Join(lines[:cut], "\n")
+			c.Queries = append(c.Queries, CloneQuery{Problem: pid, Partial: partial})
+		}
+	}
+	return c
+}
+
+func renderSolution(spec problemSpec, ap approach, fn string, style [2]string, rng *rand.Rand) string {
+	header := fmt.Sprintf("def %s(n, a=None, k=2):", fn)
+	body := strings.Join(ap.lines, "\n")
+	body = strings.ReplaceAll(body, "{v0}", style[0])
+	body = strings.ReplaceAll(body, "{v1}", style[1])
+	body = strings.ReplaceAll(body, "{fn}", fn)
+	// Occasional boilerplate IO wrapper, as competitive submissions carry.
+	if rng.Float64() < 0.5 {
+		return header + "\n" + body + "\n\nn = int(input())\nprint(" + fn + "(n))"
+	}
+	return header + "\n" + body
+}
+
+// RelevantSet returns the corpus indices of all clones for a query.
+func (c *CloneCorpus) RelevantSet(q CloneQuery) map[int]bool {
+	rel := map[int]bool{}
+	for i, s := range c.Snippets {
+		if s.Problem == q.Problem {
+			rel[i] = true
+		}
+	}
+	return rel
+}
+
+// String summarizes the corpus.
+func (c *CloneCorpus) String() string {
+	return fmt.Sprintf("CodeNet-style: %d problems, %d snippets, %d queries",
+		len(cloneProblems), len(c.Snippets), len(c.Queries))
+}

@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSNDeterministic(t *testing.T) {
+	a := GenCSN(7, 2)
+	b := GenCSN(7, 2)
+	if len(a.Codes) != len(b.Codes) || len(a.Queries) != len(b.Queries) {
+		t.Fatal("sizes differ across runs")
+	}
+	for i := range a.Codes {
+		if a.Codes[i] != b.Codes[i] {
+			t.Fatalf("code %d differs", i)
+		}
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+	c := GenCSN(8, 2)
+	same := true
+	for i := range a.Queries {
+		if a.Queries[i].Query != c.Queries[i].Query {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should paraphrase differently")
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	c := GenCSN(1, 3)
+	if len(c.Codes) != c.TaskCount()*3 {
+		t.Errorf("codes: %d, tasks: %d", len(c.Codes), c.TaskCount())
+	}
+	if len(c.Queries) != c.TaskCount()*3 {
+		t.Errorf("queries: %d", len(c.Queries))
+	}
+	if len(c.Docs) != len(c.Codes) {
+		t.Errorf("docs: %d", len(c.Docs))
+	}
+	// every query's relevant set covers its 3 variants
+	for _, q := range c.Queries {
+		rel := c.RelevantSet(q)
+		if len(rel) != 3 || !rel[q.Index] {
+			t.Fatalf("relevant set %v for query index %d", rel, q.Index)
+		}
+	}
+	// codes are syntactically plausible python
+	for i, code := range c.Codes {
+		if !strings.HasPrefix(code, "def ") {
+			t.Errorf("code %d does not start with def: %q", i, code[:20])
+		}
+	}
+}
+
+func TestCoSQAQueriesAreWebStyle(t *testing.T) {
+	c := GenCoSQA(3, 4)
+	webish := 0
+	for _, q := range c.Queries {
+		if strings.Contains(q.Query, "python") || strings.Contains(q.Query, "how to") {
+			webish++
+		}
+	}
+	if webish < len(c.Queries)/2 {
+		t.Errorf("only %d/%d queries look like web queries", webish, len(c.Queries))
+	}
+}
+
+func TestParaphraseStaysOutOfCorpusVocabularyOnly(t *testing.T) {
+	// Out-of-lexicon web synonyms must not appear as keys of the alignment
+	// lexicon (otherwise fine-tuning could bridge them and the CoSQA gap
+	// disappears).
+	for canon, alts := range webSynonyms {
+		_ = canon
+		for _, alt := range alts {
+			for _, word := range strings.Fields(alt) {
+				if _, ok := inverseLexicon[word]; ok {
+					t.Errorf("web synonym %q collides with lexicon canon %q", word, canon)
+				}
+			}
+		}
+	}
+}
+
+func TestCodeNetShape(t *testing.T) {
+	c := GenCodeNet(5, 8)
+	if len(c.Snippets) == 0 || len(c.Queries) == 0 {
+		t.Fatal("empty corpus")
+	}
+	problems := map[int]int{}
+	for _, s := range c.Snippets {
+		problems[s.Problem]++
+	}
+	for pid, n := range problems {
+		if n != 8 {
+			t.Errorf("problem %d has %d solutions", pid, n)
+		}
+	}
+	if len(c.Queries) != len(problems)*4 {
+		t.Errorf("queries: %d for %d problems", len(c.Queries), len(problems))
+	}
+	for _, q := range c.Queries {
+		rel := c.RelevantSet(q)
+		if len(rel) != 8 {
+			t.Fatalf("relevant set size %d", len(rel))
+		}
+		// the partial query must be a strict prefix-style fragment
+		if !strings.HasPrefix(q.Partial, "def ") {
+			t.Errorf("query does not look like code: %q", q.Partial[:20])
+		}
+	}
+}
+
+func TestCodeNetQueriesAreHeldOut(t *testing.T) {
+	c := GenCodeNet(5, 8)
+	// no query text equals any corpus snippet (held-out identifiers)
+	corpus := map[string]bool{}
+	for _, s := range c.Snippets {
+		corpus[s.Code] = true
+	}
+	for _, q := range c.Queries {
+		if corpus[q.Partial] {
+			t.Fatal("query equals a corpus snippet verbatim")
+		}
+	}
+	// held-out entry point names never appear in corpus snippets
+	for _, s := range c.Snippets {
+		for _, fn := range queryFnNames {
+			if strings.Contains(s.Code, "def "+fn+"(") {
+				t.Fatalf("held-out fn name %q leaked into corpus", fn)
+			}
+		}
+	}
+}
+
+func TestCloneApproachesDiffer(t *testing.T) {
+	c := GenCodeNetQueries(5, 2, 1)
+	// with 2 solutions per problem the two approaches must render different
+	// code for the same problem
+	byProblem := map[int][]string{}
+	for _, s := range c.Snippets {
+		byProblem[s.Problem] = append(byProblem[s.Problem], s.Code)
+	}
+	for pid, codes := range byProblem {
+		if len(codes) == 2 && codes[0] == codes[1] {
+			t.Errorf("problem %d: approaches render identically", pid)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := GenCSN(1, 1).String(); !strings.Contains(s, "CSN") {
+		t.Errorf("csn: %s", s)
+	}
+	if s := GenCodeNet(1, 4).String(); !strings.Contains(s, "problems") {
+		t.Errorf("codenet: %s", s)
+	}
+}

@@ -1,0 +1,127 @@
+package embed
+
+import "math"
+
+// CrossEncoder scores (query, candidate) pairs with token-level soft
+// alignment instead of comparing two pre-computed vectors — the
+// late-interaction shape of the cross-encoder architecture in Fig. 2 of the
+// paper. The decisive property Section 2.4 discusses is the cost asymmetry:
+// a cross-encoder cannot reuse stored embeddings, so every query pays
+// O(|query| · |corpus|) token-alignment work, while the bi-encoder answers
+// from embeddings computed once at registration. The
+// BenchmarkBiVsCrossEncoder ablation measures that asymmetry (accuracy of
+// this lightweight proxy is comparable to, not above, the bi-encoder).
+type CrossEncoder struct {
+	m *Model
+}
+
+// NewCrossEncoder builds a cross-encoder sharing a bi-encoder's token space.
+func NewCrossEncoder(m *Model) *CrossEncoder { return &CrossEncoder{m: m} }
+
+// Score computes a soft token-alignment score in [−1, 1]: for each query
+// token the best-matching candidate token (and vice versa), averaged —
+// the late-interaction scoring of ColBERT-style cross architectures.
+func (ce *CrossEncoder) Score(query, candidate string) float64 {
+	qt := ce.prepTokens(query)
+	ct := ce.prepTokens(candidate)
+	if len(qt) == 0 || len(ct) == 0 {
+		return 0
+	}
+	qv := make([]Vector, len(qt))
+	for i, t := range qt {
+		qv[i] = ce.m.direction("tok:" + t)
+	}
+	cv := make([]Vector, len(ct))
+	for i, t := range ct {
+		cv[i] = ce.m.direction("tok:" + t)
+	}
+	forward := ce.bestMatchMean(qv, cv)
+	backward := ce.bestMatchMean(cv, qv)
+	return (forward + backward) / 2
+}
+
+func (ce *CrossEncoder) prepTokens(text string) []string {
+	raw := Tokenize(text, ce.m.cfg.SplitIdentifiers)
+	out := raw[:0]
+	for _, t := range raw {
+		if nlStopwords[t] || pythonKeywords[t] {
+			// full attention over content tokens only: keywords and
+			// stopwords match everything and dilute the alignment
+			continue
+		}
+		out = append(out, t)
+		// The cross-encoder sees aligned twins too: full attention lets it
+		// relate paraphrases directly.
+		if ce.m.cfg.Align != nil {
+			if twin, ok := ce.m.cfg.Align[t]; ok && twin != t {
+				out = append(out, twin)
+			}
+		}
+	}
+	return out
+}
+
+// weightedBestMatch scores IDF-weighted query tokens against their best
+// candidate-token alignments.
+func weightedBestMatch(qVecs []Vector, qWeights []float64, cVecs []Vector) float64 {
+	if len(qVecs) == 0 || len(cVecs) == 0 {
+		return 0
+	}
+	var total, wsum float64
+	for i, qv := range qVecs {
+		best := math.Inf(-1)
+		for _, cv := range cVecs {
+			if s := Cosine(qv, cv); s > best {
+				best = s
+			}
+		}
+		total += qWeights[i] * best
+		wsum += qWeights[i]
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return total / wsum
+}
+
+func (ce *CrossEncoder) bestMatchMean(a, b []Vector) float64 {
+	var total float64
+	for _, av := range a {
+		best := math.Inf(-1)
+		for _, bv := range b {
+			if s := Cosine(av, bv); s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(a))
+}
+
+// RankStrings orders candidate texts by cross-encoder score, descending.
+func (ce *CrossEncoder) RankStrings(query string, candidates []string) ([]int, []float64) {
+	scores := make([]float64, len(candidates))
+	for i, c := range candidates {
+		scores[i] = ce.Score(query, c)
+	}
+	idxs := make([]int, len(candidates))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	// descending by score, ascending index for ties
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idxs[j], idxs[j-1]
+			if scores[a] > scores[b] || (scores[a] == scores[b] && a < b) {
+				idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+			} else {
+				break
+			}
+		}
+	}
+	ordered := make([]float64, len(idxs))
+	for i, idx := range idxs {
+		ordered[i] = scores[idx]
+	}
+	return idxs, ordered
+}

@@ -1,0 +1,59 @@
+package embed
+
+// CrossModalLexicon maps natural-language paraphrase words to the canonical
+// code-domain vocabulary. It plays the role of the (docstring, function)
+// alignment that fine-tuning on AdvTest teaches the unixcoder-code-search
+// model: a fine-tuned bi-encoder embeds "determine", "verify" and "check"
+// near the code token "check", while the base model keeps them apart.
+//
+// The synthetic CoSQA/CSN dataset generators use the *inverse* direction —
+// replacing canonical words with paraphrases — so only alignment-equipped
+// models can bridge the gap, reproducing Table 6's fine-tuning effect.
+var CrossModalLexicon = map[string]string{
+	// verbs
+	"determine": "check", "verify": "check", "test": "check",
+	"compute": "calculate", "evaluate": "calculate", "derive": "calculate",
+	"fetch": "get", "retrieve": "get", "obtain": "get", "grab": "get",
+	"produce": "generate", "create": "generate", "make": "generate",
+	"emit": "output", "yield": "output",
+	"transform": "convert", "translate": "convert", "turn": "convert",
+	"remove": "delete", "drop": "delete", "erase": "delete",
+	"merge": "combine", "join": "combine", "concatenate": "combine",
+	"locate": "find", "search": "find", "lookup": "find",
+	"order": "sort", "arrange": "sort", "rank": "sort",
+	"tally": "count", "enumerate": "count",
+	"invert": "reverse", "flip": "reverse",
+	"display": "print", "show": "print",
+	"parse": "read", "load": "read", "scan": "read",
+	"store": "write", "save": "write", "persist": "write",
+	"filter": "select", "keep": "select",
+	"total": "sum", "add": "sum", "accumulate": "sum",
+	"divide": "split", "partition": "split", "separate": "split",
+	"validate": "check", "confirm": "check",
+	// nouns
+	"integer": "number", "numeral": "number", "digit": "number",
+	"text": "string", "phrase": "string", "sentence": "string",
+	"array": "list", "sequence": "list", "collection": "list",
+	"mapping": "dict", "dictionary": "dict", "table": "dict",
+	"document": "file", "record": "file",
+	"term": "word", "token": "word",
+	"character": "letter", "symbol": "letter",
+	"maximum": "max", "largest": "max", "biggest": "max",
+	"minimum": "min", "smallest": "min", "lowest": "min",
+	"mean":      "average",
+	"factorial": "factorial", "fibonacci": "fibonacci",
+	"palindrome": "palindrome", "prime": "prime",
+	"vowels": "vowel", "duplicates": "duplicate",
+	"frequency": "count", "occurrences": "count",
+	"items": "element", "entries": "element", "values": "element",
+	"initial": "first", "final": "last", "ending": "last",
+	"temperature": "temperature", "celsius": "celsius",
+	"whitespace": "space", "blanks": "space",
+	"url": "url", "json": "json", "csv": "csv",
+	// adjectives / misc
+	"even": "even", "odd": "odd", "unique": "distinct",
+	"ascending": "ascending", "descending": "descending",
+	"uppercase": "upper", "lowercase": "lower", "capitalized": "upper",
+	"longest": "longest", "shortest": "shortest",
+	"common": "common", "nested": "nested", "empty": "empty",
+}

@@ -1,0 +1,127 @@
+// Package embed provides the deterministic embedding-model substrate that
+// substitutes for the transformer models Laminar uses (UnixCoder, ReACC,
+// CodeBERT, GraphCodeBERT, bge, gte). Each model maps text (natural language
+// or code) to a unit vector; semantic search and code completion rank
+// candidates by cosine similarity, exactly as the paper's bi-encoder
+// architecture does (Section 2.4). Models are configured with the properties
+// the paper attributes to them — cross-modal alignment for the fine-tuned
+// code-search model, strong lexical n-gram features for the ReACC retriever,
+// NL-oriented tokenization for bge/gte — so the relative results of Tables 6
+// and 7 are reproduced without GPU inference.
+package embed
+
+import (
+	"strings"
+	"unicode"
+)
+
+// pythonKeywords get down-weighted by code-aware models: they carry little
+// distinguishing signal between snippets.
+var pythonKeywords = map[string]bool{
+	"def": true, "class": true, "return": true, "if": true, "elif": true,
+	"else": true, "while": true, "for": true, "in": true, "import": true,
+	"from": true, "self": true, "none": true, "true": true, "false": true,
+	"and": true, "or": true, "not": true, "pass": true, "break": true,
+	"continue": true, "print": true, "range": true, "len": true, "init": true,
+}
+
+// nlStopwords are filtered by models with NL-oriented preprocessing.
+var nlStopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "is": true, "are": true, "was": true,
+	"to": true, "of": true, "and": true, "or": true, "that": true,
+	"this": true, "it": true, "in": true, "on": true, "for": true,
+	"with": true, "how": true, "do": true, "i": true, "you": true,
+	"can": true, "be": true, "my": true, "me": true, "does": true,
+	"what": true, "when": true, "which": true, "python": true,
+}
+
+// Tokenize splits text into word tokens: identifiers are split on camelCase
+// and snake_case boundaries when splitIdentifiers is set, everything is
+// lowercased, and punctuation becomes separators.
+func Tokenize(text string, splitIdentifiers bool) []string {
+	var tokens []string
+	var cur []rune
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		word := string(cur)
+		cur = cur[:0]
+		if splitIdentifiers {
+			for _, part := range splitIdentifier(word) {
+				tokens = append(tokens, strings.ToLower(part))
+			}
+		} else {
+			tokens = append(tokens, strings.ToLower(word))
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			cur = append(cur, r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// splitIdentifier breaks fooBarBaz / foo_bar_baz / HTTPServer2 into parts.
+func splitIdentifier(word string) []string {
+	var parts []string
+	var cur []rune
+	runes := []rune(word)
+	for i, r := range runes {
+		switch {
+		case r == '_':
+			if len(cur) > 0 {
+				parts = append(parts, string(cur))
+				cur = cur[:0]
+			}
+		case unicode.IsUpper(r):
+			// boundary at lower→Upper and at Upper followed by lower inside
+			// an uppercase run (HTTPServer → HTTP, Server).
+			if len(cur) > 0 {
+				prev := runes[i-1]
+				nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+				if unicode.IsLower(prev) || unicode.IsDigit(prev) || (unicode.IsUpper(prev) && nextLower) {
+					parts = append(parts, string(cur))
+					cur = cur[:0]
+				}
+			}
+			cur = append(cur, r)
+		case unicode.IsDigit(r):
+			if len(cur) > 0 && !unicode.IsDigit(runes[i-1]) {
+				parts = append(parts, string(cur))
+				cur = cur[:0]
+			}
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	if len(cur) > 0 {
+		parts = append(parts, string(cur))
+	}
+	if len(parts) == 0 {
+		return []string{word}
+	}
+	return parts
+}
+
+// charNGrams returns the character n-grams of the (whitespace-normalized)
+// text. Lexical models use these to detect near-verbatim code reuse.
+func charNGrams(text string, n int) []string {
+	cleaned := strings.Join(strings.Fields(strings.ToLower(text)), " ")
+	if len(cleaned) < n {
+		if cleaned == "" {
+			return nil
+		}
+		return []string{cleaned}
+	}
+	out := make([]string, 0, len(cleaned)-n+1)
+	for i := 0; i+n <= len(cleaned); i++ {
+		out = append(out, cleaned[i:i+n])
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package embed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Model ids for every model evaluated in the paper (Tables 6 and 7) plus
+// the summarization model. Names match the HuggingFace ids in the paper.
+const (
+	ModelUnixcoderBase  = "microsoft/unixcoder-base"
+	ModelCodeSearch     = "Lazyhope/unixcoder-nine-advtest"    // unixcoder-code-search
+	ModelCloneDetection = "Lazyhope/unixcoder-clone-detection" // unixcoder-clone-detection
+	ModelReACC          = "microsoft/reacc-py-retriever"       // ReACC-py-retriever
+	ModelCodeBERT       = "microsoft/codebert-base"
+	ModelGraphCodeBERT  = "microsoft/graphcodebert-base"
+	ModelBGELargeEN     = "BAAI/bge-large-en"
+	ModelGTELarge       = "thenlper/gte-large"
+)
+
+// zooConfigs capture each transformer's behaviour profile:
+//
+//   - unixcoder-base: code-pretrained (identifier splitting, keyword
+//     down-weighting) but NOT aligned across modalities → mid text-to-code.
+//   - unixcoder-code-search: + cross-modal alignment, low noise — the
+//     fine-tuning on AdvTest (Section 2.6/6.2.1).
+//   - unixcoder-clone-detection: tuned for code-to-code: strong subtoken
+//     semantics, mild lexical features; best MAP@100 in Table 7.
+//   - ReACC-py-retriever: retrieval-augmented completion retriever —
+//     dominated by lexical char-4-gram features; best Precision@1.
+//   - CodeBERT: NL-first tokenizer fragments code (heavy dropout, high
+//     noise) → worst in Table 7.
+//   - GraphCodeBERT: dataflow-aware pretraining → better than CodeBERT.
+//   - bge-large-en: strong general text embedder; decent zero-shot.
+//   - gte-large: general text embedder that fragments code harder.
+var zooConfigs = []Config{
+	{
+		Name:             ModelUnixcoderBase,
+		Seed:             0xA11CE,
+		SplitIdentifiers: true,
+		DropStopwords:    true,
+		KeywordWeight:    0.4,
+		Noise:            1.10,
+	},
+	{
+		Name:             ModelCodeSearch,
+		Seed:             0xA11CE, // shares pretrained space with the base model
+		SplitIdentifiers: true,
+		KeywordWeight:    0.4,
+		DropStopwords:    true,
+		Align:            CrossModalLexicon,
+		AlignWeight:      1.0,
+		Noise:            0.35,
+	},
+	{
+		Name:             ModelCloneDetection,
+		Seed:             0xA11CE,
+		SplitIdentifiers: true,
+		KeywordWeight:    0.6,
+		CharNGram:        3,
+		NGramWeight:      1.0,
+		NumberWeight:     1.55,
+		Noise:            0.86,
+	},
+	{
+		Name:             ModelReACC,
+		Seed:             0x5EACC,
+		SplitIdentifiers: true,
+		KeywordWeight:    0.8,
+		CharNGram:        4,
+		NGramWeight:      2.4,
+		Noise:            0.28,
+	},
+	{
+		Name:             ModelCodeBERT,
+		Seed:             0xC0DEB,
+		SplitIdentifiers: false,
+		TokenDropout:     0.45,
+		Noise:            1.6,
+	},
+	{
+		Name:             ModelGraphCodeBERT,
+		Seed:             0x9CB,
+		SplitIdentifiers: true,
+		KeywordWeight:    0.7,
+		TokenDropout:     0.15,
+		Noise:            0.85,
+	},
+	{
+		Name:             ModelBGELargeEN,
+		Seed:             0xB9E,
+		SplitIdentifiers: true,
+		DropStopwords:    true,
+		TokenDropout:     0.10,
+		CharNGram:        4,
+		NGramWeight:      0.5,
+		Noise:            0.55,
+	},
+	{
+		Name:             ModelGTELarge,
+		Seed:             0x97E,
+		SplitIdentifiers: false,
+		DropStopwords:    true,
+		TokenDropout:     0.40,
+		Noise:            1.25,
+	},
+}
+
+var (
+	zooOnce sync.Once
+	zoo     map[string]*Model
+)
+
+func buildZoo() {
+	zoo = make(map[string]*Model, len(zooConfigs))
+	for _, cfg := range zooConfigs {
+		zoo[cfg.Name] = New(cfg)
+	}
+}
+
+// Lookup returns the named model from the zoo.
+func Lookup(name string) (*Model, error) {
+	zooOnce.Do(buildZoo)
+	m, ok := zoo[name]
+	if !ok {
+		return nil, fmt.Errorf("embed: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// MustLookup panics on unknown model names (for package wiring).
+func MustLookup(name string) *Model {
+	m, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ModelNames lists every model in the zoo, sorted.
+func ModelNames() []string {
+	zooOnce.Do(buildZoo)
+	names := make([]string, 0, len(zoo))
+	for n := range zoo {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,263 @@
+// Package engine is Laminar's serverless Execution Engine (Section 3.3):
+// it receives a serialized workflow (or single PE), auto-installs the
+// libraries its imports need, stages additional resources, autonomously
+// identifies the initial PE, enacts the workflow under the requested
+// mapping, and returns the combined output to the caller — all through the
+// single /execution/{user}/run contract. The engine runs embedded (local
+// execution) or behind the HTTP front of remote.go (the Docker-on-Azure
+// deployment of the paper, reproduced with injected WAN latency).
+package engine
+
+import (
+	"bytes"
+	"encoding/base64"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"laminar/internal/codec"
+	"laminar/internal/core"
+	"laminar/internal/dataflow"
+	"laminar/internal/pycode"
+	"laminar/internal/pylib"
+	"laminar/internal/pype"
+)
+
+// Config tunes an engine instance.
+type Config struct {
+	// VOBaseURL points science modules at a Virtual Observatory service;
+	// empty answers cone queries locally (offline mode).
+	VOBaseURL string
+	// HTTPTimeout bounds outbound service calls from PE code.
+	HTTPTimeout time.Duration
+	// InstallDelayScale scales simulated library install latencies
+	// (1 = realistic, 0 = instant for tests).
+	InstallDelayScale float64
+	// MaxSteps bounds each PE interpreter instance.
+	MaxSteps int64
+	// WorkDir hosts staged resources; empty uses a temp directory per run.
+	WorkDir string
+}
+
+// Engine executes serverless requests.
+type Engine struct {
+	cfg Config
+	env *pylib.Env
+}
+
+// New creates an engine with a fresh library environment.
+func New(cfg Config) *Engine {
+	if cfg.HTTPTimeout == 0 {
+		cfg.HTTPTimeout = 10 * time.Second
+	}
+	env := pylib.NewEnv()
+	env.InstallDelayScale = cfg.InstallDelayScale
+	return &Engine{cfg: cfg, env: env}
+}
+
+// Env exposes the engine's library environment (for inspection and tests).
+func (e *Engine) Env() *pylib.Env { return e.env }
+
+// Execute runs one serverless request end to end.
+func (e *Engine) Execute(req core.ExecutionRequest) (*core.ExecutionResponse, error) {
+	if req.WorkflowCode == "" {
+		return nil, core.ErrBadRequest("workflowCode", "execution request carries no workflow code (the server resolves names/ids before dispatch)")
+	}
+	env, err := codec.Decode(req.WorkflowCode)
+	if err != nil {
+		return nil, core.ErrBadRequest("workflowCode", "undecodable workflow envelope: %v", err)
+	}
+
+	// Dependency management: union of client-declared and engine-detected
+	// imports, installed before execution (Section 3.3's auto-import).
+	imports := map[string]bool{}
+	for _, im := range req.Imports {
+		imports[im] = true
+	}
+	for _, im := range env.Imports {
+		imports[im] = true
+	}
+	if detected, derr := DetectImports(env.Source); derr == nil {
+		for _, im := range detected {
+			imports[im] = true
+		}
+	}
+	var toInstall []string
+	for im := range imports {
+		toInstall = append(toInstall, im)
+	}
+	installed, err := e.env.Install(toInstall)
+	if err != nil {
+		return nil, core.ErrExecution("library installation failed: %v", err)
+	}
+
+	// Resource staging: the 'resources' directory travels base64-encoded
+	// and is materialized for open() inside PE code.
+	resourceDir, cleanup, err := e.stageResources(req.Resources)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	build, err := pype.BuildWorkflow(env.Source, pype.Options{
+		Seed:        req.Seed,
+		ResourceDir: resourceDir,
+		Modules:     ScienceModules(e.cfg.VOBaseURL, e.cfg.HTTPTimeout),
+		MaxSteps:    e.cfg.MaxSteps,
+	})
+	if err != nil {
+		return nil, core.ErrExecution("building workflow: %v", err)
+	}
+
+	opts, err := e.runOptions(req, build)
+	if err != nil {
+		return nil, err
+	}
+	result, err := dataflow.Run(build.Graph, opts)
+	if err != nil {
+		return nil, core.ErrExecution("enactment failed: %v", err)
+	}
+
+	resp := &core.ExecutionResponse{
+		Output:             result.StdoutText,
+		Summary:            result.Summary(),
+		DurationMS:         float64(result.Duration.Microseconds()) / 1000,
+		InstalledLibraries: installed,
+		Outputs:            map[string][]any{},
+	}
+	for _, key := range result.OutputKeys() {
+		resp.Outputs[key] = result.Outputs(key)
+	}
+	return resp, nil
+}
+
+// runOptions translates the wire request into dataflow options, resolving
+// mapping, process count and input shape (iterations vs initial records).
+func (e *Engine) runOptions(req core.ExecutionRequest, build *pype.BuildResult) (dataflow.Options, error) {
+	mapping, err := dataflow.ParseMapping(req.Process)
+	if err != nil {
+		return dataflow.Options{}, core.ErrBadRequest("process", "%v", err)
+	}
+	opts := dataflow.Options{Mapping: mapping, Args: req.Args}
+	if req.Args != nil {
+		if n, ok := req.Args["num"]; ok {
+			switch v := n.(type) {
+			case float64:
+				opts.Processes = int(v)
+			case int:
+				opts.Processes = v
+			case int64:
+				opts.Processes = int(v)
+			default:
+				return dataflow.Options{}, core.ErrBadRequest("args.num", "process count must be a number, got %T", n)
+			}
+		}
+	}
+	switch in := req.Input.(type) {
+	case nil:
+		opts.Iterations = 1
+	case float64:
+		opts.Iterations = int(in)
+	case int:
+		opts.Iterations = in
+	case int64:
+		opts.Iterations = int(in)
+	case []any:
+		records, err := toInitialInputs(in)
+		if err != nil {
+			return dataflow.Options{}, err
+		}
+		opts.InitialInputs = records
+		opts.Iterations = 1
+	default:
+		return dataflow.Options{}, core.ErrBadRequest("input", "input must be an iteration count or a list of input records, got %T", req.Input)
+	}
+	// The engine autonomously identifies the initial PE (Section 3.3); a
+	// workflow whose root consumes inputs but received none still runs —
+	// the injector simply closes the stream.
+	if _, err := build.Graph.InitialPE(); err != nil {
+		return dataflow.Options{}, core.ErrExecution("%v", err)
+	}
+	return opts, nil
+}
+
+func toInitialInputs(items []any) ([]map[string]dataflow.Value, error) {
+	out := make([]map[string]dataflow.Value, 0, len(items))
+	for i, item := range items {
+		rec, ok := item.(map[string]any)
+		if !ok {
+			return nil, core.ErrBadRequest("input", "input[%d] must be an object mapping port to value, got %T", i, item)
+		}
+		m := make(map[string]dataflow.Value, len(rec))
+		for k, v := range rec {
+			m[k] = v
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// stageResources materializes the request's resources into a directory and
+// returns it with a cleanup function.
+func (e *Engine) stageResources(resources map[string]string) (string, func(), error) {
+	if len(resources) == 0 && e.cfg.WorkDir == "" {
+		return "", func() {}, nil
+	}
+	dir := e.cfg.WorkDir
+	cleanup := func() {}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "laminar-resources-*")
+		if err != nil {
+			return "", nil, core.ErrInternal("creating resources dir: %v", err)
+		}
+		dir = tmp
+		cleanup = func() { _ = os.RemoveAll(tmp) }
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", nil, core.ErrInternal("creating resources dir: %v", err)
+	}
+	for name, b64 := range resources {
+		clean := filepath.Clean(name)
+		if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+			cleanup()
+			return "", nil, core.ErrBadRequest("resources", "resource name %q escapes the resources directory", name)
+		}
+		data, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			cleanup()
+			return "", nil, core.ErrBadRequest("resources", "resource %q is not valid base64: %v", name, err)
+		}
+		full := filepath.Join(dir, clean)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			cleanup()
+			return "", nil, core.ErrInternal("staging resource %q: %v", name, err)
+		}
+		if err := os.WriteFile(full, data, 0o644); err != nil {
+			cleanup()
+			return "", nil, core.ErrInternal("staging resource %q: %v", name, err)
+		}
+	}
+	return dir, cleanup, nil
+}
+
+// DescribeWorkflow parses an envelope and renders the concrete-workflow
+// description for a process budget — the Fig. 1 view.
+func DescribeWorkflow(encoded string, processes int) (string, error) {
+	env, err := codec.Decode(encoded)
+	if err != nil {
+		return "", err
+	}
+	build, err := pype.BuildWorkflow(env.Source, pype.Options{Stdout: &bytes.Buffer{}})
+	if err != nil {
+		return "", err
+	}
+	plan, err := dataflow.NewPlan(build.Graph, processes)
+	if err != nil {
+		return "", err
+	}
+	return plan.Describe(), nil
+}
+
+// Interp note: pycode interpreters are created per PE instance inside pype;
+// the engine itself never evaluates user code on its own goroutine.
+var _ = pycode.TypeName

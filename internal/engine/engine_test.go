@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"encoding/base64"
+	"strings"
+	"testing"
+	"time"
+
+	"laminar/internal/codec"
+	"laminar/internal/core"
+)
+
+func encodeWF(t *testing.T, source string) string {
+	t.Helper()
+	enc, err := codec.Encode(codec.Envelope{Kind: codec.KindWorkflow, Name: "wf", Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+const producerSource = `
+import random
+
+class Producer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return random.randint(1, 100)
+`
+
+func TestDetectImports(t *testing.T) {
+	src := `
+import random
+from collections import defaultdict
+
+class PE1(GenericPE):
+    def __init__(self):
+        from math import sqrt
+        GenericPE.__init__(self)
+    def _process(self, inputs):
+        import json
+        import os.path
+        return json.dumps(inputs)
+`
+	imports, err := DetectImports(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"collections", "json", "math", "os", "random"}
+	if strings.Join(imports, ",") != strings.Join(want, ",") {
+		t.Errorf("imports = %v, want %v", imports, want)
+	}
+}
+
+func TestDetectImportsSkipsDispel4py(t *testing.T) {
+	imports, err := DetectImports("from dispel4py import ProducerPE\nimport math\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imports) != 1 || imports[0] != "math" {
+		t.Errorf("imports = %v", imports)
+	}
+}
+
+func TestExecuteSimpleProducer(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+	resp, err := e.Execute(core.ExecutionRequest{
+		WorkflowCode: encodeWF(t, producerSource),
+		Input:        3,
+		Process:      "SIMPLE",
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(resp.Outputs["Producer.output"]); got != 3 {
+		t.Fatalf("outputs: %v", resp.Outputs)
+	}
+	if resp.DurationMS < 0 {
+		t.Error("negative duration")
+	}
+}
+
+func TestExecuteInstallsDetectedImports(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+	src := `
+import astropy
+
+class P(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return 1
+`
+	resp, err := e.Execute(core.ExecutionRequest{WorkflowCode: encodeWF(t, src), Input: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, lib := range resp.InstalledLibraries {
+		if lib == "astropy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("astropy not auto-installed: %v", resp.InstalledLibraries)
+	}
+	if !e.Env().Has("astropy") {
+		t.Error("env should now have astropy")
+	}
+	// second run installs nothing new
+	resp2, err := e.Execute(core.ExecutionRequest{WorkflowCode: encodeWF(t, src), Input: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.InstalledLibraries) != 0 {
+		t.Errorf("re-run should install nothing: %v", resp2.InstalledLibraries)
+	}
+}
+
+func TestExecuteUnknownLibraryFails(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+	src := `
+import tensorflow
+
+class P(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return 1
+`
+	_, err := e.Execute(core.ExecutionRequest{WorkflowCode: encodeWF(t, src), Input: 1})
+	if err == nil {
+		t.Fatal("unknown library should fail installation")
+	}
+	apiErr, ok := err.(*core.APIError)
+	if !ok || apiErr.Type != "ExecutionError" {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestExecuteRejectsBadRequests(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+	if _, err := e.Execute(core.ExecutionRequest{}); err == nil {
+		t.Error("missing code should fail")
+	}
+	if _, err := e.Execute(core.ExecutionRequest{WorkflowCode: "garbage"}); err == nil {
+		t.Error("bad envelope should fail")
+	}
+	enc := encodeWF(t, producerSource)
+	if _, err := e.Execute(core.ExecutionRequest{WorkflowCode: enc, Process: "SPARK"}); err == nil {
+		t.Error("unknown mapping should fail")
+	}
+	if _, err := e.Execute(core.ExecutionRequest{WorkflowCode: enc, Input: "five"}); err == nil {
+		t.Error("string input should fail")
+	}
+	if _, err := e.Execute(core.ExecutionRequest{WorkflowCode: enc, Args: map[string]any{"num": "many"}}); err == nil {
+		t.Error("non-numeric process count should fail")
+	}
+}
+
+func TestResourceStaging(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+	src := `
+class Reader(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, filename):
+        return open(filename).read().strip()
+`
+	resp, err := e.Execute(core.ExecutionRequest{
+		WorkflowCode: encodeWF(t, src),
+		Input:        []any{map[string]any{"input": "data.txt"}},
+		Resources: map[string]string{
+			"data.txt": base64.StdEncoding.EncodeToString([]byte("hello resources\n")),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := resp.Outputs["Reader.output"]
+	if len(out) != 1 || out[0] != "hello resources" {
+		t.Fatalf("outputs: %v", resp.Outputs)
+	}
+}
+
+func TestResourceEscapeRejected(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+	_, err := e.Execute(core.ExecutionRequest{
+		WorkflowCode: encodeWF(t, producerSource),
+		Input:        1,
+		Resources: map[string]string{
+			"../escape.txt": base64.StdEncoding.EncodeToString([]byte("nope")),
+		},
+	})
+	if err == nil {
+		t.Fatal("path escape should be rejected")
+	}
+	_, err = e.Execute(core.ExecutionRequest{
+		WorkflowCode: encodeWF(t, producerSource),
+		Input:        1,
+		Resources:    map[string]string{"x.txt": "not-base64!!"},
+	})
+	if err == nil {
+		t.Fatal("bad base64 should be rejected")
+	}
+}
+
+func TestRemoteServerRoundTrip(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+	rs := NewRemoteServer(e, 5*time.Millisecond)
+	url, err := rs.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	// health endpoint
+	resp, err := httpGet(url + "/healthz")
+	if err != nil || !strings.Contains(resp, "ok") {
+		t.Fatalf("health: %q %v", resp, err)
+	}
+	// run endpoint with latency: must take at least the WAN time
+	start := time.Now()
+	body := `{"workflowCode": ` + jsonString(encodeWF(t, producerSource)) + `, "input": 2, "seed": 4}`
+	out, status, err := httpPost(url+"/run", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 200 {
+		t.Fatalf("status %d: %s", status, out)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("WAN latency not applied")
+	}
+	if !strings.Contains(out, "durationMs") {
+		t.Errorf("response: %s", out)
+	}
+	// error path: bad JSON gives the standardized error shape
+	out, status, err = httpPost(url+"/run", "{broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 400 || !strings.Contains(out, "BadRequestError") {
+		t.Errorf("status %d body %s", status, out)
+	}
+}
+
+func TestDescribeWorkflow(t *testing.T) {
+	enc := encodeWF(t, `
+class A(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return 1
+
+class B(ConsumerPE):
+    def __init__(self):
+        ConsumerPE.__init__(self)
+    def _process(self, v):
+        pass
+
+g = WorkflowGraph()
+a = A()
+b = B()
+g.connect(a, 'output', b, 'input')
+`)
+	desc, err := DescribeWorkflow(enc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "A") || !strings.Contains(desc, "x3") {
+		t.Errorf("describe: %s", desc)
+	}
+}

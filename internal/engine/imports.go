@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"sort"
+
+	"laminar/internal/pycode"
+)
+
+// DetectImports is the findimports substitution (Section 3.4.2): it walks
+// the full AST of a pycode module — including imports nested inside class
+// bodies, __init__ and _process methods, as Listing 2 demonstrates — and
+// returns the sorted set of top-level imported library names.
+func DetectImports(source string) ([]string, error) {
+	prog, err := pycode.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	var walkStmts func(body []pycode.Stmt)
+	record := func(module string) {
+		// `import os.path` depends on the `os` distribution
+		root := module
+		for i := 0; i < len(module); i++ {
+			if module[i] == '.' {
+				root = module[:i]
+				break
+			}
+		}
+		if root != "" && root != "dispel4py" {
+			set[root] = true
+		}
+	}
+	walkStmts = func(body []pycode.Stmt) {
+		for _, st := range body {
+			switch s := st.(type) {
+			case *pycode.ImportStmt:
+				for _, n := range s.Names {
+					record(n.Module)
+				}
+			case *pycode.FromImportStmt:
+				record(s.Module)
+			case *pycode.IfStmt:
+				walkStmts(s.Body)
+				walkStmts(s.Else)
+			case *pycode.WhileStmt:
+				walkStmts(s.Body)
+				walkStmts(s.Else)
+			case *pycode.ForStmt:
+				walkStmts(s.Body)
+				walkStmts(s.Else)
+			case *pycode.DefStmt:
+				walkStmts(s.Body)
+			case *pycode.ClassStmt:
+				walkStmts(s.Body)
+			case *pycode.TryStmt:
+				walkStmts(s.Body)
+				for _, h := range s.Handlers {
+					walkStmts(h.Body)
+				}
+				walkStmts(s.Finally)
+			}
+		}
+	}
+	walkStmts(prog.Body)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}

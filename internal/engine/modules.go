@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"laminar/internal/astro"
+	"laminar/internal/pycode"
+	"laminar/internal/votable"
+)
+
+// ScienceModules builds the native modules the astrophysics workflow
+// imports: `vo` (Virtual Observatory client), `astropy` (VOTable parsing
+// and column filtering) and `astro` (the internal-extinction computation).
+// voBaseURL points at a votable.Service; when empty, cone queries are
+// answered locally from the synthetic catalog (offline mode).
+func ScienceModules(voBaseURL string, httpTimeout time.Duration) map[string]*pycode.Module {
+	mods := map[string]*pycode.Module{}
+
+	vo := &pycode.Module{Name: "vo", Attrs: map[string]pycode.Value{}}
+	vo.Attrs["get_votable"] = &pycode.NativeFunc{Name: "get_votable", Fn: func(ip *pycode.Interp, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+		if len(args) != 2 {
+			return nil, pycode.Raise("TypeError", "get_votable() takes (ra, dec)")
+		}
+		ra, okA := toF(args[0])
+		dec, okB := toF(args[1])
+		if !okA || !okB {
+			return nil, pycode.Raise("TypeError", "get_votable() arguments must be numbers")
+		}
+		if voBaseURL == "" {
+			table := votable.ConeTable(ra, dec)
+			text, err := votable.Encode(table, "amiga-cone")
+			if err != nil {
+				return nil, pycode.Raise("RuntimeError", "%s", err)
+			}
+			return pycode.Str(text), nil
+		}
+		client := &http.Client{Timeout: httpTimeout}
+		url := fmt.Sprintf("%s/votable?ra=%f&dec=%f", voBaseURL, ra, dec)
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, pycode.Raise("ConnectionError", "VO service: %s", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, pycode.Raise("ConnectionError", "VO service read: %s", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, pycode.Raise("ConnectionError", "VO service returned %d: %s", resp.StatusCode, string(body))
+		}
+		return pycode.Str(string(body)), nil
+	}}
+	mods["vo"] = vo
+
+	ap := &pycode.Module{Name: "astropy", Attrs: map[string]pycode.Value{}}
+	ap.Attrs["parse_votable"] = &pycode.NativeFunc{Name: "parse_votable", Fn: func(ip *pycode.Interp, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+		if len(args) != 1 {
+			return nil, pycode.Raise("TypeError", "parse_votable() takes the XML text")
+		}
+		text, ok := args[0].(pycode.Str)
+		if !ok {
+			return nil, pycode.Raise("TypeError", "parse_votable() argument must be str")
+		}
+		table, err := votable.Parse(string(text))
+		if err != nil {
+			return nil, pycode.Raise("ValueError", "%s", err)
+		}
+		return wrapTable(table), nil
+	}}
+	mods["astropy"] = ap
+
+	as := &pycode.Module{Name: "astro", Attrs: map[string]pycode.Value{}}
+	as.Attrs["internal_extinction"] = &pycode.NativeFunc{Name: "internal_extinction", Fn: func(ip *pycode.Interp, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+		if len(args) != 2 {
+			return nil, pycode.Raise("TypeError", "internal_extinction() takes (mtype, logr25)")
+		}
+		mtypeF, okA := toF(args[0])
+		logr, okB := toF(args[1])
+		if !okA || !okB {
+			return nil, pycode.Raise("TypeError", "internal_extinction() arguments must be numbers")
+		}
+		a, err := astro.InternalExtinction(int(mtypeF), logr)
+		if err != nil {
+			return nil, pycode.Raise("ValueError", "%s", err)
+		}
+		return pycode.Float(a), nil
+	}}
+	as.Attrs["parse_coordinates"] = &pycode.NativeFunc{Name: "parse_coordinates", Fn: func(ip *pycode.Interp, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+		if len(args) != 1 {
+			return nil, pycode.Raise("TypeError", "parse_coordinates() takes the file text")
+		}
+		text, ok := args[0].(pycode.Str)
+		if !ok {
+			return nil, pycode.Raise("TypeError", "parse_coordinates() argument must be str")
+		}
+		coords, err := astro.ParseCoordinates(string(text))
+		if err != nil {
+			return nil, pycode.Raise("ValueError", "%s", err)
+		}
+		items := make([]pycode.Value, len(coords))
+		for i, c := range coords {
+			items[i] = &pycode.Tuple{Items: []pycode.Value{pycode.Float(c.RA), pycode.Float(c.Dec)}}
+		}
+		return &pycode.List{Items: items}, nil
+	}}
+	mods["astro"] = as
+	return mods
+}
+
+// wrapTable exposes a votable.Table to pycode with the astropy-flavoured
+// surface the filterColumns PE uses.
+func wrapTable(t *votable.Table) *pycode.NativeObject {
+	obj := &pycode.NativeObject{TypeName: "VOTable", Data: t}
+	obj.Length = func() int { return len(t.Rows) }
+	obj.Str = func() string {
+		return fmt.Sprintf("<VOTable %d rows x %d cols>", len(t.Rows), len(t.Fields))
+	}
+	obj.Attr = func(name string) (pycode.Value, bool) {
+		switch name {
+		case "filter_columns":
+			return &pycode.NativeFunc{Name: "filter_columns", Fn: func(ip *pycode.Interp, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+				if len(args) != 1 {
+					return nil, pycode.Raise("TypeError", "filter_columns() takes a list of column names")
+				}
+				lst, ok := args[0].(*pycode.List)
+				if !ok {
+					return nil, pycode.Raise("TypeError", "filter_columns() argument must be a list")
+				}
+				names := make([]string, len(lst.Items))
+				for i, it := range lst.Items {
+					s, ok := it.(pycode.Str)
+					if !ok {
+						return nil, pycode.Raise("TypeError", "column names must be str")
+					}
+					names[i] = string(s)
+				}
+				filtered, err := t.FilterColumns(names)
+				if err != nil {
+					return nil, pycode.Raise("KeyError", "%s", err)
+				}
+				return wrapTable(filtered), nil
+			}}, true
+		case "columns":
+			items := make([]pycode.Value, len(t.Fields))
+			for i, f := range t.Fields {
+				items[i] = pycode.Str(f.Name)
+			}
+			return &pycode.List{Items: items}, true
+		case "rows":
+			rows := make([]pycode.Value, len(t.Rows))
+			for i, row := range t.Rows {
+				cells := make([]pycode.Value, len(row))
+				for j, cell := range row {
+					cells[j] = pycode.Str(cell)
+				}
+				rows[i] = &pycode.List{Items: cells}
+			}
+			return &pycode.List{Items: rows}, true
+		case "float":
+			return &pycode.NativeFunc{Name: "float", Fn: func(ip *pycode.Interp, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+				if len(args) != 2 {
+					return nil, pycode.Raise("TypeError", "float() takes (row, col)")
+				}
+				r, okR := args[0].(pycode.Int)
+				c, okC := args[1].(pycode.Int)
+				if !okR || !okC {
+					return nil, pycode.Raise("TypeError", "float() indices must be int")
+				}
+				f, err := t.Float(int(r), int(c))
+				if err != nil {
+					return nil, pycode.Raise("ValueError", "%s", err)
+				}
+				return pycode.Float(f), nil
+			}}, true
+		case "num_rows":
+			return pycode.Int(len(t.Rows)), true
+		}
+		return nil, false
+	}
+	obj.Iter = func() ([]pycode.Value, error) {
+		rows := make([]pycode.Value, len(t.Rows))
+		for i, row := range t.Rows {
+			cells := make([]pycode.Value, len(row))
+			for j, cell := range row {
+				cells[j] = pycode.Str(cell)
+			}
+			rows[i] = &pycode.List{Items: cells}
+		}
+		return rows, nil
+	}
+	return obj
+}
+
+func toF(v pycode.Value) (float64, bool) {
+	switch x := v.(type) {
+	case pycode.Int:
+		return float64(x), true
+	case pycode.Float:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}

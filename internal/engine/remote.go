@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"laminar/internal/core"
+)
+
+// RemoteServer fronts an Engine with the single /run HTTP endpoint the
+// paper's remote deployment exposes (the Docker image on Azure App
+// Services). RequestLatency injects the simulated WAN round trip used by
+// Table 5's "Remote Execution" rows.
+type RemoteServer struct {
+	Engine         *Engine
+	RequestLatency time.Duration
+
+	srv  *http.Server
+	addr string
+}
+
+// NewRemoteServer wraps an engine.
+func NewRemoteServer(e *Engine, latency time.Duration) *RemoteServer {
+	return &RemoteServer{Engine: e, RequestLatency: latency}
+}
+
+// Start listens on addr ("127.0.0.1:0" picks a free port) and returns the
+// base URL.
+func (rs *RemoteServer) Start(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", rs.handleRun)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	rs.addr = "http://" + ln.Addr().String()
+	rs.srv = &http.Server{Handler: mux}
+	go func() { _ = rs.srv.Serve(ln) }()
+	return rs.addr, nil
+}
+
+// BaseURL returns the server root once started.
+func (rs *RemoteServer) BaseURL() string { return rs.addr }
+
+// Close stops the server.
+func (rs *RemoteServer) Close() {
+	if rs.srv != nil {
+		_ = rs.srv.Close()
+	}
+}
+
+func (rs *RemoteServer) handleRun(w http.ResponseWriter, r *http.Request) {
+	if rs.RequestLatency > 0 {
+		time.Sleep(rs.RequestLatency)
+	}
+	if r.Method != http.MethodPost {
+		writeAPIError(w, core.ErrBadRequest("method", "POST required"))
+		return
+	}
+	var req core.ExecutionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeAPIError(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+		return
+	}
+	resp, err := rs.Engine.Execute(req)
+	if err != nil {
+		if apiErr, ok := err.(*core.APIError); ok {
+			writeAPIError(w, apiErr)
+			return
+		}
+		writeAPIError(w, core.ErrInternal("%v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func writeAPIError(w http.ResponseWriter, apiErr *core.APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(apiErr.HTTPStatus())
+	_ = json.NewEncoder(w).Encode(apiErr)
+}

@@ -1,0 +1,106 @@
+// Package metrics implements the retrieval metrics of the paper's
+// evaluation: Mean Reciprocal Rank (Table 6), Mean Average Precision at K
+// and Precision at 1 (Table 7).
+package metrics
+
+// ReciprocalRank returns 1/rank of the first relevant item in the ranking
+// (0 when none is relevant). ranking holds candidate ids in ranked order;
+// relevant is the ground-truth set.
+func ReciprocalRank(ranking []int, relevant map[int]bool) float64 {
+	for i, id := range ranking {
+		if relevant[id] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// MRR averages reciprocal ranks over queries.
+func MRR(rankings [][]int, relevants []map[int]bool) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	var total float64
+	for i, r := range rankings {
+		total += ReciprocalRank(r, relevants[i])
+	}
+	return total / float64(len(rankings))
+}
+
+// AveragePrecisionAtK computes AP@K for one query: the mean of precision at
+// each relevant hit within the top K, normalized by min(K, |relevant|).
+func AveragePrecisionAtK(ranking []int, relevant map[int]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	hits := 0
+	var sum float64
+	for i := 0; i < k; i++ {
+		if relevant[ranking[i]] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	denom := len(relevant)
+	if k < denom {
+		denom = k
+	}
+	if denom == 0 {
+		return 0
+	}
+	return sum / float64(denom)
+}
+
+// MAPAtK averages AP@K over queries (the MAP@100 of Table 7 with k=100).
+func MAPAtK(rankings [][]int, relevants []map[int]bool, k int) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	var total float64
+	for i, r := range rankings {
+		total += AveragePrecisionAtK(r, relevants[i], k)
+	}
+	return total / float64(len(rankings))
+}
+
+// PrecisionAt1 is the fraction of queries whose top-ranked item is relevant.
+func PrecisionAt1(rankings [][]int, relevants []map[int]bool) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, r := range rankings {
+		if len(r) > 0 && relevants[i][r[0]] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(rankings))
+}
+
+// PrecisionAtK is the fraction of relevant items within the top K, averaged
+// over queries.
+func PrecisionAtK(rankings [][]int, relevants []map[int]bool, k int) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	var total float64
+	for i, r := range rankings {
+		kk := k
+		if kk > len(r) {
+			kk = len(r)
+		}
+		hits := 0
+		for j := 0; j < kk; j++ {
+			if relevants[i][r[j]] {
+				hits++
+			}
+		}
+		if kk > 0 {
+			total += float64(hits) / float64(kk)
+		}
+	}
+	return total / float64(len(rankings))
+}

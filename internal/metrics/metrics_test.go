@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestReciprocalRank(t *testing.T) {
+	rel := map[int]bool{7: true}
+	if rr := ReciprocalRank([]int{7, 1, 2}, rel); !almostEqual(rr, 1) {
+		t.Errorf("rank 1: %v", rr)
+	}
+	if rr := ReciprocalRank([]int{1, 2, 7}, rel); !almostEqual(rr, 1.0/3) {
+		t.Errorf("rank 3: %v", rr)
+	}
+	if rr := ReciprocalRank([]int{1, 2, 3}, rel); rr != 0 {
+		t.Errorf("missing: %v", rr)
+	}
+	if rr := ReciprocalRank(nil, rel); rr != 0 {
+		t.Errorf("empty ranking: %v", rr)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	rankings := [][]int{{5, 1}, {1, 5}, {2, 3}}
+	relevants := []map[int]bool{{5: true}, {5: true}, {5: true}}
+	// 1 + 1/2 + 0 over 3 = 0.5
+	if got := MRR(rankings, relevants); !almostEqual(got, 0.5) {
+		t.Errorf("MRR = %v", got)
+	}
+	if got := MRR(nil, nil); got != 0 {
+		t.Errorf("empty MRR = %v", got)
+	}
+}
+
+func TestAveragePrecisionAtK(t *testing.T) {
+	// relevant at positions 1 and 3 (1-based), K=3, |rel|=2:
+	// (1/1 + 2/3)/2 = 5/6
+	rel := map[int]bool{10: true, 30: true}
+	ap := AveragePrecisionAtK([]int{10, 20, 30}, rel, 3)
+	if !almostEqual(ap, 5.0/6) {
+		t.Errorf("AP = %v, want %v", ap, 5.0/6)
+	}
+	// nothing relevant retrieved
+	if ap := AveragePrecisionAtK([]int{20, 40}, rel, 2); ap != 0 {
+		t.Errorf("AP = %v", ap)
+	}
+	// K smaller than relevant count normalizes by K
+	rel3 := map[int]bool{1: true, 2: true, 3: true}
+	ap = AveragePrecisionAtK([]int{1}, rel3, 1)
+	if !almostEqual(ap, 1) {
+		t.Errorf("AP@1 with 3 relevant = %v, want 1", ap)
+	}
+}
+
+func TestPrecisionAt1(t *testing.T) {
+	rankings := [][]int{{1, 2}, {3, 4}, {}}
+	relevants := []map[int]bool{{1: true}, {4: true}, {9: true}}
+	if got := PrecisionAt1(rankings, relevants); !almostEqual(got, 1.0/3) {
+		t.Errorf("P@1 = %v", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	rankings := [][]int{{1, 2, 3, 4}}
+	relevants := []map[int]bool{{1: true, 3: true}}
+	if got := PrecisionAtK(rankings, relevants, 4); !almostEqual(got, 0.5) {
+		t.Errorf("P@4 = %v", got)
+	}
+	if got := PrecisionAtK(rankings, relevants, 2); !almostEqual(got, 0.5) {
+		t.Errorf("P@2 = %v", got)
+	}
+}
+
+// Property: metrics are always within [0, 1].
+func TestMetricsBounded(t *testing.T) {
+	f := func(perm []uint8, relBits []bool) bool {
+		ranking := make([]int, len(perm))
+		for i, p := range perm {
+			ranking[i] = int(p)
+		}
+		rel := map[int]bool{}
+		for i, b := range relBits {
+			if b {
+				rel[i%256] = true
+			}
+		}
+		rr := ReciprocalRank(ranking, rel)
+		ap := AveragePrecisionAtK(ranking, rel, 100)
+		return rr >= 0 && rr <= 1 && ap >= 0 && ap <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: putting a relevant item strictly earlier never lowers RR.
+func TestRRMonotonicInRank(t *testing.T) {
+	f := func(n uint8, pos uint8) bool {
+		size := int(n%50) + 2
+		p := int(pos) % size
+		ranking := make([]int, size)
+		for i := range ranking {
+			ranking[i] = i + 1000 // non-relevant filler
+		}
+		rel := map[int]bool{-1: true}
+		ranking[p] = -1
+		rrLate := ReciprocalRank(ranking, rel)
+		if p == 0 {
+			return almostEqual(rrLate, 1)
+		}
+		ranking[p] = p + 1000
+		ranking[p-1] = -1
+		rrEarly := ReciprocalRank(ranking, rel)
+		return rrEarly > rrLate
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AP@K equals 1 when all top-min(K,|rel|) items are relevant.
+func TestAPPerfectRanking(t *testing.T) {
+	f := func(n uint8) bool {
+		k := int(n%20) + 1
+		ranking := make([]int, k)
+		rel := map[int]bool{}
+		for i := 0; i < k; i++ {
+			ranking[i] = i
+			rel[i] = true
+		}
+		return almostEqual(AveragePrecisionAtK(ranking, rel, k), 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+package pycode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecursion(t *testing.T) {
+	src := `
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def flatten(items):
+    out = []
+    for x in items:
+        if isinstance(x, list):
+            out.extend(flatten(x))
+        else:
+            out.append(x)
+    return out
+
+print(fib(12))
+print(flatten([1, [2, [3, 4]], [5]]))
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "144\n[1, 2, 3, 4, 5]"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestWhileElseAndForElse(t *testing.T) {
+	src := `
+n = 0
+while n < 3:
+    n += 1
+else:
+    print("while-else ran")
+
+for i in range(3):
+    if i == 99:
+        break
+else:
+    print("for-else ran")
+
+for i in range(3):
+    if i == 1:
+        break
+else:
+    print("should not print")
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "while-else ran\nfor-else ran"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestNestedClosuresShareState(t *testing.T) {
+	src := `
+def make_counter():
+    box = [0]
+    def bump():
+        box[0] += 1
+        return box[0]
+    return bump
+
+c1 = make_counter()
+c2 = make_counter()
+print(c1(), c1(), c1(), c2())
+`
+	if got := strings.TrimSpace(run(t, src)); got != "1 2 3 1" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestChainedAssignment(t *testing.T) {
+	src := `
+a = b = c = 7
+print(a, b, c)
+a = b = a + 1
+print(a, b)
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "7 7 7\n8 8" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestKeywordOnlyCalls(t *testing.T) {
+	src := `
+def box(width=1, height=2, label="x"):
+    return "%s:%dx%d" % (label, width, height)
+
+print(box())
+print(box(height=9))
+print(box(3, label="big"))
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "x:1x2\nx:1x9\nbig:3x2"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestTryFinallyOrdering(t *testing.T) {
+	src := `
+log = []
+def risky(fail):
+    try:
+        log.append("try")
+        if fail:
+            raise ValueError("boom")
+        return "ok"
+    except ValueError as e:
+        log.append("except")
+        return "caught"
+    finally:
+        log.append("finally")
+
+print(risky(False), risky(True))
+print(log)
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "ok caught\n['try', 'finally', 'try', 'except', 'finally']"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestUncaughtTypePassesThrough(t *testing.T) {
+	src := `
+try:
+    xs = [1]
+    print(xs[5])
+except KeyError:
+    print("wrong handler")
+`
+	err := runErr(t, src)
+	re, ok := err.(*RuntimeErr)
+	if !ok || re.Type != "IndexError" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStringSliceAndNegativeIndex(t *testing.T) {
+	src := `
+s = "laminar"
+print(s[0], s[-1], s[1:4], s[-3:])
+print(len(s))
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "l r ami nar\n7" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestZipEnumerateInterplay(t *testing.T) {
+	src := `
+names = ["a", "b", "c"]
+scores = [10, 20, 30]
+for i, pair in enumerate(zip(names, scores)):
+    name, score = pair
+    print("%d %s=%d" % (i, name, score))
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "0 a=10\n1 b=20\n2 c=30"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestDictIterationOrderStable(t *testing.T) {
+	src := `
+d = {}
+for i in range(10):
+    d["k%d" % i] = i
+print(list(d.keys())[0], list(d.keys())[9])
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "k0 k9" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLambdaCapturesLoopVariableByReference(t *testing.T) {
+	// pycode mirrors Python's late binding inside a shared scope.
+	src := `
+fns = []
+for i in range(3):
+    fns.append(lambda: i)
+print([f() for f in fns])
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "[2, 2, 2]" {
+		t.Errorf("got %q (late binding expected)", got)
+	}
+}
+
+func TestLargeLoopWithinBudget(t *testing.T) {
+	src := `
+total = 0
+for i in range(100000):
+    total += i
+print(total)
+`
+	if got := strings.TrimSpace(run(t, src)); got != "4999950000" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestInterpreterIsolation(t *testing.T) {
+	// Two interpreters never share globals or random state.
+	var b1, b2 bytes.Buffer
+	ip1 := New(Options{Stdout: &b1, Seed: 5})
+	ip2 := New(Options{Stdout: &b2, Seed: 5})
+	if err := ip1.Exec("x = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip2.Exec("print('x' in dir_exists())"); err == nil {
+		t.Log("dir_exists is undefined, as expected to fail")
+	}
+	if _, ok := ip2.Global("x"); ok {
+		t.Fatal("globals leaked across interpreters")
+	}
+	// same seed → same random stream per interpreter
+	src := "import random\nprint(random.randint(1, 1000000))"
+	if err := ip1.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip2.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	l1 := lastLine(b1.String())
+	l2 := lastLine(b2.String())
+	if l1 != l2 {
+		t.Errorf("same seed diverged: %q vs %q", l1, l2)
+	}
+}
+
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	return lines[len(lines)-1]
+}
+
+func TestMultiplePEClassesIndependentInstances(t *testing.T) {
+	// The engine instantiates the same class many times in one interpreter;
+	// attribute state must not leak between instances.
+	ip := New(Options{})
+	src := `
+class Counter:
+    def __init__(self):
+        self.n = 0
+    def bump(self):
+        self.n += 1
+        return self.n
+`
+	if err := ip.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	clsV, _ := ip.Global("Counter")
+	cls := clsV.(*Class)
+	a, err := ip.Instantiate(cls, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ip.Instantiate(cls, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ip.CallMethod(a, "bump"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := ip.CallMethod(b, "bump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(Int) != 1 {
+		t.Fatalf("instance state leaked: %v", v)
+	}
+}

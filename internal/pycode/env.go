@@ -1,0 +1,72 @@
+package pycode
+
+// Env is a lexical scope chain. Function bodies get a fresh Env whose parent
+// is the function's closure; the module scope is the root.
+type Env struct {
+	vars        map[string]Value
+	parent      *Env
+	globals     *Env            // module scope for `global` declarations
+	globalNames map[string]bool // names declared global in this scope
+}
+
+// NewEnv creates a root (module) environment.
+func NewEnv() *Env {
+	e := &Env{vars: map[string]Value{}}
+	e.globals = e
+	return e
+}
+
+// Child creates a nested function scope.
+func (e *Env) Child() *Env {
+	return &Env{vars: map[string]Value{}, parent: e, globals: e.globals}
+}
+
+// Get resolves a name through the scope chain.
+func (e *Env) Get(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Set binds a name in this scope (or the module scope if declared global).
+func (e *Env) Set(name string, v Value) {
+	if e.globalNames[name] {
+		e.globals.vars[name] = v
+		return
+	}
+	e.vars[name] = v
+}
+
+// SetLocal always binds in this scope.
+func (e *Env) SetLocal(name string, v Value) { e.vars[name] = v }
+
+// Delete removes a binding from the nearest scope holding it.
+func (e *Env) Delete(name string) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			delete(s.vars, name)
+			return true
+		}
+	}
+	return false
+}
+
+// DeclareGlobal marks a name as referring to module scope.
+func (e *Env) DeclareGlobal(name string) {
+	if e.globalNames == nil {
+		e.globalNames = map[string]bool{}
+	}
+	e.globalNames[name] = true
+}
+
+// Names returns the names bound directly in this scope.
+func (e *Env) Names() []string {
+	out := make([]string, 0, len(e.vars))
+	for k := range e.vars {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,755 @@
+package pycode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// run executes source and returns captured stdout.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	ip := New(Options{Stdout: &buf})
+	if err := ip.Exec(src); err != nil {
+		t.Fatalf("exec failed: %v\nsource:\n%s", err, src)
+	}
+	return buf.String()
+}
+
+// runErr executes source expecting a failure.
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	var buf bytes.Buffer
+	ip := New(Options{Stdout: &buf})
+	err := ip.Exec(src)
+	if err == nil {
+		t.Fatalf("expected error, got none\nsource:\n%s", src)
+	}
+	return err
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{"1 + 2", "3"},
+		{"7 - 10", "-3"},
+		{"6 * 7", "42"},
+		{"7 / 2", "3.5"},
+		{"7 // 2", "3"},
+		{"-7 // 2", "-4"},
+		{"7 % 3", "1"},
+		{"-7 % 3", "2"},
+		{"2 ** 10", "1024"},
+		{"2 ** -1", "0.5"},
+		{"2.5 + 1", "3.5"},
+		{"10 / 4", "2.5"},
+		{"3.0 * 2", "6.0"},
+		{"1 + 2 * 3", "7"},
+		{"(1 + 2) * 3", "9"},
+		{"2 ** 3 ** 2", "512"}, // right associative
+	}
+	for _, c := range cases {
+		got := strings.TrimSpace(run(t, "print("+c.expr+")"))
+		if got != c.want {
+			t.Errorf("%s = %s, want %s", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestComparisonAndBool(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{"1 < 2", "True"},
+		{"2 <= 2", "True"},
+		{"3 > 4", "False"},
+		{"1 == 1.0", "True"},
+		{"1 != 2", "True"},
+		{"1 < 2 < 3", "True"},
+		{"1 < 2 > 3", "False"},
+		{"'a' < 'b'", "True"},
+		{"'x' in 'xyz'", "True"},
+		{"'w' not in 'xyz'", "True"},
+		{"2 in [1, 2, 3]", "True"},
+		{"None is None", "True"},
+		{"1 is not None", "True"},
+		{"True and False", "False"},
+		{"True or False", "True"},
+		{"not True", "False"},
+		{"0 or 'fallback'", "'fallback'"},
+		{"'' and 'x'", "''"},
+	}
+	for _, c := range cases {
+		got := strings.TrimSpace(run(t, "print(repr("+c.expr+"))"))
+		if got != "'"+c.want+"'" && got != c.want {
+			// repr of a bool is the bool word; repr of str includes quotes
+			if !strings.Contains(got, strings.Trim(c.want, "'")) {
+				t.Errorf("%s = %s, want %s", c.expr, got, c.want)
+			}
+		}
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	got := run(t, `print("the num %s is prime" % 7)`)
+	if strings.TrimSpace(got) != "the num 7 is prime" {
+		t.Errorf("got %q", got)
+	}
+	got = run(t, `print("%s scored %d with %.2f avg" % ("ann", 3, 1.5))`)
+	if strings.TrimSpace(got) != "ann scored 3 with 1.50 avg" {
+		t.Errorf("got %q", got)
+	}
+	got = run(t, `print("100%% done" % ())`)
+	if strings.TrimSpace(got) != "100% done" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestIfElifElse(t *testing.T) {
+	src := `
+def grade(x):
+    if x >= 90:
+        return "A"
+    elif x >= 80:
+        return "B"
+    elif x >= 70:
+        return "C"
+    else:
+        return "F"
+
+print(grade(95), grade(85), grade(75), grade(10))
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "A B C F" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWhileLoopBreakContinue(t *testing.T) {
+	src := `
+total = 0
+i = 0
+while True:
+    i += 1
+    if i > 10:
+        break
+    if i % 2 == 0:
+        continue
+    total += i
+print(total)
+`
+	if got := strings.TrimSpace(run(t, src)); got != "25" {
+		t.Errorf("got %q, want 25", got)
+	}
+}
+
+func TestForLoopRange(t *testing.T) {
+	src := `
+s = 0
+for i in range(1, 11):
+    s += i
+print(s)
+for j in range(10, 0, -2):
+    s -= j
+print(s)
+`
+	got := strings.Fields(run(t, src))
+	if len(got) != 2 || got[0] != "55" || got[1] != "25" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestTupleUnpacking(t *testing.T) {
+	src := `
+pair = ("word", 3)
+word, count = pair
+print(word, count)
+a, b = 1, 2
+a, b = b, a
+print(a, b)
+for k, v in [(1, "x"), (2, "y")]:
+    print(k, v)
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "word 3\n2 1\n1 x\n2 y"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestListOperations(t *testing.T) {
+	src := `
+xs = [3, 1, 2]
+xs.append(5)
+xs.extend([4])
+xs.sort()
+print(xs)
+print(xs[0], xs[-1], xs[1:3])
+xs.reverse()
+print(xs.pop(), len(xs))
+print([x * x for x in range(5) if x % 2 == 0])
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "[1, 2, 3, 4, 5]\n1 5 [2, 3]\n1 4\n[0, 4, 16]"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestDictOperations(t *testing.T) {
+	src := `
+d = {"a": 1, "b": 2}
+d["c"] = 3
+print(d["a"], d.get("z", 0), len(d))
+print(sorted(d.keys()))
+for k, v in d.items():
+    print(k, v)
+del d["a"]
+print("a" in d, "b" in d)
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "1 0 3\n['a', 'b', 'c']\na 1\nb 2\nc 3\nFalse True"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestGeneratorExpressionInAll(t *testing.T) {
+	// This is the exact primality idiom from Listing 3 of the paper.
+	src := `
+def is_prime(num):
+    if num < 2:
+        return False
+    return all(num % i != 0 for i in range(2, num))
+
+print([n for n in range(20) if is_prime(n)])
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "[2, 3, 5, 7, 11, 13, 17, 19]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestClassesAndInheritance(t *testing.T) {
+	src := `
+class Animal:
+    def __init__(self, name):
+        self.name = name
+    def speak(self):
+        return "..."
+    def intro(self):
+        return "%s says %s" % (self.name, self.speak())
+
+class Dog(Animal):
+    def speak(self):
+        return "woof"
+
+class Puppy(Dog):
+    pass
+
+d = Dog("rex")
+p = Puppy("spot")
+print(d.intro())
+print(p.intro())
+print(isinstance(d, Animal), isinstance(p, Dog))
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "rex says woof\nspot says woof\nTrue True"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestBaseInitCall(t *testing.T) {
+	// PE code in the paper calls Base.__init__(self) explicitly.
+	src := `
+class Base:
+    def __init__(self):
+        self.kind = "base"
+
+class Child(Base):
+    def __init__(self):
+        Base.__init__(self)
+        self.extra = 1
+
+c = Child()
+print(c.kind, c.extra)
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "base 1" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestStatefulCounter(t *testing.T) {
+	// The CountWords pattern from Listing 2: defaultdict-based state.
+	src := `
+from collections import defaultdict
+
+class Counter:
+    def __init__(self):
+        self.count = defaultdict(int)
+    def feed(self, word):
+        self.count[word] += 1
+        return self.count[word]
+
+c = Counter()
+print(c.feed("a"), c.feed("b"), c.feed("a"), c.feed("a"))
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "1 1 2 3" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestClosuresAndLambda(t *testing.T) {
+	src := `
+def make_adder(n):
+    def add(x):
+        return x + n
+    return add
+
+add5 = make_adder(5)
+print(add5(10))
+sq = lambda x: x * x
+print(sq(9))
+print(sorted([(2, "b"), (1, "c"), (3, "a")], key=lambda p: p[1]))
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "15\n81\n[(3, 'a'), (2, 'b'), (1, 'c')]"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestDefaultArguments(t *testing.T) {
+	src := `
+def greet(name, greeting="hello"):
+    return "%s, %s" % (greeting, name)
+
+print(greet("ann"))
+print(greet("bob", "hi"))
+print(greet("eve", greeting="yo"))
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "hello, ann\nhi, bob\nyo, eve"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestRandomModuleDeterminism(t *testing.T) {
+	src := `
+import random
+random.seed(42)
+a = random.randint(1, 1000)
+random.seed(42)
+b = random.randint(1, 1000)
+print(a == b, 1 <= a, a <= 1000)
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "True True True" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestMathModule(t *testing.T) {
+	src := `
+import math
+print(math.floor(3.7), math.ceil(3.2))
+print(round(math.sqrt(16)))
+print(round(math.log10(1000)))
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "3 4\n4\n3"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestJSONModule(t *testing.T) {
+	src := `
+import json
+s = json.dumps({"a": 1, "b": [1, 2, 3]})
+d = json.loads(s)
+print(d["a"], d["b"][2])
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "1 3" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	src := `
+s = "  Hello World  "
+print(s.strip().lower())
+print("a,b,c".split(","))
+print("-".join(["x", "y", "z"]))
+print("hello".replace("l", "L"))
+print("prefix_test".startswith("prefix"), "file.txt".endswith(".txt"))
+print("abc".upper())
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "hello world\n['a', 'b', 'c']\nx-y-z\nheLLo\nTrue True\nABC"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestTryExcept(t *testing.T) {
+	src := `
+def safe_div(a, b):
+    try:
+        return a / b
+    except ZeroDivisionError:
+        return "inf"
+    finally:
+        pass
+
+print(safe_div(10, 2), safe_div(1, 0))
+
+try:
+    raise ValueError("custom message")
+except ValueError as e:
+    print("caught:", e)
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "5.0 inf\ncaught: custom message"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestGlobalStatement(t *testing.T) {
+	src := `
+counter = 0
+def bump():
+    global counter
+    counter += 1
+
+bump()
+bump()
+print(counter)
+`
+	if got := strings.TrimSpace(run(t, src)); got != "2" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestErrorsHaveTypes(t *testing.T) {
+	cases := []struct {
+		src      string
+		wantType string
+	}{
+		{"print(undefined_name)", "NameError"},
+		{"print(1 / 0)", "ZeroDivisionError"},
+		{"xs = [1]\nprint(xs[5])", "IndexError"},
+		{"d = {}\nprint(d['missing'])", "KeyError"},
+		{"print('a' + 1)", "TypeError"},
+		{"import nonexistent_module", "ModuleNotFoundError"},
+	}
+	for _, c := range cases {
+		err := runErr(t, c.src)
+		re, ok := err.(*RuntimeErr)
+		if !ok {
+			t.Errorf("%q: expected RuntimeErr, got %T: %v", c.src, err, err)
+			continue
+		}
+		if re.Type != c.wantType {
+			t.Errorf("%q: got %s, want %s", c.src, re.Type, c.wantType)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"def f(:\n    pass",
+		"if True\n    pass",
+		"x = ",
+		"1 +",
+		"for in range(3):\n    pass",
+		"while:\n  pass",
+	}
+	for _, src := range bad {
+		var buf bytes.Buffer
+		ip := New(Options{Stdout: &buf})
+		if err := ip.Exec(src); err == nil {
+			t.Errorf("expected syntax error for %q", src)
+		}
+	}
+}
+
+func TestStepLimitStopsInfiniteLoop(t *testing.T) {
+	var buf bytes.Buffer
+	ip := New(Options{Stdout: &buf, MaxSteps: 10000})
+	err := ip.Exec("while True:\n    pass")
+	if err == nil {
+		t.Fatal("expected step-limit error")
+	}
+	re, ok := err.(*RuntimeErr)
+	if !ok || re.Type != "TimeoutError" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCallFromGo(t *testing.T) {
+	ip := New(Options{})
+	if err := ip.Exec("def double(x):\n    return x * 2"); err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := ip.Global("double")
+	if !ok {
+		t.Fatal("double not defined")
+	}
+	v, err := ip.Call(fn, Int(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := v.(Int); !ok || n != 42 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestInstantiateAndCallMethodFromGo(t *testing.T) {
+	ip := New(Options{})
+	src := `
+class Acc:
+    def __init__(self):
+        self.total = 0
+    def add(self, n):
+        self.total += n
+        return self.total
+`
+	if err := ip.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	clsV, _ := ip.Global("Acc")
+	cls := clsV.(*Class)
+	inst, err := ip.Instantiate(cls, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := ip.CallMethod(inst, "add", Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := ip.CallMethod(inst, "add", Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := v.(Int); n != 6 {
+		t.Fatalf("total = %v, want 6", n)
+	}
+}
+
+func TestGoValueRoundTrip(t *testing.T) {
+	ip := New(Options{})
+	src := `result = {"name": "pe1", "ports": ["in", "out"], "n": 3, "ratio": 0.5, "ok": True, "none": None}`
+	if err := ip.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := ip.Global("result")
+	g := GoValue(v).(map[string]any)
+	if g["name"] != "pe1" || g["n"] != int64(3) || g["ratio"] != 0.5 || g["ok"] != true || g["none"] != nil {
+		t.Fatalf("got %#v", g)
+	}
+	back := FromGo(g)
+	d, ok := back.(*Dict)
+	if !ok || d.Len() != 6 {
+		t.Fatalf("round trip failed: %v", Repr(back))
+	}
+}
+
+func TestListing1NumberProducerShape(t *testing.T) {
+	// Verbatim-shaped Listing 1 from the paper.
+	src := `
+import random
+
+class NumberProducer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        # Generate a random number
+        result = random.randint(1, 1000)
+        # Return the number as the output
+        return result
+`
+	var buf bytes.Buffer
+	ip := New(Options{Stdout: &buf, Seed: 7})
+	// Provide a minimal ProducerPE base (the dataflow adapter provides the
+	// real one).
+	base := &Class{Name: "ProducerPE", Methods: map[string]*Function{}, Statics: map[string]Value{}}
+	base.NativeInit = func(ip *Interp, self *Instance, args []Value) error { return nil }
+	ip.DefineGlobal("ProducerPE", base)
+	if err := ip.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	clsV, ok := ip.Global("NumberProducer")
+	if !ok {
+		t.Fatal("NumberProducer not defined")
+	}
+	inst, err := ip.Instantiate(clsV.(*Class), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ip.CallMethod(inst, "_process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := v.(Int)
+	if !ok || n < 1 || n > 1000 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestDocstringExtraction(t *testing.T) {
+	src := `
+class IsPrime:
+    """Checks whether a number is prime."""
+    def _process(self, num):
+        """Return num if prime."""
+        return num
+`
+	ip := New(Options{})
+	if err := ip.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	clsV, _ := ip.Global("IsPrime")
+	cls := clsV.(*Class)
+	if cls.Doc != "Checks whether a number is prime." {
+		t.Errorf("class doc = %q", cls.Doc)
+	}
+	if cls.Methods["_process"].Doc != "Return num if prime." {
+		t.Errorf("method doc = %q", cls.Methods["_process"].Doc)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	src := `
+s = {1, 2, 3}
+s.add(2)
+s.add(4)
+print(len(s), 2 in s, 9 in s)
+s.discard(1)
+print(sorted(list(s)))
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "4 True False\n[2, 3, 4]"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestSlices(t *testing.T) {
+	src := `
+xs = [0, 1, 2, 3, 4, 5]
+print(xs[1:3], xs[:2], xs[4:], xs[:])
+print("hello"[1:4])
+print(xs[-3:-1])
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "[1, 2] [0, 1] [4, 5] [0, 1, 2, 3, 4, 5]\nell\n[3, 4]"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestAugmentedAssignOnAttributesAndItems(t *testing.T) {
+	src := `
+class Box:
+    def __init__(self):
+        self.n = 0
+
+b = Box()
+b.n += 5
+d = {"k": 10}
+d["k"] *= 3
+xs = [1, 2]
+xs[0] -= 1
+print(b.n, d["k"], xs)
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "5 30 [0, 2]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTernaryAndNestedComprehension(t *testing.T) {
+	src := `
+print("even" if 4 % 2 == 0 else "odd")
+print([("even" if x % 2 == 0 else "odd") for x in range(4)])
+`
+	got := strings.TrimSpace(run(t, src))
+	want := "even\n['even', 'odd', 'even', 'odd']"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestDictComprehension(t *testing.T) {
+	src := `
+d = {x: x * x for x in range(4)}
+print(d[3], len(d))
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "9 4" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLexerIndentation(t *testing.T) {
+	toks, err := Lex("if x:\n    y = 1\n    if z:\n        w = 2\nq = 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	indents, dedents := 0, 0
+	for _, tok := range toks {
+		switch tok.Kind {
+		case INDENT:
+			indents++
+		case DEDENT:
+			dedents++
+		}
+	}
+	if indents != 2 || dedents != 2 {
+		t.Errorf("indents=%d dedents=%d, want 2 and 2", indents, dedents)
+	}
+}
+
+func TestLexerStringsAndComments(t *testing.T) {
+	toks, err := Lex(`x = "he said \"hi\"" # trailing comment` + "\n" + `y = '''multi
+line'''` + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strs []string
+	for _, tok := range toks {
+		if tok.Kind == STRING {
+			strs = append(strs, tok.Text)
+		}
+	}
+	if len(strs) != 2 || strs[0] != `he said "hi"` || strs[1] != "multi\nline" {
+		t.Errorf("got %q", strs)
+	}
+}
+
+func TestBracketsSuppressNewlines(t *testing.T) {
+	src := `
+xs = [1,
+      2,
+      3]
+d = {"a": 1,
+     "b": 2}
+print(len(xs), len(d))
+`
+	got := strings.TrimSpace(run(t, src))
+	if got != "3 2" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,344 @@
+package pycode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SyntaxError reports a lexing or parsing failure with position information.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pycode: syntax error at line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src     string
+	pos     int
+	line    int
+	col     int
+	indents []int   // indentation stack, always starts with 0
+	pending []Token // queued INDENT/DEDENT tokens
+	parens  int     // depth of (), [], {} — newlines are ignored inside
+	atBOL   bool    // at beginning of logical line
+	toks    []Token
+}
+
+// Lex converts source text into a token slice terminated by EOF.
+// Indentation produces INDENT/DEDENT tokens as in Python. Tabs count as 8
+// columns. Blank lines and comment-only lines are skipped.
+func Lex(src string) ([]Token, error) {
+	// Normalize line endings; make sure the source ends with a newline so the
+	// final logical line is terminated.
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	src = strings.ReplaceAll(src, "\r", "\n")
+	if !strings.HasSuffix(src, "\n") {
+		src += "\n"
+	}
+	lx := &lexer{src: src, line: 1, col: 1, indents: []int{0}, atBOL: true}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, tok)
+		if tok.Kind == EOF {
+			break
+		}
+	}
+	return lx.toks, nil
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// next returns the next token, emitting queued INDENT/DEDENT first.
+func (lx *lexer) next() (Token, error) {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t, nil
+	}
+	if lx.atBOL && lx.parens == 0 {
+		if err := lx.handleIndent(); err != nil {
+			return Token{}, err
+		}
+		lx.atBOL = false
+		if len(lx.pending) > 0 {
+			t := lx.pending[0]
+			lx.pending = lx.pending[1:]
+			return t, nil
+		}
+	}
+	// Skip spaces (and, inside brackets, newlines too).
+	for {
+		c := lx.peekByte()
+		if c == ' ' || c == '\t' {
+			lx.advance()
+			continue
+		}
+		if c == '#' {
+			for lx.peekByte() != '\n' && lx.peekByte() != 0 {
+				lx.advance()
+			}
+			continue
+		}
+		if c == '\\' && lx.peekAt(1) == '\n' { // line continuation
+			lx.advance()
+			lx.advance()
+			continue
+		}
+		if c == '\n' && lx.parens > 0 {
+			lx.advance()
+			continue
+		}
+		break
+	}
+	line, col := lx.line, lx.col
+	c := lx.peekByte()
+	switch {
+	case c == 0:
+		// End of input: flush remaining DEDENTs.
+		for len(lx.indents) > 1 {
+			lx.indents = lx.indents[:len(lx.indents)-1]
+			lx.pending = append(lx.pending, Token{Kind: DEDENT, Line: line, Col: col})
+		}
+		lx.pending = append(lx.pending, Token{Kind: EOF, Line: line, Col: col})
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t, nil
+	case c == '\n':
+		lx.advance()
+		lx.atBOL = true
+		return Token{Kind: NEWLINE, Line: line, Col: col}, nil
+	case isNameStart(c):
+		start := lx.pos
+		for isNameCont(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		k := NAME
+		if IsKeyword(text) {
+			k = KEYWORD
+		}
+		return Token{Kind: k, Text: text, Line: line, Col: col}, nil
+	case isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))):
+		return lx.lexNumber(line, col)
+	case c == '"' || c == '\'':
+		return lx.lexString(line, col)
+	default:
+		return lx.lexOp(line, col)
+	}
+}
+
+// handleIndent measures leading whitespace of the upcoming logical line and
+// queues INDENT/DEDENT tokens against the indentation stack.
+func (lx *lexer) handleIndent() error {
+	for {
+		width := 0
+		start := lx.pos
+		for {
+			c := lx.peekByte()
+			if c == ' ' {
+				width++
+				lx.advance()
+			} else if c == '\t' {
+				width += 8 - width%8
+				lx.advance()
+			} else {
+				break
+			}
+		}
+		c := lx.peekByte()
+		if c == '\n' { // blank line — ignore
+			lx.advance()
+			continue
+		}
+		if c == '#' { // comment-only line — ignore
+			for lx.peekByte() != '\n' && lx.peekByte() != 0 {
+				lx.advance()
+			}
+			continue
+		}
+		if c == 0 {
+			_ = start
+			return nil // EOF handled by next()
+		}
+		top := lx.indents[len(lx.indents)-1]
+		switch {
+		case width > top:
+			lx.indents = append(lx.indents, width)
+			lx.pending = append(lx.pending, Token{Kind: INDENT, Line: lx.line, Col: 1})
+		case width < top:
+			for len(lx.indents) > 1 && lx.indents[len(lx.indents)-1] > width {
+				lx.indents = lx.indents[:len(lx.indents)-1]
+				lx.pending = append(lx.pending, Token{Kind: DEDENT, Line: lx.line, Col: 1})
+			}
+			if lx.indents[len(lx.indents)-1] != width {
+				return lx.errf("inconsistent dedent")
+			}
+		}
+		return nil
+	}
+}
+
+func (lx *lexer) lexNumber(line, col int) (Token, error) {
+	start := lx.pos
+	seenDot, seenExp := false, false
+	for {
+		c := lx.peekByte()
+		switch {
+		case isDigit(c) || c == '_':
+			lx.advance()
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.advance()
+		case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+			nxt := lx.peekAt(1)
+			if isDigit(nxt) || ((nxt == '+' || nxt == '-') && isDigit(lx.peekAt(2))) {
+				seenExp = true
+				lx.advance()
+				if lx.peekByte() == '+' || lx.peekByte() == '-' {
+					lx.advance()
+				}
+			} else {
+				return Token{Kind: NUMBER, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+			}
+		default:
+			return Token{Kind: NUMBER, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+		}
+	}
+}
+
+func (lx *lexer) lexString(line, col int) (Token, error) {
+	quote := lx.advance()
+	triple := false
+	if lx.peekByte() == quote && lx.peekAt(1) == quote {
+		lx.advance()
+		lx.advance()
+		triple = true
+	}
+	var sb strings.Builder
+	for {
+		c := lx.peekByte()
+		if c == 0 {
+			return Token{}, lx.errf("unterminated string")
+		}
+		if !triple && c == '\n' {
+			return Token{}, lx.errf("newline in string literal")
+		}
+		if c == quote {
+			if !triple {
+				lx.advance()
+				return Token{Kind: STRING, Text: sb.String(), Line: line, Col: col}, nil
+			}
+			if lx.peekAt(1) == quote && lx.peekAt(2) == quote {
+				lx.advance()
+				lx.advance()
+				lx.advance()
+				return Token{Kind: STRING, Text: sb.String(), Line: line, Col: col}, nil
+			}
+			sb.WriteByte(lx.advance())
+			continue
+		}
+		if c == '\\' {
+			lx.advance()
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '\'':
+				sb.WriteByte('\'')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			case '\n':
+				// escaped newline inside string: continuation, emit nothing
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(e)
+			}
+			continue
+		}
+		sb.WriteByte(lx.advance())
+	}
+}
+
+// multi-byte operators, longest first.
+var multiOps = []string{
+	"**=", "//=", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=",
+	"**", "//", "->",
+}
+
+func (lx *lexer) lexOp(line, col int) (Token, error) {
+	rest := lx.src[lx.pos:]
+	for _, op := range multiOps {
+		if strings.HasPrefix(rest, op) {
+			for range op {
+				lx.advance()
+			}
+			return Token{Kind: OP, Text: op, Line: line, Col: col}, nil
+		}
+	}
+	c := lx.advance()
+	switch c {
+	case '(', '[', '{':
+		lx.parens++
+	case ')', ']', '}':
+		if lx.parens > 0 {
+			lx.parens--
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '(', ')', '[', ']', '{', '}', ',', ':',
+		'.', '=', '<', '>', ';', '@', '&', '|', '^', '~':
+		return Token{Kind: OP, Text: string(c), Line: line, Col: col}, nil
+	}
+	return Token{}, lx.errf("unexpected character %q", string(c))
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameCont(c byte) bool { return isNameStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,79 @@
+// Package pycode implements a small, deterministic interpreter for a subset
+// of Python. Laminar ships Processing Element (PE) source code between the
+// client, the registry and the serverless execution engine; in the paper this
+// is CPython code serialized with cloudpickle. A Go binary cannot execute
+// pickled Python, so this package provides the substitution: PE bodies are
+// written in a Python-subset ("pycode") that is lexed, parsed and evaluated
+// here. Every listing in the paper (NumberProducer, IsPrime, PrintPrime,
+// CountWords, the astrophysics PEs) runs through this interpreter unchanged
+// in shape.
+//
+// The subset covers: classes with single inheritance, functions and closures,
+// if/elif/else, while, for, comprehensions and generator expressions in call
+// position, tuple assignment, augmented assignment, imports, %-formatting,
+// and a simulated standard library (random, math, collections, time, json,
+// astropy/vo bridges).
+package pycode
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. EOF terminates every token stream produced by the lexer.
+const (
+	EOF Kind = iota
+	NEWLINE
+	INDENT
+	DEDENT
+	NAME
+	NUMBER
+	STRING
+	OP      // operators and punctuation
+	KEYWORD // reserved words
+)
+
+var kindNames = map[Kind]string{
+	EOF:     "EOF",
+	NEWLINE: "NEWLINE",
+	INDENT:  "INDENT",
+	DEDENT:  "DEDENT",
+	NAME:    "NAME",
+	NUMBER:  "NUMBER",
+	STRING:  "STRING",
+	OP:      "OP",
+	KEYWORD: "KEYWORD",
+}
+
+// String returns a readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // literal text (for NAME/NUMBER/OP/KEYWORD) or decoded value (STRING)
+	Line int    // 1-based source line
+	Col  int    // 1-based source column
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d:%d", t.Kind, t.Text, t.Line, t.Col)
+}
+
+// keywords reserved by the pycode grammar.
+var keywords = map[string]bool{
+	"def": true, "class": true, "return": true, "if": true, "elif": true,
+	"else": true, "while": true, "for": true, "in": true, "break": true,
+	"continue": true, "pass": true, "import": true, "from": true, "as": true,
+	"and": true, "or": true, "not": true, "True": true, "False": true,
+	"None": true, "is": true, "lambda": true, "global": true, "del": true,
+	"try": true, "except": true, "finally": true, "raise": true,
+}
+
+// IsKeyword reports whether s is a reserved word.
+func IsKeyword(s string) bool { return keywords[s] }

@@ -1,0 +1,207 @@
+package pycode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTruthiness(t *testing.T) {
+	truthy := []Value{Int(1), Float(0.5), Str("x"), Bool(true),
+		&List{Items: []Value{Int(1)}}, &Tuple{Items: []Value{Int(1)}}}
+	falsy := []Value{None, Int(0), Float(0), Str(""), Bool(false),
+		&List{}, &Tuple{}, NewDict(), NewSet()}
+	for _, v := range truthy {
+		if !Truthy(v) {
+			t.Errorf("%s should be truthy", Repr(v))
+		}
+	}
+	for _, v := range falsy {
+		if Truthy(v) {
+			t.Errorf("%s should be falsy", Repr(v))
+		}
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Float(1.0), true},
+		{Bool(true), Int(1), true},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Int(97), false},
+		{None, None, true},
+		{None, Int(0), false},
+		{NewList(Int(1), Int(2)), NewList(Int(1), Int(2)), true},
+		{NewList(Int(1)), NewList(Int(2)), false},
+		{&Tuple{Items: []Value{Int(1)}}, &Tuple{Items: []Value{Int(1)}}, true},
+		{NewList(Int(1)), &Tuple{Items: []Value{Int(1)}}, false},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%s, %s) = %v", Repr(c.a), Repr(c.b), got)
+		}
+	}
+}
+
+func TestDictInsertionOrder(t *testing.T) {
+	d := NewDict()
+	keys := []string{"z", "a", "m", "b"}
+	for i, k := range keys {
+		if err := d.Set(Str(k), Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.Keys()
+	for i, k := range keys {
+		if string(got[i].(Str)) != k {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+	// overwrite preserves position
+	if err := d.Set(Str("a"), Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	got = d.Keys()
+	if string(got[1].(Str)) != "a" {
+		t.Errorf("overwrite moved key: %v", got)
+	}
+	// delete removes from order
+	ok, err := d.Delete(Str("m"))
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Errorf("len: %d", d.Len())
+	}
+}
+
+func TestDictNumericKeyUnification(t *testing.T) {
+	d := NewDict()
+	if err := d.Set(Int(1), Str("int")); err != nil {
+		t.Fatal(err)
+	}
+	// 1.0 hashes equal to 1, as in Python
+	v, ok, err := d.Get(Float(1.0))
+	if err != nil || !ok || v != Str("int") {
+		t.Errorf("numeric unification: %v %v %v", v, ok, err)
+	}
+}
+
+func TestUnhashableKeys(t *testing.T) {
+	d := NewDict()
+	if err := d.Set(NewList(Int(1)), Int(1)); err == nil {
+		t.Error("list keys should be unhashable")
+	}
+	s := NewSet()
+	if err := s.Add(NewDict()); err == nil {
+		t.Error("dict members should be unhashable")
+	}
+	// tuples of scalars are hashable
+	if err := d.Set(&Tuple{Items: []Value{Int(1), Str("a")}}, Int(2)); err != nil {
+		t.Errorf("tuple key: %v", err)
+	}
+}
+
+func TestReprFormats(t *testing.T) {
+	cases := map[string]Value{
+		"None":     None,
+		"True":     Bool(true),
+		"42":       Int(42),
+		"2.5":      Float(2.5),
+		"3.0":      Float(3.0),
+		"'hi'":     Str("hi"),
+		"[1, 2]":   NewList(Int(1), Int(2)),
+		"(1,)":     &Tuple{Items: []Value{Int(1)}},
+		"(1, 2)":   &Tuple{Items: []Value{Int(1), Int(2)}},
+		"{'a': 1}": mustDict(t, Str("a"), Int(1)),
+		"set()":    NewSet(),
+	}
+	for want, v := range cases {
+		if got := Repr(v); got != want {
+			t.Errorf("Repr(%T) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func mustDict(t *testing.T, kv ...Value) *Dict {
+	t.Helper()
+	d := NewDict()
+	for i := 0; i+1 < len(kv); i += 2 {
+		if err := d.Set(kv[i], kv[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// Property: GoValue→FromGo round trips scalars and flat containers into
+// Equal values.
+func TestGoValueRoundTripProperty(t *testing.T) {
+	f := func(n int64, fl float64, s string, b bool) bool {
+		vals := []Value{Int(n), Float(fl), Str(s), Bool(b), None,
+			NewList(Int(n), Str(s)), mustDictQuick(s, Int(n))}
+		for _, v := range vals {
+			back := FromGo(GoValue(v))
+			// tuples come back as lists; normalize for comparison
+			if tu, ok := v.(*Tuple); ok {
+				v = &List{Items: tu.Items}
+			}
+			if fl != fl { // NaN never equals itself
+				continue
+			}
+			if !Equal(v, back) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustDictQuick(k string, v Value) *Dict {
+	d := NewDict()
+	_ = d.Set(Str(k), v)
+	return d
+}
+
+// Property: Compare is antisymmetric for numbers and strings.
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, err1 := Compare(Int(a), Int(b))
+		c2, err2 := Compare(Int(b), Int(a))
+		return err1 == nil && err2 == nil && c1 == -c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	g := func(a, b string) bool {
+		c1, err1 := Compare(Str(a), Str(b))
+		c2, err2 := Compare(Str(b), Str(a))
+		return err1 == nil && err2 == nil && c1 == -c2
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareIncomparable(t *testing.T) {
+	if _, err := Compare(Int(1), Str("a")); err == nil {
+		t.Error("int vs str should not compare")
+	}
+	if _, err := Compare(NewDict(), NewDict()); err == nil {
+		t.Error("dicts should not order")
+	}
+	// sequences compare lexicographically
+	c, err := Compare(NewList(Int(1), Int(2)), NewList(Int(1), Int(3)))
+	if err != nil || c != -1 {
+		t.Errorf("list compare: %d %v", c, err)
+	}
+	c, err = Compare(NewList(Int(1)), NewList(Int(1), Int(0)))
+	if err != nil || c != -1 {
+		t.Errorf("prefix compare: %d %v", c, err)
+	}
+}

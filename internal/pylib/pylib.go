@@ -1,0 +1,133 @@
+// Package pylib simulates the Python package ecosystem the Execution Engine
+// manages (Section 3.3): a catalog of installable libraries with realistic
+// install latencies, and per-engine environments that track what is already
+// present. The paper's engine runs inside a conda environment and
+// auto-installs whatever a workflow imports; this substitution preserves the
+// observable behaviour — the first run of a workflow needing a library pays
+// an install cost, later runs do not — without network access.
+package pylib
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Library describes one catalog entry.
+type Library struct {
+	Name    string
+	Version string
+	// InstallTime simulates download+install latency.
+	InstallTime time.Duration
+	// Builtin libraries ship with the base environment (the conda env the
+	// engine is "furnished with", per the paper).
+	Builtin bool
+}
+
+// Catalog is the package index (the PyPI substitution).
+var catalog = map[string]Library{
+	// interpreter builtins: always present
+	"random":      {Name: "random", Version: "3.10", Builtin: true},
+	"math":        {Name: "math", Version: "3.10", Builtin: true},
+	"collections": {Name: "collections", Version: "3.10", Builtin: true},
+	"time":        {Name: "time", Version: "3.10", Builtin: true},
+	"json":        {Name: "json", Version: "3.10", Builtin: true},
+	"os":          {Name: "os", Version: "3.10", Builtin: true},
+	"sys":         {Name: "sys", Version: "3.10", Builtin: true},
+	"statistics":  {Name: "statistics", Version: "3.10", Builtin: true},
+	"string":      {Name: "string", Version: "3.10", Builtin: true},
+	// the dispel4py runtime itself is pre-installed in the engine env
+	"dispel4py": {Name: "dispel4py", Version: "2.0", Builtin: true},
+	// installable scientific stack (the astrophysics workflow needs these)
+	"astropy":  {Name: "astropy", Version: "5.3", InstallTime: 120 * time.Millisecond},
+	"vo":       {Name: "vo", Version: "1.0", InstallTime: 60 * time.Millisecond},
+	"astro":    {Name: "astro", Version: "1.0", InstallTime: 30 * time.Millisecond},
+	"numpy":    {Name: "numpy", Version: "1.26", InstallTime: 80 * time.Millisecond},
+	"pandas":   {Name: "pandas", Version: "2.1", InstallTime: 150 * time.Millisecond},
+	"requests": {Name: "requests", Version: "2.31", InstallTime: 40 * time.Millisecond},
+	"scipy":    {Name: "scipy", Version: "1.11", InstallTime: 140 * time.Millisecond},
+}
+
+// Lookup finds a catalog entry.
+func Lookup(name string) (Library, bool) {
+	lib, ok := catalog[name]
+	return lib, ok
+}
+
+// CatalogNames lists every known library, sorted.
+func CatalogNames() []string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Env is one execution engine's installed-library state.
+type Env struct {
+	mu        sync.Mutex
+	installed map[string]Library
+	// InstallDelayScale scales simulated install latencies (0 disables the
+	// sleep while still recording installs — used by fast tests).
+	InstallDelayScale float64
+}
+
+// NewEnv creates an environment containing the builtins.
+func NewEnv() *Env {
+	e := &Env{installed: map[string]Library{}, InstallDelayScale: 1}
+	for name, lib := range catalog {
+		if lib.Builtin {
+			e.installed[name] = lib
+		}
+	}
+	return e
+}
+
+// Has reports whether a library is available.
+func (e *Env) Has(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.installed[name]
+	return ok
+}
+
+// Installed lists available libraries, sorted.
+func (e *Env) Installed() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.installed))
+	for n := range e.installed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Install ensures the named libraries are present, returning those newly
+// installed. Unknown libraries fail, as pip would.
+func (e *Env) Install(names []string) ([]string, error) {
+	var added []string
+	for _, name := range names {
+		e.mu.Lock()
+		_, present := e.installed[name]
+		e.mu.Unlock()
+		if present {
+			continue
+		}
+		lib, ok := catalog[name]
+		if !ok {
+			return added, fmt.Errorf("pylib: no library %q in the package index", name)
+		}
+		if e.InstallDelayScale > 0 && lib.InstallTime > 0 {
+			time.Sleep(time.Duration(float64(lib.InstallTime) * e.InstallDelayScale))
+		}
+		e.mu.Lock()
+		e.installed[name] = lib
+		e.mu.Unlock()
+		added = append(added, name)
+	}
+	sort.Strings(added)
+	return added, nil
+}

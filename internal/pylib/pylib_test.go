@@ -1,0 +1,90 @@
+package pylib
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuiltinsPreinstalled(t *testing.T) {
+	e := NewEnv()
+	for _, lib := range []string{"random", "math", "collections", "json", "dispel4py"} {
+		if !e.Has(lib) {
+			t.Errorf("builtin %q missing from fresh env", lib)
+		}
+	}
+	if e.Has("astropy") {
+		t.Error("astropy should not be preinstalled")
+	}
+}
+
+func TestInstallFlow(t *testing.T) {
+	e := NewEnv()
+	e.InstallDelayScale = 0
+	added, err := e.Install([]string{"astropy", "vo", "math"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// math was already present; only the two new ones are reported, sorted
+	if len(added) != 2 || added[0] != "astropy" || added[1] != "vo" {
+		t.Fatalf("added: %v", added)
+	}
+	if !e.Has("astropy") || !e.Has("vo") {
+		t.Error("install did not register libraries")
+	}
+	// idempotent
+	added, err = e.Install([]string{"astropy"})
+	if err != nil || len(added) != 0 {
+		t.Errorf("reinstall: %v %v", added, err)
+	}
+}
+
+func TestUnknownLibraryFails(t *testing.T) {
+	e := NewEnv()
+	e.InstallDelayScale = 0
+	if _, err := e.Install([]string{"tensorflow"}); err == nil {
+		t.Error("unknown library should fail")
+	}
+}
+
+func TestInstallLatencySimulated(t *testing.T) {
+	e := NewEnv()
+	e.InstallDelayScale = 0.2 // 20% of 120ms ≈ 24ms
+	start := time.Now()
+	if _, err := e.Install([]string{"astropy"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("install latency not simulated: %v", elapsed)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	if _, ok := Lookup("astropy"); !ok {
+		t.Error("astropy missing from catalog")
+	}
+	if _, ok := Lookup("nonexistent"); ok {
+		t.Error("nonexistent should miss")
+	}
+	names := CatalogNames()
+	if len(names) < 10 {
+		t.Errorf("catalog too small: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Error("catalog names not sorted")
+		}
+	}
+}
+
+func TestInstalledListing(t *testing.T) {
+	e := NewEnv()
+	e.InstallDelayScale = 0
+	before := len(e.Installed())
+	if _, err := e.Install([]string{"numpy"}); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Installed()
+	if len(after) != before+1 {
+		t.Errorf("installed count: %d -> %d", before, len(after))
+	}
+}

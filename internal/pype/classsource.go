@@ -1,0 +1,61 @@
+package pype
+
+import (
+	"fmt"
+	"strings"
+
+	"laminar/internal/pycode"
+)
+
+// ClassSource extracts the self-contained source of one PE class: the
+// module-level import statements it may reference plus the class block
+// itself. This is what the registry stores as peCode (the paper serializes
+// each PE individually with cloudpickle) and what the code embedding is
+// computed from — so two PEs defined in the same file embed independently.
+func ClassSource(source, className string) (string, error) {
+	prog, err := pycode.Parse(source)
+	if err != nil {
+		return "", err
+	}
+	lines := strings.Split(source, "\n")
+	// top-level statement start lines mark block boundaries
+	var starts []int
+	var target *pycode.ClassStmt
+	for _, st := range prog.Body {
+		line, _ := st.Pos()
+		starts = append(starts, line)
+		if cls, ok := st.(*pycode.ClassStmt); ok && cls.Name == className {
+			target = cls
+		}
+	}
+	if target == nil {
+		return "", fmt.Errorf("pype: class %q not found in source", className)
+	}
+	classLine, _ := target.Pos()
+	endLine := len(lines)
+	for _, s := range starts {
+		if s > classLine && s-1 < endLine {
+			endLine = s - 1
+		}
+	}
+	var sb strings.Builder
+	// carry module-level imports (the class body may reference them)
+	for _, st := range prog.Body {
+		switch st.(type) {
+		case *pycode.ImportStmt, *pycode.FromImportStmt:
+			line, _ := st.Pos()
+			if line-1 >= 0 && line-1 < len(lines) {
+				sb.WriteString(strings.TrimRight(lines[line-1], " \t"))
+				sb.WriteString("\n")
+			}
+		}
+	}
+	if sb.Len() > 0 {
+		sb.WriteString("\n")
+	}
+	for i := classLine - 1; i < endLine && i < len(lines); i++ {
+		sb.WriteString(strings.TrimRight(lines[i], " \t"))
+		sb.WriteString("\n")
+	}
+	return strings.TrimRight(sb.String(), "\n") + "\n", nil
+}

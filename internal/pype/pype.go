@@ -1,0 +1,371 @@
+// Package pype bridges pycode and the dataflow engine: it executes
+// user-submitted workflow source (the paper's Listings 1-3 shape), captures
+// the WorkflowGraph the script builds, and wraps each pycode PE class as a
+// dataflow.PE. Every parallel instance of a PE gets its own interpreter —
+// the Go analogue of dispel4py shipping a pickled PE copy to each process —
+// so stateful PEs scale exactly as the paper describes.
+package pype
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"laminar/internal/dataflow"
+	"laminar/internal/pycode"
+)
+
+// Options configures workflow building and per-instance interpreters.
+type Options struct {
+	// Stdout receives module-level and PE print output.
+	Stdout io.Writer
+	// Seed makes the random module deterministic (each instance derives its
+	// own stream from Seed and the instance index).
+	Seed int64
+	// ResourceDir is exposed to open() inside PE code.
+	ResourceDir string
+	// Modules adds native modules (the engine injects astropy/vo bridges).
+	Modules map[string]*pycode.Module
+	// MaxSteps bounds each interpreter (guards the serverless engine
+	// against runaway code). 0 uses the pycode default.
+	MaxSteps int64
+}
+
+// graphSpec records what the workflow script built.
+type graphSpec struct {
+	mu    sync.Mutex
+	edges []edgeSpec
+	nodes []*nodeSpec // insertion order
+	byPtr map[*pycode.Instance]*nodeSpec
+}
+
+type edgeSpec struct {
+	from     *nodeSpec
+	fromPort string
+	to       *nodeSpec
+	toPort   string
+}
+
+type nodeSpec struct {
+	className string
+	nodeName  string // unique within the graph
+	baseKind  string // ProducerPE | IterativePE | ConsumerPE | GenericPE
+	inputs    []dataflow.Port
+	outputs   []string
+}
+
+// BuildResult is a parsed-and-built workflow.
+type BuildResult struct {
+	// Graph is the runnable abstract workflow.
+	Graph *dataflow.Graph
+	// PENames lists distinct PE class names in the graph.
+	PENames []string
+	// GraphName is the workflow variable's name if determinable.
+	GraphName string
+}
+
+// BuildWorkflow executes workflow source and converts the WorkflowGraph it
+// constructs into a dataflow.Graph. The source must build exactly one
+// WorkflowGraph (Listing 3) or define at least one PE class that can run as
+// a single-PE workflow (the FaaS-style usage of Section 3.4.1).
+func BuildWorkflow(source string, opts Options) (*BuildResult, error) {
+	spec := &graphSpec{byPtr: map[*pycode.Instance]*nodeSpec{}}
+	ip := newInterp(source, opts, 0, spec)
+	if err := ip.Exec(source); err != nil {
+		return nil, fmt.Errorf("pype: executing workflow source: %w", err)
+	}
+	if len(spec.nodes) == 0 {
+		// FaaS-style: no graph built; wrap the first PE class found.
+		return buildSinglePE(source, opts, ip)
+	}
+	g := dataflow.NewGraph("workflow")
+	seen := map[string]bool{}
+	var peNames []string
+	pes := map[*nodeSpec]dataflow.PE{}
+	for _, n := range spec.nodes {
+		pe := &PE{
+			className: n.className,
+			nodeName:  n.nodeName,
+			baseKind:  n.baseKind,
+			source:    source,
+			inputs:    n.inputs,
+			outputs:   n.outputs,
+			opts:      opts,
+		}
+		pes[n] = pe
+		if err := g.Add(pe); err != nil {
+			return nil, err
+		}
+		if !seen[n.className] {
+			seen[n.className] = true
+			peNames = append(peNames, n.className)
+		}
+	}
+	for _, e := range spec.edges {
+		if err := g.Connect(pes[e.from], e.fromPort, pes[e.to], e.toPort); err != nil {
+			return nil, err
+		}
+	}
+	return &BuildResult{Graph: g, PENames: peNames}, nil
+}
+
+// buildSinglePE wraps the first PE class defined in source as a one-node
+// workflow.
+func buildSinglePE(source string, opts Options, ip *pycode.Interp) (*BuildResult, error) {
+	classes, err := PEClassNames(source)
+	if err != nil {
+		return nil, err
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("pype: workflow source builds no WorkflowGraph and defines no PE class")
+	}
+	name := classes[0]
+	pe, err := NewPE(source, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	g := dataflow.NewGraph(name)
+	if err := g.Add(pe); err != nil {
+		return nil, err
+	}
+	return &BuildResult{Graph: g, PENames: []string{name}}, nil
+}
+
+// PEClassNames lists classes in source that subclass a PE base type.
+func PEClassNames(source string) ([]string, error) {
+	prog, err := pycode.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, st := range prog.Body {
+		cls, ok := st.(*pycode.ClassStmt)
+		if !ok {
+			continue
+		}
+		if base, ok := cls.Base.(*pycode.NameExpr); ok {
+			switch base.Name {
+			case "ProducerPE", "IterativePE", "ConsumerPE", "GenericPE":
+				out = append(out, cls.Name)
+			}
+		}
+	}
+	return out, nil
+}
+
+// NewPE builds a dataflow.PE for one class in the source. Ports are
+// discovered by instantiating a prototype.
+func NewPE(source, className string, opts Options) (*PE, error) {
+	pe := &PE{className: className, nodeName: className, source: source, opts: opts}
+	// prototype instantiation discovers ports
+	spec := &graphSpec{byPtr: map[*pycode.Instance]*nodeSpec{}}
+	ip := newInterp(source, opts, 0, spec)
+	if err := ip.Exec(source); err != nil {
+		return nil, fmt.Errorf("pype: executing PE source: %w", err)
+	}
+	clsV, ok := ip.Global(className)
+	if !ok {
+		return nil, fmt.Errorf("pype: class %q not defined by source", className)
+	}
+	cls, ok := clsV.(*pycode.Class)
+	if !ok {
+		return nil, fmt.Errorf("pype: %q is not a class", className)
+	}
+	inst, err := ip.Instantiate(cls, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("pype: instantiating %q: %w", className, err)
+	}
+	in, out, err := portsOf(inst.(*pycode.Instance))
+	if err != nil {
+		return nil, err
+	}
+	pe.inputs, pe.outputs = in, out
+	pe.baseKind = baseKindOf(inst.(*pycode.Instance))
+	return pe, nil
+}
+
+// baseKindOf walks the class hierarchy to the dispel4py base class.
+func baseKindOf(inst *pycode.Instance) string {
+	for c := inst.Class; c != nil; c = c.Base {
+		switch c.Name {
+		case "ProducerPE", "IterativePE", "ConsumerPE", "GenericPE":
+			return c.Name
+		}
+	}
+	return "GenericPE"
+}
+
+// PE is a dataflow.PE backed by a pycode class.
+type PE struct {
+	className string
+	nodeName  string
+	baseKind  string
+	source    string
+	inputs    []dataflow.Port
+	outputs   []string
+	opts      Options
+}
+
+// Name implements dataflow.PE (unique node name within the graph).
+func (p *PE) Name() string { return p.nodeName }
+
+// ClassName is the underlying pycode class.
+func (p *PE) ClassName() string { return p.className }
+
+// Source returns the module source that defines the PE.
+func (p *PE) Source() string { return p.source }
+
+// Inputs implements dataflow.PE.
+func (p *PE) Inputs() []dataflow.Port { return p.inputs }
+
+// Outputs implements dataflow.PE.
+func (p *PE) Outputs() []string { return p.outputs }
+
+// NewInstance implements dataflow.PE: a fresh interpreter per instance.
+func (p *PE) NewInstance() (dataflow.Instance, error) {
+	return &peInstance{pe: p}, nil
+}
+
+// peInstance is one parallel instance: its own interpreter and object.
+type peInstance struct {
+	pe   *PE
+	ip   *pycode.Interp
+	self *pycode.Instance
+	ctx  *dataflow.Context
+}
+
+// Init implements dataflow.Initer: builds the interpreter lazily so the
+// instance knows its index for seeding.
+func (pi *peInstance) Init(ctx *dataflow.Context) error {
+	pi.ctx = ctx
+	opts := pi.pe.opts
+	opts.Stdout = ctx.Stdout()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// distinct deterministic stream per instance
+	opts.Seed = seed + int64(ctx.InstanceIndex())*7919 + int64(len(pi.pe.nodeName))
+	spec := &graphSpec{byPtr: map[*pycode.Instance]*nodeSpec{}}
+	ip := newInterpFromOptions(opts, spec, pi)
+	if err := ip.Exec(pi.pe.source); err != nil {
+		return fmt.Errorf("pype: instance %s: %w", pi.pe.nodeName, err)
+	}
+	clsV, ok := ip.Global(pi.pe.className)
+	if !ok {
+		return fmt.Errorf("pype: class %q not defined by source", pi.pe.className)
+	}
+	cls, ok := clsV.(*pycode.Class)
+	if !ok {
+		return fmt.Errorf("pype: %q is not a class", pi.pe.className)
+	}
+	instV, err := ip.Instantiate(cls, nil, nil)
+	if err != nil {
+		return fmt.Errorf("pype: instantiating %q: %w", pi.pe.className, err)
+	}
+	pi.ip = ip
+	pi.self = instV.(*pycode.Instance)
+	return nil
+}
+
+// Process implements dataflow.Instance, invoking the pycode _process with
+// the arity its PE type expects and routing the return value.
+func (pi *peInstance) Process(ctx *dataflow.Context, input map[string]dataflow.Value) error {
+	if pi.ip == nil {
+		if err := pi.Init(ctx); err != nil {
+			return err
+		}
+	}
+	pi.ctx = ctx
+	var args []pycode.Value
+	switch {
+	case input == nil:
+		// producer iteration: _process(self)
+	case (pi.pe.baseKind == "IterativePE" || pi.pe.baseKind == "ConsumerPE") && len(pi.pe.inputs) == 1:
+		// iterative/consumer convention: _process(self, value)
+		v, ok := input[pi.pe.inputs[0].Name]
+		if !ok {
+			for _, vv := range input {
+				v = vv
+			}
+		}
+		args = append(args, pycode.FromGo(v))
+	default:
+		// generic convention: _process(self, inputs_dict)
+		d := pycode.NewDict()
+		for port, v := range input {
+			if err := d.Set(pycode.Str(port), pycode.FromGo(v)); err != nil {
+				return fmt.Errorf("pype: building inputs dict: %s", err)
+			}
+		}
+		args = append(args, d)
+	}
+	ret, err := pi.ip.CallMethod(pi.self, "_process", args...)
+	if err != nil {
+		return fmt.Errorf("pype: %s._process: %w", pi.pe.className, err)
+	}
+	return pi.routeReturn(ctx, ret)
+}
+
+// Finish implements dataflow.Finisher: when the PE defines a _postprocess
+// method (dispel4py's end-of-stream hook), it runs after the last record so
+// stateful PEs can emit aggregates via self.write or a return value.
+func (pi *peInstance) Finish(ctx *dataflow.Context) error {
+	if pi.ip == nil || pi.self == nil {
+		return nil
+	}
+	pi.ctx = ctx
+	if !pi.ip.HasAttr(pi.self, "_postprocess") {
+		return nil
+	}
+	ret, err := pi.ip.CallMethod(pi.self, "_postprocess")
+	if err != nil {
+		return fmt.Errorf("pype: %s._postprocess: %w", pi.pe.className, err)
+	}
+	return pi.routeReturn(ctx, ret)
+}
+
+// routeReturn implements dispel4py's return-value conventions: None emits
+// nothing; a dict maps ports to values; otherwise the value goes to the
+// single output port.
+func (pi *peInstance) routeReturn(ctx *dataflow.Context, ret pycode.Value) error {
+	switch v := ret.(type) {
+	case pycode.NoneVal, nil:
+		return nil
+	case *pycode.Dict:
+		// dict of port → value when all keys are known ports
+		allPorts := true
+		for _, kv := range v.Items() {
+			name, ok := kv[0].(pycode.Str)
+			if !ok || !containsStr(pi.pe.outputs, string(name)) {
+				allPorts = false
+				break
+			}
+		}
+		if allPorts && v.Len() > 0 {
+			for _, kv := range v.Items() {
+				if err := ctx.Write(string(kv[0].(pycode.Str)), pycode.GoValue(kv[1])); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if len(pi.pe.outputs) == 1 {
+		return ctx.Write(pi.pe.outputs[0], pycode.GoValue(ret))
+	}
+	if len(pi.pe.outputs) == 0 {
+		return nil // consumers may return values; they are discarded
+	}
+	return fmt.Errorf("pype: %s returned a value but has %d output ports; use self.write(port, value)",
+		pi.pe.className, len(pi.pe.outputs))
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

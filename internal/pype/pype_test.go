@@ -1,0 +1,487 @@
+package pype
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"laminar/internal/dataflow"
+)
+
+// isPrimeSource is Listing 3 of the paper, verbatim in shape.
+const isPrimeSource = `
+import random
+
+class NumberProducer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        # Generate a random number
+        result = random.randint(1, 1000)
+        return result
+
+class IsPrime(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, num):
+        print("before checking data - %s - is prime or not" % num)
+        if all(num % i != 0 for i in range(2, num)):
+            return num
+
+class PrintPrime(ConsumerPE):
+    def __init__(self):
+        ConsumerPE.__init__(self)
+    def _process(self, num):
+        print("the num %s is prime" % num)
+
+pe1 = NumberProducer()
+pe2 = IsPrime()
+pe3 = PrintPrime()
+
+graph = WorkflowGraph()
+graph.connect(pe1, 'output', pe2, 'input')
+graph.connect(pe2, 'output', pe3, 'input')
+`
+
+func TestBuildIsPrimeWorkflow(t *testing.T) {
+	res, err := BuildWorkflow(isPrimeSource, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PENames) != 3 {
+		t.Fatalf("PE names: %v", res.PENames)
+	}
+	pes := res.Graph.PEs()
+	if len(pes) != 3 {
+		t.Fatalf("graph has %d PEs", len(pes))
+	}
+	initial, err := res.Graph.InitialPE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial.Name() != "NumberProducer" {
+		t.Errorf("initial PE = %s", initial.Name())
+	}
+	// port shapes
+	prod, _ := res.Graph.PE("NumberProducer")
+	if len(prod.Inputs()) != 0 || len(prod.Outputs()) != 1 {
+		t.Errorf("producer ports: %v %v", prod.Inputs(), prod.Outputs())
+	}
+	cons, _ := res.Graph.PE("PrintPrime")
+	if len(cons.Inputs()) != 1 || len(cons.Outputs()) != 0 {
+		t.Errorf("consumer ports: %v %v", cons.Inputs(), cons.Outputs())
+	}
+}
+
+func TestRunIsPrimeAllMappings(t *testing.T) {
+	for _, m := range []dataflow.Mapping{dataflow.MappingSimple, dataflow.MappingMulti, dataflow.MappingMPI, dataflow.MappingRedis} {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			res, err := BuildWorkflow(isPrimeSource, Options{Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			result, err := dataflow.Run(res.Graph, dataflow.Options{
+				Mapping:    m,
+				Iterations: 5,
+				Processes:  5,
+				Stdout:     &out,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if result.Processed("NumberProducer") != 5 {
+				t.Errorf("producer ran %d times", result.Processed("NumberProducer"))
+			}
+			if result.Processed("IsPrime") != 5 {
+				t.Errorf("IsPrime processed %d", result.Processed("IsPrime"))
+			}
+			text := out.String()
+			if !strings.Contains(text, "before checking data") {
+				t.Errorf("missing IsPrime output: %q", text)
+			}
+		})
+	}
+}
+
+func TestStatefulCountWordsGroupBy(t *testing.T) {
+	// Listing 2's stateful group-by word count, fed by a deterministic
+	// producer, verified across all mappings.
+	src := `
+from collections import defaultdict
+
+class WordProducer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+        self.words = ["stream", "data", "flow", "stream", "data", "stream"]
+        self.i = 0
+    def _process(self):
+        word = self.words[self.i % len(self.words)]
+        self.i += 1
+        return (word, 1)
+
+class CountWords(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input", grouping=[0])
+        self._add_output("output")
+        self.count = defaultdict(int)
+    def _process(self, inputs):
+        word, count = inputs['input']
+        self.count[word] += count
+
+graph = WorkflowGraph()
+wp = WordProducer()
+cw = CountWords()
+graph.connect(wp, 'output', cw, 'input')
+`
+	for _, m := range []dataflow.Mapping{dataflow.MappingSimple, dataflow.MappingMulti, dataflow.MappingRedis} {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			res, err := BuildWorkflow(src, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			result, err := dataflow.Run(res.Graph, dataflow.Options{
+				Mapping: m, Iterations: 12, Processes: 6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if result.Processed("CountWords") != 12 {
+				t.Errorf("CountWords processed %d, want 12", result.Processed("CountWords"))
+			}
+		})
+	}
+}
+
+func TestGenericWriteMethod(t *testing.T) {
+	// self.write(port, value) inside _process reaches downstream PEs.
+	src := `
+class Splitter(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input")
+        self._add_output("evens")
+        self._add_output("odds")
+    def _process(self, inputs):
+        n = inputs['input']
+        if n % 2 == 0:
+            self.write("evens", n)
+        else:
+            self.write("odds", n)
+
+class Numbers(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+        self.n = 0
+    def _process(self):
+        self.n += 1
+        return self.n
+
+graph = WorkflowGraph()
+p = Numbers()
+s = Splitter()
+graph.connect(p, 'output', s, 'input')
+`
+	res, err := BuildWorkflow(src, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := dataflow.Run(res.Graph, dataflow.Options{
+		Mapping: dataflow.MappingSimple, Iterations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evens := result.Outputs("Splitter.evens")
+	odds := result.Outputs("Splitter.odds")
+	if len(evens) != 5 || len(odds) != 5 {
+		t.Fatalf("evens=%v odds=%v", evens, odds)
+	}
+}
+
+func TestInstancesHaveIndependentState(t *testing.T) {
+	// With several instances, each pycode instance keeps its own counter;
+	// the counters must sum to the total records.
+	src := `
+class Producer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return 1
+
+class Acc(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input")
+        self._add_output("output")
+        self.total = 0
+    def _process(self, inputs):
+        self.total += inputs['input']
+
+graph = WorkflowGraph()
+p = Producer()
+a = Acc()
+graph.connect(p, 'output', a, 'input')
+`
+	res, err := BuildWorkflow(src, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := dataflow.Run(res.Graph, dataflow.Options{
+		Mapping: dataflow.MappingMulti, Iterations: 20, Processes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Processed("Acc") != 20 {
+		t.Errorf("Acc processed %d", result.Processed("Acc"))
+	}
+	if result.Alloc["Acc"] < 2 {
+		t.Errorf("want multiple Acc instances, got %d", result.Alloc["Acc"])
+	}
+}
+
+func TestSinglePEFaaSStyle(t *testing.T) {
+	// A source with only a PE class runs as a single-PE workflow, like a
+	// traditional FaaS function (Section 3.4.1).
+	src := `
+import random
+
+class NumberProducer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return random.randint(1, 1000)
+`
+	res, err := BuildWorkflow(src, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := dataflow.Run(res.Graph, dataflow.Options{
+		Mapping: dataflow.MappingSimple, Iterations: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := result.Outputs("NumberProducer.output")
+	if len(vals) != 3 {
+		t.Fatalf("outputs: %v", vals)
+	}
+	for _, v := range vals {
+		n := v.(int64)
+		if n < 1 || n > 1000 {
+			t.Errorf("out of range: %d", n)
+		}
+	}
+}
+
+func TestSeededRunsAreDeterministic(t *testing.T) {
+	runOnce := func() []int64 {
+		res, err := BuildWorkflow(isPrimeSource, Options{Seed: 1234})
+		if err != nil {
+			t.Fatal(err)
+		}
+		result, err := dataflow.Run(res.Graph, dataflow.Options{
+			Mapping: dataflow.MappingSimple, Iterations: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var primes []int64
+		for _, v := range result.Outputs("PrintPrime.output") {
+			primes = append(primes, v.(int64))
+		}
+		sort.Slice(primes, func(i, j int) bool { return primes[i] < primes[j] })
+		return primes
+	}
+	_ = runOnce // PrintPrime is a consumer: no sink outputs. Verify stdout instead.
+	out1 := runStdout(t, 1234)
+	out2 := runStdout(t, 1234)
+	if out1 != out2 {
+		t.Errorf("same seed, different output:\n%q\n%q", out1, out2)
+	}
+	out3 := runStdout(t, 99)
+	if out1 == out3 {
+		t.Errorf("different seeds produced identical output")
+	}
+}
+
+func runStdout(t *testing.T, seed int64) string {
+	t.Helper()
+	res, err := BuildWorkflow(isPrimeSource, Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := dataflow.Run(res.Graph, dataflow.Options{
+		Mapping: dataflow.MappingSimple, Iterations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result.StdoutText
+}
+
+func TestPEClassNames(t *testing.T) {
+	names, err := PEClassNames(isPrimeSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"NumberProducer", "IsPrime", "PrintPrime"}
+	if len(names) != 3 {
+		t.Fatalf("names: %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+}
+
+func TestDuplicateClassInstancesGetUniqueNodeNames(t *testing.T) {
+	src := `
+class P(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return 1
+
+class Merge(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("a")
+        self._add_input("b")
+        self._add_output("output")
+    def _process(self, inputs):
+        for k in inputs.keys():
+            self.write("output", inputs[k])
+
+graph = WorkflowGraph()
+p1 = P()
+p2 = P()
+m = Merge()
+graph.connect(p1, 'output', m, 'a')
+graph.connect(p2, 'output', m, 'b')
+`
+	res, err := BuildWorkflow(src, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Graph.PEs()) != 3 {
+		t.Fatalf("graph PEs: %d", len(res.Graph.PEs()))
+	}
+	result, err := dataflow.Run(res.Graph, dataflow.Options{
+		Mapping: dataflow.MappingMulti, Iterations: 4, Processes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(result.Outputs("Merge.output")); got != 8 {
+		t.Errorf("merged outputs = %d, want 8", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := BuildWorkflow("x = 1\n", Options{}); err == nil {
+		t.Error("expected error for source with no PEs")
+	}
+	if _, err := BuildWorkflow("def f(:\n", Options{}); err == nil {
+		t.Error("expected syntax error")
+	}
+	// missing base __init__ call means no port tables
+	bad := `
+class Broken(ProducerPE):
+    def __init__(self):
+        self.x = 1
+    def _process(self):
+        return 1
+
+g = WorkflowGraph()
+b = Broken()
+c = Broken()
+g.connect(b, 'output', c, 'input')
+`
+	if _, err := BuildWorkflow(bad, Options{}); err == nil {
+		t.Error("expected error for PE that skips base __init__")
+	}
+}
+
+func TestGroupingConversions(t *testing.T) {
+	src := `
+class G(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("byKey", grouping=[0, 1])
+        self._add_input("bcast", grouping="all")
+        self._add_input("oneone", grouping="one-to-one")
+        self._add_input("plain")
+`
+	pe, err := NewPE(src, "G", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]dataflow.Port{}
+	for _, p := range pe.Inputs() {
+		byName[p.Name] = p
+	}
+	if byName["byKey"].Grouping.Kind != dataflow.GroupByKey || len(byName["byKey"].Grouping.Keys) != 2 {
+		t.Errorf("byKey grouping: %+v", byName["byKey"].Grouping)
+	}
+	if byName["bcast"].Grouping.Kind != dataflow.GroupAll {
+		t.Errorf("bcast grouping: %+v", byName["bcast"].Grouping)
+	}
+	if byName["oneone"].Grouping.Kind != dataflow.GroupOneToOne {
+		t.Errorf("oneone grouping: %+v", byName["oneone"].Grouping)
+	}
+	if byName["plain"].Grouping.Kind != dataflow.GroupShuffle {
+		t.Errorf("plain grouping: %+v", byName["plain"].Grouping)
+	}
+}
+
+func TestClassSourceExtraction(t *testing.T) {
+	src := `
+import random
+import math
+
+class First(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return random.randint(1, 10)
+
+class Second(ConsumerPE):
+    def __init__(self):
+        ConsumerPE.__init__(self)
+    def _process(self, v):
+        print(v)
+
+graph = WorkflowGraph()
+`
+	first, err := ClassSource(src, "First")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first, "class First(ProducerPE)") {
+		t.Errorf("missing class: %s", first)
+	}
+	if strings.Contains(first, "class Second") || strings.Contains(first, "WorkflowGraph") {
+		t.Errorf("leaked neighbours: %s", first)
+	}
+	if !strings.Contains(first, "import random") {
+		t.Errorf("missing module imports: %s", first)
+	}
+	// the extracted source must itself build as a single-PE workflow
+	res, err := BuildWorkflow(first, Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("extracted source does not build: %v", err)
+	}
+	if res.PENames[0] != "First" {
+		t.Errorf("PE names: %v", res.PENames)
+	}
+	if _, err := ClassSource(src, "Missing"); err == nil {
+		t.Error("missing class should fail")
+	}
+}

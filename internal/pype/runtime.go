@@ -1,0 +1,304 @@
+package pype
+
+import (
+	"fmt"
+
+	"laminar/internal/dataflow"
+	"laminar/internal/pycode"
+)
+
+// newInterp builds an interpreter for executing workflow source at build
+// time (no running instance attached).
+func newInterp(_ string, opts Options, _ int64, spec *graphSpec) *pycode.Interp {
+	return newInterpFromOptions(opts, spec, nil)
+}
+
+// newInterpFromOptions wires the dispel4py runtime into a fresh
+// interpreter: the four PE base classes, the WorkflowGraph class, and the
+// importable dispel4py module aliases.
+func newInterpFromOptions(opts Options, spec *graphSpec, pi *peInstance) *pycode.Interp {
+	ip := pycode.New(pycode.Options{
+		Stdout:      opts.Stdout,
+		ResourceDir: opts.ResourceDir,
+		MaxSteps:    opts.MaxSteps,
+		Seed:        opts.Seed,
+		Modules:     opts.Modules,
+	})
+	bases := peBaseClasses(pi)
+	d4pMod := &pycode.Module{Name: "dispel4py", Attrs: map[string]pycode.Value{}}
+	for name, cls := range bases {
+		ip.DefineGlobal(name, cls)
+		d4pMod.Attrs[name] = cls
+	}
+	wg := workflowGraphClass(ip, spec)
+	ip.DefineGlobal("WorkflowGraph", wg)
+	d4pMod.Attrs["WorkflowGraph"] = wg
+	ip.RegisterModule(d4pMod)
+	return ip
+}
+
+// peBaseClasses constructs ProducerPE / IterativePE / ConsumerPE /
+// GenericPE. Their native __init__ seeds the port tables exactly as
+// dispel4py's base classes do; GenericPE code calls _add_input/_add_output.
+func peBaseClasses(pi *peInstance) map[string]*pycode.Class {
+	mkBase := func(name string, inPorts, outPorts []string) *pycode.Class {
+		cls := &pycode.Class{
+			Name:          name,
+			Methods:       map[string]*pycode.Function{},
+			Statics:       map[string]pycode.Value{},
+			NativeMethods: map[string]func(ip *pycode.Interp, self *pycode.Instance, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error){},
+		}
+		cls.NativeInit = func(ip *pycode.Interp, self *pycode.Instance, args []pycode.Value) error {
+			inputs := pycode.NewDict()
+			for _, p := range inPorts {
+				if err := inputs.Set(pycode.Str(p), pycode.None); err != nil {
+					return err
+				}
+			}
+			outputs := pycode.NewDict()
+			for _, p := range outPorts {
+				if err := outputs.Set(pycode.Str(p), pycode.None); err != nil {
+					return err
+				}
+			}
+			self.Attrs["_inputs"] = inputs
+			self.Attrs["_outputs"] = outputs
+			return nil
+		}
+		cls.NativeMethods["_add_input"] = func(ip *pycode.Interp, self *pycode.Instance, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+			if len(args) < 1 {
+				return nil, pycode.Raise("TypeError", "_add_input() requires a port name")
+			}
+			name, ok := args[0].(pycode.Str)
+			if !ok {
+				return nil, pycode.Raise("TypeError", "_add_input() port name must be str")
+			}
+			var grouping pycode.Value = pycode.None
+			if len(args) >= 2 {
+				grouping = args[1]
+			}
+			if g, ok := kwargs["grouping"]; ok {
+				grouping = g
+			}
+			inputs, ok := self.Attrs["_inputs"].(*pycode.Dict)
+			if !ok {
+				return nil, pycode.Raise("RuntimeError", "PE base __init__ was not called before _add_input")
+			}
+			if err := inputs.Set(name, grouping); err != nil {
+				return nil, pycode.Raise("TypeError", "%s", err)
+			}
+			return pycode.None, nil
+		}
+		cls.NativeMethods["_add_output"] = func(ip *pycode.Interp, self *pycode.Instance, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+			if len(args) < 1 {
+				return nil, pycode.Raise("TypeError", "_add_output() requires a port name")
+			}
+			name, ok := args[0].(pycode.Str)
+			if !ok {
+				return nil, pycode.Raise("TypeError", "_add_output() port name must be str")
+			}
+			outputs, ok := self.Attrs["_outputs"].(*pycode.Dict)
+			if !ok {
+				return nil, pycode.Raise("RuntimeError", "PE base __init__ was not called before _add_output")
+			}
+			if err := outputs.Set(name, pycode.None); err != nil {
+				return nil, pycode.Raise("TypeError", "%s", err)
+			}
+			return pycode.None, nil
+		}
+		cls.NativeMethods["write"] = func(ip *pycode.Interp, self *pycode.Instance, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+			if len(args) != 2 {
+				return nil, pycode.Raise("TypeError", "write() takes (port, value)")
+			}
+			port, ok := args[0].(pycode.Str)
+			if !ok {
+				return nil, pycode.Raise("TypeError", "write() port must be str")
+			}
+			if pi == nil || pi.ctx == nil {
+				return nil, pycode.Raise("RuntimeError", "write() is only available during workflow execution")
+			}
+			if err := pi.ctx.Write(string(port), pycode.GoValue(args[1])); err != nil {
+				return nil, pycode.Raise("RuntimeError", "%s", err)
+			}
+			return pycode.None, nil
+		}
+		cls.NativeMethods["log"] = func(ip *pycode.Interp, self *pycode.Instance, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+			if pi != nil && pi.ctx != nil {
+				parts := make([]string, len(args))
+				for i, a := range args {
+					parts[i] = pycode.ToStr(a)
+				}
+				pi.ctx.Printf("[%s] %s\n", pi.pe.nodeName, joinStrings(parts, " "))
+			}
+			return pycode.None, nil
+		}
+		return cls
+	}
+	return map[string]*pycode.Class{
+		"ProducerPE":  mkBase("ProducerPE", nil, []string{dataflow.DefaultOutput}),
+		"IterativePE": mkBase("IterativePE", []string{dataflow.DefaultInput}, []string{dataflow.DefaultOutput}),
+		"ConsumerPE":  mkBase("ConsumerPE", []string{dataflow.DefaultInput}, nil),
+		"GenericPE":   mkBase("GenericPE", nil, nil),
+	}
+}
+
+// workflowGraphClass builds the WorkflowGraph native class whose connect()
+// calls are recorded into the build spec.
+func workflowGraphClass(ip *pycode.Interp, spec *graphSpec) *pycode.Class {
+	cls := &pycode.Class{
+		Name:          "WorkflowGraph",
+		Methods:       map[string]*pycode.Function{},
+		Statics:       map[string]pycode.Value{},
+		NativeMethods: map[string]func(ip *pycode.Interp, self *pycode.Instance, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error){},
+	}
+	cls.NativeInit = func(ip *pycode.Interp, self *pycode.Instance, args []pycode.Value) error {
+		return nil
+	}
+	cls.NativeMethods["connect"] = func(ip *pycode.Interp, self *pycode.Instance, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+		if len(args) != 4 {
+			return nil, pycode.Raise("TypeError", "connect() takes (from_pe, from_port, to_pe, to_port)")
+		}
+		fromInst, ok1 := args[0].(*pycode.Instance)
+		fromPort, ok2 := args[1].(pycode.Str)
+		toInst, ok3 := args[2].(*pycode.Instance)
+		toPort, ok4 := args[3].(pycode.Str)
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return nil, pycode.Raise("TypeError", "connect() takes (PE, str, PE, str)")
+		}
+		from, err := spec.nodeFor(fromInst)
+		if err != nil {
+			return nil, pycode.Raise("ValueError", "%s", err)
+		}
+		to, err := spec.nodeFor(toInst)
+		if err != nil {
+			return nil, pycode.Raise("ValueError", "%s", err)
+		}
+		spec.mu.Lock()
+		spec.edges = append(spec.edges, edgeSpec{
+			from: from, fromPort: string(fromPort), to: to, toPort: string(toPort),
+		})
+		spec.mu.Unlock()
+		return pycode.None, nil
+	}
+	cls.NativeMethods["add"] = func(ip *pycode.Interp, self *pycode.Instance, args []pycode.Value, kwargs map[string]pycode.Value) (pycode.Value, error) {
+		if len(args) != 1 {
+			return nil, pycode.Raise("TypeError", "add() takes a PE instance")
+		}
+		inst, ok := args[0].(*pycode.Instance)
+		if !ok {
+			return nil, pycode.Raise("TypeError", "add() takes a PE instance")
+		}
+		if _, err := spec.nodeFor(inst); err != nil {
+			return nil, pycode.Raise("ValueError", "%s", err)
+		}
+		return pycode.None, nil
+	}
+	return cls
+}
+
+// nodeFor returns (creating if necessary) the graph node for a PE object.
+func (s *graphSpec) nodeFor(inst *pycode.Instance) (*nodeSpec, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.byPtr[inst]; ok {
+		return n, nil
+	}
+	in, out, err := portsOf(inst)
+	if err != nil {
+		return nil, err
+	}
+	name := inst.Class.Name
+	// disambiguate multiple instances of the same class
+	unique := name
+	for i := 2; ; i++ {
+		clash := false
+		for _, n := range s.nodes {
+			if n.nodeName == unique {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			break
+		}
+		unique = fmt.Sprintf("%s_%d", name, i)
+	}
+	n := &nodeSpec{className: name, nodeName: unique, baseKind: baseKindOf(inst), inputs: in, outputs: out}
+	s.nodes = append(s.nodes, n)
+	s.byPtr[inst] = n
+	return n, nil
+}
+
+// portsOf reads the port tables the base-class __init__ created.
+func portsOf(inst *pycode.Instance) ([]dataflow.Port, []string, error) {
+	inputsV, ok := inst.Attrs["_inputs"]
+	if !ok {
+		return nil, nil, fmt.Errorf("PE %q has no port tables: its __init__ must call the base __init__", inst.Class.Name)
+	}
+	inputs, ok := inputsV.(*pycode.Dict)
+	if !ok {
+		return nil, nil, fmt.Errorf("PE %q has a corrupt _inputs table", inst.Class.Name)
+	}
+	var in []dataflow.Port
+	for _, kv := range inputs.Items() {
+		name, _ := kv[0].(pycode.Str)
+		grouping, err := convertGrouping(kv[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("PE %q port %q: %w", inst.Class.Name, string(name), err)
+		}
+		in = append(in, dataflow.Port{Name: string(name), Grouping: grouping})
+	}
+	var out []string
+	if outputsV, ok := inst.Attrs["_outputs"].(*pycode.Dict); ok {
+		for _, kv := range outputsV.Items() {
+			if name, ok := kv[0].(pycode.Str); ok {
+				out = append(out, string(name))
+			}
+		}
+	}
+	return in, out, nil
+}
+
+// convertGrouping maps dispel4py grouping declarations to dataflow
+// groupings: a list of tuple indices → group-by; "all"/"global" →
+// broadcast; "one"/"one-to-one" → one-to-one; None → shuffle.
+func convertGrouping(v pycode.Value) (dataflow.Grouping, error) {
+	switch g := v.(type) {
+	case pycode.NoneVal, nil:
+		return dataflow.Grouping{Kind: dataflow.GroupShuffle}, nil
+	case *pycode.List:
+		var keys []int
+		for _, it := range g.Items {
+			n, ok := it.(pycode.Int)
+			if !ok {
+				return dataflow.Grouping{}, fmt.Errorf("group-by indices must be integers, got %s", pycode.TypeName(it))
+			}
+			keys = append(keys, int(n))
+		}
+		return dataflow.Grouping{Kind: dataflow.GroupByKey, Keys: keys}, nil
+	case pycode.Str:
+		switch string(g) {
+		case "all", "global":
+			return dataflow.Grouping{Kind: dataflow.GroupAll}, nil
+		case "one", "one-to-one":
+			return dataflow.Grouping{Kind: dataflow.GroupOneToOne}, nil
+		case "shuffle", "none":
+			return dataflow.Grouping{Kind: dataflow.GroupShuffle}, nil
+		default:
+			return dataflow.Grouping{}, fmt.Errorf("unknown grouping %q", string(g))
+		}
+	default:
+		return dataflow.Grouping{}, fmt.Errorf("unsupported grouping type %s", pycode.TypeName(v))
+	}
+}
+
+func joinStrings(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Package redisclient is a minimal Redis client for the mini Redis server
+// (and any RESP2-compatible server). One Client owns one TCP connection and
+// is safe for concurrent use; the Redis dataflow mapping opens one client
+// per worker instance, mirroring how dispel4py workers each hold a
+// connection.
+package redisclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"laminar/internal/resp"
+)
+
+// ErrNil is returned when the server replies with a null bulk string/array
+// (missing key, timed-out blocking pop).
+var ErrNil = errors.New("redis: nil reply")
+
+// Client is a connection to a Redis server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *resp.Reader
+	w    *resp.Writer
+}
+
+// Dial connects to addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("redis: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends a command and returns the raw reply.
+func (c *Client) Do(args ...string) (resp.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.WriteCommand(args...); err != nil {
+		return resp.Value{}, err
+	}
+	v, err := c.r.Read()
+	if err != nil {
+		return resp.Value{}, err
+	}
+	if v.IsError() {
+		return v, fmt.Errorf("redis: %s", v.Str)
+	}
+	return v, nil
+}
+
+// Ping round-trips a PING.
+func (c *Client) Ping() error {
+	v, err := c.Do("PING")
+	if err != nil {
+		return err
+	}
+	if v.Str != "PONG" {
+		return fmt.Errorf("redis: unexpected PING reply %q", v.Str)
+	}
+	return nil
+}
+
+// Set stores a string key.
+func (c *Client) Set(key, value string) error {
+	_, err := c.Do("SET", key, value)
+	return err
+}
+
+// Get fetches a string key; ErrNil when missing.
+func (c *Client) Get(key string) (string, error) {
+	v, err := c.Do("GET", key)
+	if err != nil {
+		return "", err
+	}
+	if v.Null {
+		return "", ErrNil
+	}
+	return v.Str, nil
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int64, error) {
+	args := append([]string{"DEL"}, keys...)
+	v, err := c.Do(args...)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// Incr increments an integer key.
+func (c *Client) Incr(key string) (int64, error) {
+	v, err := c.Do("INCR", key)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// LPush prepends values to a list, returning the new length.
+func (c *Client) LPush(key string, values ...string) (int64, error) {
+	args := append([]string{"LPUSH", key}, values...)
+	v, err := c.Do(args...)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// RPush appends values to a list, returning the new length.
+func (c *Client) RPush(key string, values ...string) (int64, error) {
+	args := append([]string{"RPUSH", key}, values...)
+	v, err := c.Do(args...)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// LLen returns a list's length.
+func (c *Client) LLen(key string) (int64, error) {
+	v, err := c.Do("LLEN", key)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// BLPop blocks until an element is available on any key or the timeout
+// elapses (timeout 0 blocks forever). Returns (key, value).
+func (c *Client) BLPop(timeout time.Duration, keys ...string) (string, string, error) {
+	args := append([]string{"BLPOP"}, keys...)
+	args = append(args, strconv.FormatFloat(timeout.Seconds(), 'f', 3, 64))
+	v, err := c.Do(args...)
+	if err != nil {
+		return "", "", err
+	}
+	if v.Null || len(v.Array) != 2 {
+		return "", "", ErrNil
+	}
+	return v.Array[0].Str, v.Array[1].Str, nil
+}
+
+// HSet sets a hash field.
+func (c *Client) HSet(key, field, value string) error {
+	_, err := c.Do("HSET", key, field, value)
+	return err
+}
+
+// HGet fetches a hash field; ErrNil when missing.
+func (c *Client) HGet(key, field string) (string, error) {
+	v, err := c.Do("HGET", key, field)
+	if err != nil {
+		return "", err
+	}
+	if v.Null {
+		return "", ErrNil
+	}
+	return v.Str, nil
+}
+
+// HGetAll fetches a whole hash.
+func (c *Client) HGetAll(key string) (map[string]string, error) {
+	v, err := c.Do("HGETALL", key)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(v.Array)/2)
+	for i := 0; i+1 < len(v.Array); i += 2 {
+		out[v.Array[i].Str] = v.Array[i+1].Str
+	}
+	return out, nil
+}
+
+// FlushAll clears the keyspace.
+func (c *Client) FlushAll() error {
+	_, err := c.Do("FLUSHALL")
+	return err
+}

@@ -1,0 +1,596 @@
+// Package registry implements Laminar's central repository (Section 3.1):
+// users, Processing Elements and workflows with the exact schema of Table 2,
+// one-way many-to-many user↔PE/workflow ownership, two-way many-to-many
+// PE↔workflow association, and stored embeddings for semantic search.
+//
+// The paper hosts the registry on a remote web-based MySQL service; this
+// implementation is an embedded, JSON-persistable store with a configurable
+// simulated WAN latency so the remote-registry deployments of Table 5 can
+// be reproduced.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"laminar/internal/core"
+)
+
+// Store is the registry state. All methods are safe for concurrent use.
+type Store struct {
+	mu sync.RWMutex
+
+	users     map[int]*core.UserRecord
+	pes       map[int]*core.PERecord
+	workflows map[int]*core.WorkflowRecord
+
+	userPEs       map[int]map[int]bool // userID → set of peIDs (ownership)
+	userWorkflows map[int]map[int]bool // userID → set of workflowIDs
+	workflowPEs   map[int]map[int]bool // workflowID → set of peIDs
+	tokens        map[string]int       // session token → userID
+
+	nextUserID     int
+	nextPEID       int
+	nextWorkflowID int
+
+	// latency simulates the WAN round trip to the remote registry service.
+	latency time.Duration
+	// clock is injectable for tests.
+	clock func() time.Time
+}
+
+// NewStore creates an empty registry.
+func NewStore() *Store {
+	return &Store{
+		users:          map[int]*core.UserRecord{},
+		pes:            map[int]*core.PERecord{},
+		workflows:      map[int]*core.WorkflowRecord{},
+		userPEs:        map[int]map[int]bool{},
+		userWorkflows:  map[int]map[int]bool{},
+		workflowPEs:    map[int]map[int]bool{},
+		tokens:         map[string]int{},
+		nextUserID:     1,
+		nextPEID:       1,
+		nextWorkflowID: 1,
+		clock:          time.Now,
+	}
+}
+
+// SetLatency configures the simulated WAN round trip applied to every
+// operation (the registry is "hosted remotely on the web-based service").
+func (s *Store) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	s.latency = d
+	s.mu.Unlock()
+}
+
+func (s *Store) simulateWAN() {
+	s.mu.RLock()
+	d := s.latency
+	s.mu.RUnlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func hashPassword(userName, password string) string {
+	h := sha256.Sum256([]byte("laminar:" + userName + ":" + password))
+	return hex.EncodeToString(h[:])
+}
+
+// ---- users ----
+
+// RegisterUser creates a user with a unique name.
+func (s *Store) RegisterUser(userName, password string) (*core.UserRecord, error) {
+	s.simulateWAN()
+	if strings.TrimSpace(userName) == "" {
+		return nil, core.ErrBadRequest("userName", "user name must not be empty")
+	}
+	if password == "" {
+		return nil, core.ErrBadRequest("password", "password must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range s.users {
+		if u.UserName == userName {
+			return nil, core.ErrConflict("userName", "user %q already exists", userName)
+		}
+	}
+	u := &core.UserRecord{
+		UserID:       s.nextUserID,
+		UserName:     userName,
+		PasswordHash: hashPassword(userName, password),
+		CreatedAt:    s.clock(),
+	}
+	s.nextUserID++
+	s.users[u.UserID] = u
+	s.userPEs[u.UserID] = map[int]bool{}
+	s.userWorkflows[u.UserID] = map[int]bool{}
+	return u, nil
+}
+
+// Login validates credentials and mints a session token.
+func (s *Store) Login(userName, password string) (*core.UserRecord, string, error) {
+	s.simulateWAN()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range s.users {
+		if u.UserName == userName {
+			if u.PasswordHash != hashPassword(userName, password) {
+				return nil, "", core.ErrUnauthorized("invalid login credentials for %q", userName)
+			}
+			token := s.mintTokenLocked(u.UserID)
+			return u, token, nil
+		}
+	}
+	return nil, "", core.ErrUnauthorized("invalid login credentials for %q", userName)
+}
+
+func (s *Store) mintTokenLocked(userID int) string {
+	raw := fmt.Sprintf("%d:%d:%d", userID, s.clock().UnixNano(), len(s.tokens))
+	h := sha256.Sum256([]byte(raw))
+	token := hex.EncodeToString(h[:16])
+	s.tokens[token] = userID
+	return token
+}
+
+// UserByName resolves a user name.
+func (s *Store) UserByName(userName string) (*core.UserRecord, error) {
+	s.simulateWAN()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, u := range s.users {
+		if u.UserName == userName {
+			return u, nil
+		}
+	}
+	return nil, core.ErrNotFound("user", "no such user %q", userName)
+}
+
+// Users lists all users (GET /auth/all).
+func (s *Store) Users() []core.UserRecord {
+	s.simulateWAN()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]core.UserRecord, 0, len(s.users))
+	for _, u := range s.users {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UserID < out[j].UserID })
+	return out
+}
+
+// ---- PEs ----
+
+// AddPE registers a PE for a user. When a PE with the same name and code
+// already exists (registered by another user), the user is added as an
+// additional owner instead of creating a duplicate entry (Section 3.1).
+func (s *Store) AddPE(userID int, req core.AddPERequest) (*core.PERecord, error) {
+	s.simulateWAN()
+	if strings.TrimSpace(req.PEName) == "" {
+		return nil, core.ErrBadRequest("peName", "PE name must not be empty")
+	}
+	if req.PECode == "" {
+		return nil, core.ErrBadRequest("peCode", "PE code must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[userID]; !ok {
+		return nil, core.ErrNotFound("user", "no such user id %d", userID)
+	}
+	for _, pe := range s.pes {
+		if pe.PEName == req.PEName {
+			// Same name: associate this user as an additional owner.
+			s.userPEs[userID][pe.PEID] = true
+			return pe, nil
+		}
+	}
+	pe := &core.PERecord{
+		PEID:           s.nextPEID,
+		PEName:         req.PEName,
+		Description:    req.Description,
+		AutoSummarized: req.AutoSummarized,
+		PECode:         req.PECode,
+		PEImports:      append([]string(nil), req.PEImports...),
+		CodeEmbedding:  append([]float32(nil), req.CodeEmbedding...),
+		DescEmbedding:  append([]float32(nil), req.DescEmbedding...),
+		CreatedAt:      s.clock(),
+	}
+	s.nextPEID++
+	s.pes[pe.PEID] = pe
+	s.userPEs[userID][pe.PEID] = true
+	return pe, nil
+}
+
+// PEByID fetches a PE owned by (or visible to) the user.
+func (s *Store) PEByID(userID, peID int) (*core.PERecord, error) {
+	s.simulateWAN()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pe, ok := s.pes[peID]
+	if !ok {
+		return nil, core.ErrNotFound("peId", "no PE with id %d", peID)
+	}
+	if !s.userPEs[userID][peID] {
+		return nil, core.ErrNotFound("peId", "PE %d is not registered to this user", peID)
+	}
+	return pe, nil
+}
+
+// PEByName fetches a user's PE by class name.
+func (s *Store) PEByName(userID int, name string) (*core.PERecord, error) {
+	s.simulateWAN()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id := range s.userPEs[userID] {
+		if pe := s.pes[id]; pe != nil && pe.PEName == name {
+			return pe, nil
+		}
+	}
+	return nil, core.ErrNotFound("peName", "no PE named %q for this user", name)
+}
+
+// PEsForUser lists the user's PEs ordered by id.
+func (s *Store) PEsForUser(userID int) []core.PERecord {
+	s.simulateWAN()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []core.PERecord
+	for id := range s.userPEs[userID] {
+		if pe := s.pes[id]; pe != nil {
+			out = append(out, *pe)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PEID < out[j].PEID })
+	return out
+}
+
+// RemovePE detaches the PE from the user; the record is deleted once no
+// owner remains.
+func (s *Store) RemovePE(userID, peID int) error {
+	s.simulateWAN()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pes[peID]; !ok {
+		return core.ErrNotFound("peId", "no PE with id %d", peID)
+	}
+	if !s.userPEs[userID][peID] {
+		return core.ErrNotFound("peId", "PE %d is not registered to this user", peID)
+	}
+	delete(s.userPEs[userID], peID)
+	// delete fully when orphaned
+	owned := false
+	for _, set := range s.userPEs {
+		if set[peID] {
+			owned = true
+			break
+		}
+	}
+	if !owned {
+		delete(s.pes, peID)
+		for wid := range s.workflowPEs {
+			delete(s.workflowPEs[wid], peID)
+		}
+	}
+	return nil
+}
+
+// RemovePEByName removes the user's PE by class name.
+func (s *Store) RemovePEByName(userID int, name string) error {
+	pe, err := s.PEByName(userID, name)
+	if err != nil {
+		return err
+	}
+	return s.RemovePE(userID, pe.PEID)
+}
+
+// ---- workflows ----
+
+// AddWorkflow registers a workflow, associating any referenced PEs.
+func (s *Store) AddWorkflow(userID int, req core.AddWorkflowRequest) (*core.WorkflowRecord, error) {
+	s.simulateWAN()
+	if strings.TrimSpace(req.EntryPoint) == "" {
+		return nil, core.ErrBadRequest("entryPoint", "workflow entry point must not be empty")
+	}
+	if req.WorkflowCode == "" {
+		return nil, core.ErrBadRequest("workflowCode", "workflow code must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[userID]; !ok {
+		return nil, core.ErrNotFound("user", "no such user id %d", userID)
+	}
+	for _, wf := range s.workflows {
+		if wf.EntryPoint == req.EntryPoint {
+			s.userWorkflows[userID][wf.WorkflowID] = true
+			return wf, nil
+		}
+	}
+	wf := &core.WorkflowRecord{
+		WorkflowID:   s.nextWorkflowID,
+		WorkflowName: req.WorkflowName,
+		EntryPoint:   req.EntryPoint,
+		Description:  req.Description,
+		WorkflowCode: req.WorkflowCode,
+		CreatedAt:    s.clock(),
+	}
+	s.nextWorkflowID++
+	s.workflows[wf.WorkflowID] = wf
+	s.userWorkflows[userID][wf.WorkflowID] = true
+	s.workflowPEs[wf.WorkflowID] = map[int]bool{}
+	for _, peID := range req.PEIDs {
+		if _, ok := s.pes[peID]; ok {
+			s.workflowPEs[wf.WorkflowID][peID] = true
+		}
+	}
+	return wf, nil
+}
+
+// WorkflowByID fetches a user's workflow by id.
+func (s *Store) WorkflowByID(userID, wfID int) (*core.WorkflowRecord, error) {
+	s.simulateWAN()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	wf, ok := s.workflows[wfID]
+	if !ok {
+		return nil, core.ErrNotFound("workflowId", "no workflow with id %d", wfID)
+	}
+	if !s.userWorkflows[userID][wfID] {
+		return nil, core.ErrNotFound("workflowId", "workflow %d is not registered to this user", wfID)
+	}
+	return wf, nil
+}
+
+// WorkflowByName fetches a user's workflow by its entry point name.
+func (s *Store) WorkflowByName(userID int, name string) (*core.WorkflowRecord, error) {
+	s.simulateWAN()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id := range s.userWorkflows[userID] {
+		if wf := s.workflows[id]; wf != nil && (wf.EntryPoint == name || wf.WorkflowName == name) {
+			return wf, nil
+		}
+	}
+	return nil, core.ErrNotFound("workflowName", "no workflow named %q for this user", name)
+}
+
+// WorkflowsForUser lists the user's workflows ordered by id.
+func (s *Store) WorkflowsForUser(userID int) []core.WorkflowRecord {
+	s.simulateWAN()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []core.WorkflowRecord
+	for id := range s.userWorkflows[userID] {
+		if wf := s.workflows[id]; wf != nil {
+			out = append(out, *wf)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WorkflowID < out[j].WorkflowID })
+	return out
+}
+
+// RemoveWorkflow detaches a workflow from the user, deleting it when
+// orphaned.
+func (s *Store) RemoveWorkflow(userID, wfID int) error {
+	s.simulateWAN()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.workflows[wfID]; !ok {
+		return core.ErrNotFound("workflowId", "no workflow with id %d", wfID)
+	}
+	if !s.userWorkflows[userID][wfID] {
+		return core.ErrNotFound("workflowId", "workflow %d is not registered to this user", wfID)
+	}
+	delete(s.userWorkflows[userID], wfID)
+	owned := false
+	for _, set := range s.userWorkflows {
+		if set[wfID] {
+			owned = true
+			break
+		}
+	}
+	if !owned {
+		delete(s.workflows, wfID)
+		delete(s.workflowPEs, wfID)
+	}
+	return nil
+}
+
+// RemoveWorkflowByName removes the user's workflow by name.
+func (s *Store) RemoveWorkflowByName(userID int, name string) error {
+	wf, err := s.WorkflowByName(userID, name)
+	if err != nil {
+		return err
+	}
+	return s.RemoveWorkflow(userID, wf.WorkflowID)
+}
+
+// AssociatePE links a PE to a workflow
+// (PUT /registry/{user}/workflow/{workflowId}/pe/{peId}).
+func (s *Store) AssociatePE(userID, wfID, peID int) error {
+	s.simulateWAN()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.userWorkflows[userID][wfID] {
+		return core.ErrNotFound("workflowId", "workflow %d is not registered to this user", wfID)
+	}
+	if _, ok := s.pes[peID]; !ok {
+		return core.ErrNotFound("peId", "no PE with id %d", peID)
+	}
+	if s.workflowPEs[wfID] == nil {
+		s.workflowPEs[wfID] = map[int]bool{}
+	}
+	s.workflowPEs[wfID][peID] = true
+	return nil
+}
+
+// PEsByWorkflow returns all PEs belonging to a workflow — the query the
+// two-way many-to-many design exists to make cheap (Section 3.1).
+func (s *Store) PEsByWorkflow(userID, wfID int) ([]core.PERecord, error) {
+	s.simulateWAN()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.userWorkflows[userID][wfID] {
+		return nil, core.ErrNotFound("workflowId", "workflow %d is not registered to this user", wfID)
+	}
+	var out []core.PERecord
+	for peID := range s.workflowPEs[wfID] {
+		if pe := s.pes[peID]; pe != nil {
+			out = append(out, *pe)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PEID < out[j].PEID })
+	return out, nil
+}
+
+// Listing returns everything the user has registered
+// (GET /registry/{user}/all).
+func (s *Store) Listing(userID int) core.RegistryListing {
+	return core.RegistryListing{
+		PEs:       s.PEsForUser(userID),
+		Workflows: s.WorkflowsForUser(userID),
+	}
+}
+
+// ---- persistence ----
+
+// snapshot is the JSON-serializable registry state.
+type snapshot struct {
+	Users          []core.UserRecord     `json:"users"`
+	PasswordHashes map[int]string        `json:"passwordHashes"`
+	PEs            []core.PERecord       `json:"pes"`
+	Workflows      []core.WorkflowRecord `json:"workflows"`
+	UserPEs        map[int][]int         `json:"userPes"`
+	UserWorkflows  map[int][]int         `json:"userWorkflows"`
+	WorkflowPEs    map[int][]int         `json:"workflowPes"`
+	NextUserID     int                   `json:"nextUserId"`
+	NextPEID       int                   `json:"nextPeId"`
+	NextWorkflowID int                   `json:"nextWorkflowId"`
+}
+
+// Save writes the registry to a JSON file.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	snap := snapshot{
+		PasswordHashes: map[int]string{},
+		UserPEs:        map[int][]int{},
+		UserWorkflows:  map[int][]int{},
+		WorkflowPEs:    map[int][]int{},
+		NextUserID:     s.nextUserID,
+		NextPEID:       s.nextPEID,
+		NextWorkflowID: s.nextWorkflowID,
+	}
+	for _, u := range s.users {
+		snap.Users = append(snap.Users, *u)
+		snap.PasswordHashes[u.UserID] = u.PasswordHash
+	}
+	for _, pe := range s.pes {
+		snap.PEs = append(snap.PEs, *pe)
+	}
+	for _, wf := range s.workflows {
+		snap.Workflows = append(snap.Workflows, *wf)
+	}
+	for uid, set := range s.userPEs {
+		snap.UserPEs[uid] = setToSlice(set)
+	}
+	for uid, set := range s.userWorkflows {
+		snap.UserWorkflows[uid] = setToSlice(set)
+	}
+	for wid, set := range s.workflowPEs {
+		snap.WorkflowPEs[wid] = setToSlice(set)
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap.Users, func(i, j int) bool { return snap.Users[i].UserID < snap.Users[j].UserID })
+	sort.Slice(snap.PEs, func(i, j int) bool { return snap.PEs[i].PEID < snap.PEs[j].PEID })
+	sort.Slice(snap.Workflows, func(i, j int) bool { return snap.Workflows[i].WorkflowID < snap.Workflows[j].WorkflowID })
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry: marshal snapshot: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load replaces the registry contents from a JSON file.
+func (s *Store) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("registry: read snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("registry: parse snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users = map[int]*core.UserRecord{}
+	s.pes = map[int]*core.PERecord{}
+	s.workflows = map[int]*core.WorkflowRecord{}
+	s.userPEs = map[int]map[int]bool{}
+	s.userWorkflows = map[int]map[int]bool{}
+	s.workflowPEs = map[int]map[int]bool{}
+	for i := range snap.Users {
+		u := snap.Users[i]
+		u.PasswordHash = snap.PasswordHashes[u.UserID]
+		s.users[u.UserID] = &u
+		s.userPEs[u.UserID] = map[int]bool{}
+		s.userWorkflows[u.UserID] = map[int]bool{}
+	}
+	for i := range snap.PEs {
+		pe := snap.PEs[i]
+		s.pes[pe.PEID] = &pe
+	}
+	for i := range snap.Workflows {
+		wf := snap.Workflows[i]
+		s.workflows[wf.WorkflowID] = &wf
+	}
+	for uid, ids := range snap.UserPEs {
+		if s.userPEs[uid] == nil {
+			s.userPEs[uid] = map[int]bool{}
+		}
+		for _, id := range ids {
+			s.userPEs[uid][id] = true
+		}
+	}
+	for uid, ids := range snap.UserWorkflows {
+		if s.userWorkflows[uid] == nil {
+			s.userWorkflows[uid] = map[int]bool{}
+		}
+		for _, id := range ids {
+			s.userWorkflows[uid][id] = true
+		}
+	}
+	for wid, ids := range snap.WorkflowPEs {
+		s.workflowPEs[wid] = map[int]bool{}
+		for _, id := range ids {
+			s.workflowPEs[wid][id] = true
+		}
+	}
+	s.nextUserID = snap.NextUserID
+	s.nextPEID = snap.NextPEID
+	s.nextWorkflowID = snap.NextWorkflowID
+	return nil
+}
+
+func setToSlice(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UserIDForToken resolves a session token.
+func (s *Store) UserIDForToken(token string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.tokens[token]
+	return id, ok
+}

@@ -1,0 +1,274 @@
+package registry
+
+import (
+	"path/filepath"
+	"testing"
+
+	"laminar/internal/core"
+)
+
+func newUser(t *testing.T, s *Store, name string) *core.UserRecord {
+	t.Helper()
+	u, err := s.RegisterUser(name, "pw-"+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func addPE(t *testing.T, s *Store, userID int, name string) *core.PERecord {
+	t.Helper()
+	pe, err := s.AddPE(userID, core.AddPERequest{
+		PEName: name, Description: "desc " + name, PECode: "CODE-" + name,
+		PEImports:     []string{"random"},
+		CodeEmbedding: []float32{1, 2, 3},
+		DescEmbedding: []float32{4, 5, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pe
+}
+
+func TestUserLifecycle(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "ann")
+	if u.UserID != 1 {
+		t.Errorf("id = %d", u.UserID)
+	}
+	if _, err := s.RegisterUser("ann", "other"); err == nil {
+		t.Error("duplicate user should conflict")
+	}
+	if _, err := s.RegisterUser("", "pw"); err == nil {
+		t.Error("empty user name should fail")
+	}
+	if _, err := s.RegisterUser("bob", ""); err == nil {
+		t.Error("empty password should fail")
+	}
+	got, token, err := s.Login("ann", "pw-ann")
+	if err != nil || got.UserID != u.UserID || token == "" {
+		t.Fatalf("login: %v %v %q", got, err, token)
+	}
+	if id, ok := s.UserIDForToken(token); !ok || id != u.UserID {
+		t.Errorf("token resolution: %d %v", id, ok)
+	}
+	if _, _, err := s.Login("ann", "wrong"); err == nil {
+		t.Error("wrong password should fail")
+	}
+	if _, _, err := s.Login("ghost", "pw"); err == nil {
+		t.Error("unknown user should fail")
+	}
+	if len(s.Users()) != 1 {
+		t.Errorf("users: %v", s.Users())
+	}
+}
+
+func TestPELifecycleAndOwnership(t *testing.T) {
+	s := NewStore()
+	ann := newUser(t, s, "ann")
+	bob := newUser(t, s, "bob")
+
+	pe := addPE(t, s, ann.UserID, "IsPrime")
+	if pe.PEID != 1 {
+		t.Errorf("pe id = %d", pe.PEID)
+	}
+	// Bob registering the same PE name becomes an additional owner, not a
+	// duplicate (Section 3.1).
+	pe2, err := s.AddPE(bob.UserID, core.AddPERequest{PEName: "IsPrime", PECode: "CODE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe2.PEID != pe.PEID {
+		t.Errorf("duplicate entry created: %d vs %d", pe2.PEID, pe.PEID)
+	}
+	if got := s.PEsForUser(bob.UserID); len(got) != 1 {
+		t.Errorf("bob's PEs: %v", got)
+	}
+	// Ann removes: the PE survives for Bob.
+	if err := s.RemovePE(ann.UserID, pe.PEID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PEByID(ann.UserID, pe.PEID); err == nil {
+		t.Error("ann should no longer see the PE")
+	}
+	if _, err := s.PEByID(bob.UserID, pe.PEID); err != nil {
+		t.Errorf("bob should still see the PE: %v", err)
+	}
+	// Bob removes too: the record is deleted.
+	if err := s.RemovePEByName(bob.UserID, "IsPrime"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemovePE(bob.UserID, pe.PEID); err == nil {
+		t.Error("removing a removed PE should fail")
+	}
+}
+
+func TestPEValidationAndLookups(t *testing.T) {
+	s := NewStore()
+	ann := newUser(t, s, "ann")
+	if _, err := s.AddPE(ann.UserID, core.AddPERequest{PEName: "", PECode: "x"}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := s.AddPE(ann.UserID, core.AddPERequest{PEName: "X", PECode: ""}); err == nil {
+		t.Error("empty code should fail")
+	}
+	if _, err := s.AddPE(999, core.AddPERequest{PEName: "X", PECode: "c"}); err == nil {
+		t.Error("unknown user should fail")
+	}
+	addPE(t, s, ann.UserID, "A")
+	addPE(t, s, ann.UserID, "B")
+	if _, err := s.PEByName(ann.UserID, "missing"); err == nil {
+		t.Error("missing PE should 404")
+	}
+	pes := s.PEsForUser(ann.UserID)
+	if len(pes) != 2 || pes[0].PEName != "A" || pes[1].PEName != "B" {
+		t.Errorf("listing: %v", pes)
+	}
+	// embeddings survive storage
+	if len(pes[0].CodeEmbedding) != 3 || len(pes[0].DescEmbedding) != 3 {
+		t.Errorf("embeddings lost: %+v", pes[0])
+	}
+}
+
+func TestWorkflowLifecycleAndAssociations(t *testing.T) {
+	s := NewStore()
+	ann := newUser(t, s, "ann")
+	p1 := addPE(t, s, ann.UserID, "Producer")
+	p2 := addPE(t, s, ann.UserID, "Consumer")
+	wf, err := s.AddWorkflow(ann.UserID, core.AddWorkflowRequest{
+		WorkflowName: "IsPrime", EntryPoint: "isPrime",
+		Description: "prime workflow", WorkflowCode: "WF-CODE",
+		PEIDs: []int{p1.PEID, p2.PEID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pes, err := s.PEsByWorkflow(ann.UserID, wf.WorkflowID)
+	if err != nil || len(pes) != 2 {
+		t.Fatalf("workflow PEs: %v %v", pes, err)
+	}
+	// associate a third PE after the fact
+	p3 := addPE(t, s, ann.UserID, "Filter")
+	if err := s.AssociatePE(ann.UserID, wf.WorkflowID, p3.PEID); err != nil {
+		t.Fatal(err)
+	}
+	pes, _ = s.PEsByWorkflow(ann.UserID, wf.WorkflowID)
+	if len(pes) != 3 {
+		t.Errorf("after associate: %v", pes)
+	}
+	// lookups by both name fields
+	if _, err := s.WorkflowByName(ann.UserID, "isPrime"); err != nil {
+		t.Errorf("by entry point: %v", err)
+	}
+	if _, err := s.WorkflowByName(ann.UserID, "IsPrime"); err != nil {
+		t.Errorf("by workflow name: %v", err)
+	}
+	// removal
+	if err := s.RemoveWorkflowByName(ann.UserID, "isPrime"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WorkflowByID(ann.UserID, wf.WorkflowID); err == nil {
+		t.Error("workflow should be gone")
+	}
+}
+
+func TestWorkflowValidation(t *testing.T) {
+	s := NewStore()
+	ann := newUser(t, s, "ann")
+	if _, err := s.AddWorkflow(ann.UserID, core.AddWorkflowRequest{EntryPoint: "", WorkflowCode: "c"}); err == nil {
+		t.Error("empty entry point should fail")
+	}
+	if _, err := s.AddWorkflow(ann.UserID, core.AddWorkflowRequest{EntryPoint: "x", WorkflowCode: ""}); err == nil {
+		t.Error("empty code should fail")
+	}
+	if err := s.AssociatePE(ann.UserID, 42, 42); err == nil {
+		t.Error("associating unknown entities should fail")
+	}
+	if _, err := s.PEsByWorkflow(ann.UserID, 42); err == nil {
+		t.Error("unknown workflow should 404")
+	}
+}
+
+func TestListing(t *testing.T) {
+	s := NewStore()
+	ann := newUser(t, s, "ann")
+	addPE(t, s, ann.UserID, "A")
+	if _, err := s.AddWorkflow(ann.UserID, core.AddWorkflowRequest{EntryPoint: "w", WorkflowCode: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	listing := s.Listing(ann.UserID)
+	if len(listing.PEs) != 1 || len(listing.Workflows) != 1 {
+		t.Errorf("listing: %+v", listing)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	ann := newUser(t, s, "ann")
+	bob := newUser(t, s, "bob")
+	p := addPE(t, s, ann.UserID, "Shared")
+	if _, err := s.AddPE(bob.UserID, core.AddPERequest{PEName: "Shared", PECode: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := s.AddWorkflow(ann.UserID, core.AddWorkflowRequest{
+		EntryPoint: "wf1", WorkflowCode: "code", PEIDs: []int{p.PEID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "registry.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	// users, credentials, ownership and associations survive
+	if _, _, err := s2.Login("ann", "pw-ann"); err != nil {
+		t.Errorf("login after load: %v", err)
+	}
+	got, err := s2.PEByID(bob.UserID, p.PEID)
+	if err != nil || got.PEName != "Shared" {
+		t.Errorf("bob's ownership lost: %v %v", got, err)
+	}
+	pes, err := s2.PEsByWorkflow(ann.UserID, wf.WorkflowID)
+	if err != nil || len(pes) != 1 {
+		t.Errorf("workflow association lost: %v %v", pes, err)
+	}
+	// id counters continue
+	p2 := addPE(t, s2, ann.UserID, "New")
+	if p2.PEID <= p.PEID {
+		t.Errorf("id counter regressed: %d", p2.PEID)
+	}
+}
+
+func TestLoadMissingFileFails(t *testing.T) {
+	s := NewStore()
+	if err := s.Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading a missing snapshot should fail")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	ann := newUser(t, s, "ann")
+	done := make(chan bool)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- true }()
+			for j := 0; j < 20; j++ {
+				name := "PE" + string(rune('A'+i))
+				_, _ = s.AddPE(ann.UserID, core.AddPERequest{PEName: name, PECode: "c"})
+				_ = s.PEsForUser(ann.UserID)
+				_, _ = s.PEByName(ann.UserID, name)
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := len(s.PEsForUser(ann.UserID)); got != 8 {
+		t.Errorf("concurrent adds produced %d PEs, want 8 (deduped)", got)
+	}
+}

@@ -1,0 +1,153 @@
+// Package search implements the three registry search mechanisms of
+// Section 4: text-based search with normalized partial matching (4.1),
+// semantic code search over stored description embeddings (4.2), and
+// retrieval-based code completion over stored code embeddings (4.3). The
+// bi-encoder contract (Section 2.4) is honored throughout: embeddings are
+// computed once at registration and only compared at query time.
+package search
+
+import (
+	"sort"
+	"strings"
+
+	"laminar/internal/core"
+	"laminar/internal/embed"
+)
+
+// DefaultLimit caps result lists when the caller does not specify one.
+const DefaultLimit = 10
+
+// TextModel is the embedding model for descriptions and text queries
+// (unixcoder-code-search, chosen in Table 6).
+var TextModel = embed.ModelCodeSearch
+
+// CodeModel is the embedding model for PE code and code-completion queries
+// (ReACC-py-retriever, chosen by Precision@1 in Table 7).
+var CodeModel = embed.ModelReACC
+
+// normalize lowercases and collapses separators — the preprocessing step
+// behind partial matching ("prime" finds "isPrime").
+func normalize(s string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(s) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte(' ')
+		}
+	}
+	return strings.Join(strings.Fields(sb.String()), " ")
+}
+
+// textMatches reports whether the normalized query occurs in the normalized
+// target (substring over collapsed text, so "prime" matches "isPrime").
+func textMatches(query, target string) bool {
+	nq := normalize(query)
+	nt := normalize(target)
+	if nq == "" {
+		return false
+	}
+	if strings.Contains(strings.ReplaceAll(nt, " ", ""), strings.ReplaceAll(nq, " ", "")) {
+		return true
+	}
+	// every query word present somewhere
+	for _, w := range strings.Fields(nq) {
+		if !strings.Contains(nt, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Text performs text-based search over PEs and workflows by name and
+// description (Fig. 6).
+func Text(query string, st core.SearchType, pes []core.PERecord, wfs []core.WorkflowRecord, limit int) []core.SearchHit {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	var hits []core.SearchHit
+	if st == core.SearchPEs || st == core.SearchBoth {
+		for _, pe := range pes {
+			if textMatches(query, pe.PEName) || textMatches(query, pe.Description) {
+				hits = append(hits, core.SearchHit{
+					Kind: "pe", ID: pe.PEID, Name: pe.PEName, Description: pe.Description,
+				})
+			}
+		}
+	}
+	if st == core.SearchWorkflows || st == core.SearchBoth {
+		for _, wf := range wfs {
+			if textMatches(query, wf.EntryPoint) || textMatches(query, wf.WorkflowName) || textMatches(query, wf.Description) {
+				hits = append(hits, core.SearchHit{
+					Kind: "workflow", ID: wf.WorkflowID, Name: wf.EntryPoint, Description: wf.Description,
+				})
+			}
+		}
+	}
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// EmbedDescription computes the stored description embedding
+// (unixcoder-code-search).
+func EmbedDescription(text string) []float32 {
+	return embed.MustLookup(TextModel).Embed(text)
+}
+
+// EmbedCode computes the stored code embedding (ReACC-py-retriever).
+func EmbedCode(code string) []float32 {
+	return embed.MustLookup(CodeModel).Embed(code)
+}
+
+// Semantic ranks PEs against a natural-language query by cosine similarity
+// of description embeddings (Fig. 7). Pass a precomputed query embedding
+// (bi-encoder: the client embeds its own query); when nil it is computed
+// here.
+func Semantic(query string, queryEmbedding []float32, pes []core.PERecord, limit int) []core.SearchHit {
+	if queryEmbedding == nil {
+		queryEmbedding = EmbedDescription(query)
+	}
+	return rankByEmbedding(queryEmbedding, pes, func(pe core.PERecord) []float32 {
+		return pe.DescEmbedding
+	}, limit)
+}
+
+// Completion ranks PEs against a (possibly partial) code snippet by cosine
+// similarity of code embeddings (Fig. 8).
+func Completion(snippet string, queryEmbedding []float32, pes []core.PERecord, limit int) []core.SearchHit {
+	if queryEmbedding == nil {
+		queryEmbedding = EmbedCode(snippet)
+	}
+	return rankByEmbedding(queryEmbedding, pes, func(pe core.PERecord) []float32 {
+		return pe.CodeEmbedding
+	}, limit)
+}
+
+func rankByEmbedding(query []float32, pes []core.PERecord, vec func(core.PERecord) []float32, limit int) []core.SearchHit {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	var hits []core.SearchHit
+	for _, pe := range pes {
+		v := vec(pe)
+		if len(v) == 0 {
+			continue // registered without embeddings: not searchable semantically
+		}
+		score := embed.Cosine(embed.Vector(query), embed.Vector(v))
+		hits = append(hits, core.SearchHit{
+			Kind: "pe", ID: pe.PEID, Name: pe.PEName, Description: pe.Description, Score: score,
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}

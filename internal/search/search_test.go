@@ -1,0 +1,125 @@
+package search
+
+import (
+	"testing"
+
+	"laminar/internal/core"
+)
+
+func pe(id int, name, desc string) core.PERecord {
+	return core.PERecord{
+		PEID: id, PEName: name, Description: desc,
+		DescEmbedding: EmbedDescription(desc),
+		CodeEmbedding: EmbedCode("def " + name + "():\n    pass"),
+	}
+}
+
+func wf(id int, name, desc string) core.WorkflowRecord {
+	return core.WorkflowRecord{WorkflowID: id, EntryPoint: name, WorkflowName: name, Description: desc}
+}
+
+func TestTextPartialMatching(t *testing.T) {
+	pes := []core.PERecord{
+		pe(1, "NumberProducer", "Random numbers producer"),
+		pe(2, "IsPrime", "checks if a number is prime"),
+	}
+	wfs := []core.WorkflowRecord{
+		wf(1, "isPrime", "Workflow that prints random prime numbers"),
+		wf(2, "wordCount", "counts words"),
+	}
+	// 'prime' partially matches 'isPrime' (the Fig. 6 behaviour)
+	hits := Text("prime", core.SearchWorkflows, pes, wfs, 0)
+	if len(hits) != 1 || hits[0].Name != "isPrime" {
+		t.Fatalf("hits: %+v", hits)
+	}
+	// case-insensitive, matches across both kinds
+	hits = Text("PRIME", core.SearchBoth, pes, wfs, 0)
+	if len(hits) != 2 {
+		t.Fatalf("both: %+v", hits)
+	}
+	// multi-word queries require all words
+	hits = Text("random numbers", core.SearchPEs, pes, wfs, 0)
+	if len(hits) != 1 || hits[0].Name != "NumberProducer" {
+		t.Fatalf("multi-word: %+v", hits)
+	}
+	// no match
+	if hits = Text("tensor", core.SearchBoth, pes, wfs, 0); len(hits) != 0 {
+		t.Fatalf("unexpected hits: %+v", hits)
+	}
+	// empty query matches nothing
+	if hits = Text("", core.SearchBoth, pes, wfs, 0); len(hits) != 0 {
+		t.Fatalf("empty query hits: %+v", hits)
+	}
+}
+
+func TestSemanticRanking(t *testing.T) {
+	pes := []core.PERecord{
+		pe(1, "WordCounter", "counts the words in a text stream"),
+		pe(2, "PrimeChecker", "checks if a number is prime"),
+		pe(3, "FileReader", "reads the contents of a file"),
+	}
+	hits := Semantic("a PE that checks whether numbers are prime", nil, pes, 0)
+	if len(hits) != 3 {
+		t.Fatalf("hits: %+v", hits)
+	}
+	if hits[0].Name != "PrimeChecker" {
+		t.Errorf("top hit: %+v", hits)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Errorf("scores not descending: %+v", hits)
+		}
+	}
+}
+
+func TestSemanticSkipsRecordsWithoutEmbeddings(t *testing.T) {
+	pes := []core.PERecord{
+		{PEID: 1, PEName: "NoEmbedding", Description: "whatever"},
+		pe(2, "PrimeChecker", "checks if a number is prime"),
+	}
+	hits := Semantic("prime check", nil, pes, 0)
+	if len(hits) != 1 || hits[0].ID != 2 {
+		t.Fatalf("hits: %+v", hits)
+	}
+}
+
+func TestCompletionRanking(t *testing.T) {
+	pes := []core.PERecord{
+		{PEID: 1, PEName: "RandomProducer", Description: "",
+			CodeEmbedding: EmbedCode("def _process(self):\n    import random\n    return random.randint(1, 1000)")},
+		{PEID: 2, PEName: "Upper", Description: "",
+			CodeEmbedding: EmbedCode("def _process(self, text):\n    return text.upper()")},
+	}
+	hits := Completion("random.randint(1, 1000)", nil, pes, 0)
+	if len(hits) != 2 || hits[0].Name != "RandomProducer" {
+		t.Fatalf("hits: %+v", hits)
+	}
+}
+
+func TestLimitApplied(t *testing.T) {
+	var pes []core.PERecord
+	for i := 1; i <= 30; i++ {
+		pes = append(pes, pe(i, "PE"+string(rune('A'+i%26)), "a processing element"))
+	}
+	hits := Semantic("processing element", nil, pes, 0)
+	if len(hits) != DefaultLimit {
+		t.Errorf("default limit: %d", len(hits))
+	}
+	hits = Semantic("processing element", nil, pes, 3)
+	if len(hits) != 3 {
+		t.Errorf("explicit limit: %d", len(hits))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"IsPrime":     "isprime",
+		"  Word  up ": "word up",
+		"a-b_c":       "a b c",
+	}
+	for in, want := range cases {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,469 @@
+// Package server implements Laminar's Server (Section 3.2): the layered
+// Controller / Service / DAO architecture exposing every endpoint of
+// Table 3 over JSON HTTP. Controllers parse requests and shape responses;
+// the Service layer holds the business logic (resolving workflows for
+// execution, dispatching searches); the DAO layer is the registry store.
+// Errors follow the standardized JSON format of Section 3.2.5.
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"laminar/internal/core"
+	"laminar/internal/engine"
+	"laminar/internal/registry"
+	"laminar/internal/search"
+)
+
+// Config assembles a server.
+type Config struct {
+	// Registry is the DAO layer; a fresh store is created when nil.
+	Registry *registry.Store
+	// Engine handles /execution requests; a default engine is created when
+	// nil.
+	Engine *engine.Engine
+	// SearchLimit caps search hit lists (0 = search.DefaultLimit).
+	SearchLimit int
+}
+
+// Server is the Laminar API server.
+type Server struct {
+	reg   *registry.Store
+	eng   *engine.Engine
+	mux   *http.ServeMux
+	cfg   Config
+	httpS *http.Server
+	addr  string
+}
+
+// New assembles the controller tree.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = registry.NewStore()
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = engine.New(engine.Config{})
+	}
+	s := &Server{reg: cfg.Registry, eng: cfg.Engine, cfg: cfg, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// Registry exposes the DAO layer (tests, embedded mode).
+func (s *Server) Registry() *registry.Store { return s.reg }
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr ("127.0.0.1:0" picks a free port) and serves in the
+// background, returning the base URL.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.addr = "http://" + ln.Addr().String()
+	s.httpS = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.httpS.Serve(ln) }()
+	return s.addr, nil
+}
+
+// BaseURL returns the server root once started.
+func (s *Server) BaseURL() string { return s.addr }
+
+// Close stops the server.
+func (s *Server) Close() {
+	if s.httpS != nil {
+		_ = s.httpS.Close()
+	}
+}
+
+// routes wires every Table 3 endpoint.
+func (s *Server) routes() {
+	// User controller
+	s.mux.HandleFunc("GET /auth/all", s.handleUsers)
+	s.mux.HandleFunc("POST /auth/login", s.handleLogin)
+	s.mux.HandleFunc("POST /auth/register", s.handleRegister)
+
+	// PE controller
+	s.mux.HandleFunc("POST /registry/{user}/pe/add", s.withUser(s.handleAddPE))
+	s.mux.HandleFunc("GET /registry/{user}/pe/all", s.withUser(s.handleAllPEs))
+	s.mux.HandleFunc("GET /registry/{user}/pe/id/{id}", s.withUser(s.handlePEByID))
+	s.mux.HandleFunc("GET /registry/{user}/pe/name/{name}", s.withUser(s.handlePEByName))
+	s.mux.HandleFunc("DELETE /registry/{user}/pe/remove/id/{id}", s.withUser(s.handleRemovePEByID))
+	s.mux.HandleFunc("DELETE /registry/{user}/pe/remove/name/{name}", s.withUser(s.handleRemovePEByName))
+
+	// Workflow controller
+	s.mux.HandleFunc("POST /registry/{user}/workflow/add", s.withUser(s.handleAddWorkflow))
+	s.mux.HandleFunc("GET /registry/{user}/workflow/all", s.withUser(s.handleAllWorkflows))
+	s.mux.HandleFunc("GET /registry/{user}/workflow/id/{id}", s.withUser(s.handleWorkflowByID))
+	s.mux.HandleFunc("GET /registry/{user}/workflow/name/{name}", s.withUser(s.handleWorkflowByName))
+	s.mux.HandleFunc("GET /registry/{user}/workflow/pes/id/{id}", s.withUser(s.handleWorkflowPEsByID))
+	s.mux.HandleFunc("GET /registry/{user}/workflow/pes/name/{name}", s.withUser(s.handleWorkflowPEsByName))
+	s.mux.HandleFunc("DELETE /registry/{user}/workflow/remove/id/{id}", s.withUser(s.handleRemoveWorkflowByID))
+	s.mux.HandleFunc("DELETE /registry/{user}/workflow/remove/name/{name}", s.withUser(s.handleRemoveWorkflowByName))
+	s.mux.HandleFunc("PUT /registry/{user}/workflow/{workflowId}/pe/{peId}", s.withUser(s.handleAssociatePE))
+
+	// Registry controller
+	s.mux.HandleFunc("GET /registry/{user}/all", s.withUser(s.handleRegistryAll))
+	s.mux.HandleFunc("GET /registry/{user}/search/{search}/type/{type}", s.withUser(s.handleSearch))
+	s.mux.HandleFunc("POST /registry/{user}/search", s.withUser(s.handleSearchPost))
+
+	// Execution controller
+	s.mux.HandleFunc("POST /execution/{user}/run", s.withUser(s.handleRun))
+}
+
+// ---- plumbing ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	if apiErr, ok := err.(*core.APIError); ok {
+		writeJSON(w, apiErr.HTTPStatus(), apiErr)
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, core.ErrInternal("%v", err))
+}
+
+// withUser resolves the {user} path segment to a user record before the
+// controller body runs.
+func (s *Server) withUser(h func(w http.ResponseWriter, r *http.Request, user *core.UserRecord)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("user")
+		user, err := s.reg.UserByName(name)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		h(w, r, user)
+	}
+}
+
+func pathInt(r *http.Request, key string) (int, error) {
+	raw := r.PathValue(key)
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, core.ErrBadRequest(key, "%q is not an integer id", raw)
+	}
+	return n, nil
+}
+
+// ---- User controller ----
+
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	users := s.reg.Users()
+	// never expose password hashes
+	writeJSON(w, http.StatusOK, users)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req core.RegisterUserRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+		return
+	}
+	u, err := s.reg.RegisterUser(req.UserName, req.Password)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, core.AuthResponse{UserID: u.UserID, UserName: u.UserName})
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req core.LoginRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+		return
+	}
+	u, token, err := s.reg.Login(req.UserName, req.Password)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, core.AuthResponse{UserID: u.UserID, UserName: u.UserName, Token: token})
+}
+
+// ---- PE controller ----
+
+func (s *Server) handleAddPE(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	var req core.AddPERequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+		return
+	}
+	pe, err := s.reg.AddPE(user.UserID, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, pe)
+}
+
+func (s *Server) handleAllPEs(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	writeJSON(w, http.StatusOK, s.reg.PEsForUser(user.UserID))
+}
+
+func (s *Server) handlePEByID(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	pe, err := s.reg.PEByID(user.UserID, id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pe)
+}
+
+func (s *Server) handlePEByName(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	pe, err := s.reg.PEByName(user.UserID, r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pe)
+}
+
+func (s *Server) handleRemovePEByID(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.RemovePE(user.UserID, id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+func (s *Server) handleRemovePEByName(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	if err := s.reg.RemovePEByName(user.UserID, r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+// ---- Workflow controller ----
+
+func (s *Server) handleAddWorkflow(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	var req core.AddWorkflowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+		return
+	}
+	wf, err := s.reg.AddWorkflow(user.UserID, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, wf)
+}
+
+func (s *Server) handleAllWorkflows(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	writeJSON(w, http.StatusOK, s.reg.WorkflowsForUser(user.UserID))
+}
+
+func (s *Server) handleWorkflowByID(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wf, err := s.reg.WorkflowByID(user.UserID, id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wf)
+}
+
+func (s *Server) handleWorkflowByName(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	wf, err := s.reg.WorkflowByName(user.UserID, r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wf)
+}
+
+func (s *Server) handleWorkflowPEsByID(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	pes, err := s.reg.PEsByWorkflow(user.UserID, id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pes)
+}
+
+func (s *Server) handleWorkflowPEsByName(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	wf, err := s.reg.WorkflowByName(user.UserID, r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	pes, err := s.reg.PEsByWorkflow(user.UserID, wf.WorkflowID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pes)
+}
+
+func (s *Server) handleRemoveWorkflowByID(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	id, err := pathInt(r, "id")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.RemoveWorkflow(user.UserID, id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+func (s *Server) handleRemoveWorkflowByName(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	if err := s.reg.RemoveWorkflowByName(user.UserID, r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+func (s *Server) handleAssociatePE(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	wfID, err := pathInt(r, "workflowId")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	peID, err := pathInt(r, "peId")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.AssociatePE(user.UserID, wfID, peID); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "associated"})
+}
+
+// ---- Registry controller ----
+
+func (s *Server) handleRegistryAll(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	writeJSON(w, http.StatusOK, s.reg.Listing(user.UserID))
+}
+
+// handleSearch serves the path form of Table 3:
+// GET /registry/{user}/search/{search}/type/{type}?query=text|semantic|code
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	req := core.SearchRequest{
+		Search:     r.PathValue("search"),
+		SearchType: core.SearchType(strings.ToLower(r.PathValue("type"))),
+		QueryType:  core.QueryType(strings.ToLower(r.URL.Query().Get("query"))),
+	}
+	if req.QueryType == "" {
+		req.QueryType = core.QueryText
+	}
+	s.search(w, user, req)
+}
+
+// handleSearchPost accepts the full SearchRequest body (semantic and code
+// queries carry client-computed embeddings this way).
+func (s *Server) handleSearchPost(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	var req core.SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+		return
+	}
+	s.search(w, user, req)
+}
+
+// search is the Service-layer dispatch across the three mechanisms.
+func (s *Server) search(w http.ResponseWriter, user *core.UserRecord, req core.SearchRequest) {
+	if req.SearchType == "" {
+		req.SearchType = core.SearchBoth
+	}
+	switch req.SearchType {
+	case core.SearchPEs, core.SearchWorkflows, core.SearchBoth:
+	default:
+		writeErr(w, core.ErrBadRequest("type", "unknown search type %q (want pe, workflow or both)", req.SearchType))
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = s.cfg.SearchLimit
+	}
+	pes := s.reg.PEsForUser(user.UserID)
+	wfs := s.reg.WorkflowsForUser(user.UserID)
+	var hits []core.SearchHit
+	switch req.QueryType {
+	case core.QueryText, "":
+		hits = search.Text(req.Search, req.SearchType, pes, wfs, limit)
+	case core.QuerySemantic:
+		hits = search.Semantic(req.Search, req.QueryEmbedding, pes, limit)
+	case core.QueryCode:
+		hits = search.Completion(req.Search, req.QueryEmbedding, pes, limit)
+	default:
+		writeErr(w, core.ErrBadRequest("query", "unknown query type %q (want text, semantic or code)", req.QueryType))
+		return
+	}
+	writeJSON(w, http.StatusOK, core.SearchResponse{Hits: hits})
+}
+
+// ---- Execution controller ----
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	var req core.ExecutionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+		return
+	}
+	resp, err := s.Execute(user, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Execute is the Service-layer execution path: resolve registered
+// workflows to code, then hand the self-contained request to the engine.
+func (s *Server) Execute(user *core.UserRecord, req core.ExecutionRequest) (*core.ExecutionResponse, error) {
+	if req.WorkflowCode == "" {
+		var wf *core.WorkflowRecord
+		var err error
+		switch {
+		case req.WorkflowID != 0:
+			wf, err = s.reg.WorkflowByID(user.UserID, req.WorkflowID)
+		case req.WorkflowName != "":
+			wf, err = s.reg.WorkflowByName(user.UserID, req.WorkflowName)
+		default:
+			return nil, core.ErrBadRequest("workflow", "request names no workflow and carries no code")
+		}
+		if err != nil {
+			return nil, err
+		}
+		req.WorkflowCode = wf.WorkflowCode
+	}
+	return s.eng.Execute(req)
+}

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"laminar/internal/codec"
+	"laminar/internal/core"
+	"laminar/internal/engine"
+)
+
+// startServer boots a server with an instant-install engine and creates the
+// test user, returning the base URL.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv := New(Config{Engine: engine.New(engine.Config{InstallDelayScale: 0})})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	code, _ := doReq(t, http.MethodPost, addr+"/auth/register",
+		core.RegisterUserRequest{UserName: "zz46", Password: "password"}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("register status %d", code)
+	}
+	return addr
+}
+
+// doReq performs a JSON request, returning status and decoding into out.
+func doReq(t *testing.T, method, url string, body any, out any) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 400 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s: %v (%s)", url, err, raw)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+const peSource = `
+class EchoPE(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, v):
+        return v
+`
+
+func addTestPE(t *testing.T, addr, name string) core.PERecord {
+	t.Helper()
+	enc, err := codec.Encode(codec.Envelope{Kind: codec.KindPE, Name: name, Source: peSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec core.PERecord
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", core.AddPERequest{
+		PEName: name, Description: "echoes values", PECode: enc,
+	}, &rec)
+	if code != http.StatusCreated {
+		t.Fatalf("add PE: %d %s", code, raw)
+	}
+	return rec
+}
+
+func TestAuthEndpoints(t *testing.T) {
+	addr := startServer(t)
+	// login works
+	var auth core.AuthResponse
+	code, _ := doReq(t, http.MethodPost, addr+"/auth/login",
+		core.LoginRequest{UserName: "zz46", Password: "password"}, &auth)
+	if code != 200 || auth.Token == "" {
+		t.Fatalf("login: %d %+v", code, auth)
+	}
+	// wrong password is the canonical Section 3.2.5 error
+	code, raw := doReq(t, http.MethodPost, addr+"/auth/login",
+		core.LoginRequest{UserName: "zz46", Password: "wrong"}, nil)
+	if code != http.StatusUnauthorized || !strings.Contains(raw, "UnauthorizedError") {
+		t.Fatalf("bad login: %d %s", code, raw)
+	}
+	// user listing
+	var users []core.UserRecord
+	code, _ = doReq(t, http.MethodGet, addr+"/auth/all", nil, &users)
+	if code != 200 || len(users) != 1 {
+		t.Fatalf("users: %d %+v", code, users)
+	}
+	// duplicate registration conflicts
+	code, raw = doReq(t, http.MethodPost, addr+"/auth/register",
+		core.RegisterUserRequest{UserName: "zz46", Password: "x"}, nil)
+	if code != http.StatusConflict || !strings.Contains(raw, "ConflictError") {
+		t.Fatalf("dup register: %d %s", code, raw)
+	}
+}
+
+func TestPEEndpoints(t *testing.T) {
+	addr := startServer(t)
+	rec := addTestPE(t, addr, "EchoPE")
+
+	var got core.PERecord
+	code, _ := doReq(t, http.MethodGet, fmt.Sprintf("%s/registry/zz46/pe/id/%d", addr, rec.PEID), nil, &got)
+	if code != 200 || got.PEName != "EchoPE" {
+		t.Fatalf("by id: %d %+v", code, got)
+	}
+	code, _ = doReq(t, http.MethodGet, addr+"/registry/zz46/pe/name/EchoPE", nil, &got)
+	if code != 200 || got.PEID != rec.PEID {
+		t.Fatalf("by name: %d %+v", code, got)
+	}
+	var all []core.PERecord
+	code, _ = doReq(t, http.MethodGet, addr+"/registry/zz46/pe/all", nil, &all)
+	if code != 200 || len(all) != 1 {
+		t.Fatalf("all: %d %+v", code, all)
+	}
+	// unknown id → standardized 404
+	code, raw := doReq(t, http.MethodGet, addr+"/registry/zz46/pe/id/999", nil, nil)
+	if code != 404 || !strings.Contains(raw, "NotFoundError") {
+		t.Fatalf("missing: %d %s", code, raw)
+	}
+	// non-integer id → 400
+	code, raw = doReq(t, http.MethodGet, addr+"/registry/zz46/pe/id/abc", nil, nil)
+	if code != 400 || !strings.Contains(raw, "BadRequestError") {
+		t.Fatalf("bad id: %d %s", code, raw)
+	}
+	// removal by both paths
+	code, _ = doReq(t, http.MethodDelete, fmt.Sprintf("%s/registry/zz46/pe/remove/id/%d", addr, rec.PEID), nil, nil)
+	if code != 200 {
+		t.Fatalf("remove: %d", code)
+	}
+	rec2 := addTestPE(t, addr, "EchoPE2")
+	code, _ = doReq(t, http.MethodDelete, addr+"/registry/zz46/pe/remove/name/EchoPE2", nil, nil)
+	if code != 200 {
+		t.Fatalf("remove by name: %d", code)
+	}
+	_ = rec2
+}
+
+func TestWorkflowEndpoints(t *testing.T) {
+	addr := startServer(t)
+	pe := addTestPE(t, addr, "EchoPE")
+	enc, err := codec.Encode(codec.Envelope{Kind: codec.KindWorkflow, Name: "echo", Source: peSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wf core.WorkflowRecord
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/workflow/add", core.AddWorkflowRequest{
+		WorkflowName: "Echo", EntryPoint: "echo", WorkflowCode: enc, PEIDs: []int{pe.PEID},
+	}, &wf)
+	if code != http.StatusCreated {
+		t.Fatalf("add workflow: %d %s", code, raw)
+	}
+
+	var got core.WorkflowRecord
+	code, _ = doReq(t, http.MethodGet, fmt.Sprintf("%s/registry/zz46/workflow/id/%d", addr, wf.WorkflowID), nil, &got)
+	if code != 200 || got.EntryPoint != "echo" {
+		t.Fatalf("by id: %d %+v", code, got)
+	}
+	code, _ = doReq(t, http.MethodGet, addr+"/registry/zz46/workflow/name/echo", nil, &got)
+	if code != 200 {
+		t.Fatalf("by name: %d", code)
+	}
+	var all []core.WorkflowRecord
+	code, _ = doReq(t, http.MethodGet, addr+"/registry/zz46/workflow/all", nil, &all)
+	if code != 200 || len(all) != 1 {
+		t.Fatalf("all: %d %+v", code, all)
+	}
+	// PEs of the workflow, by id and name
+	var pes []core.PERecord
+	code, _ = doReq(t, http.MethodGet, fmt.Sprintf("%s/registry/zz46/workflow/pes/id/%d", addr, wf.WorkflowID), nil, &pes)
+	if code != 200 || len(pes) != 1 {
+		t.Fatalf("pes by id: %d %+v", code, pes)
+	}
+	code, _ = doReq(t, http.MethodGet, addr+"/registry/zz46/workflow/pes/name/echo", nil, &pes)
+	if code != 200 || len(pes) != 1 {
+		t.Fatalf("pes by name: %d %+v", code, pes)
+	}
+	// associate another PE
+	pe2 := addTestPE(t, addr, "SecondPE")
+	code, _ = doReq(t, http.MethodPut, fmt.Sprintf("%s/registry/zz46/workflow/%d/pe/%d", addr, wf.WorkflowID, pe2.PEID), nil, nil)
+	if code != 200 {
+		t.Fatalf("associate: %d", code)
+	}
+	code, _ = doReq(t, http.MethodGet, fmt.Sprintf("%s/registry/zz46/workflow/pes/id/%d", addr, wf.WorkflowID), nil, &pes)
+	if code != 200 || len(pes) != 2 {
+		t.Fatalf("after associate: %+v", pes)
+	}
+	// registry listing
+	var listing core.RegistryListing
+	code, _ = doReq(t, http.MethodGet, addr+"/registry/zz46/all", nil, &listing)
+	if code != 200 || len(listing.PEs) != 2 || len(listing.Workflows) != 1 {
+		t.Fatalf("listing: %+v", listing)
+	}
+	// removal
+	code, _ = doReq(t, http.MethodDelete, addr+"/registry/zz46/workflow/remove/name/echo", nil, nil)
+	if code != 200 {
+		t.Fatalf("remove: %d", code)
+	}
+}
+
+func TestSearchEndpointGETForm(t *testing.T) {
+	addr := startServer(t)
+	addTestPE(t, addr, "PrimeChecker")
+	var resp core.SearchResponse
+	code, _ := doReq(t, http.MethodGet, addr+"/registry/zz46/search/prime/type/pe", nil, &resp)
+	if code != 200 || len(resp.Hits) != 1 || resp.Hits[0].Name != "PrimeChecker" {
+		t.Fatalf("search: %d %+v", code, resp)
+	}
+	// unknown search type errors
+	code, raw := doReq(t, http.MethodGet, addr+"/registry/zz46/search/x/type/bogus", nil, nil)
+	if code != 400 || !strings.Contains(raw, "BadRequestError") {
+		t.Fatalf("bad type: %d %s", code, raw)
+	}
+}
+
+func TestUnknownUser404s(t *testing.T) {
+	addr := startServer(t)
+	code, raw := doReq(t, http.MethodGet, addr+"/registry/ghost/pe/all", nil, nil)
+	if code != 404 || !strings.Contains(raw, "NotFoundError") {
+		t.Fatalf("ghost user: %d %s", code, raw)
+	}
+}
+
+func TestExecutionEndpoint(t *testing.T) {
+	addr := startServer(t)
+	source := `
+class Producer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return 7
+`
+	enc, err := codec.Encode(codec.Envelope{Kind: codec.KindWorkflow, Name: "sevens", Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp core.ExecutionResponse
+	code, raw := doReq(t, http.MethodPost, addr+"/execution/zz46/run", core.ExecutionRequest{
+		WorkflowCode: enc, Input: 4, Process: "SIMPLE",
+	}, &resp)
+	if code != 200 {
+		t.Fatalf("run: %d %s", code, raw)
+	}
+	if len(resp.Outputs["Producer.output"]) != 4 {
+		t.Fatalf("outputs: %+v", resp.Outputs)
+	}
+	// no workflow selected
+	code, raw = doReq(t, http.MethodPost, addr+"/execution/zz46/run", core.ExecutionRequest{}, nil)
+	if code != 400 || !strings.Contains(raw, "BadRequestError") {
+		t.Fatalf("empty run: %d %s", code, raw)
+	}
+}

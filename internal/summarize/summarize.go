@@ -1,0 +1,404 @@
+// Package summarize generates natural-language summaries of PE source code.
+// It substitutes for the codet5-base-multi-sum model the paper uses
+// (Section 4.2): when a user registers a PE without a description, the
+// client calls this summarizer and stores the result in the registry's
+// description field, which then feeds semantic search. The implementation
+// is rule-based over the pycode AST: PE type, ports, statefulness and the
+// dominant operations of the _process body are composed into a sentence.
+package summarize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"laminar/internal/pycode"
+)
+
+// peBaseRoles names what each dispel4py PE base class does.
+var peBaseRoles = map[string]string{
+	"ProducerPE":  "produces a stream of values",
+	"IterativePE": "transforms each value of a stream",
+	"ConsumerPE":  "consumes a stream of values",
+	"GenericPE":   "processes stream data through custom ports",
+}
+
+// opPhrases map called functions/attributes to verb phrases.
+var opPhrases = []struct {
+	needle string
+	phrase string
+}{
+	{"random.randint", "generates random numbers"},
+	{"random.random", "generates random numbers"},
+	{"random.choice", "picks random elements"},
+	{"random.uniform", "generates random numbers"},
+	{"math.sqrt", "computes square roots"},
+	{"math.log", "computes logarithms"},
+	{"print(", "prints results"},
+	{".split(", "splits text"},
+	{".join(", "joins text"},
+	{".upper(", "changes letter case"},
+	{".lower(", "changes letter case"},
+	{".readlines(", "reads file lines"},
+	{".read(", "reads file contents"},
+	{"open(", "opens files"},
+	{"sorted(", "sorts data"},
+	{".sort(", "sorts data"},
+	{"sum(", "sums values"},
+	{"len(", "measures lengths"},
+	{"max(", "finds maxima"},
+	{"min(", "finds minima"},
+	{"json.loads", "parses JSON"},
+	{"json.dumps", "serializes JSON"},
+	{"% i != 0", "checks divisibility"},
+	{"% 2 == 0", "checks parity"},
+	{"votable", "handles VOTable data"},
+	{"astropy", "uses astronomy utilities"},
+	{"defaultdict", "accumulates grouped state"},
+}
+
+// Summary describes one PE class found in source code.
+type Summary struct {
+	ClassName string
+	Text      string
+}
+
+// SummarizePE produces a one-sentence description for the named class in
+// the source (or the first PE-looking class when name is empty).
+func SummarizePE(source, className string) (string, error) {
+	sums, err := Summarize(source)
+	if err != nil {
+		return "", err
+	}
+	if len(sums) == 0 {
+		return "", fmt.Errorf("summarize: no class definitions found")
+	}
+	if className == "" {
+		return sums[0].Text, nil
+	}
+	for _, s := range sums {
+		if s.ClassName == className {
+			return s.Text, nil
+		}
+	}
+	return "", fmt.Errorf("summarize: class %q not found in source", className)
+}
+
+// Summarize describes every class in the source.
+func Summarize(source string) ([]Summary, error) {
+	prog, err := pycode.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("summarize: %w", err)
+	}
+	var out []Summary
+	for _, st := range prog.Body {
+		cls, ok := st.(*pycode.ClassStmt)
+		if !ok {
+			continue
+		}
+		out = append(out, Summary{ClassName: cls.Name, Text: summarizeClass(cls, source)})
+	}
+	return out, nil
+}
+
+func summarizeClass(cls *pycode.ClassStmt, source string) string {
+	// A user-written docstring wins outright, as the real summarizer is
+	// only invoked when no description exists.
+	if cls.Doc != "" {
+		return cls.Doc
+	}
+	var parts []string
+
+	// role from the base class
+	role := "processes stream data"
+	if base, ok := cls.Base.(*pycode.NameExpr); ok {
+		if r, found := peBaseRoles[base.Name]; found {
+			role = r
+		}
+	}
+	parts = append(parts, fmt.Sprintf("A PE that %s", role))
+
+	// camel-case class name → intent words ("NumberProducer" → "number
+	// producer"), which is often the strongest signal.
+	nameWords := splitCamel(cls.Name)
+	if len(nameWords) > 0 {
+		parts = append(parts, fmt.Sprintf("(%s)", strings.ToLower(strings.Join(nameWords, " "))))
+	}
+
+	info := inspectClass(cls)
+	if len(info.ops) > 0 {
+		parts = append(parts, "— "+strings.Join(info.ops, ", "))
+	}
+	if info.stateful {
+		parts = append(parts, "; keeps state across inputs")
+	}
+	if info.groupBy {
+		parts = append(parts, "; groups inputs by key")
+	}
+	if info.inPorts > 1 || info.outPorts > 1 {
+		parts = append(parts, fmt.Sprintf("; %d input and %d output ports", info.inPorts, info.outPorts))
+	}
+	return strings.Join(parts, " ") + "."
+}
+
+type classInfo struct {
+	ops      []string
+	stateful bool
+	groupBy  bool
+	inPorts  int
+	outPorts int
+}
+
+// inspectClass walks methods, collecting operation phrases from the raw
+// method text and structural facts from the AST.
+func inspectClass(cls *pycode.ClassStmt) classInfo {
+	var info classInfo
+	opSet := map[string]bool{}
+	for _, st := range cls.Body {
+		def, ok := st.(*pycode.DefStmt)
+		if !ok {
+			continue
+		}
+		text := renderBody(def)
+		for _, op := range opPhrases {
+			if strings.Contains(text, op.needle) && !opSet[op.phrase] {
+				opSet[op.phrase] = true
+			}
+		}
+		if def.Name == "__init__" {
+			if strings.Contains(text, "_add_input") {
+				info.inPorts += strings.Count(text, "_add_input")
+			}
+			if strings.Contains(text, "_add_output") {
+				info.outPorts += strings.Count(text, "_add_output")
+			}
+			if strings.Contains(text, "grouping") {
+				info.groupBy = true
+			}
+			// self.x = … beyond port setup means retained state
+			if strings.Contains(text, "defaultdict") || countSelfAssigns(def) > 0 {
+				info.stateful = countSelfAssigns(def) > 0
+			}
+		}
+	}
+	info.ops = make([]string, 0, len(opSet))
+	for op := range opSet {
+		info.ops = append(info.ops, op)
+	}
+	sort.Strings(info.ops)
+	if len(info.ops) > 3 {
+		info.ops = info.ops[:3]
+	}
+	return info
+}
+
+// countSelfAssigns counts `self.attr = …` statements that retain state
+// (skipping pure port bookkeeping).
+func countSelfAssigns(def *pycode.DefStmt) int {
+	n := 0
+	for _, st := range def.Body {
+		as, ok := st.(*pycode.AssignStmt)
+		if !ok {
+			continue
+		}
+		for _, t := range as.Targets {
+			attr, ok := t.(*pycode.AttrExpr)
+			if !ok {
+				continue
+			}
+			if name, ok := attr.X.(*pycode.NameExpr); ok && name.Name == "self" {
+				if attr.Name != "_inputs" && attr.Name != "_outputs" {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// renderBody gives a flat textual rendering of a method for needle search.
+// Positions let us slice nothing — we re-render by walking expressions
+// cheaply via the token stream of the original text; a simple, robust
+// approximation is to lex the def again from its statements' string forms.
+// Since AST nodes do not retain raw text, approximate with a structural
+// rendering sufficient for the needles above.
+func renderBody(def *pycode.DefStmt) string {
+	var sb strings.Builder
+	var walkExpr func(e pycode.Expr)
+	var walkStmt func(s pycode.Stmt)
+	walkExpr = func(e pycode.Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *pycode.NameExpr:
+			sb.WriteString(x.Name)
+		case *pycode.AttrExpr:
+			walkExpr(x.X)
+			sb.WriteString("." + x.Name)
+		case *pycode.CallExpr:
+			walkExpr(x.Fn)
+			sb.WriteString("(")
+			for i, a := range x.Args {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				walkExpr(a)
+			}
+			for i, k := range x.KwNames {
+				sb.WriteString(", " + k + "=")
+				walkExpr(x.KwValues[i])
+			}
+			sb.WriteString(")")
+		case *pycode.BinaryExpr:
+			walkExpr(x.L)
+			sb.WriteString(" " + x.Op + " ")
+			walkExpr(x.R)
+		case *pycode.CompareExpr:
+			walkExpr(x.First)
+			for i, op := range x.Ops {
+				sb.WriteString(" " + op + " ")
+				walkExpr(x.Rest[i])
+			}
+		case *pycode.NumberExpr:
+			if x.IsFloat {
+				fmt.Fprintf(&sb, "%g", x.Float)
+			} else {
+				fmt.Fprintf(&sb, "%d", x.Int)
+			}
+		case *pycode.StringExpr:
+			sb.WriteString("'" + x.Value + "'")
+		case *pycode.IndexExpr:
+			walkExpr(x.X)
+			sb.WriteString("[")
+			walkExpr(x.Key)
+			sb.WriteString("]")
+		case *pycode.ListExpr:
+			sb.WriteString("[")
+			for i, it := range x.Items {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				walkExpr(it)
+			}
+			sb.WriteString("]")
+		case *pycode.TupleExpr:
+			for i, it := range x.Items {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				walkExpr(it)
+			}
+		case *pycode.CompExpr:
+			walkExpr(x.Elt)
+			sb.WriteString(" for ")
+			walkExpr(x.Target)
+			sb.WriteString(" in ")
+			walkExpr(x.Iter)
+			if x.Cond != nil {
+				sb.WriteString(" if ")
+				walkExpr(x.Cond)
+			}
+		case *pycode.UnaryExpr:
+			sb.WriteString(x.Op + " ")
+			walkExpr(x.X)
+		case *pycode.BoolOpExpr:
+			for i, sub := range x.Exprs {
+				if i > 0 {
+					sb.WriteString(" " + x.Op + " ")
+				}
+				walkExpr(sub)
+			}
+		case *pycode.CondExpr:
+			walkExpr(x.Then)
+			sb.WriteString(" if ")
+			walkExpr(x.Cond)
+			sb.WriteString(" else ")
+			walkExpr(x.Else)
+		}
+	}
+	walkStmt = func(s pycode.Stmt) {
+		switch x := s.(type) {
+		case *pycode.ExprStmt:
+			walkExpr(x.X)
+		case *pycode.AssignStmt:
+			for _, t := range x.Targets {
+				walkExpr(t)
+				sb.WriteString(" = ")
+			}
+			walkExpr(x.Value)
+		case *pycode.AugAssignStmt:
+			walkExpr(x.Target)
+			sb.WriteString(" " + x.Op + "= ")
+			walkExpr(x.Value)
+		case *pycode.IfStmt:
+			sb.WriteString("if ")
+			walkExpr(x.Cond)
+			sb.WriteString(": ")
+			for _, b := range x.Body {
+				walkStmt(b)
+				sb.WriteString("; ")
+			}
+			for _, b := range x.Else {
+				walkStmt(b)
+				sb.WriteString("; ")
+			}
+		case *pycode.ForStmt:
+			sb.WriteString("for ")
+			walkExpr(x.Target)
+			sb.WriteString(" in ")
+			walkExpr(x.Iter)
+			sb.WriteString(": ")
+			for _, b := range x.Body {
+				walkStmt(b)
+				sb.WriteString("; ")
+			}
+		case *pycode.WhileStmt:
+			sb.WriteString("while ")
+			walkExpr(x.Cond)
+			sb.WriteString(": ")
+			for _, b := range x.Body {
+				walkStmt(b)
+				sb.WriteString("; ")
+			}
+		case *pycode.ReturnStmt:
+			sb.WriteString("return ")
+			walkExpr(x.Value)
+		case *pycode.ImportStmt:
+			for _, n := range x.Names {
+				sb.WriteString("import " + n.Module + "; ")
+			}
+		case *pycode.FromImportStmt:
+			sb.WriteString("from " + x.Module + " import ")
+			for i, n := range x.Names {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(n.Module)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	for _, st := range def.Body {
+		walkStmt(st)
+	}
+	return sb.String()
+}
+
+// splitCamel splits a CamelCase class name into words.
+func splitCamel(name string) []string {
+	var words []string
+	var cur []rune
+	for i, r := range name {
+		if i > 0 && r >= 'A' && r <= 'Z' {
+			prev := rune(name[i-1])
+			if prev >= 'a' && prev <= 'z' {
+				words = append(words, string(cur))
+				cur = nil
+			}
+		}
+		cur = append(cur, r)
+	}
+	if len(cur) > 0 {
+		words = append(words, string(cur))
+	}
+	return words
+}

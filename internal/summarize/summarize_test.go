@@ -1,0 +1,161 @@
+package summarize
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDocstringWins(t *testing.T) {
+	src := `
+class IsPrime(IterativePE):
+    """Checks whether each incoming number is prime."""
+    def _process(self, num):
+        return num
+`
+	got, err := SummarizePE(src, "IsPrime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "Checks whether each incoming number is prime." {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRoleFromBaseClass(t *testing.T) {
+	cases := []struct {
+		base string
+		want string
+	}{
+		{"ProducerPE", "produces a stream"},
+		{"IterativePE", "transforms each value"},
+		{"ConsumerPE", "consumes a stream"},
+		{"GenericPE", "custom ports"},
+	}
+	for _, c := range cases {
+		src := "class Thing(" + c.base + "):\n    def _process(self):\n        pass\n"
+		got, err := SummarizePE(src, "Thing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(got, c.want) {
+			t.Errorf("base %s: summary %q missing %q", c.base, got, c.want)
+		}
+	}
+}
+
+func TestClassNameWordsAppear(t *testing.T) {
+	src := `
+class NumberProducer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        import random
+        return random.randint(1, 1000)
+`
+	got, err := SummarizePE(src, "NumberProducer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := strings.ToLower(got)
+	if !strings.Contains(low, "number producer") {
+		t.Errorf("summary %q should carry the class-name words", got)
+	}
+	if !strings.Contains(low, "random") {
+		t.Errorf("summary %q should mention random number generation", got)
+	}
+}
+
+func TestStatefulnessDetected(t *testing.T) {
+	src := `
+from collections import defaultdict
+
+class CountWords(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input", grouping=[0])
+        self._add_output("output")
+        self.count = defaultdict(int)
+    def _process(self, inputs):
+        word, count = inputs['input']
+        self.count[word] += count
+`
+	got, err := SummarizePE(src, "CountWords")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "state") {
+		t.Errorf("summary %q should mention statefulness", got)
+	}
+	if !strings.Contains(got, "groups inputs by key") {
+		t.Errorf("summary %q should mention grouping", got)
+	}
+}
+
+func TestOperationsDetected(t *testing.T) {
+	src := `
+class Sorter(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, items):
+        return sorted(items)
+`
+	got, err := SummarizePE(src, "Sorter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "sorts data") {
+		t.Errorf("summary %q should mention sorting", got)
+	}
+}
+
+func TestSummarizeAllClasses(t *testing.T) {
+	src := `
+class A(ProducerPE):
+    def _process(self):
+        pass
+
+class B(ConsumerPE):
+    def _process(self, v):
+        print(v)
+`
+	sums, err := Summarize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 || sums[0].ClassName != "A" || sums[1].ClassName != "B" {
+		t.Fatalf("sums: %+v", sums)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := SummarizePE("x = 1\n", "Thing"); err == nil {
+		t.Error("no classes should fail")
+	}
+	if _, err := SummarizePE("class A:\n    pass\n", "B"); err == nil {
+		t.Error("missing class should fail")
+	}
+	if _, err := SummarizePE("def broken(:\n", ""); err == nil {
+		t.Error("syntax error should fail")
+	}
+}
+
+func TestSplitCamel(t *testing.T) {
+	cases := map[string][]string{
+		"NumberProducer": {"Number", "Producer"},
+		"IsPrime":        {"Is", "Prime"},
+		"getVoTable":     {"get", "Vo", "Table"},
+		"simple":         {"simple"},
+	}
+	for in, want := range cases {
+		got := splitCamel(in)
+		if len(got) != len(want) {
+			t.Errorf("splitCamel(%q) = %v", in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("splitCamel(%q)[%d] = %q want %q", in, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package votable
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Service is the Virtual Observatory HTTP simulator: GET
+// /votable?ra=<deg>&dec=<deg> returns a VOTable for the cone query, after a
+// configurable per-request latency that models the real VO round trip the
+// astrophysics workflow pays per coordinate (the dominant cost in Table 5's
+// Simple column).
+type Service struct {
+	// Latency is the simulated per-request service time.
+	Latency time.Duration
+	srv     *http.Server
+	ln      net.Listener
+	addr    string
+}
+
+// NewService creates a VO simulator with the given per-request latency.
+func NewService(latency time.Duration) *Service {
+	return &Service{Latency: latency}
+}
+
+// Start listens on addr ("127.0.0.1:0" picks a free port), returning the
+// base URL.
+func (s *Service) Start(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/votable", s.handleVOTable)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.addr = "http://" + ln.Addr().String()
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s.addr, nil
+}
+
+// BaseURL returns the service root once started.
+func (s *Service) BaseURL() string { return s.addr }
+
+// Close stops the service.
+func (s *Service) Close() {
+	if s.srv != nil {
+		_ = s.srv.Close()
+	}
+}
+
+func (s *Service) handleVOTable(w http.ResponseWriter, r *http.Request) {
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	ra, err1 := strconv.ParseFloat(r.URL.Query().Get("ra"), 64)
+	dec, err2 := strconv.ParseFloat(r.URL.Query().Get("dec"), 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "votable: ra and dec query parameters must be floats", http.StatusBadRequest)
+		return
+	}
+	table := ConeTable(ra, dec)
+	xmlText, err := Encode(table, "amiga-cone")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-votable+xml")
+	fmt.Fprint(w, xmlText)
+}

@@ -1,0 +1,199 @@
+// Package votable implements the Virtual Observatory substrate for the
+// astrophysics showcase (Section 5.2): VOTable XML documents (the IVOA
+// tabular format the real workflow downloads from amiga.iaa.es), a
+// deterministic synthetic sky catalog, and an HTTP service that serves
+// VOTables for coordinate cone queries with configurable latency — the
+// stand-in for the Virtual Observatory website.
+package votable
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Field describes one table column.
+type Field struct {
+	Name     string `xml:"name,attr"`
+	Datatype string `xml:"datatype,attr"`
+	Unit     string `xml:"unit,attr,omitempty"`
+}
+
+// Table is an in-memory VOTable: named columns and string-encoded cells.
+type Table struct {
+	Fields []Field
+	Rows   [][]string
+}
+
+// ColumnIndex finds a column by name (-1 when absent).
+func (t *Table) ColumnIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FilterColumns keeps only the named columns, in the given order — the
+// astropy column filtering the filterColumns PE performs.
+func (t *Table) FilterColumns(names []string) (*Table, error) {
+	idxs := make([]int, len(names))
+	out := &Table{}
+	for i, n := range names {
+		idx := t.ColumnIndex(n)
+		if idx < 0 {
+			return nil, fmt.Errorf("votable: no column %q (have %v)", n, t.ColumnNames())
+		}
+		idxs[i] = idx
+		out.Fields = append(out.Fields, t.Fields[idx])
+	}
+	for _, row := range t.Rows {
+		newRow := make([]string, len(idxs))
+		for i, idx := range idxs {
+			newRow[i] = row[idx]
+		}
+		out.Rows = append(out.Rows, newRow)
+	}
+	return out, nil
+}
+
+// ColumnNames lists column names in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Float reads a cell as float64.
+func (t *Table) Float(row, col int) (float64, error) {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Fields) {
+		return 0, fmt.Errorf("votable: cell (%d,%d) out of range", row, col)
+	}
+	return strconv.ParseFloat(strings.TrimSpace(t.Rows[row][col]), 64)
+}
+
+// ---- XML encoding (VOTable 1.3 subset) ----
+
+type xmlVOTable struct {
+	XMLName  xml.Name    `xml:"VOTABLE"`
+	Version  string      `xml:"version,attr"`
+	Resource xmlResource `xml:"RESOURCE"`
+}
+
+type xmlResource struct {
+	Table xmlTable `xml:"TABLE"`
+}
+
+type xmlTable struct {
+	Name   string  `xml:"name,attr,omitempty"`
+	Fields []Field `xml:"FIELD"`
+	Data   xmlData `xml:"DATA"`
+}
+
+type xmlData struct {
+	TableData xmlTableData `xml:"TABLEDATA"`
+}
+
+type xmlTableData struct {
+	Rows []xmlRow `xml:"TR"`
+}
+
+type xmlRow struct {
+	Cells []string `xml:"TD"`
+}
+
+// Encode renders the table as VOTable XML.
+func Encode(t *Table, name string) (string, error) {
+	doc := xmlVOTable{
+		Version: "1.3",
+		Resource: xmlResource{Table: xmlTable{
+			Name:   name,
+			Fields: t.Fields,
+		}},
+	}
+	for _, row := range t.Rows {
+		doc.Resource.Table.Data.TableData.Rows = append(doc.Resource.Table.Data.TableData.Rows, xmlRow{Cells: row})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("votable: encode: %w", err)
+	}
+	return xml.Header + string(out), nil
+}
+
+// Parse decodes VOTable XML.
+func Parse(text string) (*Table, error) {
+	var doc xmlVOTable
+	if err := xml.Unmarshal([]byte(text), &doc); err != nil {
+		return nil, fmt.Errorf("votable: parse: %w", err)
+	}
+	t := &Table{Fields: doc.Resource.Table.Fields}
+	for _, row := range doc.Resource.Table.Data.TableData.Rows {
+		t.Rows = append(t.Rows, row.Cells)
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Fields) {
+			return nil, fmt.Errorf("votable: row has %d cells, table has %d fields", len(row), len(t.Fields))
+		}
+	}
+	return t, nil
+}
+
+// ---- synthetic AMIGA-style catalog ----
+
+// GalaxyRecord is one synthetic catalog entry: sky position, morphological
+// type code and axis ratio, the inputs of the internal-extinction
+// computation.
+type GalaxyRecord struct {
+	Name   string
+	RA     float64 // degrees
+	Dec    float64 // degrees
+	Mtype  int     // RC3 morphological type code T (1..7 spirals)
+	LogR25 float64 // log10(major/minor isophotal diameter ratio)
+}
+
+// SyntheticCatalog deterministically generates a galaxy for a coordinate:
+// the same (ra, dec) always yields the same galaxy, so runs are
+// reproducible without the real AMIGA database.
+func SyntheticCatalog(ra, dec float64) GalaxyRecord {
+	h := uint64(math.Float64bits(math.Round(ra*1e4))) * 2654435761
+	h ^= uint64(math.Float64bits(math.Round(dec*1e4))) * 40503
+	h = h*6364136223846793005 + 1442695040888963407
+	mtype := int(h%7) + 1 // spiral types 1..7
+	h = h*6364136223846793005 + 1442695040888963407
+	logr := 0.05 + float64(h%400)/1000.0 // 0.05 .. 0.449
+	return GalaxyRecord{
+		Name:   fmt.Sprintf("CIG%04d", (h>>32)%10000),
+		RA:     ra,
+		Dec:    dec,
+		Mtype:  mtype,
+		LogR25: logr,
+	}
+}
+
+// ConeTable builds the VOTable for a cone query around (ra, dec): the
+// matched galaxy row in AMIGA column layout.
+func ConeTable(ra, dec float64) *Table {
+	g := SyntheticCatalog(ra, dec)
+	return &Table{
+		Fields: []Field{
+			{Name: "Name", Datatype: "char"},
+			{Name: "RA", Datatype: "double", Unit: "deg"},
+			{Name: "DEC", Datatype: "double", Unit: "deg"},
+			{Name: "Mtype", Datatype: "int"},
+			{Name: "logR25", Datatype: "double"},
+		},
+		Rows: [][]string{{
+			g.Name,
+			strconv.FormatFloat(g.RA, 'f', 5, 64),
+			strconv.FormatFloat(g.Dec, 'f', 5, 64),
+			strconv.Itoa(g.Mtype),
+			strconv.FormatFloat(g.LogR25, 'f', 4, 64),
+		}},
+	}
+}

@@ -1,0 +1,163 @@
+package votable
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Fields: []Field{
+			{Name: "Name", Datatype: "char"},
+			{Name: "RA", Datatype: "double", Unit: "deg"},
+			{Name: "Mtype", Datatype: "int"},
+		},
+		Rows: [][]string{
+			{"CIG0001", "12.5", "3"},
+			{"CIG0002", "200.25", "5"},
+		},
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	xmlText, err := Encode(sampleTable(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xmlText, "<VOTABLE") || !strings.Contains(xmlText, "TABLEDATA") {
+		t.Errorf("xml shape: %s", xmlText[:100])
+	}
+	got, err := Parse(xmlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fields) != 3 || len(got.Rows) != 2 {
+		t.Fatalf("parsed: %+v", got)
+	}
+	if got.Rows[1][1] != "200.25" {
+		t.Errorf("cell: %q", got.Rows[1][1])
+	}
+	if got.Fields[1].Unit != "deg" {
+		t.Errorf("unit lost: %+v", got.Fields[1])
+	}
+}
+
+func TestParseRejectsBadXML(t *testing.T) {
+	if _, err := Parse("<not-votable>"); err == nil {
+		t.Error("malformed XML should fail")
+	}
+}
+
+func TestFilterColumns(t *testing.T) {
+	filtered, err := sampleTable().FilterColumns([]string{"Mtype", "Name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Fields) != 2 || filtered.Fields[0].Name != "Mtype" {
+		t.Fatalf("fields: %+v", filtered.Fields)
+	}
+	if filtered.Rows[0][0] != "3" || filtered.Rows[0][1] != "CIG0001" {
+		t.Errorf("rows: %+v", filtered.Rows)
+	}
+	if _, err := sampleTable().FilterColumns([]string{"Nope"}); err == nil {
+		t.Error("missing column should fail")
+	}
+}
+
+func TestFloatAccessor(t *testing.T) {
+	tab := sampleTable()
+	f, err := tab.Float(1, 1)
+	if err != nil || f != 200.25 {
+		t.Errorf("float: %v %v", f, err)
+	}
+	if _, err := tab.Float(9, 0); err == nil {
+		t.Error("out of range should fail")
+	}
+	if _, err := tab.Float(0, 0); err == nil {
+		t.Error("non-numeric cell should fail")
+	}
+}
+
+func TestSyntheticCatalogDeterministic(t *testing.T) {
+	a := SyntheticCatalog(123.45, -20.5)
+	b := SyntheticCatalog(123.45, -20.5)
+	if a != b {
+		t.Error("catalog must be deterministic per coordinate")
+	}
+	c := SyntheticCatalog(123.46, -20.5)
+	if a == c {
+		t.Error("different coordinates should usually differ")
+	}
+	if a.Mtype < 1 || a.Mtype > 7 {
+		t.Errorf("mtype: %d", a.Mtype)
+	}
+	if a.LogR25 < 0.05 || a.LogR25 >= 0.45 {
+		t.Errorf("logR25: %f", a.LogR25)
+	}
+}
+
+func TestConeTableShape(t *testing.T) {
+	tab := ConeTable(10, 20)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	for _, col := range []string{"Name", "RA", "DEC", "Mtype", "logR25"} {
+		if tab.ColumnIndex(col) < 0 {
+			t.Errorf("missing column %s", col)
+		}
+	}
+}
+
+func TestServiceServesVOTables(t *testing.T) {
+	svc := NewService(3 * time.Millisecond)
+	base, err := svc.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	start := time.Now()
+	resp, err := http.Get(base + "/votable?ra=150.0&dec=2.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	tab, err := Parse(string(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Errorf("rows: %d", len(tab.Rows))
+	}
+
+	// same coordinate → same galaxy (deterministic service)
+	resp2, err := http.Get(base + "/votable?ra=150.0&dec=2.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if string(body) != string(body2) {
+		t.Error("service must be deterministic")
+	}
+
+	// bad parameters rejected
+	resp3, err := http.Get(base + "/votable?ra=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad request status: %d", resp3.StatusCode)
+	}
+}

@@ -1,0 +1,130 @@
+// Package laminar is the public façade of the Laminar reproduction: a
+// serverless stream-based processing framework with semantic code search
+// and code completion (Zahra, Li, Filgueira — WORKS/SC 2023), rebuilt in Go
+// from scratch on a dispel4py-style dataflow engine.
+//
+// The façade wires the subsystems together for embedders:
+//
+//	srv := laminar.NewServer(laminar.ServerOptions{})
+//	url, _ := srv.Start("127.0.0.1:0")
+//	cli := laminar.NewClient(url)
+//	cli.Register("zz46", "password")
+//	cli.Run(source, laminar.RunOptions{Input: 5, Process: "MULTI"})
+//
+// Subsystem packages live under internal/: the dataflow engine and its four
+// mappings, the pycode interpreter, the registry, the HTTP server, the
+// execution engine, the embedding-model zoo and the search mechanisms.
+package laminar
+
+import (
+	"time"
+
+	"laminar/internal/client"
+	"laminar/internal/core"
+	"laminar/internal/engine"
+	"laminar/internal/registry"
+	"laminar/internal/server"
+	"laminar/internal/votable"
+)
+
+// Re-exported domain types.
+type (
+	// Client is the dual-layer Laminar client (Section 3.4).
+	Client = client.Client
+	// RunOptions parameterize Client.Run, mirroring client.run(...) of the
+	// paper.
+	RunOptions = client.RunOptions
+	// PERecord is a registered Processing Element (Table 2).
+	PERecord = core.PERecord
+	// WorkflowRecord is a registered workflow (Table 2).
+	WorkflowRecord = core.WorkflowRecord
+	// SearchHit is a ranked search result (Figures 6-8).
+	SearchHit = core.SearchHit
+	// APIError is the standardized server error (Section 3.2.5).
+	APIError = core.APIError
+	// ExecutionResponse is the engine's run reply (Fig. 9).
+	ExecutionResponse = core.ExecutionResponse
+)
+
+// Search constants.
+const (
+	SearchPEs       = core.SearchPEs
+	SearchWorkflows = core.SearchWorkflows
+	SearchBoth      = core.SearchBoth
+	QueryText       = core.QueryText
+	QuerySemantic   = core.QuerySemantic
+	QueryCode       = core.QueryCode
+)
+
+// ServerOptions configure a full Laminar deployment.
+type ServerOptions struct {
+	// RegistryLatency simulates the WAN round trip to the remote registry
+	// service the paper hosts on the web.
+	RegistryLatency time.Duration
+	// VOBaseURL points PE science modules at a Virtual Observatory
+	// simulator; empty answers cone queries locally.
+	VOBaseURL string
+	// InstallDelayScale scales simulated library install latencies
+	// (0 = instant, 1 = realistic).
+	InstallDelayScale float64
+	// RegistryPath, when non-empty, loads the registry from this JSON file
+	// at start (if it exists); call SaveRegistry to persist.
+	RegistryPath string
+}
+
+// Server is a full Laminar deployment: registry + API server + embedded
+// execution engine.
+type Server struct {
+	*server.Server
+	registryPath string
+}
+
+// NewServer assembles a deployment.
+func NewServer(opts ServerOptions) *Server {
+	reg := registry.NewStore()
+	if opts.RegistryPath != "" {
+		_ = reg.Load(opts.RegistryPath) // fresh start when absent
+	}
+	reg.SetLatency(opts.RegistryLatency)
+	eng := engine.New(engine.Config{
+		VOBaseURL:         opts.VOBaseURL,
+		InstallDelayScale: opts.InstallDelayScale,
+	})
+	s := server.New(server.Config{Registry: reg, Engine: eng})
+	return &Server{Server: s, registryPath: opts.RegistryPath}
+}
+
+// SaveRegistry persists the registry when a path was configured.
+func (s *Server) SaveRegistry() error {
+	if s.registryPath == "" {
+		return nil
+	}
+	return s.Registry().Save(s.registryPath)
+}
+
+// NewClient creates a client for a running server.
+func NewClient(serverURL string) *Client { return client.New(serverURL) }
+
+// NewLocalEngine creates an in-process execution engine for the client's
+// local-execution mode.
+func NewLocalEngine(voBaseURL string) *engine.Engine {
+	return engine.New(engine.Config{VOBaseURL: voBaseURL, InstallDelayScale: 1})
+}
+
+// NewRemoteEngine starts a standalone remote execution engine (the Azure
+// deployment of Table 5) with a simulated WAN latency, returning the server
+// and its URL.
+func NewRemoteEngine(voBaseURL string, wanLatency time.Duration) (*engine.RemoteServer, string, error) {
+	eng := engine.New(engine.Config{VOBaseURL: voBaseURL, InstallDelayScale: 1})
+	rs := engine.NewRemoteServer(eng, wanLatency)
+	url, err := rs.Start("127.0.0.1:0")
+	return rs, url, err
+}
+
+// NewVOService starts a Virtual Observatory simulator with the given
+// per-request latency, returning the service and its base URL.
+func NewVOService(latency time.Duration) (*votable.Service, string, error) {
+	svc := votable.NewService(latency)
+	url, err := svc.Start("127.0.0.1:0")
+	return svc, url, err
+}
