@@ -1,0 +1,28 @@
+# Tier-1 verification plus the fast static gates (vet + gofmt), so
+# formatting and vet regressions fail before review. `make verify` is the
+# one-shot pre-commit check.
+
+GO ?= go
+
+.PHONY: build test vet fmt-check bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run XXX .
+
+verify: build vet fmt-check test

@@ -9,10 +9,13 @@
 package laminar
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"laminar/internal/bench"
+	"laminar/internal/index"
+	"laminar/internal/search"
 )
 
 var renderOnce sync.Map
@@ -103,6 +106,50 @@ func BenchmarkFigures6to9(b *testing.B) {
 		}
 		reportOnce(b, "figures", f6+"\n"+f7+"\n"+f8+"\n"+f9)
 	}
+}
+
+// ---- vector-index benchmarks (Flat vs Clustered) ----
+
+// benchSearchSizes runs a top-10 query benchmark over both index
+// implementations at the issue's corpus sizes, populating each with the
+// deterministic topic-clustered corpus shared with `laminar-bench
+// -searchbench` (bench.GenSearchCorpus).
+func benchSearchSizes(b *testing.B, query []float32) {
+	for _, size := range []int{100, 1000, 10000} {
+		corpus, _ := bench.GenSearchCorpus(size, 0)
+		for _, impl := range []struct {
+			name string
+			make func() index.VectorIndex
+		}{
+			{"Flat", func() index.VectorIndex { return index.NewFlat() }},
+			{"Clustered", func() index.VectorIndex { return index.NewClustered(index.ClusteredConfig{}) }},
+		} {
+			b.Run(fmt.Sprintf("%s-%d", impl.name, size), func(b *testing.B) {
+				idx := impl.make()
+				for i, v := range corpus {
+					idx.Upsert(i+1, v)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					idx.Search(query, 10, nil)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSemanticSearch measures a Section 4.2-style description query
+// against Flat vs Clustered indexes at 100/1k/10k PEs.
+func BenchmarkSemanticSearch(b *testing.B) {
+	query := search.EmbedDescription("a PE that checks whether numbers are prime")
+	benchSearchSizes(b, query)
+}
+
+// BenchmarkCompletion measures a Section 4.3-style code-snippet query
+// against Flat vs Clustered indexes at 100/1k/10k PEs.
+func BenchmarkCompletion(b *testing.B) {
+	query := search.EmbedCode("def _process(self):\n    return random.randint(1, 1000)")
+	benchSearchSizes(b, query)
 }
 
 // BenchmarkBiVsCrossEncoder measures the Section 2.4 bi-encoder vs

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	laminar-bench            # everything
-//	laminar-bench -table 6   # one table
-//	laminar-bench -figures   # figures only
+//	laminar-bench               # everything
+//	laminar-bench -table 6      # one table
+//	laminar-bench -figures      # figures only
+//	laminar-bench -searchbench  # Flat vs Clustered vector-index comparison
 package main
 
 import (
@@ -22,9 +23,11 @@ func main() {
 	table := flag.Int("table", 0, "run only this table (5, 6 or 7)")
 	figures := flag.Bool("figures", false, "run only the figures")
 	ablations := flag.Bool("ablations", false, "run only the ablations")
+	searchBench := flag.Bool("searchbench", false, "run only the vector-index comparison (Flat vs Clustered)")
+	indexNProbe := flag.Int("index-nprobe", 0, "shards probed per clustered query in -searchbench (0 = auto)")
 	flag.Parse()
 
-	all := *table == 0 && !*figures && !*ablations
+	all := *table == 0 && !*figures && !*ablations && !*searchBench
 
 	if all || *table == 5 {
 		res, err := bench.RunTable5(bench.DefaultTable5Options())
@@ -70,6 +73,13 @@ func main() {
 			}
 			fmt.Println(out)
 		}
+	}
+	if all || *searchBench {
+		sb, err := bench.RunSearchBench(nil, 0, *indexNProbe)
+		if err != nil {
+			log.Fatalf("search bench: %v", err)
+		}
+		fmt.Println(sb.Render())
 	}
 	if all || *ablations {
 		bv, err := bench.RunBiVsCross(61, 1)

@@ -25,19 +25,28 @@ func main() {
 	registryLatency := flag.Duration("registry-latency", 0, "simulated WAN latency of the remote registry")
 	voURL := flag.String("vo-url", "", "Virtual Observatory simulator base URL (empty = offline catalog)")
 	installScale := flag.Float64("install-scale", 1, "library install latency scale (0 disables simulated installs)")
+	indexKind := flag.String("index", "flat", "vector index for semantic search: flat (exact) or clustered (IVF ANN)")
+	indexCentroids := flag.Int("index-centroids", 0, "clustered index shard count (0 = auto ~sqrt(N))")
+	indexNProbe := flag.Int("index-nprobe", 0, "shards probed per clustered query (0 = auto; >= centroids is exact)")
 	flag.Parse()
 
+	if *indexKind != "flat" && *indexKind != "clustered" {
+		log.Fatalf("laminar-server: unknown -index %q (want flat or clustered)", *indexKind)
+	}
 	srv := laminar.NewServer(laminar.ServerOptions{
 		RegistryLatency:   *registryLatency,
 		VOBaseURL:         *voURL,
 		InstallDelayScale: *installScale,
 		RegistryPath:      *registryPath,
+		Index:             *indexKind,
+		IndexCentroids:    *indexCentroids,
+		IndexNProbe:       *indexNProbe,
 	})
 	url, err := srv.Start(*addr)
 	if err != nil {
 		log.Fatalf("laminar-server: %v", err)
 	}
-	log.Printf("laminar-server: serving the Laminar API at %s", url)
+	log.Printf("laminar-server: serving the Laminar API at %s (vector index: %s)", url, srv.Registry().IndexName())
 	if *registryPath != "" {
 		log.Printf("laminar-server: registry persisted to %s", *registryPath)
 	}

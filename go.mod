@@ -1,0 +1,3 @@
+module laminar
+
+go 1.24

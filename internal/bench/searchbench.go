@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"laminar/internal/embed"
+	"laminar/internal/index"
+)
+
+// SearchBenchRow is one corpus-size measurement of the vector-index
+// comparison: exact Flat scan vs Clustered IVF probe.
+type SearchBenchRow struct {
+	CorpusSize   int
+	FlatQuery    time.Duration // mean per query
+	ClusteredQry time.Duration
+	Speedup      float64 // Flat / Clustered
+	RecallAt10   float64 // fraction of Flat's top-10 the Clustered probe recovers
+}
+
+// SearchBenchResult compares the two index implementations across corpus
+// sizes, the scaling experiment behind the ANN refactor: Flat is O(N) per
+// query, Clustered scans only the probed shards.
+type SearchBenchResult struct {
+	Rows    []SearchBenchRow
+	Queries int
+}
+
+// benchVec draws a clustered random unit vector: corpus vectors concentrate
+// around a handful of topic directions, as real embedding corpora do, so
+// the IVF index has actual structure to exploit.
+func benchVec(rng *rand.Rand, topics []embed.Vector) []float32 {
+	base := topics[rng.Intn(len(topics))]
+	v := make([]float32, len(base))
+	var norm float64
+	for i := range v {
+		x := float64(base[i]) + 0.25*rng.NormFloat64()
+		v[i] = float32(x)
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	for i := range v {
+		v[i] = float32(float64(v[i]) / norm)
+	}
+	return v
+}
+
+func benchTopics(rng *rand.Rand, n, dim int) []embed.Vector {
+	topics := make([]embed.Vector, n)
+	for t := range topics {
+		v := make(embed.Vector, dim)
+		var norm float64
+		for i := range v {
+			x := rng.NormFloat64()
+			v[i] = float32(x)
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		for i := range v {
+			v[i] = float32(float64(v[i]) / norm)
+		}
+		topics[t] = v
+	}
+	return topics
+}
+
+// GenSearchCorpus returns a deterministic topic-clustered corpus of unit
+// vectors plus query vectors drawn from the same distribution, for index
+// benchmarking. The root bench_test.go benchmarks and -searchbench share
+// this generator so their numbers describe the same corpus.
+func GenSearchCorpus(size, queries int) (corpus, qs [][]float32) {
+	rng := rand.New(rand.NewSource(61))
+	topics := benchTopics(rng, 16, embed.Dim)
+	corpus = make([][]float32, size)
+	for i := range corpus {
+		corpus[i] = benchVec(rng, topics)
+	}
+	qs = make([][]float32, queries)
+	for i := range qs {
+		qs[i] = benchVec(rng, topics)
+	}
+	return corpus, qs
+}
+
+// RunSearchBench measures mean query latency and recall@10 for both index
+// implementations at the given corpus sizes. nprobe 0 uses the clustered
+// index's automatic setting.
+func RunSearchBench(sizes []int, queries int, nprobe int) (*SearchBenchResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{100, 1000, 10000}
+	}
+	if queries <= 0 {
+		queries = 50
+	}
+	res := &SearchBenchResult{Queries: queries}
+	for _, n := range sizes {
+		corpus, qs := GenSearchCorpus(n, queries)
+		flat := index.NewFlat()
+		clus := index.NewClustered(index.ClusteredConfig{NProbe: nprobe})
+		for i, v := range corpus {
+			flat.Upsert(i+1, v)
+			clus.Upsert(i+1, v)
+		}
+
+		var flatHits [][]index.Candidate
+		start := time.Now()
+		for _, q := range qs {
+			flatHits = append(flatHits, flat.Search(q, 10, nil))
+		}
+		flatPer := time.Since(start) / time.Duration(queries)
+
+		var clusHits [][]index.Candidate
+		start = time.Now()
+		for _, q := range qs {
+			clusHits = append(clusHits, clus.Search(q, 10, nil))
+		}
+		clusPer := time.Since(start) / time.Duration(queries)
+
+		var found, want int
+		for i := range qs {
+			exact := map[int]bool{}
+			for _, c := range flatHits[i] {
+				exact[c.ID] = true
+			}
+			want += len(flatHits[i])
+			for _, c := range clusHits[i] {
+				if exact[c.ID] {
+					found++
+				}
+			}
+		}
+		recall := 1.0
+		if want > 0 {
+			recall = float64(found) / float64(want)
+		}
+		speedup := 0.0
+		if clusPer > 0 {
+			speedup = float64(flatPer) / float64(clusPer)
+		}
+		res.Rows = append(res.Rows, SearchBenchRow{
+			CorpusSize: n, FlatQuery: flatPer, ClusteredQry: clusPer,
+			Speedup: speedup, RecallAt10: recall,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the comparison as a text table.
+func (r *SearchBenchResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Vector-index comparison: exact Flat scan vs Clustered IVF probe\n")
+	fmt.Fprintf(&sb, "(%d queries per corpus size, top-10, recall measured against Flat)\n", r.Queries)
+	sb.WriteString("  corpus    flat/query    clustered/query   speedup   recall@10\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %6d  %12v  %16v  %7.2fx  %9.3f\n",
+			row.CorpusSize, row.FlatQuery.Round(time.Microsecond),
+			row.ClusteredQry.Round(time.Microsecond), row.Speedup, row.RecallAt10)
+	}
+	return sb.String()
+}

@@ -264,6 +264,14 @@ func (c *Client) GetPEsByWorkflow(wf any) ([]core.PERecord, error) {
 // ReACC-py-retriever model. The query embedding is computed client-side
 // (bi-encoder: stored embeddings never leave the registry).
 func (c *Client) SearchRegistry(query string, searchType core.SearchType, queryType core.QueryType) ([]core.SearchHit, error) {
+	return c.SearchRegistryLimit(query, searchType, queryType, 0)
+}
+
+// SearchRegistryLimit is SearchRegistry with an explicit result cap; limit 0
+// falls back to the server default. The limit is threaded down to the
+// registry's vector index, which keeps only that many candidates in its
+// bounded top-k heap.
+func (c *Client) SearchRegistryLimit(query string, searchType core.SearchType, queryType core.QueryType, limit int) ([]core.SearchHit, error) {
 	if err := c.requireUser(); err != nil {
 		return nil, err
 	}
@@ -273,7 +281,7 @@ func (c *Client) SearchRegistry(query string, searchType core.SearchType, queryT
 	if queryType == "" {
 		queryType = core.QueryText
 	}
-	req := core.SearchRequest{Search: query, SearchType: searchType, QueryType: queryType}
+	req := core.SearchRequest{Search: query, SearchType: searchType, QueryType: queryType, Limit: limit}
 	switch queryType {
 	case core.QuerySemantic:
 		req.QueryEmbedding = search.EmbedDescription(query)

@@ -1,0 +1,272 @@
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// ClusteredConfig tunes the IVF-style index.
+type ClusteredConfig struct {
+	// Centroids fixes the number of clusters; 0 chooses ~sqrt(N)
+	// automatically at (re)train time.
+	Centroids int
+	// NProbe is how many nearest shards a query scans; 0 chooses
+	// max(1, centroids/4). Setting NProbe >= centroids makes the search
+	// exact (identical results to Flat).
+	NProbe int
+}
+
+// minTrainSize is the corpus size below which clustering buys nothing; the
+// index brute-scans until it is reached.
+const minTrainSize = 64
+
+// maxLloydIters bounds the k-means refinement loop per (re)train.
+const maxLloydIters = 8
+
+// Clustered is an IVF-style approximate index: vectors are partitioned into
+// shards around k-means-ish centroids, and a query scans only the nprobe
+// shards whose centroids are most similar to it. Maintenance is
+// incremental — a new vector is assigned to its nearest existing centroid —
+// with a full deterministic retrain amortized over doublings of the corpus.
+type Clustered struct {
+	mu  sync.RWMutex
+	cfg ClusteredConfig
+
+	vecs      map[int][]float32
+	centroids [][]float32
+	shards    [][]int     // centroid index → member ids
+	assign    map[int]int // id → centroid index
+	trainedAt int         // corpus size at the last retrain
+}
+
+// NewClustered creates an empty IVF index.
+func NewClustered(cfg ClusteredConfig) *Clustered {
+	return &Clustered{cfg: cfg, vecs: map[int][]float32{}, assign: map[int]int{}}
+}
+
+// Name identifies the implementation.
+func (c *Clustered) Name() string { return "clustered" }
+
+// Len reports the number of stored vectors.
+func (c *Clustered) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.vecs)
+}
+
+// Upsert stores a copy of vec under id, assigning it to the nearest shard;
+// an empty vec removes the entry. Crossing a corpus doubling triggers a
+// full retrain, so amortized insert cost stays O(centroids·d).
+func (c *Clustered) Upsert(id int, vec []float32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(vec) == 0 {
+		c.deleteLocked(id)
+		return
+	}
+	c.deleteLocked(id) // replacing: drop any stale shard membership
+	c.vecs[id] = append([]float32(nil), vec...)
+	if c.retrainDueLocked() {
+		c.retrainLocked()
+		return
+	}
+	if len(c.centroids) > 0 {
+		ci := c.nearestCentroidLocked(c.vecs[id])
+		c.assign[id] = ci
+		c.shards[ci] = append(c.shards[ci], id)
+	}
+}
+
+// Delete removes the entry for id.
+func (c *Clustered) Delete(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deleteLocked(id)
+}
+
+func (c *Clustered) deleteLocked(id int) {
+	if _, ok := c.vecs[id]; !ok {
+		return
+	}
+	delete(c.vecs, id)
+	if ci, ok := c.assign[id]; ok {
+		delete(c.assign, id)
+		members := c.shards[ci]
+		for i, m := range members {
+			if m == id {
+				c.shards[ci] = append(members[:i], members[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (c *Clustered) retrainDueLocked() bool {
+	n := len(c.vecs)
+	if n < minTrainSize {
+		return false
+	}
+	return len(c.centroids) == 0 || n >= 2*c.trainedAt
+}
+
+// numCentroids picks the cluster count for a corpus of n vectors.
+func (c *Clustered) numCentroids(n int) int {
+	k := c.cfg.Centroids
+	if k <= 0 {
+		k = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// retrainLocked rebuilds centroids and shards with a deterministic k-means:
+// seeds are evenly spaced over the id-sorted corpus, then up to
+// maxLloydIters Lloyd iterations refine them (ties break toward the lowest
+// centroid index, so the result is reproducible).
+func (c *Clustered) retrainLocked() {
+	n := len(c.vecs)
+	if n == 0 {
+		c.centroids, c.shards, c.assign, c.trainedAt = nil, nil, map[int]int{}, 0
+		return
+	}
+	ids := make([]int, 0, n)
+	for id := range c.vecs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	k := c.numCentroids(n)
+	cents := make([][]float32, k)
+	for i := 0; i < k; i++ {
+		cents[i] = append([]float32(nil), c.vecs[ids[i*n/k]]...)
+	}
+	assign := make([]int, len(ids))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < maxLloydIters; iter++ {
+		changed := false
+		for i, id := range ids {
+			best, bestScore := 0, math.Inf(-1)
+			for ci, cent := range cents {
+				if s := dot(cent, c.vecs[id]); s > bestScore {
+					best, bestScore = ci, s
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute each centroid as the normalized mean of its members;
+		// empty clusters keep their previous centroid.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i, id := range ids {
+			ci := assign[i]
+			v := c.vecs[id]
+			if sums[ci] == nil {
+				sums[ci] = make([]float64, len(v))
+			}
+			s := sums[ci]
+			for d := 0; d < len(v) && d < len(s); d++ {
+				s[d] += float64(v[d])
+			}
+			counts[ci]++
+		}
+		for ci := range cents {
+			if counts[ci] == 0 {
+				continue
+			}
+			var norm float64
+			for _, x := range sums[ci] {
+				norm += x * x
+			}
+			norm = math.Sqrt(norm)
+			if norm == 0 {
+				continue
+			}
+			cent := make([]float32, len(sums[ci]))
+			for d, x := range sums[ci] {
+				cent[d] = float32(x / norm)
+			}
+			cents[ci] = cent
+		}
+	}
+
+	c.centroids = cents
+	c.shards = make([][]int, k)
+	c.assign = make(map[int]int, n)
+	for i, id := range ids {
+		ci := assign[i]
+		c.assign[id] = ci
+		c.shards[ci] = append(c.shards[ci], id)
+	}
+	c.trainedAt = n
+}
+
+func (c *Clustered) nearestCentroidLocked(v []float32) int {
+	best, bestScore := 0, math.Inf(-1)
+	for ci, cent := range c.centroids {
+		if s := dot(cent, v); s > bestScore {
+			best, bestScore = ci, s
+		}
+	}
+	return best
+}
+
+// nprobe resolves the configured probe count against the live centroid set.
+func (c *Clustered) nprobe() int {
+	p := c.cfg.NProbe
+	if p <= 0 {
+		p = len(c.centroids) / 4
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > len(c.centroids) {
+		p = len(c.centroids)
+	}
+	return p
+}
+
+// Search probes the nprobe shards nearest the query. Below minTrainSize
+// (no centroids yet) it brute-scans, which is both exact and cheap at that
+// scale. Because shards partition the corpus, probing every shard yields
+// exactly the Flat result.
+func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	top := NewTopK(k)
+	if len(c.centroids) == 0 {
+		for id, v := range c.vecs {
+			if filter != nil && !filter(id) {
+				continue
+			}
+			top.Push(Candidate{ID: id, Score: dot(query, v)})
+		}
+		return top.Sorted()
+	}
+	probe := NewTopK(c.nprobe())
+	for ci, cent := range c.centroids {
+		probe.Push(Candidate{ID: ci, Score: dot(query, cent)})
+	}
+	for _, p := range probe.Sorted() {
+		for _, id := range c.shards[p.ID] {
+			if filter != nil && !filter(id) {
+				continue
+			}
+			top.Push(Candidate{ID: id, Score: dot(query, c.vecs[id])})
+		}
+	}
+	return top.Sorted()
+}

@@ -1,0 +1,61 @@
+package index
+
+import "sync"
+
+// Flat is the exact baseline index: every stored vector is scored against
+// the query. It reproduces the historic brute-force scan byte-for-byte
+// (same float64 dot product, same score-then-id ordering) while replacing
+// the full sort with a bounded top-k heap.
+type Flat struct {
+	mu   sync.RWMutex
+	vecs map[int][]float32
+}
+
+// NewFlat creates an empty exact index.
+func NewFlat() *Flat {
+	return &Flat{vecs: map[int][]float32{}}
+}
+
+// Name identifies the implementation.
+func (f *Flat) Name() string { return "flat" }
+
+// Len reports the number of stored vectors.
+func (f *Flat) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.vecs)
+}
+
+// Upsert stores a copy of vec under id; an empty vec removes the entry.
+func (f *Flat) Upsert(id int, vec []float32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(vec) == 0 {
+		delete(f.vecs, id)
+		return
+	}
+	f.vecs[id] = append([]float32(nil), vec...)
+}
+
+// Delete removes the entry for id.
+func (f *Flat) Delete(id int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.vecs, id)
+}
+
+// Search scans every stored vector, keeping the k best. The result is
+// deterministic regardless of map iteration order because (score, id) is a
+// strict total order.
+func (f *Flat) Search(query []float32, k int, filter Filter) []Candidate {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	top := NewTopK(k)
+	for id, v := range f.vecs {
+		if filter != nil && !filter(id) {
+			continue
+		}
+		top.Push(Candidate{ID: id, Score: dot(query, v)})
+	}
+	return top.Sorted()
+}

@@ -1,0 +1,71 @@
+// Package index implements the pluggable vector-index subsystem behind
+// semantic code search (Section 4.2) and retrieval-based code completion
+// (Section 4.3). It preserves the bi-encoder contract of Section 2.4: PE
+// embeddings are computed exactly once at registration time by the embed
+// model zoo and are only ever *compared* here — the index never re-embeds,
+// it only stores vectors and answers top-k similarity queries against them.
+//
+// The embed models emit L2-normalized vectors, so cosine similarity reduces
+// to a plain dot product (embed.Cosine is exactly that). Every index scores
+// candidates with the same float64 dot product over the same stored raw
+// vectors, which is what makes the Flat index byte-identical to the historic
+// per-query brute-force scan.
+//
+// Two implementations are provided:
+//
+//   - Flat: exact search. Every stored vector is scored; a bounded top-k
+//     heap replaces the historic full sort, so a query is O(N·d + N log k)
+//     instead of O(N·d + N log N) with no allocation proportional to N.
+//   - Clustered: an IVF-style approximate index. Vectors are sharded across
+//     k-means-ish centroids; a query probes only the nprobe nearest shards,
+//     giving sublinear scan cost at a small recall trade-off. With nprobe
+//     equal to the number of centroids it degenerates to an exact search
+//     that returns results identical to Flat.
+//
+// Indexes are maintained incrementally: the registry upserts/deletes
+// vectors as PEs are registered and removed, so queries never need to
+// re-snapshot the full record set.
+package index
+
+import "laminar/internal/embed"
+
+// Candidate is one scored index entry: the PE id and its similarity score.
+type Candidate struct {
+	ID    int
+	Score float64
+}
+
+// Filter restricts a search to ids it accepts (e.g. the querying user's
+// visible PEs). A nil Filter accepts everything.
+type Filter func(id int) bool
+
+// VectorIndex is the pluggable contract for similarity search over stored
+// embeddings. Implementations are safe for concurrent use.
+type VectorIndex interface {
+	// Upsert inserts or replaces the vector stored under id. An empty
+	// vector removes the entry (a PE registered without embeddings is not
+	// searchable semantically).
+	Upsert(id int, vec []float32)
+	// Delete removes the entry for id, if present.
+	Delete(id int)
+	// Search returns the top-k candidates by similarity to query (score
+	// descending, ties broken by ascending id), visiting only ids the
+	// filter accepts.
+	Search(query []float32, k int, filter Filter) []Candidate
+	// Len reports the number of stored vectors.
+	Len() int
+	// Name identifies the implementation ("flat", "clustered").
+	Name() string
+}
+
+// Factory builds a fresh, empty VectorIndex. The registry uses one factory
+// to create its description- and code-embedding indexes.
+type Factory func() VectorIndex
+
+// dot is the shared scoring function. Delegating to embed.Cosine (a float64
+// dot product over the common prefix; cosine for the unit vectors the embed
+// models emit) makes the byte-identical-to-brute-force guarantee true by
+// construction rather than by keeping two copies in sync.
+func dot(a, b []float32) float64 {
+	return embed.Cosine(embed.Vector(a), embed.Vector(b))
+}

@@ -1,0 +1,180 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// unitVec draws a random unit vector from rng.
+func unitVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	var norm float64
+	for i := range v {
+		x := rng.NormFloat64()
+		v[i] = float32(x)
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	for i := range v {
+		v[i] = float32(float64(v[i]) / norm)
+	}
+	return v
+}
+
+func TestTopKKeepsBestInOrder(t *testing.T) {
+	top := NewTopK(3)
+	for _, c := range []Candidate{
+		{ID: 1, Score: 0.1}, {ID: 2, Score: 0.9}, {ID: 3, Score: 0.5},
+		{ID: 4, Score: 0.7}, {ID: 5, Score: 0.3},
+	} {
+		top.Push(c)
+	}
+	got := top.Sorted()
+	want := []Candidate{{ID: 2, Score: 0.9}, {ID: 4, Score: 0.7}, {ID: 3, Score: 0.5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestTopKTiesBreakByID(t *testing.T) {
+	top := NewTopK(2)
+	for _, id := range []int{9, 3, 7, 1} {
+		top.Push(Candidate{ID: id, Score: 1})
+	}
+	got := top.Sorted()
+	want := []Candidate{{ID: 1, Score: 1}, {ID: 3, Score: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ties: got %+v want %+v", got, want)
+	}
+}
+
+func TestTopKZeroAndUnderfilled(t *testing.T) {
+	if got := NewTopK(0).Sorted(); len(got) != 0 {
+		t.Fatalf("k=0: %+v", got)
+	}
+	top := NewTopK(10)
+	top.Push(Candidate{ID: 1, Score: 0.5})
+	if got := top.Sorted(); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("underfilled: %+v", got)
+	}
+}
+
+func TestFlatUpsertDeleteSearch(t *testing.T) {
+	f := NewFlat()
+	f.Upsert(1, []float32{1, 0})
+	f.Upsert(2, []float32{0, 1})
+	f.Upsert(3, []float32{0.6, 0.8})
+	if f.Len() != 3 {
+		t.Fatalf("len %d", f.Len())
+	}
+	got := f.Search([]float32{1, 0}, 2, nil)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 3 {
+		t.Fatalf("search: %+v", got)
+	}
+	// upsert replaces
+	f.Upsert(2, []float32{0.9, 0.1})
+	got = f.Search([]float32{1, 0}, 1, nil)
+	if got[0].ID != 1 {
+		t.Fatalf("after upsert: %+v", got)
+	}
+	// empty vector deletes
+	f.Upsert(1, nil)
+	f.Delete(3)
+	if f.Len() != 1 {
+		t.Fatalf("len after deletes %d", f.Len())
+	}
+	got = f.Search([]float32{1, 0}, 5, nil)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("after deletes: %+v", got)
+	}
+}
+
+func TestFlatFilter(t *testing.T) {
+	f := NewFlat()
+	for id := 1; id <= 10; id++ {
+		f.Upsert(id, []float32{float32(id), 1})
+	}
+	got := f.Search([]float32{1, 0}, 3, func(id int) bool { return id%2 == 0 })
+	for _, c := range got {
+		if c.ID%2 != 0 {
+			t.Fatalf("filter leaked id %d: %+v", c.ID, got)
+		}
+	}
+	if len(got) != 3 || got[0].ID != 10 {
+		t.Fatalf("filtered: %+v", got)
+	}
+}
+
+// TestClusteredFindsExactMatch: a query identical to a stored vector must be
+// retrieved even with minimal probing — the vector's shard is by definition
+// the query's nearest centroid.
+func TestClusteredFindsExactMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewClustered(ClusteredConfig{NProbe: 1})
+	vecs := map[int][]float32{}
+	for id := 1; id <= 500; id++ {
+		v := unitVec(rng, 32)
+		vecs[id] = v
+		c.Upsert(id, v)
+	}
+	if c.Len() != 500 {
+		t.Fatalf("len %d", c.Len())
+	}
+	for _, id := range []int{1, 99, 250, 500} {
+		got := c.Search(vecs[id], 1, nil)
+		if len(got) != 1 || got[0].ID != id {
+			t.Fatalf("query=vec[%d]: %+v", id, got)
+		}
+	}
+}
+
+func TestClusteredDeleteAndFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewClustered(ClusteredConfig{})
+	vecs := map[int][]float32{}
+	for id := 1; id <= 200; id++ {
+		v := unitVec(rng, 16)
+		vecs[id] = v
+		c.Upsert(id, v)
+	}
+	c.Delete(42)
+	if c.Len() != 199 {
+		t.Fatalf("len %d", c.Len())
+	}
+	got := c.Search(vecs[42], 200, nil)
+	for _, cand := range got {
+		if cand.ID == 42 {
+			t.Fatalf("deleted id still returned: %+v", cand)
+		}
+	}
+	got = c.Search(vecs[50], 5, func(id int) bool { return id <= 10 })
+	for _, cand := range got {
+		if cand.ID > 10 {
+			t.Fatalf("filter leaked: %+v", got)
+		}
+	}
+}
+
+// TestClusteredSmallCorpusIsExact: below the training threshold the index
+// brute-scans, so results equal Flat exactly.
+func TestClusteredSmallCorpusIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f, c := NewFlat(), NewClustered(ClusteredConfig{})
+	for id := 1; id <= minTrainSize-1; id++ {
+		v := unitVec(rng, 16)
+		f.Upsert(id, v)
+		c.Upsert(id, v)
+	}
+	q := unitVec(rng, 16)
+	if got, want := c.Search(q, 10, nil), f.Search(q, 10, nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("small corpus diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewFlat().Name() != "flat" || NewClustered(ClusteredConfig{}).Name() != "clustered" {
+		t.Fatal("index names")
+	}
+}

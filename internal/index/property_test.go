@@ -1,0 +1,95 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a Clustered index probing every shard is an exact search — for
+// any randomized corpus (including deletions and re-upserts along the way)
+// it returns exactly the hits of the Flat brute force, same ids, same
+// order, same scores. Shards partition the stored vectors and both sides
+// score with the same dot product and rank with the same top-k heap, so
+// full-probe results must be identical, not merely close.
+func TestClusteredFullProbeMatchesFlatProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, centRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%600) + 1
+		centroids := int(centRaw%24) + 1
+		k := int(kRaw%15) + 1
+
+		flat := NewFlat()
+		// NProbe = #centroids: every shard is scanned (the nprobe resolver
+		// also clamps, so over-asking is equivalent).
+		clus := NewClustered(ClusteredConfig{Centroids: centroids, NProbe: centroids})
+		live := map[int][]float32{}
+		for id := 1; id <= n; id++ {
+			v := unitVec(rng, 24)
+			live[id] = v
+			flat.Upsert(id, v)
+			clus.Upsert(id, v)
+			// Occasionally delete or re-upsert an earlier id, so the
+			// incremental maintenance paths (shard removal, reassignment)
+			// are exercised mid-stream.
+			switch rng.Intn(10) {
+			case 0:
+				victim := rng.Intn(id) + 1
+				delete(live, victim)
+				flat.Delete(victim)
+				clus.Delete(victim)
+			case 1:
+				victim := rng.Intn(id) + 1
+				if _, ok := live[victim]; ok {
+					nv := unitVec(rng, 24)
+					live[victim] = nv
+					flat.Upsert(victim, nv)
+					clus.Upsert(victim, nv)
+				}
+			}
+		}
+		if flat.Len() != clus.Len() || flat.Len() != len(live) {
+			t.Logf("len mismatch: flat=%d clustered=%d live=%d", flat.Len(), clus.Len(), len(live))
+			return false
+		}
+		for q := 0; q < 5; q++ {
+			query := unitVec(rng, 24)
+			got := clus.Search(query, k, nil)
+			want := flat.Search(query, k, nil)
+			if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Logf("seed=%d n=%d centroids=%d k=%d query %d diverged:\n got %v\nwant %v",
+					seed, n, centroids, k, q, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a filtered full-probe search equals the filtered brute force —
+// ownership filtering must not perturb ANN results.
+func TestClusteredFilteredFullProbeMatchesFlat(t *testing.T) {
+	f := func(seed int64, modRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mod := int(modRaw%4) + 2
+		flat := NewFlat()
+		clus := NewClustered(ClusteredConfig{Centroids: 8, NProbe: 8})
+		for id := 1; id <= 300; id++ {
+			v := unitVec(rng, 16)
+			flat.Upsert(id, v)
+			clus.Upsert(id, v)
+		}
+		filter := func(id int) bool { return id%mod == 0 }
+		query := unitVec(rng, 16)
+		got := clus.Search(query, 10, filter)
+		want := flat.Search(query, 10, filter)
+		return fmt.Sprintf("%v", got) == fmt.Sprintf("%v", want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package index
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Better reports whether a ranks strictly above b in search results: higher
+// score first, ties broken by ascending id. This is the single result
+// ordering used by every index implementation and by the search package's
+// ranking, so exact and approximate paths stay comparable.
+func Better(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// candidateHeap is a min-heap under Better: the root is the *weakest*
+// retained candidate, so it is the one evicted when a stronger candidate
+// arrives.
+type candidateHeap []Candidate
+
+func (h candidateHeap) Len() int           { return len(h) }
+func (h candidateHeap) Less(i, j int) bool { return Better(h[j], h[i]) }
+func (h candidateHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x any)        { *h = append(*h, x.(Candidate)) }
+func (h *candidateHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+
+// TopK is a bounded top-k collector: push any number of candidates, keep
+// only the k best under Better. Pushing is O(log k); memory is O(k). It
+// replaces the historic collect-everything-then-sort.Slice ranking, whose
+// cost grew with the corpus instead of with the result size.
+type TopK struct {
+	k int
+	h candidateHeap
+}
+
+// NewTopK creates a collector retaining the k best candidates.
+func NewTopK(k int) *TopK {
+	if k < 0 {
+		k = 0
+	}
+	// The preallocation is only a hint: k is caller-controlled (a search
+	// request's limit travels here unclamped), so cap it and let the heap
+	// grow to min(k, pushed) naturally. A huge k must cost nothing until
+	// candidates actually arrive.
+	capHint := k
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	return &TopK{k: k, h: make(candidateHeap, 0, capHint)}
+}
+
+// Push offers a candidate, evicting the current weakest when full.
+func (t *TopK) Push(c Candidate) {
+	if t.k == 0 {
+		return
+	}
+	if len(t.h) < t.k {
+		heap.Push(&t.h, c)
+		return
+	}
+	if Better(c, t.h[0]) {
+		t.h[0] = c
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Sorted returns the retained candidates best-first. The collector can keep
+// accepting pushes afterwards.
+func (t *TopK) Sorted() []Candidate {
+	out := make([]Candidate, len(t.h))
+	copy(out, t.h)
+	sort.Slice(out, func(i, j int) bool { return Better(out[i], out[j]) })
+	return out
+}

@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"laminar/internal/core"
+	"laminar/internal/index"
+	"laminar/internal/search"
 )
 
 // Store is the registry state. All methods are safe for concurrent use.
@@ -36,6 +38,13 @@ type Store struct {
 	workflowPEs   map[int]map[int]bool // workflowID → set of peIDs
 	tokens        map[string]int       // session token → userID
 
+	// The registry owns one vector index per stored embedding kind and
+	// maintains both incrementally on PE register/update/delete, so
+	// semantic queries never re-snapshot the record set (Section 4.2/4.3).
+	indexFactory index.Factory
+	descIndex    index.VectorIndex // description embeddings (semantic search)
+	codeIndex    index.VectorIndex // code embeddings (code completion)
+
 	nextUserID     int
 	nextPEID       int
 	nextWorkflowID int
@@ -46,8 +55,9 @@ type Store struct {
 	clock func() time.Time
 }
 
-// NewStore creates an empty registry.
+// NewStore creates an empty registry backed by the exact Flat index.
 func NewStore() *Store {
+	factory := func() index.VectorIndex { return index.NewFlat() }
 	return &Store{
 		users:          map[int]*core.UserRecord{},
 		pes:            map[int]*core.PERecord{},
@@ -56,10 +66,48 @@ func NewStore() *Store {
 		userWorkflows:  map[int]map[int]bool{},
 		workflowPEs:    map[int]map[int]bool{},
 		tokens:         map[string]int{},
+		indexFactory:   factory,
+		descIndex:      factory(),
+		codeIndex:      factory(),
 		nextUserID:     1,
 		nextPEID:       1,
 		nextWorkflowID: 1,
 		clock:          time.Now,
+	}
+}
+
+// ConfigureIndex swaps the vector-index implementation (e.g. for the
+// clustered ANN index) and rebuilds both indexes from the current PE set.
+func (s *Store) ConfigureIndex(factory index.Factory) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.indexFactory = factory
+	s.rebuildIndexesLocked()
+}
+
+// IndexName reports the active vector-index implementation.
+func (s *Store) IndexName() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.descIndex.Name()
+}
+
+func (s *Store) rebuildIndexesLocked() {
+	s.descIndex = s.indexFactory()
+	s.codeIndex = s.indexFactory()
+	for id, pe := range s.pes {
+		s.indexPELocked(id, pe)
+	}
+}
+
+// indexPELocked upserts a PE's stored embeddings into both indexes (empty
+// embeddings are skipped — such PEs are not semantically searchable).
+func (s *Store) indexPELocked(id int, pe *core.PERecord) {
+	if len(pe.DescEmbedding) > 0 {
+		s.descIndex.Upsert(id, pe.DescEmbedding)
+	}
+	if len(pe.CodeEmbedding) > 0 {
+		s.codeIndex.Upsert(id, pe.CodeEmbedding)
 	}
 }
 
@@ -206,6 +254,7 @@ func (s *Store) AddPE(userID int, req core.AddPERequest) (*core.PERecord, error)
 	s.nextPEID++
 	s.pes[pe.PEID] = pe
 	s.userPEs[userID][pe.PEID] = true
+	s.indexPELocked(pe.PEID, pe)
 	return pe, nil
 }
 
@@ -275,6 +324,8 @@ func (s *Store) RemovePE(userID, peID int) error {
 	}
 	if !owned {
 		delete(s.pes, peID)
+		s.descIndex.Delete(peID)
+		s.codeIndex.Delete(peID)
 		for wid := range s.workflowPEs {
 			delete(s.workflowPEs[wid], peID)
 		}
@@ -459,6 +510,43 @@ func (s *Store) Listing(userID int) core.RegistryListing {
 	}
 }
 
+// ---- vector search ----
+
+// SemanticSearch ranks the user's visible PEs against a description-
+// embedding query via the incrementally maintained description index
+// (Section 4.2). Unlike the historic path there is no per-query snapshot of
+// every record: the index answers the top-k probe directly.
+func (s *Store) SemanticSearch(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
+	return s.indexSearch(userID, queryEmbedding, limit, false)
+}
+
+// CompletionSearch ranks the user's visible PEs against a code-embedding
+// query via the incrementally maintained code index (Section 4.3).
+func (s *Store) CompletionSearch(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
+	return s.indexSearch(userID, queryEmbedding, limit, true)
+}
+
+func (s *Store) indexSearch(userID int, query []float32, limit int, code bool) []core.SearchHit {
+	s.simulateWAN()
+	if limit <= 0 {
+		limit = search.DefaultLimit
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx := s.descIndex
+	if code {
+		idx = s.codeIndex
+	}
+	visible := s.userPEs[userID]
+	cands := idx.Search(query, limit, func(id int) bool { return visible[id] })
+	return search.HitsFromCandidates(cands, func(id int) (core.PERecord, bool) {
+		if pe := s.pes[id]; pe != nil {
+			return *pe, true
+		}
+		return core.PERecord{}, false
+	})
+}
+
 // ---- persistence ----
 
 // snapshot is the JSON-serializable registry state.
@@ -575,6 +663,7 @@ func (s *Store) Load(path string) error {
 	s.nextUserID = snap.NextUserID
 	s.nextPEID = snap.NextPEID
 	s.nextWorkflowID = snap.NextWorkflowID
+	s.rebuildIndexesLocked()
 	return nil
 }
 

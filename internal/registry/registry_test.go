@@ -1,10 +1,13 @@
 package registry
 
 import (
+	"fmt"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"laminar/internal/core"
+	"laminar/internal/index"
 )
 
 func newUser(t *testing.T, s *Store, name string) *core.UserRecord {
@@ -270,5 +273,100 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	if got := len(s.PEsForUser(ann.UserID)); got != 8 {
 		t.Errorf("concurrent adds produced %d PEs, want 8 (deduped)", got)
+	}
+}
+
+// ---- vector-index maintenance ----
+
+func addEmbeddedPE(t *testing.T, s *Store, userID int, name, desc string, emb []float32) *core.PERecord {
+	t.Helper()
+	pe, err := s.AddPE(userID, core.AddPERequest{
+		PEName: name, Description: desc, PECode: "CODE-" + name,
+		DescEmbedding: emb, CodeEmbedding: emb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pe
+}
+
+func TestIndexMaintainedIncrementally(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "zz46")
+	a := addEmbeddedPE(t, s, u.UserID, "A", "alpha", []float32{1, 0})
+	b := addEmbeddedPE(t, s, u.UserID, "B", "beta", []float32{0, 1})
+
+	hits := s.SemanticSearch(u.UserID, []float32{1, 0}, 10)
+	if len(hits) != 2 || hits[0].ID != a.PEID || hits[1].ID != b.PEID {
+		t.Fatalf("hits: %+v", hits)
+	}
+	// deleting the last owner must also evict the PE from both indexes
+	if err := s.RemovePE(u.UserID, a.PEID); err != nil {
+		t.Fatal(err)
+	}
+	hits = s.SemanticSearch(u.UserID, []float32{1, 0}, 10)
+	if len(hits) != 1 || hits[0].ID != b.PEID {
+		t.Fatalf("after remove: %+v", hits)
+	}
+	if hits = s.CompletionSearch(u.UserID, []float32{0, 1}, 10); len(hits) != 1 || hits[0].ID != b.PEID {
+		t.Fatalf("code index after remove: %+v", hits)
+	}
+}
+
+func TestIndexSearchRespectsOwnership(t *testing.T) {
+	s := NewStore()
+	u1 := newUser(t, s, "owner")
+	u2 := newUser(t, s, "other")
+	addEmbeddedPE(t, s, u1.UserID, "Mine", "mine", []float32{1, 0})
+
+	if hits := s.SemanticSearch(u2.UserID, []float32{1, 0}, 10); len(hits) != 0 {
+		t.Fatalf("other user sees foreign PE: %+v", hits)
+	}
+	if hits := s.SemanticSearch(u1.UserID, []float32{1, 0}, 10); len(hits) != 1 {
+		t.Fatalf("owner search: %+v", hits)
+	}
+}
+
+func TestLoadRebuildsIndexes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reg.json")
+	s := NewStore()
+	u := newUser(t, s, "zz46")
+	addEmbeddedPE(t, s, u.UserID, "A", "alpha", []float32{1, 0})
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewStore()
+	if err := fresh.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	hits := fresh.SemanticSearch(u.UserID, []float32{1, 0}, 10)
+	if len(hits) != 1 || hits[0].Name != "A" {
+		t.Fatalf("index not rebuilt after Load: %+v", hits)
+	}
+}
+
+func TestConfigureIndexPreservesResults(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "zz46")
+	// 100 PEs: above the clustered index's training threshold, so the
+	// reconfigured index really shards and probes instead of brute-scanning.
+	for i := 0; i < 100; i++ {
+		angle := float64(i) / 100
+		addEmbeddedPE(t, s, u.UserID, fmt.Sprintf("PE%d", i), "pe",
+			[]float32{float32(1 - angle), float32(angle)})
+	}
+	query := []float32{0.7, 0.3}
+	flatHits := s.SemanticSearch(u.UserID, query, 10)
+	s.ConfigureIndex(func() index.VectorIndex {
+		return index.NewClustered(index.ClusteredConfig{Centroids: 4, NProbe: 4})
+	})
+	if s.IndexName() != "clustered" {
+		t.Fatalf("index name: %s", s.IndexName())
+	}
+	clusHits := s.SemanticSearch(u.UserID, query, 10)
+	if !reflect.DeepEqual(flatHits, clusHits) {
+		t.Fatalf("full-probe clustered diverged from flat:\n flat %+v\n clus %+v", flatHits, clusHits)
 	}
 }

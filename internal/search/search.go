@@ -7,11 +7,11 @@
 package search
 
 import (
-	"sort"
 	"strings"
 
 	"laminar/internal/core"
 	"laminar/internal/embed"
+	"laminar/internal/index"
 )
 
 // DefaultLimit caps result lists when the caller does not specify one.
@@ -60,16 +60,18 @@ func textMatches(query, target string) bool {
 }
 
 // Text performs text-based search over PEs and workflows by name and
-// description (Fig. 6).
+// description (Fig. 6). When a SearchBoth query overflows the limit, PE and
+// workflow hits are interleaved before truncation, so a flood of matching
+// PEs can no longer silently starve every workflow hit (and vice versa).
 func Text(query string, st core.SearchType, pes []core.PERecord, wfs []core.WorkflowRecord, limit int) []core.SearchHit {
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
-	var hits []core.SearchHit
+	var peHits, wfHits []core.SearchHit
 	if st == core.SearchPEs || st == core.SearchBoth {
 		for _, pe := range pes {
 			if textMatches(query, pe.PEName) || textMatches(query, pe.Description) {
-				hits = append(hits, core.SearchHit{
+				peHits = append(peHits, core.SearchHit{
 					Kind: "pe", ID: pe.PEID, Name: pe.PEName, Description: pe.Description,
 				})
 			}
@@ -78,16 +80,32 @@ func Text(query string, st core.SearchType, pes []core.PERecord, wfs []core.Work
 	if st == core.SearchWorkflows || st == core.SearchBoth {
 		for _, wf := range wfs {
 			if textMatches(query, wf.EntryPoint) || textMatches(query, wf.WorkflowName) || textMatches(query, wf.Description) {
-				hits = append(hits, core.SearchHit{
+				wfHits = append(wfHits, core.SearchHit{
 					Kind: "workflow", ID: wf.WorkflowID, Name: wf.EntryPoint, Description: wf.Description,
 				})
 			}
 		}
 	}
-	if len(hits) > limit {
-		hits = hits[:limit]
+	if len(peHits)+len(wfHits) <= limit {
+		return append(peHits, wfHits...)
 	}
-	return hits
+	return interleave(peHits, wfHits, limit)
+}
+
+// interleave merges two hit lists round-robin up to limit, preserving each
+// list's internal order and draining the remainder from whichever list is
+// longer.
+func interleave(a, b []core.SearchHit, limit int) []core.SearchHit {
+	out := make([]core.SearchHit, 0, limit)
+	for i := 0; len(out) < limit && (i < len(a) || i < len(b)); i++ {
+		if i < len(a) {
+			out = append(out, a[i])
+		}
+		if len(out) < limit && i < len(b) {
+			out = append(out, b[i])
+		}
+	}
+	return out
 }
 
 // EmbedDescription computes the stored description embedding
@@ -125,29 +143,50 @@ func Completion(snippet string, queryEmbedding []float32, pes []core.PERecord, l
 	}, limit)
 }
 
+// rankByEmbedding scores every PE against the query with the same float64
+// dot product the vector indexes use, keeping only the top limit hits in a
+// bounded heap (O(N log k)) instead of sorting the full corpus. PE ids are
+// unique in the registry, so (score, id) is a strict total order and the
+// result matches a full sort byte-for-byte.
 func rankByEmbedding(query []float32, pes []core.PERecord, vec func(core.PERecord) []float32, limit int) []core.SearchHit {
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
-	var hits []core.SearchHit
-	for _, pe := range pes {
+	top := index.NewTopK(limit)
+	pos := make(map[int]int, len(pes)) // PE id → slice position; avoids copying every record
+	for i, pe := range pes {
 		v := vec(pe)
 		if len(v) == 0 {
 			continue // registered without embeddings: not searchable semantically
 		}
-		score := embed.Cosine(embed.Vector(query), embed.Vector(v))
-		hits = append(hits, core.SearchHit{
-			Kind: "pe", ID: pe.PEID, Name: pe.PEName, Description: pe.Description, Score: score,
-		})
+		pos[pe.PEID] = i
+		top.Push(index.Candidate{ID: pe.PEID, Score: embed.Cosine(embed.Vector(query), embed.Vector(v))})
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+	return HitsFromCandidates(top.Sorted(), func(id int) (core.PERecord, bool) {
+		i, ok := pos[id]
+		if !ok {
+			return core.PERecord{}, false
 		}
-		return hits[i].ID < hits[j].ID
+		return pes[i], true
 	})
-	if len(hits) > limit {
-		hits = hits[:limit]
+}
+
+// HitsFromCandidates resolves ranked index candidates back to search hits
+// via a record lookup. It is shared by the slice-based rankers above and by
+// the registry's index-backed search path.
+func HitsFromCandidates(cands []index.Candidate, lookup func(id int) (core.PERecord, bool)) []core.SearchHit {
+	if len(cands) == 0 {
+		return nil // historic brute force returned nil on no hits
+	}
+	hits := make([]core.SearchHit, 0, len(cands))
+	for _, c := range cands {
+		pe, ok := lookup(c.ID)
+		if !ok {
+			continue
+		}
+		hits = append(hits, core.SearchHit{
+			Kind: "pe", ID: pe.PEID, Name: pe.PEName, Description: pe.Description, Score: c.Score,
+		})
 	}
 	return hits
 }

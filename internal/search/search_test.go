@@ -1,9 +1,13 @@
 package search
 
 import (
+	"fmt"
+	"reflect"
+	"sort"
 	"testing"
 
 	"laminar/internal/core"
+	"laminar/internal/embed"
 )
 
 func pe(id int, name, desc string) core.PERecord {
@@ -108,6 +112,100 @@ func TestLimitApplied(t *testing.T) {
 	hits = Semantic("processing element", nil, pes, 3)
 	if len(hits) != 3 {
 		t.Errorf("explicit limit: %d", len(hits))
+	}
+}
+
+// TestSearchBothKeepsWorkflowHits: a flood of matching PEs must not starve
+// workflow hits out of a truncated SearchBoth result (the historic
+// append-then-truncate bias).
+func TestSearchBothKeepsWorkflowHits(t *testing.T) {
+	var pes []core.PERecord
+	for i := 1; i <= 30; i++ {
+		pes = append(pes, core.PERecord{PEID: i, PEName: fmt.Sprintf("StreamPE%d", i), Description: "streams data"})
+	}
+	wfs := []core.WorkflowRecord{
+		wf(1, "streamFlow", "streams records"),
+		wf(2, "streamAgg", "streams aggregates"),
+	}
+	hits := Text("stream", core.SearchBoth, pes, wfs, 10)
+	if len(hits) != 10 {
+		t.Fatalf("limit: %d hits", len(hits))
+	}
+	var wfCount int
+	for _, h := range hits {
+		if h.Kind == "workflow" {
+			wfCount++
+		}
+	}
+	if wfCount != 2 {
+		t.Fatalf("workflow hits starved: %d of %d (%+v)", wfCount, len(hits), hits)
+	}
+	// Without truncation the historic PE-then-workflow ordering holds.
+	hits = Text("stream", core.SearchBoth, pes, wfs, 40)
+	if len(hits) != 32 || hits[30].Kind != "workflow" {
+		t.Fatalf("untruncated ordering changed: %d hits, hits[30]=%+v", len(hits), hits[30])
+	}
+}
+
+// referenceRank is the historic brute-force ranking (score everything, full
+// sort.Slice, truncate), kept verbatim as the parity oracle for the
+// heap-based rankers and the Flat index.
+func referenceRank(query []float32, pes []core.PERecord, vec func(core.PERecord) []float32, limit int) []core.SearchHit {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	var hits []core.SearchHit
+	for _, pe := range pes {
+		v := vec(pe)
+		if len(v) == 0 {
+			continue
+		}
+		score := embed.Cosine(embed.Vector(query), embed.Vector(v))
+		hits = append(hits, core.SearchHit{
+			Kind: "pe", ID: pe.PEID, Name: pe.PEName, Description: pe.Description, Score: score,
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// TestRankingParityWithBruteForce: the top-k heap ranking must be
+// byte-identical (ids, order and float scores) to the historic full-sort
+// scan, for Semantic and Completion, across limits.
+func TestRankingParityWithBruteForce(t *testing.T) {
+	var pes []core.PERecord
+	for i := 1; i <= 60; i++ {
+		desc := fmt.Sprintf("element %d that processes stream topic %d", i, i%7)
+		code := fmt.Sprintf("def _process(self, v):\n    return v * %d + %d", i%5, i)
+		pes = append(pes, core.PERecord{
+			PEID: i, PEName: fmt.Sprintf("PE%d", i), Description: desc,
+			DescEmbedding: EmbedDescription(desc),
+			CodeEmbedding: EmbedCode(code),
+		})
+	}
+	// a PE with no embeddings must be skipped by both paths
+	pes = append(pes, core.PERecord{PEID: 61, PEName: "Bare", Description: "no embeddings"})
+	for _, limit := range []int{0, 1, 3, 10, 100} {
+		q := "a PE that processes a stream of records"
+		want := referenceRank(EmbedDescription(q), pes, func(pe core.PERecord) []float32 { return pe.DescEmbedding }, limit)
+		got := Semantic(q, nil, pes, limit)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("semantic limit=%d diverged:\n got %+v\nwant %+v", limit, got, want)
+		}
+		snip := "return v * 3"
+		want = referenceRank(EmbedCode(snip), pes, func(pe core.PERecord) []float32 { return pe.CodeEmbedding }, limit)
+		got = Completion(snip, nil, pes, limit)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("completion limit=%d diverged:\n got %+v\nwant %+v", limit, got, want)
+		}
 	}
 }
 

@@ -398,7 +398,10 @@ func (s *Server) handleSearchPost(w http.ResponseWriter, r *http.Request, user *
 	s.search(w, user, req)
 }
 
-// search is the Service-layer dispatch across the three mechanisms.
+// search is the Service-layer dispatch across the three mechanisms. Text
+// queries still match over the user's record listing; semantic and code
+// queries are answered by the registry's incrementally maintained vector
+// indexes, so no per-query snapshot of every PE is taken.
 func (s *Server) search(w http.ResponseWriter, user *core.UserRecord, req core.SearchRequest) {
 	if req.SearchType == "" {
 		req.SearchType = core.SearchBoth
@@ -409,20 +412,31 @@ func (s *Server) search(w http.ResponseWriter, user *core.UserRecord, req core.S
 		writeErr(w, core.ErrBadRequest("type", "unknown search type %q (want pe, workflow or both)", req.SearchType))
 		return
 	}
+	// limit <= 0 falls through to each mechanism's search.DefaultLimit.
 	limit := req.Limit
 	if limit <= 0 {
 		limit = s.cfg.SearchLimit
 	}
-	pes := s.reg.PEsForUser(user.UserID)
-	wfs := s.reg.WorkflowsForUser(user.UserID)
 	var hits []core.SearchHit
 	switch req.QueryType {
 	case core.QueryText, "":
+		pes := s.reg.PEsForUser(user.UserID)
+		wfs := s.reg.WorkflowsForUser(user.UserID)
 		hits = search.Text(req.Search, req.SearchType, pes, wfs, limit)
 	case core.QuerySemantic:
-		hits = search.Semantic(req.Search, req.QueryEmbedding, pes, limit)
+		// Bi-encoder contract: clients embed their own queries; embed
+		// server-side only when the request carries none.
+		emb := req.QueryEmbedding
+		if emb == nil {
+			emb = search.EmbedDescription(req.Search)
+		}
+		hits = s.reg.SemanticSearch(user.UserID, emb, limit)
 	case core.QueryCode:
-		hits = search.Completion(req.Search, req.QueryEmbedding, pes, limit)
+		emb := req.QueryEmbedding
+		if emb == nil {
+			emb = search.EmbedCode(req.Search)
+		}
+		hits = s.reg.CompletionSearch(user.UserID, emb, limit)
 	default:
 		writeErr(w, core.ErrBadRequest("query", "unknown query type %q (want text, semantic or code)", req.QueryType))
 		return

@@ -12,6 +12,7 @@ import (
 	"laminar/internal/codec"
 	"laminar/internal/core"
 	"laminar/internal/engine"
+	"laminar/internal/search"
 )
 
 // startServer boots a server with an instant-install engine and creates the
@@ -270,5 +271,43 @@ class Producer(ProducerPE):
 	code, raw = doReq(t, http.MethodPost, addr+"/execution/zz46/run", core.ExecutionRequest{}, nil)
 	if code != 400 || !strings.Contains(raw, "BadRequestError") {
 		t.Fatalf("empty run: %d %s", code, raw)
+	}
+}
+
+// TestSemanticSearchViaIndex drives the index-backed semantic and code
+// query paths: the GET form carries no client embedding, so the server
+// embeds the query itself before probing the registry's vector index.
+func TestSemanticSearchViaIndex(t *testing.T) {
+	addr := startServer(t)
+	for _, p := range []struct{ name, desc string }{
+		{"PrimeChecker", "checks if a number is prime"},
+		{"WordCounter", "counts the words in a text stream"},
+		{"FileReader", "reads the contents of a file"},
+	} {
+		enc, err := codec.Encode(codec.Envelope{Kind: codec.KindPE, Name: p.name, Source: peSource})
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", core.AddPERequest{
+			PEName: p.name, Description: p.desc, PECode: enc,
+			DescEmbedding: search.EmbedDescription(p.desc),
+			CodeEmbedding: search.EmbedCode("def _process(self):\n    pass"),
+		}, nil)
+		if code != http.StatusCreated {
+			t.Fatalf("add %s: %d %s", p.name, code, raw)
+		}
+	}
+	var resp core.SearchResponse
+	code, _ := doReq(t, http.MethodGet,
+		addr+"/registry/zz46/search/checks+whether+a+number+is+prime/type/pe?query=semantic", nil, &resp)
+	if code != 200 || len(resp.Hits) != 3 || resp.Hits[0].Name != "PrimeChecker" {
+		t.Fatalf("semantic: %d %+v", code, resp)
+	}
+	// POST form threads an explicit limit down to the index's top-k heap.
+	code, _ = doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search: "prime numbers", SearchType: core.SearchPEs, QueryType: core.QuerySemantic, Limit: 1,
+	}, &resp)
+	if code != 200 || len(resp.Hits) != 1 {
+		t.Fatalf("limited semantic: %d %+v", code, resp)
 	}
 }

@@ -17,11 +17,13 @@
 package laminar
 
 import (
+	"fmt"
 	"time"
 
 	"laminar/internal/client"
 	"laminar/internal/core"
 	"laminar/internal/engine"
+	"laminar/internal/index"
 	"laminar/internal/registry"
 	"laminar/internal/server"
 	"laminar/internal/votable"
@@ -70,6 +72,16 @@ type ServerOptions struct {
 	// RegistryPath, when non-empty, loads the registry from this JSON file
 	// at start (if it exists); call SaveRegistry to persist.
 	RegistryPath string
+	// Index selects the vector index backing semantic search and code
+	// completion: "flat" (exact brute force, the default) or "clustered"
+	// (IVF-style approximate index with sublinear probes).
+	Index string
+	// IndexCentroids fixes the clustered index's shard count (0 = auto,
+	// ~sqrt(N)). Ignored by the flat index.
+	IndexCentroids int
+	// IndexNProbe is how many shards a clustered query scans (0 = auto);
+	// nprobe >= centroids makes clustered search exact.
+	IndexNProbe int
 }
 
 // Server is a full Laminar deployment: registry + API server + embedded
@@ -84,6 +96,17 @@ func NewServer(opts ServerOptions) *Server {
 	reg := registry.NewStore()
 	if opts.RegistryPath != "" {
 		_ = reg.Load(opts.RegistryPath) // fresh start when absent
+	}
+	switch opts.Index {
+	case "", "flat":
+		// NewStore's default exact index.
+	case "clustered":
+		cfg := index.ClusteredConfig{Centroids: opts.IndexCentroids, NProbe: opts.IndexNProbe}
+		reg.ConfigureIndex(func() index.VectorIndex { return index.NewClustered(cfg) })
+	default:
+		// Fail fast for every embedder, not just the laminar-server flag
+		// path: a typo must not silently benchmark the wrong index.
+		panic(fmt.Sprintf("laminar: unknown ServerOptions.Index %q (want flat or clustered)", opts.Index))
 	}
 	reg.SetLatency(opts.RegistryLatency)
 	eng := engine.New(engine.Config{
