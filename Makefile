@@ -1,10 +1,10 @@
-# Tier-1 verification plus the fast static gates (vet + gofmt), so
-# formatting and vet regressions fail before review. `make verify` is the
-# one-shot pre-commit check.
+# Tier-1 verification plus the fast static gates (vet + gofmt + docs), so
+# formatting, vet and documentation regressions fail before review.
+# `make verify` is the one-shot pre-commit check.
 
 GO ?= go
 
-.PHONY: build test vet fmt-check bench verify
+.PHONY: build test vet fmt-check docs bench verify
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,12 @@ fmt-check:
 		exit 1; \
 	fi
 
+# docs lints every Markdown file: relative links must resolve to existing
+# files and heading anchors must exist, so stale docs fail fast.
+docs:
+	$(GO) run ./cmd/mdcheck .
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run XXX .
 
-verify: build vet fmt-check test
+verify: build vet fmt-check docs test

@@ -129,6 +129,12 @@ func benchSearchSizes(b *testing.B, query []float32) {
 				for i, v := range corpus {
 					idx.Upsert(i+1, v)
 				}
+				// Settle before timing: retrains run in the background, so
+				// without this the measured loop would race a k-means
+				// goroutine and brute-scan a large overflow buffer.
+				if tr, ok := idx.(interface{ TrainNow() }); ok {
+					tr.TrainNow()
+				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					idx.Search(query, 10, nil)

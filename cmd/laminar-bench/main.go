@@ -9,6 +9,7 @@
 //	laminar-bench -table 6      # one table
 //	laminar-bench -figures      # figures only
 //	laminar-bench -searchbench  # Flat vs Clustered vector-index comparison
+//	laminar-bench -persistbench # index persistence + background-retrain cold start
 package main
 
 import (
@@ -25,9 +26,11 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run only the ablations")
 	searchBench := flag.Bool("searchbench", false, "run only the vector-index comparison (Flat vs Clustered)")
 	indexNProbe := flag.Int("index-nprobe", 0, "shards probed per clustered query in -searchbench (0 = auto)")
+	persistBench := flag.Bool("persistbench", false, "run only the index persistence + background-retrain benchmark")
+	persistSize := flag.Int("persist-size", 10000, "registry size (PEs) for -persistbench")
 	flag.Parse()
 
-	all := *table == 0 && !*figures && !*ablations && !*searchBench
+	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench
 
 	if all || *table == 5 {
 		res, err := bench.RunTable5(bench.DefaultTable5Options())
@@ -80,6 +83,13 @@ func main() {
 			log.Fatalf("search bench: %v", err)
 		}
 		fmt.Println(sb.Render())
+	}
+	if all || *persistBench {
+		pb, err := bench.RunPersistBench(*persistSize, 0)
+		if err != nil {
+			log.Fatalf("persist bench: %v", err)
+		}
+		fmt.Println(pb.Render())
 	}
 	if all || *ablations {
 		bv, err := bench.RunBiVsCross(61, 1)

@@ -48,7 +48,11 @@ func main() {
 	}
 	log.Printf("laminar-server: serving the Laminar API at %s (vector index: %s)", url, srv.Registry().IndexName())
 	if *registryPath != "" {
-		log.Printf("laminar-server: registry persisted to %s", *registryPath)
+		how := "rebuilt (no usable index snapshot)"
+		if srv.Registry().IndexesRestored() {
+			how = "restored from snapshot, no retrain"
+		}
+		log.Printf("laminar-server: registry persisted to %s (indexes %s)", *registryPath, how)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -1,0 +1,37 @@
+// mdcheck lints the repository's Markdown: every relative link must point
+// at an existing file and every heading anchor must resolve. `make docs`
+// runs it (and `make verify` includes it), so documentation drift fails the
+// build alongside vet and gofmt.
+//
+// Usage:
+//
+//	mdcheck [root]
+//
+// root defaults to the current directory.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"laminar/internal/mdcheck"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	probs, err := mdcheck.Check(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range probs {
+		fmt.Println(p)
+	}
+	if len(probs) > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken reference(s)\n", len(probs))
+		os.Exit(1)
+	}
+}

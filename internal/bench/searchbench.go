@@ -104,6 +104,11 @@ func RunSearchBench(sizes []int, queries int, nprobe int) (*SearchBenchResult, e
 			flat.Upsert(i+1, v)
 			clus.Upsert(i+1, v)
 		}
+		// Measure the settled index: retrains run in the background since
+		// the durability work, so force one full training over the complete
+		// corpus before timing (mid-retrain serving behaviour is
+		// -persistbench's subject, not this comparison's).
+		clus.TrainNow()
 
 		var flatHits [][]index.Candidate
 		start := time.Now()

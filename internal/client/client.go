@@ -173,12 +173,21 @@ func (c *Client) RegisterWorkflow(source, name, description string) (core.Workfl
 		}
 		peIDs = append(peIDs, rec.PEID)
 	}
+	// Embed the workflow description once at registration (bi-encoder, same
+	// unixcoder-code-search model as PE descriptions) so semantic SearchBoth
+	// covers workflows too. With no description, the entry-point name still
+	// carries searchable tokens.
+	embedText := description
+	if strings.TrimSpace(embedText) == "" {
+		embedText = name
+	}
 	req := core.AddWorkflowRequest{
-		WorkflowName: name,
-		EntryPoint:   name,
-		Description:  description,
-		WorkflowCode: encoded,
-		PEIDs:        peIDs,
+		WorkflowName:  name,
+		EntryPoint:    name,
+		Description:   description,
+		WorkflowCode:  encoded,
+		DescEmbedding: search.EmbedDescription(embedText),
+		PEIDs:         peIDs,
 	}
 	return c.web.AddWorkflow(c.user, req)
 }

@@ -41,6 +41,9 @@ type AddWorkflowRequest struct {
 	EntryPoint   string `json:"entryPoint"`
 	Description  string `json:"description,omitempty"`
 	WorkflowCode string `json:"workflowCode"`
+	// DescEmbedding is the client-computed description embedding (bi-encoder
+	// contract: embedded once at registration, only compared afterwards).
+	DescEmbedding []float32 `json:"descEmbedding,omitempty"`
 	// PEIDs associates already-registered PEs with the workflow.
 	PEIDs []int `json:"peIds,omitempty"`
 }

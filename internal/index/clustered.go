@@ -1,6 +1,7 @@
 package index
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -24,25 +25,55 @@ const minTrainSize = 64
 // maxLloydIters bounds the k-means refinement loop per (re)train.
 const maxLloydIters = 8
 
-// Clustered is an IVF-style approximate index: vectors are partitioned into
-// shards around k-means-ish centroids, and a query scans only the nprobe
-// shards whose centroids are most similar to it. Maintenance is
-// incremental — a new vector is assigned to its nearest existing centroid —
-// with a full deterministic retrain amortized over doublings of the corpus.
-type Clustered struct {
-	mu  sync.RWMutex
-	cfg ClusteredConfig
-
-	vecs      map[int][]float32
+// trainedSet is one trained clustering: the centroids plus the shard
+// membership of every assigned id. A retrain builds a fresh trainedSet off
+// to the side and installs it with a single pointer swap, so queries either
+// see the old clustering or the new one, never a half-built hybrid.
+// Between retrains the set is maintained incrementally (nearest-centroid
+// insert, shard removal on delete) under the index lock.
+type trainedSet struct {
 	centroids [][]float32
 	shards    [][]int     // centroid index → member ids
 	assign    map[int]int // id → centroid index
-	trainedAt int         // corpus size at the last retrain
+}
+
+// Clustered is an IVF-style approximate index: vectors are partitioned into
+// shards around k-means-ish centroids, and a query scans only the nprobe
+// shards whose centroids are most similar to it.
+//
+// Maintenance is incremental — a new vector is assigned to its nearest
+// existing centroid — with a full deterministic retrain amortized over
+// doublings of the corpus. The retrain runs in a background goroutine
+// against a copy-on-write snapshot of the vectors: queries keep being served
+// from the previous clustering the whole time, inserts that arrive
+// mid-retrain land in a small exact overflow buffer that every query scans
+// alongside the probed shards, and the finished clustering is installed with
+// an atomic pointer swap. The serving path therefore never waits on k-means.
+type Clustered struct {
+	mu   sync.RWMutex
+	cond *sync.Cond // broadcast whenever a retrain attempt finishes
+	cfg  ClusteredConfig
+
+	vecs     map[int][]float32
+	trained  *trainedSet // nil until the first training completes
+	overflow map[int]bool
+
+	trainedAt  int  // corpus size at the last completed retrain
+	retraining bool // a background retrain is in flight
+	gen        int  // invalidates in-flight retrains on Restore
+	retrains   int  // completed full retrains (observability/tests)
+
+	// retrainHook, when set, runs inside the retrain goroutine before the
+	// k-means computation — tests use it to hold a retrain open while they
+	// probe the serving path.
+	retrainHook func()
 }
 
 // NewClustered creates an empty IVF index.
 func NewClustered(cfg ClusteredConfig) *Clustered {
-	return &Clustered{cfg: cfg, vecs: map[int][]float32{}, assign: map[int]int{}}
+	c := &Clustered{cfg: cfg, vecs: map[int][]float32{}, overflow: map[int]bool{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
 }
 
 // Name identifies the implementation.
@@ -55,9 +86,51 @@ func (c *Clustered) Len() int {
 	return len(c.vecs)
 }
 
-// Upsert stores a copy of vec under id, assigning it to the nearest shard;
-// an empty vec removes the entry. Crossing a corpus doubling triggers a
-// full retrain, so amortized insert cost stays O(centroids·d).
+// Retrains reports how many full retrains have completed — the registry's
+// restore path asserts this stays zero when a snapshot loads cleanly.
+func (c *Clustered) Retrains() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.retrains
+}
+
+// WaitRetrain blocks until no background retrain is in flight. Benchmarks
+// and tests call it to reach a settled clustering; serving code never needs
+// to.
+func (c *Clustered) WaitRetrain() {
+	c.mu.Lock()
+	for c.retraining {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// TrainNow runs one full retrain over the current corpus and blocks until
+// it lands — the synchronous path to the same fully-trained state a
+// snapshot restore reproduces. Below minTrainSize it is a no-op: the index
+// brute-scans there (exactly), and installing a tiny clustering would
+// silently make those corpora approximate. Benchmarks use it as the
+// rebuild baseline; the serving path sticks to background retrains.
+func (c *Clustered) TrainNow() {
+	c.mu.Lock()
+	for c.retraining {
+		c.cond.Wait()
+	}
+	if len(c.vecs) < minTrainSize {
+		c.mu.Unlock()
+		return
+	}
+	c.launchRetrainLocked()
+	c.mu.Unlock()
+	c.WaitRetrain()
+}
+
+// Upsert stores a copy of vec under id; an empty vec removes the entry.
+// With a clustering live the id is assigned to its nearest shard; while a
+// retrain is in flight it goes to the exact overflow buffer instead (the
+// in-flight result is computed from a snapshot and would lose a concurrent
+// shard insert at swap time). Crossing a corpus doubling launches a
+// background retrain.
 func (c *Clustered) Upsert(id int, vec []float32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -67,14 +140,23 @@ func (c *Clustered) Upsert(id int, vec []float32) {
 	}
 	c.deleteLocked(id) // replacing: drop any stale shard membership
 	c.vecs[id] = append([]float32(nil), vec...)
-	if c.retrainDueLocked() {
-		c.retrainLocked()
-		return
+	switch {
+	case c.retraining:
+		// Checked before trained==nil: even during the FIRST training a
+		// replaced vector must be flagged, or the merge would keep the
+		// k-means assignment computed from its stale snapshot value.
+		// (While trained is nil queries brute-scan everything, so the flag
+		// costs nothing there.)
+		c.overflow[id] = true
+	case c.trained == nil:
+		// Brute-scan mode: every query visits every vector already.
+	default:
+		ci := nearestCentroid(c.trained.centroids, c.vecs[id])
+		c.trained.assign[id] = ci
+		c.trained.shards[ci] = append(c.trained.shards[ci], id)
 	}
-	if len(c.centroids) > 0 {
-		ci := c.nearestCentroidLocked(c.vecs[id])
-		c.assign[id] = ci
-		c.shards[ci] = append(c.shards[ci], id)
+	if !c.retraining && c.retrainDueLocked() {
+		c.launchRetrainLocked()
 	}
 }
 
@@ -90,12 +172,16 @@ func (c *Clustered) deleteLocked(id int) {
 		return
 	}
 	delete(c.vecs, id)
-	if ci, ok := c.assign[id]; ok {
-		delete(c.assign, id)
-		members := c.shards[ci]
+	delete(c.overflow, id)
+	if c.trained == nil {
+		return
+	}
+	if ci, ok := c.trained.assign[id]; ok {
+		delete(c.trained.assign, id)
+		members := c.trained.shards[ci]
 		for i, m := range members {
 			if m == id {
-				c.shards[ci] = append(members[:i], members[i+1:]...)
+				c.trained.shards[ci] = append(members[:i], members[i+1:]...)
 				break
 			}
 		}
@@ -107,12 +193,94 @@ func (c *Clustered) retrainDueLocked() bool {
 	if n < minTrainSize {
 		return false
 	}
-	return len(c.centroids) == 0 || n >= 2*c.trainedAt
+	return c.trained == nil || n >= 2*c.trainedAt
+}
+
+// launchRetrainLocked snapshots the vector set and starts the background
+// retrain goroutine. The snapshot shares vector slices with the live map —
+// safe because Upsert always installs a fresh slice, never mutates one in
+// place — so the copy is O(N) map entries, not O(N·d) floats.
+func (c *Clustered) launchRetrainLocked() {
+	c.retraining = true
+	gen := c.gen
+	snap := make(map[int][]float32, len(c.vecs))
+	for id, v := range c.vecs {
+		snap[id] = v
+	}
+	hook := c.retrainHook
+	go c.retrain(snap, gen, hook)
+}
+
+// retrain runs off the serving path: k-means over the snapshot without any
+// lock held, then a brief locked merge that reconciles what changed while
+// training (deletes drop out, overflow inserts are assigned to their nearest
+// new centroid) and installs the new clustering with a pointer swap.
+func (c *Clustered) retrain(snap map[int][]float32, gen int, hook func()) {
+	if hook != nil {
+		hook()
+	}
+	cents, assign := trainKMeans(c.cfg, snap)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.cond.Broadcast()
+	if gen != c.gen {
+		// A Restore replaced the corpus while we trained; the result
+		// describes vectors that no longer exist. Whoever bumped gen also
+		// owns the retraining flag, so leave all state alone.
+		return
+	}
+	ts := &trainedSet{
+		centroids: cents,
+		shards:    make([][]int, len(cents)),
+		assign:    make(map[int]int, len(c.vecs)),
+	}
+	for id, ci := range assign {
+		if _, ok := c.vecs[id]; !ok {
+			continue // deleted while training
+		}
+		if c.overflow[id] {
+			// The vector was replaced mid-retrain; the k-means assignment
+			// positions its *old* value. Reassign from the live vector
+			// below instead.
+			continue
+		}
+		ts.assign[id] = ci
+		ts.shards[ci] = append(ts.shards[ci], id)
+	}
+	// Everything else arrived (or was replaced) mid-retrain and is exactly
+	// the overflow buffer — inserts and replacements during a retrain
+	// always flag it, deletes always clear it. Assign each live vector as
+	// an incremental insert would. Walking the overflow, not all of vecs,
+	// keeps this O(Δ·k·d) for Δ mid-retrain changes — the only index work
+	// that ever happens under the write lock during a retrain.
+	for id := range c.overflow {
+		v, ok := c.vecs[id]
+		if !ok {
+			continue
+		}
+		ci := nearestCentroid(cents, v)
+		ts.assign[id] = ci
+		ts.shards[ci] = append(ts.shards[ci], id)
+	}
+	c.trained = ts // the atomic swap: queries now see the new clustering
+	c.overflow = map[int]bool{}
+	// trainedAt is the corpus size the clustering was actually computed
+	// over — the snapshot, not the live set. Using the live size here would
+	// absorb everything that arrived mid-retrain into the "trained" count
+	// and make the relaunch check below unreachable.
+	c.trainedAt = len(snap)
+	c.retraining = false
+	c.retrains++
+	if c.retrainDueLocked() {
+		// The corpus doubled again while we were training; go around.
+		c.launchRetrainLocked()
+	}
 }
 
 // numCentroids picks the cluster count for a corpus of n vectors.
-func (c *Clustered) numCentroids(n int) int {
-	k := c.cfg.Centroids
+func numCentroids(cfg ClusteredConfig, n int) int {
+	k := cfg.Centroids
 	if k <= 0 {
 		k = int(math.Ceil(math.Sqrt(float64(n))))
 	}
@@ -125,26 +293,28 @@ func (c *Clustered) numCentroids(n int) int {
 	return k
 }
 
-// retrainLocked rebuilds centroids and shards with a deterministic k-means:
-// seeds are evenly spaced over the id-sorted corpus, then up to
-// maxLloydIters Lloyd iterations refine them (ties break toward the lowest
-// centroid index, so the result is reproducible).
-func (c *Clustered) retrainLocked() {
-	n := len(c.vecs)
+// trainKMeans clusters a vector set with a deterministic k-means: seeds are
+// evenly spaced over the id-sorted corpus, up to maxLloydIters Lloyd
+// iterations refine them (ties break toward the lowest centroid index), and
+// a final pass assigns every id to its nearest *final* centroid so shard
+// membership always agrees with the centroids a query probes against. It is
+// a pure function — the background retrain runs it without holding the
+// index lock.
+func trainKMeans(cfg ClusteredConfig, vecs map[int][]float32) ([][]float32, map[int]int) {
+	n := len(vecs)
 	if n == 0 {
-		c.centroids, c.shards, c.assign, c.trainedAt = nil, nil, map[int]int{}, 0
-		return
+		return nil, map[int]int{}
 	}
 	ids := make([]int, 0, n)
-	for id := range c.vecs {
+	for id := range vecs {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 
-	k := c.numCentroids(n)
+	k := numCentroids(cfg, n)
 	cents := make([][]float32, k)
 	for i := 0; i < k; i++ {
-		cents[i] = append([]float32(nil), c.vecs[ids[i*n/k]]...)
+		cents[i] = append([]float32(nil), vecs[ids[i*n/k]]...)
 	}
 	assign := make([]int, len(ids))
 	for i := range assign {
@@ -153,12 +323,7 @@ func (c *Clustered) retrainLocked() {
 	for iter := 0; iter < maxLloydIters; iter++ {
 		changed := false
 		for i, id := range ids {
-			best, bestScore := 0, math.Inf(-1)
-			for ci, cent := range cents {
-				if s := dot(cent, c.vecs[id]); s > bestScore {
-					best, bestScore = ci, s
-				}
-			}
+			best := nearestCentroid(cents, vecs[id])
 			if assign[i] != best {
 				assign[i] = best
 				changed = true
@@ -173,7 +338,7 @@ func (c *Clustered) retrainLocked() {
 		counts := make([]int, k)
 		for i, id := range ids {
 			ci := assign[i]
-			v := c.vecs[id]
+			v := vecs[id]
 			if sums[ci] == nil {
 				sums[ci] = make([]float64, len(v))
 			}
@@ -203,20 +368,18 @@ func (c *Clustered) retrainLocked() {
 		}
 	}
 
-	c.centroids = cents
-	c.shards = make([][]int, k)
-	c.assign = make(map[int]int, n)
-	for i, id := range ids {
-		ci := assign[i]
-		c.assign[id] = ci
-		c.shards[ci] = append(c.shards[ci], id)
+	out := make(map[int]int, n)
+	for _, id := range ids {
+		out[id] = nearestCentroid(cents, vecs[id])
 	}
-	c.trainedAt = n
+	return cents, out
 }
 
-func (c *Clustered) nearestCentroidLocked(v []float32) int {
+// nearestCentroid returns the index of the centroid most similar to v (ties
+// break toward the lowest index).
+func nearestCentroid(cents [][]float32, v []float32) int {
 	best, bestScore := 0, math.Inf(-1)
-	for ci, cent := range c.centroids {
+	for ci, cent := range cents {
 		if s := dot(cent, v); s > bestScore {
 			best, bestScore = ci, s
 		}
@@ -224,30 +387,35 @@ func (c *Clustered) nearestCentroidLocked(v []float32) int {
 	return best
 }
 
-// nprobe resolves the configured probe count against the live centroid set.
-func (c *Clustered) nprobe() int {
+// nprobeLocked resolves the configured probe count against the live
+// centroid set.
+func (c *Clustered) nprobeLocked() int {
 	p := c.cfg.NProbe
+	n := len(c.trained.centroids)
 	if p <= 0 {
-		p = len(c.centroids) / 4
+		p = n / 4
 	}
 	if p < 1 {
 		p = 1
 	}
-	if p > len(c.centroids) {
-		p = len(c.centroids)
+	if p > n {
+		p = n
 	}
 	return p
 }
 
-// Search probes the nprobe shards nearest the query. Below minTrainSize
-// (no centroids yet) it brute-scans, which is both exact and cheap at that
-// scale. Because shards partition the corpus, probing every shard yields
+// Search probes the nprobe shards nearest the query, then brute-scans the
+// overflow buffer (inserts a live retrain has not folded in yet), so fresh
+// vectors are immediately findable — exactly, not approximately. Before the
+// first training completes there are no centroids and the whole corpus is
+// brute-scanned, which is both exact and cheap at that scale. Because
+// shards plus overflow partition the corpus, probing every shard yields
 // exactly the Flat result.
 func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	top := NewTopK(k)
-	if len(c.centroids) == 0 {
+	if c.trained == nil {
 		for id, v := range c.vecs {
 			if filter != nil && !filter(id) {
 				continue
@@ -256,17 +424,139 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 		}
 		return top.Sorted()
 	}
-	probe := NewTopK(c.nprobe())
-	for ci, cent := range c.centroids {
+	probe := NewTopK(c.nprobeLocked())
+	for ci, cent := range c.trained.centroids {
 		probe.Push(Candidate{ID: ci, Score: dot(query, cent)})
 	}
 	for _, p := range probe.Sorted() {
-		for _, id := range c.shards[p.ID] {
+		for _, id := range c.trained.shards[p.ID] {
 			if filter != nil && !filter(id) {
 				continue
 			}
-			top.Push(Candidate{ID: id, Score: dot(query, c.vecs[id])})
+			if v, ok := c.vecs[id]; ok {
+				top.Push(Candidate{ID: id, Score: dot(query, v)})
+			}
+		}
+	}
+	for id := range c.overflow {
+		if filter != nil && !filter(id) {
+			continue
+		}
+		if v, ok := c.vecs[id]; ok {
+			top.Push(Candidate{ID: id, Score: dot(query, v)})
 		}
 	}
 	return top.Sorted()
+}
+
+// Snapshot captures the trained structure (centroids + shard assignments)
+// in the versioned serialized form. Ids sitting in the overflow buffer are
+// simply omitted from the assignment map; Restore folds them back in via a
+// nearest-centroid assignment.
+func (c *Clustered) Snapshot() *Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	snap := &Snapshot{
+		Version:  SnapshotVersion,
+		Kind:     c.Name(),
+		Count:    len(c.vecs),
+		Checksum: ChecksumVectors(c.vecs),
+	}
+	if c.trained != nil {
+		cs := &ClusteredSnapshot{
+			Centroids: make([][]float32, len(c.trained.centroids)),
+			Assign:    make(map[int]int, len(c.trained.assign)),
+			TrainedAt: c.trainedAt,
+		}
+		for i, cent := range c.trained.centroids {
+			cs.Centroids[i] = append([]float32(nil), cent...)
+		}
+		for id, ci := range c.trained.assign {
+			cs.Assign[id] = ci
+		}
+		snap.Clustered = cs
+	}
+	return snap
+}
+
+// Restore replaces the index contents from a snapshot and its vector set
+// without retraining: centroids and shard assignments come straight from
+// the snapshot, and any id the snapshot leaves unassigned (it was in the
+// overflow buffer at save time) is assigned to its nearest centroid, the
+// same computation an incremental insert performs. An in-flight retrain is
+// invalidated. On any validation failure the index is left unchanged.
+func (c *Clustered) Restore(snap *Snapshot, vecs map[int][]float32) error {
+	if err := validateSnapshot(snap, c.Name(), vecs); err != nil {
+		return err
+	}
+	var ts *trainedSet
+	trainedAt := len(vecs)
+	if cs := snap.Clustered; cs != nil {
+		k := len(cs.Centroids)
+		if k == 0 {
+			return fmt.Errorf("index: clustered snapshot carries no centroids")
+		}
+		// An explicitly pinned centroid count is authoritative: restoring a
+		// snapshot trained with a different count would silently turn the
+		// -index-centroids flag into a no-op until the next corpus
+		// doubling. Rejecting makes the caller rebuild at the configured
+		// count. The comparison goes through numCentroids so a snapshot
+		// this very config produced always passes (k is clamped to the
+		// corpus size at train time). Auto (0) accepts whatever the
+		// snapshot trained.
+		ta := cs.TrainedAt
+		if ta <= 0 {
+			ta = len(vecs)
+		}
+		if c.cfg.Centroids > 0 && k != numCentroids(c.cfg, ta) {
+			return fmt.Errorf("index: snapshot trained %d centroids but config pins %d", k, c.cfg.Centroids)
+		}
+		ts = &trainedSet{
+			centroids: make([][]float32, k),
+			shards:    make([][]int, k),
+			assign:    make(map[int]int, len(vecs)),
+		}
+		for i, cent := range cs.Centroids {
+			if len(cent) == 0 {
+				return fmt.Errorf("index: clustered snapshot centroid %d is empty", i)
+			}
+			ts.centroids[i] = append([]float32(nil), cent...)
+		}
+		// Deterministic shard order: walk ids sorted, not in map order.
+		ids := make([]int, 0, len(vecs))
+		for id := range vecs {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			ci, ok := cs.Assign[id]
+			if !ok {
+				ci = nearestCentroid(ts.centroids, vecs[id])
+			} else if ci < 0 || ci >= k {
+				return fmt.Errorf("index: snapshot assigns id %d to centroid %d of %d", id, ci, k)
+			}
+			ts.assign[id] = ci
+			ts.shards[ci] = append(ts.shards[ci], id)
+		}
+		if cs.TrainedAt > 0 {
+			trainedAt = cs.TrainedAt
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++ // a retrain in flight now describes a corpus that is gone
+	c.retraining = false
+	c.vecs = copyVecs(vecs)
+	c.overflow = map[int]bool{}
+	c.trained = ts
+	c.trainedAt = trainedAt
+	// Restore never retrains, by definition — even from an untrained
+	// snapshot (corpus saved inside its first-training window). Such an
+	// index serves exact brute-force answers until the next Upsert, whose
+	// doubling check launches the training; side-effecting a goroutine
+	// here would make "restored, no retrain" a lie and waste a k-means
+	// when the caller discards this index (all-or-nothing registry
+	// restore).
+	return nil
 }

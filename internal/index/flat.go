@@ -44,6 +44,32 @@ func (f *Flat) Delete(id int) {
 	delete(f.vecs, id)
 }
 
+// Snapshot captures the serialized form. Flat has no structure beyond the
+// vectors themselves, so the snapshot is just the version/kind/checksum
+// envelope; Restore gets everything it needs from the vectors the registry
+// hands back.
+func (f *Flat) Snapshot() *Snapshot {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return &Snapshot{
+		Version:  SnapshotVersion,
+		Kind:     f.Name(),
+		Count:    len(f.vecs),
+		Checksum: ChecksumVectors(f.vecs),
+	}
+}
+
+// Restore replaces the contents from a snapshot and its vector set.
+func (f *Flat) Restore(snap *Snapshot, vecs map[int][]float32) error {
+	if err := validateSnapshot(snap, f.Name(), vecs); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.vecs = copyVecs(vecs)
+	return nil
+}
+
 // Search scans every stored vector, keeping the k best. The result is
 // deterministic regardless of map iteration order because (score, id) is a
 // strict total order.

@@ -23,8 +23,14 @@
 //     that returns results identical to Flat.
 //
 // Indexes are maintained incrementally: the registry upserts/deletes
-// vectors as PEs are registered and removed, so queries never need to
-// re-snapshot the full record set.
+// vectors as records are registered and removed, so queries never need to
+// re-snapshot the full record set. Two durability properties come on top:
+// every index serializes its structure to a versioned Snapshot (restored
+// with checksum validation, so a restart skips retraining), and the
+// Clustered retrain on corpus doublings runs in a background goroutine with
+// an atomic swap — queries are served from the previous clustering
+// throughout, and mid-retrain inserts stay findable via an exact overflow
+// buffer. See docs/index.md for the full subsystem story.
 package index
 
 import "laminar/internal/embed"
@@ -56,6 +62,16 @@ type VectorIndex interface {
 	Len() int
 	// Name identifies the implementation ("flat", "clustered").
 	Name() string
+	// Snapshot captures the index structure in the versioned serialized
+	// form. Vectors themselves are not included — the owner (the registry)
+	// persists them with its records and hands them back to Restore.
+	Snapshot() *Snapshot
+	// Restore replaces the index contents from a snapshot plus the vector
+	// set it was taken over. It fails (leaving the index unchanged) when the
+	// snapshot's version or kind does not match, or when its checksum does
+	// not cover exactly the supplied vectors; callers fall back to a
+	// rebuild in that case.
+	Restore(snap *Snapshot, vecs map[int][]float32) error
 }
 
 // Factory builds a fresh, empty VectorIndex. The registry uses one factory

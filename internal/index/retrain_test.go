@@ -1,0 +1,307 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueriesDuringRetrainMatchFlat pins the serving contract of the
+// background retrain: while a retrain is held open, a full-probe query must
+// equal Flat over the union of the old (sharded) records and the overflow
+// buffer — i.e. over every live vector — including inserts, deletes and
+// re-upserts that happen mid-retrain. After the retrain lands, the overflow
+// buffer must have drained into the new shards.
+func TestQueriesDuringRetrainMatchFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const dim = 16
+	clus := NewClustered(ClusteredConfig{Centroids: 8, NProbe: 8})
+	flat := NewFlat()
+
+	// Gate the retrain goroutine: when armed, it blocks until released.
+	var armed atomic.Bool
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	clus.retrainHook = func() {
+		if armed.Load() {
+			entered <- struct{}{}
+			<-release
+		}
+	}
+
+	// First training runs to completion unimpeded.
+	vecs := map[int][]float32{}
+	for id := 1; id <= minTrainSize; id++ {
+		v := unitVec(rng, dim)
+		vecs[id] = v
+		clus.Upsert(id, v)
+		flat.Upsert(id, v)
+	}
+	clus.WaitRetrain()
+	if clus.Retrains() != 1 {
+		t.Fatalf("retrains after first training: %d", clus.Retrains())
+	}
+
+	// Fill to the next corpus doubling; the retrain it triggers blocks in
+	// the hook.
+	armed.Store(true)
+	for id := minTrainSize + 1; id <= 2*minTrainSize; id++ {
+		v := unitVec(rng, dim)
+		vecs[id] = v
+		clus.Upsert(id, v)
+		flat.Upsert(id, v)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("doubling the corpus did not launch a retrain")
+	}
+
+	// Mutations while the retrain is in flight: fresh inserts (overflow),
+	// deletes of old sharded ids, and a re-upsert of an old id.
+	for id := 2*minTrainSize + 1; id <= 2*minTrainSize+10; id++ {
+		v := unitVec(rng, dim)
+		vecs[id] = v
+		clus.Upsert(id, v)
+		flat.Upsert(id, v)
+	}
+	for _, victim := range []int{3, minTrainSize + 5} {
+		delete(vecs, victim)
+		clus.Delete(victim)
+		flat.Delete(victim)
+	}
+	nv := unitVec(rng, dim)
+	vecs[7] = nv
+	clus.Upsert(7, nv)
+	flat.Upsert(7, nv)
+
+	clus.mu.RLock()
+	stillRetraining, overflowLen := clus.retraining, len(clus.overflow)
+	clus.mu.RUnlock()
+	if !stillRetraining {
+		t.Fatal("retrain finished despite the gate")
+	}
+	if overflowLen == 0 {
+		t.Fatal("mid-retrain inserts did not land in the overflow buffer")
+	}
+
+	for q := 0; q < 10; q++ {
+		query := unitVec(rng, dim)
+		got := clus.Search(query, 10, nil)
+		want := flat.Search(query, 10, nil)
+		if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+			t.Fatalf("mid-retrain query %d diverged:\n got %v\nwant %v", q, got, want)
+		}
+	}
+
+	// Release the retrain; the swap must fold the overflow into shards and
+	// keep full-probe exactness.
+	armed.Store(false)
+	close(release)
+	clus.WaitRetrain()
+	clus.mu.RLock()
+	overflowLen, assigned := len(clus.overflow), len(clus.trained.assign)
+	clus.mu.RUnlock()
+	if overflowLen != 0 {
+		t.Fatalf("overflow not drained after retrain: %d", overflowLen)
+	}
+	if assigned != len(vecs) {
+		t.Fatalf("assignments cover %d ids, want %d", assigned, len(vecs))
+	}
+	if clus.Retrains() < 2 {
+		t.Fatalf("second retrain never completed: %d", clus.Retrains())
+	}
+	// The id re-upserted mid-retrain must be sharded by its *new* vector,
+	// not by the stale snapshot position k-means saw.
+	clus.mu.RLock()
+	gotShard := clus.trained.assign[7]
+	wantShard := nearestCentroid(clus.trained.centroids, vecs[7])
+	clus.mu.RUnlock()
+	if gotShard != wantShard {
+		t.Fatalf("re-upserted id kept stale assignment: shard %d, want %d", gotShard, wantShard)
+	}
+	for q := 0; q < 5; q++ {
+		query := unitVec(rng, dim)
+		got := clus.Search(query, 10, nil)
+		want := flat.Search(query, 10, nil)
+		if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+			t.Fatalf("post-retrain query %d diverged:\n got %v\nwant %v", q, got, want)
+		}
+	}
+}
+
+// TestRetrainNeverBlocksSearch is the latency half of the contract: with a
+// retrain held open for the whole test, searches keep completing. (Before
+// the background-retrain change, the doubling insert retrained inline under
+// the write lock and every query behind it stalled.)
+func TestRetrainNeverBlocksSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	clus := NewClustered(ClusteredConfig{Centroids: 8})
+	var armed atomic.Bool
+	release := make(chan struct{})
+	clus.retrainHook = func() {
+		if armed.Load() {
+			<-release
+		}
+	}
+	for id := 1; id <= minTrainSize; id++ {
+		clus.Upsert(id, unitVec(rng, 8))
+	}
+	clus.WaitRetrain()
+	armed.Store(true)
+	for id := minTrainSize + 1; id <= 2*minTrainSize; id++ {
+		clus.Upsert(id, unitVec(rng, 8))
+	}
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			clus.Search(unitVec(rng, 8), 5, nil)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("searches blocked behind an in-flight retrain")
+	}
+	close(release)
+	clus.WaitRetrain()
+}
+
+// TestReplaceDuringFirstTrainingReassigns: replacing a vector while the
+// FIRST training (trained==nil) is in flight must flag it for
+// reassignment — the k-means result positions its stale snapshot value.
+func TestReplaceDuringFirstTrainingReassigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	clus := NewClustered(ClusteredConfig{Centroids: 8, NProbe: 8})
+	flat := NewFlat()
+	release := make(chan struct{})
+	clus.retrainHook = func() { <-release }
+
+	vecs := map[int][]float32{}
+	for id := 1; id <= minTrainSize; id++ {
+		v := unitVec(rng, 8)
+		vecs[id] = v
+		clus.Upsert(id, v)
+		flat.Upsert(id, v)
+	}
+	// First training is now gated; replace a snapshotted id.
+	nv := unitVec(rng, 8)
+	vecs[1] = nv
+	clus.Upsert(1, nv)
+	flat.Upsert(1, nv)
+	clus.mu.RLock()
+	flagged := clus.overflow[1]
+	clus.mu.RUnlock()
+	if !flagged {
+		t.Fatal("replacement during first training not flagged for reassignment")
+	}
+	close(release)
+	clus.WaitRetrain()
+	clus.mu.RLock()
+	gotShard := clus.trained.assign[1]
+	wantShard := nearestCentroid(clus.trained.centroids, nv)
+	clus.mu.RUnlock()
+	if gotShard != wantShard {
+		t.Fatalf("replaced id sharded by stale vector: shard %d, want %d", gotShard, wantShard)
+	}
+	query := unitVec(rng, 8)
+	if got, want := clus.Search(query, 10, nil), flat.Search(query, 10, nil); fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+		t.Fatalf("post-training search diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCorpusDoublingMidRetrainRelaunches: when the corpus doubles again
+// while a retrain is computing, the merge must immediately launch a
+// follow-up retrain — otherwise the mid-retrain arrivals would be served
+// from centroids trained on half the corpus until the *next* doubling.
+func TestCorpusDoublingMidRetrainRelaunches(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	clus := NewClustered(ClusteredConfig{Centroids: 8})
+	var armed atomic.Bool
+	release := make(chan struct{})
+	clus.retrainHook = func() {
+		if armed.Load() {
+			<-release
+		}
+	}
+	for id := 1; id <= minTrainSize; id++ {
+		clus.Upsert(id, unitVec(rng, 8))
+	}
+	clus.WaitRetrain() // retrain #1: trainedAt = minTrainSize
+
+	// Gate retrain #2 (triggered at 2*minTrainSize), then keep inserting
+	// past another doubling while it is stuck.
+	armed.Store(true)
+	for id := minTrainSize + 1; id <= 5*minTrainSize; id++ {
+		clus.Upsert(id, unitVec(rng, 8))
+	}
+	armed.Store(false)
+	close(release)
+	clus.WaitRetrain() // waits through the relaunch chain
+
+	if clus.Retrains() < 3 {
+		t.Fatalf("doubling mid-retrain did not relaunch: %d retrains", clus.Retrains())
+	}
+	clus.mu.RLock()
+	trainedAt, n := clus.trainedAt, len(clus.vecs)
+	clus.mu.RUnlock()
+	if n >= 2*trainedAt {
+		t.Fatalf("index settled stale: trainedAt=%d with corpus %d", trainedAt, n)
+	}
+}
+
+// TestRestoreInvalidatesInflightRetrain: a Restore that lands while a
+// retrain is computing must win — the stale result describes a corpus that
+// no longer exists and is discarded on generation mismatch.
+func TestRestoreInvalidatesInflightRetrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	src := NewClustered(ClusteredConfig{Centroids: 4})
+	live := map[int][]float32{}
+	for id := 1; id <= 200; id++ {
+		v := unitVec(rng, 8)
+		live[id] = v
+		src.Upsert(id, v)
+	}
+	src.WaitRetrain()
+	snap := src.Snapshot()
+
+	dst := NewClustered(ClusteredConfig{Centroids: 4})
+	var armed atomic.Bool
+	release := make(chan struct{})
+	dst.retrainHook = func() {
+		if armed.Load() {
+			<-release
+		}
+	}
+	armed.Store(true)
+	other := map[int][]float32{}
+	for id := 1; id <= minTrainSize; id++ {
+		v := unitVec(rng, 8)
+		other[id] = v
+		dst.Upsert(id, v)
+	}
+	// A retrain over `other` is now gated. Restoring `snap` must supersede it.
+	if err := dst.Restore(snap, live); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	// Give the stale goroutine a chance to (wrongly) merge, then verify the
+	// restored state survived.
+	time.Sleep(50 * time.Millisecond)
+	dst.WaitRetrain()
+	if got := dst.Len(); got != len(live) {
+		t.Fatalf("len %d after restore, want %d", got, len(live))
+	}
+	query := unitVec(rng, 8)
+	if got, want := dst.Search(query, 10, nil), src.Search(query, 10, nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("stale retrain clobbered the restore:\n got %+v\nwant %+v", got, want)
+	}
+	if dst.Retrains() != 0 {
+		t.Fatalf("stale retrain counted as completed: %d", dst.Retrains())
+	}
+}

@@ -1,0 +1,111 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// SnapshotVersion is the current serialized-index format version. Restore
+// rejects snapshots from other versions, which makes the caller fall back to
+// a full rebuild — forward and backward compatibility by retraining, never
+// by guessing at a foreign layout.
+const SnapshotVersion = 1
+
+// Snapshot is the versioned, JSON-serializable form of a VectorIndex. It
+// deliberately stores only index *structure* (centroids and shard
+// assignments), not the vectors themselves: the registry already persists
+// every embedding inside its PE/workflow records, and Restore is handed
+// those vectors back. Checksum ties the structure to the exact vector set it
+// was trained on, so a snapshot that no longer matches the records (edited
+// registry file, partial write, version skew) fails closed into a rebuild.
+type Snapshot struct {
+	// Version is the format version (SnapshotVersion at write time).
+	Version int `json:"version"`
+	// Kind names the implementation that produced the snapshot ("flat",
+	// "clustered"); Restore rejects a kind other than its own.
+	Kind string `json:"kind"`
+	// Count is the number of vectors indexed at snapshot time.
+	Count int `json:"count"`
+	// Checksum fingerprints the (id, vector) set the structure was built
+	// over; see ChecksumVectors.
+	Checksum string `json:"checksum"`
+	// Clustered carries the IVF structure; nil for flat snapshots and for a
+	// clustered index that has not trained yet (it brute-scans below
+	// minTrainSize).
+	Clustered *ClusteredSnapshot `json:"clustered,omitempty"`
+}
+
+// ClusteredSnapshot is the trained IVF state: the centroids and which
+// centroid each stored id was assigned to. Overflow-buffered ids (inserted
+// while a retrain was in flight) are simply absent from Assign; Restore
+// re-assigns any unlisted id to its nearest centroid, exactly as an
+// incremental insert would.
+type ClusteredSnapshot struct {
+	Centroids [][]float32 `json:"centroids"`
+	Assign    map[int]int `json:"assign"`
+	// TrainedAt is the corpus size at the last full retrain; it anchors the
+	// next corpus-doubling trigger after a restore.
+	TrainedAt int `json:"trainedAt"`
+}
+
+// ChecksumVectors fingerprints a vector set: FNV-1a (64-bit) over the
+// id-sorted sequence of (id, dim, raw float bits). Two registries with
+// byte-identical embeddings under the same ids produce the same checksum
+// regardless of map iteration order. FNV is a staleness detector, not a
+// security boundary — the snapshot lives next to the records it guards —
+// and it keeps the restore path fast at millions of stored floats.
+func ChecksumVectors(vecs map[int][]float32) string {
+	ids := make([]int, 0, len(vecs))
+	for id := range vecs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	h := fnv.New64a()
+	buf := make([]byte, 0, 4096)
+	for _, id := range ids {
+		v := vecs[id]
+		buf = binary.LittleEndian.AppendUint64(buf[:0], uint64(int64(id)))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(v)))
+		for _, x := range v {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+		}
+		h.Write(buf)
+	}
+	return "fnv1a64:" + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// validateSnapshot runs the checks shared by every Restore implementation:
+// format version, implementation kind, and the checksum binding the
+// structure to the vectors the caller supplies.
+func validateSnapshot(snap *Snapshot, kind string, vecs map[int][]float32) error {
+	if snap == nil {
+		return fmt.Errorf("index: nil snapshot")
+	}
+	if snap.Version != SnapshotVersion {
+		return fmt.Errorf("index: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	if snap.Kind != kind {
+		return fmt.Errorf("index: snapshot kind %q, want %q", snap.Kind, kind)
+	}
+	if snap.Count != len(vecs) {
+		return fmt.Errorf("index: snapshot covers %d vectors, records carry %d", snap.Count, len(vecs))
+	}
+	if got := ChecksumVectors(vecs); got != snap.Checksum {
+		return fmt.Errorf("index: snapshot checksum mismatch (stale snapshot or edited records)")
+	}
+	return nil
+}
+
+// copyVecs deep-copies a vector map so an index never shares slices with
+// its caller.
+func copyVecs(vecs map[int][]float32) map[int][]float32 {
+	out := make(map[int][]float32, len(vecs))
+	for id, v := range vecs {
+		out[id] = append([]float32(nil), v...)
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package index
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// liveCorpus builds a randomized corpus (with interleaved deletes and
+// re-upserts) into every supplied index, returning the surviving vectors.
+func liveCorpus(rng *rand.Rand, n, dim int, idxs ...VectorIndex) map[int][]float32 {
+	live := map[int][]float32{}
+	for id := 1; id <= n; id++ {
+		v := unitVec(rng, dim)
+		live[id] = v
+		for _, ix := range idxs {
+			ix.Upsert(id, v)
+		}
+		switch rng.Intn(10) {
+		case 0:
+			victim := rng.Intn(id) + 1
+			delete(live, victim)
+			for _, ix := range idxs {
+				ix.Delete(victim)
+			}
+		case 1:
+			victim := rng.Intn(id) + 1
+			if _, ok := live[victim]; ok {
+				nv := unitVec(rng, dim)
+				live[victim] = nv
+				for _, ix := range idxs {
+					ix.Upsert(victim, nv)
+				}
+			}
+		}
+	}
+	return live
+}
+
+// Property: Snapshot → JSON → Restore round-trips a clustered index
+// byte-identically to serving state — same centroids, and identical search
+// results at the *configured* (limited) probe count, not just under a full
+// probe. The restored index must answer without having retrained.
+func TestClusteredSnapshotRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, centRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%500) + 50
+		centroids := int(centRaw%16) + 2
+
+		src := NewClustered(ClusteredConfig{Centroids: centroids, NProbe: 2})
+		live := liveCorpus(rng, n, 24, src)
+		src.WaitRetrain()
+
+		snap := src.Snapshot()
+		data, err := json.Marshal(snap)
+		if err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		var decoded Snapshot
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+
+		dst := NewClustered(ClusteredConfig{Centroids: centroids, NProbe: 2})
+		if err := dst.Restore(&decoded, live); err != nil {
+			t.Logf("restore: %v", err)
+			return false
+		}
+		if dst.Retrains() != 0 {
+			t.Logf("restore ran %d retrains, want 0", dst.Retrains())
+			return false
+		}
+		if src.trained != nil {
+			if dst.trained == nil {
+				t.Log("trained structure lost in round trip")
+				return false
+			}
+			if !reflect.DeepEqual(src.trained.centroids, dst.trained.centroids) {
+				t.Log("centroids diverged in round trip")
+				return false
+			}
+		}
+		for q := 0; q < 5; q++ {
+			query := unitVec(rng, 24)
+			got := dst.Search(query, 10, nil)
+			want := src.Search(query, 10, nil)
+			if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Logf("seed=%d n=%d centroids=%d: restored search diverged\n got %v\nwant %v",
+					seed, n, centroids, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlatSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := NewFlat()
+	live := liveCorpus(rng, 120, 16, src)
+
+	snap := src.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewFlat()
+	if err := dst.Restore(&decoded, live); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 5; q++ {
+		query := unitVec(rng, 16)
+		got, want := dst.Search(query, 7, nil), src.Search(query, 7, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("restored flat diverged:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// Restore must fail closed — wrong kind, wrong version, or a vector set the
+// snapshot's checksum does not cover leaves the index untouched so the
+// caller can rebuild.
+func TestRestoreRejectsMismatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := NewClustered(ClusteredConfig{Centroids: 4})
+	live := map[int][]float32{}
+	for id := 1; id <= 100; id++ {
+		v := unitVec(rng, 8)
+		live[id] = v
+		src.Upsert(id, v)
+	}
+	src.WaitRetrain()
+	good := src.Snapshot()
+
+	if err := NewFlat().Restore(good, live); err == nil {
+		t.Error("flat restore of a clustered snapshot should fail")
+	}
+
+	stale := *good
+	stale.Version = SnapshotVersion + 1
+	if err := NewClustered(ClusteredConfig{}).Restore(&stale, live); err == nil {
+		t.Error("future-version snapshot should fail")
+	}
+
+	// Mutate one vector: the records no longer match the trained structure.
+	edited := map[int][]float32{}
+	for id, v := range live {
+		edited[id] = v
+	}
+	edited[50] = unitVec(rng, 8)
+	dst := NewClustered(ClusteredConfig{})
+	if err := dst.Restore(good, edited); err == nil {
+		t.Error("checksum mismatch should fail")
+	}
+	if dst.Len() != 0 {
+		t.Errorf("failed restore mutated the index: len=%d", dst.Len())
+	}
+
+	// A missing record changes the count/checksum too.
+	delete(edited, 50)
+	if err := NewClustered(ClusteredConfig{}).Restore(good, edited); err == nil {
+		t.Error("count mismatch should fail")
+	}
+
+	// A pinned centroid count that disagrees with the snapshot must reject
+	// it (the flag would otherwise silently be a no-op); auto accepts.
+	if err := NewClustered(ClusteredConfig{Centroids: 32}).Restore(good, live); err == nil {
+		t.Error("pinned-centroid mismatch should fail")
+	}
+	if err := NewClustered(ClusteredConfig{Centroids: 4}).Restore(good, live); err != nil {
+		t.Errorf("matching pinned centroids failed: %v", err)
+	}
+	// A pinned count larger than the corpus at train time gets clamped by
+	// numCentroids; the snapshot that same config produced must restore.
+	big := NewClustered(ClusteredConfig{Centroids: 500})
+	for id, v := range live {
+		big.Upsert(id, v)
+	}
+	big.WaitRetrain()
+	if err := NewClustered(ClusteredConfig{Centroids: 500}).Restore(big.Snapshot(), live); err != nil {
+		t.Errorf("clamped pinned-centroid snapshot rejected by its own config: %v", err)
+	}
+
+	if err := NewClustered(ClusteredConfig{}).Restore(good, live); err != nil {
+		t.Errorf("pristine restore failed: %v", err)
+	}
+}
+
+// An untrained clustered snapshot (corpus below minTrainSize at save time)
+// restores into brute-scan mode and stays exact.
+func TestClusteredRestoreUntrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	src := NewClustered(ClusteredConfig{})
+	flat := NewFlat()
+	live := map[int][]float32{}
+	for id := 1; id < minTrainSize; id++ {
+		v := unitVec(rng, 8)
+		live[id] = v
+		src.Upsert(id, v)
+		flat.Upsert(id, v)
+	}
+	dst := NewClustered(ClusteredConfig{})
+	if err := dst.Restore(src.Snapshot(), live); err != nil {
+		t.Fatal(err)
+	}
+	q := unitVec(rng, 8)
+	if got, want := dst.Search(q, 10, nil), flat.Search(q, 10, nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("untrained restore diverged:\n got %+v\nwant %+v", got, want)
+	}
+}

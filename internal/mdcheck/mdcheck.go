@@ -1,0 +1,208 @@
+// Package mdcheck is the documentation linter behind `make docs`: it walks
+// a tree for Markdown files and verifies that relative links point at files
+// that exist and that fragment links (`file.md#section`, `#section`)
+// resolve to a real heading anchor, using GitHub's heading-slug rules. Docs
+// that drift from the code — a renamed file, a deleted section — fail the
+// build instead of rotting silently.
+package mdcheck
+
+import (
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Problem is one broken reference found in a Markdown file.
+type Problem struct {
+	File    string // path of the file containing the problem
+	Line    int    // 1-based line number
+	Message string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%s:%d: %s", p.File, p.Line, p.Message)
+}
+
+// linkRe matches inline Markdown links [text](target). Images share the
+// syntax with a leading '!', which the pattern also accepts.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// codeSpanRe matches inline code spans; their content is rendered literally
+// (a `[text](path.md)` span documents the syntax, it is not a link).
+var codeSpanRe = regexp.MustCompile("`[^`]*`")
+
+// headingRe matches ATX headings (# through ######).
+var headingRe = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*#*\s*$`)
+
+// slug converts a heading to its GitHub anchor: lowercase, spaces to
+// hyphens, punctuation dropped (hyphens and underscores survive). Inline
+// code/emphasis markers are stripped first.
+func slug(heading string) string {
+	h := strings.NewReplacer("`", "", "*", "").Replace(heading)
+	var sb strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(h)) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
+
+// doc is one parsed Markdown file: its anchors and the links to verify.
+type doc struct {
+	path    string
+	anchors map[string]bool
+	links   []link
+}
+
+type link struct {
+	target string
+	line   int
+}
+
+// parse reads a Markdown file, skipping fenced code blocks so example
+// snippets are neither headings nor links.
+func parse(path string) (*doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d := &doc{path: path, anchors: map[string]bool{}}
+	fence := "" // the marker that opened the current fenced block, if any
+	seen := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if fence == "" {
+			if strings.HasPrefix(trimmed, "```") {
+				fence = "```"
+				continue
+			}
+			if strings.HasPrefix(trimmed, "~~~") {
+				fence = "~~~"
+				continue
+			}
+		} else {
+			// Only the marker that opened the block closes it: a ``` line
+			// inside a ~~~ block is content (the standard way to show
+			// fenced examples), not a closer.
+			if strings.HasPrefix(trimmed, fence) {
+				fence = ""
+			}
+			continue
+		}
+		if m := headingRe.FindStringSubmatch(line); m != nil {
+			s := slug(m[2])
+			// GitHub de-duplicates repeated headings with -1, -2, ...
+			if n := seen[s]; n > 0 {
+				d.anchors[fmt.Sprintf("%s-%d", s, n)] = true
+			} else {
+				d.anchors[s] = true
+			}
+			seen[s]++
+			continue
+		}
+		// Strip inline code spans before link extraction (headings keep
+		// them: their text contributes to the anchor, which slug handles).
+		for _, m := range linkRe.FindAllStringSubmatch(codeSpanRe.ReplaceAllString(line, ""), -1) {
+			d.links = append(d.links, link{target: m[1], line: i + 1})
+		}
+	}
+	return d, nil
+}
+
+// Check walks root for .md files and returns every broken relative link or
+// unresolved heading anchor, sorted by file and line.
+func Check(root string) ([]Problem, error) {
+	docs := map[string]*doc{} // keyed by cleaned path
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if e.IsDir() {
+			name := e.Name()
+			if name == ".git" || name == "node_modules" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		d, err := parse(p)
+		if err != nil {
+			return nil, err
+		}
+		docs[filepath.Clean(p)] = d
+	}
+
+	var probs []Problem
+	for _, p := range paths {
+		d := docs[filepath.Clean(p)]
+		for _, l := range d.links {
+			if prob := checkLink(docs, d, l); prob != "" {
+				probs = append(probs, Problem{File: p, Line: l.line, Message: prob})
+			}
+		}
+	}
+	sort.Slice(probs, func(i, j int) bool {
+		if probs[i].File != probs[j].File {
+			return probs[i].File < probs[j].File
+		}
+		return probs[i].Line < probs[j].Line
+	})
+	return probs, nil
+}
+
+// checkLink validates one link target against the parsed corpus, returning
+// a problem description or "" when the link is fine. External schemes and
+// absolute paths are out of scope — only relative references can rot with
+// the repository.
+func checkLink(docs map[string]*doc, from *doc, l link) string {
+	target := l.target
+	if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+		return "" // http(s), mailto, ...
+	}
+	if strings.HasPrefix(target, "/") {
+		return "" // site-absolute: not resolvable inside the repo
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	if dec, err := url.PathUnescape(path); err == nil {
+		path = dec
+	}
+	resolved := filepath.Clean(from.path)
+	if path != "" {
+		resolved = filepath.Clean(filepath.Join(filepath.Dir(from.path), path))
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	td, ok := docs[resolved]
+	if !ok {
+		if path == "" || strings.EqualFold(filepath.Ext(resolved), ".md") {
+			return fmt.Sprintf("broken anchor %q: %s was not scanned", target, resolved)
+		}
+		return "" // fragment into a non-Markdown file: out of scope
+	}
+	if !td.anchors[frag] {
+		return fmt.Sprintf("broken anchor %q: no heading %q in %s", target, frag, resolved)
+	}
+	return ""
+}

@@ -1,0 +1,147 @@
+package mdcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Quickstart":             "quickstart",
+		"Flat vs Clustered":      "flat-vs-clustered",
+		"The `-index` flag":      "the--index-flag",
+		"Recall@10 (hard cases)": "recall10-hard-cases",
+		"snapshot_format notes":  "snapshot_format-notes", // GitHub keeps underscores
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "README.md", `# Top
+
+See [the docs](docs/guide.md) and [section two](docs/guide.md#second-part)
+or jump [within](#local-bit). External [ok](https://example.com/missing).
+
+## Local bit
+text
+`)
+	writeFile(t, dir, "docs/guide.md", `# Guide
+
+## Second part
+
+Back to [readme](../README.md).
+`)
+	probs, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 0 {
+		t.Fatalf("clean tree reported problems: %v", probs)
+	}
+}
+
+func TestCheckFindsBreakage(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "README.md", `# Top
+
+[gone](docs/missing.md)
+[bad anchor](guide.md#nope)
+[bad local](#nothing-here)
+`)
+	writeFile(t, dir, "guide.md", "# Guide\n")
+	probs, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 3 {
+		t.Fatalf("want 3 problems, got %v", probs)
+	}
+	for i, want := range []string{"missing.md", "nope", "nothing-here"} {
+		if !strings.Contains(probs[i].Message, want) {
+			t.Errorf("problem %d = %q, want mention of %q", i, probs[i].Message, want)
+		}
+		if probs[i].Line == 0 {
+			t.Errorf("problem %d has no line number", i)
+		}
+	}
+}
+
+func TestCodeFencesAreIgnored(t *testing.T) {
+	dir := t.TempDir()
+	fence := "```"
+	writeFile(t, dir, "README.md",
+		"# Top\n\n"+fence+"\n[not a link](nowhere.md)\n# not a heading\n"+fence+"\n\n[real](#top)\n")
+	probs, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 0 {
+		t.Fatalf("fenced content was checked: %v", probs)
+	}
+}
+
+func TestInlineCodeSpansAreIgnored(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "README.md",
+		"# Top\n\nUse the `[text](nowhere.md)` form for links.\n\n[real broken](gone.md)\n")
+	probs, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 1 || !strings.Contains(probs[0].Message, "gone.md") {
+		t.Fatalf("inline code span handling: %v", probs)
+	}
+}
+
+func TestMixedFenceMarkersDoNotDesync(t *testing.T) {
+	dir := t.TempDir()
+	// A tilde block showing a backtick fence as content: the inner ```
+	// must not close the block, and linting must resume after ~~~.
+	writeFile(t, dir, "README.md",
+		"# Top\n\n~~~\n```\n[not a link](nowhere.md)\n```\n~~~\n\n[bad](missing.md)\n")
+	probs, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 1 || !strings.Contains(probs[0].Message, "missing.md") {
+		t.Fatalf("fence desync: %v", probs)
+	}
+}
+
+func TestDuplicateHeadingsGetSuffixedAnchors(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "README.md", `# Top
+
+## Usage
+a
+## Usage
+b
+
+[first](#usage) [second](#usage-1)
+`)
+	probs, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 0 {
+		t.Fatalf("duplicate-heading anchors broke: %v", probs)
+	}
+}

@@ -3,6 +3,12 @@
 // one-way many-to-many user↔PE/workflow ownership, two-way many-to-many
 // PE↔workflow association, and stored embeddings for semantic search.
 //
+// The store owns three incrementally maintained vector indexes — PE
+// descriptions, PE code, and workflow descriptions — and persists their
+// trained structure (packed embeddings plus centroids/assignments) inside
+// its JSON snapshot, so Load restores a trained index with no k-means
+// retrain whenever the snapshot still matches the records.
+//
 // The paper hosts the registry on a remote web-based MySQL service; this
 // implementation is an embedded, JSON-persistable store with a configurable
 // simulated WAN latency so the remote-registry deployments of Table 5 can
@@ -18,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"laminar/internal/core"
@@ -39,18 +46,37 @@ type Store struct {
 	tokens        map[string]int       // session token → userID
 
 	// The registry owns one vector index per stored embedding kind and
-	// maintains both incrementally on PE register/update/delete, so
+	// maintains each incrementally on record register/update/delete, so
 	// semantic queries never re-snapshot the record set (Section 4.2/4.3).
 	indexFactory index.Factory
-	descIndex    index.VectorIndex // description embeddings (semantic search)
-	codeIndex    index.VectorIndex // code embeddings (code completion)
+	descIndex    index.VectorIndex // PE description embeddings (semantic search)
+	codeIndex    index.VectorIndex // PE code embeddings (code completion)
+	wfIndex      index.VectorIndex // workflow description embeddings
+
+	// loadedIndexSnaps stashes the index snapshots read by the last Load.
+	// Lifecycle: a successful restore (in Load or ConfigureIndex) clears
+	// it, and ConfigureIndex consumes it even on failure; it survives a
+	// failed Load-restore only so an embedder using the load-then-configure
+	// order can still restore (the checksum guards staleness). The one
+	// case that retains it for the store's lifetime is a kind-switch
+	// restart with no later ConfigureIndex — bounded by one registry's
+	// assignment maps.
+	loadedIndexSnaps *indexSnapshots
+	// indexesRestored records whether the live indexes came from a snapshot
+	// restore (true) or a rebuild (false) — observability for the
+	// restart-without-retrain guarantee.
+	indexesRestored bool
 
 	nextUserID     int
 	nextPEID       int
 	nextWorkflowID int
 
-	// latency simulates the WAN round trip to the remote registry service.
+	// latency simulates the WAN round trip to the remote registry service;
+	// wanHops counts the simulated round trips taken (observability, and it
+	// lets tests pin "one registry call" deterministically instead of
+	// timing sleeps).
 	latency time.Duration
+	wanHops atomic.Int64
 	// clock is injectable for tests.
 	clock func() time.Time
 }
@@ -69,6 +95,7 @@ func NewStore() *Store {
 		indexFactory:   factory,
 		descIndex:      factory(),
 		codeIndex:      factory(),
+		wfIndex:        factory(),
 		nextUserID:     1,
 		nextPEID:       1,
 		nextWorkflowID: 1,
@@ -77,12 +104,19 @@ func NewStore() *Store {
 }
 
 // ConfigureIndex swaps the vector-index implementation (e.g. for the
-// clustered ANN index) and rebuilds both indexes from the current PE set.
+// clustered ANN index) and repopulates all three indexes from the current
+// record set — restoring from the snapshots of the last Load when they
+// still match, retraining only when they don't. It consumes the stash
+// either way: a stash that failed here can only fail again (the records
+// it would have to match are not going to change back).
 func (s *Store) ConfigureIndex(factory index.Factory) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.indexFactory = factory
-	s.rebuildIndexesLocked()
+	if !s.tryRestoreIndexesLocked() {
+		s.rebuildIndexesLocked()
+	}
+	s.loadedIndexSnaps = nil
 }
 
 // IndexName reports the active vector-index implementation.
@@ -92,22 +126,82 @@ func (s *Store) IndexName() string {
 	return s.descIndex.Name()
 }
 
-func (s *Store) rebuildIndexesLocked() {
-	s.descIndex = s.indexFactory()
-	s.codeIndex = s.indexFactory()
-	for id, pe := range s.pes {
-		s.indexPELocked(id, pe)
+// IndexesRestored reports whether the live vector indexes were restored
+// from a persisted snapshot (no retrain) rather than rebuilt.
+func (s *Store) IndexesRestored() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.indexesRestored
+}
+
+// WaitIndexReady blocks until no background index retrain is in flight —
+// benchmarks and tests use it to measure a settled index; the serving path
+// never calls it.
+func (s *Store) WaitIndexReady() {
+	s.mu.RLock()
+	indexes := []index.VectorIndex{s.descIndex, s.codeIndex, s.wfIndex}
+	s.mu.RUnlock()
+	for _, idx := range indexes {
+		if w, ok := idx.(interface{ WaitRetrain() }); ok {
+			w.WaitRetrain()
+		}
 	}
 }
 
-// indexPELocked upserts a PE's stored embeddings into both indexes (empty
-// embeddings are skipped — such PEs are not semantically searchable).
+// RetrainIndexes forces one full synchronous retrain of every index that
+// supports it, reaching the same fully-trained-over-the-whole-corpus state
+// a snapshot restore reproduces instantly. The three indexes retrain
+// concurrently, mirroring the parallel restore path, so the
+// rebuild-vs-restore benchmark compares like with like. It is the
+// benchmark baseline for the restore path; serving deployments rely on
+// background retrains instead.
+func (s *Store) RetrainIndexes() {
+	s.mu.RLock()
+	indexes := []index.VectorIndex{s.descIndex, s.codeIndex, s.wfIndex}
+	s.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, idx := range indexes {
+		if tr, ok := idx.(interface{ TrainNow() }); ok {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tr.TrainNow()
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+func (s *Store) rebuildIndexesLocked() {
+	s.indexesRestored = false
+	s.descIndex = s.indexFactory()
+	s.codeIndex = s.indexFactory()
+	s.wfIndex = s.indexFactory()
+	for id, pe := range s.pes {
+		s.indexPELocked(id, pe)
+	}
+	for id, wf := range s.workflows {
+		s.indexWorkflowLocked(id, wf)
+	}
+}
+
+// indexPELocked upserts a PE's stored embeddings into both PE indexes
+// (empty embeddings are skipped — such PEs are not semantically
+// searchable).
 func (s *Store) indexPELocked(id int, pe *core.PERecord) {
 	if len(pe.DescEmbedding) > 0 {
 		s.descIndex.Upsert(id, pe.DescEmbedding)
 	}
 	if len(pe.CodeEmbedding) > 0 {
 		s.codeIndex.Upsert(id, pe.CodeEmbedding)
+	}
+}
+
+// indexWorkflowLocked upserts a workflow's description embedding into the
+// workflow index.
+func (s *Store) indexWorkflowLocked(id int, wf *core.WorkflowRecord) {
+	if len(wf.DescEmbedding) > 0 {
+		s.wfIndex.Upsert(id, wf.DescEmbedding)
 	}
 }
 
@@ -120,6 +214,7 @@ func (s *Store) SetLatency(d time.Duration) {
 }
 
 func (s *Store) simulateWAN() {
+	s.wanHops.Add(1)
 	s.mu.RLock()
 	d := s.latency
 	s.mu.RUnlock()
@@ -127,6 +222,10 @@ func (s *Store) simulateWAN() {
 		time.Sleep(d)
 	}
 }
+
+// WANHops reports how many simulated remote round trips the store has
+// served.
+func (s *Store) WANHops() int64 { return s.wanHops.Load() }
 
 func hashPassword(userName, password string) string {
 	h := sha256.Sum256([]byte("laminar:" + userName + ":" + password))
@@ -235,8 +334,23 @@ func (s *Store) AddPE(userID int, req core.AddPERequest) (*core.PERecord, error)
 	}
 	for _, pe := range s.pes {
 		if pe.PEName == req.PEName {
-			// Same name: associate this user as an additional owner.
+			// Same name: associate this user as an additional owner. As with
+			// workflows, adopt embeddings the stored record lacks (a record
+			// predating stored embeddings, re-registered by a newer client)
+			// rather than silently discarding what the client computed.
 			s.userPEs[userID][pe.PEID] = true
+			adopted := false
+			if len(pe.DescEmbedding) == 0 && len(req.DescEmbedding) > 0 {
+				pe.DescEmbedding = append([]float32(nil), req.DescEmbedding...)
+				adopted = true
+			}
+			if len(pe.CodeEmbedding) == 0 && len(req.CodeEmbedding) > 0 {
+				pe.CodeEmbedding = append([]float32(nil), req.CodeEmbedding...)
+				adopted = true
+			}
+			if adopted {
+				s.indexPELocked(pe.PEID, pe)
+			}
 			return pe, nil
 		}
 	}
@@ -361,19 +475,29 @@ func (s *Store) AddWorkflow(userID int, req core.AddWorkflowRequest) (*core.Work
 	for _, wf := range s.workflows {
 		if wf.EntryPoint == req.EntryPoint {
 			s.userWorkflows[userID][wf.WorkflowID] = true
+			// Adopt an embedding the stored record lacks (a record predating
+			// workflow embeddings, re-registered by a newer client) so the
+			// workflow becomes semantically searchable instead of silently
+			// dropping what the client computed.
+			if len(wf.DescEmbedding) == 0 && len(req.DescEmbedding) > 0 {
+				wf.DescEmbedding = append([]float32(nil), req.DescEmbedding...)
+				s.indexWorkflowLocked(wf.WorkflowID, wf)
+			}
 			return wf, nil
 		}
 	}
 	wf := &core.WorkflowRecord{
-		WorkflowID:   s.nextWorkflowID,
-		WorkflowName: req.WorkflowName,
-		EntryPoint:   req.EntryPoint,
-		Description:  req.Description,
-		WorkflowCode: req.WorkflowCode,
-		CreatedAt:    s.clock(),
+		WorkflowID:    s.nextWorkflowID,
+		WorkflowName:  req.WorkflowName,
+		EntryPoint:    req.EntryPoint,
+		Description:   req.Description,
+		WorkflowCode:  req.WorkflowCode,
+		DescEmbedding: append([]float32(nil), req.DescEmbedding...),
+		CreatedAt:     s.clock(),
 	}
 	s.nextWorkflowID++
 	s.workflows[wf.WorkflowID] = wf
+	s.indexWorkflowLocked(wf.WorkflowID, wf)
 	s.userWorkflows[userID][wf.WorkflowID] = true
 	s.workflowPEs[wf.WorkflowID] = map[int]bool{}
 	for _, peID := range req.PEIDs {
@@ -450,6 +574,7 @@ func (s *Store) RemoveWorkflow(userID, wfID int) error {
 	if !owned {
 		delete(s.workflows, wfID)
 		delete(s.workflowPEs, wfID)
+		s.wfIndex.Delete(wfID)
 	}
 	return nil
 }
@@ -526,6 +651,36 @@ func (s *Store) CompletionSearch(userID int, queryEmbedding []float32, limit int
 	return s.indexSearch(userID, queryEmbedding, limit, true)
 }
 
+// SemanticSearchWorkflows ranks the user's visible workflows against a
+// description-embedding query via the workflow index — the paper only
+// indexes PEs; this makes SearchBoth semantic for both registry kinds.
+func (s *Store) SemanticSearchWorkflows(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
+	s.simulateWAN()
+	if limit <= 0 {
+		limit = search.DefaultLimit
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wfHitsLocked(userID, queryEmbedding, limit)
+}
+
+// SemanticSearchBoth probes the PE-description and workflow indexes in a
+// single registry round trip (one simulated WAN hop, one lock hold) and
+// merges the two score-descending lists — the SearchBoth serving path must
+// not pay the remote-registry latency twice.
+func (s *Store) SemanticSearchBoth(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
+	s.simulateWAN()
+	if limit <= 0 {
+		limit = search.DefaultLimit
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return search.MergeRanked(
+		s.peHitsLocked(userID, queryEmbedding, limit, false),
+		s.wfHitsLocked(userID, queryEmbedding, limit),
+		limit)
+}
+
 func (s *Store) indexSearch(userID int, query []float32, limit int, code bool) []core.SearchHit {
 	s.simulateWAN()
 	if limit <= 0 {
@@ -533,6 +688,12 @@ func (s *Store) indexSearch(userID int, query []float32, limit int, code bool) [
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.peHitsLocked(userID, query, limit, code)
+}
+
+// peHitsLocked probes a PE index (description or code embeddings) under the
+// held read lock and resolves the candidates to hits.
+func (s *Store) peHitsLocked(userID int, query []float32, limit int, code bool) []core.SearchHit {
 	idx := s.descIndex
 	if code {
 		idx = s.codeIndex
@@ -544,6 +705,18 @@ func (s *Store) indexSearch(userID int, query []float32, limit int, code bool) [
 			return *pe, true
 		}
 		return core.PERecord{}, false
+	})
+}
+
+// wfHitsLocked probes the workflow index under the held read lock.
+func (s *Store) wfHitsLocked(userID int, query []float32, limit int) []core.SearchHit {
+	visible := s.userWorkflows[userID]
+	cands := s.wfIndex.Search(query, limit, func(id int) bool { return visible[id] })
+	return search.WorkflowHitsFromCandidates(cands, func(id int) (core.WorkflowRecord, bool) {
+		if wf := s.workflows[id]; wf != nil {
+			return *wf, true
+		}
+		return core.WorkflowRecord{}, false
 	})
 }
 
@@ -561,6 +734,25 @@ type snapshot struct {
 	NextUserID     int                   `json:"nextUserId"`
 	NextPEID       int                   `json:"nextPeId"`
 	NextWorkflowID int                   `json:"nextWorkflowId"`
+	// Embeddings are persisted packed (base64 float32, see packedVec) in
+	// these id-keyed maps rather than inline in the records — at registry
+	// scale the inline JSON number arrays dominated both file size and
+	// load time. Legacy files carry them inline instead; Load accepts both.
+	PEDescVecs       map[int]packedVec `json:"peDescVecs,omitempty"`
+	PECodeVecs       map[int]packedVec `json:"peCodeVecs,omitempty"`
+	WorkflowDescVecs map[int]packedVec `json:"workflowDescVecs,omitempty"`
+	// Indexes carries the serialized vector-index structure (centroids +
+	// shard assignments, not vectors — those live in the maps above) so
+	// a restart restores the trained clustering instead of re-running
+	// k-means. Absent in pre-index snapshot files, which simply rebuild.
+	Indexes *indexSnapshots `json:"indexes,omitempty"`
+}
+
+// indexSnapshots groups the per-embedding-kind index snapshots.
+type indexSnapshots struct {
+	Desc     *index.Snapshot `json:"desc,omitempty"`
+	Code     *index.Snapshot `json:"code,omitempty"`
+	Workflow *index.Snapshot `json:"workflow,omitempty"`
 }
 
 // Save writes the registry to a JSON file.
@@ -579,11 +771,28 @@ func (s *Store) Save(path string) error {
 		snap.Users = append(snap.Users, *u)
 		snap.PasswordHashes[u.UserID] = u.PasswordHash
 	}
+	snap.PEDescVecs = map[int]packedVec{}
+	snap.PECodeVecs = map[int]packedVec{}
+	snap.WorkflowDescVecs = map[int]packedVec{}
 	for _, pe := range s.pes {
-		snap.PEs = append(snap.PEs, *pe)
+		rec := *pe
+		if len(rec.DescEmbedding) > 0 {
+			snap.PEDescVecs[rec.PEID] = packedVec(rec.DescEmbedding)
+			rec.DescEmbedding = nil
+		}
+		if len(rec.CodeEmbedding) > 0 {
+			snap.PECodeVecs[rec.PEID] = packedVec(rec.CodeEmbedding)
+			rec.CodeEmbedding = nil
+		}
+		snap.PEs = append(snap.PEs, rec)
 	}
 	for _, wf := range s.workflows {
-		snap.Workflows = append(snap.Workflows, *wf)
+		rec := *wf
+		if len(rec.DescEmbedding) > 0 {
+			snap.WorkflowDescVecs[rec.WorkflowID] = packedVec(rec.DescEmbedding)
+			rec.DescEmbedding = nil
+		}
+		snap.Workflows = append(snap.Workflows, rec)
 	}
 	for uid, set := range s.userPEs {
 		snap.UserPEs[uid] = setToSlice(set)
@@ -594,6 +803,11 @@ func (s *Store) Save(path string) error {
 	for wid, set := range s.workflowPEs {
 		snap.WorkflowPEs[wid] = setToSlice(set)
 	}
+	snap.Indexes = &indexSnapshots{
+		Desc:     s.descIndex.Snapshot(),
+		Code:     s.codeIndex.Snapshot(),
+		Workflow: s.wfIndex.Snapshot(),
+	}
 	s.mu.RUnlock()
 	sort.Slice(snap.Users, func(i, j int) bool { return snap.Users[i].UserID < snap.Users[j].UserID })
 	sort.Slice(snap.PEs, func(i, j int) bool { return snap.PEs[i].PEID < snap.PEs[j].PEID })
@@ -602,7 +816,32 @@ func (s *Store) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("registry: marshal snapshot: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	// Atomic replace: a crash mid-write must never leave a truncated file
+	// where the previous good snapshot used to be (Load refuses to boot
+	// over damaged JSON, so a torn write would otherwise wedge restarts).
+	// The data is fsynced before the rename — without it, some filesystems
+	// commit the rename ahead of the data blocks and power loss still
+	// yields an empty file.
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("registry: write snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("registry: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("registry: install snapshot: %w", err)
+	}
+	return nil
 }
 
 // Load replaces the registry contents from a JSON file.
@@ -632,10 +871,21 @@ func (s *Store) Load(path string) error {
 	}
 	for i := range snap.PEs {
 		pe := snap.PEs[i]
+		// Re-attach packed embeddings; legacy files carry them inline and
+		// the maps are simply absent.
+		if v, ok := snap.PEDescVecs[pe.PEID]; ok && len(pe.DescEmbedding) == 0 {
+			pe.DescEmbedding = v
+		}
+		if v, ok := snap.PECodeVecs[pe.PEID]; ok && len(pe.CodeEmbedding) == 0 {
+			pe.CodeEmbedding = v
+		}
 		s.pes[pe.PEID] = &pe
 	}
 	for i := range snap.Workflows {
 		wf := snap.Workflows[i]
+		if v, ok := snap.WorkflowDescVecs[wf.WorkflowID]; ok && len(wf.DescEmbedding) == 0 {
+			wf.DescEmbedding = v
+		}
 		s.workflows[wf.WorkflowID] = &wf
 	}
 	for uid, ids := range snap.UserPEs {
@@ -663,8 +913,85 @@ func (s *Store) Load(path string) error {
 	s.nextUserID = snap.NextUserID
 	s.nextPEID = snap.NextPEID
 	s.nextWorkflowID = snap.NextWorkflowID
-	s.rebuildIndexesLocked()
+	// Restore the persisted index structure when it still matches the
+	// records (same kind, same version, checksum over exactly these
+	// embeddings); otherwise — missing, stale, or foreign-kind snapshot —
+	// fall back to a full rebuild. The snapshots are also stashed so a
+	// later ConfigureIndex (the façade selects the index kind after
+	// loading) gets the same restore-first treatment.
+	s.loadedIndexSnaps = snap.Indexes
+	if !s.tryRestoreIndexesLocked() {
+		s.rebuildIndexesLocked()
+	}
 	return nil
+}
+
+// embeddingSetsLocked collects the per-kind embedding maps exactly as the
+// indexes hold them: only records with a non-empty embedding appear (the
+// rest are not semantically searchable), so the maps line up with the
+// snapshot checksums.
+func (s *Store) embeddingSetsLocked() (desc, code, wf map[int][]float32) {
+	desc = map[int][]float32{}
+	code = map[int][]float32{}
+	wf = map[int][]float32{}
+	for id, pe := range s.pes {
+		if len(pe.DescEmbedding) > 0 {
+			desc[id] = pe.DescEmbedding
+		}
+		if len(pe.CodeEmbedding) > 0 {
+			code[id] = pe.CodeEmbedding
+		}
+	}
+	for id, w := range s.workflows {
+		if len(w.DescEmbedding) > 0 {
+			wf[id] = w.DescEmbedding
+		}
+	}
+	return desc, code, wf
+}
+
+// tryRestoreIndexesLocked attempts to bring up all three indexes from the
+// snapshots stashed by the last Load, restoring them in parallel (checksum
+// validation and vector copies dominate and are independent per index).
+// All-or-nothing: a single mismatch (kind, version, checksum) leaves the
+// previous indexes in place and reports false so the caller rebuilds
+// instead.
+func (s *Store) tryRestoreIndexesLocked() bool {
+	snaps := s.loadedIndexSnaps
+	if snaps == nil || snaps.Desc == nil || snaps.Code == nil || snaps.Workflow == nil {
+		return false
+	}
+	descVecs, codeVecs, wfVecs := s.embeddingSetsLocked()
+	desc, code, wf := s.indexFactory(), s.indexFactory(), s.indexFactory()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i, r := range []struct {
+		idx  index.VectorIndex
+		snap *index.Snapshot
+		vecs map[int][]float32
+	}{
+		{desc, snaps.Desc, descVecs},
+		{code, snaps.Code, codeVecs},
+		{wf, snaps.Workflow, wfVecs},
+	} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = r.idx.Restore(r.snap, r.vecs)
+		}()
+	}
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil || errs[2] != nil {
+		return false
+	}
+	s.descIndex, s.codeIndex, s.wfIndex = desc, code, wf
+	s.indexesRestored = true
+	// The stash has served its purpose; dropping it releases the O(N)
+	// assignment maps instead of pinning them for the store's lifetime.
+	// (On failure Load keeps it for a subsequent ConfigureIndex with the
+	// matching kind, which consumes it either way.)
+	s.loadedIndexSnaps = nil
+	return true
 }
 
 func setToSlice(set map[int]bool) []int {

@@ -1,13 +1,17 @@
 package registry
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"laminar/internal/core"
 	"laminar/internal/index"
+	"laminar/internal/search"
 )
 
 func newUser(t *testing.T, s *Store, name string) *core.UserRecord {
@@ -347,6 +351,124 @@ func TestLoadRebuildsIndexes(t *testing.T) {
 	}
 }
 
+func addEmbeddedWorkflow(t *testing.T, s *Store, userID int, name string, emb []float32) *core.WorkflowRecord {
+	t.Helper()
+	wf, err := s.AddWorkflow(userID, core.AddWorkflowRequest{
+		WorkflowName: name, EntryPoint: name, Description: "wf " + name,
+		WorkflowCode: "WF-" + name, DescEmbedding: emb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wf
+}
+
+func TestWorkflowSemanticSearch(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "zz46")
+	w1 := addEmbeddedWorkflow(t, s, u.UserID, "seismic", []float32{1, 0})
+	w2 := addEmbeddedWorkflow(t, s, u.UserID, "astro", []float32{0, 1})
+
+	hits := s.SemanticSearchWorkflows(u.UserID, []float32{1, 0}, 10)
+	if len(hits) != 2 || hits[0].ID != w1.WorkflowID || hits[0].Kind != "workflow" {
+		t.Fatalf("workflow hits: %+v", hits)
+	}
+	// removal evicts from the workflow index
+	if err := s.RemoveWorkflow(u.UserID, w1.WorkflowID); err != nil {
+		t.Fatal(err)
+	}
+	hits = s.SemanticSearchWorkflows(u.UserID, []float32{1, 0}, 10)
+	if len(hits) != 1 || hits[0].ID != w2.WorkflowID {
+		t.Fatalf("after remove: %+v", hits)
+	}
+	// ownership filtering
+	other := newUser(t, s, "other")
+	if hits := s.SemanticSearchWorkflows(other.UserID, []float32{1, 0}, 10); len(hits) != 0 {
+		t.Fatalf("foreign workflows visible: %+v", hits)
+	}
+}
+
+// TestPEReRegistrationAdoptsEmbeddings mirrors the workflow adoption path:
+// a PE stored without embeddings becomes searchable when a newer client
+// re-registers the name with them.
+func TestPEReRegistrationAdoptsEmbeddings(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "zz46")
+	if _, err := s.AddPE(u.UserID, core.AddPERequest{PEName: "Legacy", PECode: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.SemanticSearch(u.UserID, []float32{1, 0}, 10); len(hits) != 0 {
+		t.Fatalf("embedding-less PE searchable: %+v", hits)
+	}
+	pe, err := s.AddPE(u.UserID, core.AddPERequest{
+		PEName: "Legacy", PECode: "c",
+		DescEmbedding: []float32{1, 0}, CodeEmbedding: []float32{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.SemanticSearch(u.UserID, []float32{1, 0}, 10); len(hits) != 1 || hits[0].ID != pe.PEID {
+		t.Fatalf("adopted desc embedding not indexed: %+v", hits)
+	}
+	if hits := s.CompletionSearch(u.UserID, []float32{0, 1}, 10); len(hits) != 1 || hits[0].ID != pe.PEID {
+		t.Fatalf("adopted code embedding not indexed: %+v", hits)
+	}
+}
+
+// TestWorkflowReRegistrationAdoptsEmbedding: re-registering an existing
+// entry point with an embedding the stored record lacks must make the
+// workflow semantically searchable rather than silently dropping it.
+func TestWorkflowReRegistrationAdoptsEmbedding(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "zz46")
+	// Registered by an embedding-less client: invisible to semantic search.
+	if _, err := s.AddWorkflow(u.UserID, core.AddWorkflowRequest{
+		EntryPoint: "legacy", WorkflowCode: "WF",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.SemanticSearchWorkflows(u.UserID, []float32{1, 0}, 10); len(hits) != 0 {
+		t.Fatalf("embedding-less workflow searchable: %+v", hits)
+	}
+	// Same entry point re-registered by a newer client carrying one.
+	wf, err := s.AddWorkflow(u.UserID, core.AddWorkflowRequest{
+		EntryPoint: "legacy", WorkflowCode: "WF", DescEmbedding: []float32{1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := s.SemanticSearchWorkflows(u.UserID, []float32{1, 0}, 10)
+	if len(hits) != 1 || hits[0].ID != wf.WorkflowID {
+		t.Fatalf("adopted embedding not indexed: %+v", hits)
+	}
+}
+
+// TestSemanticSearchBothSingleRoundTrip: the combined search must return
+// the score-merge of the two kinds while paying the simulated WAN latency
+// once, not once per index.
+func TestSemanticSearchBothSingleRoundTrip(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "zz46")
+	addEmbeddedPE(t, s, u.UserID, "A", "alpha", []float32{1, 0})
+	addEmbeddedPE(t, s, u.UserID, "B", "beta", []float32{0, 1})
+	addEmbeddedWorkflow(t, s, u.UserID, "wfA", []float32{0.9, 0.1})
+
+	query := []float32{1, 0}
+	want := search.MergeRanked(
+		s.SemanticSearch(u.UserID, query, 10),
+		s.SemanticSearchWorkflows(u.UserID, query, 10), 10)
+	got := s.SemanticSearchBoth(u.UserID, query, 10)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SemanticSearchBoth diverged from merged parts:\n got %+v\nwant %+v", got, want)
+	}
+
+	before := s.WANHops()
+	s.SemanticSearchBoth(u.UserID, query, 10)
+	if hops := s.WANHops() - before; hops != 1 {
+		t.Fatalf("SemanticSearchBoth made %d WAN round trips, want 1", hops)
+	}
+}
+
 func TestConfigureIndexPreservesResults(t *testing.T) {
 	s := NewStore()
 	u := newUser(t, s, "zz46")
@@ -368,5 +490,185 @@ func TestConfigureIndexPreservesResults(t *testing.T) {
 	clusHits := s.SemanticSearch(u.UserID, query, 10)
 	if !reflect.DeepEqual(flatHits, clusHits) {
 		t.Fatalf("full-probe clustered diverged from flat:\n flat %+v\n clus %+v", flatHits, clusHits)
+	}
+}
+
+// ---- index persistence ----
+
+func clusteredFactory() index.Factory {
+	return func() index.VectorIndex {
+		return index.NewClustered(index.ClusteredConfig{Centroids: 8, NProbe: 3})
+	}
+}
+
+// circleVec is a deterministic unit-vector family for persistence tests.
+func circleVec(i, n int) []float32 {
+	angle := 2 * math.Pi * float64(i) / float64(n)
+	return []float32{float32(0.8 * math.Cos(angle)), float32(0.8 * math.Sin(angle)), 0.6}
+}
+
+// populate fills a store with n embedded PEs and n/2 embedded workflows.
+func populate(t *testing.T, s *Store, n int) *core.UserRecord {
+	t.Helper()
+	u := newUser(t, s, "zz46")
+	for i := 0; i < n; i++ {
+		addEmbeddedPE(t, s, u.UserID, fmt.Sprintf("PE%03d", i), "pe", circleVec(i, n))
+	}
+	for i := 0; i < n/2; i++ {
+		addEmbeddedWorkflow(t, s, u.UserID, fmt.Sprintf("wf%03d", i), circleVec(i, n/2))
+	}
+	return u
+}
+
+// TestSaveLoadRestoresClusteredWithoutRetrain is the restart guarantee: a
+// clustered deployment saves its trained structure and a fresh process
+// restores it byte-identically to serving state — same limited-probe search
+// results — with zero k-means retrains.
+func TestSaveLoadRestoresClusteredWithoutRetrain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.json")
+	s := NewStore()
+	s.ConfigureIndex(clusteredFactory())
+	u := populate(t, s, 200)
+	s.WaitIndexReady()
+	query := []float32{0.7, 0.3, 0.1}
+	wantPE := s.SemanticSearch(u.UserID, query, 10)
+	wantCode := s.CompletionSearch(u.UserID, query, 10)
+	wantWF := s.SemanticSearchWorkflows(u.UserID, query, 10)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewStore()
+	fresh.ConfigureIndex(clusteredFactory())
+	if err := fresh.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.IndexesRestored() {
+		t.Fatal("indexes were rebuilt, not restored from snapshot")
+	}
+	for name, idx := range map[string]index.VectorIndex{
+		"desc": fresh.descIndex, "code": fresh.codeIndex, "workflow": fresh.wfIndex,
+	} {
+		c, ok := idx.(*index.Clustered)
+		if !ok {
+			t.Fatalf("%s index is %T, want clustered", name, idx)
+		}
+		if c.Retrains() != 0 {
+			t.Fatalf("%s index retrained %d times on restore, want 0", name, c.Retrains())
+		}
+	}
+	if got := fresh.SemanticSearch(u.UserID, query, 10); !reflect.DeepEqual(got, wantPE) {
+		t.Fatalf("restored PE search diverged:\n got %+v\nwant %+v", got, wantPE)
+	}
+	if got := fresh.CompletionSearch(u.UserID, query, 10); !reflect.DeepEqual(got, wantCode) {
+		t.Fatalf("restored code search diverged:\n got %+v\nwant %+v", got, wantCode)
+	}
+	if got := fresh.SemanticSearchWorkflows(u.UserID, query, 10); !reflect.DeepEqual(got, wantWF) {
+		t.Fatalf("restored workflow search diverged:\n got %+v\nwant %+v", got, wantWF)
+	}
+}
+
+// TestConfigureIndexAfterLoadRestores covers the façade's order of
+// operations when the kinds differ at load time: Load under the default
+// flat factory (clustered snapshot rejected, flat rebuild), then
+// ConfigureIndex(clustered) restores from the stashed snapshots instead of
+// retraining.
+func TestConfigureIndexAfterLoadRestores(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.json")
+	s := NewStore()
+	s.ConfigureIndex(clusteredFactory())
+	u := populate(t, s, 150)
+	s.WaitIndexReady()
+	query := []float32{0.2, -0.9, 0.4}
+	want := s.SemanticSearch(u.UserID, query, 10)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewStore() // flat factory
+	if err := fresh.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.IndexesRestored() {
+		t.Fatal("clustered snapshot restored into a flat index")
+	}
+	fresh.ConfigureIndex(clusteredFactory())
+	if !fresh.IndexesRestored() {
+		t.Fatal("ConfigureIndex after Load rebuilt instead of restoring")
+	}
+	if c := fresh.descIndex.(*index.Clustered); c.Retrains() != 0 {
+		t.Fatalf("restore retrained %d times", c.Retrains())
+	}
+	if got := fresh.SemanticSearch(u.UserID, query, 10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored search diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLoadFlatRestoreSkipsRebuild: with the default flat factory a clean
+// snapshot restores directly — Load no longer unconditionally rebuilds.
+func TestLoadFlatRestoreSkipsRebuild(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.json")
+	s := NewStore()
+	u := populate(t, s, 20)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStore()
+	if err := fresh.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.IndexesRestored() {
+		t.Fatal("flat snapshot did not restore cleanly")
+	}
+	query := []float32{1, 0, 0}
+	if got, want := fresh.SemanticSearch(u.UserID, query, 5), s.SemanticSearch(u.UserID, query, 5); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored flat search diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLoadStaleSnapshotFallsBackToRebuild: records edited behind the
+// snapshot's back fail the checksum and trigger a full rebuild — queries
+// then reflect the *edited* records, never the stale structure.
+func TestLoadStaleSnapshotFallsBackToRebuild(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.json")
+	s := NewStore()
+	s.ConfigureIndex(clusteredFactory())
+	u := populate(t, s, 100)
+	s.WaitIndexReady()
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit one embedding in the file without touching the index snapshot.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.PEDescVecs[snap.PEs[0].PEID] = packedVec{0, 0, 1}
+	edited, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewStore()
+	fresh.ConfigureIndex(clusteredFactory())
+	if err := fresh.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.IndexesRestored() {
+		t.Fatal("stale snapshot restored despite checksum mismatch")
+	}
+	fresh.WaitIndexReady()
+	// The rebuilt index serves the edited embedding.
+	hits := fresh.SemanticSearch(u.UserID, []float32{0, 0, 1}, 1)
+	if len(hits) != 1 || hits[0].ID != snap.PEs[0].PEID {
+		t.Fatalf("rebuild did not pick up edited records: %+v", hits)
 	}
 }

@@ -4,6 +4,11 @@
 // retrieval-based code completion over stored code embeddings (4.3). The
 // bi-encoder contract (Section 2.4) is honored throughout: embeddings are
 // computed once at registration and only compared at query time.
+//
+// Beyond the paper, workflow descriptions are embedded with the same text
+// model as PE descriptions, so a semantic SearchBoth ranks both registry
+// kinds in one cosine space (MergeRanked) instead of falling back to text
+// matching for workflows.
 package search
 
 import (
@@ -189,4 +194,67 @@ func HitsFromCandidates(cands []index.Candidate, lookup func(id int) (core.PERec
 		})
 	}
 	return hits
+}
+
+// WorkflowHitsFromCandidates is HitsFromCandidates for the workflow index:
+// candidates resolve to workflow records and hits carry Kind "workflow"
+// (named by entry point, like text search's workflow hits).
+func WorkflowHitsFromCandidates(cands []index.Candidate, lookup func(id int) (core.WorkflowRecord, bool)) []core.SearchHit {
+	if len(cands) == 0 {
+		return nil
+	}
+	hits := make([]core.SearchHit, 0, len(cands))
+	for _, c := range cands {
+		wf, ok := lookup(c.ID)
+		if !ok {
+			continue
+		}
+		hits = append(hits, core.SearchHit{
+			Kind: "workflow", ID: wf.WorkflowID, Name: wf.EntryPoint, Description: wf.Description, Score: c.Score,
+		})
+	}
+	return hits
+}
+
+// MergeRanked merges two score-descending hit lists into one, keeping the
+// best limit hits. Both semantic indexes embed with the same model, so PE
+// and workflow scores live in the same cosine space and rank directly
+// against each other (unlike text search, which has no scores and
+// interleaves instead). Ties break by kind then id, keeping SearchBoth
+// results deterministic.
+func MergeRanked(a, b []core.SearchHit, limit int) []core.SearchHit {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	better := func(x, y core.SearchHit) bool {
+		if x.Score != y.Score {
+			return x.Score > y.Score
+		}
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
+		}
+		return x.ID < y.ID
+	}
+	out := make([]core.SearchHit, 0, min(limit, len(a)+len(b)))
+	i, j := 0, 0
+	for len(out) < limit && (i < len(a) || j < len(b)) {
+		switch {
+		case i >= len(a):
+			out = append(out, b[j])
+			j++
+		case j >= len(b):
+			out = append(out, a[i])
+			i++
+		case better(a[i], b[j]):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }

@@ -221,3 +221,32 @@ func TestNormalize(t *testing.T) {
 		}
 	}
 }
+
+func TestMergeRanked(t *testing.T) {
+	pe := func(id int, score float64) core.SearchHit {
+		return core.SearchHit{Kind: "pe", ID: id, Score: score}
+	}
+	wf := func(id int, score float64) core.SearchHit {
+		return core.SearchHit{Kind: "workflow", ID: id, Score: score}
+	}
+	got := MergeRanked(
+		[]core.SearchHit{pe(1, 0.9), pe(2, 0.5), pe(3, 0.1)},
+		[]core.SearchHit{wf(1, 0.7), wf(2, 0.5), wf(3, 0.3)},
+		4)
+	want := []core.SearchHit{pe(1, 0.9), wf(1, 0.7), pe(2, 0.5), wf(2, 0.5)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge:\n got %+v\nwant %+v", got, want)
+	}
+	// ties break pe before workflow (kind then id), keeping merges stable
+	got = MergeRanked([]core.SearchHit{pe(7, 0.5)}, []core.SearchHit{wf(7, 0.5)}, 10)
+	if len(got) != 2 || got[0].Kind != "pe" {
+		t.Fatalf("tie break: %+v", got)
+	}
+	// one side empty, limit defaulting, nil on no hits
+	if got = MergeRanked(nil, []core.SearchHit{wf(1, 1)}, 0); len(got) != 1 {
+		t.Fatalf("one-sided merge: %+v", got)
+	}
+	if got = MergeRanked(nil, nil, 5); got != nil {
+		t.Fatalf("empty merge should be nil: %+v", got)
+	}
+}

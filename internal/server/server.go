@@ -430,8 +430,23 @@ func (s *Server) search(w http.ResponseWriter, user *core.UserRecord, req core.S
 		if emb == nil {
 			emb = search.EmbedDescription(req.Search)
 		}
-		hits = s.reg.SemanticSearch(user.UserID, emb, limit)
+		// Both kinds are semantically indexed (PE descriptions and workflow
+		// descriptions share the embedding model), so SearchBoth ranks them
+		// against each other in one cosine space.
+		switch req.SearchType {
+		case core.SearchPEs:
+			hits = s.reg.SemanticSearch(user.UserID, emb, limit)
+		case core.SearchWorkflows:
+			hits = s.reg.SemanticSearchWorkflows(user.UserID, emb, limit)
+		default: // SearchBoth: one registry round trip for both indexes
+			hits = s.reg.SemanticSearchBoth(user.UserID, emb, limit)
+		}
 	case core.QueryCode:
+		// Only PEs carry code embeddings; a workflow-only code query has
+		// nothing to rank and returns no hits.
+		if req.SearchType == core.SearchWorkflows {
+			break
+		}
 		emb := req.QueryEmbedding
 		if emb == nil {
 			emb = search.EmbedCode(req.Search)

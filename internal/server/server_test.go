@@ -311,3 +311,79 @@ func TestSemanticSearchViaIndex(t *testing.T) {
 		t.Fatalf("limited semantic: %d %+v", code, resp)
 	}
 }
+
+// TestSemanticSearchCoversWorkflows: workflows carry description embeddings
+// of their own, so a semantic SearchBoth ranks PE and workflow hits in one
+// cosine space, and a workflow-only semantic search probes just the
+// workflow index.
+func TestSemanticSearchCoversWorkflows(t *testing.T) {
+	addr := startServer(t)
+	enc, err := codec.Encode(codec.Envelope{Kind: codec.KindPE, Name: "PrimeChecker", Source: peSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", core.AddPERequest{
+		PEName: "PrimeChecker", Description: "checks if a number is prime", PECode: enc,
+		DescEmbedding: search.EmbedDescription("checks if a number is prime"),
+	}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("add pe: %d %s", code, raw)
+	}
+	for _, w := range []struct{ name, desc string }{
+		{"primePipeline", "produces numbers and checks them for primality"},
+		{"wordPipeline", "streams a text corpus and counts its words"},
+	} {
+		code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/workflow/add", core.AddWorkflowRequest{
+			WorkflowName: w.name, EntryPoint: w.name, Description: w.desc,
+			WorkflowCode:  "WF-" + w.name,
+			DescEmbedding: search.EmbedDescription(w.desc),
+		}, nil)
+		if code != http.StatusCreated {
+			t.Fatalf("add workflow %s: %d %s", w.name, code, raw)
+		}
+	}
+
+	// Workflow-only semantic search hits the workflow index.
+	var resp core.SearchResponse
+	code, _ = doReq(t, http.MethodGet,
+		addr+"/registry/zz46/search/checking+numbers+for+primality/type/workflow?query=semantic", nil, &resp)
+	if code != 200 || len(resp.Hits) != 2 || resp.Hits[0].Name != "primePipeline" {
+		t.Fatalf("workflow semantic: %d %+v", code, resp)
+	}
+	for _, h := range resp.Hits {
+		if h.Kind != "workflow" {
+			t.Fatalf("workflow search returned kind %q: %+v", h.Kind, resp.Hits)
+		}
+	}
+
+	// SearchBoth merges the two indexes by score; the prime PE and prime
+	// workflow must both rank above the word-counting workflow.
+	code, _ = doReq(t, http.MethodGet,
+		addr+"/registry/zz46/search/checking+numbers+for+primality/type/both?query=semantic", nil, &resp)
+	if code != 200 || len(resp.Hits) != 3 {
+		t.Fatalf("both semantic: %d %+v", code, resp)
+	}
+	kinds := map[string]bool{}
+	for _, h := range resp.Hits {
+		kinds[h.Kind] = true
+	}
+	if !kinds["pe"] || !kinds["workflow"] {
+		t.Fatalf("SearchBoth missing a kind: %+v", resp.Hits)
+	}
+	if resp.Hits[2].Name != "wordPipeline" {
+		t.Fatalf("score merge misranked: %+v", resp.Hits)
+	}
+	for i := 1; i < len(resp.Hits); i++ {
+		if resp.Hits[i].Score > resp.Hits[i-1].Score {
+			t.Fatalf("merged hits not score-descending: %+v", resp.Hits)
+		}
+	}
+
+	// Workflows carry no code embeddings: a workflow-only code query has
+	// nothing to rank.
+	code, _ = doReq(t, http.MethodGet,
+		addr+"/registry/zz46/search/def+f/type/workflow?query=code", nil, &resp)
+	if code != 200 || len(resp.Hits) != 0 {
+		t.Fatalf("workflow code query: %d %+v", code, resp)
+	}
+}

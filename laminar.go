@@ -17,7 +17,9 @@
 package laminar
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"time"
 
 	"laminar/internal/client"
@@ -94,9 +96,9 @@ type Server struct {
 // NewServer assembles a deployment.
 func NewServer(opts ServerOptions) *Server {
 	reg := registry.NewStore()
-	if opts.RegistryPath != "" {
-		_ = reg.Load(opts.RegistryPath) // fresh start when absent
-	}
+	// Select the index kind before loading: a registry file persisted by a
+	// clustered deployment then restores its trained centroids directly
+	// into a clustered index, instead of being rebuilt flat and retrained.
 	switch opts.Index {
 	case "", "flat":
 		// NewStore's default exact index.
@@ -107,6 +109,15 @@ func NewServer(opts ServerOptions) *Server {
 		// Fail fast for every embedder, not just the laminar-server flag
 		// path: a typo must not silently benchmark the wrong index.
 		panic(fmt.Sprintf("laminar: unknown ServerOptions.Index %q (want flat or clustered)", opts.Index))
+	}
+	if opts.RegistryPath != "" {
+		// Absent file = fresh start; any other failure (corrupt/truncated
+		// JSON) must refuse to boot — silently serving an empty registry
+		// would let the shutdown Save overwrite a recoverable file with
+		// nothing.
+		if err := reg.Load(opts.RegistryPath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			panic(fmt.Sprintf("laminar: loading registry %s: %v (refusing to start empty over a damaged file)", opts.RegistryPath, err))
+		}
 	}
 	reg.SetLatency(opts.RegistryLatency)
 	eng := engine.New(engine.Config{

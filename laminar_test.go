@@ -1,10 +1,24 @@
 package laminar
 
 import (
+	"fmt"
+	"os"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 )
+
+// isPrimeTemplate stamps out distinct PE classes for index-scale tests; the
+// single %d becomes the class-name suffix.
+const isPrimeTemplate = `
+class Check%d(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, num):
+        if num >= 2 and all(num %% i != 0 for i in range(2, num)):
+            return num
+`
 
 const isPrimeWorkflow = `
 import random
@@ -117,6 +131,78 @@ func TestFacadeRegistryPersistence(t *testing.T) {
 	if _, err := cli2.Run("isPrime", RunOptions{Input: 2, Seed: 5}); err != nil {
 		t.Fatalf("reloaded workflow does not run: %v", err)
 	}
+}
+
+// TestFacadeClusteredRestartRestoresIndex is the deployment-level restart
+// guarantee: a clustered laminar-server saves its registry, and the next
+// process restores the trained index structure from the snapshot — semantic
+// answers are identical and nothing was retrained.
+func TestFacadeClusteredRestartRestoresIndex(t *testing.T) {
+	path := t.TempDir() + "/registry.json"
+	opts := ServerOptions{RegistryPath: path, Index: "clustered", IndexCentroids: 8, IndexNProbe: 2}
+	srv := NewServer(opts)
+	url, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(url)
+	if err := cli.Register("ann", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	// Enough PEs that the clustered index actually trains (>= 64 vectors).
+	for i := 0; i < 70; i++ {
+		src := fmt.Sprintf(isPrimeTemplate, i)
+		if _, err := cli.RegisterPE(src, fmt.Sprintf("Check%d", i),
+			fmt.Sprintf("checks property number %d of an integer stream", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Registry().WaitIndexReady()
+	before, err := cli.SearchRegistry("checks an integer property", SearchPEs, QuerySemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SaveRegistry(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	srv2 := NewServer(opts)
+	if !srv2.Registry().IndexesRestored() {
+		t.Fatal("restart rebuilt the indexes instead of restoring the snapshot")
+	}
+	url2, err := srv2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	cli2 := NewClient(url2)
+	if err := cli2.Login("ann", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cli2.SearchRegistry("checks an integer property", SearchPEs, QuerySemantic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("semantic answers changed across restart:\n before %+v\n after  %+v", before, after)
+	}
+}
+
+// TestFacadeCorruptRegistryRefusesToStart: a damaged registry file must
+// abort startup — booting empty would let the shutdown Save overwrite a
+// recoverable file with nothing.
+func TestFacadeCorruptRegistryRefusesToStart(t *testing.T) {
+	path := t.TempDir() + "/registry.json"
+	if err := os.WriteFile(path, []byte(`{"users": [truncated`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewServer started over a corrupt registry file")
+		}
+	}()
+	NewServer(ServerOptions{RegistryPath: path})
 }
 
 // TestFacadeRemoteEngine wires the Table 5 remote configuration through the
