@@ -4,7 +4,13 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check docs bench verify
+# The packages whose concurrency actually matters (sharded registry store,
+# vector indexes with background retrains, HTTP serving layer) run under
+# the race detector; running the whole tree under -race would double the
+# verify wall clock for packages with no shared state.
+RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server
+
+.PHONY: build test vet fmt-check docs bench race verify
 
 build:
 	$(GO) build ./...
@@ -30,4 +36,10 @@ docs:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run XXX .
 
-verify: build vet fmt-check docs test
+# race runs the concurrency-heavy packages under the race detector; the
+# registry stress test (concurrent AddPE/RemovePE/Search/Save) is its
+# main customer.
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+verify: build vet fmt-check docs test race

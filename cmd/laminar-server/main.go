@@ -21,7 +21,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	registryPath := flag.String("registry", "", "JSON file to load/persist the registry (optional)")
+	registryPath := flag.String("registry", "", "snapshot file to load/persist the registry (optional)")
+	storeFormat := flag.String("store", "v2", "on-disk registry format: v2 (streamed JSON + binary vector sidecar at <registry>-<sum>.vec) or v1 (legacy single JSON document); load auto-detects, so -store v2 migrates a v1 file on the first save")
 	registryLatency := flag.Duration("registry-latency", 0, "simulated WAN latency of the remote registry")
 	voURL := flag.String("vo-url", "", "Virtual Observatory simulator base URL (empty = offline catalog)")
 	installScale := flag.Float64("install-scale", 1, "library install latency scale (0 disables simulated installs)")
@@ -33,11 +34,15 @@ func main() {
 	if *indexKind != "flat" && *indexKind != "clustered" {
 		log.Fatalf("laminar-server: unknown -index %q (want flat or clustered)", *indexKind)
 	}
+	if *storeFormat != "v1" && *storeFormat != "v2" {
+		log.Fatalf("laminar-server: unknown -store %q (want v1 or v2)", *storeFormat)
+	}
 	srv := laminar.NewServer(laminar.ServerOptions{
 		RegistryLatency:   *registryLatency,
 		VOBaseURL:         *voURL,
 		InstallDelayScale: *installScale,
 		RegistryPath:      *registryPath,
+		StoreFormat:       *storeFormat,
 		Index:             *indexKind,
 		IndexCentroids:    *indexCentroids,
 		IndexNProbe:       *indexNProbe,
@@ -52,16 +57,21 @@ func main() {
 		if srv.Registry().IndexesRestored() {
 			how = "restored from snapshot, no retrain"
 		}
-		log.Printf("laminar-server: registry persisted to %s (indexes %s)", *registryPath, how)
+		log.Printf("laminar-server: registry persisted to %s as %s (indexes %s)",
+			*registryPath, srv.Registry().StoreFormat(), how)
 	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Printf("laminar-server: shutting down")
+	// Drain first, save second: Close's graceful shutdown lets in-flight
+	// writes finish (and be acknowledged), so the snapshot taken afterwards
+	// contains them — saving before the drain would lose every write the
+	// grace window accepts.
+	srv.Close()
 	if err := srv.SaveRegistry(); err != nil {
 		log.Printf("laminar-server: saving registry: %v", err)
 	}
-	srv.Close()
 	time.Sleep(50 * time.Millisecond)
 }

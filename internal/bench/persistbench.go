@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,22 +14,44 @@ import (
 	"laminar/internal/embed"
 	"laminar/internal/index"
 	"laminar/internal/registry"
+	"laminar/internal/registry/storage"
 )
 
-// PersistBenchResult measures the durable-index cold-start story: how long a
-// registry restart takes when the clustered index restores from its
-// persisted snapshot versus when it has to retrain from scratch, plus how
-// the serving path behaves while a background retrain is running.
+// PersistBenchResult measures the registry's durability story end to end:
+// the v1-vs-v2 on-disk formats (save/load time, footprint), whether the
+// serving path keeps answering while a Save is in flight, the v1→v2
+// migration guarantee, restore-vs-rebuild cold start, and query latency
+// during a live background retrain.
 type PersistBenchResult struct {
-	CorpusSize    int
-	SnapshotBytes int64
-	SaveTime      time.Duration
+	CorpusSize int
+
+	// On-disk format comparison at CorpusSize PEs.
+	V1SaveTime time.Duration
+	V1LoadTime time.Duration
+	V1Bytes    int64
+	V2SaveTime time.Duration
+	V2LoadTime time.Duration
+	V2Bytes    int64 // JSON + sidecar
+
+	// Serving behaviour while a v2 Save runs: searches issued continuously
+	// against the store from the moment Save starts until it returns. Under
+	// the historic world-lock Save, zero searches completed mid-Save; the
+	// sharded store keeps serving.
+	MidSaveSearches   int
+	MidSaveMeanQuery  time.Duration
+	MidSaveWorstQuery time.Duration
+
+	// Migration: a v1 file loaded by a default (v2) store must carry every
+	// record and restore its indexes with zero retrains.
+	MigrationLossless bool
+	MigrationRecords  int
+
 	// RestoreLoad is Load + settle with the index snapshot present (no
-	// k-means). The rebuild baseline (same file with the snapshot
-	// stripped) is reported under both settle definitions: RebuildSettle
-	// is Load + waiting out the background retrains the load triggered
-	// (serving-settled, but trained only over a corpus prefix), and
-	// RebuildFull additionally retrains over the complete corpus — the
+	// k-means). The rebuild baseline (same snapshot with the index
+	// structure stripped) is reported under both settle definitions:
+	// RebuildSettle is Load + waiting out the background retrains the load
+	// triggered (serving-settled, but trained only over a corpus prefix),
+	// and RebuildFull additionally retrains over the complete corpus — the
 	// state the snapshot actually restores.
 	RestoreLoad   time.Duration
 	RebuildSettle time.Duration
@@ -84,7 +105,8 @@ func genUniformCorpus(size, queries, dim int) (corpus, qs [][]float32) {
 }
 
 // RunPersistBench builds a size-PE registry on the clustered index, saves
-// it, and measures restore-vs-rebuild cold start and query latency during a
+// it in both formats, and measures the format comparison, mid-Save serving,
+// v1→v2 migration, restore-vs-rebuild cold start and query latency during a
 // live background retrain.
 func RunPersistBench(size, queries int) (*PersistBenchResult, error) {
 	if size <= 0 {
@@ -121,17 +143,103 @@ func RunPersistBench(size, queries int) (*PersistBenchResult, error) {
 		return nil, err
 	}
 	defer os.RemoveAll(dir)
-	path := filepath.Join(dir, "registry.json")
+
+	// ---- format comparison: v1 vs v2 save/load time and footprint ----
+	v1Path := filepath.Join(dir, "registry-v1.json")
+	if err := s.SetStoreFormat("v1"); err != nil {
+		return nil, err
+	}
 	start := time.Now()
+	if err := s.Save(v1Path); err != nil {
+		return nil, err
+	}
+	res.V1SaveTime = time.Since(start)
+	if res.V1Bytes, err = storage.DiskSize(v1Path); err != nil {
+		return nil, err
+	}
+	v1Loader := registry.NewStore()
+	v1Loader.ConfigureIndex(clusteredBenchFactory())
+	start = time.Now()
+	if err := v1Loader.Load(v1Path); err != nil {
+		return nil, err
+	}
+	v1Loader.WaitIndexReady()
+	res.V1LoadTime = time.Since(start)
+
+	path := filepath.Join(dir, "registry.json")
+	if err := s.SetStoreFormat("v2"); err != nil {
+		return nil, err
+	}
+	start = time.Now()
 	if err := s.Save(path); err != nil {
 		return nil, err
 	}
-	res.SaveTime = time.Since(start)
-	if fi, err := os.Stat(path); err == nil {
-		res.SnapshotBytes = fi.Size()
+	res.V2SaveTime = time.Since(start)
+	if res.V2Bytes, err = storage.DiskSize(path); err != nil {
+		return nil, err
 	}
 
-	// Cold start with the index snapshot: restore, no k-means.
+	// ---- serving during Save: the acceptance check that no write lock is
+	// held across the marshal. Searches run back to back from the moment
+	// Save starts; every one that returns before Save does proves the
+	// registry was answering mid-Save. ----
+	saveDone := make(chan error, 1)
+	var saving atomic.Bool
+	saving.Store(true)
+	go func() {
+		defer saving.Store(false)
+		saveDone <- s.Save(filepath.Join(dir, "registry-midsave.json"))
+	}()
+	var midTotal time.Duration
+	for i := 0; saving.Load(); i++ {
+		q := qs[i%len(qs)]
+		t0 := time.Now()
+		s.SemanticSearch(u.UserID, q, 10)
+		d := time.Since(t0)
+		if !saving.Load() {
+			// This search outlived the Save; it does not count as mid-Save.
+			break
+		}
+		midTotal += d
+		if d > res.MidSaveWorstQuery {
+			res.MidSaveWorstQuery = d
+		}
+		res.MidSaveSearches++
+	}
+	if err := <-saveDone; err != nil {
+		return nil, err
+	}
+	if res.MidSaveSearches > 0 {
+		res.MidSaveMeanQuery = midTotal / time.Duration(res.MidSaveSearches)
+	}
+
+	// ---- migration: the v1 file loads losslessly into a v2-default store
+	// with indexes restored (zero retrains), and saves as v2 ----
+	migrated := registry.NewStore()
+	migrated.ConfigureIndex(clusteredBenchFactory())
+	if err := migrated.Load(v1Path); err != nil {
+		return nil, err
+	}
+	res.MigrationRecords = len(migrated.PEsForUser(u.UserID))
+	migOK := res.MigrationRecords == size && migrated.IndexesRestored()
+	migPath := filepath.Join(dir, "registry-migrated.json")
+	if err := migrated.Save(migPath); err != nil {
+		return nil, err
+	}
+	if f, err := storage.DetectFormat(migPath); err != nil || f != storage.FormatV2 {
+		migOK = false
+	}
+	reloaded := registry.NewStore()
+	reloaded.ConfigureIndex(clusteredBenchFactory())
+	if err := reloaded.Load(migPath); err != nil {
+		return nil, err
+	}
+	if len(reloaded.PEsForUser(u.UserID)) != size || !reloaded.IndexesRestored() {
+		migOK = false
+	}
+	res.MigrationLossless = migOK
+
+	// ---- cold start with the index snapshot: restore, no k-means ----
 	r1 := registry.NewStore()
 	r1.ConfigureIndex(clusteredBenchFactory())
 	start = time.Now()
@@ -140,28 +248,21 @@ func RunPersistBench(size, queries int) (*PersistBenchResult, error) {
 	}
 	r1.WaitIndexReady()
 	res.RestoreLoad = time.Since(start)
+	res.V2LoadTime = res.RestoreLoad
 	if !r1.IndexesRestored() {
 		return nil, fmt.Errorf("persistbench: expected a snapshot restore, got a rebuild")
 	}
 
-	// Cold start without it: strip the "indexes" field — exactly the
-	// registry file a pre-persistence deployment would have written — and
-	// pay the full rebuild + retrain.
-	raw, err := os.ReadFile(path)
+	// Cold start without it: re-save the same snapshot with the index
+	// structure stripped — exactly what a pre-persistence deployment would
+	// have on disk — and pay the full rebuild + retrain.
+	rawSnap, _, err := storage.Load(path)
 	if err != nil {
 		return nil, err
 	}
-	var doc map[string]any
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		return nil, err
-	}
-	delete(doc, "indexes")
-	stripped, err := json.Marshal(doc)
-	if err != nil {
-		return nil, err
-	}
+	rawSnap.Indexes = nil
 	legacy := filepath.Join(dir, "registry-noindex.json")
-	if err := os.WriteFile(legacy, stripped, 0o644); err != nil {
+	if err := storage.Save(legacy, storage.FormatV2, rawSnap); err != nil {
 		return nil, err
 	}
 	r2 := registry.NewStore()
@@ -229,9 +330,24 @@ func RunPersistBench(size, queries int) (*PersistBenchResult, error) {
 // Render formats the measurements as a text table.
 func (r *PersistBenchResult) Render() string {
 	var sb strings.Builder
+	sb.WriteString("Registry storage: v1 (monolithic JSON) vs v2 (streamed JSON + binary sidecar)\n")
+	fmt.Fprintf(&sb, "(%d PEs on the clustered index)\n", r.CorpusSize)
+	fmt.Fprintf(&sb, "  v1 save / load+settle:       %12v / %12v   (%7d KiB)\n",
+		r.V1SaveTime.Round(time.Millisecond), r.V1LoadTime.Round(time.Millisecond), r.V1Bytes/1024)
+	fmt.Fprintf(&sb, "  v2 save / load+settle:       %12v / %12v   (%7d KiB, json+sidecar)\n",
+		r.V2SaveTime.Round(time.Millisecond), r.V2LoadTime.Round(time.Millisecond), r.V2Bytes/1024)
+	if r.V2Bytes > 0 && r.V1Bytes > 0 {
+		fmt.Fprintf(&sb, "  v2/v1 footprint:             %12.2fx\n", float64(r.V2Bytes)/float64(r.V1Bytes))
+	}
+	fmt.Fprintf(&sb, "Serving during a v2 Save (sharded locks; no write lock across the marshal)\n")
+	fmt.Fprintf(&sb, "  searches completed mid-Save: %12d  (mean %v, worst %v)\n",
+		r.MidSaveSearches, r.MidSaveMeanQuery.Round(time.Microsecond), r.MidSaveWorstQuery.Round(time.Microsecond))
+	migr := "LOSSLESS (all records, indexes restored, zero retrains)"
+	if !r.MigrationLossless {
+		migr = fmt.Sprintf("FAILED (%d records)", r.MigrationRecords)
+	}
+	fmt.Fprintf(&sb, "v1 → v2 migration:             %s\n", migr)
 	sb.WriteString("Index persistence: cold start from snapshot vs full rebuild\n")
-	fmt.Fprintf(&sb, "(%d PEs on the clustered index; snapshot %d KiB, saved in %v)\n",
-		r.CorpusSize, r.SnapshotBytes/1024, r.SaveTime.Round(time.Millisecond))
 	fmt.Fprintf(&sb, "  load+settle with snapshot (restore):        %12v\n", r.RestoreLoad.Round(time.Microsecond))
 	fmt.Fprintf(&sb, "  rebuild, background retrains settled:       %12v  (%4.1fx, prefix-trained)\n",
 		r.RebuildSettle.Round(time.Microsecond), r.SpeedupSettle)

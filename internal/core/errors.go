@@ -60,6 +60,11 @@ func ErrConflict(param, format string, args ...any) *APIError {
 	return &APIError{Type: "ConflictError", Code: http.StatusConflict, Param: param, Message: fmt.Sprintf(format, args...)}
 }
 
+// ErrTooLarge reports a request body exceeding the server's size limit.
+func ErrTooLarge(param, format string, args ...any) *APIError {
+	return &APIError{Type: "PayloadTooLargeError", Code: http.StatusRequestEntityTooLarge, Param: param, Message: fmt.Sprintf(format, args...)}
+}
+
 // ErrExecution reports a failure inside the execution engine.
 func ErrExecution(format string, args ...any) *APIError {
 	return &APIError{Type: "ExecutionError", Code: http.StatusUnprocessableEntity, Message: fmt.Sprintf(format, args...)}

@@ -1,0 +1,71 @@
+package index
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestBinarySnapshotRoundTrip: EncodeBinary/DecodeSnapshotBinary must be a
+// lossless pair for both flat and trained-clustered snapshots, and the
+// encoding must be deterministic (identical snapshots → identical bytes).
+func TestBinarySnapshotRoundTrip(t *testing.T) {
+	vecs := map[int][]float32{}
+	flat := NewFlat()
+	clus := NewClustered(ClusteredConfig{Centroids: 4, NProbe: 2})
+	for i := 0; i < 100; i++ {
+		v := []float32{float32(i) / 100, float32(100-i) / 100, 0.5}
+		vecs[i+1] = v
+		flat.Upsert(i+1, v)
+		clus.Upsert(i+1, v)
+	}
+	clus.WaitRetrain()
+
+	for name, idx := range map[string]VectorIndex{"flat": flat, "clustered": clus} {
+		snap := idx.Snapshot()
+		var buf bytes.Buffer
+		if err := snap.EncodeBinary(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		got, err := DecodeSnapshotBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, snap) {
+			t.Fatalf("%s: round trip diverged:\n got %+v\nwant %+v", name, got, snap)
+		}
+		var buf2 bytes.Buffer
+		if err := snap.EncodeBinary(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: encoding is not deterministic", name)
+		}
+		// A decoded snapshot must restore exactly like the original.
+		fresh := NewClustered(ClusteredConfig{Centroids: 4, NProbe: 2})
+		if name == "clustered" {
+			if err := fresh.Restore(got, vecs); err != nil {
+				t.Fatalf("restore from decoded snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// TestBinarySnapshotRejectsGarbage: truncated or foreign bytes must error,
+// never panic or mis-decode.
+func TestBinarySnapshotRejectsGarbage(t *testing.T) {
+	snap := &Snapshot{Version: SnapshotVersion, Kind: "flat", Count: 3, Checksum: "fnv1a64:abc"}
+	var buf bytes.Buffer
+	if err := snap.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeSnapshotBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	if _, err := DecodeSnapshotBinary(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Fatal("garbage decoded cleanly")
+	}
+}

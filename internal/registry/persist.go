@@ -1,0 +1,271 @@
+package registry
+
+import (
+	"sync"
+
+	"laminar/internal/core"
+	"laminar/internal/index"
+	"laminar/internal/registry/storage"
+)
+
+// Persistence glue. The serving layer's only persistence jobs are (a)
+// producing a consistent logical snapshot under briefly-held read locks and
+// (b) installing a loaded one under the write locks; every on-disk concern
+// — formats, streaming, the binary sidecar, atomicity — belongs to
+// internal/registry/storage.
+
+// SetStoreFormat selects the on-disk format Save writes: "v2" (the
+// default: streamed JSON + binary vector sidecar) or "v1" (the legacy
+// monolithic JSON document). Load always auto-detects, so a v1 file loaded
+// by a v2-configured store is migrated in place by its next Save.
+func (s *Store) SetStoreFormat(name string) error {
+	f, err := storage.ParseFormat(name)
+	if err != nil {
+		return err
+	}
+	s.storeFormat.Store(int32(f))
+	return nil
+}
+
+// StoreFormat reports the configured on-disk format name.
+func (s *Store) StoreFormat() string { return s.format().String() }
+
+func (s *Store) format() storage.Format {
+	if f := storage.Format(s.storeFormat.Load()); f != 0 {
+		return f
+	}
+	return storage.FormatV2
+}
+
+// Save writes the registry to path in the configured format. No shard
+// write lock is ever involved and no shard lock at all is held while
+// marshaling: collectSnapshot copies the state under the shard read locks
+// (concurrent searches keep running; writers wait only for the copy, not
+// the serialization or the disk), then the storage layer streams it out.
+// Saves themselves are serialized by saveMu so two concurrent Saves to
+// the same path cannot sweep each other's sidecar generation.
+func (s *Store) Save(path string) error {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	return storage.Save(path, s.format(), s.collectSnapshot())
+}
+
+// collectSnapshot builds the logical snapshot handed to the storage layer.
+// All four shard read locks are held together (in lock order) so the copy
+// is a consistent point-in-time view; the index snapshots are taken under
+// the same locks, which is what keeps their checksums bound to exactly the
+// copied records. Vector slices are shared, not copied — they are
+// immutable by convention once stored (writers always replace, never
+// mutate in place).
+func (s *Store) collectSnapshot() *storage.Snapshot {
+	s.usersMu.RLock()
+	defer s.usersMu.RUnlock()
+	s.pesMu.RLock()
+	defer s.pesMu.RUnlock()
+	s.wfsMu.RLock()
+	defer s.wfsMu.RUnlock()
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
+
+	snap := &storage.Snapshot{
+		PasswordHashes:   map[int]string{},
+		UserPEs:          map[int][]int{},
+		UserWorkflows:    map[int][]int{},
+		WorkflowPEs:      map[int][]int{},
+		NextUserID:       s.nextUserID,
+		NextPEID:         s.nextPEID,
+		NextWorkflowID:   s.nextWorkflowID,
+		PEDescVecs:       map[int][]float32{},
+		PECodeVecs:       map[int][]float32{},
+		WorkflowDescVecs: map[int][]float32{},
+	}
+	for _, u := range s.users {
+		snap.Users = append(snap.Users, *u)
+		snap.PasswordHashes[u.UserID] = u.PasswordHash
+	}
+	for _, pe := range s.pes {
+		rec := *pe
+		if len(rec.DescEmbedding) > 0 {
+			snap.PEDescVecs[rec.PEID] = rec.DescEmbedding
+			rec.DescEmbedding = nil
+		}
+		if len(rec.CodeEmbedding) > 0 {
+			snap.PECodeVecs[rec.PEID] = rec.CodeEmbedding
+			rec.CodeEmbedding = nil
+		}
+		snap.PEs = append(snap.PEs, rec)
+	}
+	for _, wf := range s.workflows {
+		rec := *wf
+		if len(rec.DescEmbedding) > 0 {
+			snap.WorkflowDescVecs[rec.WorkflowID] = rec.DescEmbedding
+			rec.DescEmbedding = nil
+		}
+		snap.Workflows = append(snap.Workflows, rec)
+	}
+	for uid, set := range s.userPEs {
+		snap.UserPEs[uid] = setToSlice(set)
+	}
+	for uid, set := range s.userWorkflows {
+		snap.UserWorkflows[uid] = setToSlice(set)
+	}
+	for wid, set := range s.workflowPEs {
+		snap.WorkflowPEs[wid] = setToSlice(set)
+	}
+	snap.Indexes = &storage.IndexSnapshots{
+		Desc:     s.descIndex.Snapshot(),
+		Code:     s.codeIndex.Snapshot(),
+		Workflow: s.wfIndex.Snapshot(),
+	}
+	return snap
+}
+
+// Load replaces the registry contents from a snapshot file (either
+// format; auto-detected).
+func (s *Store) Load(path string) error {
+	snap, _, err := storage.Load(path)
+	if err != nil {
+		return err
+	}
+	s.usersMu.Lock()
+	defer s.usersMu.Unlock()
+	s.pesMu.Lock()
+	defer s.pesMu.Unlock()
+	s.wfsMu.Lock()
+	defer s.wfsMu.Unlock()
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+
+	s.users = map[int]*core.UserRecord{}
+	s.pes = map[int]*core.PERecord{}
+	s.workflows = map[int]*core.WorkflowRecord{}
+	s.userPEs = map[int]map[int]bool{}
+	s.userWorkflows = map[int]map[int]bool{}
+	s.workflowPEs = map[int]map[int]bool{}
+	for i := range snap.Users {
+		u := snap.Users[i]
+		u.PasswordHash = snap.PasswordHashes[u.UserID]
+		s.users[u.UserID] = &u
+	}
+	for i := range snap.PEs {
+		pe := snap.PEs[i]
+		if v, ok := snap.PEDescVecs[pe.PEID]; ok {
+			pe.DescEmbedding = v
+		}
+		if v, ok := snap.PECodeVecs[pe.PEID]; ok {
+			pe.CodeEmbedding = v
+		}
+		s.pes[pe.PEID] = &pe
+	}
+	for i := range snap.Workflows {
+		wf := snap.Workflows[i]
+		if v, ok := snap.WorkflowDescVecs[wf.WorkflowID]; ok {
+			wf.DescEmbedding = v
+		}
+		s.workflows[wf.WorkflowID] = &wf
+	}
+	for uid, ids := range snap.UserPEs {
+		if s.userPEs[uid] == nil {
+			s.userPEs[uid] = map[int]bool{}
+		}
+		for _, id := range ids {
+			s.userPEs[uid][id] = true
+		}
+	}
+	for uid, ids := range snap.UserWorkflows {
+		if s.userWorkflows[uid] == nil {
+			s.userWorkflows[uid] = map[int]bool{}
+		}
+		for _, id := range ids {
+			s.userWorkflows[uid][id] = true
+		}
+	}
+	for wid, ids := range snap.WorkflowPEs {
+		s.workflowPEs[wid] = map[int]bool{}
+		for _, id := range ids {
+			s.workflowPEs[wid][id] = true
+		}
+	}
+	s.nextUserID = snap.NextUserID
+	s.nextPEID = snap.NextPEID
+	s.nextWorkflowID = snap.NextWorkflowID
+	// Restore the persisted index structure when it still matches the
+	// records (same kind, same version, checksum over exactly these
+	// embeddings); otherwise — missing, stale, or foreign-kind snapshot —
+	// fall back to a full rebuild. The snapshots are also stashed so a
+	// later ConfigureIndex (the façade selects the index kind after
+	// loading) gets the same restore-first treatment.
+	s.loadedIndexSnaps = snap.Indexes
+	if !s.tryRestoreIndexesLocked() {
+		s.rebuildIndexesLocked()
+	}
+	return nil
+}
+
+// embeddingSetsLocked collects the per-kind embedding maps exactly as the
+// indexes hold them: only records with a non-empty embedding appear (the
+// rest are not semantically searchable), so the maps line up with the
+// snapshot checksums. Caller holds pesMu and wfsMu (read or write).
+func (s *Store) embeddingSetsLocked() (desc, code, wf map[int][]float32) {
+	desc = map[int][]float32{}
+	code = map[int][]float32{}
+	wf = map[int][]float32{}
+	for id, pe := range s.pes {
+		if len(pe.DescEmbedding) > 0 {
+			desc[id] = pe.DescEmbedding
+		}
+		if len(pe.CodeEmbedding) > 0 {
+			code[id] = pe.CodeEmbedding
+		}
+	}
+	for id, w := range s.workflows {
+		if len(w.DescEmbedding) > 0 {
+			wf[id] = w.DescEmbedding
+		}
+	}
+	return desc, code, wf
+}
+
+// tryRestoreIndexesLocked attempts to bring up all three indexes from the
+// snapshots stashed by the last Load, restoring them in parallel (checksum
+// validation and vector copies dominate and are independent per index).
+// All-or-nothing: a single mismatch (kind, version, checksum) leaves the
+// previous indexes in place and reports false so the caller rebuilds
+// instead. Caller holds pesMu.R/wfsMu.R (or stronger) and idxMu.W.
+func (s *Store) tryRestoreIndexesLocked() bool {
+	snaps := s.loadedIndexSnaps
+	if snaps == nil || snaps.Desc == nil || snaps.Code == nil || snaps.Workflow == nil {
+		return false
+	}
+	descVecs, codeVecs, wfVecs := s.embeddingSetsLocked()
+	desc, code, wf := s.indexFactory(), s.indexFactory(), s.indexFactory()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i, r := range []struct {
+		idx  index.VectorIndex
+		snap *index.Snapshot
+		vecs map[int][]float32
+	}{
+		{desc, snaps.Desc, descVecs},
+		{code, snaps.Code, codeVecs},
+		{wf, snaps.Workflow, wfVecs},
+	} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = r.idx.Restore(r.snap, r.vecs)
+		}()
+	}
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil || errs[2] != nil {
+		return false
+	}
+	s.descIndex, s.codeIndex, s.wfIndex = desc, code, wf
+	s.indexesRestored = true
+	// The stash has served its purpose; dropping it releases the O(N)
+	// assignment maps instead of pinning them for the store's lifetime.
+	// (On failure Load keeps it for a subsequent ConfigureIndex with the
+	// matching kind, which consumes it either way.)
+	s.loadedIndexSnaps = nil
+	return true
+}

@@ -1,0 +1,160 @@
+package registry
+
+import (
+	"sort"
+	"strings"
+
+	"laminar/internal/core"
+)
+
+// PE operations live on the pes shard. Registrations and removals contend
+// only with other PE traffic (and searches resolving PE candidates), never
+// with user or workflow operations.
+
+// AddPE registers a PE for a user. When a PE with the same name and code
+// already exists (registered by another user), the user is added as an
+// additional owner instead of creating a duplicate entry (Section 3.1).
+func (s *Store) AddPE(userID int, req core.AddPERequest) (*core.PERecord, error) {
+	s.simulateWAN()
+	if strings.TrimSpace(req.PEName) == "" {
+		return nil, core.ErrBadRequest("peName", "PE name must not be empty")
+	}
+	if req.PECode == "" {
+		return nil, core.ErrBadRequest("peCode", "PE code must not be empty")
+	}
+	if !s.userExists(userID) {
+		return nil, core.ErrNotFound("user", "no such user id %d", userID)
+	}
+	s.pesMu.Lock()
+	defer s.pesMu.Unlock()
+	if s.userPEs[userID] == nil {
+		s.userPEs[userID] = map[int]bool{}
+	}
+	for _, pe := range s.pes {
+		if pe.PEName == req.PEName {
+			// Same name: associate this user as an additional owner. As with
+			// workflows, adopt embeddings the stored record lacks (a record
+			// predating stored embeddings, re-registered by a newer client)
+			// rather than silently discarding what the client computed.
+			s.userPEs[userID][pe.PEID] = true
+			adopted := false
+			if len(pe.DescEmbedding) == 0 && len(req.DescEmbedding) > 0 {
+				pe.DescEmbedding = append([]float32(nil), req.DescEmbedding...)
+				adopted = true
+			}
+			if len(pe.CodeEmbedding) == 0 && len(req.CodeEmbedding) > 0 {
+				pe.CodeEmbedding = append([]float32(nil), req.CodeEmbedding...)
+				adopted = true
+			}
+			if adopted {
+				s.indexPE(pe.PEID, pe)
+			}
+			return pe, nil
+		}
+	}
+	pe := &core.PERecord{
+		PEID:           s.nextPEID,
+		PEName:         req.PEName,
+		Description:    req.Description,
+		AutoSummarized: req.AutoSummarized,
+		PECode:         req.PECode,
+		PEImports:      append([]string(nil), req.PEImports...),
+		CodeEmbedding:  append([]float32(nil), req.CodeEmbedding...),
+		DescEmbedding:  append([]float32(nil), req.DescEmbedding...),
+		CreatedAt:      s.clock(),
+	}
+	s.nextPEID++
+	s.pes[pe.PEID] = pe
+	s.userPEs[userID][pe.PEID] = true
+	s.indexPE(pe.PEID, pe)
+	return pe, nil
+}
+
+// PEByID fetches a PE owned by (or visible to) the user.
+func (s *Store) PEByID(userID, peID int) (*core.PERecord, error) {
+	s.simulateWAN()
+	s.pesMu.RLock()
+	defer s.pesMu.RUnlock()
+	pe, ok := s.pes[peID]
+	if !ok {
+		return nil, core.ErrNotFound("peId", "no PE with id %d", peID)
+	}
+	if !s.userPEs[userID][peID] {
+		return nil, core.ErrNotFound("peId", "PE %d is not registered to this user", peID)
+	}
+	return pe, nil
+}
+
+// PEByName fetches a user's PE by class name.
+func (s *Store) PEByName(userID int, name string) (*core.PERecord, error) {
+	s.simulateWAN()
+	s.pesMu.RLock()
+	defer s.pesMu.RUnlock()
+	for id := range s.userPEs[userID] {
+		if pe := s.pes[id]; pe != nil && pe.PEName == name {
+			return pe, nil
+		}
+	}
+	return nil, core.ErrNotFound("peName", "no PE named %q for this user", name)
+}
+
+// PEsForUser lists the user's PEs ordered by id.
+func (s *Store) PEsForUser(userID int) []core.PERecord {
+	s.simulateWAN()
+	s.pesMu.RLock()
+	defer s.pesMu.RUnlock()
+	var out []core.PERecord
+	for id := range s.userPEs[userID] {
+		if pe := s.pes[id]; pe != nil {
+			out = append(out, *pe)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PEID < out[j].PEID })
+	return out
+}
+
+// RemovePE detaches the PE from the user; the record is deleted once no
+// owner remains.
+func (s *Store) RemovePE(userID, peID int) error {
+	s.simulateWAN()
+	s.pesMu.Lock()
+	defer s.pesMu.Unlock()
+	if _, ok := s.pes[peID]; !ok {
+		return core.ErrNotFound("peId", "no PE with id %d", peID)
+	}
+	if !s.userPEs[userID][peID] {
+		return core.ErrNotFound("peId", "PE %d is not registered to this user", peID)
+	}
+	delete(s.userPEs[userID], peID)
+	// delete fully when orphaned
+	owned := false
+	for _, set := range s.userPEs {
+		if set[peID] {
+			owned = true
+			break
+		}
+	}
+	if !owned {
+		delete(s.pes, peID)
+		desc, code, _ := s.indexes()
+		desc.Delete(peID)
+		code.Delete(peID)
+		// Detach the orphaned PE from every workflow. Taking the wfs lock
+		// while holding the pes lock follows the pes → wfs shard order.
+		s.wfsMu.Lock()
+		for wid := range s.workflowPEs {
+			delete(s.workflowPEs[wid], peID)
+		}
+		s.wfsMu.Unlock()
+	}
+	return nil
+}
+
+// RemovePEByName removes the user's PE by class name.
+func (s *Store) RemovePEByName(userID int, name string) error {
+	pe, err := s.PEByName(userID, name)
+	if err != nil {
+		return err
+	}
+	return s.RemovePE(userID, pe.PEID)
+}

@@ -3,51 +3,71 @@
 // one-way many-to-many user↔PE/workflow ownership, two-way many-to-many
 // PE↔workflow association, and stored embeddings for semantic search.
 //
+// The package is the registry's *serving* layer. Since the layered-storage
+// refactor it is organized by domain — users.go, pes.go, workflows.go,
+// search.go — with persistence delegated to internal/registry/storage
+// (persist.go holds the glue). Concurrency is sharded the same way: each
+// domain has its own RWMutex, and each vector index is internally
+// synchronized, so heavy semantic-search traffic on the PE shard no longer
+// serializes against user logins or workflow registrations, and Save never
+// holds any write lock while marshaling (see docs/storage.md).
+//
 // The store owns three incrementally maintained vector indexes — PE
 // descriptions, PE code, and workflow descriptions — and persists their
-// trained structure (packed embeddings plus centroids/assignments) inside
-// its JSON snapshot, so Load restores a trained index with no k-means
-// retrain whenever the snapshot still matches the records.
+// trained structure alongside its records, so Load restores a trained
+// index with no k-means retrain whenever the snapshot still matches the
+// records.
 //
 // The paper hosts the registry on a remote web-based MySQL service; this
-// implementation is an embedded, JSON-persistable store with a configurable
+// implementation is an embedded, durable store with a configurable
 // simulated WAN latency so the remote-registry deployments of Table 5 can
 // be reproduced.
 package registry
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"fmt"
-	"os"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"laminar/internal/core"
 	"laminar/internal/index"
-	"laminar/internal/search"
+	"laminar/internal/registry/storage"
 )
 
 // Store is the registry state. All methods are safe for concurrent use.
+//
+// Locking is sharded per domain. The shards are independent for
+// single-domain operations; an operation spanning shards acquires them in
+// the fixed order users → pes → wfs → idx (never the reverse), which is
+// what makes the compound paths (AddWorkflow validating PE ids,
+// RemovePE detaching workflow associations, Save copying everything)
+// deadlock-free.
 type Store struct {
-	mu sync.RWMutex
+	// users shard: accounts and session tokens.
+	usersMu    sync.RWMutex
+	users      map[int]*core.UserRecord
+	tokens     map[string]int // session token → userID
+	nextUserID int
 
-	users     map[int]*core.UserRecord
-	pes       map[int]*core.PERecord
-	workflows map[int]*core.WorkflowRecord
+	// pes shard: PE records and user→PE ownership.
+	pesMu    sync.RWMutex
+	pes      map[int]*core.PERecord
+	userPEs  map[int]map[int]bool // userID → set of peIDs (ownership)
+	nextPEID int
 
-	userPEs       map[int]map[int]bool // userID → set of peIDs (ownership)
-	userWorkflows map[int]map[int]bool // userID → set of workflowIDs
-	workflowPEs   map[int]map[int]bool // workflowID → set of peIDs
-	tokens        map[string]int       // session token → userID
+	// wfs shard: workflow records, user→workflow ownership, and the two-way
+	// workflow↔PE association table.
+	wfsMu          sync.RWMutex
+	workflows      map[int]*core.WorkflowRecord
+	userWorkflows  map[int]map[int]bool // userID → set of workflowIDs
+	workflowPEs    map[int]map[int]bool // workflowID → set of peIDs
+	nextWorkflowID int
 
-	// The registry owns one vector index per stored embedding kind and
-	// maintains each incrementally on record register/update/delete, so
-	// semantic queries never re-snapshot the record set (Section 4.2/4.3).
+	// idx shard guards the index *pointers* and restore bookkeeping; the
+	// indexes themselves are internally synchronized, so holding idxMu.R
+	// just long enough to copy a pointer is all a search needs.
+	idxMu        sync.RWMutex
 	indexFactory index.Factory
 	descIndex    index.VectorIndex // PE description embeddings (semantic search)
 	codeIndex    index.VectorIndex // PE code embeddings (code completion)
@@ -61,23 +81,29 @@ type Store struct {
 	// case that retains it for the store's lifetime is a kind-switch
 	// restart with no later ConfigureIndex — bounded by one registry's
 	// assignment maps.
-	loadedIndexSnaps *indexSnapshots
+	loadedIndexSnaps *storage.IndexSnapshots
 	// indexesRestored records whether the live indexes came from a snapshot
 	// restore (true) or a rebuild (false) — observability for the
 	// restart-without-retrain guarantee.
 	indexesRestored bool
 
-	nextUserID     int
-	nextPEID       int
-	nextWorkflowID int
+	// storeFormat selects the on-disk snapshot format Save writes
+	// (storage.Format; 0 = the current default, v2).
+	storeFormat atomic.Int32
+	// saveMu serializes Save calls. The shard locks make the state *copy*
+	// safe, but two interleaved v2 installs to the same path could each
+	// sweep the sidecar the other's JSON references; one save at a time
+	// keeps the sweep sound (and overlapping full-snapshot writes would
+	// only waste IO anyway).
+	saveMu sync.Mutex
 
-	// latency simulates the WAN round trip to the remote registry service;
-	// wanHops counts the simulated round trips taken (observability, and it
-	// lets tests pin "one registry call" deterministically instead of
-	// timing sleeps).
-	latency time.Duration
+	// latency simulates the WAN round trip to the remote registry service
+	// (nanoseconds); wanHops counts the simulated round trips taken
+	// (observability, and it lets tests pin "one registry call"
+	// deterministically instead of timing sleeps).
+	latency atomic.Int64
 	wanHops atomic.Int64
-	// clock is injectable for tests.
+	// clock is injectable for tests; set at construction, never mutated.
 	clock func() time.Time
 }
 
@@ -86,12 +112,12 @@ func NewStore() *Store {
 	factory := func() index.VectorIndex { return index.NewFlat() }
 	return &Store{
 		users:          map[int]*core.UserRecord{},
+		tokens:         map[string]int{},
 		pes:            map[int]*core.PERecord{},
-		workflows:      map[int]*core.WorkflowRecord{},
 		userPEs:        map[int]map[int]bool{},
+		workflows:      map[int]*core.WorkflowRecord{},
 		userWorkflows:  map[int]map[int]bool{},
 		workflowPEs:    map[int]map[int]bool{},
-		tokens:         map[string]int{},
 		indexFactory:   factory,
 		descIndex:      factory(),
 		codeIndex:      factory(),
@@ -110,8 +136,12 @@ func NewStore() *Store {
 // either way: a stash that failed here can only fail again (the records
 // it would have to match are not going to change back).
 func (s *Store) ConfigureIndex(factory index.Factory) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pesMu.RLock()
+	defer s.pesMu.RUnlock()
+	s.wfsMu.RLock()
+	defer s.wfsMu.RUnlock()
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
 	s.indexFactory = factory
 	if !s.tryRestoreIndexesLocked() {
 		s.rebuildIndexesLocked()
@@ -121,27 +151,32 @@ func (s *Store) ConfigureIndex(factory index.Factory) {
 
 // IndexName reports the active vector-index implementation.
 func (s *Store) IndexName() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
 	return s.descIndex.Name()
 }
 
 // IndexesRestored reports whether the live vector indexes were restored
 // from a persisted snapshot (no retrain) rather than rebuilt.
 func (s *Store) IndexesRestored() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
 	return s.indexesRestored
+}
+
+// indexes returns the three live index pointers under a brief read lock.
+func (s *Store) indexes() (desc, code, wf index.VectorIndex) {
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
+	return s.descIndex, s.codeIndex, s.wfIndex
 }
 
 // WaitIndexReady blocks until no background index retrain is in flight —
 // benchmarks and tests use it to measure a settled index; the serving path
 // never calls it.
 func (s *Store) WaitIndexReady() {
-	s.mu.RLock()
-	indexes := []index.VectorIndex{s.descIndex, s.codeIndex, s.wfIndex}
-	s.mu.RUnlock()
-	for _, idx := range indexes {
+	desc, code, wf := s.indexes()
+	for _, idx := range []index.VectorIndex{desc, code, wf} {
 		if w, ok := idx.(interface{ WaitRetrain() }); ok {
 			w.WaitRetrain()
 		}
@@ -156,11 +191,9 @@ func (s *Store) WaitIndexReady() {
 // benchmark baseline for the restore path; serving deployments rely on
 // background retrains instead.
 func (s *Store) RetrainIndexes() {
-	s.mu.RLock()
-	indexes := []index.VectorIndex{s.descIndex, s.codeIndex, s.wfIndex}
-	s.mu.RUnlock()
+	desc, code, wf := s.indexes()
 	var wg sync.WaitGroup
-	for _, idx := range indexes {
+	for _, idx := range []index.VectorIndex{desc, code, wf} {
 		if tr, ok := idx.(interface{ TrainNow() }); ok {
 			wg.Add(1)
 			go func() {
@@ -172,53 +205,60 @@ func (s *Store) RetrainIndexes() {
 	wg.Wait()
 }
 
+// rebuildIndexesLocked re-creates all three indexes from the records.
+// Caller holds pesMu.R (or stronger), wfsMu.R (or stronger) and idxMu.W.
 func (s *Store) rebuildIndexesLocked() {
 	s.indexesRestored = false
 	s.descIndex = s.indexFactory()
 	s.codeIndex = s.indexFactory()
 	s.wfIndex = s.indexFactory()
 	for id, pe := range s.pes {
-		s.indexPELocked(id, pe)
+		if len(pe.DescEmbedding) > 0 {
+			s.descIndex.Upsert(id, pe.DescEmbedding)
+		}
+		if len(pe.CodeEmbedding) > 0 {
+			s.codeIndex.Upsert(id, pe.CodeEmbedding)
+		}
 	}
 	for id, wf := range s.workflows {
-		s.indexWorkflowLocked(id, wf)
+		if len(wf.DescEmbedding) > 0 {
+			s.wfIndex.Upsert(id, wf.DescEmbedding)
+		}
 	}
 }
 
-// indexPELocked upserts a PE's stored embeddings into both PE indexes
-// (empty embeddings are skipped — such PEs are not semantically
-// searchable).
-func (s *Store) indexPELocked(id int, pe *core.PERecord) {
+// indexPE upserts a PE's stored embeddings into both PE indexes (empty
+// embeddings are skipped — such PEs are not semantically searchable).
+// Callers hold the pes shard lock; the index pointers are fetched under
+// idxMu.R, respecting the lock order.
+func (s *Store) indexPE(id int, pe *core.PERecord) {
+	desc, code, _ := s.indexes()
 	if len(pe.DescEmbedding) > 0 {
-		s.descIndex.Upsert(id, pe.DescEmbedding)
+		desc.Upsert(id, pe.DescEmbedding)
 	}
 	if len(pe.CodeEmbedding) > 0 {
-		s.codeIndex.Upsert(id, pe.CodeEmbedding)
+		code.Upsert(id, pe.CodeEmbedding)
 	}
 }
 
-// indexWorkflowLocked upserts a workflow's description embedding into the
+// indexWorkflow upserts a workflow's description embedding into the
 // workflow index.
-func (s *Store) indexWorkflowLocked(id int, wf *core.WorkflowRecord) {
+func (s *Store) indexWorkflow(id int, wf *core.WorkflowRecord) {
 	if len(wf.DescEmbedding) > 0 {
-		s.wfIndex.Upsert(id, wf.DescEmbedding)
+		_, _, wfIdx := s.indexes()
+		wfIdx.Upsert(id, wf.DescEmbedding)
 	}
 }
 
 // SetLatency configures the simulated WAN round trip applied to every
 // operation (the registry is "hosted remotely on the web-based service").
 func (s *Store) SetLatency(d time.Duration) {
-	s.mu.Lock()
-	s.latency = d
-	s.mu.Unlock()
+	s.latency.Store(int64(d))
 }
 
 func (s *Store) simulateWAN() {
 	s.wanHops.Add(1)
-	s.mu.RLock()
-	d := s.latency
-	s.mu.RUnlock()
-	if d > 0 {
+	if d := time.Duration(s.latency.Load()); d > 0 {
 		time.Sleep(d)
 	}
 }
@@ -227,773 +267,6 @@ func (s *Store) simulateWAN() {
 // served.
 func (s *Store) WANHops() int64 { return s.wanHops.Load() }
 
-func hashPassword(userName, password string) string {
-	h := sha256.Sum256([]byte("laminar:" + userName + ":" + password))
-	return hex.EncodeToString(h[:])
-}
-
-// ---- users ----
-
-// RegisterUser creates a user with a unique name.
-func (s *Store) RegisterUser(userName, password string) (*core.UserRecord, error) {
-	s.simulateWAN()
-	if strings.TrimSpace(userName) == "" {
-		return nil, core.ErrBadRequest("userName", "user name must not be empty")
-	}
-	if password == "" {
-		return nil, core.ErrBadRequest("password", "password must not be empty")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, u := range s.users {
-		if u.UserName == userName {
-			return nil, core.ErrConflict("userName", "user %q already exists", userName)
-		}
-	}
-	u := &core.UserRecord{
-		UserID:       s.nextUserID,
-		UserName:     userName,
-		PasswordHash: hashPassword(userName, password),
-		CreatedAt:    s.clock(),
-	}
-	s.nextUserID++
-	s.users[u.UserID] = u
-	s.userPEs[u.UserID] = map[int]bool{}
-	s.userWorkflows[u.UserID] = map[int]bool{}
-	return u, nil
-}
-
-// Login validates credentials and mints a session token.
-func (s *Store) Login(userName, password string) (*core.UserRecord, string, error) {
-	s.simulateWAN()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, u := range s.users {
-		if u.UserName == userName {
-			if u.PasswordHash != hashPassword(userName, password) {
-				return nil, "", core.ErrUnauthorized("invalid login credentials for %q", userName)
-			}
-			token := s.mintTokenLocked(u.UserID)
-			return u, token, nil
-		}
-	}
-	return nil, "", core.ErrUnauthorized("invalid login credentials for %q", userName)
-}
-
-func (s *Store) mintTokenLocked(userID int) string {
-	raw := fmt.Sprintf("%d:%d:%d", userID, s.clock().UnixNano(), len(s.tokens))
-	h := sha256.Sum256([]byte(raw))
-	token := hex.EncodeToString(h[:16])
-	s.tokens[token] = userID
-	return token
-}
-
-// UserByName resolves a user name.
-func (s *Store) UserByName(userName string) (*core.UserRecord, error) {
-	s.simulateWAN()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, u := range s.users {
-		if u.UserName == userName {
-			return u, nil
-		}
-	}
-	return nil, core.ErrNotFound("user", "no such user %q", userName)
-}
-
-// Users lists all users (GET /auth/all).
-func (s *Store) Users() []core.UserRecord {
-	s.simulateWAN()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]core.UserRecord, 0, len(s.users))
-	for _, u := range s.users {
-		out = append(out, *u)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UserID < out[j].UserID })
-	return out
-}
-
-// ---- PEs ----
-
-// AddPE registers a PE for a user. When a PE with the same name and code
-// already exists (registered by another user), the user is added as an
-// additional owner instead of creating a duplicate entry (Section 3.1).
-func (s *Store) AddPE(userID int, req core.AddPERequest) (*core.PERecord, error) {
-	s.simulateWAN()
-	if strings.TrimSpace(req.PEName) == "" {
-		return nil, core.ErrBadRequest("peName", "PE name must not be empty")
-	}
-	if req.PECode == "" {
-		return nil, core.ErrBadRequest("peCode", "PE code must not be empty")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.users[userID]; !ok {
-		return nil, core.ErrNotFound("user", "no such user id %d", userID)
-	}
-	for _, pe := range s.pes {
-		if pe.PEName == req.PEName {
-			// Same name: associate this user as an additional owner. As with
-			// workflows, adopt embeddings the stored record lacks (a record
-			// predating stored embeddings, re-registered by a newer client)
-			// rather than silently discarding what the client computed.
-			s.userPEs[userID][pe.PEID] = true
-			adopted := false
-			if len(pe.DescEmbedding) == 0 && len(req.DescEmbedding) > 0 {
-				pe.DescEmbedding = append([]float32(nil), req.DescEmbedding...)
-				adopted = true
-			}
-			if len(pe.CodeEmbedding) == 0 && len(req.CodeEmbedding) > 0 {
-				pe.CodeEmbedding = append([]float32(nil), req.CodeEmbedding...)
-				adopted = true
-			}
-			if adopted {
-				s.indexPELocked(pe.PEID, pe)
-			}
-			return pe, nil
-		}
-	}
-	pe := &core.PERecord{
-		PEID:           s.nextPEID,
-		PEName:         req.PEName,
-		Description:    req.Description,
-		AutoSummarized: req.AutoSummarized,
-		PECode:         req.PECode,
-		PEImports:      append([]string(nil), req.PEImports...),
-		CodeEmbedding:  append([]float32(nil), req.CodeEmbedding...),
-		DescEmbedding:  append([]float32(nil), req.DescEmbedding...),
-		CreatedAt:      s.clock(),
-	}
-	s.nextPEID++
-	s.pes[pe.PEID] = pe
-	s.userPEs[userID][pe.PEID] = true
-	s.indexPELocked(pe.PEID, pe)
-	return pe, nil
-}
-
-// PEByID fetches a PE owned by (or visible to) the user.
-func (s *Store) PEByID(userID, peID int) (*core.PERecord, error) {
-	s.simulateWAN()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pe, ok := s.pes[peID]
-	if !ok {
-		return nil, core.ErrNotFound("peId", "no PE with id %d", peID)
-	}
-	if !s.userPEs[userID][peID] {
-		return nil, core.ErrNotFound("peId", "PE %d is not registered to this user", peID)
-	}
-	return pe, nil
-}
-
-// PEByName fetches a user's PE by class name.
-func (s *Store) PEByName(userID int, name string) (*core.PERecord, error) {
-	s.simulateWAN()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for id := range s.userPEs[userID] {
-		if pe := s.pes[id]; pe != nil && pe.PEName == name {
-			return pe, nil
-		}
-	}
-	return nil, core.ErrNotFound("peName", "no PE named %q for this user", name)
-}
-
-// PEsForUser lists the user's PEs ordered by id.
-func (s *Store) PEsForUser(userID int) []core.PERecord {
-	s.simulateWAN()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []core.PERecord
-	for id := range s.userPEs[userID] {
-		if pe := s.pes[id]; pe != nil {
-			out = append(out, *pe)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PEID < out[j].PEID })
-	return out
-}
-
-// RemovePE detaches the PE from the user; the record is deleted once no
-// owner remains.
-func (s *Store) RemovePE(userID, peID int) error {
-	s.simulateWAN()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.pes[peID]; !ok {
-		return core.ErrNotFound("peId", "no PE with id %d", peID)
-	}
-	if !s.userPEs[userID][peID] {
-		return core.ErrNotFound("peId", "PE %d is not registered to this user", peID)
-	}
-	delete(s.userPEs[userID], peID)
-	// delete fully when orphaned
-	owned := false
-	for _, set := range s.userPEs {
-		if set[peID] {
-			owned = true
-			break
-		}
-	}
-	if !owned {
-		delete(s.pes, peID)
-		s.descIndex.Delete(peID)
-		s.codeIndex.Delete(peID)
-		for wid := range s.workflowPEs {
-			delete(s.workflowPEs[wid], peID)
-		}
-	}
-	return nil
-}
-
-// RemovePEByName removes the user's PE by class name.
-func (s *Store) RemovePEByName(userID int, name string) error {
-	pe, err := s.PEByName(userID, name)
-	if err != nil {
-		return err
-	}
-	return s.RemovePE(userID, pe.PEID)
-}
-
-// ---- workflows ----
-
-// AddWorkflow registers a workflow, associating any referenced PEs.
-func (s *Store) AddWorkflow(userID int, req core.AddWorkflowRequest) (*core.WorkflowRecord, error) {
-	s.simulateWAN()
-	if strings.TrimSpace(req.EntryPoint) == "" {
-		return nil, core.ErrBadRequest("entryPoint", "workflow entry point must not be empty")
-	}
-	if req.WorkflowCode == "" {
-		return nil, core.ErrBadRequest("workflowCode", "workflow code must not be empty")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.users[userID]; !ok {
-		return nil, core.ErrNotFound("user", "no such user id %d", userID)
-	}
-	for _, wf := range s.workflows {
-		if wf.EntryPoint == req.EntryPoint {
-			s.userWorkflows[userID][wf.WorkflowID] = true
-			// Adopt an embedding the stored record lacks (a record predating
-			// workflow embeddings, re-registered by a newer client) so the
-			// workflow becomes semantically searchable instead of silently
-			// dropping what the client computed.
-			if len(wf.DescEmbedding) == 0 && len(req.DescEmbedding) > 0 {
-				wf.DescEmbedding = append([]float32(nil), req.DescEmbedding...)
-				s.indexWorkflowLocked(wf.WorkflowID, wf)
-			}
-			return wf, nil
-		}
-	}
-	wf := &core.WorkflowRecord{
-		WorkflowID:    s.nextWorkflowID,
-		WorkflowName:  req.WorkflowName,
-		EntryPoint:    req.EntryPoint,
-		Description:   req.Description,
-		WorkflowCode:  req.WorkflowCode,
-		DescEmbedding: append([]float32(nil), req.DescEmbedding...),
-		CreatedAt:     s.clock(),
-	}
-	s.nextWorkflowID++
-	s.workflows[wf.WorkflowID] = wf
-	s.indexWorkflowLocked(wf.WorkflowID, wf)
-	s.userWorkflows[userID][wf.WorkflowID] = true
-	s.workflowPEs[wf.WorkflowID] = map[int]bool{}
-	for _, peID := range req.PEIDs {
-		if _, ok := s.pes[peID]; ok {
-			s.workflowPEs[wf.WorkflowID][peID] = true
-		}
-	}
-	return wf, nil
-}
-
-// WorkflowByID fetches a user's workflow by id.
-func (s *Store) WorkflowByID(userID, wfID int) (*core.WorkflowRecord, error) {
-	s.simulateWAN()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	wf, ok := s.workflows[wfID]
-	if !ok {
-		return nil, core.ErrNotFound("workflowId", "no workflow with id %d", wfID)
-	}
-	if !s.userWorkflows[userID][wfID] {
-		return nil, core.ErrNotFound("workflowId", "workflow %d is not registered to this user", wfID)
-	}
-	return wf, nil
-}
-
-// WorkflowByName fetches a user's workflow by its entry point name.
-func (s *Store) WorkflowByName(userID int, name string) (*core.WorkflowRecord, error) {
-	s.simulateWAN()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for id := range s.userWorkflows[userID] {
-		if wf := s.workflows[id]; wf != nil && (wf.EntryPoint == name || wf.WorkflowName == name) {
-			return wf, nil
-		}
-	}
-	return nil, core.ErrNotFound("workflowName", "no workflow named %q for this user", name)
-}
-
-// WorkflowsForUser lists the user's workflows ordered by id.
-func (s *Store) WorkflowsForUser(userID int) []core.WorkflowRecord {
-	s.simulateWAN()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []core.WorkflowRecord
-	for id := range s.userWorkflows[userID] {
-		if wf := s.workflows[id]; wf != nil {
-			out = append(out, *wf)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].WorkflowID < out[j].WorkflowID })
-	return out
-}
-
-// RemoveWorkflow detaches a workflow from the user, deleting it when
-// orphaned.
-func (s *Store) RemoveWorkflow(userID, wfID int) error {
-	s.simulateWAN()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.workflows[wfID]; !ok {
-		return core.ErrNotFound("workflowId", "no workflow with id %d", wfID)
-	}
-	if !s.userWorkflows[userID][wfID] {
-		return core.ErrNotFound("workflowId", "workflow %d is not registered to this user", wfID)
-	}
-	delete(s.userWorkflows[userID], wfID)
-	owned := false
-	for _, set := range s.userWorkflows {
-		if set[wfID] {
-			owned = true
-			break
-		}
-	}
-	if !owned {
-		delete(s.workflows, wfID)
-		delete(s.workflowPEs, wfID)
-		s.wfIndex.Delete(wfID)
-	}
-	return nil
-}
-
-// RemoveWorkflowByName removes the user's workflow by name.
-func (s *Store) RemoveWorkflowByName(userID int, name string) error {
-	wf, err := s.WorkflowByName(userID, name)
-	if err != nil {
-		return err
-	}
-	return s.RemoveWorkflow(userID, wf.WorkflowID)
-}
-
-// AssociatePE links a PE to a workflow
-// (PUT /registry/{user}/workflow/{workflowId}/pe/{peId}).
-func (s *Store) AssociatePE(userID, wfID, peID int) error {
-	s.simulateWAN()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.userWorkflows[userID][wfID] {
-		return core.ErrNotFound("workflowId", "workflow %d is not registered to this user", wfID)
-	}
-	if _, ok := s.pes[peID]; !ok {
-		return core.ErrNotFound("peId", "no PE with id %d", peID)
-	}
-	if s.workflowPEs[wfID] == nil {
-		s.workflowPEs[wfID] = map[int]bool{}
-	}
-	s.workflowPEs[wfID][peID] = true
-	return nil
-}
-
-// PEsByWorkflow returns all PEs belonging to a workflow — the query the
-// two-way many-to-many design exists to make cheap (Section 3.1).
-func (s *Store) PEsByWorkflow(userID, wfID int) ([]core.PERecord, error) {
-	s.simulateWAN()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if !s.userWorkflows[userID][wfID] {
-		return nil, core.ErrNotFound("workflowId", "workflow %d is not registered to this user", wfID)
-	}
-	var out []core.PERecord
-	for peID := range s.workflowPEs[wfID] {
-		if pe := s.pes[peID]; pe != nil {
-			out = append(out, *pe)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PEID < out[j].PEID })
-	return out, nil
-}
-
-// Listing returns everything the user has registered
-// (GET /registry/{user}/all).
-func (s *Store) Listing(userID int) core.RegistryListing {
-	return core.RegistryListing{
-		PEs:       s.PEsForUser(userID),
-		Workflows: s.WorkflowsForUser(userID),
-	}
-}
-
-// ---- vector search ----
-
-// SemanticSearch ranks the user's visible PEs against a description-
-// embedding query via the incrementally maintained description index
-// (Section 4.2). Unlike the historic path there is no per-query snapshot of
-// every record: the index answers the top-k probe directly.
-func (s *Store) SemanticSearch(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
-	return s.indexSearch(userID, queryEmbedding, limit, false)
-}
-
-// CompletionSearch ranks the user's visible PEs against a code-embedding
-// query via the incrementally maintained code index (Section 4.3).
-func (s *Store) CompletionSearch(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
-	return s.indexSearch(userID, queryEmbedding, limit, true)
-}
-
-// SemanticSearchWorkflows ranks the user's visible workflows against a
-// description-embedding query via the workflow index — the paper only
-// indexes PEs; this makes SearchBoth semantic for both registry kinds.
-func (s *Store) SemanticSearchWorkflows(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
-	s.simulateWAN()
-	if limit <= 0 {
-		limit = search.DefaultLimit
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.wfHitsLocked(userID, queryEmbedding, limit)
-}
-
-// SemanticSearchBoth probes the PE-description and workflow indexes in a
-// single registry round trip (one simulated WAN hop, one lock hold) and
-// merges the two score-descending lists — the SearchBoth serving path must
-// not pay the remote-registry latency twice.
-func (s *Store) SemanticSearchBoth(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
-	s.simulateWAN()
-	if limit <= 0 {
-		limit = search.DefaultLimit
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return search.MergeRanked(
-		s.peHitsLocked(userID, queryEmbedding, limit, false),
-		s.wfHitsLocked(userID, queryEmbedding, limit),
-		limit)
-}
-
-func (s *Store) indexSearch(userID int, query []float32, limit int, code bool) []core.SearchHit {
-	s.simulateWAN()
-	if limit <= 0 {
-		limit = search.DefaultLimit
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.peHitsLocked(userID, query, limit, code)
-}
-
-// peHitsLocked probes a PE index (description or code embeddings) under the
-// held read lock and resolves the candidates to hits.
-func (s *Store) peHitsLocked(userID int, query []float32, limit int, code bool) []core.SearchHit {
-	idx := s.descIndex
-	if code {
-		idx = s.codeIndex
-	}
-	visible := s.userPEs[userID]
-	cands := idx.Search(query, limit, func(id int) bool { return visible[id] })
-	return search.HitsFromCandidates(cands, func(id int) (core.PERecord, bool) {
-		if pe := s.pes[id]; pe != nil {
-			return *pe, true
-		}
-		return core.PERecord{}, false
-	})
-}
-
-// wfHitsLocked probes the workflow index under the held read lock.
-func (s *Store) wfHitsLocked(userID int, query []float32, limit int) []core.SearchHit {
-	visible := s.userWorkflows[userID]
-	cands := s.wfIndex.Search(query, limit, func(id int) bool { return visible[id] })
-	return search.WorkflowHitsFromCandidates(cands, func(id int) (core.WorkflowRecord, bool) {
-		if wf := s.workflows[id]; wf != nil {
-			return *wf, true
-		}
-		return core.WorkflowRecord{}, false
-	})
-}
-
-// ---- persistence ----
-
-// snapshot is the JSON-serializable registry state.
-type snapshot struct {
-	Users          []core.UserRecord     `json:"users"`
-	PasswordHashes map[int]string        `json:"passwordHashes"`
-	PEs            []core.PERecord       `json:"pes"`
-	Workflows      []core.WorkflowRecord `json:"workflows"`
-	UserPEs        map[int][]int         `json:"userPes"`
-	UserWorkflows  map[int][]int         `json:"userWorkflows"`
-	WorkflowPEs    map[int][]int         `json:"workflowPes"`
-	NextUserID     int                   `json:"nextUserId"`
-	NextPEID       int                   `json:"nextPeId"`
-	NextWorkflowID int                   `json:"nextWorkflowId"`
-	// Embeddings are persisted packed (base64 float32, see packedVec) in
-	// these id-keyed maps rather than inline in the records — at registry
-	// scale the inline JSON number arrays dominated both file size and
-	// load time. Legacy files carry them inline instead; Load accepts both.
-	PEDescVecs       map[int]packedVec `json:"peDescVecs,omitempty"`
-	PECodeVecs       map[int]packedVec `json:"peCodeVecs,omitempty"`
-	WorkflowDescVecs map[int]packedVec `json:"workflowDescVecs,omitempty"`
-	// Indexes carries the serialized vector-index structure (centroids +
-	// shard assignments, not vectors — those live in the maps above) so
-	// a restart restores the trained clustering instead of re-running
-	// k-means. Absent in pre-index snapshot files, which simply rebuild.
-	Indexes *indexSnapshots `json:"indexes,omitempty"`
-}
-
-// indexSnapshots groups the per-embedding-kind index snapshots.
-type indexSnapshots struct {
-	Desc     *index.Snapshot `json:"desc,omitempty"`
-	Code     *index.Snapshot `json:"code,omitempty"`
-	Workflow *index.Snapshot `json:"workflow,omitempty"`
-}
-
-// Save writes the registry to a JSON file.
-func (s *Store) Save(path string) error {
-	s.mu.RLock()
-	snap := snapshot{
-		PasswordHashes: map[int]string{},
-		UserPEs:        map[int][]int{},
-		UserWorkflows:  map[int][]int{},
-		WorkflowPEs:    map[int][]int{},
-		NextUserID:     s.nextUserID,
-		NextPEID:       s.nextPEID,
-		NextWorkflowID: s.nextWorkflowID,
-	}
-	for _, u := range s.users {
-		snap.Users = append(snap.Users, *u)
-		snap.PasswordHashes[u.UserID] = u.PasswordHash
-	}
-	snap.PEDescVecs = map[int]packedVec{}
-	snap.PECodeVecs = map[int]packedVec{}
-	snap.WorkflowDescVecs = map[int]packedVec{}
-	for _, pe := range s.pes {
-		rec := *pe
-		if len(rec.DescEmbedding) > 0 {
-			snap.PEDescVecs[rec.PEID] = packedVec(rec.DescEmbedding)
-			rec.DescEmbedding = nil
-		}
-		if len(rec.CodeEmbedding) > 0 {
-			snap.PECodeVecs[rec.PEID] = packedVec(rec.CodeEmbedding)
-			rec.CodeEmbedding = nil
-		}
-		snap.PEs = append(snap.PEs, rec)
-	}
-	for _, wf := range s.workflows {
-		rec := *wf
-		if len(rec.DescEmbedding) > 0 {
-			snap.WorkflowDescVecs[rec.WorkflowID] = packedVec(rec.DescEmbedding)
-			rec.DescEmbedding = nil
-		}
-		snap.Workflows = append(snap.Workflows, rec)
-	}
-	for uid, set := range s.userPEs {
-		snap.UserPEs[uid] = setToSlice(set)
-	}
-	for uid, set := range s.userWorkflows {
-		snap.UserWorkflows[uid] = setToSlice(set)
-	}
-	for wid, set := range s.workflowPEs {
-		snap.WorkflowPEs[wid] = setToSlice(set)
-	}
-	snap.Indexes = &indexSnapshots{
-		Desc:     s.descIndex.Snapshot(),
-		Code:     s.codeIndex.Snapshot(),
-		Workflow: s.wfIndex.Snapshot(),
-	}
-	s.mu.RUnlock()
-	sort.Slice(snap.Users, func(i, j int) bool { return snap.Users[i].UserID < snap.Users[j].UserID })
-	sort.Slice(snap.PEs, func(i, j int) bool { return snap.PEs[i].PEID < snap.PEs[j].PEID })
-	sort.Slice(snap.Workflows, func(i, j int) bool { return snap.Workflows[i].WorkflowID < snap.Workflows[j].WorkflowID })
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return fmt.Errorf("registry: marshal snapshot: %w", err)
-	}
-	// Atomic replace: a crash mid-write must never leave a truncated file
-	// where the previous good snapshot used to be (Load refuses to boot
-	// over damaged JSON, so a torn write would otherwise wedge restarts).
-	// The data is fsynced before the rename — without it, some filesystems
-	// commit the rename ahead of the data blocks and power loss still
-	// yields an empty file.
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("registry: write snapshot: %w", err)
-	}
-	if _, err := f.Write(data); err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("registry: write snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("registry: install snapshot: %w", err)
-	}
-	return nil
-}
-
-// Load replaces the registry contents from a JSON file.
-func (s *Store) Load(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("registry: read snapshot: %w", err)
-	}
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("registry: parse snapshot: %w", err)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.users = map[int]*core.UserRecord{}
-	s.pes = map[int]*core.PERecord{}
-	s.workflows = map[int]*core.WorkflowRecord{}
-	s.userPEs = map[int]map[int]bool{}
-	s.userWorkflows = map[int]map[int]bool{}
-	s.workflowPEs = map[int]map[int]bool{}
-	for i := range snap.Users {
-		u := snap.Users[i]
-		u.PasswordHash = snap.PasswordHashes[u.UserID]
-		s.users[u.UserID] = &u
-		s.userPEs[u.UserID] = map[int]bool{}
-		s.userWorkflows[u.UserID] = map[int]bool{}
-	}
-	for i := range snap.PEs {
-		pe := snap.PEs[i]
-		// Re-attach packed embeddings; legacy files carry them inline and
-		// the maps are simply absent.
-		if v, ok := snap.PEDescVecs[pe.PEID]; ok && len(pe.DescEmbedding) == 0 {
-			pe.DescEmbedding = v
-		}
-		if v, ok := snap.PECodeVecs[pe.PEID]; ok && len(pe.CodeEmbedding) == 0 {
-			pe.CodeEmbedding = v
-		}
-		s.pes[pe.PEID] = &pe
-	}
-	for i := range snap.Workflows {
-		wf := snap.Workflows[i]
-		if v, ok := snap.WorkflowDescVecs[wf.WorkflowID]; ok && len(wf.DescEmbedding) == 0 {
-			wf.DescEmbedding = v
-		}
-		s.workflows[wf.WorkflowID] = &wf
-	}
-	for uid, ids := range snap.UserPEs {
-		if s.userPEs[uid] == nil {
-			s.userPEs[uid] = map[int]bool{}
-		}
-		for _, id := range ids {
-			s.userPEs[uid][id] = true
-		}
-	}
-	for uid, ids := range snap.UserWorkflows {
-		if s.userWorkflows[uid] == nil {
-			s.userWorkflows[uid] = map[int]bool{}
-		}
-		for _, id := range ids {
-			s.userWorkflows[uid][id] = true
-		}
-	}
-	for wid, ids := range snap.WorkflowPEs {
-		s.workflowPEs[wid] = map[int]bool{}
-		for _, id := range ids {
-			s.workflowPEs[wid][id] = true
-		}
-	}
-	s.nextUserID = snap.NextUserID
-	s.nextPEID = snap.NextPEID
-	s.nextWorkflowID = snap.NextWorkflowID
-	// Restore the persisted index structure when it still matches the
-	// records (same kind, same version, checksum over exactly these
-	// embeddings); otherwise — missing, stale, or foreign-kind snapshot —
-	// fall back to a full rebuild. The snapshots are also stashed so a
-	// later ConfigureIndex (the façade selects the index kind after
-	// loading) gets the same restore-first treatment.
-	s.loadedIndexSnaps = snap.Indexes
-	if !s.tryRestoreIndexesLocked() {
-		s.rebuildIndexesLocked()
-	}
-	return nil
-}
-
-// embeddingSetsLocked collects the per-kind embedding maps exactly as the
-// indexes hold them: only records with a non-empty embedding appear (the
-// rest are not semantically searchable), so the maps line up with the
-// snapshot checksums.
-func (s *Store) embeddingSetsLocked() (desc, code, wf map[int][]float32) {
-	desc = map[int][]float32{}
-	code = map[int][]float32{}
-	wf = map[int][]float32{}
-	for id, pe := range s.pes {
-		if len(pe.DescEmbedding) > 0 {
-			desc[id] = pe.DescEmbedding
-		}
-		if len(pe.CodeEmbedding) > 0 {
-			code[id] = pe.CodeEmbedding
-		}
-	}
-	for id, w := range s.workflows {
-		if len(w.DescEmbedding) > 0 {
-			wf[id] = w.DescEmbedding
-		}
-	}
-	return desc, code, wf
-}
-
-// tryRestoreIndexesLocked attempts to bring up all three indexes from the
-// snapshots stashed by the last Load, restoring them in parallel (checksum
-// validation and vector copies dominate and are independent per index).
-// All-or-nothing: a single mismatch (kind, version, checksum) leaves the
-// previous indexes in place and reports false so the caller rebuilds
-// instead.
-func (s *Store) tryRestoreIndexesLocked() bool {
-	snaps := s.loadedIndexSnaps
-	if snaps == nil || snaps.Desc == nil || snaps.Code == nil || snaps.Workflow == nil {
-		return false
-	}
-	descVecs, codeVecs, wfVecs := s.embeddingSetsLocked()
-	desc, code, wf := s.indexFactory(), s.indexFactory(), s.indexFactory()
-	var wg sync.WaitGroup
-	errs := make([]error, 3)
-	for i, r := range []struct {
-		idx  index.VectorIndex
-		snap *index.Snapshot
-		vecs map[int][]float32
-	}{
-		{desc, snaps.Desc, descVecs},
-		{code, snaps.Code, codeVecs},
-		{wf, snaps.Workflow, wfVecs},
-	} {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			errs[i] = r.idx.Restore(r.snap, r.vecs)
-		}()
-	}
-	wg.Wait()
-	if errs[0] != nil || errs[1] != nil || errs[2] != nil {
-		return false
-	}
-	s.descIndex, s.codeIndex, s.wfIndex = desc, code, wf
-	s.indexesRestored = true
-	// The stash has served its purpose; dropping it releases the O(N)
-	// assignment maps instead of pinning them for the store's lifetime.
-	// (On failure Load keeps it for a subsequent ConfigureIndex with the
-	// matching kind, which consumes it either way.)
-	s.loadedIndexSnaps = nil
-	return true
-}
-
 func setToSlice(set map[int]bool) []int {
 	out := make([]int, 0, len(set))
 	for id := range set {
@@ -1001,12 +274,4 @@ func setToSlice(set map[int]bool) []int {
 	}
 	sort.Ints(out)
 	return out
-}
-
-// UserIDForToken resolves a session token.
-func (s *Store) UserIDForToken(token string) (int, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	id, ok := s.tokens[token]
-	return id, ok
 }

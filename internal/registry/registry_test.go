@@ -1,16 +1,15 @@
 package registry
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"laminar/internal/core"
 	"laminar/internal/index"
+	"laminar/internal/registry/storage"
 	"laminar/internal/search"
 )
 
@@ -639,21 +638,19 @@ func TestLoadStaleSnapshotFallsBackToRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Edit one embedding in the file without touching the index snapshot.
-	data, err := os.ReadFile(path)
+	// Edit one embedding behind the index snapshot's back: load the raw
+	// snapshot, swap a vector, and write it back with the original (now
+	// stale) index structure still attached. The storage layer re-checksums
+	// its own sections, so the file is internally consistent — only the
+	// index-to-records binding is stale, which is exactly what the restore
+	// path must catch.
+	snap, _, err := storage.Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		t.Fatal(err)
-	}
-	snap.PEDescVecs[snap.PEs[0].PEID] = packedVec{0, 0, 1}
-	edited, err := json.Marshal(snap)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, edited, 0o644); err != nil {
+	editedID := snap.PEs[0].PEID
+	snap.PEDescVecs[editedID] = []float32{0, 0, 1}
+	if err := storage.Save(path, storage.FormatV2, snap); err != nil {
 		t.Fatal(err)
 	}
 
@@ -668,7 +665,89 @@ func TestLoadStaleSnapshotFallsBackToRebuild(t *testing.T) {
 	fresh.WaitIndexReady()
 	// The rebuilt index serves the edited embedding.
 	hits := fresh.SemanticSearch(u.UserID, []float32{0, 0, 1}, 1)
-	if len(hits) != 1 || hits[0].ID != snap.PEs[0].PEID {
+	if len(hits) != 1 || hits[0].ID != editedID {
 		t.Fatalf("rebuild did not pick up edited records: %+v", hits)
+	}
+}
+
+// TestV1ToV2MigrationRoundTrip is the serving-layer migration guarantee:
+// a registry persisted in the legacy v1 format loads into a fresh store
+// with its trained indexes restored (zero retrains), and the next Save —
+// the store's default being v2 — migrates it to the layered format without
+// losing a record or a search result.
+func TestV1ToV2MigrationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	v1Path := filepath.Join(dir, "legacy.json")
+	s := NewStore()
+	s.ConfigureIndex(clusteredFactory())
+	u := populate(t, s, 200)
+	s.WaitIndexReady()
+	if err := s.SetStoreFormat("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(v1Path); err != nil {
+		t.Fatal(err)
+	}
+	if f, _, err := storage.Load(v1Path); err != nil {
+		t.Fatal(err)
+	} else if len(f.PEs) != 200 {
+		t.Fatalf("v1 file carries %d PEs", len(f.PEs))
+	}
+	query := []float32{0.6, -0.4, 0.2}
+	wantPE := s.SemanticSearch(u.UserID, query, 10)
+	wantWF := s.SemanticSearchWorkflows(u.UserID, query, 10)
+
+	// Load the v1 file into a default-format (v2) store: lossless, indexes
+	// restored with zero k-means.
+	mid := NewStore()
+	mid.ConfigureIndex(clusteredFactory())
+	if err := mid.Load(v1Path); err != nil {
+		t.Fatal(err)
+	}
+	if !mid.IndexesRestored() {
+		t.Fatal("v1 load rebuilt instead of restoring")
+	}
+	if c := mid.descIndex.(*index.Clustered); c.Retrains() != 0 {
+		t.Fatalf("v1 load retrained %d times", c.Retrains())
+	}
+	if got := mid.SemanticSearch(u.UserID, query, 10); !reflect.DeepEqual(got, wantPE) {
+		t.Fatalf("v1 load diverged:\n got %+v\nwant %+v", got, wantPE)
+	}
+
+	// One-shot migration: the first Save writes v2 (JSON + sidecar).
+	v2Path := filepath.Join(dir, "migrated.json")
+	if err := mid.Save(v2Path); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := storage.DetectFormat(v2Path); err != nil || f != storage.FormatV2 {
+		t.Fatalf("migrated file format: %v (%v)", f, err)
+	}
+	fresh := NewStore()
+	fresh.ConfigureIndex(clusteredFactory())
+	if err := fresh.Load(v2Path); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.IndexesRestored() {
+		t.Fatal("migrated v2 load rebuilt instead of restoring")
+	}
+	if c := fresh.descIndex.(*index.Clustered); c.Retrains() != 0 {
+		t.Fatalf("migrated load retrained %d times", c.Retrains())
+	}
+	if got := len(fresh.PEsForUser(u.UserID)); got != 200 {
+		t.Fatalf("records lost in migration: %d PEs", got)
+	}
+	if got := fresh.SemanticSearch(u.UserID, query, 10); !reflect.DeepEqual(got, wantPE) {
+		t.Fatalf("migrated PE search diverged:\n got %+v\nwant %+v", got, wantPE)
+	}
+	if got := fresh.SemanticSearchWorkflows(u.UserID, query, 10); !reflect.DeepEqual(got, wantWF) {
+		t.Fatalf("migrated workflow search diverged:\n got %+v\nwant %+v", got, wantWF)
+	}
+	// Credentials and counters survive the format hop.
+	if _, _, err := fresh.Login("zz46", "pw-zz46"); err != nil {
+		t.Fatalf("login after migration: %v", err)
+	}
+	pe, err := fresh.AddPE(u.UserID, core.AddPERequest{PEName: "post-migration", PECode: "c"})
+	if err != nil || pe.PEID != 201 {
+		t.Fatalf("id counter after migration: %+v %v", pe, err)
 	}
 }

@@ -1,0 +1,100 @@
+package registry
+
+import (
+	"laminar/internal/core"
+	"laminar/internal/search"
+)
+
+// Vector search. Probes hold only the read lock of the shard whose records
+// they resolve (pes for PE queries, wfs for workflow queries) — the index
+// pointer itself is copied under a momentary idxMu.R — so concurrent
+// searches run fully in parallel and a Save's marshal/IO phase never
+// blocks them.
+
+// SemanticSearch ranks the user's visible PEs against a description-
+// embedding query via the incrementally maintained description index
+// (Section 4.2). Unlike the historic path there is no per-query snapshot of
+// every record: the index answers the top-k probe directly.
+func (s *Store) SemanticSearch(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
+	return s.indexSearch(userID, queryEmbedding, limit, false)
+}
+
+// CompletionSearch ranks the user's visible PEs against a code-embedding
+// query via the incrementally maintained code index (Section 4.3).
+func (s *Store) CompletionSearch(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
+	return s.indexSearch(userID, queryEmbedding, limit, true)
+}
+
+// SemanticSearchWorkflows ranks the user's visible workflows against a
+// description-embedding query via the workflow index — the paper only
+// indexes PEs; this makes SearchBoth semantic for both registry kinds.
+func (s *Store) SemanticSearchWorkflows(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
+	s.simulateWAN()
+	if limit <= 0 {
+		limit = search.DefaultLimit
+	}
+	s.wfsMu.RLock()
+	defer s.wfsMu.RUnlock()
+	return s.wfHitsLocked(userID, queryEmbedding, limit)
+}
+
+// SemanticSearchBoth probes the PE-description and workflow indexes in a
+// single registry round trip (one simulated WAN hop) and merges the two
+// score-descending lists — the SearchBoth serving path must not pay the
+// remote-registry latency twice.
+func (s *Store) SemanticSearchBoth(userID int, queryEmbedding []float32, limit int) []core.SearchHit {
+	s.simulateWAN()
+	if limit <= 0 {
+		limit = search.DefaultLimit
+	}
+	s.pesMu.RLock()
+	defer s.pesMu.RUnlock()
+	s.wfsMu.RLock()
+	defer s.wfsMu.RUnlock()
+	return search.MergeRanked(
+		s.peHitsLocked(userID, queryEmbedding, limit, false),
+		s.wfHitsLocked(userID, queryEmbedding, limit),
+		limit)
+}
+
+func (s *Store) indexSearch(userID int, query []float32, limit int, code bool) []core.SearchHit {
+	s.simulateWAN()
+	if limit <= 0 {
+		limit = search.DefaultLimit
+	}
+	s.pesMu.RLock()
+	defer s.pesMu.RUnlock()
+	return s.peHitsLocked(userID, query, limit, code)
+}
+
+// peHitsLocked probes a PE index (description or code embeddings) under the
+// held pes read lock and resolves the candidates to hits. The lock covers
+// the probe because the visibility filter reads the live ownership set.
+func (s *Store) peHitsLocked(userID int, query []float32, limit int, code bool) []core.SearchHit {
+	desc, codeIdx, _ := s.indexes()
+	idx := desc
+	if code {
+		idx = codeIdx
+	}
+	visible := s.userPEs[userID]
+	cands := idx.Search(query, limit, func(id int) bool { return visible[id] })
+	return search.HitsFromCandidates(cands, func(id int) (core.PERecord, bool) {
+		if pe := s.pes[id]; pe != nil {
+			return *pe, true
+		}
+		return core.PERecord{}, false
+	})
+}
+
+// wfHitsLocked probes the workflow index under the held wfs read lock.
+func (s *Store) wfHitsLocked(userID int, query []float32, limit int) []core.SearchHit {
+	_, _, wfIdx := s.indexes()
+	visible := s.userWorkflows[userID]
+	cands := wfIdx.Search(query, limit, func(id int) bool { return visible[id] })
+	return search.WorkflowHitsFromCandidates(cands, func(id int) (core.WorkflowRecord, bool) {
+		if wf := s.workflows[id]; wf != nil {
+			return *wf, true
+		}
+		return core.WorkflowRecord{}, false
+	})
+}

@@ -1,4 +1,4 @@
-package registry
+package storage
 
 import (
 	"bytes"
@@ -9,13 +9,13 @@ import (
 	"math"
 )
 
-// packedVec is the persistence encoding for embedding vectors: base64 over
-// little-endian float32 bits. A JSON number array costs ~12 bytes and a
-// float parse per component; packed is 5.3 bytes and a bit-copy, which at
-// registry scale (millions of stored floats) is the difference between a
-// cold start dominated by JSON parsing and one dominated by actual index
-// work. Unmarshal also accepts the historic number-array form, so registry
-// files written before packing still load.
+// packedVec is the v1 persistence encoding for embedding vectors: base64
+// over little-endian float32 bits. A JSON number array costs ~12 bytes and
+// a float parse per component; packed is 5.3 bytes and a bit-copy.
+// Unmarshal also accepts the historic number-array form, so registry files
+// written before packing still load. (v2 does better still — raw binary in
+// the sidecar, 4 bytes per component and no base64 round trip — which is
+// why this type is now v1-only.)
 type packedVec []float32
 
 // MarshalJSON encodes the vector as a base64 string of float32 bits.
@@ -50,10 +50,10 @@ func (p *packedVec) UnmarshalJSON(data []byte) error {
 	}
 	raw, err := base64.StdEncoding.DecodeString(s)
 	if err != nil {
-		return fmt.Errorf("registry: packed vector: %w", err)
+		return fmt.Errorf("storage: packed vector: %w", err)
 	}
 	if len(raw)%4 != 0 {
-		return fmt.Errorf("registry: packed vector length %d is not a multiple of 4", len(raw))
+		return fmt.Errorf("storage: packed vector length %d is not a multiple of 4", len(raw))
 	}
 	out := make([]float32, len(raw)/4)
 	for i := range out {

@@ -1,0 +1,453 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"laminar/internal/core"
+	"laminar/internal/index"
+)
+
+// testSnapshot builds a snapshot with n PEs, n/2 workflows, 2 users, full
+// relation tables and trained clustered index snapshots.
+func testSnapshot(t *testing.T, n int) *Snapshot {
+	t.Helper()
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	snap := &Snapshot{
+		PasswordHashes:   map[int]string{1: "hash-one", 2: "hash-two"},
+		UserPEs:          map[int][]int{1: {}, 2: {}},
+		UserWorkflows:    map[int][]int{1: {}, 2: {}},
+		WorkflowPEs:      map[int][]int{},
+		NextUserID:       3,
+		NextPEID:         n + 1,
+		NextWorkflowID:   n/2 + 1,
+		PEDescVecs:       map[int][]float32{},
+		PECodeVecs:       map[int][]float32{},
+		WorkflowDescVecs: map[int][]float32{},
+	}
+	snap.Users = []core.UserRecord{
+		{UserID: 1, UserName: "ann", PasswordHash: "hash-one", CreatedAt: now},
+		{UserID: 2, UserName: "bob", PasswordHash: "hash-two", CreatedAt: now},
+	}
+	descIdx := index.NewClustered(index.ClusteredConfig{Centroids: 4, NProbe: 2})
+	codeIdx := index.NewClustered(index.ClusteredConfig{Centroids: 4, NProbe: 2})
+	wfIdx := index.NewFlat()
+	for i := 1; i <= n; i++ {
+		v := []float32{float32(i) / float32(n), 1 - float32(i)/float32(n), 0.25}
+		snap.PEs = append(snap.PEs, core.PERecord{
+			PEID: i, PEName: fmt.Sprintf("PE%04d", i), Description: "desc",
+			PECode: "code", PEImports: []string{"math"}, CreatedAt: now,
+		})
+		snap.PEDescVecs[i] = v
+		snap.PECodeVecs[i] = v
+		descIdx.Upsert(i, v)
+		codeIdx.Upsert(i, v)
+		owner := 1 + i%2
+		snap.UserPEs[owner] = append(snap.UserPEs[owner], i)
+	}
+	for i := 1; i <= n/2; i++ {
+		v := []float32{0.5, float32(i) / float32(n), 0}
+		snap.Workflows = append(snap.Workflows, core.WorkflowRecord{
+			WorkflowID: i, WorkflowName: fmt.Sprintf("wf%03d", i),
+			EntryPoint: fmt.Sprintf("entry%03d", i), WorkflowCode: "wfcode", CreatedAt: now,
+		})
+		snap.WorkflowDescVecs[i] = v
+		wfIdx.Upsert(i, v)
+		snap.UserWorkflows[1] = append(snap.UserWorkflows[1], i)
+		snap.WorkflowPEs[i] = []int{i, (i % n) + 1}
+	}
+	descIdx.WaitRetrain()
+	codeIdx.WaitRetrain()
+	snap.Indexes = &IndexSnapshots{
+		Desc:     descIdx.Snapshot(),
+		Code:     codeIdx.Snapshot(),
+		Workflow: wfIdx.Snapshot(),
+	}
+	return snap
+}
+
+// assertSnapshotsEqual compares two snapshots field by field (records must
+// already be id-sorted, which both Save paths guarantee).
+func assertSnapshotsEqual(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Users, want.Users) {
+		t.Fatalf("users diverged:\n got %+v\nwant %+v", got.Users, want.Users)
+	}
+	if !reflect.DeepEqual(got.PEs, want.PEs) {
+		t.Fatalf("pes diverged (lens %d vs %d)", len(got.PEs), len(want.PEs))
+	}
+	if !reflect.DeepEqual(got.Workflows, want.Workflows) {
+		t.Fatalf("workflows diverged")
+	}
+	if !reflect.DeepEqual(got.PasswordHashes, want.PasswordHashes) {
+		t.Fatalf("password hashes diverged")
+	}
+	for name, pair := range map[string][2]map[int][]int{
+		"userPes":       {got.UserPEs, want.UserPEs},
+		"userWorkflows": {got.UserWorkflows, want.UserWorkflows},
+		"workflowPes":   {got.WorkflowPEs, want.WorkflowPEs},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Fatalf("%s diverged:\n got %v\nwant %v", name, pair[0], pair[1])
+		}
+	}
+	for name, pair := range map[string][2]map[int][]float32{
+		"peDescVecs":       {got.PEDescVecs, want.PEDescVecs},
+		"peCodeVecs":       {got.PECodeVecs, want.PECodeVecs},
+		"workflowDescVecs": {got.WorkflowDescVecs, want.WorkflowDescVecs},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Fatalf("%s diverged", name)
+		}
+	}
+	if got.NextUserID != want.NextUserID || got.NextPEID != want.NextPEID || got.NextWorkflowID != want.NextWorkflowID {
+		t.Fatalf("counters diverged: %d/%d/%d vs %d/%d/%d",
+			got.NextUserID, got.NextPEID, got.NextWorkflowID,
+			want.NextUserID, want.NextPEID, want.NextWorkflowID)
+	}
+	if !reflect.DeepEqual(got.Indexes, want.Indexes) {
+		t.Fatalf("index snapshots diverged:\n got %+v\nwant %+v", got.Indexes, want.Indexes)
+	}
+}
+
+// strippedUsers mirrors what loads return: UserRecord.PasswordHash is a
+// json:"-" field, so it round-trips via the PasswordHashes map, not the
+// record.
+func stripHashes(snap *Snapshot) *Snapshot {
+	out := snap.normalized()
+	for i := range out.Users {
+		out.Users[i].PasswordHash = ""
+	}
+	return out
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	snap := testSnapshot(t, 100)
+	path := filepath.Join(t.TempDir(), "registry.json")
+	if err := Save(path, FormatV2, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, format, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != FormatV2 {
+		t.Fatalf("detected format %v, want v2", format)
+	}
+	assertSnapshotsEqual(t, got, stripHashes(snap))
+}
+
+func TestV1RoundTrip(t *testing.T) {
+	snap := testSnapshot(t, 60)
+	path := filepath.Join(t.TempDir(), "registry.json")
+	if err := Save(path, FormatV1, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, format, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != FormatV1 {
+		t.Fatalf("detected format %v, want v1", format)
+	}
+	assertSnapshotsEqual(t, got, stripHashes(snap))
+}
+
+// TestV1ToV2Migration is the storage-level half of the migration story: a
+// v1 file loads, saves as v2, and the v2 pair carries the identical
+// snapshot — including the index structure, bit for bit.
+func TestV1ToV2Migration(t *testing.T) {
+	snap := testSnapshot(t, 80)
+	dir := t.TempDir()
+	v1Path := filepath.Join(dir, "registry.json")
+	if err := Save(v1Path, FormatV1, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, format, err := Load(v1Path)
+	if err != nil || format != FormatV1 {
+		t.Fatalf("load v1: %v (format %v)", err, format)
+	}
+	v2Path := filepath.Join(dir, "registry2.json")
+	if err := Save(v2Path, FormatV2, loaded); err != nil {
+		t.Fatal(err)
+	}
+	migrated, format, err := Load(v2Path)
+	if err != nil || format != FormatV2 {
+		t.Fatalf("load migrated v2: %v (format %v)", err, format)
+	}
+	assertSnapshotsEqual(t, migrated, stripHashes(snap))
+}
+
+// TestV2SmallerThanV1: the binary sidecar must beat base64-in-JSON on disk.
+func TestV2SmallerThanV1(t *testing.T) {
+	snap := testSnapshot(t, 200)
+	dir := t.TempDir()
+	v1Path := filepath.Join(dir, "v1.json")
+	v2Path := filepath.Join(dir, "v2.json")
+	if err := Save(v1Path, FormatV1, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(v2Path, FormatV2, snap); err != nil {
+		t.Fatal(err)
+	}
+	v1Size, err := DiskSize(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Size, err := DiskSize(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2Size >= v1Size {
+		t.Fatalf("v2 on-disk total %d >= v1 %d", v2Size, v1Size)
+	}
+}
+
+// TestV2CorruptVectorSectionFailsLoad: flipping one payload byte in a
+// vector section must fail the load — embeddings are data, not derivable.
+func TestV2CorruptVectorSectionFailsLoad(t *testing.T) {
+	snap := testSnapshot(t, 70)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+	if err := Save(path, FormatV2, snap); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := readV2Header(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecPath := filepath.Join(dir, hdr.Sidecar)
+	raw, err := os.ReadFile(vecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first vector section's payload starts right after the 8-byte
+	// header; flip a byte well inside it.
+	raw[64] ^= 0xff
+	if err := os.WriteFile(vecPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Fatal("corrupt vector section loaded cleanly")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("unexpected error (want checksum failure): %v", err)
+	}
+}
+
+// TestV2MismatchedSidecarFailsLoad: a JSON pointing at a sidecar from a
+// different generation must be refused via the pairing checksum.
+func TestV2MismatchedSidecarFailsLoad(t *testing.T) {
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.json")
+	pathB := filepath.Join(dir, "b.json")
+	if err := Save(pathA, FormatV2, testSnapshot(t, 70)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(pathB, FormatV2, testSnapshot(t, 71)); err != nil {
+		t.Fatal(err)
+	}
+	hdrA, err := readV2Header(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrB, err := readV2Header(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Graft B's sidecar under A's expected name.
+	bVec, err := os.ReadFile(filepath.Join(dir, hdrB.Sidecar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, hdrA.Sidecar), bVec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(pathA); err == nil {
+		t.Fatal("mismatched sidecar loaded cleanly")
+	}
+}
+
+// TestV2CorruptIndexSectionDegradesToRebuild: index sections are derivable;
+// corruption there must surface as "no index snapshot", not a failed load.
+func TestV2CorruptIndexSectionDegradesToRebuild(t *testing.T) {
+	snap := testSnapshot(t, 70)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+	if err := Save(path, FormatV2, snap); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := readV2Header(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecPath := filepath.Join(dir, hdr.Sidecar)
+	f, sections, err := openSidecar(vecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	raw, err := os.ReadFile(vecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, sec := range sections {
+		if strings.HasPrefix(sec.name, "idx-") {
+			raw[sec.offset+sec.length/2] ^= 0xff
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no index sections present")
+	}
+	if err := os.WriteFile(vecPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load(path)
+	if err != nil {
+		t.Fatalf("corrupt index section failed the whole load: %v", err)
+	}
+	if got.Indexes != nil {
+		t.Fatalf("corrupt index sections still surfaced: %+v", got.Indexes)
+	}
+	if len(got.PEs) != len(snap.PEs) {
+		t.Fatalf("records lost: %d vs %d", len(got.PEs), len(snap.PEs))
+	}
+}
+
+// TestSaveSweepsStaleSidecars: each successful save removes the previous
+// generation's content-named sidecar.
+func TestSaveSweepsStaleSidecars(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+	if err := Save(path, FormatV2, testSnapshot(t, 70)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, FormatV2, testSnapshot(t, 75)); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "registry.json-*.vec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("expected exactly one live sidecar, found %v", matches)
+	}
+	if _, _, err := Load(path); err != nil {
+		t.Fatalf("load after sweep: %v", err)
+	}
+}
+
+// TestLoadMissingFile keeps the fs.ErrNotExist contract the façade's
+// fresh-start path depends on.
+func TestLoadMissingFile(t *testing.T) {
+	_, _, err := Load(filepath.Join(t.TempDir(), "absent.json"))
+	if err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	if !os.IsNotExist(errUnwrapAll(err)) {
+		t.Fatalf("error does not unwrap to fs.ErrNotExist: %v", err)
+	}
+}
+
+func errUnwrapAll(err error) error {
+	for {
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return err
+		}
+		err = u.Unwrap()
+	}
+}
+
+// TestNormalizedDetachesInlineEmbeddings: a naive snapshot with embeddings
+// still inline on records must persist identically to a pre-stripped one.
+func TestNormalizedDetachesInlineEmbeddings(t *testing.T) {
+	inline := &Snapshot{
+		Users:          []core.UserRecord{{UserID: 1, UserName: "ann"}},
+		PasswordHashes: map[int]string{1: "h"},
+		PEs: []core.PERecord{{
+			PEID: 1, PEName: "X", PECode: "c",
+			DescEmbedding: []float32{1, 0}, CodeEmbedding: []float32{0, 1},
+		}},
+		UserPEs:       map[int][]int{1: {1}},
+		UserWorkflows: map[int][]int{1: {}},
+		WorkflowPEs:   map[int][]int{},
+		NextUserID:    2, NextPEID: 2, NextWorkflowID: 1,
+	}
+	path := filepath.Join(t.TempDir(), "registry.json")
+	if err := Save(path, FormatV2, inline); err != nil {
+		t.Fatal(err)
+	}
+	// Save must not have mutated the caller's records.
+	if len(inline.PEs[0].DescEmbedding) == 0 {
+		t.Fatal("Save mutated the caller's snapshot")
+	}
+	got, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PEs[0].DescEmbedding) != 0 {
+		t.Fatal("embeddings not detached from records")
+	}
+	if !reflect.DeepEqual(got.PEDescVecs[1], []float32{1, 0}) || !reflect.DeepEqual(got.PECodeVecs[1], []float32{0, 1}) {
+		t.Fatalf("vectors lost: %v %v", got.PEDescVecs, got.PECodeVecs)
+	}
+}
+
+// TestV2MissingSidecarIsNotErrNotExist: a JSON half whose sidecar is gone
+// is a damaged snapshot, not an absent one — the error must NOT satisfy
+// fs.ErrNotExist, or the façade's fresh-start exemption would boot an
+// empty registry over the still-recoverable JSON and let the shutdown
+// save destroy it.
+func TestV2MissingSidecarIsNotErrNotExist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+	if err := Save(path, FormatV2, testSnapshot(t, 70)); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := readV2Header(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, hdr.Sidecar)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Load(path)
+	if err == nil {
+		t.Fatal("load with a missing sidecar succeeded")
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing-sidecar error satisfies fs.ErrNotExist (would boot empty over a recoverable file): %v", err)
+	}
+}
+
+// TestSweepSparesForeignSidecars: the post-save sweep must only remove
+// this registry's own content-named generations, never the live sidecar
+// of another registry in the same directory whose name shares the prefix.
+func TestSweepSparesForeignSidecars(t *testing.T) {
+	dir := t.TempDir()
+	main := filepath.Join(dir, "registry.json")
+	foreign := filepath.Join(dir, "registry.json-staging")
+	if err := Save(foreign, FormatV2, testSnapshot(t, 70)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(main, FormatV2, testSnapshot(t, 71)); err != nil {
+		t.Fatal(err)
+	}
+	// The foreign registry (whose sidecar "registry.json-staging-<sum>.vec"
+	// matches the loose glob "registry.json-*.vec") must still load.
+	if _, _, err := Load(foreign); err != nil {
+		t.Fatalf("foreign registry damaged by sweep: %v", err)
+	}
+	if _, _, err := Load(main); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"laminar/internal/core"
+)
+
+// User operations live entirely on the users shard: registrations and
+// logins never contend with PE/workflow traffic or searches.
+
+func hashPassword(userName, password string) string {
+	h := sha256.Sum256([]byte("laminar:" + userName + ":" + password))
+	return hex.EncodeToString(h[:])
+}
+
+// RegisterUser creates a user with a unique name.
+func (s *Store) RegisterUser(userName, password string) (*core.UserRecord, error) {
+	s.simulateWAN()
+	if strings.TrimSpace(userName) == "" {
+		return nil, core.ErrBadRequest("userName", "user name must not be empty")
+	}
+	if password == "" {
+		return nil, core.ErrBadRequest("password", "password must not be empty")
+	}
+	s.usersMu.Lock()
+	defer s.usersMu.Unlock()
+	for _, u := range s.users {
+		if u.UserName == userName {
+			return nil, core.ErrConflict("userName", "user %q already exists", userName)
+		}
+	}
+	u := &core.UserRecord{
+		UserID:       s.nextUserID,
+		UserName:     userName,
+		PasswordHash: hashPassword(userName, password),
+		CreatedAt:    s.clock(),
+	}
+	s.nextUserID++
+	s.users[u.UserID] = u
+	// The per-user ownership sets on the pes/wfs shards are created lazily
+	// by AddPE/AddWorkflow, so registration touches only this shard.
+	return u, nil
+}
+
+// Login validates credentials and mints a session token.
+func (s *Store) Login(userName, password string) (*core.UserRecord, string, error) {
+	s.simulateWAN()
+	s.usersMu.Lock()
+	defer s.usersMu.Unlock()
+	for _, u := range s.users {
+		if u.UserName == userName {
+			if u.PasswordHash != hashPassword(userName, password) {
+				return nil, "", core.ErrUnauthorized("invalid login credentials for %q", userName)
+			}
+			token := s.mintTokenLocked(u.UserID)
+			return u, token, nil
+		}
+	}
+	return nil, "", core.ErrUnauthorized("invalid login credentials for %q", userName)
+}
+
+func (s *Store) mintTokenLocked(userID int) string {
+	raw := fmt.Sprintf("%d:%d:%d", userID, s.clock().UnixNano(), len(s.tokens))
+	h := sha256.Sum256([]byte(raw))
+	token := hex.EncodeToString(h[:16])
+	s.tokens[token] = userID
+	return token
+}
+
+// UserByName resolves a user name.
+func (s *Store) UserByName(userName string) (*core.UserRecord, error) {
+	s.simulateWAN()
+	s.usersMu.RLock()
+	defer s.usersMu.RUnlock()
+	for _, u := range s.users {
+		if u.UserName == userName {
+			return u, nil
+		}
+	}
+	return nil, core.ErrNotFound("user", "no such user %q", userName)
+}
+
+// Users lists all users (GET /auth/all).
+func (s *Store) Users() []core.UserRecord {
+	s.simulateWAN()
+	s.usersMu.RLock()
+	defer s.usersMu.RUnlock()
+	out := make([]core.UserRecord, 0, len(s.users))
+	for _, u := range s.users {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UserID < out[j].UserID })
+	return out
+}
+
+// userExists reports whether a user id is registered (a read on the users
+// shard only — PE/workflow writers call this before taking their own
+// shard's lock; users are never deleted, so the check cannot go stale).
+func (s *Store) userExists(userID int) bool {
+	s.usersMu.RLock()
+	defer s.usersMu.RUnlock()
+	_, ok := s.users[userID]
+	return ok
+}
+
+// UserIDForToken resolves a session token.
+func (s *Store) UserIDForToken(token string) (int, bool) {
+	s.usersMu.RLock()
+	defer s.usersMu.RUnlock()
+	id, ok := s.tokens[token]
+	return id, ok
+}

@@ -7,7 +7,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"strconv"
@@ -20,6 +22,16 @@ import (
 	"laminar/internal/search"
 )
 
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is 0.
+// Generous for legitimate traffic — serialized PE/workflow code envelopes
+// plus embeddings are tens of kilobytes — while keeping a hostile client
+// from streaming gigabytes into a JSON decoder.
+const DefaultMaxBodyBytes = 8 << 20
+
+// shutdownGrace bounds how long Close waits for in-flight requests before
+// forcing the listener down.
+const shutdownGrace = 5 * time.Second
+
 // Config assembles a server.
 type Config struct {
 	// Registry is the DAO layer; a fresh store is created when nil.
@@ -29,6 +41,9 @@ type Config struct {
 	Engine *engine.Engine
 	// SearchLimit caps search hit lists (0 = search.DefaultLimit).
 	SearchLimit int
+	// MaxBodyBytes caps request body sizes (0 = DefaultMaxBodyBytes;
+	// negative disables the limit).
+	MaxBodyBytes int64
 }
 
 // Server is the Laminar API server.
@@ -76,9 +91,18 @@ func (s *Server) Start(addr string) (string, error) {
 // BaseURL returns the server root once started.
 func (s *Server) BaseURL() string { return s.addr }
 
-// Close stops the server.
+// Close stops the server gracefully: in-flight requests get up to
+// shutdownGrace to complete (new connections are refused immediately);
+// whatever is still running after that is cut off hard. The historic
+// behavior — http.Server.Close dropping live requests mid-response — made
+// every deployment restart a visible error for some client.
 func (s *Server) Close() {
-	if s.httpS != nil {
+	if s.httpS == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := s.httpS.Shutdown(ctx); err != nil {
 		_ = s.httpS.Close()
 	}
 }
@@ -126,12 +150,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeErr maps an error to the standardized JSON error body and the
+// matching HTTP status. errors.As (not a bare type assertion) so an
+// APIError that picked up wrapping layers on the way out of the service
+// stack still reaches the client with its real status instead of a
+// blanket 500; an oversize body surfaces as 413 even when it was detected
+// somewhere other than decodeBody.
 func writeErr(w http.ResponseWriter, err error) {
-	if apiErr, ok := err.(*core.APIError); ok {
+	var apiErr *core.APIError
+	if errors.As(err, &apiErr) {
 		writeJSON(w, apiErr.HTTPStatus(), apiErr)
 		return
 	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			core.ErrTooLarge("body", "request body exceeds the %d-byte limit", tooBig.Limit))
+		return
+	}
 	writeJSON(w, http.StatusInternalServerError, core.ErrInternal("%v", err))
+}
+
+// decodeBody parses a JSON request body under the configured size cap.
+// Every body-accepting controller funnels through here, so no handler can
+// forget the MaxBytesReader wrap (which also hard-stops the underlying
+// read, protecting the connection, not just the decoder).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	limit := s.cfg.MaxBodyBytes
+	if limit == 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	if limit > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return core.ErrTooLarge("body", "request body exceeds the %d-byte limit", tooBig.Limit)
+		}
+		return core.ErrBadRequest("body", "invalid JSON: %v", err)
+	}
+	return nil
 }
 
 // withUser resolves the {user} path segment to a user record before the
@@ -167,8 +226,8 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req core.RegisterUserRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
 		return
 	}
 	u, err := s.reg.RegisterUser(req.UserName, req.Password)
@@ -181,8 +240,8 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 	var req core.LoginRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
 		return
 	}
 	u, token, err := s.reg.Login(req.UserName, req.Password)
@@ -197,8 +256,8 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAddPE(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
 	var req core.AddPERequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
 		return
 	}
 	pe, err := s.reg.AddPE(user.UserID, req)
@@ -261,8 +320,8 @@ func (s *Server) handleRemovePEByName(w http.ResponseWriter, r *http.Request, us
 
 func (s *Server) handleAddWorkflow(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
 	var req core.AddWorkflowRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
 		return
 	}
 	wf, err := s.reg.AddWorkflow(user.UserID, req)
@@ -391,8 +450,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, user *core
 // queries carry client-computed embeddings this way).
 func (s *Server) handleSearchPost(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
 	var req core.SearchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
 		return
 	}
 	s.search(w, user, req)
@@ -463,8 +522,8 @@ func (s *Server) search(w http.ResponseWriter, user *core.UserRecord, req core.S
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
 	var req core.ExecutionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, core.ErrBadRequest("body", "invalid JSON: %v", err))
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
 		return
 	}
 	resp, err := s.Execute(user, req)

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"laminar/internal/codec"
 	"laminar/internal/core"
@@ -385,5 +387,84 @@ func TestSemanticSearchCoversWorkflows(t *testing.T) {
 		addr+"/registry/zz46/search/def+f/type/workflow?query=code", nil, &resp)
 	if code != 200 || len(resp.Hits) != 0 {
 		t.Fatalf("workflow code query: %d %+v", code, resp)
+	}
+}
+
+// TestBodySizeLimit: a request body over Config.MaxBodyBytes must be
+// refused with 413 and the standardized PayloadTooLargeError, on every
+// body-accepting endpoint (they all funnel through decodeBody).
+func TestBodySizeLimit(t *testing.T) {
+	srv := New(Config{Engine: engine.New(engine.Config{InstallDelayScale: 0}), MaxBodyBytes: 512})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	code, raw := doReq(t, http.MethodPost, addr+"/auth/register", core.RegisterUserRequest{
+		UserName: strings.Repeat("x", 2048), Password: "pw",
+	}, nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status %d (%s), want 413", code, raw)
+	}
+	if !strings.Contains(raw, "PayloadTooLargeError") {
+		t.Fatalf("oversize body error shape: %s", raw)
+	}
+	// A request under the limit still works.
+	code, raw = doReq(t, http.MethodPost, addr+"/auth/register",
+		core.RegisterUserRequest{UserName: "ok", Password: "pw"}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("normal register after limit config: %d %s", code, raw)
+	}
+}
+
+// TestWriteErrUnwrapsWrappedAPIErrors: an APIError that picked up
+// fmt.Errorf wrapping on its way out must keep its real status, not
+// collapse to 500.
+func TestWriteErrUnwrapsWrappedAPIErrors(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeErr(rec, fmt.Errorf("service layer context: %w", core.ErrNotFound("peId", "no PE with id %d", 9)))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("wrapped NotFound surfaced as %d, want 404", rec.Code)
+	}
+	var apiErr core.APIError
+	if err := json.Unmarshal(rec.Body.Bytes(), &apiErr); err != nil || apiErr.Type != "NotFoundError" {
+		t.Fatalf("wrapped error body: %s (%v)", rec.Body.String(), err)
+	}
+}
+
+// TestGracefulShutdown: Close must let an in-flight request finish (the
+// historic http.Server.Close dropped it mid-response).
+func TestGracefulShutdown(t *testing.T) {
+	srv := New(Config{Engine: engine.New(engine.Config{InstallDelayScale: 0})})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the registry slow so the request is genuinely in flight when
+	// Close lands.
+	srv.Registry().SetLatency(300 * time.Millisecond)
+	type result struct {
+		code int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(addr + "/auth/all")
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.ReadAll(resp.Body)
+		done <- result{resp.StatusCode, nil}
+	}()
+	time.Sleep(100 * time.Millisecond) // request is inside the handler now
+	srv.Close()
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request dropped during shutdown: %v", r.err)
+	}
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request status %d during shutdown, want 200", r.code)
 	}
 }

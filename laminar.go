@@ -71,9 +71,15 @@ type ServerOptions struct {
 	// InstallDelayScale scales simulated library install latencies
 	// (0 = instant, 1 = realistic).
 	InstallDelayScale float64
-	// RegistryPath, when non-empty, loads the registry from this JSON file
-	// at start (if it exists); call SaveRegistry to persist.
+	// RegistryPath, when non-empty, loads the registry from this snapshot
+	// file at start (if it exists); call SaveRegistry to persist.
 	RegistryPath string
+	// StoreFormat selects the on-disk snapshot format SaveRegistry writes:
+	// "v2" (the default: streamed JSON + binary vector sidecar) or "v1"
+	// (the legacy monolithic JSON document). Load auto-detects either, so
+	// upgrading a v1 deployment is just starting it with the default and
+	// letting the first Save migrate the file (see docs/storage.md).
+	StoreFormat string
 	// Index selects the vector index backing semantic search and code
 	// completion: "flat" (exact brute force, the default) or "clustered"
 	// (IVF-style approximate index with sublinear probes).
@@ -109,6 +115,11 @@ func NewServer(opts ServerOptions) *Server {
 		// Fail fast for every embedder, not just the laminar-server flag
 		// path: a typo must not silently benchmark the wrong index.
 		panic(fmt.Sprintf("laminar: unknown ServerOptions.Index %q (want flat or clustered)", opts.Index))
+	}
+	if err := reg.SetStoreFormat(opts.StoreFormat); err != nil {
+		// Same fail-fast contract as Index: a typo must not silently write
+		// the wrong on-disk format.
+		panic(fmt.Sprintf("laminar: ServerOptions.StoreFormat: %v", err))
 	}
 	if opts.RegistryPath != "" {
 		// Absent file = fresh start; any other failure (corrupt/truncated
