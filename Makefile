@@ -10,7 +10,7 @@ GO ?= go
 # verify wall clock for packages with no shared state.
 RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server
 
-.PHONY: build test vet fmt-check docs bench race verify
+.PHONY: build test vet fmt-check docs bench race searchbench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -42,4 +42,12 @@ bench:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-verify: build vet fmt-check docs test race
+# searchbench-smoke is the fast recall gate: a tiny corpus of real
+# description embeddings, hard floors on the tuned recall engine (recall@10
+# >= 0.9, never behind the fixed-nprobe baseline, RecallTarget=1.0 exactly
+# matches Flat). Seconds of wall clock, so recall regressions fail in CI,
+# not in a quarterly benchmark run.
+searchbench-smoke:
+	$(GO) run ./cmd/laminar-bench -searchbench-smoke
+
+verify: build vet fmt-check docs test race searchbench-smoke

@@ -18,19 +18,26 @@ import (
 	"log"
 
 	"laminar/internal/bench"
+	"laminar/internal/index"
 )
 
 func main() {
 	table := flag.Int("table", 0, "run only this table (5, 6 or 7)")
 	figures := flag.Bool("figures", false, "run only the figures")
 	ablations := flag.Bool("ablations", false, "run only the ablations")
-	searchBench := flag.Bool("searchbench", false, "run only the vector-index comparison (Flat vs Clustered)")
-	indexNProbe := flag.Int("index-nprobe", 0, "shards probed per clustered query in -searchbench (0 = auto)")
+	searchBench := flag.Bool("searchbench", false, "run only the vector-index comparison (Flat vs Clustered) plus the recall-vs-latency knob frontier")
+	searchSmoke := flag.Bool("searchbench-smoke", false, "run the fast CI recall gate: tiny corpus, fails when tuned recall@10 drops below 0.9, behind the fixed-nprobe baseline, or when target 1.0 stops being exact")
+	indexNProbe := flag.Int("index-nprobe", 0, "shards probed per clustered query in -searchbench (0 = auto; a nonzero value is the adaptive floor when -index-recall-target is set)")
+	indexRecallTarget := flag.Float64("index-recall-target", 0, "adaptive probe recall target in (0,1] for -searchbench (0 = fixed nprobe)")
+	indexMaxProbe := flag.Int("index-max-probe", 0, "adaptive probe budget cap for -searchbench (0 = no cap)")
+	indexSpill := flag.Float64("index-spill", 0, "spilled-shard ratio for -searchbench (0 = off)")
+	indexOverfetch := flag.Int("index-overfetch", 0, "re-rank pool widening factor for -searchbench (<=1 = off)")
+	frontierSize := flag.Int("frontier-size", 10000, "corpus size for the -searchbench knob frontier (0 disables the sweep)")
 	persistBench := flag.Bool("persistbench", false, "run only the index persistence + background-retrain benchmark")
 	persistSize := flag.Int("persist-size", 10000, "registry size (PEs) for -persistbench")
 	flag.Parse()
 
-	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench
+	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke
 
 	if all || *table == 5 {
 		res, err := bench.RunTable5(bench.DefaultTable5Options())
@@ -78,11 +85,31 @@ func main() {
 		}
 	}
 	if all || *searchBench {
-		sb, err := bench.RunSearchBench(nil, 0, *indexNProbe)
+		sb, err := bench.RunSearchBench(nil, 0, index.ClusteredConfig{
+			NProbe:       *indexNProbe,
+			RecallTarget: *indexRecallTarget,
+			MaxProbe:     *indexMaxProbe,
+			SpillRatio:   *indexSpill,
+			Overfetch:    *indexOverfetch,
+		})
 		if err != nil {
 			log.Fatalf("search bench: %v", err)
 		}
 		fmt.Println(sb.Render())
+		if *frontierSize > 0 {
+			fr, err := bench.RunSearchFrontier(*frontierSize, 0)
+			if err != nil {
+				log.Fatalf("search frontier: %v", err)
+			}
+			fmt.Println(fr.Render())
+		}
+	}
+	if *searchSmoke {
+		summary, err := bench.RunSearchSmoke()
+		fmt.Println(summary)
+		if err != nil {
+			log.Fatalf("searchbench-smoke: %v", err)
+		}
 	}
 	if all || *persistBench {
 		pb, err := bench.RunPersistBench(*persistSize, 0)

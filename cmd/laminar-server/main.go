@@ -26,13 +26,23 @@ func main() {
 	registryLatency := flag.Duration("registry-latency", 0, "simulated WAN latency of the remote registry")
 	voURL := flag.String("vo-url", "", "Virtual Observatory simulator base URL (empty = offline catalog)")
 	installScale := flag.Float64("install-scale", 1, "library install latency scale (0 disables simulated installs)")
-	indexKind := flag.String("index", "flat", "vector index for semantic search: flat (exact) or clustered (IVF ANN)")
+	indexKind := flag.String("index", "flat", "vector index for semantic search and code completion: flat (exact scan) or clustered (IVF ANN; tune with the -index-* knobs, see docs/search.md)")
 	indexCentroids := flag.Int("index-centroids", 0, "clustered index shard count (0 = auto ~sqrt(N))")
-	indexNProbe := flag.Int("index-nprobe", 0, "shards probed per clustered query (0 = auto; >= centroids is exact)")
+	indexNProbe := flag.Int("index-nprobe", 0, "shards probed per clustered query (0 = auto = centroids/4; >= centroids is exact); with -index-recall-target set a nonzero value is the adaptive probe floor instead (auto floor is 1 — easy queries stop after a single shard)")
+	indexRecallTarget := flag.Float64("index-recall-target", 0, "per-query adaptive probing aimed at this recall in (0,1]: shards are visited best-bound-first until the kth-best hit beats every unprobed shard's score bound (1.0 = provably exact, equals flat, unless -index-max-probe caps the scan); 0 keeps the fixed -index-nprobe policy")
+	indexMaxProbe := flag.Int("index-max-probe", 0, "cap on shards an adaptive query may scan, a worst-case latency budget that overrides the recall target (0 = no cap)")
+	indexSpill := flag.Float64("index-spill", 0, "spilled (overlapping) shard assignment: also replicate a vector into its second-nearest shard when that centroid is within (1+ratio)x the distance of its nearest (0 = off; 0.25 is a good start); changes the trained structure, so a mismatched snapshot rebuilds")
+	indexOverfetch := flag.Int("index-overfetch", 0, "re-ranked candidate pool: probe for k*overfetch candidates with cheap partial scoring, then exact-rescore the pool before the top-k (<=1 = off; ignored at -index-recall-target 1.0)")
 	flag.Parse()
 
 	if *indexKind != "flat" && *indexKind != "clustered" {
 		log.Fatalf("laminar-server: unknown -index %q (want flat or clustered)", *indexKind)
+	}
+	if *indexRecallTarget < 0 || *indexRecallTarget > 1 {
+		log.Fatalf("laminar-server: -index-recall-target %g out of range (want 0, or a target in (0,1])", *indexRecallTarget)
+	}
+	if *indexSpill < 0 {
+		log.Fatalf("laminar-server: -index-spill %g out of range (want >= 0)", *indexSpill)
 	}
 	if *storeFormat != "v1" && *storeFormat != "v2" {
 		log.Fatalf("laminar-server: unknown -store %q (want v1 or v2)", *storeFormat)
@@ -46,6 +56,10 @@ func main() {
 		Index:             *indexKind,
 		IndexCentroids:    *indexCentroids,
 		IndexNProbe:       *indexNProbe,
+		IndexRecallTarget: *indexRecallTarget,
+		IndexMaxProbe:     *indexMaxProbe,
+		IndexSpill:        *indexSpill,
+		IndexOverfetch:    *indexOverfetch,
 	})
 	url, err := srv.Start(*addr)
 	if err != nil {

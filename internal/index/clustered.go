@@ -7,15 +7,49 @@ import (
 	"sync"
 )
 
-// ClusteredConfig tunes the IVF-style index.
+// ClusteredConfig tunes the IVF-style index. Centroids and SpillRatio shape
+// the trained *structure* (and are therefore recorded in snapshots); the
+// remaining knobs are pure query-time policy and can differ freely between
+// the process that trained an index and the one that restored it.
 type ClusteredConfig struct {
 	// Centroids fixes the number of clusters; 0 chooses ~sqrt(N)
 	// automatically at (re)train time.
 	Centroids int
 	// NProbe is how many nearest shards a query scans; 0 chooses
 	// max(1, centroids/4). Setting NProbe >= centroids makes the search
-	// exact (identical results to Flat).
+	// exact (identical results to Flat). When RecallTarget is set, NProbe
+	// instead acts as the adaptive probe loop's floor (0 = 1).
 	NProbe int
+	// RecallTarget, in (0, 1], switches probing from the fixed NProbe count
+	// to per-query adaptive widening. The scan stops early on either of two
+	// rules: the *proof* rule — the kth-best candidate found so far exceeds
+	// the score upper bound (centroid similarity + shard radius) of every
+	// unprobed shard, so stopping provably loses nothing — or, below 1.0,
+	// the *diminishing-returns* rule — enough consecutive shards in
+	// best-first order contributed nothing to the top-k (the patience grows
+	// with the target; see patienceFor). At 1.0 only the proof rule may
+	// stop the scan, so the search returns exactly the Flat answer —
+	// unless MaxProbe truncates it first (the budget always wins). 0 (the
+	// default) keeps the historic fixed-NProbe behavior.
+	RecallTarget float64
+	// MaxProbe caps how many shards an adaptive query may scan — a hard
+	// latency budget for worst-case queries that overrides the recall
+	// target, including the exactness of 1.0; 0 means no cap. Ignored
+	// when RecallTarget is 0.
+	MaxProbe int
+	// SpillRatio, when > 0, replicates near-boundary vectors into their
+	// second-nearest shard at assignment time: a vector spills when its
+	// distance to the second-nearest centroid is within (1+SpillRatio)
+	// times the distance to its nearest. Spilled shards overlap, so queries
+	// deduplicate; a full probe still returns exactly the Flat answer.
+	SpillRatio float64
+	// Overfetch, when > 1, widens the candidate pool to k*Overfetch during
+	// the shard scans using cheap partial scoring (a prefix of the vector
+	// dimensions), then exact-rescores the pool with full dot products
+	// before the final top-k. Disabled when RecallTarget >= 1 — exactness
+	// would be lost to the partial scores — and at dimensionalities too
+	// small for a prefix to be cheaper than the full product.
+	Overfetch int
 }
 
 // minTrainSize is the corpus size below which clustering buys nothing; the
@@ -25,30 +59,48 @@ const minTrainSize = 64
 // maxLloydIters bounds the k-means refinement loop per (re)train.
 const maxLloydIters = 8
 
-// trainedSet is one trained clustering: the centroids plus the shard
-// membership of every assigned id. A retrain builds a fresh trainedSet off
-// to the side and installs it with a single pointer swap, so queries either
-// see the old clustering or the new one, never a half-built hybrid.
-// Between retrains the set is maintained incrementally (nearest-centroid
-// insert, shard removal on delete) under the index lock.
+// minPartialDims is the smallest scoring prefix Overfetch will use: a
+// half-vector prefix below this carries too little signal to preselect the
+// pool reliably, so at fewer than 2*minPartialDims total dimensions partial
+// scoring is skipped and the widened pool is scored exactly.
+const minPartialDims = 64
+
+// trainedSet is one trained clustering: the centroids, the shard membership
+// of every assigned id (primary assignment plus optional spill replicas),
+// and per-shard radii bounding how far any member sits from its centroid. A
+// retrain builds a fresh trainedSet off to the side and installs it with a
+// single pointer swap, so queries either see the old clustering or the new
+// one, never a half-built hybrid. Between retrains the set is maintained
+// incrementally (nearest-centroid insert, shard removal on delete) under
+// the index lock.
 type trainedSet struct {
 	centroids [][]float32
-	shards    [][]int     // centroid index → member ids
-	assign    map[int]int // id → centroid index
+	shards    [][]int     // centroid index → member ids (primary + spilled)
+	assign    map[int]int // id → primary centroid index
+	spill     map[int]int // id → secondary centroid index (near-boundary replicas)
+	// radii[ci] is an upper bound on the distance from centroid ci to any
+	// member of shard ci (including spilled members). Inserts widen it,
+	// deletes leave it (still a valid upper bound), retrains recompute it.
+	// The adaptive probe loop turns it into a per-shard score bound:
+	// no member of shard ci can score above dot(q, centroid) + radius.
+	radii []float64
 }
 
 // Clustered is an IVF-style approximate index: vectors are partitioned into
-// shards around k-means-ish centroids, and a query scans only the nprobe
-// shards whose centroids are most similar to it.
+// shards around k-means-ish centroids, and a query scans only the shards
+// whose centroids are most similar to it — a fixed NProbe count, or an
+// adaptively widened set under RecallTarget (see Search).
 //
 // Maintenance is incremental — a new vector is assigned to its nearest
-// existing centroid — with a full deterministic retrain amortized over
-// doublings of the corpus. The retrain runs in a background goroutine
-// against a copy-on-write snapshot of the vectors: queries keep being served
-// from the previous clustering the whole time, inserts that arrive
-// mid-retrain land in a small exact overflow buffer that every query scans
-// alongside the probed shards, and the finished clustering is installed with
-// an atomic pointer swap. The serving path therefore never waits on k-means.
+// existing centroid (and replicated to its second-nearest under SpillRatio)
+// — with a full deterministic retrain amortized over doublings of the
+// corpus and over delete/replace churn. The retrain runs in a background
+// goroutine against a copy-on-write snapshot of the vectors: queries keep
+// being served from the previous clustering the whole time, inserts that
+// arrive mid-retrain land in a small exact overflow buffer that every query
+// scans alongside the probed shards, and the finished clustering is
+// installed with an atomic pointer swap. The serving path therefore never
+// waits on k-means.
 type Clustered struct {
 	mu   sync.RWMutex
 	cond *sync.Cond // broadcast whenever a retrain attempt finishes
@@ -59,6 +111,7 @@ type Clustered struct {
 	overflow map[int]bool
 
 	trainedAt  int  // corpus size at the last completed retrain
+	churn      int  // removals/replacements since the last retrain launch
 	retraining bool // a background retrain is in flight
 	gen        int  // invalidates in-flight retrains on Restore
 	retrains   int  // completed full retrains (observability/tests)
@@ -69,8 +122,19 @@ type Clustered struct {
 	retrainHook func()
 }
 
-// NewClustered creates an empty IVF index.
+// NewClustered creates an empty IVF index. Out-of-range knobs are clamped
+// to their "off" settings rather than rejected — a negative spill ratio or
+// recall target cannot mean anything else.
 func NewClustered(cfg ClusteredConfig) *Clustered {
+	if cfg.SpillRatio < 0 {
+		cfg.SpillRatio = 0
+	}
+	if cfg.RecallTarget < 0 {
+		cfg.RecallTarget = 0
+	}
+	if cfg.RecallTarget > 1 {
+		cfg.RecallTarget = 1
+	}
 	c := &Clustered{cfg: cfg, vecs: map[int][]float32{}, overflow: map[int]bool{}}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -126,16 +190,22 @@ func (c *Clustered) TrainNow() {
 }
 
 // Upsert stores a copy of vec under id; an empty vec removes the entry.
-// With a clustering live the id is assigned to its nearest shard; while a
-// retrain is in flight it goes to the exact overflow buffer instead (the
-// in-flight result is computed from a snapshot and would lose a concurrent
-// shard insert at swap time). Crossing a corpus doubling launches a
-// background retrain.
+// With a clustering live the id is assigned to its nearest shard (plus a
+// spill replica when configured); while a retrain is in flight it goes to
+// the exact overflow buffer instead (the in-flight result is computed from
+// a snapshot and would lose a concurrent shard insert at swap time).
+// Crossing a corpus doubling launches a background retrain.
 func (c *Clustered) Upsert(id int, vec []float32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(vec) == 0 {
+		// A removal, not an insert — it accrues churn exactly like Delete,
+		// so it must run the same trigger check or churn-due retrains
+		// would defer until some unrelated mutation happens by.
 		c.deleteLocked(id)
+		if !c.retraining && c.retrainDueLocked() {
+			c.launchRetrainLocked()
+		}
 		return
 	}
 	c.deleteLocked(id) // replacing: drop any stale shard membership
@@ -151,20 +221,24 @@ func (c *Clustered) Upsert(id int, vec []float32) {
 	case c.trained == nil:
 		// Brute-scan mode: every query visits every vector already.
 	default:
-		ci := nearestCentroid(c.trained.centroids, c.vecs[id])
-		c.trained.assign[id] = ci
-		c.trained.shards[ci] = append(c.trained.shards[ci], id)
+		c.trained.insert(c.cfg, id, c.vecs[id])
 	}
 	if !c.retraining && c.retrainDueLocked() {
 		c.launchRetrainLocked()
 	}
 }
 
-// Delete removes the entry for id.
+// Delete removes the entry for id. Removals count toward the retrain
+// trigger: a corpus that churns in place (delete + insert at a steady size)
+// never crosses a doubling, but its clustering still degrades, so enough
+// accumulated churn relaunches the training too.
 func (c *Clustered) Delete(id int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.deleteLocked(id)
+	if !c.retraining && c.retrainDueLocked() {
+		c.launchRetrainLocked()
+	}
 }
 
 func (c *Clustered) deleteLocked(id int) {
@@ -173,16 +247,51 @@ func (c *Clustered) deleteLocked(id int) {
 	}
 	delete(c.vecs, id)
 	delete(c.overflow, id)
+	c.churn++
 	if c.trained == nil {
 		return
 	}
 	if ci, ok := c.trained.assign[id]; ok {
 		delete(c.trained.assign, id)
-		members := c.trained.shards[ci]
-		for i, m := range members {
-			if m == id {
-				c.trained.shards[ci] = append(members[:i], members[i+1:]...)
-				break
+		c.trained.removeMember(ci, id)
+	}
+	if ci, ok := c.trained.spill[id]; ok {
+		delete(c.trained.spill, id)
+		c.trained.removeMember(ci, id)
+	}
+}
+
+// removeMember drops id from shard ci's member list. The shard radius is
+// deliberately left alone — it remains a valid (if looser) upper bound, and
+// the next retrain recomputes it tight.
+func (ts *trainedSet) removeMember(ci, id int) {
+	members := ts.shards[ci]
+	for i, m := range members {
+		if m == id {
+			ts.shards[ci] = append(members[:i], members[i+1:]...)
+			return
+		}
+	}
+}
+
+// insert assigns one vector into the trained set exactly as every
+// incremental path does: primary nearest shard, a spill replica when the
+// second-nearest centroid is within the spill ratio, and radii widened so
+// the adaptive-probe score bounds stay valid for the new member.
+func (ts *trainedSet) insert(cfg ClusteredConfig, id int, v []float32) {
+	best, second := nearestTwoCentroids(ts.centroids, v)
+	ts.assign[id] = best
+	ts.shards[best] = append(ts.shards[best], id)
+	d1 := distance(ts.centroids[best], v)
+	if d1 > ts.radii[best] {
+		ts.radii[best] = d1
+	}
+	if cfg.SpillRatio > 0 && second >= 0 {
+		if d2 := distance(ts.centroids[second], v); d2 <= (1+cfg.SpillRatio)*d1 {
+			ts.spill[id] = second
+			ts.shards[second] = append(ts.shards[second], id)
+			if d2 > ts.radii[second] {
+				ts.radii[second] = d2
 			}
 		}
 	}
@@ -193,15 +302,21 @@ func (c *Clustered) retrainDueLocked() bool {
 	if n < minTrainSize {
 		return false
 	}
-	return c.trained == nil || n >= 2*c.trainedAt
+	if c.trained == nil {
+		return true
+	}
+	return n >= 2*c.trainedAt || c.churn >= c.trainedAt
 }
 
 // launchRetrainLocked snapshots the vector set and starts the background
 // retrain goroutine. The snapshot shares vector slices with the live map —
 // safe because Upsert always installs a fresh slice, never mutates one in
-// place — so the copy is O(N) map entries, not O(N·d) floats.
+// place — so the copy is O(N) map entries, not O(N·d) floats. The churn
+// counter restarts here: mutations that land after the launch are not
+// reflected in the training under way and must count toward the next one.
 func (c *Clustered) launchRetrainLocked() {
 	c.retraining = true
+	c.churn = 0
 	gen := c.gen
 	snap := make(map[int][]float32, len(c.vecs))
 	for id, v := range c.vecs {
@@ -219,7 +334,7 @@ func (c *Clustered) retrain(snap map[int][]float32, gen int, hook func()) {
 	if hook != nil {
 		hook()
 	}
-	cents, assign := trainKMeans(c.cfg, snap)
+	cents, assign, spill, radii := trainKMeans(c.cfg, snap)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -234,6 +349,8 @@ func (c *Clustered) retrain(snap map[int][]float32, gen int, hook func()) {
 		centroids: cents,
 		shards:    make([][]int, len(cents)),
 		assign:    make(map[int]int, len(c.vecs)),
+		spill:     map[int]int{},
+		radii:     radii,
 	}
 	for id, ci := range assign {
 		if _, ok := c.vecs[id]; !ok {
@@ -248,20 +365,27 @@ func (c *Clustered) retrain(snap map[int][]float32, gen int, hook func()) {
 		ts.assign[id] = ci
 		ts.shards[ci] = append(ts.shards[ci], id)
 	}
+	for id, ci := range spill {
+		if _, ok := ts.assign[id]; !ok {
+			continue // deleted or replaced mid-retrain; handled below
+		}
+		ts.spill[id] = ci
+		ts.shards[ci] = append(ts.shards[ci], id)
+	}
 	// Everything else arrived (or was replaced) mid-retrain and is exactly
 	// the overflow buffer — inserts and replacements during a retrain
 	// always flag it, deletes always clear it. Assign each live vector as
 	// an incremental insert would. Walking the overflow, not all of vecs,
 	// keeps this O(Δ·k·d) for Δ mid-retrain changes — the only index work
-	// that ever happens under the write lock during a retrain.
+	// that ever happens under the write lock during a retrain. (The radii
+	// computed over the snapshot stay valid upper bounds for ids deleted
+	// mid-retrain; insert only ever widens them.)
 	for id := range c.overflow {
 		v, ok := c.vecs[id]
 		if !ok {
 			continue
 		}
-		ci := nearestCentroid(cents, v)
-		ts.assign[id] = ci
-		ts.shards[ci] = append(ts.shards[ci], id)
+		ts.insert(c.cfg, id, v)
 	}
 	c.trained = ts // the atomic swap: queries now see the new clustering
 	c.overflow = map[int]bool{}
@@ -273,7 +397,8 @@ func (c *Clustered) retrain(snap map[int][]float32, gen int, hook func()) {
 	c.retraining = false
 	c.retrains++
 	if c.retrainDueLocked() {
-		// The corpus doubled again while we were training; go around.
+		// The corpus doubled (or churned) again while we were training; go
+		// around.
 		c.launchRetrainLocked()
 	}
 }
@@ -297,13 +422,15 @@ func numCentroids(cfg ClusteredConfig, n int) int {
 // evenly spaced over the id-sorted corpus, up to maxLloydIters Lloyd
 // iterations refine them (ties break toward the lowest centroid index), and
 // a final pass assigns every id to its nearest *final* centroid so shard
-// membership always agrees with the centroids a query probes against. It is
-// a pure function — the background retrain runs it without holding the
-// index lock.
-func trainKMeans(cfg ClusteredConfig, vecs map[int][]float32) ([][]float32, map[int]int) {
+// membership always agrees with the centroids a query probes against. The
+// same final pass computes the spill replicas (second-nearest centroid
+// within the configured ratio) and the per-shard radii the adaptive probe
+// bounds need. It is a pure function — the background retrain runs it
+// without holding the index lock.
+func trainKMeans(cfg ClusteredConfig, vecs map[int][]float32) ([][]float32, map[int]int, map[int]int, []float64) {
 	n := len(vecs)
 	if n == 0 {
-		return nil, map[int]int{}
+		return nil, map[int]int{}, map[int]int{}, nil
 	}
 	ids := make([]int, 0, n)
 	for id := range vecs {
@@ -369,10 +496,26 @@ func trainKMeans(cfg ClusteredConfig, vecs map[int][]float32) ([][]float32, map[
 	}
 
 	out := make(map[int]int, n)
+	spill := map[int]int{}
+	radii := make([]float64, k)
 	for _, id := range ids {
-		out[id] = nearestCentroid(cents, vecs[id])
+		v := vecs[id]
+		best, second := nearestTwoCentroids(cents, v)
+		out[id] = best
+		d1 := distance(cents[best], v)
+		if d1 > radii[best] {
+			radii[best] = d1
+		}
+		if cfg.SpillRatio > 0 && second >= 0 {
+			if d2 := distance(cents[second], v); d2 <= (1+cfg.SpillRatio)*d1 {
+				spill[id] = second
+				if d2 > radii[second] {
+					radii[second] = d2
+				}
+			}
+		}
 	}
-	return cents, out
+	return cents, out, spill, radii
 }
 
 // nearestCentroid returns the index of the centroid most similar to v (ties
@@ -387,7 +530,72 @@ func nearestCentroid(cents [][]float32, v []float32) int {
 	return best
 }
 
-// nprobeLocked resolves the configured probe count against the live
+// nearestTwoCentroids returns the indexes of the two centroids most similar
+// to v. The primary follows nearestCentroid's exact tie rule (toward the
+// lowest index); second is -1 when fewer than two centroids exist.
+func nearestTwoCentroids(cents [][]float32, v []float32) (best, second int) {
+	best, second = 0, -1
+	bestScore, secondScore := math.Inf(-1), math.Inf(-1)
+	for ci, cent := range cents {
+		s := dot(cent, v)
+		switch {
+		case s > bestScore:
+			second, secondScore = best, bestScore
+			best, bestScore = ci, s
+		case s > secondScore:
+			second, secondScore = ci, s
+		}
+	}
+	if len(cents) < 2 {
+		second = -1
+	}
+	return best, second
+}
+
+// distance is the Euclidean distance over the common prefix of two vectors
+// (the same prefix rule the shared dot product uses). Computed directly
+// rather than via 2-2·cos so the shard radii are true distances, not
+// unit-norm approximations — the adaptive stop rule's exactness proof at
+// RecallTarget=1 leans on these being genuine upper bounds.
+func distance(a, b []float32) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// dotPrefix scores only the first m dimensions — the cheap partial score
+// Overfetch uses to build its widened candidate pool before the exact
+// rescore.
+func dotPrefix(a, b []float32, m int) float64 {
+	if len(a) < m {
+		m = len(a)
+	}
+	if len(b) < m {
+		m = len(b)
+	}
+	var s float64
+	for i := 0; i < m; i++ {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// boundPad is the safety margin added to a shard's score upper bound. The
+// bound dot(q,c)+r is exact in real arithmetic for a unit-norm query; the
+// pad absorbs the float32 normalization error of real queries (≲1e-6
+// relative) and the float64 accumulation error of dot and distance, so a
+// bound never rounds *below* a reachable score and the RecallTarget=1 stop
+// rule stays a proof rather than a heuristic.
+func boundPad(r float64) float64 { return 1e-5*r + 1e-9 }
+
+// nprobeLocked resolves the configured fixed probe count against the live
 // centroid set.
 func (c *Clustered) nprobeLocked() int {
 	p := c.cfg.NProbe
@@ -404,18 +612,65 @@ func (c *Clustered) nprobeLocked() int {
 	return p
 }
 
-// Search probes the nprobe shards nearest the query, then brute-scans the
-// overflow buffer (inserts a live retrain has not folded in yet), so fresh
-// vectors are immediately findable — exactly, not approximately. Before the
-// first training completes there are no centroids and the whole corpus is
-// brute-scanned, which is both exact and cheap at that scale. Because
-// shards plus overflow partition the corpus, probing every shard yields
-// exactly the Flat result.
+// probeTarget is one shard in a query's visit plan: its centroid index, the
+// centroid's similarity to the query, and the upper bound on any member's
+// score (centroid similarity + shard radius).
+type probeTarget struct {
+	ci    int
+	score float64
+	bound float64
+}
+
+// patienceFor maps a recall target to the adaptive probe loop's patience:
+// how many consecutive shards may fail to improve the top-k before the scan
+// concludes it has hit diminishing returns. The mapping grows without bound
+// as the target approaches 1 (0.5→1, 0.8→2, 0.9→5, 0.95→10, 0.99→50);
+// target 1.0 never uses it — only the provable bound rule may stop an exact
+// scan.
+func patienceFor(target float64) int {
+	p := int(math.Ceil(target / (2 * (1 - target))))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Search returns the top-k most similar stored vectors.
+//
+// Before the first training completes there are no centroids and the whole
+// corpus is brute-scanned, which is both exact and cheap at that scale.
+// With a clustering live the query runs the probe → (rescore) pipeline:
+//
+//  1. Probe selection. With RecallTarget unset, the NProbe shards with the
+//     most similar centroids are scanned — the historic fixed policy. With
+//     RecallTarget set, shards are visited best-first and the loop stops
+//     early on the proof rule (the kth-best candidate exceeds every
+//     remaining shard's score upper bound, so stopping loses nothing) or,
+//     below target 1.0, the diminishing-returns rule (target-scaled
+//     patience ran out with no top-k improvement) — bounded below by
+//     NProbe and above by MaxProbe. At target 1.0 only the proof rule
+//     stops the scan, so with no MaxProbe cap the answer equals Flat's
+//     exactly (the budget, when set, always wins over the target).
+//  2. Candidate scoring. Shard members are scored with the shared exact dot
+//     product, or — when Overfetch widens the pool — with a cheap
+//     prefix-dimension partial score, keeping the best k·Overfetch.
+//     Spilled (replicated) members are deduplicated as they are met.
+//  3. Overflow. The exact overflow buffer (inserts a live retrain has not
+//     folded in yet) is always scanned, so fresh vectors are immediately
+//     findable.
+//  4. Re-rank. A widened or partially-scored pool is exact-rescored with
+//     full dot products before the final top-k.
+//
+// Because shards plus overflow cover every live vector (spill replicas are
+// deduplicated), probing every shard yields exactly the Flat result.
 func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	top := NewTopK(k)
+	if k <= 0 {
+		return []Candidate{}
+	}
 	if c.trained == nil {
+		top := NewTopK(k)
 		for id, v := range c.vecs {
 			if filter != nil && !filter(id) {
 				continue
@@ -424,35 +679,181 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 		}
 		return top.Sorted()
 	}
-	probe := NewTopK(c.nprobeLocked())
-	for ci, cent := range c.trained.centroids {
-		probe.Push(Candidate{ID: ci, Score: dot(query, cent)})
+	ts := c.trained
+	adaptive := c.cfg.RecallTarget > 0
+
+	// Pool sizing and scoring mode. Overfetch widens the pool and switches
+	// the scan to partial scoring; RecallTarget=1 turns it off (partial
+	// scores would break the exactness the zero-slack stop rule proves),
+	// as do dimensionalities where the prefix is no cheaper than the whole.
+	poolK := k
+	partialDims := 0
+	if of := c.cfg.Overfetch; of > 1 && c.cfg.RecallTarget < 1 {
+		// k is a client-controlled limit and travels here unclamped; a
+		// widened pool must saturate, never overflow into TopK(0).
+		if k > math.MaxInt/of {
+			poolK = math.MaxInt
+		} else {
+			poolK = k * of
+		}
+		if pd := len(query) / 2; pd >= minPartialDims && pd < len(query) {
+			partialDims = pd
+		}
 	}
-	for _, p := range probe.Sorted() {
-		for _, id := range c.trained.shards[p.ID] {
-			if filter != nil && !filter(id) {
-				continue
+	score := func(v []float32) float64 { return dot(query, v) }
+	if partialDims > 0 {
+		p := partialDims
+		score = func(v []float32) float64 { return dotPrefix(query, v, p) }
+	}
+
+	pool := NewTopK(poolK)
+	// gate tracks the kth-best score seen, feeding the adaptive stop rule;
+	// when the pool is not widened it IS the pool.
+	gate := pool
+	if adaptive && poolK != k {
+		gate = NewTopK(k)
+	}
+	var seen map[int]bool // lazy: only spilled ids can be met twice
+	scanID := func(id int) {
+		if filter != nil && !filter(id) {
+			return
+		}
+		if _, spilled := ts.spill[id]; spilled {
+			if seen[id] {
+				return
 			}
-			if v, ok := c.vecs[id]; ok {
-				top.Push(Candidate{ID: id, Score: dot(query, v)})
+			if seen == nil {
+				seen = map[int]bool{}
+			}
+			seen[id] = true
+		}
+		v, ok := c.vecs[id]
+		if !ok {
+			return
+		}
+		cand := Candidate{ID: id, Score: score(v)}
+		pool.Push(cand)
+		if gate != pool {
+			gate.Push(cand)
+		}
+	}
+
+	if !adaptive {
+		probe := NewTopK(c.nprobeLocked())
+		for ci, cent := range ts.centroids {
+			probe.Push(Candidate{ID: ci, Score: dot(query, cent)})
+		}
+		for _, p := range probe.Sorted() {
+			for _, id := range ts.shards[p.ID] {
+				scanID(id)
+			}
+		}
+	} else {
+		exact := c.cfg.RecallTarget >= 1
+		targets := make([]probeTarget, len(ts.centroids))
+		for ci, cent := range ts.centroids {
+			cs := dot(query, cent)
+			targets[ci] = probeTarget{ci: ci, score: cs, bound: cs + ts.radii[ci] + boundPad(ts.radii[ci])}
+		}
+		// An exact scan visits shards best-bound-first so the provable stop
+		// rule sees a monotone bound sequence; an approximate one visits
+		// best-centroid-first, which concentrates the likely hits up front
+		// (a shard with an outlier-inflated radius must not jump the queue).
+		sort.Slice(targets, func(i, j int) bool {
+			a, b := targets[i], targets[j]
+			if exact && a.bound != b.bound {
+				return a.bound > b.bound
+			}
+			if !exact && a.score != b.score {
+				return a.score > b.score
+			}
+			return a.ci < b.ci
+		})
+		// suffixBound[i] caps every score reachable from shard i onward.
+		suffixBound := make([]float64, len(targets)+1)
+		suffixBound[len(targets)] = math.Inf(-1)
+		for i := len(targets) - 1; i >= 0; i-- {
+			suffixBound[i] = math.Max(suffixBound[i+1], targets[i].bound)
+		}
+		minProbe := c.cfg.NProbe
+		if minProbe < 1 {
+			minProbe = 1
+		}
+		maxProbe := c.cfg.MaxProbe
+		if maxProbe <= 0 || maxProbe > len(targets) {
+			maxProbe = len(targets)
+		}
+		if minProbe > maxProbe {
+			minProbe = maxProbe
+		}
+		patience := 0
+		if !exact {
+			patience = patienceFor(c.cfg.RecallTarget)
+		}
+		unimproved := 0
+		for i, t := range targets {
+			if i >= maxProbe {
+				break
+			}
+			if i >= minProbe {
+				worst, full := gate.Worst()
+				// The proof rule: nothing in any remaining shard can reach
+				// the kth-best score, so stopping loses nothing. This is the
+				// only rule an exact (target 1.0) scan may stop on. It is
+				// unsound over partial scores (a prefix dot can exceed the
+				// full dot the bounds cap), so it only runs when the gate
+				// holds exact scores.
+				if full && partialDims == 0 && worst.Score > suffixBound[i] {
+					break
+				}
+				// The diminishing-returns rule: enough consecutive shards
+				// contributed nothing to the top-k that the rest are
+				// unlikely to either. Patience scales with the target.
+				// (Unlike the proof rule this is score-scale-free — it only
+				// compares gate scores to each other — so partial scoring
+				// does not affect its validity, just its sharpness.)
+				if !exact && full && unimproved >= patience {
+					break
+				}
+			}
+			prevWorst, prevFull := gate.Worst()
+			for _, id := range ts.shards[t.ci] {
+				scanID(id)
+			}
+			if !exact {
+				if worst, full := gate.Worst(); full && prevFull && worst.Score <= prevWorst.Score {
+					unimproved++
+				} else {
+					unimproved = 0
+				}
 			}
 		}
 	}
 	for id := range c.overflow {
-		if filter != nil && !filter(id) {
-			continue
-		}
-		if v, ok := c.vecs[id]; ok {
-			top.Push(Candidate{ID: id, Score: dot(query, v)})
+		scanID(id)
+	}
+
+	if poolK == k && partialDims == 0 {
+		return pool.Sorted()
+	}
+	// Re-rank: exact-rescore the widened pool with full dot products. When
+	// the pool was already exactly scored this recomputes identical values,
+	// so enabling Overfetch never changes scores, only which candidates
+	// survive into the pool.
+	final := NewTopK(k)
+	for _, cand := range pool.Sorted() {
+		if v, ok := c.vecs[cand.ID]; ok {
+			final.Push(Candidate{ID: cand.ID, Score: dot(query, v)})
 		}
 	}
-	return top.Sorted()
+	return final.Sorted()
 }
 
-// Snapshot captures the trained structure (centroids + shard assignments)
-// in the versioned serialized form. Ids sitting in the overflow buffer are
-// simply omitted from the assignment map; Restore folds them back in via a
-// nearest-centroid assignment.
+// Snapshot captures the trained structure (centroids + shard assignments,
+// primary and spilled) in the versioned serialized form. Ids sitting in the
+// overflow buffer are simply omitted from the assignment map; Restore folds
+// them back in via a nearest-centroid assignment. Shard radii are not
+// persisted — Restore recomputes them from the members it re-shards.
 func (c *Clustered) Snapshot() *Snapshot {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -464,9 +865,10 @@ func (c *Clustered) Snapshot() *Snapshot {
 	}
 	if c.trained != nil {
 		cs := &ClusteredSnapshot{
-			Centroids: make([][]float32, len(c.trained.centroids)),
-			Assign:    make(map[int]int, len(c.trained.assign)),
-			TrainedAt: c.trainedAt,
+			Centroids:  make([][]float32, len(c.trained.centroids)),
+			Assign:     make(map[int]int, len(c.trained.assign)),
+			TrainedAt:  c.trainedAt,
+			SpillRatio: c.cfg.SpillRatio,
 		}
 		for i, cent := range c.trained.centroids {
 			cs.Centroids[i] = append([]float32(nil), cent...)
@@ -474,17 +876,24 @@ func (c *Clustered) Snapshot() *Snapshot {
 		for id, ci := range c.trained.assign {
 			cs.Assign[id] = ci
 		}
+		if len(c.trained.spill) > 0 {
+			cs.Spill = make(map[int]int, len(c.trained.spill))
+			for id, ci := range c.trained.spill {
+				cs.Spill[id] = ci
+			}
+		}
 		snap.Clustered = cs
 	}
 	return snap
 }
 
 // Restore replaces the index contents from a snapshot and its vector set
-// without retraining: centroids and shard assignments come straight from
-// the snapshot, and any id the snapshot leaves unassigned (it was in the
-// overflow buffer at save time) is assigned to its nearest centroid, the
-// same computation an incremental insert performs. An in-flight retrain is
-// invalidated. On any validation failure the index is left unchanged.
+// without retraining: centroids and shard assignments (primary and spill)
+// come straight from the snapshot, shard radii are recomputed from the
+// re-sharded members, and any id the snapshot leaves unassigned (it was in
+// the overflow buffer at save time) is assigned to its nearest centroid,
+// the same computation an incremental insert performs. An in-flight retrain
+// is invalidated. On any validation failure the index is left unchanged.
 func (c *Clustered) Restore(snap *Snapshot, vecs map[int][]float32) error {
 	if err := validateSnapshot(snap, c.Name(), vecs); err != nil {
 		return err
@@ -511,10 +920,20 @@ func (c *Clustered) Restore(snap *Snapshot, vecs map[int][]float32) error {
 		if c.cfg.Centroids > 0 && k != numCentroids(c.cfg, ta) {
 			return fmt.Errorf("index: snapshot trained %d centroids but config pins %d", k, c.cfg.Centroids)
 		}
+		// The spill ratio shapes the persisted structure the same way the
+		// centroid count does: accepting a mismatch would turn -index-spill
+		// into a silent no-op until the next retrain. Reject and let the
+		// caller rebuild at the configured ratio. (Pre-spill snapshots
+		// carry ratio 0, so they restore exactly when spill is off.)
+		if cs.SpillRatio != c.cfg.SpillRatio {
+			return fmt.Errorf("index: snapshot spill ratio %g but config wants %g", cs.SpillRatio, c.cfg.SpillRatio)
+		}
 		ts = &trainedSet{
 			centroids: make([][]float32, k),
 			shards:    make([][]int, k),
 			assign:    make(map[int]int, len(vecs)),
+			spill:     map[int]int{},
+			radii:     make([]float64, k),
 		}
 		for i, cent := range cs.Centroids {
 			if len(cent) == 0 {
@@ -531,12 +950,27 @@ func (c *Clustered) Restore(snap *Snapshot, vecs map[int][]float32) error {
 		for _, id := range ids {
 			ci, ok := cs.Assign[id]
 			if !ok {
-				ci = nearestCentroid(ts.centroids, vecs[id])
-			} else if ci < 0 || ci >= k {
+				ts.insert(c.cfg, id, vecs[id])
+				continue
+			}
+			if ci < 0 || ci >= k {
 				return fmt.Errorf("index: snapshot assigns id %d to centroid %d of %d", id, ci, k)
 			}
 			ts.assign[id] = ci
 			ts.shards[ci] = append(ts.shards[ci], id)
+			if d := distance(ts.centroids[ci], vecs[id]); d > ts.radii[ci] {
+				ts.radii[ci] = d
+			}
+			if sp, ok := cs.Spill[id]; ok {
+				if sp < 0 || sp >= k {
+					return fmt.Errorf("index: snapshot spills id %d to centroid %d of %d", id, sp, k)
+				}
+				ts.spill[id] = sp
+				ts.shards[sp] = append(ts.shards[sp], id)
+				if d := distance(ts.centroids[sp], vecs[id]); d > ts.radii[sp] {
+					ts.radii[sp] = d
+				}
+			}
 		}
 		if cs.TrainedAt > 0 {
 			trainedAt = cs.TrainedAt
@@ -551,6 +985,7 @@ func (c *Clustered) Restore(snap *Snapshot, vecs map[int][]float32) error {
 	c.overflow = map[int]bool{}
 	c.trained = ts
 	c.trainedAt = trainedAt
+	c.churn = 0
 	// Restore never retrains, by definition — even from an untrained
 	// snapshot (corpus saved inside its first-training window). Such an
 	// index serves exact brute-force answers until the next Upsert, whose

@@ -17,20 +17,41 @@
 //     heap replaces the historic full sort, so a query is O(N·d + N log k)
 //     instead of O(N·d + N log N) with no allocation proportional to N.
 //   - Clustered: an IVF-style approximate index. Vectors are sharded across
-//     k-means-ish centroids; a query probes only the nprobe nearest shards,
-//     giving sublinear scan cost at a small recall trade-off. With nprobe
-//     equal to the number of centroids it degenerates to an exact search
-//     that returns results identical to Flat.
+//     k-means-ish centroids; a query probes only the shards nearest it,
+//     giving sublinear scan cost at a recall trade-off the recall engine's
+//     three composable mechanisms control (see below). With every shard
+//     probed it degenerates to an exact search identical to Flat.
+//
+// The Clustered recall engine stacks three mechanisms, each independently
+// switchable through ClusteredConfig:
+//
+//   - Adaptive probing (RecallTarget/MaxProbe/NProbe): instead of a fixed
+//     probe count, shards are visited best-first and the scan stops early
+//     on a proof (the kth-best candidate beats every remaining shard's
+//     centroid-similarity + shard-radius bound — the only rule allowed at
+//     target 1.0, which therefore returns exactly the Flat answer) or on
+//     diminishing returns (target-scaled patience with no top-k
+//     improvement). Easy queries probe one shard; hard ones widen.
+//   - Spilled shards (SpillRatio): near-boundary vectors are replicated
+//     into their second-nearest shard at assignment time, so points that
+//     straddle a centroid boundary stop being missed. Shards then overlap;
+//     queries deduplicate replicas.
+//   - Widened-pool re-ranking (Overfetch): shard scans collect k·Overfetch
+//     candidates with a cheap prefix-dimension partial score, then the pool
+//     is exact-rescored before the final top-k — more of the scan budget
+//     turns into candidates instead of full-width dot products.
 //
 // Indexes are maintained incrementally: the registry upserts/deletes
 // vectors as records are registered and removed, so queries never need to
 // re-snapshot the full record set. Two durability properties come on top:
 // every index serializes its structure to a versioned Snapshot (restored
 // with checksum validation, so a restart skips retraining), and the
-// Clustered retrain on corpus doublings runs in a background goroutine with
-// an atomic swap — queries are served from the previous clustering
-// throughout, and mid-retrain inserts stay findable via an exact overflow
-// buffer. See docs/index.md for the full subsystem story.
+// Clustered retrain runs in a background goroutine with an atomic swap —
+// triggered by corpus doublings and by delete/replace churn — with queries
+// served from the previous clustering throughout, and mid-retrain inserts
+// staying findable via an exact overflow buffer. See docs/index.md for the
+// subsystem story and docs/search.md for the end-to-end search pipeline and
+// tuning guide.
 package index
 
 import "laminar/internal/embed"

@@ -9,11 +9,16 @@ import (
 	"strconv"
 )
 
-// SnapshotVersion is the current serialized-index format version. Restore
-// rejects snapshots from other versions, which makes the caller fall back to
-// a full rebuild — forward and backward compatibility by retraining, never
-// by guessing at a foreign layout.
-const SnapshotVersion = 1
+// SnapshotVersion is the current serialized-index format version. Version 2
+// made shard assignments multi-valued: near-boundary vectors may carry a
+// second (spilled) shard membership, recorded in ClusteredSnapshot.Spill
+// alongside the primary Assign map, together with the SpillRatio that
+// produced them. Restore accepts every version up to the current one —
+// version-1 snapshots simply restore with no spill replicas — and rejects
+// versions from the future, which makes the caller fall back to a full
+// rebuild: forward compatibility by retraining, never by guessing at a
+// foreign layout.
+const SnapshotVersion = 2
 
 // Snapshot is the versioned, JSON-serializable form of a VectorIndex. It
 // deliberately stores only index *structure* (centroids and shard
@@ -40,13 +45,25 @@ type Snapshot struct {
 }
 
 // ClusteredSnapshot is the trained IVF state: the centroids and which
-// centroid each stored id was assigned to. Overflow-buffered ids (inserted
-// while a retrain was in flight) are simply absent from Assign; Restore
-// re-assigns any unlisted id to its nearest centroid, exactly as an
-// incremental insert would.
+// centroid(s) each stored id was assigned to — the primary assignment in
+// Assign, plus the optional second membership in Spill for near-boundary
+// vectors replicated under SpillRatio (format version 2; version-1
+// snapshots have neither field and decode with both empty).
+// Overflow-buffered ids (inserted while a retrain was in flight) are simply
+// absent from Assign; Restore re-assigns any unlisted id to its nearest
+// centroid(s), exactly as an incremental insert would. Shard radii are not
+// persisted: Restore recomputes them from the memberships it rebuilds.
 type ClusteredSnapshot struct {
 	Centroids [][]float32 `json:"centroids"`
 	Assign    map[int]int `json:"assign"`
+	// Spill maps near-boundary ids to their secondary shard. Together with
+	// Assign it makes assignments multi-valued; shards overlap and queries
+	// deduplicate.
+	Spill map[int]int `json:"spill,omitempty"`
+	// SpillRatio is the ratio the spill set was computed under. Restore
+	// rejects a snapshot whose ratio differs from the configured one — the
+	// structure would silently ignore the knob otherwise.
+	SpillRatio float64 `json:"spillRatio,omitempty"`
 	// TrainedAt is the corpus size at the last full retrain; it anchors the
 	// next corpus-doubling trigger after a restore.
 	TrainedAt int `json:"trainedAt"`
@@ -85,8 +102,8 @@ func validateSnapshot(snap *Snapshot, kind string, vecs map[int][]float32) error
 	if snap == nil {
 		return fmt.Errorf("index: nil snapshot")
 	}
-	if snap.Version != SnapshotVersion {
-		return fmt.Errorf("index: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	if snap.Version < 1 || snap.Version > SnapshotVersion {
+		return fmt.Errorf("index: snapshot version %d, want 1..%d", snap.Version, SnapshotVersion)
 	}
 	if snap.Kind != kind {
 		return fmt.Errorf("index: snapshot kind %q, want %q", snap.Kind, kind)

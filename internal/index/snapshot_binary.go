@@ -26,7 +26,13 @@ import (
 //	  u32 ncentroids, then per centroid: u32 dim + dim*f32
 //	  u64 nassign, then per entry: i64 id, i64 centroid (id-sorted)
 //	  i64 trainedAt
-const binarySnapshotVersion = 1
+//	  codec v2 appends the spill section:
+//	    f64 spillRatio
+//	    u64 nspill, then per entry: i64 id, i64 centroid (id-sorted)
+//
+// The decoder still reads codec-v1 bytes (no spill section — spill ratio 0,
+// no replicas), so sidecars written before the recall engine keep loading.
+const binarySnapshotVersion = 2
 
 // maxBinaryString bounds decoded string lengths — a corrupt length prefix
 // must fail fast, not allocate gigabytes.
@@ -119,6 +125,58 @@ func readVec(r io.Reader) ([]float32, error) {
 	return out, nil
 }
 
+// writeAssignMap emits an id→centroid map as a u64 count followed by
+// id-sorted i64 pairs — the layout shared by the assign and spill sections.
+func writeAssignMap(w io.Writer, m map[int]int) error {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if err := writeU64(w, uint64(len(ids))); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := writeU64(w, uint64(int64(id))); err != nil {
+			return err
+		}
+		if err := writeU64(w, uint64(int64(m[id]))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readAssignMap reads the layout writeAssignMap emits. A nil return (rather
+// than an empty map) for zero entries keeps decoded snapshots
+// DeepEqual-comparable to freshly taken ones, whose optional maps stay nil
+// when unused.
+func readAssignMap(r io.Reader) (map[int]int, error) {
+	n, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<40 {
+		return nil, fmt.Errorf("index: binary snapshot with %d assignments", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make(map[int]int, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		cent, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		out[int(int64(id))] = int(int64(cent))
+	}
+	return out, nil
+}
+
 // EncodeBinary writes the snapshot in the binary little-endian sidecar
 // form. The encoding is deterministic: assignments are emitted id-sorted,
 // so identical snapshots produce identical bytes.
@@ -156,23 +214,16 @@ func (s *Snapshot) EncodeBinary(w io.Writer) error {
 				return err
 			}
 		}
-		ids := make([]int, 0, len(c.Assign))
-		for id := range c.Assign {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		if err := writeU64(bw, uint64(len(ids))); err != nil {
+		if err := writeAssignMap(bw, c.Assign); err != nil {
 			return err
 		}
-		for _, id := range ids {
-			if err := writeU64(bw, uint64(int64(id))); err != nil {
-				return err
-			}
-			if err := writeU64(bw, uint64(int64(c.Assign[id]))); err != nil {
-				return err
-			}
-		}
 		if err := writeU64(bw, uint64(int64(c.TrainedAt))); err != nil {
+			return err
+		}
+		if err := writeU64(bw, math.Float64bits(c.SpillRatio)); err != nil {
+			return err
+		}
+		if err := writeAssignMap(bw, c.Spill); err != nil {
 			return err
 		}
 	}
@@ -189,8 +240,8 @@ func DecodeSnapshotBinary(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("index: binary snapshot header: %w", err)
 	}
-	if codecVer != binarySnapshotVersion {
-		return nil, fmt.Errorf("index: binary snapshot codec version %d, want %d", codecVer, binarySnapshotVersion)
+	if codecVer < 1 || codecVer > binarySnapshotVersion {
+		return nil, fmt.Errorf("index: binary snapshot codec version %d, want 1..%d", codecVer, binarySnapshotVersion)
 	}
 	snap := &Snapshot{}
 	ver, err := readU32(br)
@@ -216,7 +267,7 @@ func DecodeSnapshotBinary(r io.Reader) (*Snapshot, error) {
 	if has[0] == 0 {
 		return snap, nil
 	}
-	c := &ClusteredSnapshot{Assign: map[int]int{}}
+	c := &ClusteredSnapshot{}
 	ncent, err := readU32(br)
 	if err != nil {
 		return nil, err
@@ -230,29 +281,27 @@ func DecodeSnapshotBinary(r io.Reader) (*Snapshot, error) {
 			return nil, err
 		}
 	}
-	nassign, err := readU64(br)
-	if err != nil {
+	if c.Assign, err = readAssignMap(br); err != nil {
 		return nil, err
 	}
-	if nassign > 1<<40 {
-		return nil, fmt.Errorf("index: binary snapshot with %d assignments", nassign)
-	}
-	for i := uint64(0); i < nassign; i++ {
-		id, err := readU64(br)
-		if err != nil {
-			return nil, err
-		}
-		cent, err := readU64(br)
-		if err != nil {
-			return nil, err
-		}
-		c.Assign[int(int64(id))] = int(int64(cent))
+	if c.Assign == nil {
+		c.Assign = map[int]int{} // Snapshot always allocates it; stay DeepEqual
 	}
 	trainedAt, err := readU64(br)
 	if err != nil {
 		return nil, err
 	}
 	c.TrainedAt = int(int64(trainedAt))
+	if codecVer >= 2 {
+		ratioBits, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		c.SpillRatio = math.Float64frombits(ratioBits)
+		if c.Spill, err = readAssignMap(br); err != nil {
+			return nil, err
+		}
+	}
 	snap.Clustered = c
 	return snap, nil
 }

@@ -67,6 +67,17 @@ func (t *TopK) Push(c Candidate) {
 	}
 }
 
+// Worst returns the weakest retained candidate, and whether the collector
+// is full (k candidates held). The adaptive probe loop's stop rule needs
+// exactly "the kth-best score so far", which is only meaningful once k
+// candidates have been seen.
+func (t *TopK) Worst() (Candidate, bool) {
+	if t.k == 0 || len(t.h) < t.k {
+		return Candidate{}, false
+	}
+	return t.h[0], true
+}
+
 // Sorted returns the retained candidates best-first. The collector can keep
 // accepting pushes afterwards.
 func (t *TopK) Sorted() []Candidate {

@@ -88,8 +88,29 @@ type ServerOptions struct {
 	// ~sqrt(N)). Ignored by the flat index.
 	IndexCentroids int
 	// IndexNProbe is how many shards a clustered query scans (0 = auto);
-	// nprobe >= centroids makes clustered search exact.
+	// nprobe >= centroids makes clustered search exact. With a recall
+	// target set a nonzero value is the adaptive probe loop's floor
+	// instead (the auto floor is 1).
 	IndexNProbe int
+	// IndexRecallTarget, in (0, 1], switches clustered probing to per-query
+	// adaptive widening aimed at that recall: probing stops once the
+	// kth-best candidate provably (at 1.0, absent an IndexMaxProbe cap) or
+	// approximately (below it) beats everything an unprobed shard could
+	// hold. 0 keeps the fixed nprobe policy. See docs/search.md.
+	IndexRecallTarget float64
+	// IndexMaxProbe caps the shards an adaptive query may scan — a hard
+	// latency budget that overrides the recall target, including 1.0's
+	// exactness (0 = no cap). Ignored without a recall target.
+	IndexMaxProbe int
+	// IndexSpill, when > 0, replicates near-boundary vectors into their
+	// second-nearest shard (spilled/overlapping assignment): a vector
+	// spills when its second-nearest centroid is within (1+IndexSpill)
+	// times the distance of its nearest.
+	IndexSpill float64
+	// IndexOverfetch, when > 1, widens the clustered candidate pool to
+	// k*IndexOverfetch using cheap partial scoring and exact-rescores the
+	// pool before the final top-k.
+	IndexOverfetch int
 }
 
 // Server is a full Laminar deployment: registry + API server + embedded
@@ -109,7 +130,14 @@ func NewServer(opts ServerOptions) *Server {
 	case "", "flat":
 		// NewStore's default exact index.
 	case "clustered":
-		cfg := index.ClusteredConfig{Centroids: opts.IndexCentroids, NProbe: opts.IndexNProbe}
+		cfg := index.ClusteredConfig{
+			Centroids:    opts.IndexCentroids,
+			NProbe:       opts.IndexNProbe,
+			RecallTarget: opts.IndexRecallTarget,
+			MaxProbe:     opts.IndexMaxProbe,
+			SpillRatio:   opts.IndexSpill,
+			Overfetch:    opts.IndexOverfetch,
+		}
 		reg.ConfigureIndex(func() index.VectorIndex { return index.NewClustered(cfg) })
 	default:
 		// Fail fast for every embedder, not just the laminar-server flag
