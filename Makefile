@@ -8,9 +8,9 @@ GO ?= go
 # vector indexes with background retrains, HTTP serving layer) run under
 # the race detector; running the whole tree under -race would double the
 # verify wall clock for packages with no shared state.
-RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server
+RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server ./internal/telemetry
 
-.PHONY: build test vet fmt-check docs bench race searchbench-smoke verify
+.PHONY: build test vet fmt-check docs bench race searchbench-smoke metrics-smoke verify
 
 build:
 	$(GO) build ./...
@@ -50,4 +50,12 @@ race:
 searchbench-smoke:
 	$(GO) run ./cmd/laminar-bench -searchbench-smoke
 
-verify: build vet fmt-check docs test race searchbench-smoke
+# metrics-smoke is the telemetry gate: boot a metrics-enabled server on a
+# realistic corpus, issue searches over HTTP, scrape /metrics, and fail
+# when the probe/route histograms come back empty, the exposition stops
+# parsing, or docs/operations.md and the live endpoint disagree about
+# which metrics exist. Keeps the runbook's metric reference honest.
+metrics-smoke:
+	$(GO) run ./cmd/laminar-bench -metrics-smoke
+
+verify: build vet fmt-check docs test race searchbench-smoke metrics-smoke

@@ -35,9 +35,11 @@ func main() {
 	frontierSize := flag.Int("frontier-size", 10000, "corpus size for the -searchbench knob frontier (0 disables the sweep)")
 	persistBench := flag.Bool("persistbench", false, "run only the index persistence + background-retrain benchmark")
 	persistSize := flag.Int("persist-size", 10000, "registry size (PEs) for -persistbench")
+	metricsSmoke := flag.Bool("metrics-smoke", false, "run the telemetry CI gate: boot a metrics-enabled server on a corpus, issue searches, scrape /metrics, and fail when the probe/route histograms are empty, the exposition stops parsing, or the runbook's metric names drift from the live endpoint")
+	metricsSmokeDoc := flag.String("metrics-smoke-doc", "docs/operations.md", "runbook whose metric names -metrics-smoke validates against the live endpoint")
 	flag.Parse()
 
-	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke
+	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke && !*metricsSmoke
 
 	if all || *table == 5 {
 		res, err := bench.RunTable5(bench.DefaultTable5Options())
@@ -109,6 +111,15 @@ func main() {
 		fmt.Println(summary)
 		if err != nil {
 			log.Fatalf("searchbench-smoke: %v", err)
+		}
+	}
+	if *metricsSmoke {
+		summary, err := bench.RunMetricsSmoke(*metricsSmokeDoc)
+		if summary != "" {
+			fmt.Println(summary)
+		}
+		if err != nil {
+			log.Fatalf("metrics-smoke: %v", err)
 		}
 	}
 	if all || *persistBench {

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"laminar"
+)
+
+// serverConfig holds every laminar-server flag value. Flag registration
+// lives here, separate from main, so the help-text drift test can build
+// the flag set without running a server and cross-check the `-index-*`
+// knobs against the documented knob table in docs/search.md.
+type serverConfig struct {
+	addr            string
+	registryPath    string
+	storeFormat     string
+	registryLatency time.Duration
+	voURL           string
+	installScale    float64
+	metrics         bool
+
+	indexKind            string
+	indexCentroids       int
+	indexNProbe          int
+	indexRecallTarget    float64
+	indexMaxProbe        int
+	indexSpill           float64
+	indexOverfetch       int
+	indexRetrainCooldown time.Duration
+}
+
+// registerFlags declares every laminar-server flag on fs. The `-index-*`
+// descriptions must stay in agreement with the knob table in
+// docs/search.md — TestIndexFlagsMatchDocumentedKnobs pins the two sets
+// to each other.
+func registerFlags(fs *flag.FlagSet) *serverConfig {
+	c := &serverConfig{}
+	fs.StringVar(&c.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.StringVar(&c.registryPath, "registry", "", "snapshot file to load/persist the registry (optional)")
+	fs.StringVar(&c.storeFormat, "store", "v2", "on-disk registry format: v2 (streamed JSON + binary vector sidecar at <registry>-<sum>.vec) or v1 (legacy single JSON document); load auto-detects, so -store v2 migrates a v1 file on the first save")
+	fs.DurationVar(&c.registryLatency, "registry-latency", 0, "simulated WAN latency of the remote registry")
+	fs.StringVar(&c.voURL, "vo-url", "", "Virtual Observatory simulator base URL (empty = offline catalog)")
+	fs.Float64Var(&c.installScale, "install-scale", 1, "library install latency scale (0 disables simulated installs)")
+	fs.BoolVar(&c.metrics, "metrics", false, "expose operational telemetry at GET /metrics (Prometheus text format; metric reference in docs/operations.md)")
+	fs.StringVar(&c.indexKind, "index", "flat", "vector index for semantic search and code completion: flat (exact scan) or clustered (IVF ANN; tune with the -index-* knobs, see docs/search.md)")
+	fs.IntVar(&c.indexCentroids, "index-centroids", 0, "clustered index shard count at (re)train time (0 = auto ~sqrt(N))")
+	fs.IntVar(&c.indexNProbe, "index-nprobe", 0, "fixed shards scanned per clustered query (0 = auto = centroids/4; >= centroids is exact); with -index-recall-target set a nonzero value is the adaptive probe floor instead (auto floor is 1 — easy queries stop after a single shard)")
+	fs.Float64Var(&c.indexRecallTarget, "index-recall-target", 0, "per-query adaptive probing aimed at this recall in (0,1]: shards are visited best-first until the kth-best hit beats every unprobed shard's score bound (1.0 = provably exact, equals flat, unless -index-max-probe caps the scan); 0 keeps the fixed -index-nprobe policy")
+	fs.IntVar(&c.indexMaxProbe, "index-max-probe", 0, "cap on shards an adaptive query may scan, a worst-case latency budget that overrides the recall target including 1.0's exactness (0 = no cap)")
+	fs.Float64Var(&c.indexSpill, "index-spill", 0, "spilled (overlapping) shard assignment: also replicate a vector into its second-nearest shard when that centroid is within (1+ratio)x the distance of its nearest (0 = off; 0.25 is a good start); changes the trained structure, so a mismatched snapshot rebuilds")
+	fs.IntVar(&c.indexOverfetch, "index-overfetch", 0, "re-ranked candidate pool: probe for k*overfetch candidates with cheap partial scoring, then exact-rescore the pool before the top-k (<=1 = off; ignored at -index-recall-target 1.0)")
+	fs.DurationVar(&c.indexRetrainCooldown, "index-retrain-cooldown", 0, "rate limit on automatic clustered retrains: triggers within this window of the last launch coalesce into one deferred retrain, so a churn burst cannot retrain back-to-back (0 = no limit; tuning guidance in docs/operations.md)")
+	return c
+}
+
+// validate applies the same fail-fast range checks the façade panics on,
+// as flag errors instead.
+func (c *serverConfig) validate() error {
+	if c.indexKind != "flat" && c.indexKind != "clustered" {
+		return fmt.Errorf("unknown -index %q (want flat or clustered)", c.indexKind)
+	}
+	if c.indexRecallTarget < 0 || c.indexRecallTarget > 1 {
+		return fmt.Errorf("-index-recall-target %g out of range (want 0, or a target in (0,1])", c.indexRecallTarget)
+	}
+	if c.indexSpill < 0 {
+		return fmt.Errorf("-index-spill %g out of range (want >= 0)", c.indexSpill)
+	}
+	if c.indexRetrainCooldown < 0 {
+		return fmt.Errorf("-index-retrain-cooldown %v out of range (want >= 0)", c.indexRetrainCooldown)
+	}
+	if c.storeFormat != "v1" && c.storeFormat != "v2" {
+		return fmt.Errorf("unknown -store %q (want v1 or v2)", c.storeFormat)
+	}
+	return nil
+}
+
+// serverOptions maps the parsed flags onto the façade's options.
+func (c *serverConfig) serverOptions() laminar.ServerOptions {
+	return laminar.ServerOptions{
+		RegistryLatency:      c.registryLatency,
+		VOBaseURL:            c.voURL,
+		InstallDelayScale:    c.installScale,
+		RegistryPath:         c.registryPath,
+		StoreFormat:          c.storeFormat,
+		Metrics:              c.metrics,
+		Index:                c.indexKind,
+		IndexCentroids:       c.indexCentroids,
+		IndexNProbe:          c.indexNProbe,
+		IndexRecallTarget:    c.indexRecallTarget,
+		IndexMaxProbe:        c.indexMaxProbe,
+		IndexSpill:           c.indexSpill,
+		IndexOverfetch:       c.indexOverfetch,
+		IndexRetrainCooldown: c.indexRetrainCooldown,
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// knobRowRE matches the first cell of a docs/search.md knob-table row,
+// e.g. `| `-index-centroids` | ...`.
+var knobRowRE = regexp.MustCompile("^`-(index-[a-z-]+)`$")
+
+// TestIndexFlagsMatchDocumentedKnobs pins `laminar-server -h` to the knob
+// table in docs/search.md: every `-index-*` flag the binary registers
+// must have a row in the table, and every row in the table must be a
+// registered flag. Help-text drift between the two was found by audit
+// once; this keeps it from coming back.
+func TestIndexFlagsMatchDocumentedKnobs(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "search.md"))
+	if err != nil {
+		t.Fatalf("reading the knob table's home: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		if m := knobRowRE.FindStringSubmatch(strings.TrimSpace(cells[1])); m != nil {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no `-index-*` knob rows found in docs/search.md — did the table move?")
+	}
+
+	fs := flag.NewFlagSet("laminar-server", flag.ContinueOnError)
+	registerFlags(fs)
+	registered := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Name, "index-") {
+			registered[f.Name] = true
+			if strings.TrimSpace(f.Usage) == "" {
+				t.Errorf("flag -%s has no help text", f.Name)
+			}
+		}
+	})
+
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("flag -%s is registered but has no row in docs/search.md's knob table", name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("docs/search.md documents -%s but laminar-server does not register it", name)
+		}
+	}
+}
+
+// TestFlagValidation pins the fail-fast ranges so a typo'd deployment
+// flag dies at startup, not at first query.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*serverConfig)
+		ok   bool
+	}{
+		{"defaults", func(c *serverConfig) {}, true},
+		{"clustered", func(c *serverConfig) { c.indexKind = "clustered" }, true},
+		{"bad index kind", func(c *serverConfig) { c.indexKind = "ivf" }, false},
+		{"target over 1", func(c *serverConfig) { c.indexRecallTarget = 1.5 }, false},
+		{"negative spill", func(c *serverConfig) { c.indexSpill = -0.1 }, false},
+		{"negative cooldown", func(c *serverConfig) { c.indexRetrainCooldown = -1 }, false},
+		{"bad store", func(c *serverConfig) { c.storeFormat = "v3" }, false},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("laminar-server", flag.ContinueOnError)
+		cfg := registerFlags(fs)
+		tc.mut(cfg)
+		if err := cfg.validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}

@@ -1,11 +1,12 @@
 // laminar-server runs the Laminar API server: the registry (Section 3.1)
 // plus the layered controller tree of Table 3, with an embedded execution
-// engine for /execution/{user}/run.
+// engine for /execution/{user}/run and an optional operational telemetry
+// endpoint (-metrics; see docs/operations.md).
 //
 // Usage:
 //
 //	laminar-server -addr 127.0.0.1:8080 -registry registry.json \
-//	    -registry-latency 10ms -vo-url http://127.0.0.1:9090
+//	    -registry-latency 10ms -vo-url http://127.0.0.1:9090 -metrics
 package main
 
 import (
@@ -20,59 +21,27 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	registryPath := flag.String("registry", "", "snapshot file to load/persist the registry (optional)")
-	storeFormat := flag.String("store", "v2", "on-disk registry format: v2 (streamed JSON + binary vector sidecar at <registry>-<sum>.vec) or v1 (legacy single JSON document); load auto-detects, so -store v2 migrates a v1 file on the first save")
-	registryLatency := flag.Duration("registry-latency", 0, "simulated WAN latency of the remote registry")
-	voURL := flag.String("vo-url", "", "Virtual Observatory simulator base URL (empty = offline catalog)")
-	installScale := flag.Float64("install-scale", 1, "library install latency scale (0 disables simulated installs)")
-	indexKind := flag.String("index", "flat", "vector index for semantic search and code completion: flat (exact scan) or clustered (IVF ANN; tune with the -index-* knobs, see docs/search.md)")
-	indexCentroids := flag.Int("index-centroids", 0, "clustered index shard count (0 = auto ~sqrt(N))")
-	indexNProbe := flag.Int("index-nprobe", 0, "shards probed per clustered query (0 = auto = centroids/4; >= centroids is exact); with -index-recall-target set a nonzero value is the adaptive probe floor instead (auto floor is 1 — easy queries stop after a single shard)")
-	indexRecallTarget := flag.Float64("index-recall-target", 0, "per-query adaptive probing aimed at this recall in (0,1]: shards are visited best-bound-first until the kth-best hit beats every unprobed shard's score bound (1.0 = provably exact, equals flat, unless -index-max-probe caps the scan); 0 keeps the fixed -index-nprobe policy")
-	indexMaxProbe := flag.Int("index-max-probe", 0, "cap on shards an adaptive query may scan, a worst-case latency budget that overrides the recall target (0 = no cap)")
-	indexSpill := flag.Float64("index-spill", 0, "spilled (overlapping) shard assignment: also replicate a vector into its second-nearest shard when that centroid is within (1+ratio)x the distance of its nearest (0 = off; 0.25 is a good start); changes the trained structure, so a mismatched snapshot rebuilds")
-	indexOverfetch := flag.Int("index-overfetch", 0, "re-ranked candidate pool: probe for k*overfetch candidates with cheap partial scoring, then exact-rescore the pool before the top-k (<=1 = off; ignored at -index-recall-target 1.0)")
+	cfg := registerFlags(flag.CommandLine)
 	flag.Parse()
-
-	if *indexKind != "flat" && *indexKind != "clustered" {
-		log.Fatalf("laminar-server: unknown -index %q (want flat or clustered)", *indexKind)
+	if err := cfg.validate(); err != nil {
+		log.Fatalf("laminar-server: %v", err)
 	}
-	if *indexRecallTarget < 0 || *indexRecallTarget > 1 {
-		log.Fatalf("laminar-server: -index-recall-target %g out of range (want 0, or a target in (0,1])", *indexRecallTarget)
-	}
-	if *indexSpill < 0 {
-		log.Fatalf("laminar-server: -index-spill %g out of range (want >= 0)", *indexSpill)
-	}
-	if *storeFormat != "v1" && *storeFormat != "v2" {
-		log.Fatalf("laminar-server: unknown -store %q (want v1 or v2)", *storeFormat)
-	}
-	srv := laminar.NewServer(laminar.ServerOptions{
-		RegistryLatency:   *registryLatency,
-		VOBaseURL:         *voURL,
-		InstallDelayScale: *installScale,
-		RegistryPath:      *registryPath,
-		StoreFormat:       *storeFormat,
-		Index:             *indexKind,
-		IndexCentroids:    *indexCentroids,
-		IndexNProbe:       *indexNProbe,
-		IndexRecallTarget: *indexRecallTarget,
-		IndexMaxProbe:     *indexMaxProbe,
-		IndexSpill:        *indexSpill,
-		IndexOverfetch:    *indexOverfetch,
-	})
-	url, err := srv.Start(*addr)
+	srv := laminar.NewServer(cfg.serverOptions())
+	url, err := srv.Start(cfg.addr)
 	if err != nil {
 		log.Fatalf("laminar-server: %v", err)
 	}
 	log.Printf("laminar-server: serving the Laminar API at %s (vector index: %s)", url, srv.Registry().IndexName())
-	if *registryPath != "" {
+	if cfg.metrics {
+		log.Printf("laminar-server: telemetry exposed at %s/metrics", url)
+	}
+	if cfg.registryPath != "" {
 		how := "rebuilt (no usable index snapshot)"
 		if srv.Registry().IndexesRestored() {
 			how = "restored from snapshot, no retrain"
 		}
 		log.Printf("laminar-server: registry persisted to %s as %s (indexes %s)",
-			*registryPath, srv.Registry().StoreFormat(), how)
+			cfg.registryPath, srv.Registry().StoreFormat(), how)
 	}
 
 	stop := make(chan os.Signal, 1)

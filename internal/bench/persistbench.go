@@ -15,6 +15,7 @@ import (
 	"laminar/internal/index"
 	"laminar/internal/registry"
 	"laminar/internal/registry/storage"
+	"laminar/internal/telemetry"
 )
 
 // PersistBenchResult measures the registry's durability story end to end:
@@ -64,6 +65,12 @@ type PersistBenchResult struct {
 	RetrainMeanQuery time.Duration // mean while a retrain is in flight
 	RetrainMaxQuery  time.Duration // worst single query during the retrain
 	RetrainQueries   int           // queries answered while retraining
+
+	// Retrain telemetry from the doubling-insert phase, read off the same
+	// instruments /metrics exports (laminar_index_retrains_total,
+	// laminar_index_retrain_seconds).
+	RetrainsCompleted uint64
+	RetrainMeanSecs   float64
 }
 
 func clusteredBenchFactory() index.Factory {
@@ -290,6 +297,10 @@ func RunPersistBench(size, queries int) (*PersistBenchResult, error) {
 	// continuously while a doubling insert stream forces a background
 	// retrain. Every latency sample lands while index work is in flight.
 	idx := index.NewClustered(index.ClusteredConfig{})
+	treg := telemetry.NewRegistry()
+	retrainCount := treg.Counter("retrains_total", "completed retrains")
+	retrainSecs := treg.Histogram("retrain_seconds", "retrain durations", telemetry.LatencyBuckets())
+	idx.SetMetrics(&index.ClusteredMetrics{Retrains: retrainCount, RetrainSeconds: retrainSecs})
 	for i, v := range corpus {
 		idx.Upsert(i+1, v)
 	}
@@ -323,6 +334,10 @@ func RunPersistBench(size, queries int) (*PersistBenchResult, error) {
 	}
 	if res.RetrainQueries > 0 {
 		res.RetrainMeanQuery = total / time.Duration(res.RetrainQueries)
+	}
+	res.RetrainsCompleted = retrainCount.Value()
+	if n := retrainSecs.Count(); n > 0 {
+		res.RetrainMeanSecs = retrainSecs.Sum() / float64(n)
 	}
 	return res, nil
 }
@@ -358,5 +373,7 @@ func (r *PersistBenchResult) Render() string {
 	fmt.Fprintf(&sb, "  mid-retrain mean query:      %12v  (%d queries)\n",
 		r.RetrainMeanQuery.Round(time.Microsecond), r.RetrainQueries)
 	fmt.Fprintf(&sb, "  mid-retrain worst query:     %12v\n", r.RetrainMaxQuery.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "  retrain telemetry:           %12d retrains, mean %s each (laminar_index_retrain* on /metrics)\n",
+		r.RetrainsCompleted, (time.Duration(r.RetrainMeanSecs * float64(time.Second))).Round(time.Millisecond))
 	return sb.String()
 }

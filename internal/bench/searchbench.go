@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"time"
 
 	"laminar/internal/embed"
 	"laminar/internal/index"
 	"laminar/internal/search"
+	"laminar/internal/telemetry"
 )
 
 // SearchBenchRow is one corpus-size measurement of the vector-index
@@ -20,6 +22,75 @@ type SearchBenchRow struct {
 	ClusteredQry time.Duration
 	Speedup      float64 // Flat / Clustered
 	RecallAt10   float64 // fraction of Flat's top-10 the Clustered probe recovers
+	Probes       ProbeSummary
+}
+
+// ProbeSummary condenses one run's per-query probe telemetry: the same
+// histograms a production /metrics endpoint exports
+// (laminar_index_probe_shards, laminar_index_query_stops_total), read
+// back as quantiles and a stop-rule attribution.
+type ProbeSummary struct {
+	P50, P90, Max float64           // shards probed per query
+	Stops         map[string]uint64 // stop rule → queries
+}
+
+// probeCollector attaches fresh probe instruments to a clustered index
+// and reads them back as a ProbeSummary.
+type probeCollector struct {
+	probes *telemetry.Histogram
+	stops  *telemetry.CounterVec
+}
+
+func attachProbeMetrics(c *index.Clustered) *probeCollector {
+	reg := telemetry.NewRegistry()
+	pc := &probeCollector{
+		probes: reg.Histogram("probe_shards", "shards probed per query", telemetry.CountBuckets()),
+		stops:  reg.CounterVec("query_stops_total", "stop-rule attribution", "rule"),
+	}
+	c.SetMetrics(&index.ClusteredMetrics{Probes: pc.probes, Stops: pc.stops})
+	return pc
+}
+
+func (pc *probeCollector) summary() ProbeSummary {
+	return ProbeSummary{
+		P50:   pc.probes.Quantile(0.5),
+		P90:   pc.probes.Quantile(0.9),
+		Max:   pc.probes.Max(),
+		Stops: pc.stops.Values(),
+	}
+}
+
+// describeStops renders a stop-rule attribution compactly, dominant rule
+// first ("proof 72%, diminishing-returns 28%").
+func describeStops(stops map[string]uint64) string {
+	var total uint64
+	for _, n := range stops {
+		total += n
+	}
+	if total == 0 {
+		return "no queries"
+	}
+	type kv struct {
+		rule string
+		n    uint64
+	}
+	sorted := make([]kv, 0, len(stops))
+	for rule, n := range stops {
+		if n > 0 {
+			sorted = append(sorted, kv{rule, n})
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].n != sorted[j].n {
+			return sorted[i].n > sorted[j].n
+		}
+		return sorted[i].rule < sorted[j].rule
+	})
+	parts := make([]string, len(sorted))
+	for i, s := range sorted {
+		parts[i] = fmt.Sprintf("%s %d%%", s.rule, (100*s.n+total/2)/total)
+	}
+	return strings.Join(parts, ", ")
 }
 
 // SearchBenchResult compares the two index implementations across corpus
@@ -201,6 +272,7 @@ func RunSearchBench(sizes []int, queries int, cfg index.ClusteredConfig) (*Searc
 		// corpus before timing (mid-retrain serving behaviour is
 		// -persistbench's subject, not this comparison's).
 		clus.TrainNow()
+		pc := attachProbeMetrics(clus)
 
 		flatPer, flatHits := timeQueries(flat, qs)
 		clusPer, clusHits := timeQueries(clus, qs)
@@ -211,6 +283,7 @@ func RunSearchBench(sizes []int, queries int, cfg index.ClusteredConfig) (*Searc
 		res.Rows = append(res.Rows, SearchBenchRow{
 			CorpusSize: n, FlatQuery: flatPer, ClusteredQry: clusPer,
 			Speedup: speedup, RecallAt10: recallAgainst(flatHits, clusHits),
+			Probes: pc.summary(),
 		})
 	}
 	return res, nil
@@ -222,11 +295,16 @@ func (r *SearchBenchResult) Render() string {
 	sb.WriteString("Vector-index comparison: exact Flat scan vs Clustered IVF probe\n")
 	fmt.Fprintf(&sb, "(%d queries per corpus size, top-10, recall measured against Flat; %s)\n",
 		r.Queries, describeKnobs(r.Cfg))
-	sb.WriteString("  corpus    flat/query    clustered/query   speedup   recall@10\n")
+	sb.WriteString("  corpus    flat/query    clustered/query   speedup   recall@10   probes p50/p90\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&sb, "  %6d  %12v  %16v  %7.2fx  %9.3f\n",
+		fmt.Fprintf(&sb, "  %6d  %12v  %16v  %7.2fx  %9.3f   %6.0f/%-6.0f\n",
 			row.CorpusSize, row.FlatQuery.Round(time.Microsecond),
-			row.ClusteredQry.Round(time.Microsecond), row.Speedup, row.RecallAt10)
+			row.ClusteredQry.Round(time.Microsecond), row.Speedup, row.RecallAt10,
+			row.Probes.P50, row.Probes.P90)
+	}
+	sb.WriteString("probe telemetry (same histograms /metrics exports):\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %6d  stop rules: %s\n", row.CorpusSize, describeStops(row.Probes.Stops))
 	}
 	return sb.String()
 }
@@ -263,6 +341,7 @@ type FrontierRow struct {
 	Query      time.Duration
 	Speedup    float64
 	RecallAt10 float64
+	Probes     ProbeSummary
 }
 
 // FrontierTable is the knob sweep measured over one corpus profile.
@@ -329,12 +408,14 @@ func frontierTable(profile string, corpus, qs [][]float32) (FrontierTable, error
 		if err := clus.Restore(snap, vecs); err != nil {
 			return table, fmt.Errorf("frontier %q: %w", row.Label, err)
 		}
+		pc := attachProbeMetrics(clus)
 		per, hits := timeQueries(clus, qs)
 		row.Query = per
 		if per > 0 {
 			row.Speedup = float64(flatPer) / float64(per)
 		}
 		row.RecallAt10 = recallAgainst(flatHits, hits)
+		row.Probes = pc.summary()
 		table.Rows = append(table.Rows, row)
 	}
 	return table, nil
@@ -374,10 +455,11 @@ func (r *SearchFrontierResult) Render() string {
 		r.CorpusSize, r.Queries)
 	for _, table := range r.Tables {
 		fmt.Fprintf(&sb, "\n%s — flat baseline %v/query\n", table.Profile, table.FlatQuery.Round(time.Microsecond))
-		sb.WriteString("  setting                          query      speedup   recall@10\n")
+		sb.WriteString("  setting                          query      speedup   recall@10   probes p50/p90   stop rules\n")
 		for _, row := range table.Rows {
-			fmt.Fprintf(&sb, "  %-29s  %9v  %7.2fx  %9.3f\n",
-				row.Label, row.Query.Round(time.Microsecond), row.Speedup, row.RecallAt10)
+			fmt.Fprintf(&sb, "  %-29s  %9v  %7.2fx  %9.3f   %6.0f/%-6.0f   %s\n",
+				row.Label, row.Query.Round(time.Microsecond), row.Speedup, row.RecallAt10,
+				row.Probes.P50, row.Probes.P90, describeStops(row.Probes.Stops))
 		}
 	}
 	return sb.String()

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ClusteredConfig tunes the IVF-style index. Centroids and SpillRatio shape
@@ -50,6 +51,16 @@ type ClusteredConfig struct {
 	// would be lost to the partial scores — and at dimensionalities too
 	// small for a prefix to be cheaper than the full product.
 	Overfetch int
+	// RetrainCooldown, when > 0, rate-limits automatic background
+	// retrains: once a retrain launches, further automatic triggers
+	// (corpus doublings, accumulated churn) within the window coalesce
+	// into at most one deferred retrain that launches when the window
+	// closes — so a pathological churn burst can no longer retrain
+	// back-to-back indefinitely. The deferred retrain covers everything
+	// the burst changed (the churn counter keeps accumulating while
+	// gated). TrainNow, an explicit operator/benchmark action, bypasses
+	// the cooldown. See docs/operations.md for tuning guidance.
+	RetrainCooldown time.Duration
 }
 
 // minTrainSize is the corpus size below which clustering buys nothing; the
@@ -116,6 +127,21 @@ type Clustered struct {
 	gen        int  // invalidates in-flight retrains on Restore
 	retrains   int  // completed full retrains (observability/tests)
 
+	// Retrain-cooldown state. lastLaunch is when the most recent retrain
+	// (automatic or TrainNow) was launched; deferred records that a
+	// cooldown-gated trigger already scheduled the one coalesced retrain
+	// for the end of the window. clock and schedule are time.Now and
+	// time.AfterFunc, injectable so the cooldown unit tests run on a fake
+	// clock instead of sleeping.
+	lastLaunch time.Time
+	deferred   bool
+	clock      func() time.Time
+	schedule   func(d time.Duration, f func())
+
+	// metrics, when set, is the observability surface every query and
+	// completed retrain reports into (see SetMetrics).
+	metrics *ClusteredMetrics
+
 	// retrainHook, when set, runs inside the retrain goroutine before the
 	// k-means computation — tests use it to hold a retrain open while they
 	// probe the serving path.
@@ -135,7 +161,13 @@ func NewClustered(cfg ClusteredConfig) *Clustered {
 	if cfg.RecallTarget > 1 {
 		cfg.RecallTarget = 1
 	}
-	c := &Clustered{cfg: cfg, vecs: map[int][]float32{}, overflow: map[int]bool{}}
+	c := &Clustered{
+		cfg:      cfg,
+		vecs:     map[int][]float32{},
+		overflow: map[int]bool{},
+		clock:    time.Now,
+		schedule: func(d time.Duration, f func()) { time.AfterFunc(d, f) },
+	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -203,9 +235,7 @@ func (c *Clustered) Upsert(id int, vec []float32) {
 		// so it must run the same trigger check or churn-due retrains
 		// would defer until some unrelated mutation happens by.
 		c.deleteLocked(id)
-		if !c.retraining && c.retrainDueLocked() {
-			c.launchRetrainLocked()
-		}
+		c.maybeRetrainLocked()
 		return
 	}
 	c.deleteLocked(id) // replacing: drop any stale shard membership
@@ -223,9 +253,7 @@ func (c *Clustered) Upsert(id int, vec []float32) {
 	default:
 		c.trained.insert(c.cfg, id, c.vecs[id])
 	}
-	if !c.retraining && c.retrainDueLocked() {
-		c.launchRetrainLocked()
-	}
+	c.maybeRetrainLocked()
 }
 
 // Delete removes the entry for id. Removals count toward the retrain
@@ -236,9 +264,7 @@ func (c *Clustered) Delete(id int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.deleteLocked(id)
-	if !c.retraining && c.retrainDueLocked() {
-		c.launchRetrainLocked()
-	}
+	c.maybeRetrainLocked()
 }
 
 func (c *Clustered) deleteLocked(id int) {
@@ -308,6 +334,53 @@ func (c *Clustered) retrainDueLocked() bool {
 	return n >= 2*c.trainedAt || c.churn >= c.trainedAt
 }
 
+// maybeRetrainLocked is the single automatic-retrain gate: it launches a
+// due background retrain unless one is already in flight or the cooldown
+// suppresses it. A cooldown-gated trigger coalesces into one retrain
+// deferred to the end of the window — the churn that keeps arriving
+// meanwhile accumulates and is covered by that single launch. Explicit
+// TrainNow calls bypass this gate by design.
+func (c *Clustered) maybeRetrainLocked() {
+	if c.retraining || !c.retrainDueLocked() {
+		return
+	}
+	if cd := c.cfg.RetrainCooldown; cd > 0 && !c.lastLaunch.IsZero() {
+		if elapsed := c.clock().Sub(c.lastLaunch); elapsed < cd {
+			c.deferRetrainLocked(cd - elapsed)
+			return
+		}
+	}
+	c.launchRetrainLocked()
+}
+
+// deferRetrainLocked schedules the one coalesced retrain a cooldown
+// window is allowed. Idempotent — the first gated trigger schedules, the
+// rest ride along. The callback re-checks everything under the lock: the
+// corpus may have been Restored (gen moved on — Restore never retrains),
+// the pending churn may have been absorbed by a TrainNow, or the window
+// may have been extended by another launch in the meantime.
+func (c *Clustered) deferRetrainLocked(wait time.Duration) {
+	if c.deferred {
+		return
+	}
+	c.deferred = true
+	gen := c.gen
+	c.schedule(wait, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if gen != c.gen {
+			// A Restore replaced the corpus since this was scheduled. The
+			// Restore cleared the deferral flag, so any post-Restore
+			// trigger owns a fresh deferral of its own — leave the flag
+			// alone and do nothing (Restore never retrains, and neither
+			// may a timer that predates it).
+			return
+		}
+		c.deferred = false
+		c.maybeRetrainLocked()
+	})
+}
+
 // launchRetrainLocked snapshots the vector set and starts the background
 // retrain goroutine. The snapshot shares vector slices with the live map —
 // safe because Upsert always installs a fresh slice, never mutates one in
@@ -317,6 +390,7 @@ func (c *Clustered) retrainDueLocked() bool {
 func (c *Clustered) launchRetrainLocked() {
 	c.retraining = true
 	c.churn = 0
+	c.lastLaunch = c.clock()
 	gen := c.gen
 	snap := make(map[int][]float32, len(c.vecs))
 	for id, v := range c.vecs {
@@ -334,6 +408,7 @@ func (c *Clustered) retrain(snap map[int][]float32, gen int, hook func()) {
 	if hook != nil {
 		hook()
 	}
+	start := time.Now()
 	cents, assign, spill, radii := trainKMeans(c.cfg, snap)
 
 	c.mu.Lock()
@@ -396,11 +471,11 @@ func (c *Clustered) retrain(snap map[int][]float32, gen int, hook func()) {
 	c.trainedAt = len(snap)
 	c.retraining = false
 	c.retrains++
-	if c.retrainDueLocked() {
-		// The corpus doubled (or churned) again while we were training; go
-		// around.
-		c.launchRetrainLocked()
-	}
+	c.metrics.observeRetrain(time.Since(start).Seconds())
+	// The corpus may have doubled (or churned) again while we were
+	// training; go around — through the cooldown gate, which is exactly
+	// where back-to-back retrain storms are broken.
+	c.maybeRetrainLocked()
 }
 
 // numCentroids picks the cluster count for a corpus of n vectors.
@@ -669,14 +744,18 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 	if k <= 0 {
 		return []Candidate{}
 	}
+	met := c.metrics
 	if c.trained == nil {
 		top := NewTopK(k)
+		scanned := 0
 		for id, v := range c.vecs {
 			if filter != nil && !filter(id) {
 				continue
 			}
+			scanned++
 			top.Push(Candidate{ID: id, Score: dot(query, v)})
 		}
+		met.observeQuery(0, scanned, StopBrute)
 		return top.Sorted()
 	}
 	ts := c.trained
@@ -714,6 +793,7 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 		gate = NewTopK(k)
 	}
 	var seen map[int]bool // lazy: only spilled ids can be met twice
+	scanned := 0          // candidate vectors actually scored (observability)
 	scanID := func(id int) {
 		if filter != nil && !filter(id) {
 			return
@@ -731,12 +811,15 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 		if !ok {
 			return
 		}
+		scanned++
 		cand := Candidate{ID: id, Score: score(v)}
 		pool.Push(cand)
 		if gate != pool {
 			gate.Push(cand)
 		}
 	}
+	probes := 0 // shards visited (observability)
+	stopRule := StopFixed
 
 	if !adaptive {
 		probe := NewTopK(c.nprobeLocked())
@@ -744,6 +827,7 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 			probe.Push(Candidate{ID: ci, Score: dot(query, cent)})
 		}
 		for _, p := range probe.Sorted() {
+			probes++
 			for _, id := range ts.shards[p.ID] {
 				scanID(id)
 			}
@@ -790,9 +874,13 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 		if !exact {
 			patience = patienceFor(c.cfg.RecallTarget)
 		}
+		// An adaptive scan that runs out of shards degenerated to a full
+		// probe; every early break below overwrites this attribution.
+		stopRule = StopExhausted
 		unimproved := 0
 		for i, t := range targets {
 			if i >= maxProbe {
+				stopRule = StopBudget
 				break
 			}
 			if i >= minProbe {
@@ -804,6 +892,7 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 				// full dot the bounds cap), so it only runs when the gate
 				// holds exact scores.
 				if full && partialDims == 0 && worst.Score > suffixBound[i] {
+					stopRule = StopProof
 					break
 				}
 				// The diminishing-returns rule: enough consecutive shards
@@ -813,10 +902,12 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 				// compares gate scores to each other — so partial scoring
 				// does not affect its validity, just its sharpness.)
 				if !exact && full && unimproved >= patience {
+					stopRule = StopPatience
 					break
 				}
 			}
 			prevWorst, prevFull := gate.Worst()
+			probes++
 			for _, id := range ts.shards[t.ci] {
 				scanID(id)
 			}
@@ -832,6 +923,7 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 	for id := range c.overflow {
 		scanID(id)
 	}
+	met.observeQuery(probes, scanned, stopRule)
 
 	if poolK == k && partialDims == 0 {
 		return pool.Sorted()
@@ -981,6 +1073,11 @@ func (c *Clustered) Restore(snap *Snapshot, vecs map[int][]float32) error {
 	defer c.mu.Unlock()
 	c.gen++ // a retrain in flight now describes a corpus that is gone
 	c.retraining = false
+	// Disown any pending cooldown deferral the same way: the stale
+	// callback sees the gen bump and does nothing, and clearing the flag
+	// here lets the first post-Restore gated trigger schedule a fresh
+	// deferral instead of riding a callback that will refuse to act.
+	c.deferred = false
 	c.vecs = copyVecs(vecs)
 	c.overflow = map[int]bool{}
 	c.trained = ts

@@ -1,0 +1,260 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"laminar/internal/telemetry"
+)
+
+// cooldownVecs draws n random unit vectors of dimension dim.
+func cooldownVecs(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		var norm float64
+		for d := range v {
+			x := rng.NormFloat64()
+			v[d] = float32(x)
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		for d := range v {
+			v[d] = float32(float64(v[d]) / norm)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestRetrainCooldownCoalescesBurst is the retrain-governance contract: a
+// churn burst under a cooldown produces exactly one retrain inside the
+// window, with the remainder coalesced into a single deferred retrain
+// that launches when the window closes. The clock and the deferral timer
+// are injected, so the test advances time explicitly instead of sleeping.
+func TestRetrainCooldownCoalescesBurst(t *testing.T) {
+	const n = 128
+	c := NewClustered(ClusteredConfig{RetrainCooldown: time.Minute})
+	var now atomic.Int64 // fake clock, nanoseconds
+	now.Store(time.Hour.Nanoseconds())
+	c.clock = func() time.Time { return time.Unix(0, now.Load()) }
+	var schedMu sync.Mutex
+	var pending []func()
+	c.schedule = func(_ time.Duration, f func()) {
+		schedMu.Lock()
+		pending = append(pending, f)
+		schedMu.Unlock()
+	}
+
+	vecs := cooldownVecs(2*n, 8, 17)
+	for i := 0; i < n; i++ {
+		c.Upsert(i, vecs[i])
+	}
+	c.TrainNow() // settle explicitly (TrainNow bypasses the cooldown by design)
+	r0 := c.Retrains()
+	// Open the window: the burst must start eligible to retrain once.
+	now.Add(2 * time.Minute.Nanoseconds())
+
+	// The burst: replace every vector three times — enough churn for three
+	// back-to-back retrains without a cooldown.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			c.Upsert(i, vecs[(i+round+1)%(2*n)])
+		}
+	}
+	c.WaitRetrain()
+
+	if got := c.Retrains(); got != r0+1 {
+		t.Fatalf("retrains during the burst = %d, want exactly 1 (got %d total, started at %d)", got-r0, got, r0)
+	}
+	schedMu.Lock()
+	deferred := len(pending)
+	schedMu.Unlock()
+	if deferred != 1 {
+		t.Fatalf("deferred retrains scheduled = %d, want exactly 1 (coalesced)", deferred)
+	}
+
+	// Close the window and fire the deferred retrain: the burst's residual
+	// churn is covered by this single launch.
+	now.Add(2 * time.Minute.Nanoseconds())
+	pending[0]()
+	c.WaitRetrain()
+	if got := c.Retrains(); got != r0+2 {
+		t.Fatalf("retrains after the window = %d, want %d (one coalesced launch)", got, r0+2)
+	}
+
+	// Fully quiet now: firing nothing further, a fresh mutation after the
+	// window retrains normally (the gate is a rate limit, not a latch).
+	schedMu.Lock()
+	if len(pending) != 1 {
+		t.Fatalf("deferred retrains after coalesced launch = %d, want still 1", len(pending))
+	}
+	schedMu.Unlock()
+
+	// The index kept serving exact content through all of it.
+	got := c.Search(vecs[5], 1, nil)
+	if len(got) != 1 {
+		t.Fatalf("search returned %d hits, want 1", len(got))
+	}
+}
+
+// TestRetrainCooldownStaleAfterRestore pins that a deferred retrain
+// scheduled before a Restore does nothing when it fires: the corpus it
+// was due for no longer exists, and Restore never retrains.
+func TestRetrainCooldownStaleAfterRestore(t *testing.T) {
+	const n = 128
+	c := NewClustered(ClusteredConfig{RetrainCooldown: time.Minute})
+	var now atomic.Int64
+	now.Store(time.Hour.Nanoseconds())
+	c.clock = func() time.Time { return time.Unix(0, now.Load()) }
+	var schedMu sync.Mutex
+	var pending []func()
+	c.schedule = func(_ time.Duration, f func()) {
+		schedMu.Lock()
+		pending = append(pending, f)
+		schedMu.Unlock()
+	}
+
+	vecs := cooldownVecs(2*n, 8, 19)
+	for i := 0; i < n; i++ {
+		c.Upsert(i, vecs[i])
+	}
+	c.TrainNow()
+	// Churn enough to get a retrain deferred (the cooldown window is still
+	// open after TrainNow's launch).
+	for i := 0; i < n; i++ {
+		c.Upsert(i, vecs[n+i])
+	}
+	c.WaitRetrain()
+	schedMu.Lock()
+	deferred := len(pending)
+	schedMu.Unlock()
+	if deferred != 1 {
+		t.Fatalf("deferred retrains = %d, want 1", deferred)
+	}
+
+	// Restore the index from its own snapshot — the deferred callback's
+	// generation is now stale.
+	snap := c.Snapshot()
+	liveVecs := map[int][]float32{}
+	for i := 0; i < n; i++ {
+		liveVecs[i] = vecs[n+i]
+	}
+	if err := c.Restore(snap, liveVecs); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	r0 := c.Retrains()
+	now.Add(2 * time.Minute.Nanoseconds())
+	pending[0]()
+	c.WaitRetrain()
+	if got := c.Retrains(); got != r0 {
+		t.Fatalf("stale deferred retrain fired a retrain: %d -> %d", r0, got)
+	}
+
+	// Liveness after the stale callback: churn that becomes due
+	// post-Restore must get its own fresh deferral (the Restore disowned
+	// the old one), and firing it must actually retrain — the due work is
+	// never swallowed by the generation guard.
+	c.TrainNow() // lastLaunch = now, so the burst below is cooldown-gated
+	r1 := c.Retrains()
+	for i := 0; i < n; i++ {
+		c.Upsert(i, vecs[i])
+	}
+	c.WaitRetrain()
+	if got := c.Retrains(); got != r1 {
+		t.Fatalf("gated burst retrained inside the window: %d -> %d", r1, got)
+	}
+	schedMu.Lock()
+	total := len(pending)
+	schedMu.Unlock()
+	if total != 2 {
+		t.Fatalf("deferred retrains scheduled = %d, want a fresh one after Restore (2 total)", total)
+	}
+	now.Add(2 * time.Minute.Nanoseconds())
+	pending[1]()
+	c.WaitRetrain()
+	if got := c.Retrains(); got != r1+1 {
+		t.Fatalf("fresh deferred retrain after Restore: retrains %d -> %d, want +1", r1, got)
+	}
+}
+
+// TestClusteredMetricsAttribution wires a Clustered index into telemetry
+// instruments and checks the per-query accounting: every query lands one
+// probe-histogram sample and one stop-rule attribution, retrains land in
+// the retrain counter and duration histogram, and an exact (target 1.0)
+// query attributes its stop to the proof rule or a full scan — never a
+// heuristic.
+func TestClusteredMetricsAttribution(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := &ClusteredMetrics{
+		Probes:         reg.Histogram("probe_shards", "probes", telemetry.CountBuckets()),
+		Scanned:        reg.Histogram("scanned_vectors", "scanned", telemetry.CountBuckets()),
+		Stops:          reg.CounterVec("stops_total", "stops", "rule"),
+		Retrains:       reg.Counter("retrains_total", "retrains"),
+		RetrainSeconds: reg.Histogram("retrain_seconds", "duration", telemetry.LatencyBuckets()),
+	}
+	c := NewClustered(ClusteredConfig{RecallTarget: 1.0})
+	c.SetMetrics(m)
+
+	vecs := cooldownVecs(256, 32, 23)
+	for i, v := range vecs {
+		c.Upsert(i, v)
+	}
+	c.TrainNow()
+	retrainsBefore := m.Retrains.Value()
+	if retrainsBefore == 0 {
+		t.Fatal("TrainNow recorded no retrain")
+	}
+	if m.RetrainSeconds.Count() != uint64(retrainsBefore) {
+		t.Fatalf("retrain duration samples = %d, want %d", m.RetrainSeconds.Count(), retrainsBefore)
+	}
+
+	const queries = 20
+	for i := 0; i < queries; i++ {
+		c.Search(vecs[i], 5, nil)
+	}
+	if got := m.Probes.Count(); got != queries {
+		t.Fatalf("probe histogram samples = %d, want %d", got, queries)
+	}
+	if got := m.Scanned.Count(); got != queries {
+		t.Fatalf("scanned histogram samples = %d, want %d", got, queries)
+	}
+	var stops uint64
+	for rule, v := range m.Stops.Values() {
+		if rule != StopProof && rule != StopExhausted {
+			t.Errorf("exact query attributed to %q, want only proof/exhausted", rule)
+		}
+		stops += v
+	}
+	if stops != queries {
+		t.Fatalf("stop attributions = %d, want %d", stops, queries)
+	}
+
+	// A fixed-nprobe index attributes to the fixed rule; a brand-new tiny
+	// index attributes to the brute scan.
+	fixed := NewClustered(ClusteredConfig{})
+	fm := &ClusteredMetrics{Stops: reg.CounterVec("fixed_stops_total", "stops", "rule")}
+	fixed.SetMetrics(fm)
+	for i, v := range vecs {
+		fixed.Upsert(i, v)
+	}
+	fixed.TrainNow()
+	fixed.Search(vecs[0], 5, nil)
+	if got := fm.Stops.Values()[StopFixed]; got != 1 {
+		t.Fatalf("fixed-nprobe attribution = %d, want 1 (%v)", got, fm.Stops.Values())
+	}
+
+	brute := NewClustered(ClusteredConfig{})
+	bm := &ClusteredMetrics{Stops: reg.CounterVec("brute_stops_total", "stops", "rule")}
+	brute.SetMetrics(bm)
+	brute.Upsert(1, vecs[0])
+	brute.Search(vecs[0], 1, nil)
+	if got := bm.Stops.Values()[StopBrute]; got != 1 {
+		t.Fatalf("brute-scan attribution = %d, want 1 (%v)", got, bm.Stops.Values())
+	}
+}

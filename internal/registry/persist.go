@@ -1,7 +1,10 @@
 package registry
 
 import (
+	"errors"
+	"io/fs"
 	"sync"
+	"time"
 
 	"laminar/internal/core"
 	"laminar/internal/index"
@@ -47,7 +50,25 @@ func (s *Store) format() storage.Format {
 func (s *Store) Save(path string) error {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
-	return storage.Save(path, s.format(), s.collectSnapshot())
+	m := s.instruments()
+	start := time.Now()
+	err := storage.Save(path, s.format(), s.collectSnapshot())
+	if m != nil {
+		if err != nil {
+			m.saveErrors.Inc()
+		} else {
+			m.saves.Inc()
+			m.saveSeconds.ObserveSince(start)
+		}
+	}
+	return err
+}
+
+// instruments reads the telemetry handle under the idx shard lock.
+func (s *Store) instruments() *storeMetrics {
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
+	return s.metrics
 }
 
 // collectSnapshot builds the logical snapshot handed to the storage layer.
@@ -123,10 +144,23 @@ func (s *Store) collectSnapshot() *storage.Snapshot {
 // Load replaces the registry contents from a snapshot file (either
 // format; auto-detected).
 func (s *Store) Load(path string) error {
+	m := s.instruments()
+	start := time.Now()
 	snap, _, err := storage.Load(path)
 	if err != nil {
+		// An absent file is a fresh start, not a failed load — owners
+		// treat it as a no-op, so the error counter must too.
+		if m != nil && !errors.Is(err, fs.ErrNotExist) {
+			m.loadErrors.Inc()
+		}
 		return err
 	}
+	defer func() {
+		if m != nil {
+			m.loads.Inc()
+			m.loadSeconds.ObserveSince(start)
+		}
+	}()
 	s.usersMu.Lock()
 	defer s.usersMu.Unlock()
 	s.pesMu.Lock()
@@ -262,6 +296,7 @@ func (s *Store) tryRestoreIndexesLocked() bool {
 	}
 	s.descIndex, s.codeIndex, s.wfIndex = desc, code, wf
 	s.indexesRestored = true
+	s.applyIndexMetricsLocked()
 	// The stash has served its purpose; dropping it releases the O(N)
 	// assignment maps instead of pinning them for the store's lifetime.
 	// (On failure Load keeps it for a subsequent ConfigureIndex with the

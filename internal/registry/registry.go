@@ -86,6 +86,10 @@ type Store struct {
 	// restore (true) or a rebuild (false) — observability for the
 	// restart-without-retrain guarantee.
 	indexesRestored bool
+	// metrics, when set by SetTelemetry, holds the store's persistence
+	// instruments and the per-index instrument sets re-installed into
+	// every fresh index (guarded by idxMu).
+	metrics *storeMetrics
 
 	// storeFormat selects the on-disk snapshot format Save writes
 	// (storage.Format; 0 = the current default, v2).
@@ -212,6 +216,7 @@ func (s *Store) rebuildIndexesLocked() {
 	s.descIndex = s.indexFactory()
 	s.codeIndex = s.indexFactory()
 	s.wfIndex = s.indexFactory()
+	s.applyIndexMetricsLocked()
 	for id, pe := range s.pes {
 		if len(pe.DescEmbedding) > 0 {
 			s.descIndex.Upsert(id, pe.DescEmbedding)

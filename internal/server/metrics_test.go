@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"laminar/internal/core"
+	"laminar/internal/engine"
+	"laminar/internal/index"
+	"laminar/internal/registry"
+	"laminar/internal/search"
+	"laminar/internal/telemetry"
+)
+
+// sampleLineRE matches one exposition sample: name{labels} value. Label
+// values are quoted strings and may contain anything (route patterns
+// carry literal braces), so the label block is matched as a sequence of
+// name="escaped-string" pairs.
+var sampleLineRE = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (NaN|[+-]?Inf|[0-9eE.+-]+)$`)
+
+// TestMetricsEndpoint drives a metrics-enabled server through real
+// traffic and pins the /metrics contract: the endpoint is reachable only
+// when enabled, the output parses as Prometheus text, and the per-route,
+// per-index and registry families all carry the traffic just generated.
+func TestMetricsEndpoint(t *testing.T) {
+	// A clustered index so the probe/stop-rule instruments have a
+	// reporter; at this corpus size it brute-scans (exactly), which is
+	// itself a stop-rule attribution worth pinning.
+	reg := registry.NewStore()
+	reg.ConfigureIndex(func() index.VectorIndex {
+		return index.NewClustered(index.ClusteredConfig{RecallTarget: 0.9})
+	})
+	srv := New(Config{Registry: reg, Engine: engine.New(engine.Config{InstallDelayScale: 0}), Metrics: true})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	if code, _ := doReq(t, http.MethodPost, addr+"/auth/register",
+		core.RegisterUserRequest{UserName: "zz46", Password: "password"}, nil); code != http.StatusCreated {
+		t.Fatalf("register status %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		req := core.AddPERequest{
+			PEName:        fmt.Sprintf("pe%d", i),
+			PECode:        "class P(IterativePE): pass",
+			Description:   fmt.Sprintf("a PE that filters sensor readings %d", i),
+			DescEmbedding: search.EmbedDescription(fmt.Sprintf("filters sensor readings %d", i)),
+		}
+		if code, body := doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", req, nil); code != http.StatusCreated {
+			t.Fatalf("add PE status %d: %s", code, body)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		sr := core.SearchRequest{
+			Search:     "sensor readings",
+			SearchType: core.SearchPEs,
+			QueryType:  core.QuerySemantic,
+		}
+		if code, _ := doReq(t, http.MethodPost, addr+"/registry/zz46/search", sr, nil); code != http.StatusOK {
+			t.Fatalf("search status %d", code)
+		}
+	}
+
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, telemetry.ContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+
+	// Every line must be a comment or a well-formed sample.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !sampleLineRE.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+
+	// The traffic just generated must be visible in each family.
+	for _, want := range []string{
+		`laminar_http_requests_total{route="POST /registry/{user}/search",code="200"} 5`,
+		`laminar_http_requests_total{route="POST /registry/{user}/pe/add",code="201"} 3`,
+		`laminar_http_request_seconds_count{route="POST /registry/{user}/search"} 5`,
+		`laminar_index_probe_shards_count{index="desc"} 5`,
+		`laminar_index_query_stops_total{index="desc",rule="brute-scan"} 5`,
+		`laminar_registry_pes 3`,
+		`laminar_registry_users 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsEndpointGatedOff pins that the default configuration does
+// not expose the operational surface.
+func TestMetricsEndpointGatedOff(t *testing.T) {
+	addr := startServer(t)
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/metrics on a default server: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"laminar/internal/engine"
 	"laminar/internal/registry"
 	"laminar/internal/search"
+	"laminar/internal/telemetry"
 )
 
 // DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is 0.
@@ -44,6 +45,15 @@ type Config struct {
 	// MaxBodyBytes caps request body sizes (0 = DefaultMaxBodyBytes;
 	// negative disables the limit).
 	MaxBodyBytes int64
+	// Telemetry is the metric registry the server (and its registry
+	// store) report into; a fresh one is created when nil. Each server
+	// needs its own — instrument names are registered once per telemetry
+	// registry.
+	Telemetry *telemetry.Registry
+	// Metrics, when true, exposes the telemetry registry at GET /metrics
+	// (Prometheus text format). Collection always runs — atomic counters
+	// cost nothing worth flagging off — this only gates the endpoint.
+	Metrics bool
 }
 
 // Server is the Laminar API server.
@@ -51,9 +61,14 @@ type Server struct {
 	reg   *registry.Store
 	eng   *engine.Engine
 	mux   *http.ServeMux
+	root  http.Handler // mux wrapped in the telemetry middleware
 	cfg   Config
 	httpS *http.Server
 	addr  string
+
+	telem       *telemetry.Registry
+	httpReqs    *telemetry.CounterVec   // laminar_http_requests_total{route,code}
+	httpLatency *telemetry.HistogramVec // laminar_http_request_seconds{route}
 }
 
 // New assembles the controller tree.
@@ -64,16 +79,65 @@ func New(cfg Config) *Server {
 	if cfg.Engine == nil {
 		cfg.Engine = engine.New(engine.Config{})
 	}
-	s := &Server{reg: cfg.Registry, eng: cfg.Engine, cfg: cfg, mux: http.NewServeMux()}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	s := &Server{reg: cfg.Registry, eng: cfg.Engine, cfg: cfg, mux: http.NewServeMux(), telem: cfg.Telemetry}
+	s.httpReqs = s.telem.CounterVec("laminar_http_requests_total",
+		"HTTP requests served, by matched route pattern and status code.", "route", "code")
+	s.httpLatency = s.telem.HistogramVec("laminar_http_request_seconds",
+		"HTTP request latency by matched route pattern.", telemetry.LatencyBuckets(), "route")
+	// An owner that instrumented the store before handing it over (the
+	// façade does, so its startup Load is counted) keeps its wiring.
+	if !s.reg.Instrumented() {
+		s.reg.SetTelemetry(s.telem)
+	}
 	s.routes()
+	s.root = s.instrument(s.mux)
 	return s
 }
 
 // Registry exposes the DAO layer (tests, embedded mode).
 func (s *Server) Registry() *registry.Store { return s.reg }
 
-// Handler returns the root HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Telemetry exposes the metric registry the server reports into (the
+// /metrics endpoint serves exactly this).
+func (s *Server) Telemetry() *telemetry.Registry { return s.telem }
+
+// Handler returns the root HTTP handler (the controller tree wrapped in
+// the per-route telemetry middleware).
+func (s *Server) Handler() http.Handler { return s.root }
+
+// instrument wraps the mux with per-route accounting: request counts by
+// route pattern and status code, latency histograms by route pattern.
+// The route label is the ServeMux pattern that matched ("POST
+// /registry/{user}/search"), not the raw URL — bounded cardinality, and
+// it aggregates across users by construction. Unmatched requests (404s
+// from outside the route table) share one "unmatched" label.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.httpReqs.With(route, strconv.Itoa(rec.status)).Inc()
+		s.httpLatency.With(route).ObserveSince(start)
+	})
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
 
 // Start listens on addr ("127.0.0.1:0" picks a free port) and serves in the
 // background, returning the base URL.
@@ -83,7 +147,7 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", err
 	}
 	s.addr = "http://" + ln.Addr().String()
-	s.httpS = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.httpS = &http.Server{Handler: s.root, ReadHeaderTimeout: 10 * time.Second}
 	go func() { _ = s.httpS.Serve(ln) }()
 	return s.addr, nil
 }
@@ -140,6 +204,13 @@ func (s *Server) routes() {
 
 	// Execution controller
 	s.mux.HandleFunc("POST /execution/{user}/run", s.withUser(s.handleRun))
+
+	// Observability. Flag-gated: a deployment that does not want the
+	// operational surface reachable simply leaves it off; collection runs
+	// either way. See docs/operations.md for the metric reference.
+	if s.cfg.Metrics {
+		s.mux.Handle("GET /metrics", s.telem.Handler())
+	}
 }
 
 // ---- plumbing ----

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric family in the
+// Prometheus text exposition format, in registration order (so scrapes
+// are deterministic). It is safe to call concurrently with hot-path
+// updates; values are read atomically per sample.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	metrics := append([]metric(nil), r.metrics...)
+	r.mu.RUnlock()
+
+	var sb strings.Builder
+	for _, m := range metrics {
+		d := m.describe()
+		sb.WriteString("# HELP ")
+		sb.WriteString(d.fqName)
+		sb.WriteByte(' ')
+		sb.WriteString(escapeHelp(d.help))
+		sb.WriteByte('\n')
+		sb.WriteString("# TYPE ")
+		sb.WriteString(d.fqName)
+		sb.WriteByte(' ')
+		sb.WriteString(d.typ)
+		sb.WriteByte('\n')
+		m.collect(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// escapeHelp applies the exposition-format help-text escapes.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry as a /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}

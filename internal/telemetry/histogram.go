@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution. Observe is the hot path: a
+// binary search over the bucket bounds plus three atomic adds — no locks,
+// no allocation. Bucket counts are stored per-bucket (not cumulative);
+// exposition accumulates them into the cumulative `le` form Prometheus
+// expects, and a scrape racing an Observe can at worst read a sample into
+// `_count` a beat before its bucket — both values are exact the next
+// scrape, which is the usual eventually-consistent contract of lock-free
+// histograms.
+type Histogram struct {
+	d       *desc
+	labels  string
+	bounds  []float64 // ascending upper bounds; +Inf is implicit at the end
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+	count   atomic.Uint64
+}
+
+func newHistogram(d *desc, labels string, buckets []float64) *Histogram {
+	bounds := checkBuckets(buckets)
+	return &Histogram{
+		d:      d,
+		labels: labels,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// checkBuckets validates and copies a bucket layout.
+func checkBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	out := append([]float64(nil), buckets...)
+	if !sort.Float64sAreSorted(out) {
+		panic(fmt.Sprintf("telemetry: histogram buckets not ascending: %v", out))
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v: Prometheus buckets are "value <= le". The total
+	// count is bumped before the bucket so a racing scrape can only
+	// under-read the cumulative buckets relative to _count — the benign
+	// direction the type comment documents (+Inf must never exceed
+	// _count).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.count.Add(1)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the idiom for
+// latency histograms.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count reports the total number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// with linear interpolation inside the target bucket — the standard
+// histogram_quantile estimate. Samples in the +Inf bucket clamp to the
+// highest finite bound. Returns 0 with no samples. A readout for bench
+// summaries and tests, not a serving API.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			if i >= len(h.bounds) { // +Inf bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (h.bounds[i]-lower)*((rank-cum)/n)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Max reports the upper bound of the highest non-empty bucket (the
+// coarse-grained maximum a bounded histogram can know). Returns 0 with no
+// samples.
+func (h *Histogram) Max() float64 {
+	for i := len(h.counts) - 1; i >= 0; i-- {
+		if h.counts[i].Load() > 0 {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			return h.bounds[i]
+		}
+	}
+	return 0
+}
+
+func (h *Histogram) describe() *desc { return h.d }
+
+func (h *Histogram) collect(sb *strings.Builder) {
+	// Cumulative le buckets, then sum and count, label-merged with any vec
+	// labels this child carries.
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeBucket(sb, h.d.fqName, h.labels, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeBucket(sb, h.d.fqName, h.labels, "+Inf", cum)
+	fmt.Fprintf(sb, "%s_sum%s %s\n", h.d.fqName, h.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", h.d.fqName, h.labels, h.count.Load())
+}
+
+// writeBucket emits one _bucket line, splicing the le label into any
+// existing child label set.
+func writeBucket(sb *strings.Builder, name, labels, le string, cum uint64) {
+	sb.WriteString(name)
+	sb.WriteString("_bucket")
+	if labels == "" {
+		fmt.Fprintf(sb, `{le="%s"}`, le)
+	} else {
+		// labels is "{...}": open it back up and append le.
+		sb.WriteString(labels[:len(labels)-1])
+		fmt.Fprintf(sb, `,le="%s"}`, le)
+	}
+	fmt.Fprintf(sb, " %d\n", cum)
+}
+
+// HistogramVec is a histogram family partitioned by label values; every
+// child shares one bucket layout.
+type HistogramVec struct {
+	d          *desc
+	labelNames []string
+	buckets    []float64
+	mu         sync.RWMutex
+	children   map[string]*Histogram
+}
+
+// With resolves (creating on first use) the child histogram for the given
+// label values. Hot paths should resolve once and hold the child.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := childKey(v.d.fqName, v.labelNames, values)
+	v.mu.RLock()
+	h := v.children[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.children[key]; h == nil {
+		h = newHistogram(v.d, renderLabels(v.labelNames, values), v.buckets)
+		v.children[key] = h
+	}
+	return h
+}
+
+func (v *HistogramVec) describe() *desc { return v.d }
+
+func (v *HistogramVec) collect(sb *strings.Builder) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	children := make(map[string]*Histogram, len(v.children))
+	for k, h := range v.children {
+		children[k] = h
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		children[k].collect(sb)
+	}
+}
+
+// ---- bucket layout helpers ----
+
+// LinearBuckets returns n ascending bounds starting at start, width apart.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n ascending bounds starting at start, each
+// factor times the previous.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the shared layout for request/operation latency
+// histograms in seconds: 100µs to ~13s, doubling — wide enough for an
+// in-process search and a WAN-simulated save alike.
+func LatencyBuckets() []float64 { return ExponentialBuckets(0.0001, 2, 18) }
+
+// CountBuckets is the shared layout for small-count histograms (shards
+// probed, vectors scanned): powers of two from 1 to 65536.
+func CountBuckets() []float64 { return ExponentialBuckets(1, 2, 17) }

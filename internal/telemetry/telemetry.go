@@ -1,0 +1,377 @@
+// Package telemetry is Laminar's operational metric registry: the
+// dependency-free substrate the serving stack reports into and the
+// `GET /metrics` endpoint reads out of (Prometheus text exposition,
+// format version 0.0.4).
+//
+// The package deliberately implements only what the serving path needs,
+// with the hot path reduced to one or two atomic operations:
+//
+//   - Counter: a monotonically increasing uint64 (requests served,
+//     retrains completed). Inc/Add are single atomic adds.
+//   - Gauge: an arbitrary float64 set by the owner (live record counts);
+//     GaugeFunc evaluates a callback at scrape time instead, so a gauge
+//     can read a value the owner already maintains under its own locks.
+//   - Histogram: a bounded-bucket distribution (request latency, shards
+//     probed per query). Buckets are fixed at construction; Observe is a
+//     binary search plus three atomic adds, and never allocates.
+//   - CounterVec / HistogramVec: the labeled forms. A vec resolves a
+//     label-value tuple to a child metric once (With, an RLock-guarded
+//     map lookup); callers on the hot path hold the child pointer so
+//     per-event cost stays purely atomic.
+//
+// Metrics are created through a Registry, which owns naming (duplicate
+// registration panics — it is a wiring bug, not a runtime condition) and
+// exposition order (registration order, so scrapes are deterministic and
+// diffable). WritePrometheus renders the whole registry in the Prometheus
+// text format; Handler wraps that as an http.Handler for /metrics.
+//
+// Every exported metric is documented by exact name in docs/operations.md,
+// and `make metrics-smoke` cross-validates that list against a live
+// endpoint — when adding a metric here, add its row to the runbook or the
+// gate fails.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// labelSep joins label values into child-map keys; it cannot appear in
+// UTF-8 text, so joined values never collide.
+const labelSep = "\xff"
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// desc is the identity every metric shares: its family name, help text and
+// exposition type.
+type desc struct {
+	fqName string
+	help   string
+	typ    string // "counter", "gauge" or "histogram"
+}
+
+// metric is one registered exposition family.
+type metric interface {
+	describe() *desc
+	// collect appends the family's sample lines (no HELP/TYPE headers).
+	collect(sb *strings.Builder)
+}
+
+// Registry is an ordered collection of metrics. All methods are safe for
+// concurrent use; construction typically happens once at wiring time and
+// scrapes read concurrently with hot-path updates.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []metric
+	byName  map[string]bool
+}
+
+// NewRegistry creates an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]bool{}}
+}
+
+// register adds a family, panicking on an invalid or duplicate name —
+// both are wiring bugs that must fail at startup, not scrape time.
+func (r *Registry) register(m metric) {
+	d := m.describe()
+	if !nameRE.MatchString(d.fqName) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", d.fqName))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[d.fqName] {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", d.fqName))
+	}
+	r.byName[d.fqName] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{d: &desc{fqName: name, help: help, typ: "counter"}}
+	r.register(c)
+	return c
+}
+
+// CounterVec registers a labeled counter family. Children are created on
+// first With and live for the registry's lifetime.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	validateLabels(name, labelNames)
+	v := &CounterVec{
+		d:        &desc{fqName: name, help: help, typ: "counter"},
+		allNames: labelNames,
+		mu:       &sync.RWMutex{},
+		children: map[string]*Counter{},
+	}
+	r.register(v)
+	return v
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{d: &desc{fqName: name, help: help, typ: "gauge"}}
+	r.register(g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. fn runs on the scraping goroutine and may take locks of its own;
+// it must not call back into this registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&gaugeFunc{d: &desc{fqName: name, help: help, typ: "gauge"}, fn: fn})
+}
+
+// Histogram registers and returns a bounded-bucket histogram. buckets are
+// the upper bounds (inclusive, ascending); an implicit +Inf bucket is
+// always appended. The slice is copied.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(&desc{fqName: name, help: help, typ: "histogram"}, "", buckets)
+	r.register(h)
+	return h
+}
+
+// HistogramVec registers a labeled histogram family; every child shares
+// the same bucket layout.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	validateLabels(name, labelNames)
+	v := &HistogramVec{
+		d:          &desc{fqName: name, help: help, typ: "histogram"},
+		labelNames: labelNames,
+		buckets:    checkBuckets(buckets),
+		children:   map[string]*Histogram{},
+	}
+	r.register(v)
+	return v
+}
+
+func validateLabels(name string, labelNames []string) {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("telemetry: vec metric %q declares no labels", name))
+	}
+	for _, l := range labelNames {
+		if !nameRE.MatchString(l) {
+			panic(fmt.Sprintf("telemetry: metric %q: invalid label name %q", name, l))
+		}
+	}
+}
+
+// ---- Counter ----
+
+// Counter is a monotonically increasing counter. The zero value is not
+// usable; create counters through a Registry (or a CounterVec).
+type Counter struct {
+	d      *desc
+	labels string // pre-rendered {k="v",...} or ""
+	n      atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+func (c *Counter) describe() *desc { return c.d }
+
+func (c *Counter) collect(sb *strings.Builder) {
+	sb.WriteString(c.d.fqName)
+	sb.WriteString(c.labels)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatUint(c.n.Load(), 10))
+	sb.WriteByte('\n')
+}
+
+// CounterVec is a counter family partitioned by label values. A vec
+// returned by Curry is a view with leading label values pre-bound; all
+// views share one child set, and only the registered root is exposed.
+type CounterVec struct {
+	d        *desc
+	allNames []string // the full declared label set (rendering)
+	bound    []string // values pre-bound by Curry, positional prefix
+	mu       *sync.RWMutex
+	children map[string]*Counter
+}
+
+// With resolves (creating on first use) the child counter for the given
+// label values, which — after any Curry-bound prefix — must match the
+// declared label names positionally. Hot paths should resolve once and
+// hold the child.
+func (v *CounterVec) With(values ...string) *Counter {
+	full := values
+	if len(v.bound) > 0 {
+		full = append(append(make([]string, 0, len(v.bound)+len(values)), v.bound...), values...)
+	}
+	key := childKey(v.d.fqName, v.allNames, full)
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[key]; c == nil {
+		c = &Counter{d: v.d, labels: renderLabels(v.allNames, full)}
+		v.children[key] = c
+	}
+	return c
+}
+
+// Curry returns a view of the family with the given leading label values
+// pre-bound: With on the view supplies only the remaining labels. Owners
+// use it to hand a sub-family ("this index's stop rules") to a component
+// that knows nothing about the outer label.
+func (v *CounterVec) Curry(values ...string) *CounterVec {
+	if len(v.bound)+len(values) > len(v.allNames) {
+		panic(fmt.Sprintf("telemetry: metric %q: currying %d values over %d labels",
+			v.d.fqName, len(v.bound)+len(values), len(v.allNames)))
+	}
+	nv := *v
+	nv.bound = append(append(make([]string, 0, len(v.bound)+len(values)), v.bound...), values...)
+	return &nv
+}
+
+// Values reports the count of every child under this view's bound
+// prefix, keyed by its remaining label values (", "-joined) — a readout
+// for tests and bench summaries, not a serving API.
+func (v *CounterVec) Values() map[string]uint64 {
+	prefix := ""
+	if len(v.bound) > 0 {
+		prefix = strings.Join(v.bound, labelSep) + labelSep
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]uint64, len(v.children))
+	for key, c := range v.children {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		out[strings.ReplaceAll(strings.TrimPrefix(key, prefix), labelSep, ", ")] = c.Value()
+	}
+	return out
+}
+
+func (v *CounterVec) describe() *desc { return v.d }
+
+func (v *CounterVec) collect(sb *strings.Builder) {
+	for _, c := range v.sortedChildren() {
+		c.collect(sb)
+	}
+}
+
+func (v *CounterVec) sortedChildren() []*Counter {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Counter, len(keys))
+	for i, k := range keys {
+		out[i] = v.children[k]
+	}
+	return out
+}
+
+// ---- Gauge ----
+
+// Gauge is a float64 that can go up and down. The zero value is not
+// usable; create gauges through a Registry.
+type Gauge struct {
+	d    *desc
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; gauges are not hot-path
+// metrics in this codebase).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) describe() *desc { return g.d }
+
+func (g *Gauge) collect(sb *strings.Builder) {
+	fmt.Fprintf(sb, "%s %s\n", g.d.fqName, formatFloat(g.Value()))
+}
+
+type gaugeFunc struct {
+	d  *desc
+	fn func() float64
+}
+
+func (g *gaugeFunc) describe() *desc { return g.d }
+
+func (g *gaugeFunc) collect(sb *strings.Builder) {
+	fmt.Fprintf(sb, "%s %s\n", g.d.fqName, formatFloat(g.fn()))
+}
+
+// ---- shared helpers ----
+
+func childKey(name string, labelNames, values []string) string {
+	if len(values) != len(labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d",
+			name, len(labelNames), len(values)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// renderLabels pre-renders a child's {k="v",...} suffix once at creation.
+func renderLabels(names, values []string) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel applies the exposition-format label-value escapes.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatFloat renders a float the way the exposition format expects
+// (shortest round-trip form; +Inf/-Inf/NaN spelled out).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the Prometheus bucket semantics: a
+// sample lands in the first bucket whose upper bound is >= the value
+// (bounds are inclusive), and exposition accumulates per-bucket counts
+// into the cumulative le form.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "boundary test", []float64{1, 2, 4})
+
+	// One sample per interesting position: below the first bound, exactly
+	// on each bound, between bounds, and beyond the last bound (+Inf).
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 9} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count() = %d, want 7", got)
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+4+9; got != want {
+		t.Fatalf("Sum() = %g, want %g", got, want)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// le=1: {0.5, 1}; le=2 adds {1.5, 2}; le=4 adds {3, 4}; +Inf adds {9}.
+	for _, line := range []string{
+		`test_hist_bucket{le="1"} 2`,
+		`test_hist_bucket{le="2"} 4`,
+		`test_hist_bucket{le="4"} 6`,
+		`test_hist_bucket{le="+Inf"} 7`,
+		`test_hist_count 7`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramQuantileAndMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_hist", "quantile test", ExponentialBuckets(1, 2, 8))
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %g, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 10)) // 0..9, uniform
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 2 || p50 > 8 {
+		t.Errorf("p50 = %g, want within the 2..8 bucket span for uniform 0..9", p50)
+	}
+	if got := h.Max(); got != 16 {
+		// max sample 9 lands in the (8,16] bucket.
+		t.Errorf("Max() = %g, want 16 (bucket bound above 9)", got)
+	}
+}
+
+// TestHistogramConcurrentObserve drives many goroutines through Observe
+// and a concurrent scraper; run under -race (make race) this is the
+// lock-free hot path's correctness test, and the final totals must be
+// exact regardless of interleaving.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_hist", "concurrency test", []float64{1, 10, 100})
+	c := r.Counter("conc_count", "concurrency counter")
+	vec := r.CounterVec("conc_vec", "concurrency vec", "worker")
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := vec.With("shared")
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i % 200))
+				c.Inc()
+				child.Inc()
+			}
+		}(w)
+	}
+	// Scrape continuously while the writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const total = workers * perWorker
+	if got := h.Count(); got != total {
+		t.Errorf("histogram Count = %d, want %d", got, total)
+	}
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := vec.With("shared").Value(); got != total {
+		t.Errorf("vec child = %d, want %d", got, total)
+	}
+	// Bucket counts must add back up to the total.
+	var sum uint64
+	for i := range h.counts {
+		sum += h.counts[i].Load()
+	}
+	if sum != total {
+		t.Errorf("bucket sum = %d, want %d", sum, total)
+	}
+}
+
+// TestExpositionGolden pins the full text format for one of each metric
+// kind: HELP/TYPE headers, label rendering and escaping, histogram
+// suffixes, registration order.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "Requests served.")
+	c.Add(3)
+	v := r.CounterVec("app_stops_total", "Stop rules.", "rule")
+	v.With("proof").Add(2)
+	v.With(`we"ird`).Inc()
+	g := r.Gauge("app_temperature", "A gauge.")
+	g.Set(1.5)
+	r.GaugeFunc("app_records", "A computed gauge.", func() float64 { return 42 })
+	h := r.Histogram("app_latency_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total 3
+# HELP app_stops_total Stop rules.
+# TYPE app_stops_total counter
+app_stops_total{rule="proof"} 2
+app_stops_total{rule="we\"ird"} 1
+# HELP app_temperature A gauge.
+# TYPE app_temperature gauge
+app_temperature 1.5
+# HELP app_records A computed gauge.
+# TYPE app_records gauge
+app_records 42
+# HELP app_latency_seconds A histogram.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 3.55
+app_latency_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one", "help").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "one 1\n") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic on duplicate registration")
+		}
+	}()
+	r.Counter("dup", "second")
+}
+
+func TestGaugeAddAndInfinities(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "gauge")
+	g.Add(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	g.Set(math.Inf(1))
+	var sb strings.Builder
+	_ = r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "g +Inf\n") {
+		t.Errorf("infinity not rendered:\n%s", sb.String())
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"laminar/internal/index"
 	"laminar/internal/registry"
 	"laminar/internal/server"
+	"laminar/internal/telemetry"
 	"laminar/internal/votable"
 )
 
@@ -111,6 +112,15 @@ type ServerOptions struct {
 	// k*IndexOverfetch using cheap partial scoring and exact-rescores the
 	// pool before the final top-k.
 	IndexOverfetch int
+	// IndexRetrainCooldown, when > 0, rate-limits automatic clustered
+	// retrains: triggers within the window of the last launch coalesce
+	// into a single deferred retrain, so a churn burst cannot retrain
+	// back-to-back indefinitely. See docs/operations.md for tuning.
+	IndexRetrainCooldown time.Duration
+	// Metrics, when true, exposes the telemetry registry at GET /metrics
+	// (Prometheus text format; see docs/operations.md for the metric
+	// reference). Collection always runs; this only gates the endpoint.
+	Metrics bool
 }
 
 // Server is a full Laminar deployment: registry + API server + embedded
@@ -131,12 +141,13 @@ func NewServer(opts ServerOptions) *Server {
 		// NewStore's default exact index.
 	case "clustered":
 		cfg := index.ClusteredConfig{
-			Centroids:    opts.IndexCentroids,
-			NProbe:       opts.IndexNProbe,
-			RecallTarget: opts.IndexRecallTarget,
-			MaxProbe:     opts.IndexMaxProbe,
-			SpillRatio:   opts.IndexSpill,
-			Overfetch:    opts.IndexOverfetch,
+			Centroids:       opts.IndexCentroids,
+			NProbe:          opts.IndexNProbe,
+			RecallTarget:    opts.IndexRecallTarget,
+			MaxProbe:        opts.IndexMaxProbe,
+			SpillRatio:      opts.IndexSpill,
+			Overfetch:       opts.IndexOverfetch,
+			RetrainCooldown: opts.IndexRetrainCooldown,
 		}
 		reg.ConfigureIndex(func() index.VectorIndex { return index.NewClustered(cfg) })
 	default:
@@ -149,6 +160,10 @@ func NewServer(opts ServerOptions) *Server {
 		// the wrong on-disk format.
 		panic(fmt.Sprintf("laminar: ServerOptions.StoreFormat: %v", err))
 	}
+	// Instrument before loading so the startup Load (and any index work it
+	// triggers) lands in the telemetry the deployment will serve.
+	telem := telemetry.NewRegistry()
+	reg.SetTelemetry(telem)
 	if opts.RegistryPath != "" {
 		// Absent file = fresh start; any other failure (corrupt/truncated
 		// JSON) must refuse to boot — silently serving an empty registry
@@ -163,7 +178,7 @@ func NewServer(opts ServerOptions) *Server {
 		VOBaseURL:         opts.VOBaseURL,
 		InstallDelayScale: opts.InstallDelayScale,
 	})
-	s := server.New(server.Config{Registry: reg, Engine: eng})
+	s := server.New(server.Config{Registry: reg, Engine: eng, Metrics: opts.Metrics, Telemetry: telem})
 	return &Server{Server: s, registryPath: opts.RegistryPath}
 }
 
