@@ -10,7 +10,7 @@ GO ?= go
 # verify wall clock for packages with no shared state.
 RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server ./internal/telemetry
 
-.PHONY: build test vet fmt-check docs bench race searchbench-smoke metrics-smoke verify
+.PHONY: build test vet fmt-check docs bench race purego searchbench-smoke metrics-smoke verify
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,14 @@ docs:
 	$(GO) run ./cmd/mdcheck .
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run XXX .
+	$(GO) test -bench=. -benchtime=1x -run XXX . ./internal/vecmath
+
+# purego re-runs the scoring-kernel suites with the assembly and
+# unrolled kernels swapped out for their portable twins, so the fallback
+# path non-amd64 builds take is tested on every verify, not just on
+# exotic hardware.
+purego:
+	$(GO) test -tags purego ./internal/vecmath ./internal/index
 
 # race runs the concurrency-heavy packages under the race detector; the
 # registry stress test (concurrent AddPE/RemovePE/Search/Save) is its
@@ -58,4 +65,4 @@ searchbench-smoke:
 metrics-smoke:
 	$(GO) run ./cmd/laminar-bench -metrics-smoke
 
-verify: build vet fmt-check docs test race searchbench-smoke metrics-smoke
+verify: build vet fmt-check docs test race purego searchbench-smoke metrics-smoke

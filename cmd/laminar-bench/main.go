@@ -32,6 +32,8 @@ func main() {
 	indexMaxProbe := flag.Int("index-max-probe", 0, "adaptive probe budget cap for -searchbench (0 = no cap)")
 	indexSpill := flag.Float64("index-spill", 0, "spilled-shard ratio for -searchbench (0 = off)")
 	indexOverfetch := flag.Int("index-overfetch", 0, "re-rank pool widening factor for -searchbench (<=1 = off)")
+	indexQuantize := flag.Bool("index-quantize", false, "int8-quantized candidate scoring for -searchbench (final top-k is always exact-rescored)")
+	vecBench := flag.Bool("vecbench", false, "run only the scoring-kernel throughput table (scalar vs vecmath, float32 vs int8) plus batched-vs-sequential search timing")
 	frontierSize := flag.Int("frontier-size", 10000, "corpus size for the -searchbench knob frontier (0 disables the sweep)")
 	persistBench := flag.Bool("persistbench", false, "run only the index persistence + background-retrain benchmark")
 	persistSize := flag.Int("persist-size", 10000, "registry size (PEs) for -persistbench")
@@ -39,7 +41,7 @@ func main() {
 	metricsSmokeDoc := flag.String("metrics-smoke-doc", "docs/operations.md", "runbook whose metric names -metrics-smoke validates against the live endpoint")
 	flag.Parse()
 
-	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke && !*metricsSmoke
+	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke && !*metricsSmoke && !*vecBench
 
 	if all || *table == 5 {
 		res, err := bench.RunTable5(bench.DefaultTable5Options())
@@ -93,6 +95,7 @@ func main() {
 			MaxProbe:     *indexMaxProbe,
 			SpillRatio:   *indexSpill,
 			Overfetch:    *indexOverfetch,
+			Quantize:     *indexQuantize,
 		})
 		if err != nil {
 			log.Fatalf("search bench: %v", err)
@@ -104,6 +107,15 @@ func main() {
 				log.Fatalf("search frontier: %v", err)
 			}
 			fmt.Println(fr.Render())
+		}
+	}
+	if *vecBench {
+		out, err := bench.RunVecBench()
+		if out != "" {
+			fmt.Println(out)
+		}
+		if err != nil {
+			log.Fatalf("vecbench: %v", err)
 		}
 	}
 	if *searchSmoke {

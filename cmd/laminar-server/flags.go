@@ -28,6 +28,7 @@ type serverConfig struct {
 	indexMaxProbe        int
 	indexSpill           float64
 	indexOverfetch       int
+	indexQuantize        bool
 	indexRetrainCooldown time.Duration
 }
 
@@ -51,6 +52,7 @@ func registerFlags(fs *flag.FlagSet) *serverConfig {
 	fs.IntVar(&c.indexMaxProbe, "index-max-probe", 0, "cap on shards an adaptive query may scan, a worst-case latency budget that overrides the recall target including 1.0's exactness (0 = no cap)")
 	fs.Float64Var(&c.indexSpill, "index-spill", 0, "spilled (overlapping) shard assignment: also replicate a vector into its second-nearest shard when that centroid is within (1+ratio)x the distance of its nearest (0 = off; 0.25 is a good start); changes the trained structure, so a mismatched snapshot rebuilds")
 	fs.IntVar(&c.indexOverfetch, "index-overfetch", 0, "re-ranked candidate pool: probe for k*overfetch candidates with cheap partial scoring, then exact-rescore the pool before the top-k (<=1 = off; ignored at -index-recall-target 1.0)")
+	fs.BoolVar(&c.indexQuantize, "index-quantize", false, "int8 scalar quantization for the clustered candidate pass: maintain quantized companions of the stored vectors and score probed shards with cheap int8 dot products, always exact-rescoring the final top-k from float32 (off by default; bypassed at -index-recall-target 1.0, whose exactness needs exact scores)")
 	fs.DurationVar(&c.indexRetrainCooldown, "index-retrain-cooldown", 0, "rate limit on automatic clustered retrains: triggers within this window of the last launch coalesce into one deferred retrain, so a churn burst cannot retrain back-to-back (0 = no limit; tuning guidance in docs/operations.md)")
 	return c
 }
@@ -92,6 +94,7 @@ func (c *serverConfig) serverOptions() laminar.ServerOptions {
 		IndexMaxProbe:        c.indexMaxProbe,
 		IndexSpill:           c.indexSpill,
 		IndexOverfetch:       c.indexOverfetch,
+		IndexQuantize:        c.indexQuantize,
 		IndexRetrainCooldown: c.indexRetrainCooldown,
 	}
 }

@@ -331,6 +331,9 @@ func describeKnobs(cfg index.ClusteredConfig) string {
 	if cfg.Overfetch > 1 {
 		parts = append(parts, fmt.Sprintf("overfetch=%d", cfg.Overfetch))
 	}
+	if cfg.Quantize {
+		parts = append(parts, "quantize=int8")
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -372,6 +375,7 @@ func frontierSettings() []FrontierRow {
 		{Label: "target=.90", Cfg: index.ClusteredConfig{RecallTarget: 0.90}},
 		{Label: "target=.90 spill=.10", Cfg: index.ClusteredConfig{RecallTarget: 0.90, SpillRatio: 0.1}},
 		{Label: "target=.90 spill=.10 of=8", Cfg: index.ClusteredConfig{RecallTarget: 0.90, SpillRatio: 0.1, Overfetch: 8}},
+		{Label: "target=.90 spill=.10 of=8 q8", Cfg: index.ClusteredConfig{RecallTarget: 0.90, SpillRatio: 0.1, Overfetch: 8, Quantize: true}},
 		{Label: "target=.95 spill=.10 of=8", Cfg: index.ClusteredConfig{RecallTarget: 0.95, SpillRatio: 0.1, Overfetch: 8}},
 		{Label: "target=.99", Cfg: index.ClusteredConfig{RecallTarget: 0.99}},
 		{Label: "target=1.0 (provably exact)", Cfg: index.ClusteredConfig{RecallTarget: 1.0}},
@@ -470,41 +474,61 @@ func (r *SearchFrontierResult) Render() string {
 // recall engine drops below recall@10 0.9 on the realistic corpus, falls
 // behind the fixed-nprobe baseline it is supposed to dominate, or when
 // target 1.0 stops being exact — the three regressions that would silently
-// degrade search quality.
+// degrade search quality. The same floors gate the int8-quantized engine:
+// quantization is a latency trade and must never cost recall below the
+// floor, and with target 1.0 it must bypass itself entirely and stay exact.
 func RunSearchSmoke() (string, error) {
 	const size, queries = 1000, 25
 	corpus, qs := GenPECorpus(size, queries)
 	flat := index.NewFlat()
 	fixed := index.NewClustered(index.ClusteredConfig{})
 	engine := index.NewClustered(index.ClusteredConfig{RecallTarget: 0.9, SpillRatio: 0.1, Overfetch: 8})
+	quant := index.NewClustered(index.ClusteredConfig{RecallTarget: 0.9, SpillRatio: 0.1, Overfetch: 8, Quantize: true})
 	exact := index.NewClustered(index.ClusteredConfig{RecallTarget: 1.0})
+	exactQ := index.NewClustered(index.ClusteredConfig{RecallTarget: 1.0, Quantize: true})
 	for i, v := range corpus {
 		flat.Upsert(i+1, v)
 		fixed.Upsert(i+1, v)
 		engine.Upsert(i+1, v)
+		quant.Upsert(i+1, v)
 		exact.Upsert(i+1, v)
+		exactQ.Upsert(i+1, v)
 	}
 	fixed.TrainNow()
 	engine.TrainNow()
+	quant.TrainNow()
 	exact.TrainNow()
+	exactQ.TrainNow()
 
 	_, flatHits := timeQueries(flat, qs)
 	_, fixedHits := timeQueries(fixed, qs)
 	_, engineHits := timeQueries(engine, qs)
+	_, quantHits := timeQueries(quant, qs)
 	_, exactHits := timeQueries(exact, qs)
+	_, exactQHits := timeQueries(exactQ, qs)
 
 	base := recallAgainst(flatHits, fixedHits)
 	got := recallAgainst(flatHits, engineHits)
-	summary := fmt.Sprintf("searchbench-smoke: %d vectors, %d queries: recall@10 %.3f (fixed-nprobe baseline %.3f)",
-		size, queries, got, base)
+	gotQ := recallAgainst(flatHits, quantHits)
+	summary := fmt.Sprintf("searchbench-smoke: %d vectors, %d queries: recall@10 %.3f, int8-quantized %.3f (fixed-nprobe baseline %.3f)",
+		size, queries, got, gotQ, base)
 	if got < 0.9 {
 		return summary, fmt.Errorf("recall engine recall@10 %.3f below the 0.9 floor", got)
 	}
 	if got < base {
 		return summary, fmt.Errorf("recall engine recall@10 %.3f below the fixed-nprobe baseline %.3f", got, base)
 	}
+	if gotQ < 0.9 {
+		return summary, fmt.Errorf("quantized recall engine recall@10 %.3f below the 0.9 floor", gotQ)
+	}
+	if gotQ < base {
+		return summary, fmt.Errorf("quantized recall engine recall@10 %.3f below the fixed-nprobe baseline %.3f", gotQ, base)
+	}
 	if ex := recallAgainst(flatHits, exactHits); ex < 1 {
 		return summary, fmt.Errorf("RecallTarget=1.0 recall@10 %.3f, want exactly 1 (exactness regression)", ex)
+	}
+	if ex := recallAgainst(flatHits, exactQHits); ex < 1 {
+		return summary, fmt.Errorf("RecallTarget=1.0 with quantization recall@10 %.3f, want exactly 1 (quantize bypass regression)", ex)
 	}
 	return summary, nil
 }

@@ -110,3 +110,27 @@ type SearchRequest struct {
 type SearchResponse struct {
 	Hits []SearchHit `json:"hits"`
 }
+
+// SearchBatchRequest is the body of POST /registry/{user}/search/batch:
+// many semantic or code PE queries answered in one round trip, letting the
+// index amortize centroid probing and shard visits across the batch.
+type SearchBatchRequest struct {
+	// QueryType selects the index probed: semantic (description
+	// embeddings, the default) or code.
+	QueryType QueryType `json:"queryType,omitempty"`
+	// Queries carries query texts, embedded server-side when
+	// QueryEmbeddings is absent.
+	Queries []string `json:"queries,omitempty"`
+	// QueryEmbeddings carries client-computed embeddings (bi-encoder
+	// contract: the client embeds, the server compares). When present it
+	// takes precedence over Queries.
+	QueryEmbeddings [][]float32 `json:"queryEmbeddings,omitempty"`
+	// Limit caps each query's hit list (0 = server default).
+	Limit int `json:"limit,omitempty"`
+}
+
+// SearchBatchResponse carries one ranked hit list per query, index-aligned
+// with the request's queries.
+type SearchBatchResponse struct {
+	Results [][]SearchHit `json:"results"`
+}

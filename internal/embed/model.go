@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"laminar/internal/vecmath"
 )
 
 // Dim is the embedding dimensionality used by every model.
@@ -242,17 +244,11 @@ func l2(v []float64) float64 {
 }
 
 // Cosine returns the cosine similarity of two embeddings (dot product for
-// unit vectors).
+// unit vectors). It delegates to the shared scoring kernel, which keeps
+// the historic contract: a float64 dot product over the common prefix,
+// bit-identical to the scalar loop this function used to carry.
 func Cosine(a, b Vector) float64 {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	var dot float64
-	for i := 0; i < n; i++ {
-		dot += float64(a[i]) * float64(b[i])
-	}
-	return dot
+	return vecmath.Dot(a, b)
 }
 
 // Rank orders candidate embeddings by similarity to the query, descending.

@@ -1,0 +1,131 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSearchBatchMatchesSequential pins the batch contract: SearchBatch
+// answers exactly what k sequential Search calls would, across every
+// probing regime (brute-scan, fixed nprobe, adaptive recall target),
+// with and without a filter, and with the quantized candidate pass and
+// overfetch engaged. Batching may only change the visit order, and the
+// strict total order on candidates (score desc, id asc) makes results
+// insensitive to that.
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int // corpus size; < minTrainSize keeps the brute path
+		cfg  ClusteredConfig
+	}{
+		{"brute", minTrainSize - 10, ClusteredConfig{Quantize: true}},
+		{"fixed-plain", 500, ClusteredConfig{NProbe: 3}},
+		{"fixed-quantized", 500, ClusteredConfig{NProbe: 3, Overfetch: 4, Quantize: true}},
+		{"fixed-spilled", 500, ClusteredConfig{NProbe: 2, SpillRatio: 0.3, Overfetch: 4}},
+		{"adaptive", 500, ClusteredConfig{RecallTarget: 0.9, SpillRatio: 0.2, Overfetch: 4, Quantize: true}},
+		{"adaptive-exact", 300, ClusteredConfig{RecallTarget: 1.0, Quantize: true}},
+	}
+	filters := map[string]Filter{
+		"unfiltered": nil,
+		"even-ids":   func(id int) bool { return id%2 == 0 },
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(113))
+			clus := NewClustered(tc.cfg)
+			live := liveCorpus(rng, tc.n, 24, clus)
+			if tc.n >= minTrainSize {
+				clus.TrainNow()
+			} else {
+				clus.WaitRetrain()
+				clus.mu.RLock()
+				untrained := clus.trained == nil
+				clus.mu.RUnlock()
+				if !untrained {
+					t.Fatalf("corpus of %d unexpectedly trained", tc.n)
+				}
+			}
+			if len(live) == 0 {
+				t.Fatal("empty corpus")
+			}
+			queries := make([][]float32, 8)
+			for i := range queries {
+				queries[i] = unitVec(rng, 24)
+			}
+			for fname, filter := range filters {
+				want := make([][]Candidate, len(queries))
+				for i, q := range queries {
+					want[i] = clus.Search(q, 10, filter)
+				}
+				got := clus.SearchBatch(queries, 10, filter)
+				if len(got) != len(want) {
+					t.Fatalf("%s: batch answered %d queries, want %d", fname, len(got), len(want))
+				}
+				for i := range want {
+					if fmt.Sprintf("%v", got[i]) != fmt.Sprintf("%v", want[i]) {
+						t.Errorf("%s: query %d batch diverged from sequential:\n got %v\nwant %v", fname, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSearchBatchOfFallsBack: SearchBatchOf duck-types the batch
+// interface — a Clustered index takes the batched path, while the Flat
+// index (no SearchBatch) transparently falls back to sequential calls.
+// Both must answer identically on the same corpus.
+func TestSearchBatchOfFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	flat := NewFlat()
+	clus := NewClustered(ClusteredConfig{NProbe: 4, Quantize: true})
+	live := liveCorpus(rng, 300, 16, flat, clus)
+	clus.TrainNow()
+	// nprobe 4 of auto ~sqrt(300) centroids is approximate; to compare
+	// across index kinds make the clustered scan exact instead.
+	exact := NewClustered(ClusteredConfig{NProbe: 1 << 20})
+	for id, v := range live {
+		exact.Upsert(id, v)
+	}
+	exact.TrainNow()
+
+	queries := make([][]float32, 5)
+	for i := range queries {
+		queries[i] = unitVec(rng, 16)
+	}
+	fromFlat := SearchBatchOf(flat, queries, 10, nil)
+	fromExact := SearchBatchOf(exact, queries, 10, nil)
+	if fmt.Sprintf("%v", fromFlat) != fmt.Sprintf("%v", fromExact) {
+		t.Fatalf("exact clustered batch diverged from flat fallback:\n got %v\nwant %v", fromExact, fromFlat)
+	}
+	// The approximate index still answers per-query-identical batches.
+	seq := make([][]Candidate, len(queries))
+	for i, q := range queries {
+		seq[i] = clus.Search(q, 10, nil)
+	}
+	if got := SearchBatchOf(clus, queries, 10, nil); fmt.Sprintf("%v", got) != fmt.Sprintf("%v", seq) {
+		t.Fatalf("SearchBatchOf on clustered diverged from sequential:\n got %v\nwant %v", got, seq)
+	}
+}
+
+// TestSearchBatchEdges: degenerate inputs must not panic and must keep
+// the one-answer-per-query shape.
+func TestSearchBatchEdges(t *testing.T) {
+	clus := NewClustered(ClusteredConfig{Quantize: true})
+	if got := clus.SearchBatch(nil, 10, nil); len(got) != 0 {
+		t.Fatalf("nil batch answered %d lists", len(got))
+	}
+	clus.Upsert(1, []float32{1, 0})
+	qs := [][]float32{{1, 0}, {0, 1}}
+	if got := clus.SearchBatch(qs, 0, nil); len(got) != 2 || len(got[0]) != 0 || len(got[1]) != 0 {
+		t.Fatalf("k=0 batch = %v, want two empty lists", got)
+	}
+	got := clus.SearchBatch(qs, 5, nil)
+	if len(got) != 2 {
+		t.Fatalf("batch answered %d lists, want 2", len(got))
+	}
+	if len(got[0]) != 1 || got[0][0].ID != 1 {
+		t.Fatalf("batch[0] = %v, want the single stored vector", got[0])
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"laminar/internal/vecmath"
 )
 
 // ClusteredConfig tunes the IVF-style index. Centroids and SpillRatio shape
@@ -51,6 +53,16 @@ type ClusteredConfig struct {
 	// would be lost to the partial scores — and at dimensionalities too
 	// small for a prefix to be cheaper than the full product.
 	Overfetch int
+	// Quantize, when true, maintains an int8 scalar-quantized companion
+	// of every stored vector (a vecmath.QuantizedSet) and scores the
+	// candidate-selection pass of probed shards with cheap int8 dot
+	// products instead of full float32 ones; the final top-k is always
+	// exact-rescored from the float vectors. Bypassed entirely at
+	// RecallTarget >= 1 — the proof rule's byte-identical-to-Flat
+	// guarantee only holds over exact scores. The companion is persisted
+	// as an optional sidecar section and rebuilt from the float vectors
+	// on restore when absent or damaged.
+	Quantize bool
 	// RetrainCooldown, when > 0, rate-limits automatic background
 	// retrains: once a retrain launches, further automatic triggers
 	// (corpus doublings, accumulated churn) within the window coalesce
@@ -121,6 +133,11 @@ type Clustered struct {
 	trained  *trainedSet // nil until the first training completes
 	overflow map[int]bool
 
+	// qset mirrors vecs with int8 quantized codes when cfg.Quantize is
+	// set (nil otherwise); maintained under mu by the same paths that
+	// maintain vecs.
+	qset *vecmath.QuantizedSet
+
 	trainedAt  int  // corpus size at the last completed retrain
 	churn      int  // removals/replacements since the last retrain launch
 	retraining bool // a background retrain is in flight
@@ -167,6 +184,9 @@ func NewClustered(cfg ClusteredConfig) *Clustered {
 		overflow: map[int]bool{},
 		clock:    time.Now,
 		schedule: func(d time.Duration, f func()) { time.AfterFunc(d, f) },
+	}
+	if cfg.Quantize {
+		c.qset = vecmath.NewQuantizedSet()
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -240,6 +260,9 @@ func (c *Clustered) Upsert(id int, vec []float32) {
 	}
 	c.deleteLocked(id) // replacing: drop any stale shard membership
 	c.vecs[id] = append([]float32(nil), vec...)
+	if c.qset != nil {
+		c.qset.Upsert(id, c.vecs[id])
+	}
 	switch {
 	case c.retraining:
 		// Checked before trained==nil: even during the FIRST training a
@@ -273,6 +296,9 @@ func (c *Clustered) deleteLocked(id int) {
 	}
 	delete(c.vecs, id)
 	delete(c.overflow, id)
+	if c.qset != nil {
+		c.qset.Delete(id)
+	}
 	c.churn++
 	if c.trained == nil {
 		return
@@ -631,35 +657,17 @@ func nearestTwoCentroids(cents [][]float32, v []float32) (best, second int) {
 // (the same prefix rule the shared dot product uses). Computed directly
 // rather than via 2-2·cos so the shard radii are true distances, not
 // unit-norm approximations — the adaptive stop rule's exactness proof at
-// RecallTarget=1 leans on these being genuine upper bounds.
+// RecallTarget=1 leans on these being genuine upper bounds. vecmath.L2
+// keeps the historic scalar loop's semantics bit-identically.
 func distance(a, b []float32) float64 {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	var s float64
-	for i := 0; i < n; i++ {
-		d := float64(a[i]) - float64(b[i])
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return vecmath.L2(a, b)
 }
 
 // dotPrefix scores only the first m dimensions — the cheap partial score
 // Overfetch uses to build its widened candidate pool before the exact
 // rescore.
 func dotPrefix(a, b []float32, m int) float64 {
-	if len(a) < m {
-		m = len(a)
-	}
-	if len(b) < m {
-		m = len(b)
-	}
-	var s float64
-	for i := 0; i < m; i++ {
-		s += float64(a[i]) * float64(b[i])
-	}
-	return s
+	return vecmath.DotPrefix(a, b, m)
 }
 
 // boundPad is the safety margin added to a shard's score upper bound. The
@@ -741,6 +749,13 @@ func patienceFor(target float64) int {
 func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	return c.searchLocked(query, k, filter)
+}
+
+// searchLocked is Search's body, factored out so SearchBatch can answer
+// many queries under a single lock acquisition. Callers hold c.mu (read
+// or write).
+func (c *Clustered) searchLocked(query []float32, k int, filter Filter) []Candidate {
 	if k <= 0 {
 		return []Candidate{}
 	}
@@ -767,6 +782,12 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 	// as do dimensionalities where the prefix is no cheaper than the whole.
 	poolK := k
 	partialDims := 0
+	// The quantized pass engages whenever a companion set exists and the
+	// proof rule is not in play: RecallTarget >= 1 promises byte-identical-
+	// to-Flat answers, which only exact scores can honor. When it engages
+	// it replaces Overfetch's prefix partial scoring — int8 over the full
+	// width is both cheaper and better-conditioned than a float prefix.
+	quantized := c.qset != nil && c.cfg.RecallTarget < 1
 	if of := c.cfg.Overfetch; of > 1 && c.cfg.RecallTarget < 1 {
 		// k is a client-controlled limit and travels here unclamped; a
 		// widened pool must saturate, never overflow into TopK(0).
@@ -775,15 +796,19 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 		} else {
 			poolK = k * of
 		}
-		if pd := len(query) / 2; pd >= minPartialDims && pd < len(query) {
+		if pd := len(query) / 2; !quantized && pd >= minPartialDims && pd < len(query) {
 			partialDims = pd
 		}
 	}
-	score := func(v []float32) float64 { return dot(query, v) }
-	if partialDims > 0 {
-		p := partialDims
-		score = func(v []float32) float64 { return dotPrefix(query, v, p) }
+	var qCodes []int8
+	var qScale float32
+	if quantized {
+		qCodes, qScale = vecmath.Quantize(query)
 	}
+	// approx marks a pool holding lossy scores (quantized or partial):
+	// the proof rule must not trust them and the final top-k must be
+	// exact-rescored.
+	approx := quantized || partialDims > 0
 
 	pool := NewTopK(poolK)
 	// gate tracks the kth-best score seen, feeding the adaptive stop rule;
@@ -812,7 +837,23 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 			return
 		}
 		scanned++
-		cand := Candidate{ID: id, Score: score(v)}
+		var s float64
+		switch {
+		case quantized:
+			if qs, qok := c.qset.Dot(qCodes, qScale, id); qok {
+				s = qs
+			} else {
+				// No companion for this id (e.g. a damaged persisted entry
+				// adopted partially): degrade to the exact float score,
+				// never to a miss.
+				s = dot(query, v)
+			}
+		case partialDims > 0:
+			s = dotPrefix(query, v, partialDims)
+		default:
+			s = dot(query, v)
+		}
+		cand := Candidate{ID: id, Score: s}
 		pool.Push(cand)
 		if gate != pool {
 			gate.Push(cand)
@@ -888,10 +929,11 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 				// The proof rule: nothing in any remaining shard can reach
 				// the kth-best score, so stopping loses nothing. This is the
 				// only rule an exact (target 1.0) scan may stop on. It is
-				// unsound over partial scores (a prefix dot can exceed the
-				// full dot the bounds cap), so it only runs when the gate
-				// holds exact scores.
-				if full && partialDims == 0 && worst.Score > suffixBound[i] {
+				// unsound over approximate scores (a prefix dot can exceed
+				// the full dot the bounds cap, and a quantized score can
+				// drift either way), so it only runs when the gate holds
+				// exact scores.
+				if full && !approx && worst.Score > suffixBound[i] {
 					stopRule = StopProof
 					break
 				}
@@ -924,14 +966,19 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 		scanID(id)
 	}
 	met.observeQuery(probes, scanned, stopRule)
+	if quantized {
+		met.observeQuantized()
+	}
 
-	if poolK == k && partialDims == 0 {
+	if poolK == k && !approx {
 		return pool.Sorted()
 	}
-	// Re-rank: exact-rescore the widened pool with full dot products. When
-	// the pool was already exactly scored this recomputes identical values,
-	// so enabling Overfetch never changes scores, only which candidates
-	// survive into the pool.
+	// Re-rank: exact-rescore the widened or approximately-scored pool with
+	// full dot products. When the pool was already exactly scored this
+	// recomputes identical values, so enabling Overfetch never changes
+	// scores, only which candidates survive into the pool; a quantized pool
+	// always passes through here, which is what keeps quantization a
+	// candidate-selection heuristic rather than a scoring change.
 	final := NewTopK(k)
 	for _, cand := range pool.Sorted() {
 		if v, ok := c.vecs[cand.ID]; ok {
@@ -939,6 +986,209 @@ func (c *Clustered) Search(query []float32, k int, filter Filter) []Candidate {
 		}
 	}
 	return final.Sorted()
+}
+
+// SearchBatch answers every query under a single lock acquisition,
+// amortizing the shared scan work across the batch. Results are identical
+// to calling Search once per query (the top-k selection is a strict total
+// order — score descending, id ascending — so it is insensitive to visit
+// order, which is the only thing batching changes):
+//
+//   - Untrained (brute-scan) corpus: the vector map is iterated ONCE and
+//     each vector is scored against every query, instead of len(queries)
+//     full map walks.
+//   - Fixed-probe clustering (RecallTarget unset): per-query probe plans
+//     are inverted into a shard → subscribed-queries map, so each probed
+//     shard's members are fetched and spill-checked once and scored only
+//     for the queries that probed that shard.
+//   - Adaptive probing (RecallTarget set): each query's stop rule depends
+//     on its own evolving top-k, so shard visits cannot be shared without
+//     changing which shards get visited; the batch degenerates to a
+//     sequential loop that still saves the per-query lock round-trips.
+func (c *Clustered) SearchBatch(queries [][]float32, k int, filter Filter) [][]Candidate {
+	out := make([][]Candidate, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.metrics.observeBatch(len(queries))
+	if k <= 0 {
+		for i := range out {
+			out[i] = []Candidate{}
+		}
+		return out
+	}
+	switch {
+	case c.trained == nil:
+		c.searchBatchBruteLocked(queries, k, filter, out)
+	case c.cfg.RecallTarget > 0:
+		for i, q := range queries {
+			out[i] = c.searchLocked(q, k, filter)
+		}
+	default:
+		c.searchBatchFixedLocked(queries, k, filter, out)
+	}
+	return out
+}
+
+// searchBatchBruteLocked is the untrained-corpus batch path: one walk of
+// the vector map, every vector scored (exactly) against every query.
+func (c *Clustered) searchBatchBruteLocked(queries [][]float32, k int, filter Filter, out [][]Candidate) {
+	met := c.metrics
+	tops := make([]*TopK, len(queries))
+	for i := range tops {
+		tops[i] = NewTopK(k)
+	}
+	scanned := 0
+	for id, v := range c.vecs {
+		if filter != nil && !filter(id) {
+			continue
+		}
+		scanned++
+		for qi, q := range queries {
+			tops[qi].Push(Candidate{ID: id, Score: dot(q, v)})
+		}
+	}
+	for i, t := range tops {
+		met.observeQuery(0, scanned, StopBrute)
+		out[i] = t.Sorted()
+	}
+}
+
+// searchBatchFixedLocked is the fixed-NProbe batch path. Each query's
+// probe plan is computed as Search would, then inverted: for every probed
+// shard, the member vectors are fetched and spill-checked once and scored
+// for each query subscribed to that shard. Scoring mode (quantized /
+// partial / exact) and the final rescore follow searchLocked exactly.
+func (c *Clustered) searchBatchFixedLocked(queries [][]float32, k int, filter Filter, out [][]Candidate) {
+	met := c.metrics
+	ts := c.trained
+
+	poolK := k
+	quantized := c.qset != nil && c.cfg.RecallTarget < 1
+	overfetched := false
+	if of := c.cfg.Overfetch; of > 1 && c.cfg.RecallTarget < 1 {
+		overfetched = true
+		if k > math.MaxInt/of {
+			poolK = math.MaxInt
+		} else {
+			poolK = k * of
+		}
+	}
+
+	type qstate struct {
+		query   []float32
+		pool    *TopK
+		seen    map[int]bool // lazy spill dedup, as in searchLocked
+		scanned int
+		partial int
+		qcodes  []int8
+		qscale  float32
+	}
+	states := make([]qstate, len(queries))
+	for qi, q := range queries {
+		st := &states[qi]
+		st.query = q
+		st.pool = NewTopK(poolK)
+		if quantized {
+			st.qcodes, st.qscale = vecmath.Quantize(q)
+		} else if overfetched {
+			if pd := len(q) / 2; pd >= minPartialDims && pd < len(q) {
+				st.partial = pd
+			}
+		}
+	}
+
+	// Invert the probe plans: shard → query indexes probing it.
+	nprobe := c.nprobeLocked()
+	subs := map[int][]int{}
+	for qi := range states {
+		probe := NewTopK(nprobe)
+		for ci, cent := range ts.centroids {
+			probe.Push(Candidate{ID: ci, Score: dot(states[qi].query, cent)})
+		}
+		for _, p := range probe.Sorted() {
+			subs[p.ID] = append(subs[p.ID], qi)
+		}
+	}
+
+	scanFor := func(st *qstate, id int, v []float32, spilled bool) {
+		if spilled {
+			if st.seen[id] {
+				return
+			}
+			if st.seen == nil {
+				st.seen = map[int]bool{}
+			}
+			st.seen[id] = true
+		}
+		st.scanned++
+		var s float64
+		switch {
+		case quantized:
+			if qs, qok := c.qset.Dot(st.qcodes, st.qscale, id); qok {
+				s = qs
+			} else {
+				s = dot(st.query, v)
+			}
+		case st.partial > 0:
+			s = dotPrefix(st.query, v, st.partial)
+		default:
+			s = dot(st.query, v)
+		}
+		st.pool.Push(Candidate{ID: id, Score: s})
+	}
+
+	for ci, qis := range subs {
+		for _, id := range ts.shards[ci] {
+			if filter != nil && !filter(id) {
+				continue
+			}
+			v, ok := c.vecs[id]
+			if !ok {
+				continue
+			}
+			_, spilled := ts.spill[id]
+			for _, qi := range qis {
+				scanFor(&states[qi], id, v, spilled)
+			}
+		}
+	}
+	// The exact overflow buffer is scanned by every query, as in Search.
+	for id := range c.overflow {
+		if filter != nil && !filter(id) {
+			continue
+		}
+		v, ok := c.vecs[id]
+		if !ok {
+			continue
+		}
+		_, spilled := ts.spill[id]
+		for qi := range states {
+			scanFor(&states[qi], id, v, spilled)
+		}
+	}
+
+	for qi := range states {
+		st := &states[qi]
+		met.observeQuery(nprobe, st.scanned, StopFixed)
+		if quantized {
+			met.observeQuantized()
+		}
+		approx := quantized || st.partial > 0
+		if poolK == k && !approx {
+			out[qi] = st.pool.Sorted()
+			continue
+		}
+		final := NewTopK(k)
+		for _, cand := range st.pool.Sorted() {
+			if v, ok := c.vecs[cand.ID]; ok {
+				final.Push(Candidate{ID: cand.ID, Score: dot(st.query, v)})
+			}
+		}
+		out[qi] = final.Sorted()
+	}
 }
 
 // Snapshot captures the trained structure (centroids + shard assignments,
@@ -975,6 +1225,10 @@ func (c *Clustered) Snapshot() *Snapshot {
 			}
 		}
 		snap.Clustered = cs
+	}
+	if c.qset != nil {
+		codes, scales := c.qset.Entries()
+		snap.Quantized = &QuantizedSnapshot{Codes: codes, Scales: scales}
 	}
 	return snap
 }
@@ -1083,6 +1337,30 @@ func (c *Clustered) Restore(snap *Snapshot, vecs map[int][]float32) error {
 	c.trained = ts
 	c.trainedAt = trainedAt
 	c.churn = 0
+	// Rebuild the quantized companion set. Persisted entries are adopted
+	// only when internally consistent with the float vector under the same
+	// id (codes present, matching dimensionality, scale recorded); any
+	// other entry — and the entire set when the snapshot carries none —
+	// is re-quantized from the float source. Quantization is derived data:
+	// a damaged or missing section degrades to a rebuild, never to a
+	// failed load.
+	if c.cfg.Quantize {
+		qs := vecmath.NewQuantizedSet()
+		for id, v := range c.vecs {
+			if q := snap.Quantized; q != nil {
+				if codes, ok := q.Codes[id]; ok && len(codes) == len(v) {
+					if scale, sok := q.Scales[id]; sok {
+						qs.Set(id, codes, scale)
+						continue
+					}
+				}
+			}
+			qs.Upsert(id, v)
+		}
+		c.qset = qs
+	} else {
+		c.qset = nil
+	}
 	// Restore never retrains, by definition — even from an untrained
 	// snapshot (corpus saved inside its first-training window). Such an
 	// index serves exact brute-force answers until the next Upsert, whose

@@ -54,7 +54,7 @@
 // tuning guide.
 package index
 
-import "laminar/internal/embed"
+import "laminar/internal/vecmath"
 
 // Candidate is one scored index entry: the PE id and its similarity score.
 type Candidate struct {
@@ -99,10 +99,33 @@ type VectorIndex interface {
 // to create its description- and code-embedding indexes.
 type Factory func() VectorIndex
 
-// dot is the shared scoring function. Delegating to embed.Cosine (a float64
+// dot is the shared scoring function. Delegating to vecmath.Dot (a float64
 // dot product over the common prefix; cosine for the unit vectors the embed
-// models emit) makes the byte-identical-to-brute-force guarantee true by
-// construction rather than by keeping two copies in sync.
+// models emit — embed.Cosine delegates to the very same kernel) makes the
+// byte-identical-to-brute-force guarantee true by construction rather than
+// by keeping two copies in sync.
 func dot(a, b []float32) float64 {
-	return embed.Cosine(embed.Vector(a), embed.Vector(b))
+	return vecmath.Dot(a, b)
+}
+
+// BatchSearcher is the optional batched-execution extension of
+// VectorIndex: answer many queries under one lock acquisition, amortizing
+// centroid probing and shard visits across the batch where the index's
+// probe policy allows. Results are identical to calling Search per query.
+type BatchSearcher interface {
+	SearchBatch(queries [][]float32, k int, filter Filter) [][]Candidate
+}
+
+// SearchBatchOf answers every query against idx, using the index's native
+// batched execution when it implements BatchSearcher and falling back to
+// sequential Search calls otherwise.
+func SearchBatchOf(idx VectorIndex, queries [][]float32, k int, filter Filter) [][]Candidate {
+	if b, ok := idx.(BatchSearcher); ok {
+		return b.SearchBatch(queries, k, filter)
+	}
+	out := make([][]Candidate, len(queries))
+	for i, q := range queries {
+		out[i] = idx.Search(q, k, filter)
+	}
+	return out
 }

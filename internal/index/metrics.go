@@ -52,6 +52,11 @@ type ClusteredMetrics struct {
 	// RetrainSeconds observes the wall-clock duration of each completed
 	// retrain (k-means plus merge).
 	RetrainSeconds *telemetry.Histogram
+	// QuantizedScans counts queries whose candidate pass ran over the int8
+	// quantized companion set instead of full float dot products.
+	QuantizedScans *telemetry.Counter
+	// BatchSize observes the number of queries in each SearchBatch call.
+	BatchSize *telemetry.Histogram
 }
 
 // observeQuery records one search's probe cost and stop attribution.
@@ -68,6 +73,23 @@ func (m *ClusteredMetrics) observeQuery(probes, scanned int, rule string) {
 	if m.Stops != nil {
 		m.Stops.With(rule).Inc()
 	}
+}
+
+// observeQuantized records that one search's candidate pass was scored
+// over the quantized companion set.
+func (m *ClusteredMetrics) observeQuantized() {
+	if m == nil || m.QuantizedScans == nil {
+		return
+	}
+	m.QuantizedScans.Inc()
+}
+
+// observeBatch records one SearchBatch call's query count.
+func (m *ClusteredMetrics) observeBatch(n int) {
+	if m == nil || m.BatchSize == nil {
+		return
+	}
+	m.BatchSize.Observe(float64(n))
 }
 
 // observeRetrain records one completed retrain and its duration.

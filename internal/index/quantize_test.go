@@ -1,0 +1,219 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"laminar/internal/vecmath"
+)
+
+// TestQuantizedRecallFloor: the int8 candidate pass is a speed trade, not
+// a quality one — on the seeded topic-clustered corpus the quantized
+// recall engine must still clear the 0.9 recall@10 floor and stay at
+// least as good as the fixed-nprobe float baseline.
+func TestQuantizedRecallFloor(t *testing.T) {
+	for _, seed := range []int64{7, 61, 193} {
+		corpus, qs := topicCorpus(seed, 1500, 64, 25, 0.2)
+		flat := NewFlat()
+		fixed := NewClustered(ClusteredConfig{})
+		engine := NewClustered(ClusteredConfig{
+			RecallTarget: 0.95,
+			SpillRatio:   0.25,
+			Overfetch:    4,
+			Quantize:     true,
+		})
+		for i, v := range corpus {
+			flat.Upsert(i+1, v)
+			fixed.Upsert(i+1, v)
+			engine.Upsert(i+1, v)
+		}
+		fixed.TrainNow()
+		engine.TrainNow()
+
+		base := recallAt10(flat, fixed, qs)
+		got := recallAt10(flat, engine, qs)
+		if got < base {
+			t.Errorf("seed %d: quantized engine recall %.3f below fixed-nprobe baseline %.3f", seed, got, base)
+		}
+		if got < 0.9 {
+			t.Errorf("seed %d: quantized engine recall %.3f below the 0.9 floor", seed, got)
+		}
+	}
+}
+
+// TestQuantizedExactTargetMatchesFlat pins the bypass contract: with
+// Quantize configured AND RecallTarget 1.0, the quantized pass must not
+// engage — the proof rule's byte-identical-to-Flat guarantee only holds
+// over exact scores, so the search must equal Flat exactly.
+func TestQuantizedExactTargetMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	flat := NewFlat()
+	clus := NewClustered(ClusteredConfig{
+		RecallTarget: 1.0,
+		SpillRatio:   0.2,
+		Overfetch:    8,
+		Quantize:     true,
+	})
+	live := liveCorpus(rng, 400, 24, flat, clus)
+	clus.WaitRetrain()
+	if len(live) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for q := 0; q < 10; q++ {
+		query := unitVec(rng, 24)
+		got := clus.Search(query, 10, nil)
+		want := flat.Search(query, 10, nil)
+		if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+			t.Fatalf("query %d diverged from Flat with quantization configured at target 1.0:\n got %v\nwant %v", q, got, want)
+		}
+	}
+}
+
+// TestQuantizedSetTracksCorpus: the companion set must mirror the float
+// vector set exactly through upserts, deletes, replacements and a full
+// retrain — every live id quantized, no ghost entries.
+func TestQuantizedSetTracksCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	clus := NewClustered(ClusteredConfig{RecallTarget: 0.9, Quantize: true})
+	live := liveCorpus(rng, 500, 16, clus)
+	clus.TrainNow()
+
+	clus.mu.RLock()
+	defer clus.mu.RUnlock()
+	if clus.qset == nil {
+		t.Fatal("Quantize on but no companion set")
+	}
+	if clus.qset.Len() != len(clus.vecs) {
+		t.Fatalf("companion set has %d entries, corpus has %d", clus.qset.Len(), len(clus.vecs))
+	}
+	if len(clus.vecs) != len(live) {
+		t.Fatalf("corpus has %d vectors, expected %d", len(clus.vecs), len(live))
+	}
+	for id, v := range clus.vecs {
+		codes, scale, ok := clus.qset.Codes(id)
+		if !ok {
+			t.Fatalf("id %d has no quantized companion", id)
+		}
+		wantCodes, wantScale := vecmath.Quantize(v)
+		if scale != wantScale {
+			t.Fatalf("id %d companion scale %g, want %g", id, scale, wantScale)
+		}
+		for i := range codes {
+			if codes[i] != wantCodes[i] {
+				t.Fatalf("id %d companion code[%d] = %d, want %d", id, i, codes[i], wantCodes[i])
+			}
+		}
+	}
+}
+
+// TestQuantizedSnapshotRoundTrip: the companion set travels through the
+// snapshot (JSON field and binary section codec), a restore adopts the
+// persisted codes, and the degraded paths — companion absent, or damaged
+// entries — rebuild from the float vectors instead of failing the load.
+func TestQuantizedSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	cfg := ClusteredConfig{Centroids: 8, NProbe: 2, RecallTarget: 0.9, Quantize: true}
+	src := NewClustered(cfg)
+	live := liveCorpus(rng, 400, 24, src)
+	src.WaitRetrain()
+
+	snap := src.Snapshot()
+	if snap.Quantized == nil {
+		t.Fatal("quantize-configured snapshot carries no companion set")
+	}
+	if len(snap.Quantized.Codes) != len(live) {
+		t.Fatalf("snapshot carries %d quantized entries, corpus has %d", len(snap.Quantized.Codes), len(live))
+	}
+
+	// Binary section codec round-trips losslessly.
+	var buf bytes.Buffer
+	if err := snap.Quantized.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeQuantizedBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, codes := range snap.Quantized.Codes {
+		got := decoded.Codes[id]
+		if len(got) != len(codes) {
+			t.Fatalf("id %d round-tripped to %d codes, want %d", id, len(got), len(codes))
+		}
+		for i := range codes {
+			if got[i] != codes[i] {
+				t.Fatalf("id %d code[%d] round-tripped to %d, want %d", id, i, got[i], codes[i])
+			}
+		}
+		if decoded.Scales[id] != snap.Quantized.Scales[id] {
+			t.Fatalf("id %d scale round-tripped to %g, want %g", id, decoded.Scales[id], snap.Quantized.Scales[id])
+		}
+	}
+
+	check := func(name string, s *Snapshot) {
+		dst := NewClustered(cfg)
+		if err := dst.Restore(s, live); err != nil {
+			t.Fatalf("%s: restore: %v", name, err)
+		}
+		if dst.Retrains() != 0 {
+			t.Fatalf("%s: restore ran %d retrains", name, dst.Retrains())
+		}
+		dst.mu.RLock()
+		if dst.qset == nil || dst.qset.Len() != len(live) {
+			dst.mu.RUnlock()
+			t.Fatalf("%s: restored companion set incomplete", name)
+		}
+		dst.mu.RUnlock()
+		for q := 0; q < 5; q++ {
+			query := unitVec(rng, 24)
+			got := dst.Search(query, 10, nil)
+			want := src.Search(query, 10, nil)
+			if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Fatalf("%s: restored search diverged:\n got %v\nwant %v", name, got, want)
+			}
+		}
+	}
+
+	// Intact snapshot: persisted codes adopted verbatim.
+	check("intact", snap)
+
+	// Companion absent entirely (pre-quantization snapshot): rebuilt.
+	bare := *snap
+	bare.Quantized = nil
+	check("absent-companion", &bare)
+
+	// Damaged entries — wrong-dimensionality codes and a missing scale —
+	// are individually re-quantized; everything else is adopted.
+	damaged := *snap
+	dq := &QuantizedSnapshot{Codes: map[int][]int8{}, Scales: map[int]float32{}}
+	for id, codes := range snap.Quantized.Codes {
+		dq.Codes[id] = codes
+		dq.Scales[id] = snap.Quantized.Scales[id]
+	}
+	for id := range dq.Codes {
+		dq.Codes[id] = dq.Codes[id][:4] // wrong dim: must be re-quantized
+		delete(dq.Scales, id)
+		break
+	}
+	damaged.Quantized = dq
+	check("damaged-entries", &damaged)
+}
+
+// TestDecodeQuantizedBinaryRejectsGarbage: the section decoder must fail
+// cleanly (error, not panic or giant allocation) on corrupt bytes — the
+// storage layer then drops the section and the index rebuilds.
+func TestDecodeQuantizedBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{1, 0, 0},              // truncated version
+		{9, 9, 0, 0},           // wrong version
+		{1, 0, 0, 0, 255, 255}, // truncated count
+		{1, 0, 0, 0, 255, 255, 255, 255, 255, 255, 255, 255}, // absurd count
+	}
+	for i, raw := range cases {
+		if _, err := DecodeQuantizedBinary(bytes.NewReader(raw)); err == nil {
+			t.Errorf("case %d: corrupt quantized section decoded without error", i)
+		}
+	}
+}

@@ -42,6 +42,22 @@ type Snapshot struct {
 	// clustered index that has not trained yet (it brute-scans below
 	// minTrainSize).
 	Clustered *ClusteredSnapshot `json:"clustered,omitempty"`
+	// Quantized carries the int8 quantized companion set, present only when
+	// the index was running with quantization on. It is strictly OPTIONAL:
+	// a restore with it absent (older snapshot, or a damaged/dropped
+	// section) rebuilds the companion from the float vectors — quantization
+	// is derived data, so losing it can never fail a load.
+	Quantized *QuantizedSnapshot `json:"quantized,omitempty"`
+}
+
+// QuantizedSnapshot is the serialized form of a vecmath.QuantizedSet: the
+// int8 codes and per-vector scale for each stored id. Entries are adopted
+// on restore only when they are consistent with the float vector under the
+// same id (matching dimensionality); anything else is silently
+// re-quantized from the float source.
+type QuantizedSnapshot struct {
+	Codes  map[int][]int8  `json:"codes"`
+	Scales map[int]float32 `json:"scales"`
 }
 
 // ClusteredSnapshot is the trained IVF state: the centroids and which

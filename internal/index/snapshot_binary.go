@@ -230,6 +230,107 @@ func (s *Snapshot) EncodeBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
+// quantizedBinaryVersion versions the quantized-companion section's bytes
+// independently of the index codec: the section is optional and derivable,
+// so a reader that does not understand a future version simply drops it
+// and rebuilds from the float vectors.
+const quantizedBinaryVersion = 1
+
+// EncodeBinary writes the quantized companion set in the binary sidecar
+// form: u32 codec version, u64 count, then per id-sorted entry
+// i64 id, u32 dim, f32 scale, dim raw int8 code bytes. Deterministic, like
+// Snapshot.EncodeBinary.
+func (q *QuantizedSnapshot) EncodeBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeU32(bw, quantizedBinaryVersion); err != nil {
+		return err
+	}
+	ids := make([]int, 0, len(q.Codes))
+	for id := range q.Codes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if err := writeU64(bw, uint64(len(ids))); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		codes := q.Codes[id]
+		if err := writeU64(bw, uint64(int64(id))); err != nil {
+			return err
+		}
+		if err := writeU32(bw, uint32(len(codes))); err != nil {
+			return err
+		}
+		if err := writeU32(bw, math.Float32bits(q.Scales[id])); err != nil {
+			return err
+		}
+		buf := make([]byte, len(codes))
+		for i, c := range codes {
+			buf[i] = byte(c)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeQuantizedBinary reads a companion set written by
+// QuantizedSnapshot.EncodeBinary.
+func DecodeQuantizedBinary(r io.Reader) (*QuantizedSnapshot, error) {
+	br := bufio.NewReader(r)
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: quantized section header: %w", err)
+	}
+	if ver != quantizedBinaryVersion {
+		return nil, fmt.Errorf("index: quantized section codec version %d, want %d", ver, quantizedBinaryVersion)
+	}
+	n, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<40 {
+		return nil, fmt.Errorf("index: quantized section with %d entries", n)
+	}
+	hint := n
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	q := &QuantizedSnapshot{
+		Codes:  make(map[int][]int8, hint),
+		Scales: make(map[int]float32, hint),
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		dim, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if dim > 1<<20 {
+			return nil, fmt.Errorf("index: quantized entry for id %d claims dim %d", int(int64(id)), dim)
+		}
+		scaleBits, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, dim)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		codes := make([]int8, dim)
+		for j, b := range buf {
+			codes[j] = int8(b)
+		}
+		q.Codes[int(int64(id))] = codes
+		q.Scales[int(int64(id))] = math.Float32frombits(scaleBits)
+	}
+	return q, nil
+}
+
 // DecodeSnapshotBinary reads a snapshot written by EncodeBinary. It only
 // validates the binary container version; logical validation (kind,
 // SnapshotVersion, checksum against the vectors) stays where it always was,

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"laminar/internal/core"
+	"laminar/internal/index"
 	"laminar/internal/search"
 )
 
@@ -55,6 +56,45 @@ func (s *Store) SemanticSearchBoth(userID int, queryEmbedding []float32, limit i
 		s.peHitsLocked(userID, queryEmbedding, limit, false),
 		s.wfHitsLocked(userID, queryEmbedding, limit),
 		limit)
+}
+
+// SemanticSearchBatch answers many description-embedding queries in one
+// registry round trip (a single simulated WAN hop and one lock
+// acquisition), letting the index amortize probe work across the batch.
+// Each result list is identical to the corresponding SemanticSearch call.
+func (s *Store) SemanticSearchBatch(userID int, queryEmbeddings [][]float32, limit int) [][]core.SearchHit {
+	return s.indexSearchBatch(userID, queryEmbeddings, limit, false)
+}
+
+// CompletionSearchBatch is SemanticSearchBatch over the code index.
+func (s *Store) CompletionSearchBatch(userID int, queryEmbeddings [][]float32, limit int) [][]core.SearchHit {
+	return s.indexSearchBatch(userID, queryEmbeddings, limit, true)
+}
+
+func (s *Store) indexSearchBatch(userID int, queries [][]float32, limit int, code bool) [][]core.SearchHit {
+	s.simulateWAN()
+	if limit <= 0 {
+		limit = search.DefaultLimit
+	}
+	s.pesMu.RLock()
+	defer s.pesMu.RUnlock()
+	desc, codeIdx, _ := s.indexes()
+	idx := desc
+	if code {
+		idx = codeIdx
+	}
+	visible := s.userPEs[userID]
+	batches := index.SearchBatchOf(idx, queries, limit, func(id int) bool { return visible[id] })
+	out := make([][]core.SearchHit, len(batches))
+	for i, cands := range batches {
+		out[i] = search.HitsFromCandidates(cands, func(id int) (core.PERecord, bool) {
+			if pe := s.pes[id]; pe != nil {
+				return *pe, true
+			}
+			return core.PERecord{}, false
+		})
+	}
+	return out
 }
 
 func (s *Store) indexSearch(userID int, query []float32, limit int, code bool) []core.SearchHit {

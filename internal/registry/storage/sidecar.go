@@ -40,6 +40,11 @@ const (
 
 // Section names. The three vector sections are always present; the index
 // sections are present only when the registry had a snapshot to persist.
+// The q8 sections carry each index's int8 quantized companion set and are
+// doubly optional: written only when quantization was on, and treated as
+// derivable on read — absent or corrupt q8 bytes degrade to a rebuild from
+// the float vectors, never to a load failure. Pre-quantization sidecars
+// therefore keep loading unchanged.
 const (
 	secPEDesc  = "pe-desc"
 	secPECode  = "pe-code"
@@ -47,6 +52,9 @@ const (
 	secIdxDesc = "idx-desc"
 	secIdxCode = "idx-code"
 	secIdxWF   = "idx-wf"
+	secQ8Desc  = "q8-desc"
+	secQ8Code  = "q8-code"
+	secQ8WF    = "q8-wf"
 )
 
 type sidecarSection struct {
@@ -154,12 +162,13 @@ func writeSidecar(dir, base string, snap *Snapshot) (name, sum string, err error
 	}
 	if snap.Indexes != nil {
 		idxSections := []struct {
-			name string
-			snap *index.Snapshot
+			name  string
+			qname string
+			snap  *index.Snapshot
 		}{
-			{secIdxDesc, snap.Indexes.Desc},
-			{secIdxCode, snap.Indexes.Code},
-			{secIdxWF, snap.Indexes.Workflow},
+			{secIdxDesc, secQ8Desc, snap.Indexes.Desc},
+			{secIdxCode, secQ8Code, snap.Indexes.Code},
+			{secIdxWF, secQ8WF, snap.Indexes.Workflow},
 		}
 		for _, is := range idxSections {
 			if is.snap == nil {
@@ -167,6 +176,12 @@ func writeSidecar(dir, base string, snap *Snapshot) (name, sum string, err error
 			}
 			if err = writeSec(is.name, is.snap.EncodeBinary); err != nil {
 				return "", "", fmt.Errorf("storage: write sidecar section %s: %w", is.name, err)
+			}
+			if is.snap.Quantized == nil {
+				continue
+			}
+			if err = writeSec(is.qname, is.snap.Quantized.EncodeBinary); err != nil {
+				return "", "", fmt.Errorf("storage: write sidecar section %s: %w", is.qname, err)
 			}
 		}
 	}

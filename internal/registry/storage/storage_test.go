@@ -451,3 +451,128 @@ func TestSweepSparesForeignSidecars(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// quantizedSnapshot swaps the desc index of a testSnapshot for one with
+// int8 quantization configured, so its snapshot carries a companion set.
+func quantizedSnapshot(t *testing.T, n int) *Snapshot {
+	t.Helper()
+	snap := testSnapshot(t, n)
+	desc := index.NewClustered(index.ClusteredConfig{Centroids: 4, NProbe: 2, Quantize: true})
+	for id, v := range snap.PEDescVecs {
+		desc.Upsert(id, v)
+	}
+	desc.WaitRetrain()
+	snap.Indexes.Desc = desc.Snapshot()
+	if snap.Indexes.Desc.Quantized == nil {
+		t.Fatal("quantize-configured index snapshot carries no companion set")
+	}
+	return snap
+}
+
+// TestV2QuantizedSectionRoundTrip: a quantized index snapshot persists
+// its companion set in a q8 sidecar section and a load restores it bit
+// for bit; indexes without a companion set write no q8 section at all,
+// which is also why pre-quantization sidecars keep loading unchanged.
+func TestV2QuantizedSectionRoundTrip(t *testing.T) {
+	snap := quantizedSnapshot(t, 80)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+	if err := Save(path, FormatV2, snap); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := readV2Header(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, sections, err := openSidecar(filepath.Join(dir, hdr.Sidecar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	have := map[string]bool{}
+	for _, sec := range sections {
+		have[sec.name] = true
+	}
+	if !have[secQ8Desc] {
+		t.Fatalf("quantized desc index wrote no %s section (sections: %v)", secQ8Desc, have)
+	}
+	if have[secQ8Code] || have[secQ8WF] {
+		t.Fatalf("unquantized indexes wrote q8 sections (sections: %v)", have)
+	}
+	got, format, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != FormatV2 {
+		t.Fatalf("detected format %v, want v2", format)
+	}
+	assertSnapshotsEqual(t, got, stripHashes(snap))
+}
+
+// TestV1QuantizedRoundTrip: the monolithic JSON format carries the
+// companion set inline through the snapshot's Quantized field.
+func TestV1QuantizedRoundTrip(t *testing.T) {
+	snap := quantizedSnapshot(t, 70)
+	path := filepath.Join(t.TempDir(), "registry.json")
+	if err := Save(path, FormatV1, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, got, stripHashes(snap))
+}
+
+// TestV2CorruptQuantizedSectionDegrades: the companion set is doubly
+// derivable, so a damaged q8 section must cost exactly that section —
+// the load succeeds, the index snapshots survive, and the restoring
+// index re-quantizes from its float vectors.
+func TestV2CorruptQuantizedSectionDegrades(t *testing.T) {
+	snap := quantizedSnapshot(t, 80)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+	if err := Save(path, FormatV2, snap); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := readV2Header(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecPath := filepath.Join(dir, hdr.Sidecar)
+	f, sections, err := openSidecar(vecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	raw, err := os.ReadFile(vecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, sec := range sections {
+		if strings.HasPrefix(sec.name, "q8-") {
+			raw[sec.offset+sec.length/2] ^= 0xff
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no q8 sections present")
+	}
+	if err := os.WriteFile(vecPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load(path)
+	if err != nil {
+		t.Fatalf("corrupt quantized section failed the whole load: %v", err)
+	}
+	if got.Indexes == nil || got.Indexes.Desc == nil {
+		t.Fatal("index snapshots lost with the quantized section")
+	}
+	if got.Indexes.Desc.Quantized != nil {
+		t.Fatal("corrupt quantized section still surfaced a companion set")
+	}
+	if len(got.PEs) != len(snap.PEs) {
+		t.Fatalf("records lost: %d vs %d", len(got.PEs), len(snap.PEs))
+	}
+}

@@ -340,11 +340,36 @@ func loadV2(path string) (*Snapshot, error) {
 		}
 		return out
 	}
+	// The q8 companion sections are doubly derivable: skipped when absent
+	// (pre-quantization sidecar, or quantization off) and dropped when
+	// corrupt — the index rebuilds the companion from the float vectors it
+	// restores either way.
+	readQuant := func(name string, into *index.Snapshot) {
+		if into == nil {
+			return
+		}
+		sec, ok := byName[name]
+		if !ok {
+			return
+		}
+		var out *index.QuantizedSnapshot
+		if err := readSection(vf, sec, func(r io.Reader) error {
+			var derr error
+			out, derr = index.DecodeQuantizedBinary(r)
+			return derr
+		}); err != nil {
+			return // derivable: the index re-quantizes on restore
+		}
+		into.Quantized = out
+	}
 	idx := &IndexSnapshots{
 		Desc:     readIdx(secIdxDesc),
 		Code:     readIdx(secIdxCode),
 		Workflow: readIdx(secIdxWF),
 	}
+	readQuant(secQ8Desc, idx.Desc)
+	readQuant(secQ8Code, idx.Code)
+	readQuant(secQ8WF, idx.Workflow)
 	if idx.Desc != nil || idx.Code != nil || idx.Workflow != nil {
 		snap.Indexes = idx
 	}

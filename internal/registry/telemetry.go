@@ -65,6 +65,10 @@ func (s *Store) SetTelemetry(t *telemetry.Registry) {
 		"Completed full index retrains.", "index")
 	retrainSeconds := t.HistogramVec("laminar_index_retrain_seconds",
 		"Wall-clock duration of completed index retrains.", telemetry.LatencyBuckets(), "index")
+	quantizedScans := t.CounterVec("laminar_index_quantized_scans_total",
+		"Vector-index queries whose candidate pass scored int8 quantized codes.", "index")
+	batchSize := t.HistogramVec("laminar_index_batch_size",
+		"Queries per batched vector-index search call.", telemetry.CountBuckets(), "index")
 	for _, label := range indexLabels {
 		m.perIndex[label] = &index.ClusteredMetrics{
 			Probes:         probes.With(label),
@@ -72,6 +76,8 @@ func (s *Store) SetTelemetry(t *telemetry.Registry) {
 			Stops:          stops.Curry(label),
 			Retrains:       retrains.With(label),
 			RetrainSeconds: retrainSeconds.With(label),
+			QuantizedScans: quantizedScans.With(label),
+			BatchSize:      batchSize.With(label),
 		}
 	}
 

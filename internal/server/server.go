@@ -12,11 +12,13 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"laminar/internal/core"
+	"laminar/internal/embed"
 	"laminar/internal/engine"
 	"laminar/internal/registry"
 	"laminar/internal/search"
@@ -92,6 +94,18 @@ func New(cfg Config) *Server {
 	if !s.reg.Instrumented() {
 		s.reg.SetTelemetry(s.telem)
 	}
+	// Process-health gauges, evaluated at scrape time so idle servers pay
+	// nothing between scrapes. See docs/operations.md for runbook guidance.
+	s.telem.GaugeFunc("laminar_process_goroutines",
+		"Live goroutines in the server process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.telem.GaugeFunc("laminar_process_heap_inuse_bytes",
+		"Bytes of heap memory in active use (runtime MemStats HeapInuse).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
 	s.routes()
 	s.root = s.instrument(s.mux)
 	return s
@@ -201,6 +215,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /registry/{user}/all", s.withUser(s.handleRegistryAll))
 	s.mux.HandleFunc("GET /registry/{user}/search/{search}/type/{type}", s.withUser(s.handleSearch))
 	s.mux.HandleFunc("POST /registry/{user}/search", s.withUser(s.handleSearchPost))
+	s.mux.HandleFunc("POST /registry/{user}/search/batch", s.withUser(s.handleSearchBatch))
 
 	// Execution controller
 	s.mux.HandleFunc("POST /execution/{user}/run", s.withUser(s.handleRun))
@@ -325,9 +340,31 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 
 // ---- PE controller ----
 
+// checkEmbeddingDim enforces the bi-encoder registration contract at the
+// controller: an embedding is either absent or exactly embed.Dim wide.
+// A mis-sized vector would be stored verbatim and then silently score only
+// its common prefix against every query — a correctness bug that looks
+// like mysteriously-bad recall. Rejecting at the boundary names the field
+// and the expected width instead. (The registry layer itself stays
+// width-agnostic: its unit tests exercise small toy vectors.)
+func checkEmbeddingDim(field string, v []float32) error {
+	if len(v) != 0 && len(v) != embed.Dim {
+		return core.ErrBadRequest(field, "embedding has dimension %d, want %d", len(v), embed.Dim)
+	}
+	return nil
+}
+
 func (s *Server) handleAddPE(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
 	var req core.AddPERequest
 	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := checkEmbeddingDim("codeEmbedding", req.CodeEmbedding); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := checkEmbeddingDim("descEmbedding", req.DescEmbedding); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -392,6 +429,10 @@ func (s *Server) handleRemovePEByName(w http.ResponseWriter, r *http.Request, us
 func (s *Server) handleAddWorkflow(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
 	var req core.AddWorkflowRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := checkEmbeddingDim("descEmbedding", req.DescEmbedding); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -587,6 +628,49 @@ func (s *Server) search(w http.ResponseWriter, user *core.UserRecord, req core.S
 		return
 	}
 	writeJSON(w, http.StatusOK, core.SearchResponse{Hits: hits})
+}
+
+// handleSearchBatch answers many semantic or code PE queries in one
+// request: the embeddings travel to the registry together, which probes
+// the vector index with a single batched call (one lock acquisition,
+// shared shard visits). Each result list is identical to what the same
+// query would return through POST /registry/{user}/search.
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request, user *core.UserRecord) {
+	var req core.SearchBatchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	embs := req.QueryEmbeddings
+	if len(embs) == 0 {
+		if len(req.Queries) == 0 {
+			writeErr(w, core.ErrBadRequest("queries", "batch carries no queries and no embeddings"))
+			return
+		}
+		embs = make([][]float32, len(req.Queries))
+		for i, q := range req.Queries {
+			if req.QueryType == core.QueryCode {
+				embs[i] = search.EmbedCode(q)
+			} else {
+				embs[i] = search.EmbedDescription(q)
+			}
+		}
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = s.cfg.SearchLimit
+	}
+	var results [][]core.SearchHit
+	switch req.QueryType {
+	case core.QuerySemantic, "":
+		results = s.reg.SemanticSearchBatch(user.UserID, embs, limit)
+	case core.QueryCode:
+		results = s.reg.CompletionSearchBatch(user.UserID, embs, limit)
+	default:
+		writeErr(w, core.ErrBadRequest("query", "unknown query type %q (want semantic or code)", req.QueryType))
+		return
+	}
+	writeJSON(w, http.StatusOK, core.SearchBatchResponse{Results: results})
 }
 
 // ---- Execution controller ----

@@ -7,12 +7,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"laminar/internal/codec"
 	"laminar/internal/core"
+	"laminar/internal/embed"
 	"laminar/internal/engine"
 	"laminar/internal/search"
 )
@@ -466,5 +468,148 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if r.code != http.StatusOK {
 		t.Fatalf("in-flight request status %d during shutdown, want 200", r.code)
+	}
+}
+
+// TestEmbeddingDimValidation: the registration endpoints enforce the
+// bi-encoder contract — an embedding is either absent or exactly
+// embed.Dim wide. A mis-sized vector must be named and refused with 400,
+// not stored to silently score only its common prefix forever after.
+func TestEmbeddingDimValidation(t *testing.T) {
+	addr := startServer(t)
+	enc, err := codec.Encode(codec.Envelope{Kind: codec.KindPE, Name: "DimPE", Source: peSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]float32, embed.Dim+1)
+
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", core.AddPERequest{
+		PEName: "DimPE", Description: "d", PECode: enc, DescEmbedding: bad,
+	}, nil)
+	if code != 400 || !strings.Contains(raw, "BadRequestError") || !strings.Contains(raw, "descEmbedding") {
+		t.Fatalf("oversize descEmbedding: %d %s", code, raw)
+	}
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", core.AddPERequest{
+		PEName: "DimPE", Description: "d", PECode: enc, CodeEmbedding: bad[:3],
+	}, nil)
+	if code != 400 || !strings.Contains(raw, "codeEmbedding") {
+		t.Fatalf("undersize codeEmbedding: %d %s", code, raw)
+	}
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/workflow/add", core.AddWorkflowRequest{
+		WorkflowName: "wfDim", EntryPoint: "e", WorkflowCode: "c", DescEmbedding: bad,
+	}, nil)
+	if code != 400 || !strings.Contains(raw, "descEmbedding") {
+		t.Fatalf("workflow oversize descEmbedding: %d %s", code, raw)
+	}
+
+	// Exactly embed.Dim wide — and absent entirely — both register.
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", core.AddPERequest{
+		PEName: "DimPE", Description: "d", PECode: enc,
+		DescEmbedding: search.EmbedDescription("d"),
+		CodeEmbedding: search.EmbedCode("def f(): pass"),
+	}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("exact-dim embeddings refused: %d %s", code, raw)
+	}
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", core.AddPERequest{
+		PEName: "DimPE2", Description: "d", PECode: enc,
+	}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("absent embeddings refused: %d %s", code, raw)
+	}
+}
+
+// TestSearchBatchEndpoint: POST /search/batch answers one hit list per
+// query, each identical to what the single-query search path returns —
+// batching is an amortization, never a semantic change.
+func TestSearchBatchEndpoint(t *testing.T) {
+	addr := startServer(t)
+	for _, p := range []struct{ name, desc string }{
+		{"PrimeChecker", "checks if a number is prime"},
+		{"WordCounter", "counts the words in a text stream"},
+		{"FileReader", "reads the contents of a file"},
+	} {
+		enc, err := codec.Encode(codec.Envelope{Kind: codec.KindPE, Name: p.name, Source: peSource})
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", core.AddPERequest{
+			PEName: p.name, Description: p.desc, PECode: enc,
+			DescEmbedding: search.EmbedDescription(p.desc),
+			CodeEmbedding: search.EmbedCode("def _process(self):\n    pass"),
+		}, nil)
+		if code != http.StatusCreated {
+			t.Fatalf("add %s: %d %s", p.name, code, raw)
+		}
+	}
+	queries := []string{
+		"checks whether a number is prime",
+		"counting words in text",
+		"reading a file from disk",
+	}
+
+	// Server-side embedding from query text.
+	var batch core.SearchBatchResponse
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/search/batch", core.SearchBatchRequest{
+		QueryType: core.QuerySemantic, Queries: queries, Limit: 2,
+	}, &batch)
+	if code != 200 || len(batch.Results) != len(queries) {
+		t.Fatalf("batch: %d %s", code, raw)
+	}
+	for i, q := range queries {
+		var single core.SearchResponse
+		code, _ = doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+			Search: q, SearchType: core.SearchPEs, QueryType: core.QuerySemantic, Limit: 2,
+		}, &single)
+		if code != 200 {
+			t.Fatalf("single search %q: %d", q, code)
+		}
+		if !reflect.DeepEqual(batch.Results[i], single.Hits) {
+			t.Fatalf("query %q: batch diverged from single search:\n got %+v\nwant %+v", q, batch.Results[i], single.Hits)
+		}
+	}
+	if batch.Results[0][0].Name != "PrimeChecker" {
+		t.Fatalf("batch misranked: %+v", batch.Results[0])
+	}
+
+	// Pre-embedded client-side batch takes the same path.
+	embs := make([][]float32, len(queries))
+	for i, q := range queries {
+		embs[i] = search.EmbedDescription(q)
+	}
+	var preEmb core.SearchBatchResponse
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/search/batch", core.SearchBatchRequest{
+		QueryType: core.QuerySemantic, QueryEmbeddings: embs, Limit: 2,
+	}, &preEmb)
+	if code != 200 || !reflect.DeepEqual(preEmb.Results, batch.Results) {
+		t.Fatalf("pre-embedded batch diverged: %d %s", code, raw)
+	}
+
+	// Code-completion batches rank by code embeddings.
+	var codeBatch core.SearchBatchResponse
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/search/batch", core.SearchBatchRequest{
+		QueryType: core.QueryCode, Queries: []string{"def _process(self):"},
+	}, &codeBatch)
+	if code != 200 || len(codeBatch.Results) != 1 || len(codeBatch.Results[0]) == 0 {
+		t.Fatalf("code batch: %d %s", code, raw)
+	}
+
+	// Degenerate and invalid requests are named 400s.
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/search/batch", core.SearchBatchRequest{}, nil)
+	if code != 400 || !strings.Contains(raw, "BadRequestError") {
+		t.Fatalf("empty batch: %d %s", code, raw)
+	}
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/search/batch", core.SearchBatchRequest{
+		QueryType: "nonsense", Queries: []string{"x"},
+	}, nil)
+	if code != 400 || !strings.Contains(raw, "query type") {
+		t.Fatalf("bad query type: %d %s", code, raw)
+	}
+	// Unknown user 404s like every registry route.
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/nobody/search/batch", core.SearchBatchRequest{
+		Queries: []string{"x"},
+	}, nil)
+	if code != 404 {
+		t.Fatalf("unknown user batch: %d %s", code, raw)
 	}
 }

@@ -1,0 +1,82 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The microbench trio the acceptance target is measured on (also part of
+// `make bench`): the seed scalar loop vs the unrolled kernel vs the
+// quantized int8 path, all at the serving dimensionality (embed.Dim is
+// 256; hardcoded to keep this package dependency-free).
+const benchDim = 256
+
+func benchVectors(n int) ([][]float32, [][]int8, []float32) {
+	rng := rand.New(rand.NewSource(3))
+	vecs := make([][]float32, n)
+	codes := make([][]int8, n)
+	scales := make([]float32, n)
+	for i := range vecs {
+		v := make([]float32, benchDim)
+		for d := range v {
+			v[d] = float32(rng.NormFloat64())
+		}
+		vecs[i] = v
+		codes[i], scales[i] = Quantize(v)
+	}
+	return vecs, codes, scales
+}
+
+// BenchmarkDotScalar is the seed baseline: the historic one-at-a-time
+// float64 loop every speedup below is measured against.
+func BenchmarkDotScalar(b *testing.B) {
+	vecs, _, _ := benchVectors(2)
+	q, v := vecs[0], vecs[1]
+	var sink float64
+	b.SetBytes(benchDim * 4)
+	for i := 0; i < b.N; i++ {
+		var s float64
+		for d := 0; d < len(q) && d < len(v); d++ {
+			s += float64(q[d]) * float64(v[d])
+		}
+		sink += s
+	}
+	_ = sink
+}
+
+// BenchmarkDot measures the unrolled exact kernel.
+func BenchmarkDot(b *testing.B) {
+	vecs, _, _ := benchVectors(2)
+	q, v := vecs[0], vecs[1]
+	var sink float64
+	b.SetBytes(benchDim * 4)
+	for i := 0; i < b.N; i++ {
+		sink += Dot(q, v)
+	}
+	_ = sink
+}
+
+// BenchmarkDotQ8 measures the quantized kernel — the candidate-selection
+// score the clustered index uses under ClusteredConfig.Quantize.
+func BenchmarkDotQ8(b *testing.B) {
+	_, codes, scales := benchVectors(2)
+	q, v := codes[0], codes[1]
+	sq, sv := scales[0], scales[1]
+	var sink float64
+	b.SetBytes(benchDim)
+	for i := 0; i < b.N; i++ {
+		sink += float64(DotQ8(q, v)) * float64(sq) * float64(sv)
+	}
+	_ = sink
+}
+
+// BenchmarkDotBatch measures the amortized one-query-many-vectors form.
+func BenchmarkDotBatch(b *testing.B) {
+	vecs, _, _ := benchVectors(65)
+	q, rest := vecs[0], vecs[1:]
+	out := make([]float64, len(rest))
+	b.SetBytes(int64(len(rest)) * benchDim * 4)
+	for i := 0; i < b.N; i++ {
+		DotBatch(q, rest, out)
+	}
+}

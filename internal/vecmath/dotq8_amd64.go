@@ -1,0 +1,50 @@
+//go:build amd64 && !purego
+
+package vecmath
+
+// AVX2 dispatch for the quantized kernel. Detection is done once at
+// init, directly via CPUID/XGETBV (no dependency on internal/cpu or
+// x/sys): AVX2 requires CPUID.7.EBX[5], and the OS must have enabled
+// XMM+YMM state saving (CPUID.1.ECX OSXSAVE + XCR0[2:1] == 11).
+var useAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if xgetbv0()&0x6 != 0x6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0
+}
+
+// cpuid executes the CPUID instruction with the given EAX/ECX inputs.
+// Implemented in dotq8_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (the OS-enabled SIMD state
+// mask). Implemented in dotq8_amd64.s.
+func xgetbv0() uint64
+
+// dotQ8AVX2 is the assembly kernel: sign-extend 16 int8 lanes to int16,
+// VPMADDWD into int32 pairs, accumulate. Requires len(a) == len(b).
+// Implemented in dotq8_amd64.s.
+func dotQ8AVX2(a, b []int8) int32
+
+// dotQ8Kernel assumes len(a) == len(b) (the exported wrapper trims).
+// Short vectors skip the assembly call — the setup plus the horizontal
+// reduction cost more than the scalar loop below 16 lanes.
+func dotQ8Kernel(a, b []int8) int32 {
+	if useAVX2 && len(a) >= 16 {
+		return dotQ8AVX2(a, b)
+	}
+	return dotQ8Generic(a, b)
+}

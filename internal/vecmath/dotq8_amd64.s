@@ -1,0 +1,92 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint64
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET
+
+// func dotQ8AVX2(a, b []int8) int32
+//
+// Signed int8 dot product: each 16-lane block is sign-extended to int16
+// (VPMOVSXBW), multiplied pairwise and horizontally added into int32
+// lanes (VPMADDWD), and accumulated in a YMM register; lanes are reduced
+// at the end. Requires len(a) == len(b) (the Go dispatcher guarantees
+// it). int32 lane overflow needs |a_i·b_i| sums beyond 2^31 — out of
+// reach for codes in [-127,127] below ~100k dimensions.
+TEXT ·dotQ8AVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	VPXOR Y0, Y0, Y0
+
+loop32:
+	CMPQ CX, $32
+	JL   tail16
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (DI), Y2
+	VPMADDWD  Y2, Y1, Y1
+	VPADDD    Y1, Y0, Y0
+	VPMOVSXBW 16(SI), Y1
+	VPMOVSXBW 16(DI), Y2
+	VPMADDWD  Y2, Y1, Y1
+	VPADDD    Y1, Y0, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JMP  loop32
+
+tail16:
+	CMPQ CX, $16
+	JL   hsum
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (DI), Y2
+	VPMADDWD  Y2, Y1, Y1
+	VPADDD    Y1, Y0, Y0
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+
+hsum:
+	// Reduce the 8 int32 lanes of Y0 into AX.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD X1, X0, X0
+	VPSHUFD $0x4E, X0, X1
+	VPADDD X1, X0, X0
+	VPSHUFD $0xB1, X0, X1
+	VPADDD X1, X0, X0
+	VMOVD X0, AX
+	VZEROUPPER
+
+	// Scalar tail: fewer than 16 lanes remain.
+tail:
+	TESTQ CX, CX
+	JZ    done
+	MOVBLSX (SI), BX
+	MOVBLSX (DI), DX
+	IMULL   DX, BX
+	ADDL    BX, AX
+	INCQ SI
+	INCQ DI
+	DECQ CX
+	JMP  tail
+
+done:
+	MOVL AX, ret+48(FP)
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64 && !purego
+
+package vecmath
+
+// Architectures without an assembly kernel use the unrolled
+// multi-accumulator Go path.
+func dotQ8Kernel(a, b []int8) int32 { return dotQ8Generic(a, b) }

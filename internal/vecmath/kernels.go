@@ -1,0 +1,65 @@
+//go:build !purego
+
+package vecmath
+
+// The default exact kernels. Every kernel assumes len(a) == len(b) — the
+// exported wrappers trim to the common prefix before dispatching — and
+// the leading re-bound (b = b[:len(a)]) hands the compiler the equality
+// so every per-element bounds check is eliminated (verified with
+// -d=ssa/check_bce).
+//
+// The exact kernels keep ONE float64 accumulator updated in index order:
+// floating-point addition is not associative, and the package contract
+// pins them bit-identical to the scalar twins in kernels_purego.go.
+// That constraint also dictates the loop shape — an 8-wide unrolled body
+// was measured at ~2x SLOWER than this rolled form (238ns vs 117ns for a
+// 256-dim dot on the dev machine), because with a single serial FP
+// accumulator unrolling only bloats the dependency chain's code without
+// breaking it. Unrolling pays exactly where reordering is exact:
+// dotQ8Generic below splits its associative integer sum across four
+// accumulators, and on amd64 an AVX2 assembly kernel (dotq8_amd64.s)
+// replaces it at runtime when the CPU allows.
+
+func dotKernel(a, b []float32) float64 {
+	b = b[:len(a)] // equal lengths by the wrapper contract; re-bound for BCE
+	var s float64
+	for i, x := range a {
+		s += float64(x) * float64(b[i])
+	}
+	return s
+}
+
+// l2Kernel returns the SUM of squared differences (the wrapper takes the
+// square root); same single-accumulator index-order contract as
+// dotKernel.
+func l2Kernel(a, b []float32) float64 {
+	b = b[:len(a)]
+	var s float64
+	for i, x := range a {
+		d := float64(x) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// dotQ8Generic sums int8 code products into four independent int32
+// accumulators (associative, so reordering is exact — this is the case
+// where unrolling genuinely breaks the loop-carried dependency chain).
+// The portable quantized kernel; dotQ8Kernel dispatches to it when no
+// assembly path applies.
+func dotQ8Generic(a, b []int8) int32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+8 <= len(a) && i+8 <= len(b); i += 8 {
+		s0 += int32(a[i])*int32(b[i]) + int32(a[i+4])*int32(b[i+4])
+		s1 += int32(a[i+1])*int32(b[i+1]) + int32(a[i+5])*int32(b[i+5])
+		s2 += int32(a[i+2])*int32(b[i+2]) + int32(a[i+6])*int32(b[i+6])
+		s3 += int32(a[i+3])*int32(b[i+3]) + int32(a[i+7])*int32(b[i+7])
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a) && i < len(b); i++ {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+//go:build purego
+
+package vecmath
+
+// The portable scalar twins: one-at-a-time loops with no unrolling,
+// re-bounding tricks, or assembly, selected by `-tags purego`. These ARE
+// the reference semantics — the default kernels must return bit-identical
+// values (see the package doc), which the equivalence tests enforce under
+// both build configurations. Like the default kernels they assume
+// len(a) == len(b); the exported wrappers trim to the common prefix.
+
+func dotKernel(a, b []float32) float64 {
+	var s float64
+	for i := 0; i < len(a) && i < len(b); i++ {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func l2Kernel(a, b []float32) float64 {
+	var s float64
+	for i := 0; i < len(a) && i < len(b); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func dotQ8Kernel(a, b []int8) int32 {
+	var s int32
+	for i := 0; i < len(a) && i < len(b); i++ {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}

@@ -112,6 +112,12 @@ type ServerOptions struct {
 	// k*IndexOverfetch using cheap partial scoring and exact-rescores the
 	// pool before the final top-k.
 	IndexOverfetch int
+	// IndexQuantize maintains int8 quantized companions of the clustered
+	// index's vectors and scores the candidate pass with cheap int8 dot
+	// products; the final top-k is always exact-rescored from float32.
+	// Bypassed at IndexRecallTarget 1.0, whose exactness needs exact
+	// scores. See docs/vecmath.md.
+	IndexQuantize bool
 	// IndexRetrainCooldown, when > 0, rate-limits automatic clustered
 	// retrains: triggers within the window of the last launch coalesce
 	// into a single deferred retrain, so a churn burst cannot retrain
@@ -147,6 +153,7 @@ func NewServer(opts ServerOptions) *Server {
 			MaxProbe:        opts.IndexMaxProbe,
 			SpillRatio:      opts.IndexSpill,
 			Overfetch:       opts.IndexOverfetch,
+			Quantize:        opts.IndexQuantize,
 			RetrainCooldown: opts.IndexRetrainCooldown,
 		}
 		reg.ConfigureIndex(func() index.VectorIndex { return index.NewClustered(cfg) })
