@@ -5,12 +5,13 @@
 GO ?= go
 
 # The packages whose concurrency actually matters (sharded registry store,
-# vector indexes with background retrains, HTTP serving layer) run under
-# the race detector; running the whole tree under -race would double the
-# verify wall clock for packages with no shared state.
-RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server ./internal/telemetry
+# vector indexes with background retrains, HTTP serving layer, the four
+# dataflow mappings and the Redis transport under them) run under the race
+# detector; running the whole tree under -race would double the verify wall
+# clock for packages with no shared state.
+RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server ./internal/telemetry ./internal/dataflow ./internal/resp ./internal/redisserver
 
-.PHONY: build test vet fmt-check docs bench race purego searchbench-smoke metrics-smoke verify
+.PHONY: build test vet fmt-check docs bench race purego searchbench-smoke metrics-smoke flowbench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -65,4 +66,13 @@ searchbench-smoke:
 metrics-smoke:
 	$(GO) run ./cmd/laminar-bench -metrics-smoke
 
-verify: build vet fmt-check docs test race purego searchbench-smoke metrics-smoke
+# flowbench-smoke is the dataflow gate: run one skewed 4-PE streaming
+# pipeline through all four mappings (plus a cost-weighted MULTI run),
+# asserting identical output multisets, populated laminar_flow_* telemetry,
+# a queue high-water mark bounded by QueueCap x instances, a settled
+# queue-depth gauge, and that a cyclic workflow is refused at registration
+# with HTTP 400 naming the defect.
+flowbench-smoke:
+	$(GO) run ./cmd/laminar-bench -flowbench-smoke
+
+verify: build vet fmt-check docs test race purego searchbench-smoke metrics-smoke flowbench-smoke

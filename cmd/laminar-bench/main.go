@@ -39,9 +39,14 @@ func main() {
 	persistSize := flag.Int("persist-size", 10000, "registry size (PEs) for -persistbench")
 	metricsSmoke := flag.Bool("metrics-smoke", false, "run the telemetry CI gate: boot a metrics-enabled server on a corpus, issue searches, scrape /metrics, and fail when the probe/route histograms are empty, the exposition stops parsing, or the runbook's metric names drift from the live endpoint")
 	metricsSmokeDoc := flag.String("metrics-smoke-doc", "docs/operations.md", "runbook whose metric names -metrics-smoke validates against the live endpoint")
+	flowBench := flag.Bool("flowbench", false, "run only the dataflow-engine benchmark: one skewed 4-PE streaming pipeline through all four mappings plus a cost-weighted MULTI run, with a throughput/latency/allocation/backpressure table (reading guide in docs/dataflow.md)")
+	flowRecords := flag.Int("flow-records", 0, "records the -flowbench source emits (0 = default 4000)")
+	flowProcesses := flag.Int("flow-processes", 0, "process budget for every -flowbench mapping (0 = default 8)")
+	flowQueueCap := flag.Int("flow-queue-cap", 0, "per-instance input queue bound for -flowbench (0 = default 256)")
+	flowSmoke := flag.Bool("flowbench-smoke", false, "run the dataflow CI gate: all four mappings on a small skewed pipeline, asserting identical output multisets, populated laminar_flow_* telemetry, a bounded queue high-water mark, a settled queue gauge, and a 400 for cyclic workflow registration")
 	flag.Parse()
 
-	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke && !*metricsSmoke && !*vecBench
+	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke && !*metricsSmoke && !*vecBench && !*flowBench && !*flowSmoke
 
 	if all || *table == 5 {
 		res, err := bench.RunTable5(bench.DefaultTable5Options())
@@ -132,6 +137,26 @@ func main() {
 		}
 		if err != nil {
 			log.Fatalf("metrics-smoke: %v", err)
+		}
+	}
+	if all || *flowBench {
+		fb, err := bench.RunFlowBench(bench.FlowBenchOptions{
+			Records:   *flowRecords,
+			Processes: *flowProcesses,
+			QueueCap:  *flowQueueCap,
+		})
+		if err != nil {
+			log.Fatalf("flowbench: %v", err)
+		}
+		fmt.Println(fb.Render())
+	}
+	if *flowSmoke {
+		summary, err := bench.RunFlowSmoke()
+		if summary != "" {
+			fmt.Println(summary)
+		}
+		if err != nil {
+			log.Fatalf("flowbench-smoke: %v", err)
 		}
 	}
 	if all || *persistBench {

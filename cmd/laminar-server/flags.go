@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"laminar"
+	"laminar/internal/dataflow"
 )
 
 // serverConfig holds every laminar-server flag value. Flag registration
@@ -30,6 +31,9 @@ type serverConfig struct {
 	indexOverfetch       int
 	indexQuantize        bool
 	indexRetrainCooldown time.Duration
+
+	flowQueueCap int
+	flowAlloc    string
 }
 
 // registerFlags declares every laminar-server flag on fs. The `-index-*`
@@ -54,6 +58,8 @@ func registerFlags(fs *flag.FlagSet) *serverConfig {
 	fs.IntVar(&c.indexOverfetch, "index-overfetch", 0, "re-ranked candidate pool: probe for k*overfetch candidates with cheap partial scoring, then exact-rescore the pool before the top-k (<=1 = off; ignored at -index-recall-target 1.0)")
 	fs.BoolVar(&c.indexQuantize, "index-quantize", false, "int8 scalar quantization for the clustered candidate pass: maintain quantized companions of the stored vectors and score probed shards with cheap int8 dot products, always exact-rescoring the final top-k from float32 (off by default; bypassed at -index-recall-target 1.0, whose exactness needs exact scores)")
 	fs.DurationVar(&c.indexRetrainCooldown, "index-retrain-cooldown", 0, "rate limit on automatic clustered retrains: triggers within this window of the last launch coalesce into one deferred retrain, so a churn burst cannot retrain back-to-back (0 = no limit; tuning guidance in docs/operations.md)")
+	fs.IntVar(&c.flowQueueCap, "flow-queue-cap", 0, "bound on each PE instance's input queue during workflow enactment; senders park when a downstream queue fills (0 = default 1024; see docs/dataflow.md)")
+	fs.StringVar(&c.flowAlloc, "flow-alloc", "even", "instance division for parallel workflow mappings: even (the paper's split) or weighted (proportional to per-PE cost measured across runs; see docs/dataflow.md)")
 	return c
 }
 
@@ -74,6 +80,12 @@ func (c *serverConfig) validate() error {
 	}
 	if c.storeFormat != "v1" && c.storeFormat != "v2" {
 		return fmt.Errorf("unknown -store %q (want v1 or v2)", c.storeFormat)
+	}
+	if c.flowQueueCap < 0 {
+		return fmt.Errorf("-flow-queue-cap %d out of range (want >= 0)", c.flowQueueCap)
+	}
+	if _, err := dataflow.ParseAllocMode(c.flowAlloc); err != nil {
+		return fmt.Errorf("unknown -flow-alloc %q (want even or weighted)", c.flowAlloc)
 	}
 	return nil
 }
@@ -96,5 +108,7 @@ func (c *serverConfig) serverOptions() laminar.ServerOptions {
 		IndexOverfetch:       c.indexOverfetch,
 		IndexQuantize:        c.indexQuantize,
 		IndexRetrainCooldown: c.indexRetrainCooldown,
+		FlowQueueCap:         c.flowQueueCap,
+		FlowAlloc:            c.flowAlloc,
 	}
 }

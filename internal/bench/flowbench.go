@@ -1,0 +1,539 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"laminar/internal/client"
+	"laminar/internal/core"
+	"laminar/internal/dataflow"
+	"laminar/internal/engine"
+	"laminar/internal/registry"
+	"laminar/internal/server"
+	"laminar/internal/telemetry"
+)
+
+// The flowbench (`laminar-bench -flowbench`): push one high-throughput
+// streaming workflow through all four mappings and print a
+// throughput/latency/allocation table, plus a cost-weighted MULTI run fed
+// by the even run's measured per-PE profile. Every run's output multiset is
+// checked against a plain-Go computation of the expected aggregate, so the
+// table doubles as a cross-mapping equivalence gate.
+//
+// The workload is a 4-PE pipeline with deliberately skewed per-stage cost:
+//
+//	Source -> Filter -> Transform -> Aggregate
+//
+// Source floods the pipeline from a single instance (roots always get one),
+// Filter drops a third of the records cheaply, Transform burns a fixed spin
+// per record (the hot stage the weighted allocator should favor), and
+// Aggregate folds per-key counts/sums under GroupByKey, emitting its totals
+// from Finish to the unconnected output port — the workflow's result sink.
+// GroupByKey keeps the aggregation instance-count-invariant: a key's whole
+// stream lands on one instance, so the emitted totals are the same multiset
+// no matter how many instances the mapping allocates.
+
+// Flowbench PE names (also the telemetry `pe` label values).
+const (
+	flowSourcePE    = "Source"
+	flowFilterPE    = "Filter"
+	flowTransformPE = "Transform"
+	flowAggregatePE = "Aggregate"
+)
+
+// flowKeys is the aggregation key space; every run produces exactly one
+// output record per key that received data.
+const flowKeys = 7
+
+// flowTransformSpin is the fixed per-record work in the Transform stage,
+// sized so Transform dominates the measured cost profile without making the
+// smoke run slow.
+const flowTransformSpin = 20000
+
+// FlowBenchOptions size the flowbench run.
+type FlowBenchOptions struct {
+	// Records is how many records the source emits.
+	Records int
+	// Processes is the parallel process budget handed to every mapping.
+	Processes int
+	// QueueCap bounds each instance's input queue (backpressure pressure
+	// point; small values make the source park on the slow stages).
+	QueueCap int
+}
+
+// DefaultFlowBenchOptions are the CLI defaults.
+func DefaultFlowBenchOptions() FlowBenchOptions {
+	return FlowBenchOptions{Records: 4000, Processes: 8, QueueCap: 256}
+}
+
+// FlowBenchRow is one mapping's measurement.
+type FlowBenchRow struct {
+	// Label names the run ("MULTI", "MULTI (weighted)", ...).
+	Label string
+	// Mapping that executed the run.
+	Mapping dataflow.Mapping
+	// Duration is the enactment wall-clock.
+	Duration time.Duration
+	// Throughput is source records per second.
+	Throughput float64
+	// Alloc renders the instance division ("Source:1 Filter:2 ...").
+	Alloc string
+	// Instances is the total instance count across PEs.
+	Instances int
+	// HighWater is the peak number of simultaneously queued messages.
+	HighWater int64
+	// Waits counts sends that parked on a full input queue.
+	Waits int64
+	// Outputs is how many aggregate records reached the result sink.
+	Outputs int
+}
+
+// FlowBenchResult is the full table plus the telemetry registry the runs
+// populated (the smoke gate scrapes it).
+type FlowBenchResult struct {
+	Opts FlowBenchOptions
+	Rows []FlowBenchRow
+	// Telemetry carries the laminar_flow_* families recorded by the runs.
+	Telemetry *telemetry.Registry
+}
+
+// flowAsInt64 normalizes a stream value to int64 across transports (the
+// Redis mapping round-trips values through JSON).
+func flowAsInt64(v dataflow.Value) int64 {
+	switch n := v.(type) {
+	case int64:
+		return n
+	case int:
+		return int64(n)
+	case float64:
+		return int64(n)
+	default:
+		return 0
+	}
+}
+
+// flowMix is Transform's deterministic per-record work: a fixed-length LCG
+// spin whose result depends only on the input value.
+func flowMix(v int64) int64 {
+	h := uint64(v)
+	for i := 0; i < flowTransformSpin; i++ {
+		h = h*2862933555777941757 + 3037000493
+	}
+	return int64(h % 1000003)
+}
+
+// flowGraph builds the 4-PE pipeline. A fresh graph per run keeps instance
+// state (the aggregate maps) strictly per-enactment.
+func flowGraph(records int) (*dataflow.Graph, error) {
+	source := dataflow.Generic(flowSourcePE, nil, []string{dataflow.DefaultOutput},
+		func() (func(*dataflow.Context, map[string]dataflow.Value) error, func(*dataflow.Context) error) {
+			return func(ctx *dataflow.Context, _ map[string]dataflow.Value) error {
+				for i := 0; i < records; i++ {
+					if err := ctx.Write(dataflow.DefaultOutput, int64(i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, nil
+		})
+	filter := dataflow.Iterative(flowFilterPE, func(_ *dataflow.Context, v dataflow.Value) (dataflow.Value, error) {
+		n := flowAsInt64(v)
+		if n%3 == 0 {
+			return nil, nil // drop a third of the stream
+		}
+		return n, nil
+	})
+	transform := dataflow.Iterative(flowTransformPE, func(_ *dataflow.Context, v dataflow.Value) (dataflow.Value, error) {
+		n := flowAsInt64(v)
+		return []dataflow.Value{n % flowKeys, flowMix(n)}, nil
+	})
+	aggregate := dataflow.Generic(flowAggregatePE,
+		[]dataflow.Port{{
+			Name:     dataflow.DefaultInput,
+			Grouping: dataflow.Grouping{Kind: dataflow.GroupByKey, Keys: []int{0}},
+		}},
+		[]string{dataflow.DefaultOutput},
+		func() (func(*dataflow.Context, map[string]dataflow.Value) error, func(*dataflow.Context) error) {
+			type agg struct{ count, sum int64 }
+			state := map[int64]*agg{}
+			process := func(_ *dataflow.Context, input map[string]dataflow.Value) error {
+				rec, ok := input[dataflow.DefaultInput].([]dataflow.Value)
+				if !ok || len(rec) != 2 {
+					return fmt.Errorf("flowbench: aggregate got %T, want 2-tuple", input[dataflow.DefaultInput])
+				}
+				a := state[flowAsInt64(rec[0])]
+				if a == nil {
+					a = &agg{}
+					state[flowAsInt64(rec[0])] = a
+				}
+				a.count++
+				a.sum += flowAsInt64(rec[1])
+				return nil
+			}
+			finish := func(ctx *dataflow.Context) error {
+				keys := make([]int64, 0, len(state))
+				for k := range state {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				for _, k := range keys {
+					if err := ctx.Write(dataflow.DefaultOutput, []dataflow.Value{k, state[k].count, state[k].sum}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return process, finish
+		})
+
+	g := dataflow.NewGraph("flowbench")
+	for _, pe := range []dataflow.PE{source, filter, transform, aggregate} {
+		if err := g.Add(pe); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Connect(source, dataflow.DefaultOutput, filter, dataflow.DefaultInput); err != nil {
+		return nil, err
+	}
+	if err := g.Connect(filter, dataflow.DefaultOutput, transform, dataflow.DefaultInput); err != nil {
+		return nil, err
+	}
+	if err := g.Connect(transform, dataflow.DefaultOutput, aggregate, dataflow.DefaultInput); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// flowExpected computes the pipeline's aggregate in plain sequential Go and
+// returns its canonical multiset form — the ground truth every mapping's
+// output is compared against.
+func flowExpected(records int) string {
+	type agg struct{ count, sum int64 }
+	state := map[int64]*agg{}
+	for i := 0; i < records; i++ {
+		n := int64(i)
+		if n%3 == 0 {
+			continue
+		}
+		a := state[n%flowKeys]
+		if a == nil {
+			a = &agg{}
+			state[n%flowKeys] = a
+		}
+		a.count++
+		a.sum += flowMix(n)
+	}
+	rows := make([]string, 0, len(state))
+	for k, a := range state {
+		rows = append(rows, fmt.Sprintf("[%d,%d,%d]", k, a.count, a.sum))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, ",")
+}
+
+// flowCanonical renders a run's sink outputs as a canonical (sorted JSON)
+// multiset, erasing transport differences like int64 vs float64.
+func flowCanonical(res *dataflow.Result) (string, int, error) {
+	vals := res.Outputs(flowAggregatePE + "." + dataflow.DefaultOutput)
+	rows := make([]string, 0, len(vals))
+	for _, v := range vals {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return "", 0, fmt.Errorf("flowbench: unmarshalable output %v: %w", v, err)
+		}
+		rows = append(rows, string(raw))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, ","), len(vals), nil
+}
+
+// flowPEOrder is the pipeline order used for rendering allocations and
+// summing waits.
+var flowPEOrder = []string{flowSourcePE, flowFilterPE, flowTransformPE, flowAggregatePE}
+
+// flowRunOne enacts the pipeline under one mapping and checks its output
+// against expected.
+func flowRunOne(opts FlowBenchOptions, label string, expected string, runOpts dataflow.Options) (FlowBenchRow, *dataflow.Result, error) {
+	g, err := flowGraph(opts.Records)
+	if err != nil {
+		return FlowBenchRow{}, nil, fmt.Errorf("flowbench: building graph: %w", err)
+	}
+	runOpts.Processes = opts.Processes
+	runOpts.QueueCap = opts.QueueCap
+	res, err := dataflow.Run(g, runOpts)
+	if err != nil {
+		return FlowBenchRow{}, nil, fmt.Errorf("flowbench: %s run: %w", label, err)
+	}
+	canon, n, err := flowCanonical(res)
+	if err != nil {
+		return FlowBenchRow{}, nil, fmt.Errorf("flowbench: %s run: %w", label, err)
+	}
+	if canon != expected {
+		return FlowBenchRow{}, nil, fmt.Errorf(
+			"flowbench: %s output multiset diverges from the sequential ground truth\n  got:  %s\n  want: %s",
+			label, canon, expected)
+	}
+	var allocParts []string
+	instances := 0
+	var waits int64
+	for _, pe := range flowPEOrder {
+		allocParts = append(allocParts, fmt.Sprintf("%s:%d", pe, res.Alloc[pe]))
+		instances += res.Alloc[pe]
+		waits += res.BackpressureWaits(pe)
+	}
+	row := FlowBenchRow{
+		Label:      label,
+		Mapping:    runOpts.Mapping,
+		Duration:   res.Duration,
+		Throughput: float64(opts.Records) / res.Duration.Seconds(),
+		Alloc:      strings.Join(allocParts, " "),
+		Instances:  instances,
+		HighWater:  res.QueueHighWater(),
+		Waits:      waits,
+		Outputs:    n,
+	}
+	return row, res, nil
+}
+
+// RunFlowBench executes the flowbench: the four mappings with the paper's
+// even allocation, then a fifth cost-weighted MULTI run whose PECosts come
+// from the even MULTI run's measured profile. A non-nil error includes any
+// cross-mapping output divergence.
+func RunFlowBench(opts FlowBenchOptions) (*FlowBenchResult, error) {
+	def := DefaultFlowBenchOptions()
+	if opts.Records <= 0 {
+		opts.Records = def.Records
+	}
+	if opts.Processes <= 0 {
+		opts.Processes = def.Processes
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = def.QueueCap
+	}
+
+	telem := telemetry.NewRegistry()
+	fm := dataflow.NewFlowMetrics(telem)
+	expected := flowExpected(opts.Records)
+	out := &FlowBenchResult{Opts: opts, Telemetry: telem}
+
+	var multiCosts map[string]float64
+	for _, m := range []dataflow.Mapping{
+		dataflow.MappingSimple, dataflow.MappingMulti, dataflow.MappingMPI, dataflow.MappingRedis,
+	} {
+		row, res, err := flowRunOne(opts, string(m), expected, dataflow.Options{Mapping: m, Metrics: fm})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+		if m == dataflow.MappingMulti {
+			multiCosts = res.CostProfile()
+		}
+	}
+
+	// The weighted run reuses the even MULTI run's measured cost profile —
+	// exactly what the engine does across successive executions.
+	row, _, err := flowRunOne(opts, "MULTI (weighted)", expected, dataflow.Options{
+		Mapping:   dataflow.MappingMulti,
+		Metrics:   fm,
+		AllocMode: dataflow.AllocWeighted,
+		PECosts:   multiCosts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, row)
+	return out, nil
+}
+
+// Render draws the flowbench table.
+func (r *FlowBenchResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Flowbench: %s -> %s -> %s(x%d spin) -> %s (group-by, %d keys)\n",
+		flowSourcePE, flowFilterPE, flowTransformPE, flowTransformSpin, flowAggregatePE, flowKeys)
+	fmt.Fprintf(&sb, "records=%d processes=%d queue-cap=%d\n\n",
+		r.Opts.Records, r.Opts.Processes, r.Opts.QueueCap)
+	fmt.Fprintf(&sb, "%-17s %12s %12s %9s %7s %9s %-s\n",
+		"mapping", "duration", "records/s", "queue-hw", "waits", "outputs", "allocation")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-17s %12s %12.0f %9d %7d %9d %-s\n",
+			row.Label, row.Duration.Round(time.Microsecond), row.Throughput,
+			row.HighWater, row.Waits, row.Outputs, row.Alloc)
+	}
+	fmt.Fprintf(&sb, "\nall %d runs produced identical output multisets (checked against the sequential ground truth)\n",
+		len(r.Rows))
+	return sb.String()
+}
+
+// ---- flowbench-smoke (`make flowbench-smoke`) ----
+
+// The smoke gate runs in two parts. Part A drives the flowbench in-process
+// at a small size and asserts the productionization invariants: identical
+// output multisets under every mapping, populated laminar_flow_* telemetry,
+// a queue-depth high-water mark bounded by QueueCap x instances on the
+// bounded MULTI transport, and a queue-depth gauge that settles back to
+// zero. Part B boots a real metrics-enabled server over HTTP, runs a pype
+// workflow under MULTI, asserts the scrape shows the run, and asserts the
+// registration-time graph lint rejects a cyclic workflow with HTTP 400
+// naming the defect.
+
+// flowSmokeOpts keep the gate fast while still forcing backpressure: 600
+// records through queue-cap 64 with a slow Transform stage.
+var flowSmokeOpts = FlowBenchOptions{Records: 600, Processes: 6, QueueCap: 64}
+
+// flowCyclicSource is a defective pype workflow: A and B feed each other,
+// so the graph has a cycle (and no root). Registration must refuse it.
+const flowCyclicSource = `
+class Forward(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, v):
+        return v
+
+class Backward(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, v):
+        return v
+
+a = Forward()
+b = Backward()
+graph = WorkflowGraph()
+graph.connect(a, 'output', b, 'input')
+graph.connect(b, 'output', a, 'input')
+`
+
+// RunFlowSmoke executes the gate and returns a one-line summary for CI
+// logs; a non-nil error is a gate failure.
+func RunFlowSmoke() (string, error) {
+	// Part A: in-process equivalence + telemetry.
+	fb, err := RunFlowBench(flowSmokeOpts)
+	if err != nil {
+		return "", fmt.Errorf("flowbench-smoke: %w", err)
+	}
+	for _, row := range fb.Rows {
+		if row.Outputs != flowKeys {
+			return "", fmt.Errorf("flowbench-smoke: %s produced %d outputs, want %d", row.Label, row.Outputs, flowKeys)
+		}
+		if row.Mapping == dataflow.MappingMulti {
+			bound := int64(fb.Opts.QueueCap) * int64(row.Instances)
+			if row.HighWater <= 0 || row.HighWater > bound {
+				return "", fmt.Errorf("flowbench-smoke: %s queue high-water %d outside (0, %d] (cap %d x %d instances)",
+					row.Label, row.HighWater, bound, fb.Opts.QueueCap, row.Instances)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := fb.Telemetry.WritePrometheus(&buf); err != nil {
+		return "", fmt.Errorf("flowbench-smoke: writing telemetry: %w", err)
+	}
+	_, samples, err := parseScrape(buf.String())
+	if err != nil {
+		return "", fmt.Errorf("flowbench-smoke: %w", err)
+	}
+	// 600 records, a third dropped: Transform must process 400 per run
+	// across the 5 runs; the counters must show it.
+	transforms := float64(flowSmokeOpts.Records-flowSmokeOpts.Records/3) * float64(len(fb.Rows))
+	checks := []struct {
+		sample string
+		min    float64
+	}{
+		{`laminar_flow_runs_total{mapping="MULTI",status="ok"}`, 2}, // even + weighted
+		{`laminar_flow_runs_total{mapping="REDIS",status="ok"}`, 1},
+		{`laminar_flow_processed_total{pe="Transform"}`, transforms},
+		{`laminar_flow_emitted_total{pe="Source"}`, float64(flowSmokeOpts.Records * len(fb.Rows))},
+		{`laminar_flow_run_seconds_count{mapping="MPI"}`, 1},
+	}
+	for _, c := range checks {
+		v, ok := samples[c.sample]
+		if !ok {
+			return "", fmt.Errorf("flowbench-smoke: telemetry is missing %s", c.sample)
+		}
+		if v < c.min {
+			return "", fmt.Errorf("flowbench-smoke: %s = %g, want >= %g", c.sample, v, c.min)
+		}
+	}
+	// Every run drains or settles: the live queue-depth gauge must be back
+	// to zero for every PE.
+	for sample, v := range samples {
+		if strings.HasPrefix(sample, "laminar_flow_queue_depth{") && v != 0 {
+			return "", fmt.Errorf("flowbench-smoke: queue-depth gauge did not settle: %s = %g", sample, v)
+		}
+	}
+
+	// Part B: a real server over HTTP — run telemetry on /metrics and the
+	// registration-time lint gate.
+	srv := server.New(server.Config{
+		Registry: registry.NewStore(),
+		Engine:   engine.New(engine.Config{InstallDelayScale: 0}),
+		Metrics:  true,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("flowbench-smoke: starting server: %w", err)
+	}
+	defer srv.Close()
+
+	cli := client.New(addr)
+	if err := cli.Register("flowsmoke", "pw"); err != nil {
+		return "", fmt.Errorf("flowbench-smoke: register: %w", err)
+	}
+	resp, err := cli.Run(IsPrimeSource, client.RunOptions{Input: 15, Process: "MULTI", Seed: 3})
+	if err != nil {
+		return "", fmt.Errorf("flowbench-smoke: running isPrime under MULTI: %w", err)
+	}
+	if !strings.Contains(resp.Output, "before checking") {
+		return "", fmt.Errorf("flowbench-smoke: isPrime run produced no PE output (got %q)", resp.Output)
+	}
+
+	// The lint gate: a cyclic workflow must be refused at registration with
+	// HTTP 400 naming the defect.
+	_, err = cli.RegisterWorkflow(flowCyclicSource, "cyclicFlow", "defective on purpose")
+	if err == nil {
+		return "", fmt.Errorf("flowbench-smoke: cyclic workflow was accepted at registration; want a 400 naming the cycle")
+	}
+	var apiErr *core.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusBadRequest {
+		return "", fmt.Errorf("flowbench-smoke: cyclic workflow rejection is not HTTP 400: %v", err)
+	}
+	if !strings.Contains(err.Error(), dataflow.LintCycle) {
+		return "", fmt.Errorf("flowbench-smoke: cyclic workflow rejection does not name the %q defect: %v", dataflow.LintCycle, err)
+	}
+
+	scrapeResp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return "", fmt.Errorf("flowbench-smoke: scraping /metrics: %w", err)
+	}
+	defer scrapeResp.Body.Close()
+	raw, err := io.ReadAll(scrapeResp.Body)
+	if err != nil {
+		return "", fmt.Errorf("flowbench-smoke: reading scrape: %w", err)
+	}
+	families, httpSamples, err := parseScrape(string(raw))
+	if err != nil {
+		return "", fmt.Errorf("flowbench-smoke: /metrics: %w", err)
+	}
+	for _, fam := range []string{
+		"laminar_flow_runs_total", "laminar_flow_run_seconds",
+		"laminar_flow_emitted_total", "laminar_flow_processed_total",
+		"laminar_flow_process_seconds", "laminar_flow_queue_depth",
+		"laminar_flow_backpressure_waits_total",
+	} {
+		if !families[fam] {
+			return "", fmt.Errorf("flowbench-smoke: /metrics does not export %s", fam)
+		}
+	}
+	if v := httpSamples[`laminar_flow_runs_total{mapping="MULTI",status="ok"}`]; v < 1 {
+		return "", fmt.Errorf("flowbench-smoke: /metrics shows %g MULTI runs, want >= 1", v)
+	}
+
+	return fmt.Sprintf("flowbench-smoke: %d records x %d runs: output multisets identical, flow telemetry populated, queue high-water bounded, gauge settled, server run visible on /metrics, cyclic workflow refused with 400 naming %q",
+		flowSmokeOpts.Records, len(fb.Rows), dataflow.LintCycle), nil
+}

@@ -63,6 +63,94 @@ func Allocate(g *Graph, processes int) (map[string]int, error) {
 	return alloc, nil
 }
 
+// AllocateWeighted divides the process budget by measured per-PE cost
+// instead of evenly: every source PE still gets exactly one instance, and
+// the remaining budget is split among the non-source PEs proportionally to
+// costs[name] (mean Process seconds per record, e.g. a prior run's
+// Result.CostProfile). PEs with no known positive cost weigh in at the
+// mean of the known costs (or 1 when no costs are known, which degrades to
+// the even split). Every PE always gets at least one instance; leftover
+// instances go to the largest fractional remainders, ties broken by
+// topological order.
+func AllocateWeighted(g *Graph, processes int, costs map[string]float64) (map[string]int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	alloc := map[string]int{}
+	roots := map[string]bool{}
+	for _, r := range g.Roots() {
+		roots[r] = true
+	}
+	var workers []string
+	for _, n := range topo {
+		if roots[n] {
+			alloc[n] = 1
+		} else {
+			workers = append(workers, n)
+		}
+	}
+	if len(workers) == 0 {
+		return alloc, nil
+	}
+	remaining := processes - len(alloc)
+	if remaining < len(workers) {
+		remaining = len(workers)
+	}
+	// Default weight for PEs with no measurement: the mean known cost, so
+	// an unprofiled PE is treated as average rather than free.
+	var sum float64
+	var known int
+	for _, n := range workers {
+		if c := costs[n]; c > 0 {
+			sum += c
+			known++
+		}
+	}
+	def := 1.0
+	if known > 0 {
+		def = sum / float64(known)
+	}
+	weight := make([]float64, len(workers))
+	var total float64
+	for i, n := range workers {
+		w := costs[n]
+		if w <= 0 {
+			w = def
+		}
+		weight[i] = w
+		total += w
+	}
+	// Guarantee the minimum first, then hand out the extras by largest
+	// remainder over the weighted shares.
+	extra := remaining - len(workers)
+	shares := make([]float64, len(workers))
+	given := 0
+	for i, n := range workers {
+		s := float64(extra) * weight[i] / total
+		whole := int(s)
+		shares[i] = s - float64(whole)
+		alloc[n] = 1 + whole
+		given += whole
+	}
+	order := make([]int, len(workers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return shares[order[a]] > shares[order[b]] })
+	for _, i := range order {
+		if given >= extra {
+			break
+		}
+		alloc[workers[i]]++
+		given++
+	}
+	return alloc, nil
+}
+
 // Plan is a concrete workflow: the DAG expanded into instances with routing.
 type Plan struct {
 	Graph     *Graph
@@ -75,12 +163,26 @@ type Plan struct {
 }
 
 // NewPlan expands the abstract graph into a concrete workflow for the given
-// process budget.
+// process budget using the paper's even division.
 func NewPlan(g *Graph, processes int) (*Plan, error) {
 	alloc, err := Allocate(g, processes)
 	if err != nil {
 		return nil, err
 	}
+	return newPlanWithAlloc(g, alloc)
+}
+
+// NewPlanWeighted expands the graph with the cost-weighted division (see
+// AllocateWeighted).
+func NewPlanWeighted(g *Graph, processes int, costs map[string]float64) (*Plan, error) {
+	alloc, err := AllocateWeighted(g, processes, costs)
+	if err != nil {
+		return nil, err
+	}
+	return newPlanWithAlloc(g, alloc)
+}
+
+func newPlanWithAlloc(g *Graph, alloc map[string]int) (*Plan, error) {
 	topo, err := g.TopoOrder()
 	if err != nil {
 		return nil, err

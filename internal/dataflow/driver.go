@@ -3,6 +3,7 @@ package dataflow
 import (
 	"fmt"
 	"io"
+	"time"
 )
 
 // sendFunc delivers a message to a destination instance.
@@ -11,9 +12,28 @@ type sendFunc func(dest InstKey, m message) error
 // recvFunc blocks until the next message for this instance arrives.
 type recvFunc func() (message, error)
 
+// safeCall invokes one PE lifecycle hook, converting a panic into an error
+// so a misbehaving PE terminates the run cleanly instead of killing the
+// process (the parallel mappings run instances on their own goroutines,
+// where an escaped panic would be fatal).
+func safeCall(key InstKey, stage string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dataflow: %s %s panicked: %v", key, stage, r)
+		}
+	}()
+	if err := fn(); err != nil {
+		return fmt.Errorf("dataflow: %s %s: %w", key, stage, err)
+	}
+	return nil
+}
+
 // driveInstance runs the full lifecycle of one PE instance: init, the data
 // loop (or producer iterations), finish, and EOS fan-out. It is the shared
 // core of the Multi, MPI and Redis mappings — they differ only in transport.
+// All per-message accounting (emit/process counters, process latency,
+// queue-depth deltas) lives here so every transport is instrumented
+// identically.
 func driveInstance(p *Plan, key InstKey, opts Options, res *Result, stdout io.Writer,
 	recv recvFunc, send sendFunc) error {
 	pe, ok := p.Graph.PE(key.PE)
@@ -24,6 +44,7 @@ func driveInstance(p *Plan, key InstKey, opts Options, res *Result, stdout io.Wr
 	if err != nil {
 		return fmt.Errorf("dataflow: creating instance %s: %w", key, err)
 	}
+	procHist := opts.Metrics.processHist(key)
 	rt := newRouter(p, key)
 	ctx := &Context{
 		peName:    key.PE,
@@ -36,6 +57,8 @@ func driveInstance(p *Plan, key InstKey, opts Options, res *Result, stdout io.Wr
 		if !containsStr(pe.Outputs(), port) {
 			return fmt.Errorf("dataflow: PE %q has no output port %q", key.PE, port)
 		}
+		res.countEmitted(key.PE)
+		opts.Metrics.countEmitted(key.PE)
 		dests := rt.destinations(port, v)
 		if len(dests) == 0 {
 			res.sink(key.PE, port, v)
@@ -45,22 +68,38 @@ func driveInstance(p *Plan, key InstKey, opts Options, res *Result, stdout io.Wr
 			if err := send(d.Key, message{Kind: msgData, Port: d.Port, Value: v}); err != nil {
 				return err
 			}
+			res.enqueued(d.Key.PE)
+			opts.Metrics.queueAdd(d.Key.PE, 1)
+		}
+		return nil
+	}
+
+	process := func(in map[string]Value) error {
+		t := time.Now()
+		err := safeCall(key, "process", func() error { return inst.Process(ctx, in) })
+		d := time.Since(t)
+		if err != nil {
+			return err
+		}
+		res.countProcessed(key.PE, d)
+		opts.Metrics.countProcessed(key.PE)
+		if procHist != nil {
+			procHist.Observe(d.Seconds())
 		}
 		return nil
 	}
 
 	if init, ok := inst.(Initer); ok {
-		if err := init.Init(ctx); err != nil {
-			return fmt.Errorf("dataflow: %s init: %w", key, err)
+		if err := safeCall(key, "init", func() error { return init.Init(ctx) }); err != nil {
+			return err
 		}
 	}
 
 	if isSource(pe) {
 		for i := 0; i < opts.Iterations; i++ {
-			if err := inst.Process(ctx, nil); err != nil {
-				return fmt.Errorf("dataflow: %s process: %w", key, err)
+			if err := process(nil); err != nil {
+				return err
 			}
-			res.countProcessed(key.PE)
 		}
 	} else {
 		remaining := p.EOSExpected[key]
@@ -69,33 +108,36 @@ func driveInstance(p *Plan, key InstKey, opts Options, res *Result, stdout io.Wr
 			if err != nil {
 				return fmt.Errorf("dataflow: %s recv: %w", key, err)
 			}
+			res.dequeued(key.PE)
+			opts.Metrics.queueAdd(key.PE, -1)
 			if m.Kind == msgEOS {
 				remaining--
 				continue
 			}
-			if err := inst.Process(ctx, map[string]Value{m.Port: m.Value}); err != nil {
-				return fmt.Errorf("dataflow: %s process: %w", key, err)
+			if err := process(map[string]Value{m.Port: m.Value}); err != nil {
+				return err
 			}
-			res.countProcessed(key.PE)
 		}
 	}
 
 	if fin, ok := inst.(Finisher); ok {
-		if err := fin.Finish(ctx); err != nil {
-			return fmt.Errorf("dataflow: %s finish: %w", key, err)
+		if err := safeCall(key, "finish", func() error { return fin.Finish(ctx) }); err != nil {
+			return err
 		}
 	}
 	for _, t := range rt.eosTargets() {
 		if err := send(t.Key, message{Kind: msgEOS, Port: t.Port}); err != nil {
 			return err
 		}
+		res.enqueued(t.Key.PE)
+		opts.Metrics.queueAdd(t.Key.PE, 1)
 	}
 	return nil
 }
 
 // injectInitialInputs pre-delivers Options.InitialInputs (plus the closing
 // EOS from the virtual injector) to root PEs that consume inputs.
-func injectInitialInputs(p *Plan, opts Options, send sendFunc) error {
+func injectInitialInputs(p *Plan, opts Options, res *Result, send sendFunc) error {
 	for _, pe := range p.Graph.PEs() {
 		if !needsInjection(p.Graph, pe) {
 			continue
@@ -107,10 +149,14 @@ func injectInitialInputs(p *Plan, opts Options, send sendFunc) error {
 				if err := send(k, m); err != nil {
 					return err
 				}
+				res.enqueued(k.PE)
+				opts.Metrics.queueAdd(k.PE, 1)
 			}
 			if err := send(k, message{Kind: msgEOS}); err != nil {
 				return err
 			}
+			res.enqueued(k.PE)
+			opts.Metrics.queueAdd(k.PE, 1)
 		}
 	}
 	return nil

@@ -1,0 +1,152 @@
+package dataflow
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// failingPipeline builds Producer -> Stage -> Printer where Stage fails (or
+// panics) when it sees the trigger value, mid-stream. The small QueueCap
+// used by the tests keeps the producer parked on backpressure at failure
+// time, so a mapping that forgets to release blocked senders hangs here.
+func failingPipeline(t *testing.T, trigger int64, panicInstead bool) *Graph {
+	t.Helper()
+	var ctr int64
+	prod := Producer("Prod", func(ctx *Context) (Value, error) {
+		ctr++
+		return ctr, nil
+	})
+	stage := Iterative("Stage", func(ctx *Context, v Value) (Value, error) {
+		n := v.(int64)
+		if n == trigger {
+			if panicInstead {
+				panic(fmt.Sprintf("synthetic panic at %d", n))
+			}
+			return nil, fmt.Errorf("synthetic failure at %d", n)
+		}
+		ctx.Printf("checked %d\n", n)
+		return n, nil
+	})
+	printer := Iterative("Printer", func(ctx *Context, v Value) (Value, error) {
+		ctx.Printf("saw %v\n", v)
+		return v, nil
+	})
+	g := NewGraph("failing")
+	if err := g.Connect(prod, DefaultOutput, stage, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(stage, DefaultOutput, printer, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// waitForGoroutines polls until the goroutine count settles back to the
+// baseline (plus slack for runtime/test housekeeping), failing if instance
+// goroutines or parked senders leaked.
+func waitForGoroutines(t *testing.T, mapping Mapping, before int) {
+	t.Helper()
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("%s: goroutines leaked after failed run: %d before, %d after\n%s",
+				mapping, before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+var allMappings = []Mapping{MappingSimple, MappingMulti, MappingMPI, MappingRedis}
+
+func TestMidStreamErrorTerminatesAllMappings(t *testing.T) {
+	for _, m := range allMappings {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			g := failingPipeline(t, 25, false)
+			before := runtime.NumGoroutine()
+			res, err := Run(g, Options{Mapping: m, Iterations: 200, Processes: 5, QueueCap: 4})
+			if err == nil || !strings.Contains(err.Error(), "synthetic failure at 25") {
+				t.Fatalf("err = %v, want the mid-stream failure", err)
+			}
+			if res == nil {
+				t.Fatal("failed run must still return the partial Result")
+			}
+			// The partial result keeps whatever stdout made it out before
+			// the failure; SIMPLE is deterministic about it (the stage sees
+			// records 1..24 before 25).
+			if m == MappingSimple && !strings.Contains(res.StdoutText, "checked 1") {
+				t.Errorf("partial StdoutText lost pre-failure output: %q", res.StdoutText)
+			}
+			if res.Duration <= 0 {
+				t.Error("partial Result has no duration")
+			}
+			waitForGoroutines(t, m, before)
+		})
+	}
+}
+
+func TestMidStreamPanicTerminatesAllMappings(t *testing.T) {
+	for _, m := range allMappings {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			g := failingPipeline(t, 25, true)
+			before := runtime.NumGoroutine()
+			res, err := Run(g, Options{Mapping: m, Iterations: 200, Processes: 5, QueueCap: 4})
+			if err == nil || !strings.Contains(err.Error(), "panicked") ||
+				!strings.Contains(err.Error(), "synthetic panic at 25") {
+				t.Fatalf("err = %v, want a recovered panic naming the instance", err)
+			}
+			if res == nil {
+				t.Fatal("panicked run must still return the partial Result")
+			}
+			waitForGoroutines(t, m, before)
+		})
+	}
+}
+
+func TestPanicInFinishIsRecovered(t *testing.T) {
+	prod := Producer("Prod", func(ctx *Context) (Value, error) { return int64(1), nil })
+	sink := Generic("Sink", []Port{{Name: DefaultInput}}, nil,
+		func() (func(ctx *Context, input map[string]Value) error, func(ctx *Context) error) {
+			return func(ctx *Context, input map[string]Value) error { return nil },
+				func(ctx *Context) error { panic("finish boom") }
+		})
+	g := NewGraph("finishpanic")
+	if err := g.Connect(prod, DefaultOutput, sink, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Mapping{MappingSimple, MappingMulti} {
+		_, err := Run(g, Options{Mapping: m, Iterations: 3})
+		if err == nil || !strings.Contains(err.Error(), "finish panicked") {
+			t.Errorf("%s: err = %v, want recovered finish panic", m, err)
+		}
+	}
+}
+
+// TestErrorRunSettlesQueueGauge pins the telemetry contract on the error
+// path: messages stranded in dead instances' queues must not leave a
+// permanent residue on the shared queue-depth gauge.
+func TestErrorRunSettlesQueueGauge(t *testing.T) {
+	fm := newTestFlowMetrics(t)
+	for _, m := range allMappings {
+		g := failingPipeline(t, 10, false)
+		_, err := Run(g, Options{Mapping: m, Iterations: 100, Processes: 4, QueueCap: 4, Metrics: fm})
+		if err == nil {
+			t.Fatalf("%s: run unexpectedly succeeded", m)
+		}
+	}
+	for labels, v := range fm.queueDepth.Values() {
+		if v != 0 {
+			t.Errorf("queue-depth gauge did not settle after failed runs: %s = %g", labels, v)
+		}
+	}
+}

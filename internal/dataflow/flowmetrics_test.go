@@ -1,0 +1,125 @@
+package dataflow
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"laminar/internal/telemetry"
+)
+
+func newTestFlowMetrics(t *testing.T) *FlowMetrics {
+	t.Helper()
+	return NewFlowMetrics(telemetry.NewRegistry())
+}
+
+func TestNilFlowMetricsRecordsNothing(t *testing.T) {
+	var m *FlowMetrics // nil: the un-instrumented engine configuration
+	m.recordRun(MappingMulti, nil, 0)
+	m.countEmitted("PE")
+	m.countProcessed("PE")
+	m.queueAdd("PE", 1)
+	m.countWait("PE")
+	if h := m.processHist(InstKey{PE: "PE"}); h != nil {
+		t.Errorf("nil metrics returned a histogram: %v", h)
+	}
+	if NewFlowMetrics(nil) != nil {
+		t.Error("NewFlowMetrics(nil) must return the nil no-op metrics")
+	}
+}
+
+func TestFlowMetricsBoundsPELabelCardinality(t *testing.T) {
+	m := newTestFlowMetrics(t)
+	for i := 0; i < flowMaxPELabels; i++ {
+		if got := m.peLabel(fmt.Sprintf("PE%03d", i)); got != fmt.Sprintf("PE%03d", i) {
+			t.Fatalf("PE %d collapsed early to %q", i, got)
+		}
+	}
+	if got := m.peLabel("OneTooMany"); got != flowOtherLabel {
+		t.Errorf("overflow PE label = %q, want %q", got, flowOtherLabel)
+	}
+	// Already-seen names keep their own series even after the cap.
+	if got := m.peLabel("PE000"); got != "PE000" {
+		t.Errorf("existing PE label collapsed to %q after overflow", got)
+	}
+	if got := instLabel(flowMaxInstLabels); got != flowOtherLabel {
+		t.Errorf("instance label %d = %q, want %q", flowMaxInstLabels, got, flowOtherLabel)
+	}
+	if got := instLabel(3); got != "3" {
+		t.Errorf("instance label 3 = %q", got)
+	}
+}
+
+// TestInstrumentedRunPopulatesAllFamilies runs one MULTI enactment against
+// a live registry and checks every laminar_flow_* family carries samples
+// with the expected values.
+func TestInstrumentedRunPopulatesAllFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	fm := NewFlowMetrics(reg)
+	g := numbersGraph(t)
+	res, err := Run(g, Options{Mapping: MappingMulti, Iterations: 30, Processes: 5, Metrics: fm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape := buf.String()
+	for _, want := range []string{
+		`laminar_flow_runs_total{mapping="MULTI",status="ok"} 1`,
+		`laminar_flow_emitted_total{pe="NumberProducer"} 30`,
+		`laminar_flow_processed_total{pe="NumberProducer"} 30`,
+		`laminar_flow_processed_total{pe="IsPrime"} 30`,
+		`laminar_flow_run_seconds_count{mapping="MULTI"} 1`,
+		`laminar_flow_process_seconds_count{pe="IsPrime",instance="0"}`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q\n%s", want, scrape)
+		}
+	}
+	// The counters agree with the Result's own accounting.
+	if res.Emitted("NumberProducer") != 30 || res.Processed("IsPrime") != 30 {
+		t.Errorf("result counters: emitted=%d processed=%d",
+			res.Emitted("NumberProducer"), res.Processed("IsPrime"))
+	}
+	// A clean run leaves the queue gauge at zero and a positive high-water.
+	for labels, v := range fm.queueDepth.Values() {
+		if v != 0 {
+			t.Errorf("queue depth %s = %g after a clean run", labels, v)
+		}
+	}
+	if res.QueueHighWater() <= 0 {
+		t.Error("high-water mark not recorded")
+	}
+}
+
+// TestBackpressureWaitsRecorded forces the producer to park: a slow
+// consumer behind a tiny queue cap must register waits attributed to the
+// lagging destination PE.
+func TestBackpressureWaitsRecorded(t *testing.T) {
+	fm := newTestFlowMetrics(t)
+	prod := Producer("Fast", func(ctx *Context) (Value, error) { return int64(1), nil })
+	slow := Iterative("Slow", func(ctx *Context, v Value) (Value, error) {
+		for i := 0; i < 200000; i++ {
+			_ = i * i
+		}
+		return v, nil
+	})
+	g := NewGraph("parked")
+	if err := g.Connect(prod, DefaultOutput, slow, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Options{Mapping: MappingMulti, Iterations: 300, Processes: 2, QueueCap: 2, Metrics: fm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BackpressureWaits("Slow") == 0 {
+		t.Error("no waits recorded against the lagging PE despite a full queue")
+	}
+	if res.QueueHighWater() > int64(2*2+2) {
+		t.Errorf("high-water %d exceeds the bounded transport's capacity", res.QueueHighWater())
+	}
+}

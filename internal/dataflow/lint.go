@@ -1,0 +1,174 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lint rule identifiers. Every LintIssue names exactly one of these, so
+// callers (the server's 400 responses, tests) can match defects by rule.
+const (
+	LintEmptyGraph     = "empty-graph"
+	LintCycle          = "cycle"
+	LintDanglingEdge   = "dangling-edge"
+	LintMultipleRoots  = "multiple-roots"
+	LintUnfedInput     = "unfed-input"
+	LintBadGroupKey    = "bad-group-key"
+	LintInstanceBudget = "instance-budget"
+)
+
+// LintIssue is one defect found by Graph.Lint.
+type LintIssue struct {
+	// Rule is the Lint* identifier of the violated rule.
+	Rule string
+	// PE names the offending PE, when the defect is local to one.
+	PE string
+	// Port names the offending port, when the defect is local to one.
+	Port string
+	// Detail is a human-readable account of the defect.
+	Detail string
+}
+
+// String renders the issue as "rule: detail (PE pe, port p)".
+func (i LintIssue) String() string {
+	var sb strings.Builder
+	sb.WriteString(i.Rule)
+	sb.WriteString(": ")
+	sb.WriteString(i.Detail)
+	if i.PE != "" {
+		fmt.Fprintf(&sb, " (PE %q", i.PE)
+		if i.Port != "" {
+			fmt.Fprintf(&sb, ", port %q", i.Port)
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// Lint statically checks the workflow for registration-time defects:
+// cycles, dangling edges (unknown PEs or ports), multiple roots (the
+// engine needs a single initial PE), partially wired inputs, invalid
+// grouping key indices, and an unusable instance budget. processes is the
+// intended process budget (0 = unknown/default, which skips the budget
+// rule). A nil return means the workflow passes.
+//
+// Lint is advisory about runnability, not semantics: it flags structures
+// that cannot enact (cycle) or that silently misbehave (an input port no
+// edge ever feeds). The server runs it when workflows are registered, so
+// defective dataflows are rejected with a named defect instead of failing
+// at run time (ROADMAP item 4).
+func (g *Graph) Lint(processes int) []LintIssue {
+	var issues []LintIssue
+	add := func(rule, pe, port, format string, args ...any) {
+		issues = append(issues, LintIssue{Rule: rule, PE: pe, Port: port, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	if len(g.order) == 0 {
+		add(LintEmptyGraph, "", "", "workflow %q has no PEs", g.name)
+		return issues
+	}
+
+	// Dangling edges: endpoints must name registered PEs and declared
+	// ports. Connect enforces this, but graphs can reach Lint from other
+	// construction paths, and the rest of the checks assume sane edges.
+	for _, e := range g.edges {
+		from, okFrom := g.pes[e.From]
+		to, okTo := g.pes[e.To]
+		switch {
+		case !okFrom:
+			add(LintDanglingEdge, e.From, e.FromPort, "edge %s.%s -> %s.%s leaves unknown PE", e.From, e.FromPort, e.To, e.ToPort)
+		case !containsStr(from.Outputs(), e.FromPort):
+			add(LintDanglingEdge, e.From, e.FromPort, "edge names missing output port %q on PE %q", e.FromPort, e.From)
+		}
+		switch {
+		case !okTo:
+			add(LintDanglingEdge, e.To, e.ToPort, "edge %s.%s -> %s.%s arrives at unknown PE", e.From, e.FromPort, e.To, e.ToPort)
+		case !hasInputPort(to, e.ToPort):
+			add(LintDanglingEdge, e.To, e.ToPort, "edge names missing input port %q on PE %q", e.ToPort, e.To)
+		}
+	}
+
+	if _, err := g.TopoOrder(); err != nil {
+		add(LintCycle, "", "", "workflow %q contains a cycle", g.name)
+	} else if roots := g.Roots(); len(roots) > 1 {
+		// The engine identifies the workflow's entry autonomously
+		// (Graph.InitialPE); several roots make that ambiguous.
+		add(LintMultipleRoots, "", "", "workflow %q has %d roots (%s); the engine needs a single initial PE",
+			g.name, len(roots), strings.Join(roots, ", "))
+	}
+
+	// Partially wired PEs: a PE fed on some input ports but not all will
+	// run, but the unfed port silently never sees data — almost always a
+	// forgotten connect. Roots with no incoming edges are fine: their
+	// inputs come from injected initial inputs.
+	fedPorts := map[string]map[string]bool{}
+	for _, e := range g.edges {
+		if fedPorts[e.To] == nil {
+			fedPorts[e.To] = map[string]bool{}
+		}
+		fedPorts[e.To][e.ToPort] = true
+	}
+	for _, name := range g.order {
+		fed := fedPorts[name]
+		if len(fed) == 0 {
+			continue
+		}
+		for _, p := range g.pes[name].Inputs() {
+			if !fed[p.Name] {
+				add(LintUnfedInput, name, p.Name, "input port %q of PE %q is never fed (other ports are connected)", p.Name, name)
+			}
+		}
+	}
+
+	// Grouping keys index into the value sequence; negative indices can
+	// never match and make GroupByKey hash an empty key.
+	for _, name := range g.order {
+		for _, p := range g.pes[name].Inputs() {
+			if p.Grouping.Kind != GroupByKey {
+				continue
+			}
+			for _, k := range p.Grouping.Keys {
+				if k < 0 {
+					add(LintBadGroupKey, name, p.Name, "grouping key index %d on %s.%s is negative", k, name, p.Name)
+				}
+			}
+		}
+	}
+
+	if processes < 0 {
+		add(LintInstanceBudget, "", "", "process budget %d is negative", processes)
+	} else if processes > 0 && processes < len(g.order) {
+		add(LintInstanceBudget, "", "", "process budget %d cannot give each of the %d PEs an instance", processes, len(g.order))
+	}
+
+	sort.SliceStable(issues, func(a, b int) bool {
+		if issues[a].Rule != issues[b].Rule {
+			return issues[a].Rule < issues[b].Rule
+		}
+		if issues[a].PE != issues[b].PE {
+			return issues[a].PE < issues[b].PE
+		}
+		return issues[a].Port < issues[b].Port
+	})
+	return issues
+}
+
+// LintSummary joins issues into the single-line account the server embeds
+// in its 400 response.
+func LintSummary(issues []LintIssue) string {
+	parts := make([]string, len(issues))
+	for i, is := range issues {
+		parts[i] = is.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+func hasInputPort(pe PE, name string) bool {
+	for _, p := range pe.Inputs() {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}

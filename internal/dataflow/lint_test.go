@@ -1,0 +1,206 @@
+package dataflow
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func lintRules(issues []LintIssue) []string {
+	var rules []string
+	for _, i := range issues {
+		rules = append(rules, i.Rule)
+	}
+	sort.Strings(rules)
+	return rules
+}
+
+func hasRule(issues []LintIssue, rule string) bool {
+	for _, i := range issues {
+		if i.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanGraphPasses(t *testing.T) {
+	g := numbersGraph(t)
+	for _, procs := range []int{0, 3, 10} {
+		if issues := g.Lint(procs); len(issues) != 0 {
+			t.Errorf("clean graph, procs=%d: %v", procs, issues)
+		}
+	}
+}
+
+func TestLintEmptyGraph(t *testing.T) {
+	issues := NewGraph("void").Lint(0)
+	if len(issues) != 1 || issues[0].Rule != LintEmptyGraph {
+		t.Fatalf("issues = %v, want exactly one empty-graph", issues)
+	}
+}
+
+func TestLintCycle(t *testing.T) {
+	b := Iterative("B", func(ctx *Context, v Value) (Value, error) { return v, nil })
+	c := Iterative("C", func(ctx *Context, v Value) (Value, error) { return v, nil })
+	g := NewGraph("loop")
+	if err := g.Connect(b, DefaultOutput, c, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(c, DefaultOutput, b, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	issues := g.Lint(0)
+	if !hasRule(issues, LintCycle) {
+		t.Fatalf("issues = %v, want a cycle", issues)
+	}
+	if !strings.Contains(LintSummary(issues), "cycle") {
+		t.Errorf("summary does not name the cycle: %s", LintSummary(issues))
+	}
+}
+
+func TestLintDanglingEdges(t *testing.T) {
+	// Connect validates ports, so dangling edges are planted directly —
+	// the lint must catch graphs that reach it from other construction
+	// paths (decoded plans, hand-built graphs).
+	a := Producer("A", func(ctx *Context) (Value, error) { return int64(1), nil })
+	b := Iterative("B", func(ctx *Context, v Value) (Value, error) { return v, nil })
+	g := NewGraph("dangling")
+	if err := g.Connect(a, DefaultOutput, b, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	g.edges = append(g.edges,
+		Edge{From: "Ghost", FromPort: "output", To: "B", ToPort: DefaultInput}, // unknown source PE
+		Edge{From: "A", FromPort: "nosuch", To: "B", ToPort: DefaultInput},     // missing output port
+		Edge{From: "A", FromPort: DefaultOutput, To: "B", ToPort: "nosuch"},    // missing input port
+	)
+	issues := g.Lint(0)
+	dangling := 0
+	for _, i := range issues {
+		if i.Rule == LintDanglingEdge {
+			dangling++
+		}
+	}
+	if dangling != 3 {
+		t.Fatalf("found %d dangling-edge issues, want 3: %v", dangling, issues)
+	}
+	summary := LintSummary(issues)
+	for _, want := range []string{"Ghost", `missing output port "nosuch"`, `missing input port "nosuch"`} {
+		if !strings.Contains(summary, want) {
+			t.Errorf("summary missing %q: %s", want, summary)
+		}
+	}
+}
+
+func TestLintMultipleRoots(t *testing.T) {
+	p1 := Producer("P1", func(ctx *Context) (Value, error) { return int64(1), nil })
+	p2 := Producer("P2", func(ctx *Context) (Value, error) { return int64(2), nil })
+	merge := Generic("Merge", []Port{{Name: "a"}, {Name: "b"}}, []string{"output"},
+		func() (func(ctx *Context, input map[string]Value) error, func(ctx *Context) error) {
+			return func(ctx *Context, input map[string]Value) error { return nil }, nil
+		})
+	g := NewGraph("tworoots")
+	if err := g.Connect(p1, DefaultOutput, merge, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(p2, DefaultOutput, merge, "b"); err != nil {
+		t.Fatal(err)
+	}
+	issues := g.Lint(0)
+	if !hasRule(issues, LintMultipleRoots) {
+		t.Fatalf("issues = %v, want multiple-roots", issues)
+	}
+	// The defect names both roots so the user knows what to merge.
+	summary := LintSummary(issues)
+	if !strings.Contains(summary, "P1") || !strings.Contains(summary, "P2") {
+		t.Errorf("multiple-roots issue does not name the roots: %s", summary)
+	}
+}
+
+func TestLintUnfedInput(t *testing.T) {
+	p := Producer("P", func(ctx *Context) (Value, error) { return int64(1), nil })
+	merge := Generic("Merge", []Port{{Name: "a"}, {Name: "b"}}, []string{"output"},
+		func() (func(ctx *Context, input map[string]Value) error, func(ctx *Context) error) {
+			return func(ctx *Context, input map[string]Value) error { return nil }, nil
+		})
+	g := NewGraph("halfwired")
+	if err := g.Connect(p, DefaultOutput, merge, "a"); err != nil {
+		t.Fatal(err)
+	}
+	issues := g.Lint(0)
+	found := false
+	for _, i := range issues {
+		if i.Rule == LintUnfedInput {
+			found = true
+			if i.PE != "Merge" || i.Port != "b" {
+				t.Errorf("unfed-input names PE %q port %q, want Merge/b", i.PE, i.Port)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("issues = %v, want unfed-input", issues)
+	}
+
+	// An unfed ROOT with input ports is the injection pattern, not a defect.
+	lone := NewGraph("reader")
+	if err := lone.Add(rootReader(Grouping{})); err != nil {
+		t.Fatal(err)
+	}
+	if issues := lone.Lint(0); len(issues) != 0 {
+		t.Errorf("injected root flagged: %v", issues)
+	}
+}
+
+func TestLintBadGroupKey(t *testing.T) {
+	p := Producer("P", func(ctx *Context) (Value, error) { return []any{int64(1)}, nil })
+	sink := Generic("Sink",
+		[]Port{{Name: DefaultInput, Grouping: Grouping{Kind: GroupByKey, Keys: []int{0, -2}}}},
+		nil,
+		func() (func(ctx *Context, input map[string]Value) error, func(ctx *Context) error) {
+			return func(ctx *Context, input map[string]Value) error { return nil }, nil
+		})
+	g := NewGraph("badkey")
+	if err := g.Connect(p, DefaultOutput, sink, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	issues := g.Lint(0)
+	if !hasRule(issues, LintBadGroupKey) {
+		t.Fatalf("issues = %v, want bad-group-key", issues)
+	}
+}
+
+func TestLintInstanceBudget(t *testing.T) {
+	g := numbersGraph(t) // 3 PEs
+	if issues := g.Lint(2); !hasRule(issues, LintInstanceBudget) {
+		t.Errorf("budget 2 for 3 PEs not flagged: %v", issues)
+	}
+	if issues := g.Lint(-1); !hasRule(issues, LintInstanceBudget) {
+		t.Errorf("negative budget not flagged: %v", issues)
+	}
+	if issues := g.Lint(3); hasRule(issues, LintInstanceBudget) {
+		t.Errorf("exact budget flagged: %v", issues)
+	}
+}
+
+func TestLintIssuesSortedAndRendered(t *testing.T) {
+	i := LintIssue{Rule: LintUnfedInput, PE: "Merge", Port: "b", Detail: "input port is never fed"}
+	want := `unfed-input: input port is never fed (PE "Merge", port "b")`
+	if i.String() != want {
+		t.Errorf("String() = %q, want %q", i.String(), want)
+	}
+	// Lint output is deterministic: sorted by rule, then PE, then port.
+	issues := []LintIssue{
+		{Rule: "z-rule", PE: "A"},
+		{Rule: "a-rule", PE: "B"},
+		{Rule: "a-rule", PE: "A"},
+	}
+	sort.SliceStable(issues, func(a, b int) bool {
+		if issues[a].Rule != issues[b].Rule {
+			return issues[a].Rule < issues[b].Rule
+		}
+		return issues[a].PE < issues[b].PE
+	})
+	if issues[0].PE != "A" || issues[0].Rule != "a-rule" {
+		t.Errorf("sort order: %v", issues)
+	}
+}

@@ -20,6 +20,17 @@ func runMPI(p *Plan, opts Options, res *Result, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Bounded mailboxes give the MPI mapping the same parking backpressure
+	// as the channel transport; the blocked hook feeds the per-PE wait
+	// counters (attributed to the sender's destination-side stall).
+	world.SetQueueCap(opts.QueueCap)
+	world.SetBlockedHook(func(dest int) {
+		if dest >= 0 && dest < len(p.Instances) {
+			pe := p.Instances[dest].PE
+			res.countWait(pe)
+			opts.Metrics.countWait(pe)
+		}
+	})
 	rankOf := make(map[InstKey]int, n)
 	for i, k := range p.Instances {
 		rankOf[k] = i
@@ -37,7 +48,7 @@ func runMPI(p *Plan, opts Options, res *Result, stdout io.Writer) error {
 		injected = append(injected, pending{dest, m})
 		return nil
 	}
-	if err := injectInitialInputs(p, opts, collect); err != nil {
+	if err := injectInitialInputs(p, opts, res, collect); err != nil {
 		return err
 	}
 

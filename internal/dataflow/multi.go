@@ -1,60 +1,105 @@
 package dataflow
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 )
 
-// multiQueueCap bounds each instance's mailbox; senders block when a
-// downstream instance lags, giving natural backpressure (the DAG guarantees
-// this cannot deadlock).
-const multiQueueCap = 1024
+// errRunAborted marks an instance that was unblocked because a sibling
+// failed; the sibling's error is the one worth reporting.
+var errRunAborted = errors.New("dataflow: run aborted")
 
 // runMulti enacts the workflow with one goroutine per PE instance and
-// buffered channels as the transport — the Go analogue of dispel4py's Multi
-// (multiprocessing) mapping shown in Fig. 1.
+// bounded channels as the transport — the Go analogue of dispel4py's Multi
+// (multiprocessing) mapping shown in Fig. 1. Each instance's mailbox holds
+// at most Options.QueueCap messages; senders park when a downstream
+// instance lags (backpressure; the DAG guarantees parking cannot deadlock
+// while every consumer keeps draining). A shared done channel aborts every
+// parked send and pending receive the moment any instance fails, so an
+// error never strands a goroutine on a full or empty channel.
 func runMulti(p *Plan, opts Options, res *Result, stdout io.Writer) error {
 	chans := make(map[InstKey]chan message, len(p.Instances))
 	for _, k := range p.Instances {
-		chans[k] = make(chan message, multiQueueCap)
+		chans[k] = make(chan message, opts.QueueCap)
 	}
+	done := make(chan struct{})
+	var abortOnce sync.Once
+	abort := func() { abortOnce.Do(func() { close(done) }) }
+
 	send := func(dest InstKey, m message) error {
 		ch, ok := chans[dest]
 		if !ok {
 			return fmt.Errorf("dataflow: multi mapping: unknown destination %s", dest)
 		}
-		ch <- m
-		return nil
+		select {
+		case ch <- m:
+			return nil
+		default:
+		}
+		// Full queue: this send parks. Count it once against the lagging
+		// consumer, then block until it drains or the run aborts.
+		res.countWait(dest.PE)
+		opts.Metrics.countWait(dest.PE)
+		select {
+		case ch <- m:
+			return nil
+		case <-done:
+			return errRunAborted
+		}
 	}
-	if err := injectInitialInputs(p, opts, send); err != nil {
-		return err
-	}
+
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(p.Instances))
+	errCh := make(chan error, len(p.Instances)+1)
 	for _, k := range p.Instances {
 		key := k
 		in := chans[key]
 		recv := func() (message, error) {
-			m, ok := <-in
-			if !ok {
-				return message{}, fmt.Errorf("dataflow: multi mapping: channel closed for %s", key)
+			select {
+			case m := <-in:
+				return m, nil
+			case <-done:
+				return message{}, errRunAborted
 			}
-			return m, nil
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			if err := driveInstance(p, key, opts, res, stdout, recv, send); err != nil {
 				errCh <- err
+				abort()
 			}
 		}()
 	}
+	// Inject after the workers are live: initial inputs can exceed QueueCap,
+	// and a pre-start injection would park forever with nothing draining.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := injectInitialInputs(p, opts, res, send); err != nil {
+			errCh <- err
+			abort()
+		}
+	}()
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
+	return firstRealError(errCh)
+}
+
+// firstRealError drains an error channel preferring the root cause over
+// the errRunAborted echoes from unblocked siblings.
+func firstRealError(errCh chan error) error {
+	var aborted error
+	for {
+		select {
+		case err := <-errCh:
+			if errors.Is(err, errRunAborted) {
+				aborted = err
+				continue
+			}
+			return err
+		default:
+			return aborted
+		}
 	}
 }

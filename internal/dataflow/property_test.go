@@ -117,6 +117,159 @@ func TestRedisMappingEquivalenceSample(t *testing.T) {
 	}
 }
 
+// buildRandomDiamond builds a randomized fan-out/fan-in graph:
+//
+//	          +-> StageA (filter+map) ---[gA]--> Merge (2 ports) -> sink
+//	Src ------+-> StageB (tuple)      ---[gB]-/
+//	          +-> Audit  (GroupAll count, emits from instance 0 only)
+//
+// Merge is stateless (each input becomes one tagged output record), so its
+// output multiset is invariant under instance counts for any non-broadcast
+// grouping; Audit covers GroupAll by emitting its total from instance 0
+// only, which every instance shares under broadcast.
+func buildRandomDiamond(mod, mult int64, gA, gB GroupKind) (*Graph, error) {
+	var ctr int64
+	src := Producer("Src", func(ctx *Context) (Value, error) {
+		return atomic.AddInt64(&ctr, 1), nil
+	})
+	stageA := Iterative("StageA", func(ctx *Context, v Value) (Value, error) {
+		n := toI64(v)
+		if n%mod == 0 {
+			return nil, nil
+		}
+		return n * mult, nil
+	})
+	stageB := Iterative("StageB", func(ctx *Context, v Value) (Value, error) {
+		n := toI64(v)
+		return []any{n % 5, n + 7}, nil
+	})
+	merge := Generic("Merge",
+		[]Port{
+			{Name: "a", Grouping: Grouping{Kind: gA, Keys: []int{0}}},
+			{Name: "b", Grouping: Grouping{Kind: gB, Keys: []int{0}}},
+		},
+		[]string{"output"},
+		func() (func(ctx *Context, input map[string]Value) error, func(ctx *Context) error) {
+			return func(ctx *Context, input map[string]Value) error {
+				if v, ok := input["a"]; ok {
+					if err := ctx.Write("output", []any{"a", toI64(v)}); err != nil {
+						return err
+					}
+				}
+				if v, ok := input["b"]; ok {
+					rec, _ := v.([]any)
+					if err := ctx.Write("output", []any{"b", toI64(rec[0]), toI64(rec[1])}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, nil
+		})
+	audit := Generic("Audit",
+		[]Port{{Name: "input", Grouping: Grouping{Kind: GroupAll}}},
+		[]string{"output"},
+		func() (func(ctx *Context, input map[string]Value) error, func(ctx *Context) error) {
+			var total int64
+			return func(ctx *Context, input map[string]Value) error {
+					total++
+					return nil
+				}, func(ctx *Context) error {
+					// Every instance sees the whole broadcast stream; only
+					// instance 0 reports, keeping the multiset
+					// instance-count-invariant.
+					if ctx.InstanceIndex() != 0 {
+						return nil
+					}
+					return ctx.Write("output", total)
+				}
+		})
+	g := NewGraph("diamond")
+	for _, c := range []struct {
+		to   PE
+		port string
+	}{{stageA, "input"}, {stageB, "input"}, {audit, "input"}} {
+		if err := g.Connect(src, "output", c.to, c.port); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Connect(stageA, "output", merge, "a"); err != nil {
+		return nil, err
+	}
+	if err := g.Connect(stageB, "output", merge, "b"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func toI64(v Value) int64 {
+	switch n := v.(type) {
+	case int64:
+		return n
+	case float64:
+		return int64(n)
+	case int:
+		return int64(n)
+	default:
+		return -999
+	}
+}
+
+// canonDiamond renders a run's observable outputs (Merge records + Audit
+// count) as a canonical sorted multiset.
+func canonDiamond(t *testing.T, res *Result) string {
+	t.Helper()
+	var rows []string
+	for _, v := range res.Outputs("Merge.output") {
+		rows = append(rows, fmt.Sprint(v))
+	}
+	for _, v := range res.Outputs("Audit.output") {
+		rows = append(rows, fmt.Sprintf("audit=%d", toI64(v)))
+	}
+	sort.Strings(rows)
+	return fmt.Sprint(rows)
+}
+
+// Property: for randomized diamond graphs — fan-out, fan-in on a
+// multi-port PE, shuffle/group-by/one-to-one groupings, a GroupAll
+// consumer, Iterations > 1 and random process budgets — all FOUR mappings
+// produce the same output multiset as the sequential reference.
+func TestFourMappingEquivalencePropertyRandomGraphs(t *testing.T) {
+	groupings := []GroupKind{GroupShuffle, GroupByKey, GroupOneToOne}
+	run := func(m Mapping, mod, mult int64, gA, gB GroupKind, iters, procs int) string {
+		g, err := buildRandomDiamond(mod, mult, gA, gB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(g, Options{Mapping: m, Iterations: iters, Processes: procs, QueueCap: 8})
+		if err != nil {
+			t.Fatalf("%s (mod=%d mult=%d gA=%v gB=%v iters=%d procs=%d): %v",
+				m, mod, mult, gA, gB, iters, procs, err)
+		}
+		return canonDiamond(t, res)
+	}
+	f := func(modRaw, multRaw, groupRaw, itersRaw, procsRaw uint8) bool {
+		mod := int64(modRaw%5) + 2   // 2..6
+		mult := int64(multRaw%7) + 1 // 1..7
+		gA := groupings[int(groupRaw)%3]
+		gB := groupings[int(groupRaw/3)%3]
+		iters := int(itersRaw%15) + 5 // 5..19
+		procs := int(procsRaw%7) + 2  // 2..8
+		ref := run(MappingSimple, mod, mult, gA, gB, iters, 0)
+		for _, m := range []Mapping{MappingMulti, MappingMPI, MappingRedis} {
+			got := run(m, mod, mult, gA, gB, iters, procs)
+			if got != ref {
+				t.Logf("mapping %s diverged (mod=%d mult=%d gA=%v gB=%v iters=%d procs=%d):\n got %s\nwant %s",
+					m, mod, mult, gA, gB, iters, procs, got, ref)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: EOS accounting — every instance of every plan expects exactly
 // the EOS tokens its upstream instances will send, for arbitrary process
 // budgets.

@@ -15,11 +15,24 @@ import (
 // eventually drains, so a timeout indicates a lost message.
 const redisPopTimeout = 60 * time.Second
 
+// redisPollInterval is the BLPOP slice workers block for at a time, so an
+// aborted run unblocks within one interval instead of the full timeout.
+const redisPollInterval = 250 * time.Millisecond
+
+// redisParkInterval is how long a parked producer sleeps between LLEN
+// probes of a full destination queue.
+const redisParkInterval = 2 * time.Millisecond
+
 // runRedis enacts the workflow using Redis lists as the transport: one list
 // per PE instance, workers blocking on BLPOP — the work-queue architecture
 // of dispel4py's redis mapping. When Options.RedisAddr is empty an embedded
 // mini Redis server (internal/redisserver) is started for the run, removing
 // the external dependency the paper's deployment needs.
+//
+// Backpressure: Redis lists have no intrinsic bound, so producers park
+// before RPUSH while the destination list holds >= Options.QueueCap
+// entries (LLEN probe + sleep). A shared done channel aborts parked
+// producers and polling consumers the moment any instance fails.
 func runRedis(p *Plan, opts Options, res *Result, stdout io.Writer) error {
 	addr := opts.RedisAddr
 	if addr == "" {
@@ -37,28 +50,51 @@ func runRedis(p *Plan, opts Options, res *Result, stdout io.Writer) error {
 		return fmt.Sprintf("laminar:%s:inst:%s", runID, k)
 	}
 
-	// The injector uses its own connection.
-	injector, err := redisclient.Dial(addr)
-	if err != nil {
-		return err
+	done := make(chan struct{})
+	var abortOnce sync.Once
+	abort := func() { abortOnce.Do(func() { close(done) }) }
+	aborted := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
-	defer injector.Close()
+
 	pushVia := func(c *redisclient.Client) sendFunc {
 		return func(dest InstKey, m message) error {
 			enc, err := encodeMessage(m)
 			if err != nil {
 				return err
 			}
-			_, err = c.RPush(queueName(dest), enc)
+			q := queueName(dest)
+			parked := false
+			for {
+				n, err := c.LLen(q)
+				if err != nil {
+					return err
+				}
+				if n < int64(opts.QueueCap) {
+					break
+				}
+				if !parked {
+					parked = true
+					res.countWait(dest.PE)
+					opts.Metrics.countWait(dest.PE)
+				}
+				if aborted() {
+					return errRunAborted
+				}
+				time.Sleep(redisParkInterval)
+			}
+			_, err = c.RPush(q, enc)
 			return err
 		}
 	}
-	if err := injectInitialInputs(p, opts, pushVia(injector)); err != nil {
-		return err
-	}
 
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(p.Instances))
+	errCh := make(chan error, len(p.Instances)+1)
 	for _, k := range p.Instances {
 		key := k
 		wg.Add(1)
@@ -68,29 +104,52 @@ func runRedis(p *Plan, opts Options, res *Result, stdout io.Writer) error {
 			conn, err := redisclient.Dial(addr)
 			if err != nil {
 				errCh <- err
+				abort()
 				return
 			}
 			defer conn.Close()
 			recv := func() (message, error) {
-				_, payload, err := conn.BLPop(redisPopTimeout, queueName(key))
-				if err == redisclient.ErrNil {
-					return message{}, fmt.Errorf("dataflow: redis mapping: %s timed out waiting for input", key)
+				deadline := time.Now().Add(redisPopTimeout)
+				for {
+					if aborted() {
+						return message{}, errRunAborted
+					}
+					_, payload, err := conn.BLPop(redisPollInterval, queueName(key))
+					if err == redisclient.ErrNil {
+						if time.Now().After(deadline) {
+							return message{}, fmt.Errorf("dataflow: redis mapping: %s timed out waiting for input", key)
+						}
+						continue
+					}
+					if err != nil {
+						return message{}, err
+					}
+					return decodeMessage(payload)
 				}
-				if err != nil {
-					return message{}, err
-				}
-				return decodeMessage(payload)
 			}
 			if err := driveInstance(p, key, opts, res, stdout, recv, pushVia(conn)); err != nil {
 				errCh <- err
+				abort()
 			}
 		}()
 	}
+	// Inject after the workers are live: initial inputs can exceed QueueCap,
+	// and a pre-start injection would park forever with nothing draining.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		injector, err := redisclient.Dial(addr)
+		if err != nil {
+			errCh <- err
+			abort()
+			return
+		}
+		defer injector.Close()
+		if err := injectInitialInputs(p, opts, res, pushVia(injector)); err != nil {
+			errCh <- err
+			abort()
+		}
+	}()
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
-	}
+	return firstRealError(errCh)
 }

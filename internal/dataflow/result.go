@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,23 @@ type Result struct {
 	outputs map[string][]Value
 	// processed counts Process invocations per PE.
 	processed map[string]int64
+	// emitted counts Context.write calls per PE (fan-out copies count once).
+	emitted map[string]int64
+	// processNanos accumulates Process call wall time per PE, feeding the
+	// cost-weighted allocation mode and the flowbench table.
+	processNanos map[string]int64
+	// waits counts sends that parked on a full input queue, per lagging
+	// destination PE (parking backpressure; see docs/dataflow.md).
+	waits map[string]int64
+	// inflightByPE tracks messages currently queued per destination PE, so
+	// the run can settle the shared telemetry gauge when it exits with
+	// messages still in flight (error paths).
+	inflightByPE map[string]int64
+
+	// inflight/highWater track the total number of queued messages across
+	// all instances, atomically: enqueue/dequeue happen on every message.
+	inflight  atomic.Int64
+	highWater atomic.Int64
 
 	// StdoutText is the combined print output of all instances.
 	StdoutText string
@@ -30,7 +48,14 @@ type Result struct {
 }
 
 func newResult() *Result {
-	return &Result{outputs: map[string][]Value{}, processed: map[string]int64{}}
+	return &Result{
+		outputs:      map[string][]Value{},
+		processed:    map[string]int64{},
+		emitted:      map[string]int64{},
+		processNanos: map[string]int64{},
+		waits:        map[string]int64{},
+		inflightByPE: map[string]int64{},
+	}
 }
 
 func (r *Result) sink(peName, port string, v Value) {
@@ -40,10 +65,59 @@ func (r *Result) sink(peName, port string, v Value) {
 	r.outputs[key] = append(r.outputs[key], v)
 }
 
-func (r *Result) countProcessed(peName string) {
+func (r *Result) countProcessed(peName string, d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.processed[peName]++
+	r.processNanos[peName] += d.Nanoseconds()
+}
+
+func (r *Result) countEmitted(peName string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emitted[peName]++
+}
+
+func (r *Result) countWait(peName string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.waits[peName]++
+}
+
+// enqueued/dequeued maintain the in-flight message accounting shared by all
+// four transports: the global high-water mark and the per-PE live depth.
+func (r *Result) enqueued(destPE string) {
+	n := r.inflight.Add(1)
+	for {
+		hw := r.highWater.Load()
+		if n <= hw || r.highWater.CompareAndSwap(hw, n) {
+			break
+		}
+	}
+	r.mu.Lock()
+	r.inflightByPE[destPE]++
+	r.mu.Unlock()
+}
+
+func (r *Result) dequeued(destPE string) {
+	r.inflight.Add(-1)
+	r.mu.Lock()
+	r.inflightByPE[destPE]--
+	r.mu.Unlock()
+}
+
+// settleQueueGauge zeroes this run's leftover contribution to the shared
+// queue-depth gauge. A clean run leaves nothing; an aborted run leaves the
+// messages its dead instances never drained.
+func (r *Result) settleQueueGauge(m *FlowMetrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for pe, n := range r.inflightByPE {
+		if n != 0 {
+			m.queueAdd(pe, float64(-n))
+			r.inflightByPE[pe] = 0
+		}
+	}
 }
 
 // Outputs returns the values emitted on an unconnected port, keyed
@@ -71,6 +145,42 @@ func (r *Result) Processed(peName string) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.processed[peName]
+}
+
+// Emitted returns how many records a PE's instances emitted (each
+// Context.write counts once, regardless of grouping fan-out).
+func (r *Result) Emitted(peName string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.emitted[peName]
+}
+
+// BackpressureWaits returns how many sends parked because the named PE's
+// input queues were full.
+func (r *Result) BackpressureWaits(peName string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.waits[peName]
+}
+
+// QueueHighWater returns the peak number of messages simultaneously queued
+// across all instances during the run. Bounded mappings keep it at or
+// below QueueCap x total instances.
+func (r *Result) QueueHighWater() int64 { return r.highWater.Load() }
+
+// CostProfile returns the measured mean Process seconds per record for
+// every PE that processed at least one record — the weight input for
+// AllocWeighted (Options.PECosts).
+func (r *Result) CostProfile() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.processNanos))
+	for pe, nanos := range r.processNanos {
+		if n := r.processed[pe]; n > 0 {
+			out[pe] = float64(nanos) / float64(n) / float64(time.Second)
+		}
+	}
+	return out
 }
 
 // Summary renders a short human-readable account of the run (the output the

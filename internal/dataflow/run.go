@@ -46,6 +46,44 @@ func normalizeUpper(s string) string {
 	return string(out)
 }
 
+// defaultQueueCap bounds each instance's mailbox when Options.QueueCap is
+// zero. Large enough that well-balanced pipelines never park, small enough
+// that a skewed producer cannot OOM the process.
+const defaultQueueCap = 1024
+
+// AllocMode selects how Run divides the process budget into instances.
+type AllocMode int
+
+const (
+	// AllocEven is the paper's division: sources get one instance, the
+	// remaining budget is split evenly among the other PEs (Fig. 1).
+	AllocEven AllocMode = iota
+	// AllocWeighted divides the non-source budget proportionally to
+	// measured per-PE cost (Options.PECosts, typically a prior run's
+	// Result.CostProfile), so expensive stages get more instances.
+	AllocWeighted
+)
+
+// ParseAllocMode normalizes an allocation-mode name.
+func ParseAllocMode(s string) (AllocMode, error) {
+	switch normalizeUpper(s) {
+	case "", "EVEN":
+		return AllocEven, nil
+	case "WEIGHTED", "COST":
+		return AllocWeighted, nil
+	default:
+		return AllocEven, fmt.Errorf("dataflow: unknown allocation mode %q (want even or weighted)", s)
+	}
+}
+
+// String renders the mode the way ParseAllocMode accepts it.
+func (m AllocMode) String() string {
+	if m == AllocWeighted {
+		return "weighted"
+	}
+	return "even"
+}
+
 // Options configures a workflow run.
 type Options struct {
 	// Mapping selects the enactment engine (default Simple).
@@ -53,7 +91,11 @@ type Options struct {
 	// Iterations is how many times each producer's Process runs (default 1).
 	Iterations int
 	// Processes is the parallel process budget for concrete-workflow
-	// expansion (parallel mappings; default: one per PE).
+	// expansion (parallel mappings; default: one per PE). Negative values
+	// are rejected by Run. The SIMPLE mapping is strictly sequential and
+	// always runs one instance per PE: a positive budget is accepted (the
+	// engine and bench pass one uniformly across mappings) but does not
+	// change the allocation.
 	Processes int
 	// Args are workflow arguments visible through Context.Args.
 	Args map[string]Value
@@ -67,15 +109,40 @@ type Options struct {
 	// RedisAddr points the Redis mapping at a server; empty starts an
 	// embedded mini Redis for the duration of the run.
 	RedisAddr string
+	// QueueCap bounds each instance's input queue (default 1024). Senders
+	// park (block) when a downstream queue is full — see docs/dataflow.md
+	// for the per-mapping semantics. Negative values are rejected; the
+	// SIMPLE mapping is store-and-forward and ignores the cap.
+	QueueCap int
+	// AllocMode selects even (default) or cost-weighted instance division
+	// for the parallel mappings.
+	AllocMode AllocMode
+	// PECosts are per-PE mean process seconds used by AllocWeighted
+	// (typically Result.CostProfile from a prior run). PEs without a
+	// positive cost get the mean of the known costs.
+	PECosts map[string]float64
+	// Metrics, when non-nil, receives live laminar_flow_* telemetry for
+	// the run (see NewFlowMetrics). Nil disables instrumentation.
+	Metrics *FlowMetrics
 }
 
-func (o *Options) normalize() {
+func (o *Options) normalize() error {
 	if o.Mapping == "" {
 		o.Mapping = MappingSimple
 	}
 	if o.Iterations <= 0 {
 		o.Iterations = 1
 	}
+	if o.Processes < 0 {
+		return fmt.Errorf("dataflow: Options.Processes must not be negative (got %d; use 0 for the default budget)", o.Processes)
+	}
+	if o.QueueCap < 0 {
+		return fmt.Errorf("dataflow: Options.QueueCap must not be negative (got %d; use 0 for the default %d)", o.QueueCap, defaultQueueCap)
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = defaultQueueCap
+	}
+	return nil
 }
 
 // Run enacts the workflow graph under the selected mapping and returns the
@@ -83,7 +150,9 @@ func (o *Options) normalize() {
 // the same inputs (property-tested); they differ in parallelism and
 // transport.
 func Run(g *Graph, opts Options) (*Result, error) {
-	opts.normalize()
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,10 +162,15 @@ func Run(g *Graph, opts Options) (*Result, error) {
 	}
 	var plan *Plan
 	var err error
-	if opts.Mapping == MappingSimple {
-		// Simple is strictly sequential: one instance per PE.
+	switch {
+	case opts.Mapping == MappingSimple:
+		// Simple is strictly sequential: one instance per PE. A positive
+		// Processes budget is accepted but does not change the allocation
+		// (see Options.Processes).
 		plan, err = NewPlan(g, 0)
-	} else {
+	case opts.AllocMode == AllocWeighted:
+		plan, err = NewPlanWeighted(g, processes, opts.PECosts)
+	default:
 		plan, err = NewPlan(g, processes)
 	}
 	if err != nil {
@@ -128,6 +202,8 @@ func Run(g *Graph, opts Options) (*Result, error) {
 	}
 	res.Duration = time.Since(start)
 	res.StdoutText = buf.String()
+	opts.Metrics.recordRun(opts.Mapping, err, res.Duration)
+	res.settleQueueGauge(opts.Metrics)
 	if err != nil {
 		return res, err
 	}

@@ -1,0 +1,366 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// rootReader is a root PE with an input port (the injection pattern) whose
+// grouping is configurable, for exercising initialInputMessages routing.
+func rootReader(g Grouping) *FuncPE {
+	return &FuncPE{
+		name:    "Reader",
+		inputs:  []Port{{Name: DefaultInput, Grouping: g}},
+		outputs: []string{DefaultOutput},
+		factory: func() (Instance, error) {
+			return &funcInstance{process: func(ctx *Context, input map[string]Value) error {
+				return ctx.Write(DefaultOutput, input[DefaultInput])
+			}}, nil
+		},
+	}
+}
+
+// readerPlan builds a plan whose Reader root has the given instance count;
+// injection routing is the only alloc>1 root case, so the plan is built
+// directly rather than through Allocate (which pins roots to one instance).
+func readerPlan(t *testing.T, g Grouping, instances int) *Plan {
+	t.Helper()
+	graph := NewGraph("inject")
+	if err := graph.Add(rootReader(g)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := newPlanWithAlloc(graph, map[string]int{"Reader": instances})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func injectRecords(n int) []map[string]Value {
+	recs := make([]map[string]Value, n)
+	for i := range recs {
+		recs[i] = map[string]Value{DefaultInput: []any{int64(i % 3), int64(i)}}
+	}
+	return recs
+}
+
+func TestInitialInputMessagesRoundRobinSpread(t *testing.T) {
+	p := readerPlan(t, Grouping{}, 3)
+	routed := initialInputMessages(p, "Reader", injectRecords(9))
+	if len(routed) != 3 {
+		t.Fatalf("round-robin reached %d instances, want 3: %v", len(routed), routed)
+	}
+	for i := 0; i < 3; i++ {
+		k := InstKey{PE: "Reader", Index: i}
+		if len(routed[k]) != 3 {
+			t.Errorf("instance %d got %d records, want 3 (round-robin spread)", i, len(routed[k]))
+		}
+	}
+}
+
+func TestInitialInputMessagesGroupAllFansOut(t *testing.T) {
+	p := readerPlan(t, Grouping{Kind: GroupAll}, 4)
+	routed := initialInputMessages(p, "Reader", injectRecords(5))
+	if len(routed) != 4 {
+		t.Fatalf("broadcast reached %d instances, want 4", len(routed))
+	}
+	for i := 0; i < 4; i++ {
+		k := InstKey{PE: "Reader", Index: i}
+		if len(routed[k]) != 5 {
+			t.Errorf("instance %d got %d records, want all 5 (GroupAll)", i, len(routed[k]))
+		}
+	}
+}
+
+func TestInitialInputMessagesGroupByKeyStability(t *testing.T) {
+	p := readerPlan(t, Grouping{Kind: GroupByKey, Keys: []int{0}}, 4)
+	recs := injectRecords(30)
+	first := initialInputMessages(p, "Reader", recs)
+	// Same key → same instance, and re-routing the same records is
+	// deterministic.
+	keyHome := map[int64]int{}
+	total := 0
+	for k, msgs := range first {
+		total += len(msgs)
+		for _, m := range msgs {
+			key := m.Value.([]any)[0].(int64)
+			if home, seen := keyHome[key]; seen && home != k.Index {
+				t.Errorf("key %d routed to both instance %d and %d", key, home, k.Index)
+			}
+			keyHome[key] = k.Index
+		}
+	}
+	if total != 30 {
+		t.Fatalf("routed %d records, want 30", total)
+	}
+	second := initialInputMessages(p, "Reader", recs)
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Error("GroupByKey routing is not stable across calls")
+	}
+}
+
+func TestInitialInputMessagesZeroAlloc(t *testing.T) {
+	p := readerPlan(t, Grouping{}, 1)
+	if routed := initialInputMessages(p, "NoSuchPE", injectRecords(3)); len(routed) != 0 {
+		t.Errorf("unknown PE routed %v, want nothing", routed)
+	}
+}
+
+func TestIsSourceAndNeedsInjection(t *testing.T) {
+	prod := Producer("Prod", func(ctx *Context) (Value, error) { return int64(1), nil })
+	mid := Iterative("Mid", func(ctx *Context, v Value) (Value, error) { return v, nil })
+	g := NewGraph("edges")
+	if err := g.Connect(prod, DefaultOutput, mid, DefaultInput); err != nil {
+		t.Fatal(err)
+	}
+	if !isSource(prod) {
+		t.Error("producer with no inputs must be a source")
+	}
+	if isSource(mid) {
+		t.Error("PE with an input port must not be a source")
+	}
+	if needsInjection(g, prod) {
+		t.Error("pure producers never take injected inputs")
+	}
+	if needsInjection(g, mid) {
+		t.Error("a fed PE must not take injected inputs")
+	}
+
+	// A root with an input port and no incoming edge is the injection case.
+	lone := NewGraph("lone")
+	reader := rootReader(Grouping{})
+	if err := lone.Add(reader); err != nil {
+		t.Fatal(err)
+	}
+	if isSource(reader) {
+		t.Error("reader has inputs, must not be a source")
+	}
+	if !needsInjection(lone, reader) {
+		t.Error("unfed root with input ports must take injected inputs")
+	}
+}
+
+// TestParseSpellings pins the exact flag spellings the CLI and HTTP layer
+// accept for mappings and allocation modes.
+func TestParseSpellings(t *testing.T) {
+	mappingCases := []struct {
+		in   string
+		want Mapping
+		ok   bool
+	}{
+		{"", MappingSimple, true},
+		{"simple", MappingSimple, true},
+		{"SIMPLE", MappingSimple, true},
+		{"Simple", MappingSimple, true},
+		{"multi", MappingMulti, true},
+		{"MULTI", MappingMulti, true},
+		{"mpi", MappingMPI, true},
+		{"MPI", MappingMPI, true},
+		{"redis", MappingRedis, true},
+		{"REDIS", MappingRedis, true},
+		{"spark", "", false},
+		{"MULTI ", "", false}, // whitespace is not trimmed
+	}
+	for _, c := range mappingCases {
+		got, err := ParseMapping(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseMapping(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseMapping(%q) accepted, want error", c.in)
+		}
+	}
+
+	allocCases := []struct {
+		in   string
+		want AllocMode
+		ok   bool
+	}{
+		{"", AllocEven, true},
+		{"even", AllocEven, true},
+		{"EVEN", AllocEven, true},
+		{"Even", AllocEven, true},
+		{"weighted", AllocWeighted, true},
+		{"WEIGHTED", AllocWeighted, true},
+		{"cost", AllocWeighted, true},
+		{"COST", AllocWeighted, true},
+		{"fair", AllocEven, false},
+		{"weighted ", AllocEven, false},
+	}
+	for _, c := range allocCases {
+		got, err := ParseAllocMode(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseAllocMode(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseAllocMode(%q) accepted, want error", c.in)
+		}
+	}
+	if AllocEven.String() != "even" || AllocWeighted.String() != "weighted" {
+		t.Errorf("AllocMode.String() = %q/%q", AllocEven.String(), AllocWeighted.String())
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		wantErr string
+		check   func(t *testing.T, o Options)
+	}{
+		{
+			name: "defaults",
+			opts: Options{},
+			check: func(t *testing.T, o Options) {
+				if o.Mapping != MappingSimple || o.Iterations != 1 || o.QueueCap != defaultQueueCap {
+					t.Errorf("defaults = %+v", o)
+				}
+			},
+		},
+		{
+			name:    "negative processes rejected",
+			opts:    Options{Processes: -1},
+			wantErr: "Processes",
+		},
+		{
+			name:    "negative queue cap rejected",
+			opts:    Options{QueueCap: -5},
+			wantErr: "QueueCap",
+		},
+		{
+			name: "explicit queue cap kept",
+			opts: Options{QueueCap: 7},
+			check: func(t *testing.T, o Options) {
+				if o.QueueCap != 7 {
+					t.Errorf("QueueCap = %d, want 7", o.QueueCap)
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := c.opts
+			err := o.normalize()
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("normalize() err = %v, want mention of %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.check(t, o)
+		})
+	}
+
+	// The same validations must surface from Run itself.
+	g := numbersGraph(t)
+	if _, err := Run(g, Options{Processes: -2}); err == nil || !strings.Contains(err.Error(), "Processes") {
+		t.Errorf("Run with negative Processes: err = %v", err)
+	}
+	if _, err := Run(g, Options{QueueCap: -1}); err == nil || !strings.Contains(err.Error(), "QueueCap") {
+		t.Errorf("Run with negative QueueCap: err = %v", err)
+	}
+}
+
+// TestSimpleAcceptsButIgnoresProcessBudget pins the documented contract:
+// the engine and bench pass one budget uniformly across mappings, so
+// SIMPLE must accept Processes > 0 — and still run one instance per PE.
+func TestSimpleAcceptsButIgnoresProcessBudget(t *testing.T) {
+	g := numbersGraph(t)
+	res, err := Run(g, Options{Mapping: MappingSimple, Iterations: 10, Processes: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, n := range res.Alloc {
+		if n != 1 {
+			t.Errorf("SIMPLE allocated %d instances to %s, want 1", n, pe)
+		}
+	}
+}
+
+func TestAllocateWeightedFavorsExpensiveStages(t *testing.T) {
+	g := numbersGraph(t) // NumberProducer -> IsPrime -> PrintPrime
+	alloc, err := AllocateWeighted(g, 9, map[string]float64{
+		"IsPrime":    0.9,
+		"PrintPrime": 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range alloc {
+		total += n
+	}
+	if total != 9 {
+		t.Errorf("allocated %d instances, want the full budget 9 (%v)", total, alloc)
+	}
+	if alloc["NumberProducer"] != 1 {
+		t.Errorf("root got %d instances, want exactly 1", alloc["NumberProducer"])
+	}
+	if alloc["IsPrime"] <= alloc["PrintPrime"] {
+		t.Errorf("hot stage not favored: %v", alloc)
+	}
+	if alloc["PrintPrime"] < 1 {
+		t.Errorf("cheap stage starved below the 1-instance floor: %v", alloc)
+	}
+}
+
+func TestAllocateWeightedWithoutCostsMatchesEven(t *testing.T) {
+	g := numbersGraph(t)
+	for _, procs := range []int{3, 5, 8, 11} {
+		even, err := Allocate(g, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weighted, err := AllocateWeighted(g, procs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(even) != fmt.Sprint(weighted) {
+			t.Errorf("procs=%d: weighted without costs %v, even %v", procs, weighted, even)
+		}
+	}
+}
+
+func TestAllocateWeightedUnknownCostGetsMeanWeight(t *testing.T) {
+	// Only IsPrime has a measurement; PrintPrime defaults to the mean of
+	// the known costs — i.e. the same weight — so the split stays even.
+	g := numbersGraph(t)
+	even, err := Allocate(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := AllocateWeighted(g, 7, map[string]float64{"IsPrime": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(even) != fmt.Sprint(weighted) {
+		t.Errorf("single known cost should degrade to even: %v vs %v", weighted, even)
+	}
+}
+
+func TestRunWeightedAllocMode(t *testing.T) {
+	// End to end: a weighted run with a skewed profile shifts instances to
+	// the hot stage and still produces the right answers.
+	g := numbersGraph(t)
+	res, err := Run(g, Options{
+		Mapping:    MappingMulti,
+		Iterations: 30,
+		Processes:  9,
+		AllocMode:  AllocWeighted,
+		PECosts:    map[string]float64{"IsPrime": 0.9, "PrintPrime": 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alloc["IsPrime"] <= res.Alloc["PrintPrime"] {
+		t.Errorf("weighted run did not favor the hot stage: %v", res.Alloc)
+	}
+	got := collectInt64s(res, "PrintPrime.output")
+	if fmt.Sprint(got) != fmt.Sprint(primesTo30) {
+		t.Errorf("weighted run outputs = %v, want %v", got, primesTo30)
+	}
+}

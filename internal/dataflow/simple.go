@@ -9,7 +9,10 @@ import (
 // has exactly one instance; PEs are drained in topological order, so all of
 // a PE's input is available before it runs. This reproduces dispel4py's
 // Simple mapping semantics (and its lack of pipeline overlap, which is what
-// Table 5's Simple column measures).
+// Table 5's Simple column measures). Queues are store-and-forward by
+// construction — each PE's entire input materializes before it runs — so
+// Options.QueueCap does not apply here (a bound would deadlock a strictly
+// sequential drain); the parallel mappings enforce it.
 func runSimple(p *Plan, opts Options, res *Result, stdout io.Writer) error {
 	topo, err := p.Graph.TopoOrder()
 	if err != nil {
@@ -21,7 +24,7 @@ func runSimple(p *Plan, opts Options, res *Result, stdout io.Writer) error {
 		queues[dest] = append(queues[dest], m)
 		return nil
 	}
-	if err := injectInitialInputs(p, opts, send); err != nil {
+	if err := injectInitialInputs(p, opts, res, send); err != nil {
 		return err
 	}
 	for _, name := range topo {

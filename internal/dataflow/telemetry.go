@@ -1,0 +1,139 @@
+package dataflow
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"laminar/internal/telemetry"
+)
+
+// Label-cardinality caps. PE names come from user workflows, so the `pe`
+// label is bounded the same way the HTTP middleware bounds routes: the
+// first flowMaxPELabels distinct names get their own series, everything
+// after collapses into "other". Instance indices are bounded by the
+// process budget, which is operator-configured, but are capped anyway so
+// a pathological budget cannot explode the histogram family.
+const (
+	flowMaxPELabels   = 64
+	flowMaxInstLabels = 32
+	flowOtherLabel    = "other"
+)
+
+// FlowMetrics is the dataflow engine's view into the telemetry registry:
+// the laminar_flow_* families documented in docs/operations.md. A nil
+// *FlowMetrics is valid and records nothing, so the engine can run
+// un-instrumented (tests, one-shot CLI runs) with zero branches in
+// callers.
+type FlowMetrics struct {
+	runs           *telemetry.CounterVec   // {mapping,status}
+	runSeconds     *telemetry.HistogramVec // {mapping}
+	emitted        *telemetry.CounterVec   // {pe}
+	processed      *telemetry.CounterVec   // {pe}
+	processSeconds *telemetry.HistogramVec // {pe,instance}
+	queueDepth     *telemetry.GaugeVec     // {pe}
+	waits          *telemetry.CounterVec   // {pe}
+
+	mu       sync.Mutex
+	peLabels map[string]string
+}
+
+// NewFlowMetrics registers the laminar_flow_* families on the registry.
+// Families are registered eagerly (even before any run) so /metrics
+// advertises their HELP/TYPE headers from server startup, keeping the
+// runbook's bidirectional name sync honest.
+func NewFlowMetrics(t *telemetry.Registry) *FlowMetrics {
+	if t == nil {
+		return nil
+	}
+	return &FlowMetrics{
+		runs: t.CounterVec("laminar_flow_runs_total",
+			"Workflow enactments by mapping and outcome.", "mapping", "status"),
+		runSeconds: t.HistogramVec("laminar_flow_run_seconds",
+			"Wall-clock workflow enactment time by mapping.",
+			telemetry.LatencyBuckets(), "mapping"),
+		emitted: t.CounterVec("laminar_flow_emitted_total",
+			"Records emitted by PE instances, per PE.", "pe"),
+		processed: t.CounterVec("laminar_flow_processed_total",
+			"Process invocations completed, per PE.", "pe"),
+		processSeconds: t.HistogramVec("laminar_flow_process_seconds",
+			"Per-instance Process call latency.",
+			telemetry.LatencyBuckets(), "pe", "instance"),
+		queueDepth: t.GaugeVec("laminar_flow_queue_depth",
+			"Messages currently queued for a PE's instances (all mappings).", "pe"),
+		waits: t.CounterVec("laminar_flow_backpressure_waits_total",
+			"Sends that parked on a full input queue, per lagging destination PE.", "pe"),
+		peLabels: map[string]string{},
+	}
+}
+
+// peLabel maps a PE name to its bounded label value.
+func (m *FlowMetrics) peLabel(name string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l, ok := m.peLabels[name]; ok {
+		return l
+	}
+	l := name
+	if len(m.peLabels) >= flowMaxPELabels {
+		l = flowOtherLabel
+	}
+	m.peLabels[name] = l
+	return l
+}
+
+func instLabel(index int) string {
+	if index >= flowMaxInstLabels {
+		return flowOtherLabel
+	}
+	return strconv.Itoa(index)
+}
+
+func (m *FlowMetrics) recordRun(mapping Mapping, err error, d time.Duration) {
+	if m == nil {
+		return
+	}
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	m.runs.With(string(mapping), status).Inc()
+	m.runSeconds.With(string(mapping)).Observe(d.Seconds())
+}
+
+func (m *FlowMetrics) countEmitted(pe string) {
+	if m == nil {
+		return
+	}
+	m.emitted.With(m.peLabel(pe)).Inc()
+}
+
+func (m *FlowMetrics) countProcessed(pe string) {
+	if m == nil {
+		return
+	}
+	m.processed.With(m.peLabel(pe)).Inc()
+}
+
+// processHist resolves the per-instance latency histogram child once, so
+// the per-record cost in driveInstance stays a plain Observe.
+func (m *FlowMetrics) processHist(key InstKey) *telemetry.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.processSeconds.With(m.peLabel(key.PE), instLabel(key.Index))
+}
+
+func (m *FlowMetrics) queueAdd(pe string, delta float64) {
+	if m == nil {
+		return
+	}
+	m.queueDepth.With(m.peLabel(pe)).Add(delta)
+}
+
+func (m *FlowMetrics) countWait(pe string) {
+	if m == nil {
+		return
+	}
+	m.waits.With(m.peLabel(pe)).Inc()
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"laminar/internal/codec"
@@ -22,6 +23,7 @@ import (
 	"laminar/internal/pycode"
 	"laminar/internal/pylib"
 	"laminar/internal/pype"
+	"laminar/internal/telemetry"
 )
 
 // Config tunes an engine instance.
@@ -38,12 +40,29 @@ type Config struct {
 	MaxSteps int64
 	// WorkDir hosts staged resources; empty uses a temp directory per run.
 	WorkDir string
+	// FlowQueueCap bounds each PE instance's input queue during enactment
+	// (0 = the dataflow default); see dataflow.Options.QueueCap.
+	FlowQueueCap int
+	// FlowAlloc selects the default instance-division mode for parallel
+	// mappings (dataflow.AllocEven or AllocWeighted). Weighted division
+	// uses per-PE costs the engine learns from prior runs' telemetry; a
+	// request can override it with args.alloc.
+	FlowAlloc dataflow.AllocMode
 }
 
 // Engine executes serverless requests.
 type Engine struct {
 	cfg Config
 	env *pylib.Env
+	// flow carries the laminar_flow_* telemetry families once SetTelemetry
+	// wires a registry; nil runs un-instrumented.
+	flow *dataflow.FlowMetrics
+
+	// peCosts is the engine's memory of measured per-PE process cost
+	// (seconds per record, EWMA across runs), the input to cost-weighted
+	// allocation for subsequent enactments.
+	costMu  sync.Mutex
+	peCosts map[string]float64
 }
 
 // New creates an engine with a fresh library environment.
@@ -53,11 +72,51 @@ func New(cfg Config) *Engine {
 	}
 	env := pylib.NewEnv()
 	env.InstallDelayScale = cfg.InstallDelayScale
-	return &Engine{cfg: cfg, env: env}
+	return &Engine{cfg: cfg, env: env, peCosts: map[string]float64{}}
 }
 
 // Env exposes the engine's library environment (for inspection and tests).
 func (e *Engine) Env() *pylib.Env { return e.env }
+
+// SetTelemetry registers the laminar_flow_* metric families on t and routes
+// enactment telemetry there. Call once at wiring time, before traffic.
+func (e *Engine) SetTelemetry(t *telemetry.Registry) {
+	e.flow = dataflow.NewFlowMetrics(t)
+}
+
+// Instrumented reports whether SetTelemetry has wired a registry.
+func (e *Engine) Instrumented() bool { return e.flow != nil }
+
+// costEWMAAlpha weighs the newest run's measurement against the engine's
+// remembered per-PE cost.
+const costEWMAAlpha = 0.5
+
+// learnCosts folds a run's measured cost profile into the engine's memory.
+func (e *Engine) learnCosts(profile map[string]float64) {
+	if len(profile) == 0 {
+		return
+	}
+	e.costMu.Lock()
+	defer e.costMu.Unlock()
+	for pe, c := range profile {
+		if old, ok := e.peCosts[pe]; ok {
+			e.peCosts[pe] = old*(1-costEWMAAlpha) + c*costEWMAAlpha
+		} else {
+			e.peCosts[pe] = c
+		}
+	}
+}
+
+// CostSnapshot returns a copy of the engine's learned per-PE costs.
+func (e *Engine) CostSnapshot() map[string]float64 {
+	e.costMu.Lock()
+	defer e.costMu.Unlock()
+	out := make(map[string]float64, len(e.peCosts))
+	for pe, c := range e.peCosts {
+		out[pe] = c
+	}
+	return out
+}
 
 // Execute runs one serverless request end to end.
 func (e *Engine) Execute(req core.ExecutionRequest) (*core.ExecutionResponse, error) {
@@ -118,6 +177,9 @@ func (e *Engine) Execute(req core.ExecutionRequest) (*core.ExecutionResponse, er
 	if err != nil {
 		return nil, core.ErrExecution("enactment failed: %v", err)
 	}
+	// Remember what each PE cost, so the next weighted-allocation run
+	// divides instances by measured load instead of evenly.
+	e.learnCosts(result.CostProfile())
 
 	resp := &core.ExecutionResponse{
 		Output:             result.StdoutText,
@@ -139,7 +201,13 @@ func (e *Engine) runOptions(req core.ExecutionRequest, build *pype.BuildResult) 
 	if err != nil {
 		return dataflow.Options{}, core.ErrBadRequest("process", "%v", err)
 	}
-	opts := dataflow.Options{Mapping: mapping, Args: req.Args}
+	opts := dataflow.Options{
+		Mapping:   mapping,
+		Args:      req.Args,
+		Metrics:   e.flow,
+		QueueCap:  e.cfg.FlowQueueCap,
+		AllocMode: e.cfg.FlowAlloc,
+	}
 	if req.Args != nil {
 		if n, ok := req.Args["num"]; ok {
 			switch v := n.(type) {
@@ -153,6 +221,20 @@ func (e *Engine) runOptions(req core.ExecutionRequest, build *pype.BuildResult) 
 				return dataflow.Options{}, core.ErrBadRequest("args.num", "process count must be a number, got %T", n)
 			}
 		}
+		if a, ok := req.Args["alloc"]; ok {
+			s, ok := a.(string)
+			if !ok {
+				return dataflow.Options{}, core.ErrBadRequest("args.alloc", "allocation mode must be a string, got %T", a)
+			}
+			mode, err := dataflow.ParseAllocMode(s)
+			if err != nil {
+				return dataflow.Options{}, core.ErrBadRequest("args.alloc", "%v", err)
+			}
+			opts.AllocMode = mode
+		}
+	}
+	if opts.AllocMode == dataflow.AllocWeighted {
+		opts.PECosts = e.CostSnapshot()
 	}
 	switch in := req.Input.(type) {
 	case nil:
@@ -238,6 +320,35 @@ func (e *Engine) stageResources(resources map[string]string) (string, func(), er
 		}
 	}
 	return dir, cleanup, nil
+}
+
+// LintWorkflow statically checks a registered workflow's code for
+// structural defects (dataflow.Graph.Lint), the registration-time gate of
+// ROADMAP item 4. The policy is build-then-lint:
+//
+//   - Code that is not a Laminar workflow envelope (legacy opaque blobs,
+//     PE envelopes) is not lintable: (nil, nil) — it registers as before.
+//   - A workflow envelope that decodes but does not build is itself the
+//     defect: the error names why.
+//   - A buildable workflow must pass Lint; issues come back for the server
+//     to reject with a named defect (HTTP 400).
+//
+// Building executes only module-level graph-construction code under the
+// engine's science modules and step bound, exactly as Execute would.
+func (e *Engine) LintWorkflow(encoded string) ([]dataflow.LintIssue, error) {
+	env, err := codec.Decode(encoded)
+	if err != nil || env.Kind != codec.KindWorkflow {
+		return nil, nil
+	}
+	build, err := pype.BuildWorkflow(env.Source, pype.Options{
+		Stdout:   &bytes.Buffer{},
+		Modules:  ScienceModules(e.cfg.VOBaseURL, e.cfg.HTTPTimeout),
+		MaxSteps: e.cfg.MaxSteps,
+	})
+	if err != nil {
+		return nil, core.ErrBadRequest("workflowCode", "workflow does not build: %v", err)
+	}
+	return build.Graph.Lint(0), nil
 }
 
 // DescribeWorkflow parses an envelope and renders the concrete-workflow

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"laminar/internal/core"
+	"laminar/internal/dataflow"
+	"laminar/internal/telemetry"
+)
+
+const pipelineSource = `
+class Numbers(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return 3
+
+class Triple(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, v):
+        return v * 3
+
+n = Numbers()
+t = Triple()
+graph = WorkflowGraph()
+graph.connect(n, 'output', t, 'input')
+`
+
+func TestExecuteLearnsCostsAcrossRuns(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+	if len(e.CostSnapshot()) != 0 {
+		t.Fatalf("fresh engine already has costs: %v", e.CostSnapshot())
+	}
+	if _, err := e.Execute(core.ExecutionRequest{
+		WorkflowCode: encodeWF(t, pipelineSource), Input: 5, Process: "MULTI",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	costs := e.CostSnapshot()
+	if costs["Numbers"] <= 0 || costs["Triple"] <= 0 {
+		t.Errorf("engine did not learn per-PE costs: %v", costs)
+	}
+}
+
+func TestExecuteAllocArg(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+	// Warm the cost profile, then request the weighted division explicitly.
+	if _, err := e.Execute(core.ExecutionRequest{
+		WorkflowCode: encodeWF(t, pipelineSource), Input: 5, Process: "MULTI",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.Execute(core.ExecutionRequest{
+		WorkflowCode: encodeWF(t, pipelineSource), Input: 5, Process: "MULTI",
+		Args: map[string]any{"alloc": "weighted", "num": 4},
+	})
+	if err != nil {
+		t.Fatalf("weighted run: %v", err)
+	}
+	if resp.Summary == "" {
+		t.Error("weighted run returned no summary")
+	}
+
+	// A non-string alloc argument is a client error, not a crash.
+	_, err = e.Execute(core.ExecutionRequest{
+		WorkflowCode: encodeWF(t, pipelineSource), Input: 2,
+		Args: map[string]any{"alloc": 5},
+	})
+	if err == nil || !strings.Contains(err.Error(), "alloc") {
+		t.Errorf("numeric alloc arg: err = %v, want a bad-request naming alloc", err)
+	}
+	// So is an unknown mode name.
+	_, err = e.Execute(core.ExecutionRequest{
+		WorkflowCode: encodeWF(t, pipelineSource), Input: 2,
+		Args: map[string]any{"alloc": "fair"},
+	})
+	if err == nil {
+		t.Error("unknown alloc mode accepted")
+	}
+}
+
+func TestLintWorkflowClassification(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+
+	// Not a decodable envelope: not lintable, no error (legacy blobs).
+	issues, err := e.LintWorkflow("WF-legacyOpaqueBlob")
+	if err != nil || issues != nil {
+		t.Errorf("opaque blob: issues=%v err=%v, want nil/nil", issues, err)
+	}
+
+	// Decodable but unbuildable: a client error naming the build failure.
+	_, err = e.LintWorkflow(encodeWF(t, "graph = connect(,,,\n"))
+	if err == nil || !strings.Contains(err.Error(), "does not build") {
+		t.Errorf("unbuildable source: err = %v", err)
+	}
+
+	// Buildable and clean: no issues.
+	issues, err = e.LintWorkflow(encodeWF(t, pipelineSource))
+	if err != nil || len(issues) != 0 {
+		t.Errorf("clean workflow: issues=%v err=%v", issues, err)
+	}
+
+	// Buildable with a cycle: the defect is named.
+	cyclic := `
+class A(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, v):
+        return v
+
+class B(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, v):
+        return v
+
+a = A()
+b = B()
+graph = WorkflowGraph()
+graph.connect(a, 'output', b, 'input')
+graph.connect(b, 'output', a, 'input')
+`
+	issues, err = e.LintWorkflow(encodeWF(t, cyclic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, i := range issues {
+		if i.Rule == dataflow.LintCycle {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cyclic workflow lint = %v, want a %s issue", issues, dataflow.LintCycle)
+	}
+}
+
+func TestSetTelemetryInstrumentsRuns(t *testing.T) {
+	e := New(Config{InstallDelayScale: 0})
+	if e.Instrumented() {
+		t.Fatal("fresh engine claims instrumentation")
+	}
+	reg := telemetry.NewRegistry()
+	e.SetTelemetry(reg)
+	if !e.Instrumented() {
+		t.Fatal("SetTelemetry did not instrument the engine")
+	}
+	if _, err := e.Execute(core.ExecutionRequest{
+		WorkflowCode: encodeWF(t, pipelineSource), Input: 3, Process: "MULTI",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `laminar_flow_runs_total{mapping="MULTI",status="ok"} 1`) {
+		t.Errorf("instrumented run not visible in telemetry:\n%s", sb.String())
+	}
+}

@@ -36,11 +36,37 @@ type World struct {
 	cond    *sync.Cond
 	queues  [][]Message // per-destination mailbox
 	aborted bool
+	// queueCap bounds each mailbox (0 = unbounded). Senders block while a
+	// destination mailbox is full, like MPI's synchronous-mode send under
+	// receiver pressure.
+	queueCap int
+	// onBlocked, when set, is called once per Send that has to wait for
+	// mailbox space (telemetry hook; called without the world lock held).
+	onBlocked func(dest int)
 
 	barrierMu    sync.Mutex
 	barrierCond  *sync.Cond
 	barrierCount int
 	barrierGen   int
+}
+
+// SetQueueCap bounds every rank's mailbox to cap messages (0 restores the
+// unbounded default). Must be called before Run starts the ranks.
+func (w *World) SetQueueCap(cap int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if cap < 0 {
+		cap = 0
+	}
+	w.queueCap = cap
+}
+
+// SetBlockedHook installs fn, called once per Send that parks on a full
+// mailbox. Must be called before Run starts the ranks.
+func (w *World) SetBlockedHook(fn func(dest int)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onBlocked = fn
 }
 
 // NewWorld creates a world with the given number of ranks.
@@ -89,13 +115,28 @@ func (w *World) CommForRank(rank int) (*Comm, error) {
 }
 
 // Send delivers data to dest with a tag. Sends are buffered (asynchronous),
-// matching MPI's standard-mode send for small messages.
+// matching MPI's standard-mode send for small messages — unless the world
+// has a queue cap, in which case a send to a full mailbox blocks until the
+// receiver drains (or the world aborts).
 func (c *Comm) Send(dest, tag int, data any) error {
 	w := c.world
 	if dest < 0 || dest >= w.size {
 		return fmt.Errorf("mpi: send to invalid rank %d", dest)
 	}
 	w.mu.Lock()
+	blocked := false
+	for w.queueCap > 0 && len(w.queues[dest]) >= w.queueCap && !w.aborted {
+		if !blocked {
+			blocked = true
+			if hook := w.onBlocked; hook != nil {
+				w.mu.Unlock()
+				hook(dest)
+				w.mu.Lock()
+				continue
+			}
+		}
+		w.cond.Wait()
+	}
 	defer w.mu.Unlock()
 	if w.aborted {
 		return ErrAborted
@@ -120,6 +161,8 @@ func (c *Comm) Recv(source, tag int) (Message, error) {
 		for i, m := range q {
 			if (source == AnySource || m.Source == source) && (tag == AnyTag || m.Tag == tag) {
 				w.queues[c.rank] = append(append([]Message(nil), q[:i]...), q[i+1:]...)
+				// Freed mailbox space: wake senders parked on the cap.
+				w.cond.Broadcast()
 				return m, nil
 			}
 		}

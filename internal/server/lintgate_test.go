@@ -1,0 +1,157 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"laminar/internal/codec"
+	"laminar/internal/core"
+)
+
+// The registration-time graph lint: workflows whose dataflow cannot enact
+// are refused with HTTP 400 naming the defect, while legacy opaque
+// workflow blobs (not decodable envelopes) keep registering as before.
+
+func encodeWorkflow(t *testing.T, source string) string {
+	t.Helper()
+	enc, err := codec.Encode(codec.Envelope{Kind: codec.KindWorkflow, Name: "wf", Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+const cyclicWorkflowSource = `
+class Forward(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, v):
+        return v
+
+class Backward(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, v):
+        return v
+
+a = Forward()
+b = Backward()
+graph = WorkflowGraph()
+graph.connect(a, 'output', b, 'input')
+graph.connect(b, 'output', a, 'input')
+`
+
+const twoRootsWorkflowSource = `
+class P1(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return 1
+
+class P2(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return 2
+
+class Join(GenericPE):
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input('a')
+        self._add_input('b')
+    def _process(self, inputs):
+        return None
+
+p1 = P1()
+p2 = P2()
+j = Join()
+graph = WorkflowGraph()
+graph.connect(p1, 'output', j, 'a')
+graph.connect(p2, 'output', j, 'b')
+`
+
+func TestWorkflowRegistrationRejectsCyclicGraph(t *testing.T) {
+	addr := startServer(t)
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/workflow/add", core.AddWorkflowRequest{
+		WorkflowName: "Cyclic", EntryPoint: "cyclic", WorkflowCode: encodeWorkflow(t, cyclicWorkflowSource),
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("cyclic workflow: status %d (%s), want 400", code, raw)
+	}
+	if !strings.Contains(raw, "cycle") {
+		t.Errorf("400 body does not name the cycle defect: %s", raw)
+	}
+	if !strings.Contains(raw, "BadRequestError") {
+		t.Errorf("400 body is not the standard error shape: %s", raw)
+	}
+}
+
+func TestWorkflowRegistrationRejectsMultipleRoots(t *testing.T) {
+	addr := startServer(t)
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/workflow/add", core.AddWorkflowRequest{
+		WorkflowName: "TwoRoots", EntryPoint: "tworoots", WorkflowCode: encodeWorkflow(t, twoRootsWorkflowSource),
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("two-root workflow: status %d (%s), want 400", code, raw)
+	}
+	if !strings.Contains(raw, "multiple-roots") {
+		t.Errorf("400 body does not name the multiple-roots defect: %s", raw)
+	}
+}
+
+func TestWorkflowRegistrationRejectsUnbuildableSource(t *testing.T) {
+	addr := startServer(t)
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/workflow/add", core.AddWorkflowRequest{
+		WorkflowName: "Broken", EntryPoint: "broken",
+		WorkflowCode: encodeWorkflow(t, "graph = connect(,,,\n"),
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unbuildable workflow: status %d (%s), want 400", code, raw)
+	}
+	if !strings.Contains(raw, "does not build") {
+		t.Errorf("400 body does not explain the build failure: %s", raw)
+	}
+}
+
+func TestWorkflowRegistrationKeepsAcceptingOpaqueBlobs(t *testing.T) {
+	// Pre-codec registrations stored opaque strings in WorkflowCode; the
+	// lint gate must not break them.
+	addr := startServer(t)
+	var wf core.WorkflowRecord
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/workflow/add", core.AddWorkflowRequest{
+		WorkflowName: "Legacy", EntryPoint: "legacy", WorkflowCode: "WF-legacyOpaqueBlob",
+	}, &wf)
+	if code != http.StatusCreated {
+		t.Fatalf("opaque workflow blob: status %d (%s), want 201", code, raw)
+	}
+}
+
+func TestWorkflowRegistrationAcceptsCleanGraph(t *testing.T) {
+	addr := startServer(t)
+	clean := `
+class Producer(ProducerPE):
+    def __init__(self):
+        ProducerPE.__init__(self)
+    def _process(self):
+        return 1
+
+class Echo(IterativePE):
+    def __init__(self):
+        IterativePE.__init__(self)
+    def _process(self, v):
+        return v
+
+p = Producer()
+e = Echo()
+graph = WorkflowGraph()
+graph.connect(p, 'output', e, 'input')
+`
+	var wf core.WorkflowRecord
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/workflow/add", core.AddWorkflowRequest{
+		WorkflowName: "Clean", EntryPoint: "clean", WorkflowCode: encodeWorkflow(t, clean),
+	}, &wf)
+	if code != http.StatusCreated {
+		t.Fatalf("clean workflow: status %d (%s), want 201", code, raw)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"laminar/internal/core"
+	"laminar/internal/dataflow"
 	"laminar/internal/embed"
 	"laminar/internal/engine"
 	"laminar/internal/registry"
@@ -93,6 +94,12 @@ func New(cfg Config) *Server {
 	// façade does, so its startup Load is counted) keeps its wiring.
 	if !s.reg.Instrumented() {
 		s.reg.SetTelemetry(s.telem)
+	}
+	// The execution engine's laminar_flow_* families register here too, at
+	// startup, so /metrics advertises them (and the runbook sync holds)
+	// before the first workflow runs.
+	if !s.eng.Instrumented() {
+		s.eng.SetTelemetry(s.telem)
 	}
 	// Process-health gauges, evaluated at scrape time so idle servers pay
 	// nothing between scrapes. See docs/operations.md for runbook guidance.
@@ -434,6 +441,21 @@ func (s *Server) handleAddWorkflow(w http.ResponseWriter, r *http.Request, user 
 	}
 	if err := checkEmbeddingDim("descEmbedding", req.DescEmbedding); err != nil {
 		writeErr(w, err)
+		return
+	}
+	// Registration-time dataflow lint (ROADMAP item 4): workflow code that
+	// builds into a graph must pass Graph.Lint, so defective dataflows —
+	// cycles, dangling ports, ambiguous roots — are rejected here with a
+	// named defect instead of failing at run time. Code the engine cannot
+	// even decode as a workflow envelope (legacy opaque blobs) registers
+	// unchecked, as before.
+	issues, err := s.eng.LintWorkflow(req.WorkflowCode)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(issues) > 0 {
+		writeErr(w, core.ErrBadRequest("workflowCode", "workflow failed dataflow lint: %s", dataflow.LintSummary(issues)))
 		return
 	}
 	wf, err := s.reg.AddWorkflow(user.UserID, req)

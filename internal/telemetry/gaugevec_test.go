@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGaugeVecChildrenAndExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("laminar_test_depth", "Test depth gauge.", "pe")
+	v.With("Filter").Add(3)
+	v.With("Filter").Add(-1)
+	v.With("Transform").Set(7)
+
+	// With returns the same child for the same label values.
+	if v.With("Filter") != v.With("Filter") {
+		t.Error("With created a second child for identical labels")
+	}
+	if got := v.With("Filter").Value(); got != 2 {
+		t.Errorf("Filter = %g, want 2", got)
+	}
+
+	vals := v.Values()
+	if vals["Filter"] != 2 || vals["Transform"] != 7 {
+		t.Errorf("Values() = %v", vals)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	scrape := sb.String()
+	for _, want := range []string{
+		"# TYPE laminar_test_depth gauge",
+		`laminar_test_depth{pe="Filter"} 2`,
+		`laminar_test_depth{pe="Transform"} 7`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("exposition missing %q:\n%s", want, scrape)
+		}
+	}
+	// Children render sorted, so scrapes are deterministic.
+	if strings.Index(scrape, `pe="Filter"`) > strings.Index(scrape, `pe="Transform"`) {
+		t.Error("gauge children not sorted by label key")
+	}
+}
+
+func TestGaugeVecDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("laminar_test_dup", "first", "pe")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate GaugeVec registration did not panic")
+		}
+	}()
+	r.GaugeVec("laminar_test_dup", "second", "pe")
+}
+
+func TestGaugeVecConcurrentWith(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("laminar_test_conc", "concurrent children", "pe")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 500; j++ {
+				v.With("shared").Add(1)
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := v.With("shared").Value(); got != 8*500 {
+		t.Errorf("concurrent adds lost updates: %g", got)
+	}
+}

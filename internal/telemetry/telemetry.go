@@ -121,6 +121,19 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// GaugeVec registers a labeled gauge family. Children are created on first
+// With and live for the registry's lifetime.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	validateLabels(name, labelNames)
+	v := &GaugeVec{
+		d:        &desc{fqName: name, help: help, typ: "gauge"},
+		allNames: labelNames,
+		children: map[string]*Gauge{},
+	}
+	r.register(v)
+	return v
+}
+
 // GaugeFunc registers a gauge whose value is computed by fn at scrape
 // time. fn runs on the scraping goroutine and may take locks of its own;
 // it must not call back into this registry.
@@ -287,10 +300,11 @@ func (v *CounterVec) sortedChildren() []*Counter {
 // ---- Gauge ----
 
 // Gauge is a float64 that can go up and down. The zero value is not
-// usable; create gauges through a Registry.
+// usable; create gauges through a Registry (or a GaugeVec).
 type Gauge struct {
-	d    *desc
-	bits atomic.Uint64
+	d      *desc
+	labels string // pre-rendered {k="v",...} or ""
+	bits   atomic.Uint64
 }
 
 // Set replaces the gauge value.
@@ -314,7 +328,66 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 func (g *Gauge) describe() *desc { return g.d }
 
 func (g *Gauge) collect(sb *strings.Builder) {
-	fmt.Fprintf(sb, "%s %s\n", g.d.fqName, formatFloat(g.Value()))
+	fmt.Fprintf(sb, "%s%s %s\n", g.d.fqName, g.labels, formatFloat(g.Value()))
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct {
+	d        *desc
+	allNames []string
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+// With resolves (creating on first use) the child gauge for the given label
+// values, which must match the declared label names positionally. Hot paths
+// should resolve once and hold the child.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := childKey(v.d.fqName, v.allNames, values)
+	v.mu.RLock()
+	g := v.children[key]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.children[key]; g == nil {
+		g = &Gauge{d: v.d, labels: renderLabels(v.allNames, values)}
+		v.children[key] = g
+	}
+	return g
+}
+
+// Values reports every child's current value keyed by its label values
+// (", "-joined) — a readout for tests and bench summaries.
+func (v *GaugeVec) Values() map[string]float64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]float64, len(v.children))
+	for key, g := range v.children {
+		out[strings.ReplaceAll(key, labelSep, ", ")] = g.Value()
+	}
+	return out
+}
+
+func (v *GaugeVec) describe() *desc { return v.d }
+
+func (v *GaugeVec) collect(sb *strings.Builder) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	children := make([]*Gauge, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		children = append(children, v.children[k])
+	}
+	v.mu.RUnlock()
+	for _, g := range children {
+		g.collect(sb)
+	}
 }
 
 type gaugeFunc struct {

@@ -24,6 +24,7 @@ import (
 
 	"laminar/internal/client"
 	"laminar/internal/core"
+	"laminar/internal/dataflow"
 	"laminar/internal/engine"
 	"laminar/internal/index"
 	"laminar/internal/registry"
@@ -127,6 +128,16 @@ type ServerOptions struct {
 	// (Prometheus text format; see docs/operations.md for the metric
 	// reference). Collection always runs; this only gates the endpoint.
 	Metrics bool
+	// FlowQueueCap bounds each PE instance's input queue during workflow
+	// enactment (0 = the dataflow default, 1024). Senders park when a
+	// downstream queue fills — backpressure instead of unbounded memory;
+	// see docs/dataflow.md.
+	FlowQueueCap int
+	// FlowAlloc selects how the parallel mappings divide the process
+	// budget into PE instances: "even" (the paper's split, the default)
+	// or "weighted" (proportional to per-PE cost measured by telemetry
+	// across runs). See docs/dataflow.md.
+	FlowAlloc string
 }
 
 // Server is a full Laminar deployment: registry + API server + embedded
@@ -181,9 +192,20 @@ func NewServer(opts ServerOptions) *Server {
 		}
 	}
 	reg.SetLatency(opts.RegistryLatency)
+	allocMode, err := dataflow.ParseAllocMode(opts.FlowAlloc)
+	if err != nil {
+		// Same fail-fast contract as Index: a typo must not silently run
+		// the wrong allocation policy.
+		panic(fmt.Sprintf("laminar: ServerOptions.FlowAlloc: %v", err))
+	}
+	if opts.FlowQueueCap < 0 {
+		panic(fmt.Sprintf("laminar: ServerOptions.FlowQueueCap must not be negative (got %d)", opts.FlowQueueCap))
+	}
 	eng := engine.New(engine.Config{
 		VOBaseURL:         opts.VOBaseURL,
 		InstallDelayScale: opts.InstallDelayScale,
+		FlowQueueCap:      opts.FlowQueueCap,
+		FlowAlloc:         allocMode,
 	})
 	s := server.New(server.Config{Registry: reg, Engine: eng, Metrics: opts.Metrics, Telemetry: telem})
 	return &Server{Server: s, registryPath: opts.RegistryPath}
