@@ -9,9 +9,9 @@ GO ?= go
 # dataflow mappings and the Redis transport under them) run under the race
 # detector; running the whole tree under -race would double the verify wall
 # clock for packages with no shared state.
-RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server ./internal/telemetry ./internal/dataflow ./internal/resp ./internal/redisserver
+RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server ./internal/telemetry ./internal/dataflow ./internal/resp ./internal/redisserver ./internal/cluster
 
-.PHONY: build test vet fmt-check docs bench race purego searchbench-smoke metrics-smoke flowbench-smoke verify
+.PHONY: build test vet fmt-check docs bench race purego searchbench-smoke metrics-smoke flowbench-smoke clusterbench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -75,4 +75,14 @@ metrics-smoke:
 flowbench-smoke:
 	$(GO) run ./cmd/laminar-bench -flowbench-smoke
 
-verify: build vet fmt-check docs test race purego searchbench-smoke metrics-smoke flowbench-smoke
+# clusterbench-smoke is the distributed-serving gate: partition a small
+# corpus across three in-process shard nodes behind a scatter-gather
+# coordinator and fail when the 3-shard p50 exceeds 1.3x the single-node
+# baseline at 3x the corpus, when the merged top-10 drifts from a global
+# exact scan, when a killed primary's read replica fails to take over
+# cleanly, or when a killed replica-less shard produces errors instead of
+# flagged partial results.
+clusterbench-smoke:
+	$(GO) run ./cmd/laminar-bench -clusterbench-smoke
+
+verify: build vet fmt-check docs test race purego searchbench-smoke metrics-smoke flowbench-smoke clusterbench-smoke

@@ -44,9 +44,11 @@ func main() {
 	flowProcesses := flag.Int("flow-processes", 0, "process budget for every -flowbench mapping (0 = default 8)")
 	flowQueueCap := flag.Int("flow-queue-cap", 0, "per-instance input queue bound for -flowbench (0 = default 256)")
 	flowSmoke := flag.Bool("flowbench-smoke", false, "run the dataflow CI gate: all four mappings on a small skewed pipeline, asserting identical output multisets, populated laminar_flow_* telemetry, a bounded queue high-water mark, a settled queue gauge, and a 400 for cyclic workflow registration")
+	clusterBench := flag.Bool("clusterbench", false, "run only the cluster benchmark: in-process shard nodes behind a scatter-gather coordinator, with single-node vs 3-shard latency, a replica failover row, and a kill-a-node degraded-mode row (reading guide in docs/cluster.md)")
+	clusterSmoke := flag.Bool("clusterbench-smoke", false, "run the cluster CI gate: small sharded corpus, failing when the 3-shard p50 exceeds 1.3x the single-node baseline at 3x the corpus, when the merged ranking drifts from a global exact scan, when replica failover degrades, or when a killed shard errors instead of degrading")
 	flag.Parse()
 
-	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke && !*metricsSmoke && !*vecBench && !*flowBench && !*flowSmoke
+	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke && !*metricsSmoke && !*vecBench && !*flowBench && !*flowSmoke && !*clusterBench && !*clusterSmoke
 
 	if all || *table == 5 {
 		res, err := bench.RunTable5(bench.DefaultTable5Options())
@@ -157,6 +159,22 @@ func main() {
 		}
 		if err != nil {
 			log.Fatalf("flowbench-smoke: %v", err)
+		}
+	}
+	if all || *clusterBench {
+		cb, err := bench.RunClusterBench()
+		if err != nil {
+			log.Fatalf("clusterbench: %v", err)
+		}
+		fmt.Println(cb.Render())
+	}
+	if *clusterSmoke {
+		summary, err := bench.RunClusterSmoke()
+		if summary != "" {
+			fmt.Println(summary)
+		}
+		if err != nil {
+			log.Fatalf("clusterbench-smoke: %v", err)
 		}
 	}
 	if all || *persistBench {

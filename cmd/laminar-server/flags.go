@@ -3,9 +3,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"strings"
 	"time"
 
 	"laminar"
+	"laminar/internal/cluster"
 	"laminar/internal/dataflow"
 )
 
@@ -21,6 +24,14 @@ type serverConfig struct {
 	voURL           string
 	installScale    float64
 	metrics         bool
+
+	metricsAuthToken string
+	metricsAllow     string
+
+	clusterPeers        string
+	clusterShardTimeout time.Duration
+	clusterHedgeDelay   time.Duration
+	replica             bool
 
 	indexKind            string
 	indexCentroids       int
@@ -49,6 +60,12 @@ func registerFlags(fs *flag.FlagSet) *serverConfig {
 	fs.StringVar(&c.voURL, "vo-url", "", "Virtual Observatory simulator base URL (empty = offline catalog)")
 	fs.Float64Var(&c.installScale, "install-scale", 1, "library install latency scale (0 disables simulated installs)")
 	fs.BoolVar(&c.metrics, "metrics", false, "expose operational telemetry at GET /metrics (Prometheus text format; metric reference in docs/operations.md)")
+	fs.StringVar(&c.metricsAuthToken, "metrics-auth-token", "", "bearer token required to scrape /metrics (empty = no token check; composes with -metrics-allow as OR)")
+	fs.StringVar(&c.metricsAllow, "metrics-allow", "", "comma-separated CIDRs allowed to scrape /metrics without a token (e.g. 10.0.0.0/8,127.0.0.0/8; empty with no token = open)")
+	fs.StringVar(&c.clusterPeers, "cluster-peers", "", "make this node a cluster coordinator over the listed shard nodes: name=primaryURL[|replicaURL...] comma-separated; semantic and code searches scatter-gather across the shards (see docs/cluster.md; shard nodes run without this flag)")
+	fs.DurationVar(&c.clusterShardTimeout, "cluster-shard-timeout", 0, "per-shard deadline for coordinated searches; a shard past it costs coverage (degraded partial result), not availability (0 = 2s default)")
+	fs.DurationVar(&c.clusterHedgeDelay, "cluster-hedge-delay", 0, "hedge a shard's read replica once its primary has been silent this long, first answer wins (0 = hedging off)")
+	fs.BoolVar(&c.replica, "replica", false, "serve as a read-only query replica: the registry restores from -registry (v2 sidecar restores the trained indexes, no k-means) and every write is rejected with 403")
 	fs.StringVar(&c.indexKind, "index", "flat", "vector index for semantic search and code completion: flat (exact scan) or clustered (IVF ANN; tune with the -index-* knobs, see docs/search.md)")
 	fs.IntVar(&c.indexCentroids, "index-centroids", 0, "clustered index shard count at (re)train time (0 = auto ~sqrt(N))")
 	fs.IntVar(&c.indexNProbe, "index-nprobe", 0, "fixed shards scanned per clustered query (0 = auto = centroids/4; >= centroids is exact); with -index-recall-target set a nonzero value is the adaptive probe floor instead (auto floor is 1 — easy queries stop after a single shard)")
@@ -87,7 +104,37 @@ func (c *serverConfig) validate() error {
 	if _, err := dataflow.ParseAllocMode(c.flowAlloc); err != nil {
 		return fmt.Errorf("unknown -flow-alloc %q (want even or weighted)", c.flowAlloc)
 	}
+	if c.clusterPeers != "" {
+		if _, err := cluster.ParseShards(c.clusterPeers); err != nil {
+			return fmt.Errorf("-cluster-peers: %v", err)
+		}
+	}
+	if c.clusterShardTimeout < 0 {
+		return fmt.Errorf("-cluster-shard-timeout %v out of range (want >= 0)", c.clusterShardTimeout)
+	}
+	if c.clusterHedgeDelay < 0 {
+		return fmt.Errorf("-cluster-hedge-delay %v out of range (want >= 0)", c.clusterHedgeDelay)
+	}
+	for _, cidr := range c.metricsAllowList() {
+		if _, _, err := net.ParseCIDR(cidr); err != nil {
+			return fmt.Errorf("-metrics-allow: bad CIDR %q", cidr)
+		}
+	}
+	if c.replica && c.registryPath == "" {
+		return fmt.Errorf("-replica needs -registry: a read-only replica serves a restored snapshot")
+	}
 	return nil
+}
+
+// metricsAllowList splits the comma-separated -metrics-allow value.
+func (c *serverConfig) metricsAllowList() []string {
+	var out []string
+	for _, cidr := range strings.Split(c.metricsAllow, ",") {
+		if cidr = strings.TrimSpace(cidr); cidr != "" {
+			out = append(out, cidr)
+		}
+	}
+	return out
 }
 
 // serverOptions maps the parsed flags onto the façade's options.
@@ -110,5 +157,11 @@ func (c *serverConfig) serverOptions() laminar.ServerOptions {
 		IndexRetrainCooldown: c.indexRetrainCooldown,
 		FlowQueueCap:         c.flowQueueCap,
 		FlowAlloc:            c.flowAlloc,
+		MetricsAuthToken:     c.metricsAuthToken,
+		MetricsAllow:         c.metricsAllowList(),
+		ClusterPeers:         c.clusterPeers,
+		ClusterShardTimeout:  c.clusterShardTimeout,
+		ClusterHedgeDelay:    c.clusterHedgeDelay,
+		ReadOnlyReplica:      c.replica,
 	}
 }

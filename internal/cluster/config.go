@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseShards parses the -cluster-peers flag syntax into a coordinator
+// shard set:
+//
+//	name=primaryURL[|replicaURL...][,name=primaryURL...]
+//
+// e.g. "a=http://10.0.0.1:8080,b=http://10.0.0.2:8080|http://10.0.0.3:8080"
+// declares two shards, the second with one read replica. Every URL becomes
+// an HTTPPeer; replica peers are named "<shard>-replica<N>".
+func ParseShards(spec string) ([]Shard, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("cluster: empty shard spec")
+	}
+	var shards []Shard
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, urls, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("cluster: shard %q: want name=primaryURL[|replicaURL...]", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate shard %q", name)
+		}
+		seen[name] = true
+		var sh Shard
+		sh.Name = name
+		for i, u := range strings.Split(urls, "|") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				return nil, fmt.Errorf("cluster: shard %q: empty peer URL", name)
+			}
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return nil, fmt.Errorf("cluster: shard %q: peer URL %q must start with http:// or https://", name, u)
+			}
+			if i == 0 {
+				sh.Primary = NewHTTPPeer(name, u)
+			} else {
+				sh.Replicas = append(sh.Replicas, NewHTTPPeer(fmt.Sprintf("%s-replica%d", name, i), u))
+			}
+		}
+		if sh.Primary == nil {
+			return nil, fmt.Errorf("cluster: shard %q has no primary URL", name)
+		}
+		shards = append(shards, sh)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: empty shard spec")
+	}
+	return shards, nil
+}

@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"laminar/internal/core"
+	"laminar/internal/search"
+)
+
+// Peer is one queryable cluster node. Implementations must honor the
+// context (the coordinator cancels it on per-shard timeout and on query
+// completion) and must be safe for concurrent use.
+type Peer interface {
+	// Name identifies the node in errors and telemetry.
+	Name() string
+	// Search answers one semantic/completion query with the node's local
+	// top-k, ranked the way /registry/{user}/search ranks.
+	Search(ctx context.Context, user string, req core.SearchRequest) ([]core.SearchHit, error)
+}
+
+// Shard is one ring partition: the primary that owns the partition's
+// records plus optional read replicas (snapshot-restored, read-only) the
+// coordinator may hedge or fail over to.
+type Shard struct {
+	Name     string
+	Primary  Peer
+	Replicas []Peer
+}
+
+// Coordinator defaults.
+const (
+	// DefaultShardTimeout bounds one shard's contribution to a fan-out.
+	DefaultShardTimeout = 2 * time.Second
+	// DefaultFailureBackoff is the first unhealthy-shard retry delay; it
+	// doubles per consecutive failure up to DefaultMaxBackoff.
+	DefaultFailureBackoff = 500 * time.Millisecond
+	// DefaultMaxBackoff caps the exponential unhealthy-shard backoff.
+	DefaultMaxBackoff = 30 * time.Second
+)
+
+// CoordinatorConfig assembles a Coordinator.
+type CoordinatorConfig struct {
+	// Shards is the fan-out set, one entry per ring partition, in ring
+	// config order.
+	Shards []Shard
+	// ShardTimeout bounds each shard's whole attempt — primary plus any
+	// hedged replica — per query (0 = DefaultShardTimeout). One slow
+	// shard therefore delays a query by at most this much.
+	ShardTimeout time.Duration
+	// HedgeDelay, when > 0 and the shard has replicas, launches the next
+	// replica if the primary has not answered within the delay; the first
+	// success wins. 0 disables hedging (replicas still serve as failover
+	// targets when the primary errors outright).
+	HedgeDelay time.Duration
+	// FailureBackoff is the initial retry delay after a shard failure
+	// (0 = DefaultFailureBackoff); it doubles per consecutive failure.
+	FailureBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = DefaultMaxBackoff).
+	MaxBackoff time.Duration
+	// Clock is injectable for the health/backoff tests (nil = time.Now).
+	Clock func() time.Time
+}
+
+// shardHealth is the coordinator's view of one shard's availability.
+type shardHealth struct {
+	healthy  bool
+	failures int       // consecutive failures
+	retryAt  time.Time // next probe time while unhealthy
+}
+
+// Coordinator scatter-gathers queries across shards and merges the
+// per-shard top-k lists with search.MergeRanked. A shard that times out,
+// refuses connections or answers garbage is marked unhealthy and skipped —
+// with exponential backoff before it is probed again — and the query
+// returns the surviving shards' hits as a partial result with the
+// Degraded flag set, never an error.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu     sync.Mutex
+	health map[string]*shardHealth
+
+	metrics *Metrics
+}
+
+// Result is one coordinated query's outcome.
+type Result struct {
+	// Hits is the merged ranking over every shard that answered.
+	Hits []core.SearchHit
+	// Degraded reports that at least one shard contributed nothing (down,
+	// timed out, or failed) — Hits is a partial view of the corpus.
+	Degraded bool
+	// Failed names the shards that contributed nothing, sorted.
+	Failed []string
+}
+
+// NewCoordinator validates the shard set.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one shard")
+	}
+	seen := map[string]bool{}
+	for _, sh := range cfg.Shards {
+		if sh.Name == "" {
+			return nil, fmt.Errorf("cluster: shard name must not be empty")
+		}
+		if seen[sh.Name] {
+			return nil, fmt.Errorf("cluster: duplicate shard %q", sh.Name)
+		}
+		seen[sh.Name] = true
+		if sh.Primary == nil {
+			return nil, fmt.Errorf("cluster: shard %q has no primary peer", sh.Name)
+		}
+	}
+	co := &Coordinator{cfg: cfg, health: make(map[string]*shardHealth, len(cfg.Shards))}
+	for _, sh := range cfg.Shards {
+		co.health[sh.Name] = &shardHealth{healthy: true}
+	}
+	return co, nil
+}
+
+// SetMetrics installs the coordinator's telemetry instruments and
+// initializes the per-shard health gauges (1 = healthy) so the scrape
+// shows every shard from the first fan-out, not only the ones that have
+// already failed.
+func (co *Coordinator) SetMetrics(m *Metrics) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.metrics = m
+	if m == nil {
+		return
+	}
+	for name, h := range co.health {
+		v := 0.0
+		if h.healthy {
+			v = 1.0
+		}
+		m.ShardHealthy.With(name).Set(v)
+	}
+}
+
+// Shards reports the configured shard names, in order.
+func (co *Coordinator) Shards() []string {
+	out := make([]string, len(co.cfg.Shards))
+	for i, sh := range co.cfg.Shards {
+		out[i] = sh.Name
+	}
+	return out
+}
+
+func (co *Coordinator) now() time.Time {
+	if co.cfg.Clock != nil {
+		return co.cfg.Clock()
+	}
+	return time.Now()
+}
+
+func (co *Coordinator) shardTimeout() time.Duration {
+	if co.cfg.ShardTimeout > 0 {
+		return co.cfg.ShardTimeout
+	}
+	return DefaultShardTimeout
+}
+
+// admit decides whether a shard joins this query's fan-out. An unhealthy
+// shard is skipped until its backoff window closes; the first query after
+// the window probes it again (and a failure re-arms a longer window).
+func (co *Coordinator) admit(name string) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	h := co.health[name]
+	if h.healthy {
+		return true
+	}
+	return !co.now().Before(h.retryAt)
+}
+
+// markSuccess returns the shard to the healthy pool.
+func (co *Coordinator) markSuccess(name string) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	h := co.health[name]
+	h.healthy = true
+	h.failures = 0
+	if co.metrics != nil {
+		co.metrics.ShardHealthy.With(name).Set(1)
+	}
+}
+
+// markFailure takes the shard out of the fan-out and arms the next probe:
+// FailureBackoff doubled per consecutive failure, capped at MaxBackoff.
+func (co *Coordinator) markFailure(name string) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	h := co.health[name]
+	h.healthy = false
+	h.failures++
+	base := co.cfg.FailureBackoff
+	if base <= 0 {
+		base = DefaultFailureBackoff
+	}
+	max := co.cfg.MaxBackoff
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	backoff := base
+	for i := 1; i < h.failures && backoff < max; i++ {
+		backoff *= 2
+	}
+	if backoff > max {
+		backoff = max
+	}
+	h.retryAt = co.now().Add(backoff)
+	if co.metrics != nil {
+		co.metrics.ShardHealthy.With(name).Set(0)
+		co.metrics.ShardFailures.With(name).Inc()
+	}
+}
+
+// Search scatter-gathers one query. Every admitted shard is queried
+// concurrently under its own deadline; the per-shard top-k lists are
+// reduced with search.MergeRanked into one global ranking. Shards that
+// are down, time out, or fail mid-query cost the result coverage, not
+// availability: the reply is partial and Degraded, never an error.
+func (co *Coordinator) Search(ctx context.Context, user string, req core.SearchRequest) Result {
+	type shardOut struct {
+		hits []core.SearchHit
+		err  error
+		skip bool
+	}
+	outs := make([]shardOut, len(co.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, sh := range co.cfg.Shards {
+		if !co.admit(sh.Name) {
+			outs[i].skip = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			start := time.Now()
+			hits, err := co.searchShard(ctx, sh, user, req)
+			if co.metrics != nil {
+				co.metrics.ShardSearchSeconds.With(sh.Name).ObserveSince(start)
+			}
+			if err != nil {
+				co.markFailure(sh.Name)
+				outs[i].err = err
+				return
+			}
+			co.markSuccess(sh.Name)
+			outs[i].hits = hits
+		}(i, sh)
+	}
+	wg.Wait()
+
+	limit := req.Limit
+	if limit <= 0 {
+		limit = search.DefaultLimit
+	}
+	var res Result
+	var merged []core.SearchHit
+	for i, sh := range co.cfg.Shards {
+		out := outs[i]
+		if out.skip || out.err != nil {
+			res.Degraded = true
+			res.Failed = append(res.Failed, sh.Name)
+			continue
+		}
+		merged = search.MergeRanked(merged, out.hits, limit)
+	}
+	sort.Strings(res.Failed)
+	res.Hits = merged
+	if co.metrics != nil {
+		status := "full"
+		if res.Degraded {
+			status = "partial"
+		}
+		co.metrics.Searches.With(status).Inc()
+	}
+	return res
+}
+
+// searchShard runs one shard's attempt chain — primary first, then (on
+// outright failure, or after HedgeDelay with hedging on) each replica —
+// under the shard deadline. First success wins; attempt goroutines write
+// to a buffered channel sized for all of them, so none can leak by
+// blocking on a send after the chain resolves.
+func (co *Coordinator) searchShard(ctx context.Context, sh Shard, user string, req core.SearchRequest) ([]core.SearchHit, error) {
+	sctx, cancel := context.WithTimeout(ctx, co.shardTimeout())
+	defer cancel()
+
+	attempts := append([]Peer{sh.Primary}, sh.Replicas...)
+	type attemptOut struct {
+		hits []core.SearchHit
+		err  error
+	}
+	ch := make(chan attemptOut, len(attempts))
+	launch := func(p Peer) {
+		go func() {
+			hits, err := p.Search(sctx, user, req)
+			ch <- attemptOut{hits: hits, err: err}
+		}()
+	}
+	launched := 1
+	launch(attempts[0])
+
+	var hedge <-chan time.Time
+	if co.cfg.HedgeDelay > 0 && len(attempts) > 1 {
+		t := time.NewTimer(co.cfg.HedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+
+	var firstErr error
+	settled := 0
+	for {
+		select {
+		case out := <-ch:
+			if out.err == nil {
+				return out.hits, nil
+			}
+			settled++
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if launched < len(attempts) {
+				// Outright failure: fail over to the next replica without
+				// waiting for the hedge timer.
+				launch(attempts[launched])
+				launched++
+			} else if settled == launched {
+				return nil, firstErr
+			}
+		case <-hedge:
+			hedge = nil
+			if launched < len(attempts) {
+				if co.metrics != nil {
+					co.metrics.Hedges.Inc()
+				}
+				launch(attempts[launched])
+				launched++
+			}
+		case <-sctx.Done():
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			return nil, fmt.Errorf("cluster: shard %s: %w", sh.Name, sctx.Err())
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package cluster
+
+import "laminar/internal/telemetry"
+
+// Metrics is the coordinator's observability surface, exported on the
+// coordinator node's /metrics endpoint (rows in docs/operations.md).
+// server.New registers the families eagerly — before any cluster traffic,
+// whether or not the node even coordinates — so the runbook/endpoint sync
+// the metrics-smoke gate enforces holds from the first scrape.
+type Metrics struct {
+	// ShardSearchSeconds times each shard's contribution to a fan-out
+	// (from dispatch to merged or failed), labeled by shard.
+	ShardSearchSeconds *telemetry.HistogramVec
+	// Searches counts coordinated queries by outcome: status="full" when
+	// every shard answered, status="partial" when the reply is degraded.
+	Searches *telemetry.CounterVec
+	// ShardHealthy is 1 while the coordinator considers the shard
+	// eligible for fan-out, 0 while it is marked down and backing off.
+	ShardHealthy *telemetry.GaugeVec
+	// ShardFailures counts per-shard fan-out failures (timeouts,
+	// connection errors, malformed replies).
+	ShardFailures *telemetry.CounterVec
+	// Hedges counts hedged requests: a replica launched because the
+	// primary outlived the hedge delay.
+	Hedges *telemetry.Counter
+}
+
+// NewMetrics registers the laminar_cluster_* families on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		ShardSearchSeconds: reg.HistogramVec("laminar_cluster_shard_search_seconds",
+			"Per-shard scatter-gather latency, by shard.", telemetry.LatencyBuckets(), "shard"),
+		Searches: reg.CounterVec("laminar_cluster_searches_total",
+			"Coordinated searches by outcome (full = every shard answered, partial = degraded).", "status"),
+		ShardHealthy: reg.GaugeVec("laminar_cluster_shard_healthy",
+			"1 while the shard is eligible for fan-out, 0 while marked down.", "shard"),
+		ShardFailures: reg.CounterVec("laminar_cluster_shard_failures_total",
+			"Per-shard fan-out failures (timeout, connection, malformed reply).", "shard"),
+		Hedges: reg.Counter("laminar_cluster_hedges_total",
+			"Replica requests hedged because the primary outlived the hedge delay."),
+	}
+}

@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"laminar/internal/core"
+	"laminar/internal/resp"
+)
+
+// ---- HTTP transport ----
+
+// HTTPPeer talks to a shard node over the node's ordinary JSON HTTP API:
+// searches go to POST /registry/{user}/search, writes to the pe/workflow
+// add endpoints. It is the default transport — every laminar-server
+// already speaks it, so a cluster is just N plain nodes plus config.
+type HTTPPeer struct {
+	name string
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPPeer creates a peer for the node serving at baseURL
+// (e.g. "http://10.0.0.7:8080"). The peer deliberately carries no
+// client-side timeout of its own: the coordinator's per-shard context
+// bounds every call.
+func NewHTTPPeer(name, baseURL string) *HTTPPeer {
+	return &HTTPPeer{name: name, base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+}
+
+// Name identifies the node in errors and telemetry.
+func (p *HTTPPeer) Name() string { return p.name }
+
+// Search implements Peer over POST /registry/{user}/search.
+func (p *HTTPPeer) Search(ctx context.Context, user string, req core.SearchRequest) ([]core.SearchHit, error) {
+	var out core.SearchResponse
+	if err := p.post(ctx, "/registry/"+user+"/search", req, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return out.Hits, nil
+}
+
+// Register creates the user on the node. Registration is broadcast to
+// every shard (searches resolve {user} locally on each node), so an
+// already-registered user is success, not a conflict.
+func (p *HTTPPeer) Register(ctx context.Context, userName, password string) error {
+	err := p.post(ctx, "/auth/register",
+		core.RegisterUserRequest{UserName: userName, Password: password}, http.StatusCreated, nil)
+	if err != nil && strings.Contains(err.Error(), "status 409") {
+		return nil
+	}
+	return err
+}
+
+// AddPE registers a PE on the node (the router pre-assigns req.PEID so the
+// ring owner is derivable from the record id on every node).
+func (p *HTTPPeer) AddPE(ctx context.Context, user string, req core.AddPERequest) (*core.PERecord, error) {
+	var out core.PERecord
+	if err := p.post(ctx, "/registry/"+user+"/pe/add", req, http.StatusCreated, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AddWorkflow registers a workflow on the node.
+func (p *HTTPPeer) AddWorkflow(ctx context.Context, user string, req core.AddWorkflowRequest) (*core.WorkflowRecord, error) {
+	var out core.WorkflowRecord
+	if err := p.post(ctx, "/registry/"+user+"/workflow/add", req, http.StatusCreated, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// post sends one JSON request and decodes the reply into out (when
+// non-nil). A non-want status or an undecodable body is an error — the
+// coordinator turns it into a degraded partial result, never a panic.
+func (p *HTTPPeer) post(ctx context.Context, path string, body any, want int, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: encoding request: %w", p.name, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", p.name, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := p.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", p.name, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != want {
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+		return fmt.Errorf("cluster: %s: %s: status %d (%s)", p.name, path, res.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: %s: malformed reply: %w", p.name, err)
+	}
+	return nil
+}
+
+// ---- RESP transport ----
+
+// The RESP transport reuses the repo's Redis protocol stack as the
+// fan-out substrate: a shard node runs a RESPServer beside its HTTP
+// listener, and the coordinator queries it with one custom command,
+//
+//	CSEARCH <user> <SearchRequest JSON>  →  bulk string <SearchResponse JSON>
+//
+// (plus PING for liveness). Queries only: writes always travel over HTTP.
+
+// SearchFunc answers one search the way POST /registry/{user}/search
+// would; server.Server exposes a compatible method (ClusterSearchLocal).
+type SearchFunc func(user string, req core.SearchRequest) (core.SearchResponse, error)
+
+// RESPServer is a minimal RESP2 listener serving CSEARCH.
+type RESPServer struct {
+	ln     net.Listener
+	fn     SearchFunc
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+// ServeRESP listens on addr ("127.0.0.1:0" picks a free port) and serves
+// connections in the background.
+func ServeRESP(addr string, fn SearchFunc) (*RESPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: resp listen: %w", err)
+	}
+	s := &RESPServer{ln: ln, fn: fn, conns: map[net.Conn]bool{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address ("host:port").
+func (s *RESPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and every open connection.
+func (s *RESPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *RESPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *RESPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := resp.NewReader(conn)
+	w := resp.NewWriter(conn)
+	for {
+		v, err := r.Read()
+		if err != nil {
+			return
+		}
+		if v.Type != resp.TypeArray || len(v.Array) == 0 {
+			_ = writeFlush(w, resp.Err("ERR expected command array"))
+			continue
+		}
+		cmd := strings.ToUpper(v.Array[0].Str)
+		switch cmd {
+		case "PING":
+			_ = writeFlush(w, resp.Simple("PONG"))
+		case "CSEARCH":
+			if len(v.Array) != 3 {
+				_ = writeFlush(w, resp.Err("ERR CSEARCH wants <user> <request-json>"))
+				continue
+			}
+			var req core.SearchRequest
+			if err := json.Unmarshal([]byte(v.Array[2].Str), &req); err != nil {
+				_ = writeFlush(w, resp.Err("ERR malformed search request: "+err.Error()))
+				continue
+			}
+			res, err := s.fn(v.Array[1].Str, req)
+			if err != nil {
+				_ = writeFlush(w, resp.Err("ERR "+err.Error()))
+				continue
+			}
+			raw, err := json.Marshal(res)
+			if err != nil {
+				_ = writeFlush(w, resp.Err("ERR encoding reply: "+err.Error()))
+				continue
+			}
+			_ = writeFlush(w, resp.Bulk(string(raw)))
+		default:
+			_ = writeFlush(w, resp.Err("ERR unknown command '"+cmd+"'"))
+		}
+	}
+}
+
+func writeFlush(w *resp.Writer, v resp.Value) error {
+	if err := w.Write(v); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// RESPPeer queries a shard's RESPServer. Each Search dials a fresh
+// connection — simple, per-query isolated (a poisoned stream never
+// outlives its query), and bounded by the coordinator's shard deadline,
+// which is applied to the socket.
+type RESPPeer struct {
+	name string
+	addr string
+}
+
+// NewRESPPeer creates a peer for the RESPServer at addr ("host:port").
+func NewRESPPeer(name, addr string) *RESPPeer { return &RESPPeer{name: name, addr: addr} }
+
+// Name identifies the node in errors and telemetry.
+func (p *RESPPeer) Name() string { return p.name }
+
+// Search implements Peer over CSEARCH.
+func (p *RESPPeer) Search(ctx context.Context, user string, req core.SearchRequest) ([]core.SearchHit, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: encoding request: %w", p.name, err)
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", p.name, err)
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	w := resp.NewWriter(conn)
+	if err := w.WriteCommand("CSEARCH", user, string(raw)); err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", p.name, err)
+	}
+	v, err := resp.NewReader(conn).Read()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", p.name, err)
+	}
+	if v.IsError() {
+		return nil, fmt.Errorf("cluster: %s: %s", p.name, v.Str)
+	}
+	if v.Type != resp.TypeBulkString || v.Null {
+		return nil, fmt.Errorf("cluster: %s: unexpected reply type %q", p.name, string(v.Type))
+	}
+	var out core.SearchResponse
+	if err := json.Unmarshal([]byte(v.Str), &out); err != nil {
+		return nil, fmt.Errorf("cluster: %s: malformed reply: %w", p.name, err)
+	}
+	return out.Hits, nil
+}

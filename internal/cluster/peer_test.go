@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"laminar/internal/core"
+	"laminar/internal/resp"
+)
+
+func TestRESPRoundTrip(t *testing.T) {
+	want := []core.SearchHit{hit(3, 0.9), hit(1, 0.4)}
+	srv, err := ServeRESP("127.0.0.1:0", func(user string, req core.SearchRequest) (core.SearchResponse, error) {
+		if user != "alice" {
+			t.Errorf("user = %q, want alice", user)
+		}
+		if req.QueryType != core.QuerySemantic || req.Limit != 2 {
+			t.Errorf("request lost in transit: %+v", req)
+		}
+		return core.SearchResponse{Hits: want}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	p := NewRESPPeer("a", srv.Addr())
+	hits, err := p.Search(context.Background(), "alice", core.SearchRequest{
+		SearchType: core.SearchPEs, QueryType: core.QuerySemantic, Limit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0].ID != 3 || hits[1].ID != 1 {
+		t.Fatalf("hits = %+v, want %+v", hits, want)
+	}
+}
+
+func TestRESPPeerSurfacesServerError(t *testing.T) {
+	srv, err := ServeRESP("127.0.0.1:0", func(string, core.SearchRequest) (core.SearchResponse, error) {
+		return core.SearchResponse{}, errors.New("no such user")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, err := NewRESPPeer("a", srv.Addr()).Search(context.Background(), "ghost", core.SearchRequest{}); err == nil {
+		t.Fatal("want the server's error surfaced to the peer")
+	}
+}
+
+func TestRESPServerAnswersPingAndRejectsUnknown(t *testing.T) {
+	srv, err := ServeRESP("127.0.0.1:0", func(string, core.SearchRequest) (core.SearchResponse, error) {
+		return core.SearchResponse{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := resp.NewWriter(conn)
+	r := resp.NewReader(conn)
+
+	if err := w.WriteCommand("PING"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Str != "PONG" {
+		t.Fatalf("PING -> %q, want PONG", v.Str)
+	}
+
+	if err := w.WriteCommand("FLUSHALL"); err != nil {
+		t.Fatal(err)
+	}
+	v, err = r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsError() {
+		t.Fatalf("unknown command must error, got %+v", v)
+	}
+
+	// Malformed CSEARCH payloads error per-command; the connection
+	// survives for the next command.
+	if err := w.WriteCommand("CSEARCH", "u", "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	v, err = r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsError() {
+		t.Fatalf("malformed request must error, got %+v", v)
+	}
+	if err := w.WriteCommand("PING"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err = r.Read(); err != nil || v.Str != "PONG" {
+		t.Fatalf("connection did not survive a bad command: %v %+v", err, v)
+	}
+}
+
+func TestRESPPeerHonorsDeadline(t *testing.T) {
+	// A SearchFunc that never returns: the peer's socket deadline (from
+	// the coordinator's per-shard context) must break the read.
+	block := make(chan struct{})
+	srv, err := ServeRESP("127.0.0.1:0", func(string, core.SearchRequest) (core.SearchResponse, error) {
+		<-block
+		return core.SearchResponse{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unblock the handler before Close: Close waits for every serveConn
+	// goroutine, and a handler stuck in the SearchFunc would deadlock it.
+	defer func() { close(block); srv.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = NewRESPPeer("a", srv.Addr()).Search(ctx, "u", core.SearchRequest{})
+	if err == nil {
+		t.Fatal("want a deadline error")
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("deadline not applied to the socket: took %v", took)
+	}
+}
+
+func TestRESPPeerAsCoordinatorTransport(t *testing.T) {
+	// The whole point of the RESP transport: it slots into the same
+	// coordinator fan-out as HTTP peers.
+	srv, err := ServeRESP("127.0.0.1:0", func(user string, req core.SearchRequest) (core.SearchResponse, error) {
+		return core.SearchResponse{Hits: []core.SearchHit{hit(9, 0.9)}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	co, err := NewCoordinator(CoordinatorConfig{Shards: []Shard{
+		{Name: "resp", Primary: NewRESPPeer("resp", srv.Addr())},
+		{Name: "fake", Primary: hitPeer("fake", hit(4, 0.5))},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := co.Search(context.Background(), "u", core.SearchRequest{})
+	if res.Degraded || len(res.Hits) != 2 || res.Hits[0].ID != 9 {
+		t.Fatalf("mixed-transport fan-out: %+v", res)
+	}
+}
+
+func TestRESPValueJSONSymmetry(t *testing.T) {
+	// Guards the wire contract the two transports share: a
+	// SearchResponse's degraded flag must survive the RESP bulk-JSON hop.
+	raw, err := json.Marshal(core.SearchResponse{Hits: []core.SearchHit{hit(1, 0.5)}, Degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out core.SearchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded || len(out.Hits) != 1 {
+		t.Fatalf("round trip lost fields: %+v", out)
+	}
+}

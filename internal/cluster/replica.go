@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"fmt"
+
+	"laminar/internal/index"
+	"laminar/internal/registry"
+)
+
+// OpenReplica builds a stateless read replica: a registry restored
+// straight from a shard's persisted snapshot (the v2 sidecar restores the
+// trained index structure, so no k-means runs) and locked read-only. The
+// caller serves it behind an ordinary laminar-server node and lists it as
+// a replica peer on the shard — the coordinator hedges to it or fails
+// over when the primary is slow or down.
+//
+// factory selects the vector-index implementation the primary was
+// configured with; nil keeps the default exact Flat index. When factory
+// is non-nil the replica refuses to start unless the snapshot actually
+// restored (a retrain on a "stateless" replica would mean the snapshot
+// and records drifted apart — a deployment bug worth failing loudly on).
+func OpenReplica(path string, factory index.Factory) (*registry.Store, error) {
+	st := registry.NewStore()
+	if err := st.Load(path); err != nil {
+		return nil, fmt.Errorf("cluster: replica restore from %s: %w", path, err)
+	}
+	if factory != nil {
+		st.ConfigureIndex(factory)
+		if !st.IndexesRestored() {
+			return nil, fmt.Errorf("cluster: replica %s: snapshot did not restore the trained index (records and sidecar out of sync)", path)
+		}
+	}
+	st.SetReadOnly(true)
+	return st, nil
+}

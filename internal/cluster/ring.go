@@ -1,0 +1,124 @@
+// Package cluster distributes the Laminar registry across N laminar-server
+// nodes (ROADMAP item 1): records are partitioned by consistent hashing on
+// record id, semantic/completion queries are scatter-gathered across the
+// shards by a coordinator that merges per-shard top-k lists with
+// search.MergeRanked, and stateless read replicas restore read-only index
+// snapshots straight from the v2 sidecar. "A Prototype of Serverless
+// Lucene" is the model: ephemeral searchers pulling prebuilt index shards
+// from shared storage.
+//
+// The package is transport-agnostic at its core — the coordinator fans out
+// to Peer implementations — with two in-repo transports: plain HTTP against
+// each shard's existing /registry/{user}/search endpoint (HTTPPeer) and the
+// repo's own RESP stack (RESPPeer against a ServeRESP listener), so a
+// deployment can coordinate over the same protocol substrate the Redis
+// dataflow mapping already uses. See docs/cluster.md.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is how many points each shard contributes to the
+// ring when RingConfig.VirtualNodes is 0. 64 points per shard keeps the
+// keyspace imbalance across a handful of shards in the few-percent range
+// while the ring stays small enough to rebuild on every config load.
+const DefaultVirtualNodes = 64
+
+// RingConfig describes a consistent-hash ring. Every node of a deployment
+// builds its ring from the same shard-name list (shared via config), so
+// owner decisions agree everywhere without any coordination traffic.
+type RingConfig struct {
+	// Shards are the shard names, in config order. Names must be unique
+	// and non-empty.
+	Shards []string
+	// VirtualNodes is how many ring points each shard contributes
+	// (0 = DefaultVirtualNodes). More points smooth the partition at the
+	// cost of a larger ring.
+	VirtualNodes int
+}
+
+// Ring is an immutable consistent-hash ring over shard names. Methods are
+// safe for concurrent use (the ring never changes after construction —
+// a config change builds a new ring).
+type Ring struct {
+	points []ringPoint // sorted by hash
+	shards []string
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing builds the ring. It is deterministic: the same config produces
+// the same ring on every node and every run — the property the whole
+// scheme rests on.
+func NewRing(cfg RingConfig) (*Ring, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	vn := cfg.VirtualNodes
+	if vn <= 0 {
+		vn = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	r := &Ring{points: make([]ringPoint, 0, len(cfg.Shards)*vn)}
+	for _, name := range cfg.Shards {
+		if name == "" {
+			return nil, fmt.Errorf("cluster: ring shard name must not be empty")
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate ring shard %q", name)
+		}
+		seen[name] = true
+		r.shards = append(r.shards, name)
+		for v := 0; v < vn; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(name + "#" + strconv.Itoa(v)), shard: name})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit hash collision between two points is vanishingly
+		// rare but must still order deterministically across nodes.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the shard names in config order.
+func (r *Ring) Shards() []string { return append([]string(nil), r.shards...) }
+
+// Owner maps a record id to the shard that owns it: the first ring point
+// clockwise from the id's hash.
+func (r *Ring) Owner(id int) string {
+	h := ringHash(strconv.Itoa(id))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].shard
+}
+
+// ringHash is FNV-1a plus a 64-bit finalizer mix — dependency-free and
+// stable across platforms and Go releases (unlike maphash, whose seed is
+// per-process). Raw FNV-1a of short, similar keys (the "name#N" virtual
+// node points) clusters in a narrow band of the hash space, which skews
+// shard ownership badly; the multiply-xorshift finalizer (murmur3's
+// fmix64) spreads the points across the whole ring.
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingRejectsBadConfigs(t *testing.T) {
+	for _, cfg := range []RingConfig{
+		{},
+		{Shards: []string{"a", ""}},
+		{Shards: []string{"a", "b", "a"}},
+	} {
+		if _, err := NewRing(cfg); err == nil {
+			t.Errorf("NewRing(%+v): want error", cfg)
+		}
+	}
+}
+
+func TestRingIsDeterministic(t *testing.T) {
+	cfg := RingConfig{Shards: []string{"a", "b", "c"}}
+	r1, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 5000; id++ {
+		if o1, o2 := r1.Owner(id), r2.Owner(id); o1 != o2 {
+			t.Fatalf("id %d: ring built twice from the same config disagrees (%s vs %s)", id, o1, o2)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(RingConfig{Shards: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30000
+	for id := 1; id <= n; id++ {
+		counts[r.Owner(id)]++
+	}
+	for _, name := range r.Shards() {
+		share := float64(counts[name]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("shard %s owns %.1f%% of ids, outside the plausible band for 64 virtual nodes (%v)",
+				name, 100*share, counts)
+		}
+	}
+}
+
+func TestRingMinimalRemapOnShardAdd(t *testing.T) {
+	r3, err := NewRing(RingConfig{Shards: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(RingConfig{Shards: []string{"a", "b", "c", "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	moved, toNew := 0, 0
+	for id := 1; id <= n; id++ {
+		o3, o4 := r3.Owner(id), r4.Owner(id)
+		if o3 != o4 {
+			moved++
+			if o4 != "d" {
+				t.Fatalf("id %d moved from %s to %s: adding a shard must only move ids onto the new shard", id, o3, o4)
+			}
+			toNew++
+		}
+	}
+	// Consistent hashing's whole point: ~1/4 of the keyspace moves when a
+	// fourth shard joins, not ~3/4 like a mod-N scheme.
+	if frac := float64(moved) / n; frac > 0.40 {
+		t.Errorf("%.1f%% of ids moved when adding one shard to three; consistent hashing should move ~25%%", 100*frac)
+	}
+	if toNew == 0 {
+		t.Error("no ids moved to the new shard at all")
+	}
+}
+
+func TestRingVirtualNodeCountSmoothsBalance(t *testing.T) {
+	// Not a strict assertion on variance — just that a custom VirtualNodes
+	// value is honored and still covers every shard.
+	r, err := NewRing(RingConfig{Shards: []string{"a", "b"}, VirtualNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for id := 1; id <= 10000; id++ {
+		seen[r.Owner(id)] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Errorf("with 4 virtual nodes each, both shards should still own ids: %v", seen)
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	shards, err := ParseShards("a=http://h1:1,b=http://h2:2|http://h3:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("got %d shards, want 2", len(shards))
+	}
+	if shards[0].Name != "a" || shards[0].Primary.Name() != "a" || len(shards[0].Replicas) != 0 {
+		t.Errorf("shard a parsed wrong: %+v", shards[0])
+	}
+	if shards[1].Name != "b" || len(shards[1].Replicas) != 1 {
+		t.Fatalf("shard b parsed wrong: %+v", shards[1])
+	}
+	if got := shards[1].Replicas[0].Name(); got != "b-replica1" {
+		t.Errorf("replica name %q, want b-replica1", got)
+	}
+}
+
+func TestParseShardsRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"   ",
+		",",
+		"nourl",
+		"=http://h:1",
+		"a=",
+		"a=ftp://h:1",
+		"a=http://h:1,a=http://h:2",
+		"a=http://h:1||http://h:3",
+	} {
+		if _, err := ParseShards(spec); err == nil {
+			t.Errorf("ParseShards(%q): want error", spec)
+		}
+	}
+}
+
+func ExampleRing_Owner() {
+	r, _ := NewRing(RingConfig{Shards: []string{"a", "b", "c"}})
+	fmt.Println(r.Owner(1) != "", r.Owner(1) == r.Owner(1))
+	// Output: true true
+}

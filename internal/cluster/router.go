@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"laminar/internal/core"
+)
+
+// Router is the cluster's write path: it pre-assigns globally unique
+// record ids and routes each registration to the ring owner of that id,
+// so every node can derive a record's home shard from its id alone —
+// exactly the property the coordinator's scatter-gather and the v2
+// snapshot fan-out rely on. Users are broadcast to every shard (each node
+// resolves {user} locally; accounts are tiny and write-rare).
+//
+// Ids are assigned from a single router-owned counter. One router per
+// cluster is the deployment contract — multiple concurrent writers would
+// need an external id sequencer, which is out of scope here.
+type Router struct {
+	ring     *Ring
+	primary  map[string]*HTTPPeer
+	nextPEID atomic.Int64
+	nextWFID atomic.Int64
+}
+
+// NewRouter builds the write router. primaries maps every ring shard name
+// to its primary node; a missing or extra entry is a config bug and is
+// rejected.
+func NewRouter(ring *Ring, primaries map[string]*HTTPPeer) (*Router, error) {
+	shards := ring.Shards()
+	if len(primaries) != len(shards) {
+		return nil, fmt.Errorf("cluster: router has %d primaries for %d ring shards", len(primaries), len(shards))
+	}
+	for _, name := range shards {
+		if primaries[name] == nil {
+			return nil, fmt.Errorf("cluster: router is missing a primary for shard %q", name)
+		}
+	}
+	rt := &Router{ring: ring, primary: primaries}
+	rt.nextPEID.Store(0)
+	rt.nextWFID.Store(0)
+	return rt, nil
+}
+
+// SeedIDs advances the id counters past existing records (restarts over a
+// populated cluster).
+func (rt *Router) SeedIDs(maxPEID, maxWorkflowID int) {
+	if int64(maxPEID) > rt.nextPEID.Load() {
+		rt.nextPEID.Store(int64(maxPEID))
+	}
+	if int64(maxWorkflowID) > rt.nextWFID.Load() {
+		rt.nextWFID.Store(int64(maxWorkflowID))
+	}
+}
+
+// Register creates the user on every shard. Partial failure is an error —
+// a user present on some shards would make that user's search results
+// silently shard-dependent.
+func (rt *Router) Register(ctx context.Context, userName, password string) error {
+	for _, name := range rt.ring.Shards() {
+		if err := rt.primary[name].Register(ctx, userName, password); err != nil {
+			return fmt.Errorf("cluster: registering %q on shard %s: %w", userName, name, err)
+		}
+	}
+	return nil
+}
+
+// AddPE assigns the next global PE id, routes the registration to the
+// ring owner, and reports which shard took it.
+func (rt *Router) AddPE(ctx context.Context, user string, req core.AddPERequest) (*core.PERecord, string, error) {
+	req.PEID = int(rt.nextPEID.Add(1))
+	owner := rt.ring.Owner(req.PEID)
+	pe, err := rt.primary[owner].AddPE(ctx, user, req)
+	if err != nil {
+		return nil, owner, err
+	}
+	return pe, owner, nil
+}
+
+// AddWorkflow assigns the next global workflow id and routes the
+// registration to the ring owner.
+func (rt *Router) AddWorkflow(ctx context.Context, user string, req core.AddWorkflowRequest) (*core.WorkflowRecord, string, error) {
+	req.WorkflowID = int(rt.nextWFID.Add(1))
+	owner := rt.ring.Owner(req.WorkflowID)
+	wf, err := rt.primary[owner].AddWorkflow(ctx, user, req)
+	if err != nil {
+		return nil, owner, err
+	}
+	return wf, owner, nil
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"laminar/internal/core"
+)
+
+// shardStub is a recording stand-in for one shard node's HTTP API.
+type shardStub struct {
+	srv *httptest.Server
+
+	mu        sync.Mutex
+	registers int
+	peIDs     []int
+	wfIDs     []int
+}
+
+func newShardStub(t *testing.T) *shardStub {
+	s := &shardStub{}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		switch r.URL.Path {
+		case "/auth/register":
+			s.registers++
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(core.UserRecord{UserID: 1, UserName: "u"})
+		case "/registry/u/pe/add":
+			var req core.AddPERequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				t.Errorf("stub: bad AddPE body: %v", err)
+			}
+			s.peIDs = append(s.peIDs, req.PEID)
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(core.PERecord{PEID: req.PEID, PEName: req.PEName})
+		case "/registry/u/workflow/add":
+			var req core.AddWorkflowRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				t.Errorf("stub: bad AddWorkflow body: %v", err)
+			}
+			s.wfIDs = append(s.wfIDs, req.WorkflowID)
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(core.WorkflowRecord{WorkflowID: req.WorkflowID, WorkflowName: req.WorkflowName})
+		default:
+			t.Errorf("stub: unexpected path %s", r.URL.Path)
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func TestRouterValidatesPrimaryCoverage(t *testing.T) {
+	ring, err := NewRing(RingConfig{Shards: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRouter(ring, map[string]*HTTPPeer{"a": NewHTTPPeer("a", "http://x")}); err == nil {
+		t.Error("missing primary must be rejected")
+	}
+	if _, err := NewRouter(ring, map[string]*HTTPPeer{
+		"a": NewHTTPPeer("a", "http://x"), "b": NewHTTPPeer("b", "http://y"), "c": NewHTTPPeer("c", "http://z"),
+	}); err == nil {
+		t.Error("extra primary must be rejected")
+	}
+}
+
+func TestRouterRoutesWritesByRingOwner(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	ring, err := NewRing(RingConfig{Shards: names})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := map[string]*shardStub{}
+	primaries := map[string]*HTTPPeer{}
+	for _, name := range names {
+		stubs[name] = newShardStub(t)
+		primaries[name] = NewHTTPPeer(name, stubs[name].srv.URL)
+	}
+	rt, err := NewRouter(ring, primaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if err := rt.Register(ctx, "u", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if stubs[name].registers != 1 {
+			t.Errorf("shard %s saw %d registers, want 1 (registration broadcasts)", name, stubs[name].registers)
+		}
+	}
+
+	// Every registration must land on the ring owner of its pre-assigned
+	// id, and the id sequence must be global and gapless.
+	for i := 1; i <= 30; i++ {
+		pe, owner, err := rt.AddPE(ctx, "u", core.AddPERequest{PEName: "PE" + strconv.Itoa(i), PECode: "c"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pe.PEID != i {
+			t.Fatalf("PE %d assigned id %d; router ids must be sequential", i, pe.PEID)
+		}
+		if want := ring.Owner(pe.PEID); owner != want {
+			t.Fatalf("PE id %d routed to %s, ring owner is %s", pe.PEID, owner, want)
+		}
+	}
+	total := 0
+	for _, name := range names {
+		for _, id := range stubs[name].peIDs {
+			if got := ring.Owner(id); got != name {
+				t.Errorf("shard %s received PE id %d owned by %s", name, id, got)
+			}
+		}
+		total += len(stubs[name].peIDs)
+	}
+	if total != 30 {
+		t.Errorf("shards received %d PEs in total, want 30", total)
+	}
+
+	if wf, owner, err := rt.AddWorkflow(ctx, "u", core.AddWorkflowRequest{WorkflowName: "W", WorkflowCode: "c"}); err != nil {
+		t.Fatal(err)
+	} else if wf.WorkflowID != 1 || owner != ring.Owner(1) {
+		t.Errorf("workflow routed wrong: id=%d owner=%s", wf.WorkflowID, owner)
+	}
+}
+
+func TestRouterSeedIDsAdvancesCounters(t *testing.T) {
+	ring, err := NewRing(RingConfig{Shards: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := newShardStub(t)
+	rt, err := NewRouter(ring, map[string]*HTTPPeer{"a": NewHTTPPeer("a", stub.srv.URL)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SeedIDs(100, 7)
+	pe, _, err := rt.AddPE(context.Background(), "u", core.AddPERequest{PEName: "PE", PECode: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.PEID != 101 {
+		t.Errorf("after SeedIDs(100, 7) the next PE id is %d, want 101", pe.PEID)
+	}
+	wf, _, err := rt.AddWorkflow(context.Background(), "u", core.AddWorkflowRequest{WorkflowName: "W", WorkflowCode: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.WorkflowID != 8 {
+		t.Errorf("after SeedIDs(100, 7) the next workflow id is %d, want 8", wf.WorkflowID)
+	}
+}
+
+func TestRouterRegisterTreatsConflictAsSuccess(t *testing.T) {
+	conflict := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(map[string]string{"message": "user exists"})
+	}))
+	defer conflict.Close()
+	ring, err := NewRing(RingConfig{Shards: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(ring, map[string]*HTTPPeer{"a": NewHTTPPeer("a", conflict.URL)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register(context.Background(), "u", "pw"); err != nil {
+		t.Errorf("re-registering an existing user must be idempotent, got %v", err)
+	}
+}
+
+func TestRouterRegisterPartialFailureIsError(t *testing.T) {
+	good := newShardStub(t)
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	ring, err := NewRing(RingConfig{Shards: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(ring, map[string]*HTTPPeer{
+		"a": NewHTTPPeer("a", good.srv.URL),
+		"b": NewHTTPPeer("b", bad.URL),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register(context.Background(), "u", "pw"); err == nil {
+		t.Error("a user present on only some shards must be a hard error")
+	}
+}

@@ -60,6 +60,13 @@ func ErrConflict(param, format string, args ...any) *APIError {
 	return &APIError{Type: "ConflictError", Code: http.StatusConflict, Param: param, Message: fmt.Sprintf(format, args...)}
 }
 
+// ErrReadOnly reports a write rejected by a read-only node (a cluster
+// query replica restored from a snapshot — writes belong on the shard
+// primaries).
+func ErrReadOnly(format string, args ...any) *APIError {
+	return &APIError{Type: "ReadOnlyError", Code: http.StatusForbidden, Message: fmt.Sprintf(format, args...)}
+}
+
 // ErrTooLarge reports a request body exceeding the server's size limit.
 func ErrTooLarge(param, format string, args ...any) *APIError {
 	return &APIError{Type: "PayloadTooLargeError", Code: http.StatusRequestEntityTooLarge, Param: param, Message: fmt.Sprintf(format, args...)}

@@ -23,6 +23,12 @@ type AuthResponse struct {
 
 // AddPERequest is the body of POST /registry/{user}/pe/add.
 type AddPERequest struct {
+	// PEID, when > 0, pins the new record's id instead of letting the
+	// registry assign one. Cluster write routing depends on it: the
+	// coordinator assigns globally unique ids and consistent-hashes them
+	// to shards, so the id must survive the trip. A taken id is a
+	// conflict, not a reassignment.
+	PEID        int      `json:"peId,omitempty"`
 	PEName      string   `json:"peName"`
 	Description string   `json:"description,omitempty"`
 	PECode      string   `json:"peCode"` // serialized envelope
@@ -37,6 +43,9 @@ type AddPERequest struct {
 
 // AddWorkflowRequest is the body of POST /registry/{user}/workflow/add.
 type AddWorkflowRequest struct {
+	// WorkflowID, when > 0, pins the new record's id (see
+	// AddPERequest.PEID — the cluster write router depends on it).
+	WorkflowID   int    `json:"workflowId,omitempty"`
 	WorkflowName string `json:"workflowName"`
 	EntryPoint   string `json:"entryPoint"`
 	Description  string `json:"description,omitempty"`
@@ -109,6 +118,10 @@ type SearchRequest struct {
 // SearchResponse is the ranked hit list.
 type SearchResponse struct {
 	Hits []SearchHit `json:"hits"`
+	// Degraded, on a cluster coordinator's reply, marks a partial result:
+	// at least one shard contributed nothing (down, timed out, or
+	// failed), so Hits covers only the shards that answered.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // SearchBatchRequest is the body of POST /registry/{user}/search/batch:

@@ -107,6 +107,34 @@ type trainedSet struct {
 	// The adaptive probe loop turns it into a per-shard score bound:
 	// no member of shard ci can score above dot(q, centroid) + radius.
 	radii []float64
+	// qradii[ci] is the radiusQuantile (p95) of member distances in shard
+	// ci at train/restore time — a tighter, slightly leaky bound that a
+	// single outlier member cannot inflate. Approximate adaptive scans
+	// (RecallTarget < 1) bound shards with it instead of the max radius,
+	// stopping sooner on the same corpus; exact scans (target 1.0) keep
+	// the provable max. Inserts widen it just like radii so a shard's
+	// newest member is never bounded out.
+	qradii []float64
+}
+
+// radiusQuantile is the member-distance quantile qradii stores.
+const radiusQuantile = 0.95
+
+// quantileDist returns the q-quantile of ds (sorted in place). Empty in,
+// zero out.
+func quantileDist(ds []float64, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Float64s(ds)
+	i := int(math.Ceil(q*float64(len(ds)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ds) {
+		i = len(ds) - 1
+	}
+	return ds[i]
 }
 
 // Clustered is an IVF-style approximate index: vectors are partitioned into
@@ -154,6 +182,11 @@ type Clustered struct {
 	deferred   bool
 	clock      func() time.Time
 	schedule   func(d time.Duration, f func())
+	// lastRetrainDur is how long the most recent completed retrain took
+	// (measured on the injectable clock). The cooldown adapts to it: a
+	// corpus whose retrains take minutes gets a proportionally longer
+	// window than the flag alone would give (see effectiveCooldownLocked).
+	lastRetrainDur time.Duration
 
 	// metrics, when set, is the observability surface every query and
 	// completed retrain reports into (see SetMetrics).
@@ -338,12 +371,18 @@ func (ts *trainedSet) insert(cfg ClusteredConfig, id int, v []float32) {
 	if d1 > ts.radii[best] {
 		ts.radii[best] = d1
 	}
+	if len(ts.qradii) == len(ts.radii) && d1 > ts.qradii[best] {
+		ts.qradii[best] = d1
+	}
 	if cfg.SpillRatio > 0 && second >= 0 {
 		if d2 := distance(ts.centroids[second], v); d2 <= (1+cfg.SpillRatio)*d1 {
 			ts.spill[id] = second
 			ts.shards[second] = append(ts.shards[second], id)
 			if d2 > ts.radii[second] {
 				ts.radii[second] = d2
+			}
+			if len(ts.qradii) == len(ts.radii) && d2 > ts.qradii[second] {
+				ts.qradii[second] = d2
 			}
 		}
 	}
@@ -370,13 +409,35 @@ func (c *Clustered) maybeRetrainLocked() {
 	if c.retraining || !c.retrainDueLocked() {
 		return
 	}
-	if cd := c.cfg.RetrainCooldown; cd > 0 && !c.lastLaunch.IsZero() {
+	if cd := c.effectiveCooldownLocked(); cd > 0 && !c.lastLaunch.IsZero() {
 		if elapsed := c.clock().Sub(c.lastLaunch); elapsed < cd {
 			c.deferRetrainLocked(cd - elapsed)
 			return
 		}
 	}
 	c.launchRetrainLocked()
+}
+
+// cooldownDurationFactor scales the adaptive cooldown: a retrain may
+// consume at most ~1/cooldownDurationFactor of the index's background
+// compute budget.
+const cooldownDurationFactor = 5
+
+// effectiveCooldownLocked is the cooldown window actually enforced: the
+// configured flag, stretched to cooldownDurationFactor times the last
+// measured retrain duration when that is longer. A flag tuned for a small
+// corpus therefore cannot make a grown corpus spend most of its time in
+// k-means — the window scales with the cost it gates. Cooldown off
+// (flag <= 0) stays off regardless of duration.
+func (c *Clustered) effectiveCooldownLocked() time.Duration {
+	cd := c.cfg.RetrainCooldown
+	if cd <= 0 {
+		return cd
+	}
+	if adaptive := cooldownDurationFactor * c.lastRetrainDur; adaptive > cd {
+		return adaptive
+	}
+	return cd
 }
 
 // deferRetrainLocked schedules the one coalesced retrain a cooldown
@@ -431,11 +492,14 @@ func (c *Clustered) launchRetrainLocked() {
 // training (deletes drop out, overflow inserts are assigned to their nearest
 // new centroid) and installs the new clustering with a pointer swap.
 func (c *Clustered) retrain(snap map[int][]float32, gen int, hook func()) {
+	// The measured window opens before the hook on purpose: the hook is the
+	// injectable stand-in for "the retrain takes a while", which is what
+	// the adaptive-cooldown tests advance the fake clock inside.
+	start := c.clock()
 	if hook != nil {
 		hook()
 	}
-	start := time.Now()
-	cents, assign, spill, radii := trainKMeans(c.cfg, snap)
+	cents, assign, spill, radii, qradii := trainKMeans(c.cfg, snap)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -452,6 +516,7 @@ func (c *Clustered) retrain(snap map[int][]float32, gen int, hook func()) {
 		assign:    make(map[int]int, len(c.vecs)),
 		spill:     map[int]int{},
 		radii:     radii,
+		qradii:    qradii,
 	}
 	for id, ci := range assign {
 		if _, ok := c.vecs[id]; !ok {
@@ -497,7 +562,9 @@ func (c *Clustered) retrain(snap map[int][]float32, gen int, hook func()) {
 	c.trainedAt = len(snap)
 	c.retraining = false
 	c.retrains++
-	c.metrics.observeRetrain(time.Since(start).Seconds())
+	dur := c.clock().Sub(start)
+	c.lastRetrainDur = dur
+	c.metrics.observeRetrain(dur.Seconds())
 	// The corpus may have doubled (or churned) again while we were
 	// training; go around — through the cooldown gate, which is exactly
 	// where back-to-back retrain storms are broken.
@@ -525,13 +592,13 @@ func numCentroids(cfg ClusteredConfig, n int) int {
 // a final pass assigns every id to its nearest *final* centroid so shard
 // membership always agrees with the centroids a query probes against. The
 // same final pass computes the spill replicas (second-nearest centroid
-// within the configured ratio) and the per-shard radii the adaptive probe
-// bounds need. It is a pure function — the background retrain runs it
-// without holding the index lock.
-func trainKMeans(cfg ClusteredConfig, vecs map[int][]float32) ([][]float32, map[int]int, map[int]int, []float64) {
+// within the configured ratio) and the per-shard radii — the max and the
+// radiusQuantile — the adaptive probe bounds need. It is a pure function —
+// the background retrain runs it without holding the index lock.
+func trainKMeans(cfg ClusteredConfig, vecs map[int][]float32) ([][]float32, map[int]int, map[int]int, []float64, []float64) {
 	n := len(vecs)
 	if n == 0 {
-		return nil, map[int]int{}, map[int]int{}, nil
+		return nil, map[int]int{}, map[int]int{}, nil, nil
 	}
 	ids := make([]int, 0, n)
 	for id := range vecs {
@@ -599,6 +666,7 @@ func trainKMeans(cfg ClusteredConfig, vecs map[int][]float32) ([][]float32, map[
 	out := make(map[int]int, n)
 	spill := map[int]int{}
 	radii := make([]float64, k)
+	dists := make([][]float64, k)
 	for _, id := range ids {
 		v := vecs[id]
 		best, second := nearestTwoCentroids(cents, v)
@@ -607,16 +675,22 @@ func trainKMeans(cfg ClusteredConfig, vecs map[int][]float32) ([][]float32, map[
 		if d1 > radii[best] {
 			radii[best] = d1
 		}
+		dists[best] = append(dists[best], d1)
 		if cfg.SpillRatio > 0 && second >= 0 {
 			if d2 := distance(cents[second], v); d2 <= (1+cfg.SpillRatio)*d1 {
 				spill[id] = second
 				if d2 > radii[second] {
 					radii[second] = d2
 				}
+				dists[second] = append(dists[second], d2)
 			}
 		}
 	}
-	return cents, out, spill, radii
+	qradii := make([]float64, k)
+	for ci := range dists {
+		qradii[ci] = quantileDist(dists[ci], radiusQuantile)
+	}
+	return cents, out, spill, radii, qradii
 }
 
 // nearestCentroid returns the index of the centroid most similar to v (ties
@@ -878,7 +952,17 @@ func (c *Clustered) searchLocked(query []float32, k int, filter Filter) []Candid
 		targets := make([]probeTarget, len(ts.centroids))
 		for ci, cent := range ts.centroids {
 			cs := dot(query, cent)
-			targets[ci] = probeTarget{ci: ci, score: cs, bound: cs + ts.radii[ci] + boundPad(ts.radii[ci])}
+			// Exact scans bound each shard by its max radius — the provable
+			// cap the proof rule needs. Approximate scans use the p95
+			// quantile radius instead: a single outlier member can no longer
+			// hold a shard's bound open, so the stop rules fire sooner, and
+			// the members past the quantile are exactly the kind of long-shot
+			// candidates a sub-1.0 target has already agreed to trade away.
+			r := ts.radii[ci]
+			if !exact && len(ts.qradii) == len(ts.radii) {
+				r = ts.qradii[ci]
+			}
+			targets[ci] = probeTarget{ci: ci, score: cs, bound: cs + r + boundPad(r)}
 		}
 		// An exact scan visits shards best-bound-first so the provable stop
 		// rule sees a monotone bound sequence; an approximate one visits
@@ -1280,6 +1364,7 @@ func (c *Clustered) Restore(snap *Snapshot, vecs map[int][]float32) error {
 			assign:    make(map[int]int, len(vecs)),
 			spill:     map[int]int{},
 			radii:     make([]float64, k),
+			qradii:    make([]float64, k),
 		}
 		for i, cent := range cs.Centroids {
 			if len(cent) == 0 {
@@ -1288,15 +1373,22 @@ func (c *Clustered) Restore(snap *Snapshot, vecs map[int][]float32) error {
 			ts.centroids[i] = append([]float32(nil), cent...)
 		}
 		// Deterministic shard order: walk ids sorted, not in map order.
+		// Snapshot-assigned ids re-shard first, collecting per-shard member
+		// distances so the quantile radii can be computed over the full
+		// restored membership; unassigned ids (the save-time overflow
+		// buffer) fold in afterwards through the same incremental insert a
+		// live index would use, widening both radius kinds as needed.
 		ids := make([]int, 0, len(vecs))
 		for id := range vecs {
 			ids = append(ids, id)
 		}
 		sort.Ints(ids)
+		var pending []int
+		dists := make([][]float64, k)
 		for _, id := range ids {
 			ci, ok := cs.Assign[id]
 			if !ok {
-				ts.insert(c.cfg, id, vecs[id])
+				pending = append(pending, id)
 				continue
 			}
 			if ci < 0 || ci >= k {
@@ -1304,19 +1396,29 @@ func (c *Clustered) Restore(snap *Snapshot, vecs map[int][]float32) error {
 			}
 			ts.assign[id] = ci
 			ts.shards[ci] = append(ts.shards[ci], id)
-			if d := distance(ts.centroids[ci], vecs[id]); d > ts.radii[ci] {
+			d := distance(ts.centroids[ci], vecs[id])
+			if d > ts.radii[ci] {
 				ts.radii[ci] = d
 			}
+			dists[ci] = append(dists[ci], d)
 			if sp, ok := cs.Spill[id]; ok {
 				if sp < 0 || sp >= k {
 					return fmt.Errorf("index: snapshot spills id %d to centroid %d of %d", id, sp, k)
 				}
 				ts.spill[id] = sp
 				ts.shards[sp] = append(ts.shards[sp], id)
-				if d := distance(ts.centroids[sp], vecs[id]); d > ts.radii[sp] {
+				d := distance(ts.centroids[sp], vecs[id])
+				if d > ts.radii[sp] {
 					ts.radii[sp] = d
 				}
+				dists[sp] = append(dists[sp], d)
 			}
+		}
+		for ci := range dists {
+			ts.qradii[ci] = quantileDist(dists[ci], radiusQuantile)
+		}
+		for _, id := range pending {
+			ts.insert(c.cfg, id, vecs[id])
 		}
 		if cs.TrainedAt > 0 {
 			trainedAt = cs.TrainedAt

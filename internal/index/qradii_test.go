@@ -1,0 +1,229 @@
+package index
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// snapshotTrained reads the live trainedSet under the lock.
+func snapshotTrained(c *Clustered) *trainedSet {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.trained
+}
+
+// TestQuantileRadiiBoundedByMaxRadii pins qradii's defining invariant: a
+// p95 of member distances can never exceed the max of member distances,
+// per shard, after training and after incremental inserts.
+func TestQuantileRadiiBoundedByMaxRadii(t *testing.T) {
+	c := NewClustered(ClusteredConfig{RecallTarget: 0.9})
+	vecs := cooldownVecs(600, 16, 31)
+	for i, v := range vecs[:500] {
+		c.Upsert(i, v)
+	}
+	c.TrainNow()
+	c.WaitRetrain()
+
+	check := func(stage string) {
+		t.Helper()
+		ts := snapshotTrained(c)
+		if ts == nil {
+			t.Fatalf("%s: no trained set", stage)
+		}
+		if len(ts.qradii) != len(ts.radii) {
+			t.Fatalf("%s: qradii has %d entries, radii %d", stage, len(ts.qradii), len(ts.radii))
+		}
+		const eps = 1e-9
+		for ci := range ts.radii {
+			if ts.qradii[ci] > ts.radii[ci]+eps {
+				t.Errorf("%s: shard %d qradii %.6f exceeds max radius %.6f", stage, ci, ts.qradii[ci], ts.radii[ci])
+			}
+		}
+	}
+	check("after train")
+
+	// Incremental inserts widen both bounds; the invariant must survive.
+	for i, v := range vecs[500:] {
+		c.Upsert(500+i, v)
+	}
+	check("after inserts")
+}
+
+// TestQuantileRadiiSurviveSnapshotRoundTrip pins the satellite's
+// persistence requirement: a Restore recomputes qradii from the restored
+// membership, and an approximate adaptive search answers identically
+// before and after the round trip.
+func TestQuantileRadiiSurviveSnapshotRoundTrip(t *testing.T) {
+	cfg := ClusteredConfig{RecallTarget: 0.9}
+	c := NewClustered(cfg)
+	vecs := cooldownVecs(800, 16, 57)
+	live := map[int][]float32{}
+	for i, v := range vecs[:700] {
+		c.Upsert(i, v)
+		live[i] = v
+	}
+	c.TrainNow()
+	c.WaitRetrain()
+
+	// Through the JSON wire format, the way the v2 sidecar ships it.
+	data, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	r := NewClustered(cfg)
+	if err := r.Restore(&snap, live); err != nil {
+		t.Fatalf("snapshot did not restore: %v", err)
+	}
+
+	ts := snapshotTrained(r)
+	if len(ts.qradii) != len(ts.radii) {
+		t.Fatalf("restored qradii has %d entries, radii %d", len(ts.qradii), len(ts.radii))
+	}
+	nonzero := 0
+	for ci := range ts.radii {
+		if ts.qradii[ci] > ts.radii[ci]+1e-9 {
+			t.Errorf("restored shard %d qradii %.6f exceeds max radius %.6f", ci, ts.qradii[ci], ts.radii[ci])
+		}
+		if ts.qradii[ci] > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("every restored qradii is zero; the restore walk did not collect member distances")
+	}
+
+	for qi := 700; qi < 720; qi++ {
+		want := c.Search(vecs[qi], 10, nil)
+		got := r.Search(vecs[qi], 10, nil)
+		if len(want) != len(got) {
+			t.Fatalf("query %d: %d hits before round trip, %d after", qi, len(want), len(got))
+		}
+		for i := range want {
+			if want[i].ID != got[i].ID {
+				t.Fatalf("query %d rank %d: id %d before round trip, %d after", qi, i, want[i].ID, got[i].ID)
+			}
+		}
+	}
+}
+
+// TestQuantileRadiiDoNotTouchExactScans pins the exactness carve-out: at
+// RecallTarget 1.0 the adaptive scan must keep the provable max-radius
+// bound, so its results equal Flat's on every query even when a shard's
+// p95 would have stopped the scan early.
+func TestQuantileRadiiDoNotTouchExactScans(t *testing.T) {
+	c := NewClustered(ClusteredConfig{RecallTarget: 1.0})
+	f := NewFlat()
+	vecs := cooldownVecs(700, 16, 83)
+	for i, v := range vecs[:600] {
+		c.Upsert(i, v)
+		f.Upsert(i, v)
+	}
+	c.TrainNow()
+	c.WaitRetrain()
+
+	for qi := 600; qi < 640; qi++ {
+		want := f.Search(vecs[qi], 10, nil)
+		got := c.Search(vecs[qi], 10, nil)
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("query %d rank %d: clustered(target=1.0) returned id %d, flat returned %d", qi, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+// TestQuantileRadiiKeepRecallAtTarget is the satellite's effectiveness
+// floor: with the tighter p95 bounds the adaptive scan at target 0.9 must
+// still deliver high recall against an exact scan.
+func TestQuantileRadiiKeepRecallAtTarget(t *testing.T) {
+	c := NewClustered(ClusteredConfig{RecallTarget: 0.9})
+	f := NewFlat()
+	vecs := cooldownVecs(1100, 16, 101)
+	for i, v := range vecs[:1000] {
+		c.Upsert(i, v)
+		f.Upsert(i, v)
+	}
+	c.TrainNow()
+	c.WaitRetrain()
+
+	overlap, total := 0, 0
+	for qi := 1000; qi < 1050; qi++ {
+		exact := map[int]bool{}
+		for _, h := range f.Search(vecs[qi], 10, nil) {
+			exact[h.ID] = true
+		}
+		for _, h := range c.Search(vecs[qi], 10, nil) {
+			if exact[h.ID] {
+				overlap++
+			}
+		}
+		total += 10
+	}
+	if recall := float64(overlap) / float64(total); recall < 0.85 {
+		t.Errorf("recall@10 with p95 bounds at target 0.9 = %.3f, want >= 0.85", recall)
+	}
+}
+
+// TestAdaptiveCooldownStretchesWithRetrainDuration pins the adaptive
+// retrain cooldown: the enforced window is max(flag, 5x the last measured
+// retrain duration), so a flag tuned for a small corpus cannot make a
+// grown corpus spend most of its background compute re-running k-means.
+// The clock is injected and advanced inside the retrain hook, so the test
+// "takes" a 60-second retrain without sleeping.
+func TestAdaptiveCooldownStretchesWithRetrainDuration(t *testing.T) {
+	const n = 128
+	c := NewClustered(ClusteredConfig{RetrainCooldown: time.Minute})
+	var now atomic.Int64
+	now.Store(time.Hour.Nanoseconds())
+	c.clock = func() time.Time { return time.Unix(0, now.Load()) }
+	var schedMu sync.Mutex
+	var pending []func()
+	c.schedule = func(_ time.Duration, f func()) {
+		schedMu.Lock()
+		pending = append(pending, f)
+		schedMu.Unlock()
+	}
+	// Every retrain "takes" 60s of fake time.
+	c.retrainHook = func() { now.Add(time.Minute.Nanoseconds()) }
+
+	vecs := cooldownVecs(2*n, 8, 29)
+	for i := 0; i < n; i++ {
+		c.Upsert(i, vecs[i])
+	}
+	c.TrainNow()
+	c.WaitRetrain()
+	r0 := c.Retrains()
+
+	// With the flag alone the window would be 1 minute; the 60s retrain
+	// stretches it to 5 minutes. Churn 2 minutes after the launch must
+	// therefore be deferred, not retrained.
+	now.Add(2 * time.Minute.Nanoseconds())
+	for i := 0; i < n; i++ {
+		c.Upsert(i, vecs[(i+1)%(2*n)])
+	}
+	c.WaitRetrain()
+	if got := c.Retrains(); got != r0 {
+		t.Fatalf("retrain launched %d times inside the stretched window, want 0 (flag 1m, adaptive 5m)", got-r0)
+	}
+	schedMu.Lock()
+	deferred := len(pending)
+	schedMu.Unlock()
+	if deferred != 1 {
+		t.Fatalf("deferred retrains = %d, want exactly 1", deferred)
+	}
+
+	// Past the 5-minute adaptive window the deferred retrain fires.
+	now.Add(4 * time.Minute.Nanoseconds())
+	pending[0]()
+	c.WaitRetrain()
+	if got := c.Retrains(); got != r0+1 {
+		t.Fatalf("retrains after the stretched window = %d, want %d", got, r0+1)
+	}
+}

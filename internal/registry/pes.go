@@ -16,6 +16,12 @@ import (
 // additional owner instead of creating a duplicate entry (Section 3.1).
 func (s *Store) AddPE(userID int, req core.AddPERequest) (*core.PERecord, error) {
 	s.simulateWAN()
+	if err := s.checkWritable(); err != nil {
+		return nil, err
+	}
+	if req.PEID < 0 {
+		return nil, core.ErrBadRequest("peId", "peId must be positive when set")
+	}
 	if strings.TrimSpace(req.PEName) == "" {
 		return nil, core.ErrBadRequest("peName", "PE name must not be empty")
 	}
@@ -52,8 +58,19 @@ func (s *Store) AddPE(userID int, req core.AddPERequest) (*core.PERecord, error)
 			return pe, nil
 		}
 	}
+	// A pinned id (cluster write routing: the coordinator assigns global
+	// ids and consistent-hashes them to shards) is honored verbatim; a
+	// collision is a conflict, never a silent reassignment, because the
+	// record's home shard is derived from its id.
+	id := s.nextPEID
+	if req.PEID > 0 {
+		if _, taken := s.pes[req.PEID]; taken {
+			return nil, core.ErrConflict("peId", "PE id %d is already registered", req.PEID)
+		}
+		id = req.PEID
+	}
 	pe := &core.PERecord{
-		PEID:           s.nextPEID,
+		PEID:           id,
 		PEName:         req.PEName,
 		Description:    req.Description,
 		AutoSummarized: req.AutoSummarized,
@@ -63,7 +80,9 @@ func (s *Store) AddPE(userID int, req core.AddPERequest) (*core.PERecord, error)
 		DescEmbedding:  append([]float32(nil), req.DescEmbedding...),
 		CreatedAt:      s.clock(),
 	}
-	s.nextPEID++
+	if pe.PEID >= s.nextPEID {
+		s.nextPEID = pe.PEID + 1
+	}
 	s.pes[pe.PEID] = pe
 	s.userPEs[userID][pe.PEID] = true
 	s.indexPE(pe.PEID, pe)
@@ -117,6 +136,9 @@ func (s *Store) PEsForUser(userID int) []core.PERecord {
 // owner remains.
 func (s *Store) RemovePE(userID, peID int) error {
 	s.simulateWAN()
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
 	s.pesMu.Lock()
 	defer s.pesMu.Unlock()
 	if _, ok := s.pes[peID]; !ok {

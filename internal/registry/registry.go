@@ -101,6 +101,11 @@ type Store struct {
 	// only waste IO anyway).
 	saveMu sync.Mutex
 
+	// readOnly, when set, rejects every mutating operation with
+	// core.ErrReadOnly. Cluster query replicas restored from a snapshot
+	// run in this mode: they serve searches and reads, never writes.
+	readOnly atomic.Bool
+
 	// latency simulates the WAN round trip to the remote registry service
 	// (nanoseconds); wanHops counts the simulated round trips taken
 	// (observability, and it lets tests pin "one registry call"
@@ -253,6 +258,23 @@ func (s *Store) indexWorkflow(id int, wf *core.WorkflowRecord) {
 		_, _, wfIdx := s.indexes()
 		wfIdx.Upsert(id, wf.DescEmbedding)
 	}
+}
+
+// SetReadOnly switches the store's write protection. A read-only store
+// (a cluster query replica) rejects registrations, removals and
+// associations with a 403 ReadOnlyError; reads, logins and searches are
+// unaffected.
+func (s *Store) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// ReadOnly reports whether the store rejects mutations.
+func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
+
+// checkWritable is the guard every mutating operation calls first.
+func (s *Store) checkWritable() error {
+	if s.readOnly.Load() {
+		return core.ErrReadOnly("this node is a read-only query replica; send writes to a shard primary")
+	}
+	return nil
 }
 
 // SetLatency configures the simulated WAN round trip applied to every

@@ -21,6 +21,9 @@ func hashPassword(userName, password string) string {
 // RegisterUser creates a user with a unique name.
 func (s *Store) RegisterUser(userName, password string) (*core.UserRecord, error) {
 	s.simulateWAN()
+	if err := s.checkWritable(); err != nil {
+		return nil, err
+	}
 	if strings.TrimSpace(userName) == "" {
 		return nil, core.ErrBadRequest("userName", "user name must not be empty")
 	}

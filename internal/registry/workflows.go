@@ -14,6 +14,12 @@ import (
 // AddWorkflow registers a workflow, associating any referenced PEs.
 func (s *Store) AddWorkflow(userID int, req core.AddWorkflowRequest) (*core.WorkflowRecord, error) {
 	s.simulateWAN()
+	if err := s.checkWritable(); err != nil {
+		return nil, err
+	}
+	if req.WorkflowID < 0 {
+		return nil, core.ErrBadRequest("workflowId", "workflowId must be positive when set")
+	}
 	if strings.TrimSpace(req.EntryPoint) == "" {
 		return nil, core.ErrBadRequest("entryPoint", "workflow entry point must not be empty")
 	}
@@ -46,8 +52,17 @@ func (s *Store) AddWorkflow(userID int, req core.AddWorkflowRequest) (*core.Work
 			return wf, nil
 		}
 	}
+	// A pinned id (cluster write routing — see AddPE) is honored verbatim;
+	// a collision is a conflict, never a reassignment.
+	id := s.nextWorkflowID
+	if req.WorkflowID > 0 {
+		if _, taken := s.workflows[req.WorkflowID]; taken {
+			return nil, core.ErrConflict("workflowId", "workflow id %d is already registered", req.WorkflowID)
+		}
+		id = req.WorkflowID
+	}
 	wf := &core.WorkflowRecord{
-		WorkflowID:    s.nextWorkflowID,
+		WorkflowID:    id,
 		WorkflowName:  req.WorkflowName,
 		EntryPoint:    req.EntryPoint,
 		Description:   req.Description,
@@ -55,7 +70,9 @@ func (s *Store) AddWorkflow(userID int, req core.AddWorkflowRequest) (*core.Work
 		DescEmbedding: append([]float32(nil), req.DescEmbedding...),
 		CreatedAt:     s.clock(),
 	}
-	s.nextWorkflowID++
+	if wf.WorkflowID >= s.nextWorkflowID {
+		s.nextWorkflowID = wf.WorkflowID + 1
+	}
 	s.workflows[wf.WorkflowID] = wf
 	s.indexWorkflow(wf.WorkflowID, wf)
 	s.userWorkflows[userID][wf.WorkflowID] = true
@@ -115,6 +132,9 @@ func (s *Store) WorkflowsForUser(userID int) []core.WorkflowRecord {
 // orphaned.
 func (s *Store) RemoveWorkflow(userID, wfID int) error {
 	s.simulateWAN()
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
 	s.wfsMu.Lock()
 	defer s.wfsMu.Unlock()
 	if _, ok := s.workflows[wfID]; !ok {
@@ -153,6 +173,9 @@ func (s *Store) RemoveWorkflowByName(userID int, name string) error {
 // (PUT /registry/{user}/workflow/{workflowId}/pe/{peId}).
 func (s *Store) AssociatePE(userID, wfID, peID int) error {
 	s.simulateWAN()
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
 	s.pesMu.RLock()
 	defer s.pesMu.RUnlock()
 	s.wfsMu.Lock()

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"laminar/internal/cluster"
+	"laminar/internal/core"
+	"laminar/internal/engine"
+	"laminar/internal/registry"
+	"laminar/internal/search"
+)
+
+// fakeShardPeer answers coordinator fan-outs from a fixed hit list.
+type fakeShardPeer struct {
+	name string
+	hits []core.SearchHit
+	err  error
+}
+
+func (p *fakeShardPeer) Name() string { return p.name }
+func (p *fakeShardPeer) Search(context.Context, string, core.SearchRequest) ([]core.SearchHit, error) {
+	return p.hits, p.err
+}
+
+// startClusterServer boots a coordinator node whose shards are fakes —
+// the HTTP surface is real, the fan-out targets are not.
+func startClusterServer(t *testing.T, shards []cluster.Shard) string {
+	t.Helper()
+	co, err := cluster.NewCoordinator(cluster.CoordinatorConfig{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Engine: engine.New(engine.Config{InstallDelayScale: 0}), Cluster: co})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	if code, raw := doReq(t, http.MethodPost, addr+"/auth/register",
+		core.RegisterUserRequest{UserName: "zz46", Password: "password"}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, raw)
+	}
+	return addr
+}
+
+func TestClusterSearchDelegatesSemanticQueries(t *testing.T) {
+	addr := startClusterServer(t, []cluster.Shard{
+		{Name: "a", Primary: &fakeShardPeer{name: "a", hits: []core.SearchHit{
+			{Kind: "pe", ID: 2, Name: "A2", Score: 0.9}}}},
+		{Name: "b", Primary: &fakeShardPeer{name: "b", hits: []core.SearchHit{
+			{Kind: "pe", ID: 5, Name: "B5", Score: 0.7}}}},
+	})
+	var res core.SearchResponse
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search: "stream processing", QueryType: core.QuerySemantic,
+	}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("search: %d %s", code, raw)
+	}
+	if res.Degraded {
+		t.Fatalf("healthy cluster answered degraded: %s", raw)
+	}
+	if len(res.Hits) != 2 || res.Hits[0].ID != 2 || res.Hits[1].ID != 5 {
+		t.Fatalf("merged hits wrong: %+v", res.Hits)
+	}
+}
+
+func TestClusterSearchFlagsDegradedReplies(t *testing.T) {
+	addr := startClusterServer(t, []cluster.Shard{
+		{Name: "a", Primary: &fakeShardPeer{name: "a", hits: []core.SearchHit{
+			{Kind: "pe", ID: 2, Name: "A2", Score: 0.9}}}},
+		{Name: "down", Primary: &fakeShardPeer{name: "down", err: context.DeadlineExceeded}},
+	})
+	var res core.SearchResponse
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search: "stream processing", QueryType: core.QuerySemantic,
+	}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("a degraded reply is still 200, got %d %s", code, raw)
+	}
+	if !res.Degraded {
+		t.Fatalf("degraded flag lost on the wire: %s", raw)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].ID != 2 {
+		t.Fatalf("surviving shard's hits lost: %+v", res.Hits)
+	}
+}
+
+func TestClusterSearchLeavesTextQueriesLocal(t *testing.T) {
+	// Text lookups are registry-local metadata scans, not vector queries;
+	// the coordinator must not intercept them.
+	poison := &fakeShardPeer{name: "a", err: context.DeadlineExceeded}
+	addr := startClusterServer(t, []cluster.Shard{{Name: "a", Primary: poison}})
+	addTestPE(t, addr, "LocalPE")
+	var res core.SearchResponse
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search: "LocalPE", QueryType: core.QueryText,
+	}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("text search: %d %s", code, raw)
+	}
+	if res.Degraded || len(res.Hits) != 1 || res.Hits[0].Name != "LocalPE" {
+		t.Fatalf("text search went through the cluster: %s", raw)
+	}
+}
+
+func TestClusterSearchLocalServesPeers(t *testing.T) {
+	// ClusterSearchLocal is the hook the RESP transport calls on a shard
+	// node; it must answer like POST /registry/{user}/search does.
+	reg := registry.NewStore()
+	u, err := reg.RegisterUser("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := search.EmbedDescription("transforms astronomy data streams")
+	if _, err := reg.AddPE(u.UserID, core.AddPERequest{PEName: "Astro", PECode: "c", DescEmbedding: vec}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Registry: reg, Engine: engine.New(engine.Config{InstallDelayScale: 0})})
+
+	res, err := srv.ClusterSearchLocal("alice", core.SearchRequest{
+		QueryType: core.QuerySemantic, QueryEmbedding: vec, Limit: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].Name != "Astro" {
+		t.Fatalf("hits = %+v", res.Hits)
+	}
+	if _, err := srv.ClusterSearchLocal("ghost", core.SearchRequest{QueryType: core.QuerySemantic, QueryEmbedding: vec}); err == nil {
+		t.Fatal("unknown user must error")
+	}
+}
+
+func TestMetricsGuardToken(t *testing.T) {
+	srv := New(Config{Engine: engine.New(engine.Config{InstallDelayScale: 0}), Metrics: true,
+		MetricsAuthToken: "s3cret"})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	get := func(authz string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, addr+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if authz != "" {
+			req.Header.Set("Authorization", authz)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(""); code != http.StatusForbidden {
+		t.Errorf("no token: %d, want 403", code)
+	}
+	if code := get("Bearer wrong"); code != http.StatusForbidden {
+		t.Errorf("wrong token: %d, want 403", code)
+	}
+	if code := get("Bearer s3cret"); code != http.StatusOK {
+		t.Errorf("right token: %d, want 200", code)
+	}
+}
+
+func TestMetricsGuardCIDR(t *testing.T) {
+	// Loopback allowlisted: the test client (127.0.0.1) passes with no
+	// token at all.
+	srv := New(Config{Engine: engine.New(engine.Config{InstallDelayScale: 0}), Metrics: true,
+		MetricsAllow: []string{"127.0.0.0/8"}})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	if code, _ := doReq(t, http.MethodGet, addr+"/metrics", nil, nil); code != http.StatusOK {
+		t.Errorf("allowlisted client: %d, want 200", code)
+	}
+
+	// A non-matching allowlist turns the same request away.
+	srv2 := New(Config{Engine: engine.New(engine.Config{InstallDelayScale: 0}), Metrics: true,
+		MetricsAllow: []string{"10.0.0.0/8"}})
+	addr2, err := srv2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv2.Close)
+	if code, _ := doReq(t, http.MethodGet, addr2+"/metrics", nil, nil); code != http.StatusForbidden {
+		t.Errorf("blocked client: %d, want 403", code)
+	}
+}
+
+func TestMetricsGuardTokenOrCIDRComposeAsOr(t *testing.T) {
+	srv := New(Config{Engine: engine.New(engine.Config{InstallDelayScale: 0}), Metrics: true,
+		MetricsAuthToken: "s3cret", MetricsAllow: []string{"10.0.0.0/8"}})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	// Client is not in 10/8, but the token alone must admit it.
+	req, err := http.NewRequest(http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("token with non-matching CIDR: %d, want 200 (OR semantics)", resp.StatusCode)
+	}
+	if code, _ := doReq(t, http.MethodGet, addr+"/metrics", nil, nil); code != http.StatusForbidden {
+		t.Errorf("neither credential: %d, want 403", code)
+	}
+}
+
+func TestMetricsOpenByDefault(t *testing.T) {
+	srv := New(Config{Engine: engine.New(engine.Config{InstallDelayScale: 0}), Metrics: true})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	if code, _ := doReq(t, http.MethodGet, addr+"/metrics", nil, nil); code != http.StatusOK {
+		t.Errorf("unguarded /metrics: %d, want 200", code)
+	}
+}

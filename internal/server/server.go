@@ -8,8 +8,10 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"runtime"
@@ -17,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"laminar/internal/cluster"
 	"laminar/internal/core"
 	"laminar/internal/dataflow"
 	"laminar/internal/embed"
@@ -57,6 +60,18 @@ type Config struct {
 	// (Prometheus text format). Collection always runs — atomic counters
 	// cost nothing worth flagging off — this only gates the endpoint.
 	Metrics bool
+	// MetricsAuthToken, when non-empty, requires scrapes to present it as
+	// "Authorization: Bearer <token>"; other requests get 403.
+	MetricsAuthToken string
+	// MetricsAllow, when non-empty, lists CIDRs (e.g. "10.0.0.0/8") whose
+	// source addresses may scrape without a token. Token and allowlist
+	// compose as OR: either satisfies the guard. Both empty = open.
+	MetricsAllow []string
+	// Cluster, when set, makes this node a coordinator: semantic and code
+	// searches scatter-gather across the configured shards instead of
+	// probing the local indexes. Text search and every other endpoint stay
+	// local.
+	Cluster *cluster.Coordinator
 }
 
 // Server is the Laminar API server.
@@ -72,6 +87,9 @@ type Server struct {
 	telem       *telemetry.Registry
 	httpReqs    *telemetry.CounterVec   // laminar_http_requests_total{route,code}
 	httpLatency *telemetry.HistogramVec // laminar_http_request_seconds{route}
+
+	// metricsAllow holds the parsed Config.MetricsAllow networks.
+	metricsAllow []*net.IPNet
 }
 
 // New assembles the controller tree.
@@ -100,6 +118,24 @@ func New(cfg Config) *Server {
 	// before the first workflow runs.
 	if !s.eng.Instrumented() {
 		s.eng.SetTelemetry(s.telem)
+	}
+	// The laminar_cluster_* families register unconditionally — even a
+	// plain single-node server advertises them (empty) on /metrics, which
+	// is what keeps the docs/operations.md runbook sync that metrics-smoke
+	// enforces valid for every deployment shape. A coordinator additionally
+	// feeds them.
+	clusterMetrics := cluster.NewMetrics(s.telem)
+	if cfg.Cluster != nil {
+		cfg.Cluster.SetMetrics(clusterMetrics)
+	}
+	// Fail fast on an unparsable scrape allowlist: a typo silently skipped
+	// would leave /metrics more open (or more closed) than configured.
+	for _, cidr := range cfg.MetricsAllow {
+		_, ipnet, err := net.ParseCIDR(strings.TrimSpace(cidr))
+		if err != nil {
+			panic(fmt.Sprintf("server: bad -metrics-allow CIDR %q: %v", cidr, err))
+		}
+		s.metricsAllow = append(s.metricsAllow, ipnet)
 	}
 	// Process-health gauges, evaluated at scrape time so idle servers pay
 	// nothing between scrapes. See docs/operations.md for runbook guidance.
@@ -231,8 +267,44 @@ func (s *Server) routes() {
 	// operational surface reachable simply leaves it off; collection runs
 	// either way. See docs/operations.md for the metric reference.
 	if s.cfg.Metrics {
-		s.mux.Handle("GET /metrics", s.telem.Handler())
+		s.mux.Handle("GET /metrics", s.guardMetrics(s.telem.Handler()))
 	}
+}
+
+// guardMetrics wraps the /metrics endpoint in the optional scrape
+// protection: a bearer token, a source-CIDR allowlist, or both (OR'd).
+// With neither configured the endpoint stays open, as before.
+func (s *Server) guardMetrics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		token := s.cfg.MetricsAuthToken
+		if token == "" && len(s.metricsAllow) == 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if token != "" {
+			got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if subtle.ConstantTimeCompare([]byte(got), []byte(token)) == 1 {
+				next.ServeHTTP(w, r)
+				return
+			}
+		}
+		if len(s.metricsAllow) > 0 {
+			host, _, err := net.SplitHostPort(r.RemoteAddr)
+			if err != nil {
+				host = r.RemoteAddr
+			}
+			if ip := net.ParseIP(host); ip != nil {
+				for _, n := range s.metricsAllow {
+					if n.Contains(ip) {
+						next.ServeHTTP(w, r)
+						return
+					}
+				}
+			}
+		}
+		writeJSON(w, http.StatusForbidden,
+			&core.APIError{Type: "ForbiddenError", Code: http.StatusForbidden, Message: "metrics scrape rejected: present the bearer token or scrape from an allowed network"})
+	})
 }
 
 // ---- plumbing ----
@@ -577,7 +649,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, user *core
 	if req.QueryType == "" {
 		req.QueryType = core.QueryText
 	}
-	s.search(w, user, req)
+	s.search(w, r, user, req)
 }
 
 // handleSearchPost accepts the full SearchRequest body (semantic and code
@@ -588,14 +660,15 @@ func (s *Server) handleSearchPost(w http.ResponseWriter, r *http.Request, user *
 		writeErr(w, err)
 		return
 	}
-	s.search(w, user, req)
+	s.search(w, r, user, req)
 }
 
 // search is the Service-layer dispatch across the three mechanisms. Text
 // queries still match over the user's record listing; semantic and code
 // queries are answered by the registry's incrementally maintained vector
-// indexes, so no per-query snapshot of every PE is taken.
-func (s *Server) search(w http.ResponseWriter, user *core.UserRecord, req core.SearchRequest) {
+// indexes — or, on a coordinator node, scatter-gathered across the
+// cluster's shards and merged into one global ranking.
+func (s *Server) search(w http.ResponseWriter, r *http.Request, user *core.UserRecord, req core.SearchRequest) {
 	if req.SearchType == "" {
 		req.SearchType = core.SearchBoth
 	}
@@ -605,6 +678,37 @@ func (s *Server) search(w http.ResponseWriter, user *core.UserRecord, req core.S
 		writeErr(w, core.ErrBadRequest("type", "unknown search type %q (want pe, workflow or both)", req.SearchType))
 		return
 	}
+	// Coordinator path: embedding-ranked queries fan out to the shards
+	// (each holds a partition of the corpus) and the per-shard top-k lists
+	// merge into one ranking. The query embedding is computed once, here,
+	// so shards compare rather than re-embed. Text search stays local —
+	// it ranks over the user's own listing, which every shard-broadcast
+	// user resolves locally.
+	if s.cfg.Cluster != nil && (req.QueryType == core.QuerySemantic || req.QueryType == core.QueryCode) {
+		if req.QueryEmbedding == nil {
+			if req.QueryType == core.QueryCode {
+				req.QueryEmbedding = search.EmbedCode(req.Search)
+			} else {
+				req.QueryEmbedding = search.EmbedDescription(req.Search)
+			}
+		}
+		if req.Limit <= 0 {
+			req.Limit = s.cfg.SearchLimit
+		}
+		res := s.cfg.Cluster.Search(r.Context(), user.UserName, req)
+		writeJSON(w, http.StatusOK, core.SearchResponse{Hits: res.Hits, Degraded: res.Degraded})
+		return
+	}
+	hits, err := s.searchHits(user, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, core.SearchResponse{Hits: hits})
+}
+
+// searchHits answers one query from the node's own registry.
+func (s *Server) searchHits(user *core.UserRecord, req core.SearchRequest) ([]core.SearchHit, error) {
 	// limit <= 0 falls through to each mechanism's search.DefaultLimit.
 	limit := req.Limit
 	if limit <= 0 {
@@ -646,10 +750,33 @@ func (s *Server) search(w http.ResponseWriter, user *core.UserRecord, req core.S
 		}
 		hits = s.reg.CompletionSearch(user.UserID, emb, limit)
 	default:
-		writeErr(w, core.ErrBadRequest("query", "unknown query type %q (want text, semantic or code)", req.QueryType))
-		return
+		return nil, core.ErrBadRequest("query", "unknown query type %q (want text, semantic or code)", req.QueryType)
 	}
-	writeJSON(w, http.StatusOK, core.SearchResponse{Hits: hits})
+	return hits, nil
+}
+
+// ClusterSearchLocal answers one search against this node's own registry
+// the way POST /registry/{user}/search would, shaped for the cluster
+// package's RESP transport (cluster.SearchFunc). It never consults the
+// coordinator — it IS the per-shard leaf of a scatter-gather.
+func (s *Server) ClusterSearchLocal(userName string, req core.SearchRequest) (core.SearchResponse, error) {
+	user, err := s.reg.UserByName(userName)
+	if err != nil {
+		return core.SearchResponse{}, err
+	}
+	if req.SearchType == "" {
+		req.SearchType = core.SearchBoth
+	}
+	switch req.SearchType {
+	case core.SearchPEs, core.SearchWorkflows, core.SearchBoth:
+	default:
+		return core.SearchResponse{}, core.ErrBadRequest("type", "unknown search type %q (want pe, workflow or both)", req.SearchType)
+	}
+	hits, err := s.searchHits(user, req)
+	if err != nil {
+		return core.SearchResponse{}, err
+	}
+	return core.SearchResponse{Hits: hits}, nil
 }
 
 // handleSearchBatch answers many semantic or code PE queries in one

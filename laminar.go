@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"laminar/internal/client"
+	"laminar/internal/cluster"
 	"laminar/internal/core"
 	"laminar/internal/dataflow"
 	"laminar/internal/engine"
@@ -128,6 +129,33 @@ type ServerOptions struct {
 	// (Prometheus text format; see docs/operations.md for the metric
 	// reference). Collection always runs; this only gates the endpoint.
 	Metrics bool
+	// MetricsAuthToken, when non-empty, protects /metrics: scrapes must
+	// present it as "Authorization: Bearer <token>" or come from a
+	// MetricsAllow network; everything else gets 403.
+	MetricsAuthToken string
+	// MetricsAllow lists CIDRs (e.g. "10.0.0.0/8") allowed to scrape
+	// /metrics without a token. Composes with MetricsAuthToken as OR.
+	MetricsAllow []string
+	// ClusterPeers, when non-empty, makes this node a cluster coordinator:
+	// semantic and code searches scatter-gather across the listed shard
+	// nodes and merge into one global ranking. Syntax:
+	// "name=primaryURL[|replicaURL...]" comma-separated — see
+	// docs/cluster.md. Shard nodes themselves run WITHOUT this option.
+	ClusterPeers string
+	// ClusterShardTimeout bounds each shard's contribution to a fan-out
+	// (0 = the cluster default, 2s). One slow shard delays a query by at
+	// most this much; past it the reply is partial and flagged degraded.
+	ClusterShardTimeout time.Duration
+	// ClusterHedgeDelay, when > 0, hedges slow primaries: a shard's read
+	// replica is queried too once the primary has been silent this long,
+	// and the first answer wins (0 = hedging off; replicas still serve as
+	// failover targets).
+	ClusterHedgeDelay time.Duration
+	// ReadOnlyReplica locks the registry read-only after the startup load:
+	// the node serves searches and reads from its restored snapshot and
+	// rejects every write with 403 — the cluster's stateless query-replica
+	// mode (see docs/cluster.md).
+	ReadOnlyReplica bool
 	// FlowQueueCap bounds each PE instance's input queue during workflow
 	// enactment (0 = the dataflow default, 1024). Senders park when a
 	// downstream queue fills — backpressure instead of unbounded memory;
@@ -191,7 +219,27 @@ func NewServer(opts ServerOptions) *Server {
 			panic(fmt.Sprintf("laminar: loading registry %s: %v (refusing to start empty over a damaged file)", opts.RegistryPath, err))
 		}
 	}
+	if opts.ReadOnlyReplica {
+		reg.SetReadOnly(true)
+	}
 	reg.SetLatency(opts.RegistryLatency)
+	var coord *cluster.Coordinator
+	if opts.ClusterPeers != "" {
+		shards, err := cluster.ParseShards(opts.ClusterPeers)
+		if err != nil {
+			// Same fail-fast contract as Index: a typo must not silently
+			// coordinate over the wrong shard set.
+			panic(fmt.Sprintf("laminar: ServerOptions.ClusterPeers: %v", err))
+		}
+		coord, err = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Shards:       shards,
+			ShardTimeout: opts.ClusterShardTimeout,
+			HedgeDelay:   opts.ClusterHedgeDelay,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("laminar: ServerOptions.ClusterPeers: %v", err))
+		}
+	}
 	allocMode, err := dataflow.ParseAllocMode(opts.FlowAlloc)
 	if err != nil {
 		// Same fail-fast contract as Index: a typo must not silently run
@@ -207,7 +255,15 @@ func NewServer(opts ServerOptions) *Server {
 		FlowQueueCap:      opts.FlowQueueCap,
 		FlowAlloc:         allocMode,
 	})
-	s := server.New(server.Config{Registry: reg, Engine: eng, Metrics: opts.Metrics, Telemetry: telem})
+	s := server.New(server.Config{
+		Registry:         reg,
+		Engine:           eng,
+		Metrics:          opts.Metrics,
+		MetricsAuthToken: opts.MetricsAuthToken,
+		MetricsAllow:     opts.MetricsAllow,
+		Telemetry:        telem,
+		Cluster:          coord,
+	})
 	return &Server{Server: s, registryPath: opts.RegistryPath}
 }
 
