@@ -9,9 +9,16 @@ GO ?= go
 # dataflow mappings and the Redis transport under them) run under the race
 # detector; running the whole tree under -race would double the verify wall
 # clock for packages with no shared state.
-RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server ./internal/telemetry ./internal/dataflow ./internal/resp ./internal/redisserver ./internal/cluster
+RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server ./internal/telemetry ./internal/dataflow ./internal/resp ./internal/redisserver ./internal/cluster ./internal/lexical ./internal/search
 
-.PHONY: build test vet fmt-check docs bench race purego searchbench-smoke metrics-smoke flowbench-smoke clusterbench-smoke verify
+# The hybrid-retrieval packages carry a statement-coverage floor: their
+# test walls (BM25/RRF properties, tokenizer fuzz seeds, rerank goldens)
+# are the only thing standing between a scoring regression and silently
+# worse retrieval, so `make verify` fails if coverage decays below this.
+COVER_FLOOR = 85
+COVER_PKGS = ./internal/lexical ./internal/search
+
+.PHONY: build test vet fmt-check docs bench race purego cover-check searchbench-smoke metrics-smoke flowbench-smoke clusterbench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -50,6 +57,18 @@ purego:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# cover-check enforces the COVER_FLOOR statement-coverage floor on the
+# hybrid-retrieval packages listed in COVER_PKGS.
+cover-check:
+	@fail=0; for pkg in $(COVER_PKGS); do \
+		out="$$($(GO) test -cover $$pkg)" || { echo "$$out"; exit 1; }; \
+		pct="$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"; \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		if [ -z "$$pct" ] || [ "$$(echo "$$pct $(COVER_FLOOR)" | awk '{print ($$1 >= $$2) ? 1 : 0}')" != "1" ]; then \
+			echo "cover-check: $$pkg coverage $$pct% is below the $(COVER_FLOOR)% floor"; fail=1; \
+		fi; \
+	done; exit $$fail
+
 # searchbench-smoke is the fast recall gate: a tiny corpus of real
 # description embeddings, hard floors on the tuned recall engine (recall@10
 # >= 0.9, never behind the fixed-nprobe baseline, RecallTarget=1.0 exactly
@@ -85,4 +104,4 @@ flowbench-smoke:
 clusterbench-smoke:
 	$(GO) run ./cmd/laminar-bench -clusterbench-smoke
 
-verify: build vet fmt-check docs test race purego searchbench-smoke metrics-smoke flowbench-smoke clusterbench-smoke
+verify: build vet fmt-check docs test race purego cover-check searchbench-smoke metrics-smoke flowbench-smoke clusterbench-smoke

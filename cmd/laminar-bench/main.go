@@ -25,8 +25,8 @@ func main() {
 	table := flag.Int("table", 0, "run only this table (5, 6 or 7)")
 	figures := flag.Bool("figures", false, "run only the figures")
 	ablations := flag.Bool("ablations", false, "run only the ablations")
-	searchBench := flag.Bool("searchbench", false, "run only the vector-index comparison (Flat vs Clustered) plus the recall-vs-latency knob frontier")
-	searchSmoke := flag.Bool("searchbench-smoke", false, "run the fast CI recall gate: tiny corpus, fails when tuned recall@10 drops below 0.9, behind the fixed-nprobe baseline, or when target 1.0 stops being exact")
+	searchBench := flag.Bool("searchbench", false, "run only the vector-index comparison (Flat vs Clustered), the recall-vs-latency knob frontier, and the hybrid-retrieval quality table (pure-ANN vs hybrid RRF vs cross-encoder reranked, with an adversarial exact-identifier query set)")
+	searchSmoke := flag.Bool("searchbench-smoke", false, "run the fast CI recall gate: tiny corpus, fails when tuned recall@10 drops below 0.9, behind the fixed-nprobe baseline, when target 1.0 stops being exact, or when hybrid retrieval falls behind pure ANN on exact-identifier queries")
 	indexNProbe := flag.Int("index-nprobe", 0, "shards probed per clustered query in -searchbench (0 = auto; a nonzero value is the adaptive floor when -index-recall-target is set)")
 	indexRecallTarget := flag.Float64("index-recall-target", 0, "adaptive probe recall target in (0,1] for -searchbench (0 = fixed nprobe)")
 	indexMaxProbe := flag.Int("index-max-probe", 0, "adaptive probe budget cap for -searchbench (0 = no cap)")
@@ -115,6 +115,11 @@ func main() {
 			}
 			fmt.Println(fr.Render())
 		}
+		hq, err := bench.RunHybridQuality(0, 0)
+		if err != nil {
+			log.Fatalf("hybrid quality: %v", err)
+		}
+		fmt.Println(hq.Render())
 	}
 	if *vecBench {
 		out, err := bench.RunVecBench()

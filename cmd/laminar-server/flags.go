@@ -9,6 +9,7 @@ import (
 
 	"laminar"
 	"laminar/internal/cluster"
+	"laminar/internal/core"
 	"laminar/internal/dataflow"
 )
 
@@ -43,6 +44,8 @@ type serverConfig struct {
 	indexQuantize        bool
 	indexRetrainCooldown time.Duration
 
+	searchMode string
+
 	flowQueueCap int
 	flowAlloc    string
 }
@@ -75,6 +78,7 @@ func registerFlags(fs *flag.FlagSet) *serverConfig {
 	fs.IntVar(&c.indexOverfetch, "index-overfetch", 0, "re-ranked candidate pool: probe for k*overfetch candidates with cheap partial scoring, then exact-rescore the pool before the top-k (<=1 = off; ignored at -index-recall-target 1.0)")
 	fs.BoolVar(&c.indexQuantize, "index-quantize", false, "int8 scalar quantization for the clustered candidate pass: maintain quantized companions of the stored vectors and score probed shards with cheap int8 dot products, always exact-rescoring the final top-k from float32 (off by default; bypassed at -index-recall-target 1.0, whose exactness needs exact scores)")
 	fs.DurationVar(&c.indexRetrainCooldown, "index-retrain-cooldown", 0, "rate limit on automatic clustered retrains: triggers within this window of the last launch coalesce into one deferred retrain, so a churn burst cannot retrain back-to-back (0 = no limit; tuning guidance in docs/operations.md)")
+	fs.StringVar(&c.searchMode, "search-mode", "ann", "default retrieval pipeline for semantic and code queries: ann (pure vector index), hybrid (ANN + BM25 lexical leg fused with reciprocal-rank fusion) or reranked (hybrid plus a cross-encoder rerank of the fused pool); requests override per query with the mode field (see docs/search.md)")
 	fs.IntVar(&c.flowQueueCap, "flow-queue-cap", 0, "bound on each PE instance's input queue during workflow enactment; senders park when a downstream queue fills (0 = default 1024; see docs/dataflow.md)")
 	fs.StringVar(&c.flowAlloc, "flow-alloc", "even", "instance division for parallel workflow mappings: even (the paper's split) or weighted (proportional to per-PE cost measured across runs; see docs/dataflow.md)")
 	return c
@@ -97,6 +101,9 @@ func (c *serverConfig) validate() error {
 	}
 	if c.storeFormat != "v1" && c.storeFormat != "v2" {
 		return fmt.Errorf("unknown -store %q (want v1 or v2)", c.storeFormat)
+	}
+	if c.searchMode != core.ModeANN && c.searchMode != core.ModeHybrid && c.searchMode != core.ModeReranked {
+		return fmt.Errorf("unknown -search-mode %q (want ann, hybrid or reranked)", c.searchMode)
 	}
 	if c.flowQueueCap < 0 {
 		return fmt.Errorf("-flow-queue-cap %d out of range (want >= 0)", c.flowQueueCap)
@@ -155,6 +162,7 @@ func (c *serverConfig) serverOptions() laminar.ServerOptions {
 		IndexOverfetch:       c.indexOverfetch,
 		IndexQuantize:        c.indexQuantize,
 		IndexRetrainCooldown: c.indexRetrainCooldown,
+		SearchMode:           c.searchMode,
 		FlowQueueCap:         c.flowQueueCap,
 		FlowAlloc:            c.flowAlloc,
 		MetricsAuthToken:     c.metricsAuthToken,

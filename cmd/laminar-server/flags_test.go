@@ -80,6 +80,9 @@ func TestFlagValidation(t *testing.T) {
 		{"negative spill", func(c *serverConfig) { c.indexSpill = -0.1 }, false},
 		{"negative cooldown", func(c *serverConfig) { c.indexRetrainCooldown = -1 }, false},
 		{"bad store", func(c *serverConfig) { c.storeFormat = "v3" }, false},
+		{"hybrid search mode", func(c *serverConfig) { c.searchMode = "hybrid" }, true},
+		{"reranked search mode", func(c *serverConfig) { c.searchMode = "reranked" }, true},
+		{"bad search mode", func(c *serverConfig) { c.searchMode = "bm25" }, false},
 	}
 	for _, tc := range cases {
 		fs := flag.NewFlagSet("laminar-server", flag.ContinueOnError)

@@ -530,5 +530,12 @@ func RunSearchSmoke() (string, error) {
 	if ex := recallAgainst(flatHits, exactQHits); ex < 1 {
 		return summary, fmt.Errorf("RecallTarget=1.0 with quantization recall@10 %.3f, want exactly 1 (quantize bypass regression)", ex)
 	}
+	// The hybrid-retrieval gate rides along: on exact-identifier queries
+	// the BM25+RRF pipeline must never fall behind pure ANN.
+	hybridSummary, err := hybridSmokeGate()
+	summary += "\n" + "searchbench-smoke: " + hybridSummary
+	if err != nil {
+		return summary, err
+	}
 	return summary, nil
 }

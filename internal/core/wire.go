@@ -102,6 +102,18 @@ type RegistryListing struct {
 	Workflows []WorkflowRecord `json:"workflows"`
 }
 
+// Search modes: the retrieval pipeline a semantic or code query runs.
+const (
+	// ModeANN is pure vector-index retrieval (the default).
+	ModeANN = "ann"
+	// ModeHybrid adds the BM25 lexical leg and fuses the two rankings
+	// with reciprocal-rank fusion.
+	ModeHybrid = "hybrid"
+	// ModeReranked is hybrid plus a cross-encoder rerank of the fused
+	// candidate pool.
+	ModeReranked = "reranked"
+)
+
 // SearchRequest parameterizes GET /registry/{user}/search/{search}/type/{type}
 // (the query type travels as a query parameter).
 type SearchRequest struct {
@@ -113,6 +125,10 @@ type SearchRequest struct {
 	QueryEmbedding []float32 `json:"queryEmbedding,omitempty"`
 	// Limit caps the number of hits (0 = server default).
 	Limit int `json:"limit,omitempty"`
+	// Mode selects the retrieval pipeline for semantic and code queries:
+	// ModeANN, ModeHybrid or ModeReranked. Empty defers to the server's
+	// configured default. Text queries ignore it.
+	Mode string `json:"mode,omitempty"`
 }
 
 // SearchResponse is the ranked hit list.

@@ -9,6 +9,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"laminar/internal/embed"
@@ -150,6 +151,12 @@ var inverseLexicon = func() map[string][]string {
 			continue
 		}
 		inv[canon] = append(inv[canon], para)
+	}
+	// Map iteration order randomizes per process; without this sort the
+	// paraphrase draws differ between runs and the "exact same corpora"
+	// promise in the package doc silently breaks across processes.
+	for _, alts := range inv {
+		sort.Strings(alts)
 	}
 	return inv
 }()

@@ -34,6 +34,18 @@ func TestCSNDeterministic(t *testing.T) {
 	}
 }
 
+// TestCSNStableAcrossProcesses pins concrete query text. In-process
+// equality (above) cannot catch map-iteration-order dependence — the
+// inverseLexicon inversion once ordered its paraphrase lists by map
+// iteration, so every *process* drew a different corpus while this
+// suite stayed green. A golden string fails in any process that drifts.
+func TestCSNStableAcrossProcesses(t *testing.T) {
+	c := GenCSN(61, 1)
+	if got, want := c.Queries[4].Query, "reverse the elements of a list"; got != want {
+		t.Errorf("GenCSN(61,1).Queries[4] = %q, want %q — corpus generation is no longer process-deterministic (or the generator changed; re-pin the goldens here and in embed's rerank ablation)", got, want)
+	}
+}
+
 func TestCorpusShape(t *testing.T) {
 	c := GenCSN(1, 3)
 	if len(c.Codes) != c.TaskCount()*3 {

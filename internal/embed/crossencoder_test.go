@@ -1,0 +1,156 @@
+package embed_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"laminar/internal/dataset"
+	"laminar/internal/embed"
+)
+
+// External test package: the golden ablation below needs the dataset
+// generators, and dataset imports embed.
+
+func csModel(t *testing.T) *embed.Model {
+	t.Helper()
+	m, err := embed.Lookup(embed.ModelCodeSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+var rankCandidates = []string{
+	"def photon_filter(stream):\n    return [s for s in stream if s.kind == 'photon']",
+	"def render_dashboard(widgets):\n    return draw(widgets)",
+	"def aggregate_counts(window):\n    return sum(window)",
+	"def photon_gate(stream):\n    return stream",
+}
+
+func TestRankStringsDeterministic(t *testing.T) {
+	ce := embed.NewCrossEncoder(csModel(t))
+	idxs1, scores1 := ce.RankStrings("filter photon events", rankCandidates)
+	idxs2, scores2 := ce.RankStrings("filter photon events", rankCandidates)
+	if !reflect.DeepEqual(idxs1, idxs2) || !reflect.DeepEqual(scores1, scores2) {
+		t.Fatalf("RankStrings nondeterministic:\n%v %v\n%v %v", idxs1, scores1, idxs2, scores2)
+	}
+}
+
+// TestRankStringsOrderInvariance pins that the ranking depends on candidate
+// content, never on candidate order: permuting the input permutes the
+// returned indices but the ranked sequence of texts and their scores are
+// identical.
+func TestRankStringsOrderInvariance(t *testing.T) {
+	ce := embed.NewCrossEncoder(csModel(t))
+	query := "filter photon events"
+	idxs, scores := ce.RankStrings(query, rankCandidates)
+
+	perm := []int{2, 0, 3, 1}
+	shuffled := make([]string, len(rankCandidates))
+	for to, from := range perm {
+		shuffled[to] = rankCandidates[from]
+	}
+	pIdxs, pScores := ce.RankStrings(query, shuffled)
+
+	for i := range idxs {
+		if rankCandidates[idxs[i]] != shuffled[pIdxs[i]] {
+			t.Fatalf("rank %d differs under permutation: %q vs %q",
+				i, rankCandidates[idxs[i]], shuffled[pIdxs[i]])
+		}
+		if scores[i] != pScores[i] {
+			t.Fatalf("score at rank %d differs under permutation: %v vs %v", i, scores[i], pScores[i])
+		}
+	}
+}
+
+// TestRankStringsScoresAlignedAndSorted pins the return contract: the
+// second value is the scores in OUTPUT order (ordered[i] belongs to
+// candidates[idxs[i]]), descending, with ties broken by ascending index.
+func TestRankStringsScoresAlignedAndSorted(t *testing.T) {
+	ce := embed.NewCrossEncoder(csModel(t))
+	query := "aggregate window counts"
+	idxs, scores := ce.RankStrings(query, rankCandidates)
+	if len(idxs) != len(rankCandidates) || len(scores) != len(rankCandidates) {
+		t.Fatalf("lengths: %d idxs, %d scores", len(idxs), len(scores))
+	}
+	for i, idx := range idxs {
+		if want := ce.Score(query, rankCandidates[idx]); math.Abs(scores[i]-want) > 1e-12 {
+			t.Fatalf("scores not aligned to output order: ordered[%d]=%v, Score(candidates[%d])=%v",
+				i, scores[i], idx, want)
+		}
+		if i > 0 && scores[i] > scores[i-1] {
+			t.Fatalf("scores not descending at rank %d: %v", i, scores)
+		}
+	}
+	// Identical candidates tie; the stable sort must keep ascending index.
+	dupes := []string{"def same(x): pass", "def same(x): pass", "def same(x): pass"}
+	dIdxs, _ := ce.RankStrings("same", dupes)
+	if !reflect.DeepEqual(dIdxs, []int{0, 1, 2}) {
+		t.Fatalf("tied candidates not in ascending-index order: %v", dIdxs)
+	}
+}
+
+func TestRankStringsEdgeCases(t *testing.T) {
+	ce := embed.NewCrossEncoder(csModel(t))
+	if idxs, scores := ce.RankStrings("query", nil); len(idxs) != 0 || len(scores) != 0 {
+		t.Fatalf("empty candidates: %v %v", idxs, scores)
+	}
+	// A query with no content tokens scores everything 0 and preserves
+	// input order via the index tiebreak.
+	idxs, scores := ce.RankStrings("", rankCandidates)
+	if !reflect.DeepEqual(idxs, []int{0, 1, 2, 3}) {
+		t.Fatalf("empty query order: %v", idxs)
+	}
+	for _, s := range scores {
+		if s != 0 {
+			t.Fatalf("empty query scored nonzero: %v", scores)
+		}
+	}
+}
+
+// biEncoderMissesRerankFixes are the GenCSN(61, 1) query indices — the
+// exact corpus BenchmarkBiVsCrossEncoder and `laminar-bench -ablations`
+// evaluate — where the bi-encoder's top-1 is wrong and cross-encoder
+// reranking of its top-10 pool recovers the relevant code. Measured once
+// and pinned: these are the pairs that justify the reranked search mode,
+// and a cross-encoder scoring regression shows up here as a lost fix.
+var biEncoderMissesRerankFixes = []int{4, 15, 20, 26, 48}
+
+// TestGoldenRerankFixesBiEncoderMisses is the golden ablation for the
+// rerank stage. On every pinned pair the bi-encoder retrieval alone ranks
+// a wrong code first, and cross-encoder reranking of the bi-encoder's own
+// top-10 puts a relevant one back on top. (Globally the lightweight
+// cross-encoder proxy is comparable to — not above — the bi-encoder, as
+// the package doc states; these pinned pairs are where it earns its
+// latency, so they must keep holding.)
+func TestGoldenRerankFixesBiEncoderMisses(t *testing.T) {
+	corpus := dataset.GenCSN(61, 1)
+	m := csModel(t)
+	docVecs := make([]embed.Vector, len(corpus.Codes))
+	for i, code := range corpus.Codes {
+		docVecs[i] = m.Embed(code)
+	}
+	ce := embed.NewCrossEncoder(m)
+	for _, qi := range biEncoderMissesRerankFixes {
+		if qi >= len(corpus.Queries) {
+			t.Fatalf("pinned query index %d out of range (corpus has %d queries)", qi, len(corpus.Queries))
+		}
+		q := corpus.Queries[qi]
+		rel := corpus.RelevantSet(q)
+		ranking, _ := embed.Rank(m.Embed(q.Query), docVecs)
+		if rel[ranking[0]] {
+			t.Errorf("query %d %q: bi-encoder top-1 now relevant — the pinned miss set is stale, re-measure it", qi, q.Query)
+			continue
+		}
+		pool := make([]string, 0, 10)
+		for _, di := range ranking[:min(10, len(ranking))] {
+			pool = append(pool, corpus.Codes[di])
+		}
+		rr, _ := ce.RankStrings(q.Query, pool)
+		if !rel[ranking[rr[0]]] {
+			t.Errorf("query %d %q: rerank no longer fixes the bi-encoder miss (top-1 = doc %d)",
+				qi, q.Query, ranking[rr[0]])
+		}
+	}
+}

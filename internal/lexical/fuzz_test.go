@@ -1,0 +1,67 @@
+package lexical
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzTokenize is the BM25 tokenizer's property wall (seed corpus checked
+// in under testdata/fuzz/FuzzTokenize). Three properties, each one a bug
+// class the inverted index cannot tolerate:
+//
+//   - total: any UTF-8 (valid or not) tokenizes without panicking and
+//     yields no empty tokens;
+//   - idempotent: a produced token re-tokenizes to exactly itself, so
+//     query terms and postings terms live in the same space;
+//   - concatenation-stable: joining two texts with a space never merges
+//     or splits tokens across the boundary — Upsert composes bodies from
+//     name/description/code with separators, and a boundary-dependent
+//     tokenizer would make those docs unsearchable at the seams.
+//
+// Plus the round trip that justifies the whole index: a document is
+// findable by every one of its own tokens.
+func FuzzTokenize(f *testing.F) {
+	seeds := [][2]string{
+		{"", ""},
+		{"photon_events_filter_0042", "def photon_events_filter_0042(stream):"},
+		{"camelCaseIdent v3", "snake_case_ident 0042"},
+		{"a PE that filters photon events", "by threshold, in real time"},
+		{"naïve café ümlaut", "日本語のテキスト"},
+		{"\xff\xfe broken utf8 \x80", "mixed\xc3\x28invalid"},
+		{"tab\there\nnewline", "  spaces   everywhere  "},
+		{"x", "1"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		ta, tb := Tokenize(a), Tokenize(b)
+		for _, tok := range append(append([]string{}, ta...), tb...) {
+			if tok == "" {
+				t.Fatalf("empty token from %q / %q", a, b)
+			}
+			if again := Tokenize(tok); len(again) != 1 || again[0] != tok {
+				t.Fatalf("token %q not idempotent: re-tokenizes to %q", tok, again)
+			}
+		}
+		joined := Tokenize(a + " " + b)
+		if want := append(append([]string{}, ta...), tb...); !reflect.DeepEqual(joined, want) {
+			// reflect.DeepEqual treats nil and empty as different; token
+			// slices are nil exactly when empty, so normalize first.
+			if !(len(joined) == 0 && len(want) == 0) {
+				t.Fatalf("space-joined tokenization differs:\n  Tokenize(a)+Tokenize(b) = %q\n  Tokenize(a+\" \"+b)      = %q", want, joined)
+			}
+		}
+		// Round trip: a doc is findable by each of its own tokens.
+		if len(ta) > 0 {
+			ix := New()
+			ix.Upsert(7, a)
+			for _, tok := range ta {
+				hits := ix.Search(tok, 1, nil)
+				if len(hits) != 1 || hits[0].ID != 7 {
+					t.Fatalf("doc not findable by own token %q (from %q): %+v", tok, a, hits)
+				}
+			}
+		}
+	})
+}

@@ -138,6 +138,10 @@ func (s *Store) collectSnapshot() *storage.Snapshot {
 		Code:     s.codeIndex.Snapshot(),
 		Workflow: s.wfIndex.Snapshot(),
 	}
+	snap.Lexical = &storage.LexicalSnapshots{
+		PE:       s.peLex.Snapshot(),
+		Workflow: s.wfLex.Snapshot(),
+	}
 	return snap
 }
 
@@ -233,6 +237,10 @@ func (s *Store) Load(path string) error {
 	if !s.tryRestoreIndexesLocked() {
 		s.rebuildIndexesLocked()
 	}
+	// The lexical indexes restore or rebuild on the same terms, but are
+	// not stashed: unlike the vector indexes their kind never changes, so
+	// no later ConfigureIndex could use a retained snapshot.
+	s.restoreOrRebuildLexicalLocked(snap.Lexical)
 	return nil
 }
 

@@ -161,6 +161,8 @@ func (s *Store) RemovePE(userID, peID int) error {
 		desc, code, _ := s.indexes()
 		desc.Delete(peID)
 		code.Delete(peID)
+		peLex, _ := s.lexIndexes()
+		peLex.Delete(peID)
 		// Detach the orphaned PE from every workflow. Taking the wfs lock
 		// while holding the pes lock follows the pes → wfs shard order.
 		s.wfsMu.Lock()

@@ -32,6 +32,7 @@ import (
 
 	"laminar/internal/core"
 	"laminar/internal/index"
+	"laminar/internal/lexical"
 	"laminar/internal/registry/storage"
 )
 
@@ -72,6 +73,11 @@ type Store struct {
 	descIndex    index.VectorIndex // PE description embeddings (semantic search)
 	codeIndex    index.VectorIndex // PE code embeddings (code completion)
 	wfIndex      index.VectorIndex // workflow description embeddings
+	// The BM25 lexical leg of hybrid retrieval: inverted indexes over PE
+	// text (name + description + decoded code) and workflow text. Guarded
+	// by idxMu like the vector-index pointers; internally synchronized.
+	peLex *lexical.Index
+	wfLex *lexical.Index
 
 	// loadedIndexSnaps stashes the index snapshots read by the last Load.
 	// Lifecycle: a successful restore (in Load or ConfigureIndex) clears
@@ -131,6 +137,8 @@ func NewStore() *Store {
 		descIndex:      factory(),
 		codeIndex:      factory(),
 		wfIndex:        factory(),
+		peLex:          lexical.New(),
+		wfLex:          lexical.New(),
 		nextUserID:     1,
 		nextPEID:       1,
 		nextWorkflowID: 1,
@@ -238,9 +246,10 @@ func (s *Store) rebuildIndexesLocked() {
 }
 
 // indexPE upserts a PE's stored embeddings into both PE indexes (empty
-// embeddings are skipped — such PEs are not semantically searchable).
-// Callers hold the pes shard lock; the index pointers are fetched under
-// idxMu.R, respecting the lock order.
+// embeddings are skipped — such PEs are not semantically searchable) and
+// its text into the lexical index (unconditionally — the BM25 leg works
+// without embeddings). Callers hold the pes shard lock; the index pointers
+// are fetched under idxMu.R, respecting the lock order.
 func (s *Store) indexPE(id int, pe *core.PERecord) {
 	desc, code, _ := s.indexes()
 	if len(pe.DescEmbedding) > 0 {
@@ -249,15 +258,19 @@ func (s *Store) indexPE(id int, pe *core.PERecord) {
 	if len(pe.CodeEmbedding) > 0 {
 		code.Upsert(id, pe.CodeEmbedding)
 	}
+	peLex, _ := s.lexIndexes()
+	peLex.Upsert(id, peLexDoc(pe))
 }
 
 // indexWorkflow upserts a workflow's description embedding into the
-// workflow index.
+// workflow index and its text into the workflow lexical index.
 func (s *Store) indexWorkflow(id int, wf *core.WorkflowRecord) {
 	if len(wf.DescEmbedding) > 0 {
 		_, _, wfIdx := s.indexes()
 		wfIdx.Upsert(id, wf.DescEmbedding)
 	}
+	_, wfLex := s.lexIndexes()
+	wfLex.Upsert(id, wfLexDoc(wf))
 }
 
 // SetReadOnly switches the store's write protection. A read-only store

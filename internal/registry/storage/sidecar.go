@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"laminar/internal/index"
+	"laminar/internal/lexical"
 )
 
 // The sidecar is the binary half of a v2 snapshot: every embedding vector
@@ -45,6 +46,10 @@ const (
 // derivable on read — absent or corrupt q8 bytes degrade to a rebuild from
 // the float vectors, never to a load failure. Pre-quantization sidecars
 // therefore keep loading unchanged.
+// The lex sections carry the BM25 inverted-index statistics and follow the
+// same optional/derivable contract as q8: written only when the registry
+// had lexical snapshots to persist, rebuilt from record text when absent or
+// corrupt. Pre-lexical sidecars keep loading unchanged.
 const (
 	secPEDesc  = "pe-desc"
 	secPECode  = "pe-code"
@@ -55,6 +60,8 @@ const (
 	secQ8Desc  = "q8-desc"
 	secQ8Code  = "q8-code"
 	secQ8WF    = "q8-wf"
+	secLexPE   = "lex-pe"
+	secLexWF   = "lex-wf"
 )
 
 type sidecarSection struct {
@@ -182,6 +189,23 @@ func writeSidecar(dir, base string, snap *Snapshot) (name, sum string, err error
 			}
 			if err = writeSec(is.qname, is.snap.Quantized.EncodeBinary); err != nil {
 				return "", "", fmt.Errorf("storage: write sidecar section %s: %w", is.qname, err)
+			}
+		}
+	}
+	if snap.Lexical != nil {
+		lexSections := []struct {
+			name string
+			snap *lexical.Snapshot
+		}{
+			{secLexPE, snap.Lexical.PE},
+			{secLexWF, snap.Lexical.Workflow},
+		}
+		for _, ls := range lexSections {
+			if ls.snap == nil {
+				continue
+			}
+			if err = writeSec(ls.name, ls.snap.Encode); err != nil {
+				return "", "", fmt.Errorf("storage: write sidecar section %s: %w", ls.name, err)
 			}
 		}
 	}

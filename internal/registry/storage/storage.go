@@ -30,6 +30,7 @@ import (
 
 	"laminar/internal/core"
 	"laminar/internal/index"
+	"laminar/internal/lexical"
 )
 
 // Format identifies an on-disk snapshot format.
@@ -75,6 +76,16 @@ type IndexSnapshots struct {
 	Workflow *index.Snapshot `json:"workflow,omitempty"`
 }
 
+// LexicalSnapshots groups the BM25 inverted-index snapshots (PE documents
+// and workflow documents). Like the vector-index snapshots they are
+// derivable state: v2 persists them as optional sidecar sections, v1 does
+// not persist them at all, and a missing or stale snapshot means the
+// serving layer re-tokenizes the records — never a load failure.
+type LexicalSnapshots struct {
+	PE       *lexical.Snapshot
+	Workflow *lexical.Snapshot
+}
+
 // Snapshot is the logical registry state exchanged with the serving layer.
 // Records never carry embeddings here — vectors travel in the id-keyed
 // maps, which is what lets v2 route them to the binary sidecar. Save
@@ -102,6 +113,11 @@ type Snapshot struct {
 	// assignments, not vectors); nil when no usable snapshot exists, in
 	// which case the serving layer rebuilds.
 	Indexes *IndexSnapshots
+
+	// Lexical carries the BM25 inverted-index statistics; nil when no
+	// usable snapshot exists (v1 files, pre-lexical v2 sidecars), in which
+	// case the serving layer re-tokenizes the records.
+	Lexical *LexicalSnapshots
 }
 
 // Save writes the snapshot to path in the requested format, atomically: a

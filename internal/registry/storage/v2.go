@@ -10,6 +10,7 @@ import (
 
 	"laminar/internal/core"
 	"laminar/internal/index"
+	"laminar/internal/lexical"
 )
 
 // v2Prefix is the exact byte prefix every v2 JSON file starts with; the
@@ -372,6 +373,31 @@ func loadV2(path string) (*Snapshot, error) {
 	readQuant(secQ8WF, idx.Workflow)
 	if idx.Desc != nil || idx.Code != nil || idx.Workflow != nil {
 		snap.Indexes = idx
+	}
+	// The lexical sections follow the index-section contract: absent
+	// (pre-lexical sidecar) or corrupt sections degrade to nil, and the
+	// serving layer re-tokenizes the records instead of failing the load.
+	readLex := func(name string) *lexical.Snapshot {
+		sec, ok := byName[name]
+		if !ok {
+			return nil
+		}
+		var out *lexical.Snapshot
+		if err := readSection(vf, sec, func(r io.Reader) error {
+			var derr error
+			out, derr = lexical.DecodeSnapshot(r)
+			return derr
+		}); err != nil {
+			return nil // derivable: the serving layer rebuilds
+		}
+		return out
+	}
+	lex := &LexicalSnapshots{
+		PE:       readLex(secLexPE),
+		Workflow: readLex(secLexWF),
+	}
+	if lex.PE != nil || lex.Workflow != nil {
+		snap.Lexical = lex
 	}
 	return snap, nil
 }

@@ -29,6 +29,14 @@ type storeMetrics struct {
 	loadErrors  *telemetry.Counter
 	loadSeconds *telemetry.Histogram
 
+	// hybrid-retrieval instruments: the BM25 lexical leg and the optional
+	// cross-encoder rerank stage.
+	lexicalSearches *telemetry.Counter
+	lexicalSeconds  *telemetry.Histogram
+	rerankSearches  *telemetry.Counter
+	rerankSeconds   *telemetry.Histogram
+	rerankPool      *telemetry.Histogram
+
 	// perIndex maps an index label to the instrument set installed into
 	// that index (shared family, curried label).
 	perIndex map[string]*index.ClusteredMetrics
@@ -53,6 +61,16 @@ func (s *Store) SetTelemetry(t *telemetry.Registry) {
 			"Registry snapshot loads that returned an error."),
 		loadSeconds: t.Histogram("laminar_registry_load_seconds",
 			"Wall-clock duration of successful registry loads.", telemetry.LatencyBuckets()),
+		lexicalSearches: t.Counter("laminar_lexical_searches_total",
+			"BM25 lexical-leg retrievals served by hybrid search."),
+		lexicalSeconds: t.Histogram("laminar_lexical_search_seconds",
+			"Wall-clock duration of BM25 lexical-leg retrievals.", telemetry.LatencyBuckets()),
+		rerankSearches: t.Counter("laminar_rerank_searches_total",
+			"Cross-encoder rerank stages executed by hybrid search."),
+		rerankSeconds: t.Histogram("laminar_rerank_seconds",
+			"Wall-clock duration of cross-encoder rerank stages.", telemetry.LatencyBuckets()),
+		rerankPool: t.Histogram("laminar_rerank_pool_size",
+			"Fused candidate-pool size entering the rerank stage.", telemetry.CountBuckets()),
 		perIndex: map[string]*index.ClusteredMetrics{},
 	}
 	probes := t.HistogramVec("laminar_index_probe_shards",
@@ -95,6 +113,14 @@ func (s *Store) SetTelemetry(t *telemetry.Registry) {
 		s.wfsMu.RLock()
 		defer s.wfsMu.RUnlock()
 		return float64(len(s.workflows))
+	})
+	t.GaugeFunc("laminar_lexical_docs", "Documents in the BM25 lexical indexes (PEs + workflows).", func() float64 {
+		docs, _ := s.LexicalStats()
+		return float64(docs)
+	})
+	t.GaugeFunc("laminar_lexical_terms", "Distinct terms with live postings in the BM25 lexical indexes.", func() float64 {
+		_, terms := s.LexicalStats()
+		return float64(terms)
 	})
 
 	s.idxMu.Lock()

@@ -156,6 +156,8 @@ func (s *Store) RemoveWorkflow(userID, wfID int) error {
 		delete(s.workflowPEs, wfID)
 		_, _, wfIdx := s.indexes()
 		wfIdx.Delete(wfID)
+		_, wfLex := s.lexIndexes()
+		wfLex.Delete(wfID)
 	}
 	return nil
 }

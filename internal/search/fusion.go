@@ -1,0 +1,92 @@
+package search
+
+import (
+	"sort"
+
+	"laminar/internal/core"
+)
+
+// RRFK is the reciprocal-rank-fusion constant: each leg contributes
+// 1/(RRFK+rank) per document, so a top hit is worth 1/61 and the constant
+// damps how much rank-1 dominance one leg can exert. 60 is the value from
+// the original RRF paper (Cormack et al., SIGIR 2009) and works unchanged
+// here — fusion quality is famously insensitive to it.
+const RRFK = 60
+
+// FuseRRF merges ranked hit lists ("legs" — e.g. the ANN leg and the BM25
+// lexical leg) by reciprocal-rank fusion. Only ranks matter: a document's
+// fused score is the sum of 1/(RRFK+rank) over the legs it appears in
+// (rank is 1-based; duplicate appearances within one leg count once, at
+// their best rank), which makes the incomparable score scales of cosine
+// similarity and BM25 irrelevant.
+//
+// The result is deterministic and permutation-invariant in leg order: per
+// document the rank contributions are summed in ascending-rank order so
+// float addition sees one canonical sequence, metadata is taken from the
+// best-ranked appearance, and the final order is score descending with
+// ties broken by kind then id — the same total order MergeRanked uses. A
+// single non-empty leg therefore passes through in its own order, so the
+// pipeline degrades cleanly when one retrieval leg comes back empty.
+func FuseRRF(limit int, legs ...[]core.SearchHit) []core.SearchHit {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	type fuseKey struct {
+		kind string
+		id   int
+	}
+	type fusedDoc struct {
+		hit      core.SearchHit
+		ranks    []int
+		bestRank int
+	}
+	acc := make(map[fuseKey]*fusedDoc)
+	for _, leg := range legs {
+		seen := make(map[fuseKey]bool, len(leg))
+		for i, h := range leg {
+			k := fuseKey{h.Kind, h.ID}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			rank := i + 1
+			f := acc[k]
+			if f == nil {
+				f = &fusedDoc{hit: h, bestRank: rank}
+				acc[k] = f
+			} else if rank < f.bestRank {
+				f.bestRank = rank
+				f.hit = h
+			}
+			f.ranks = append(f.ranks, rank)
+		}
+	}
+	if len(acc) == 0 {
+		return nil
+	}
+	out := make([]core.SearchHit, 0, len(acc))
+	for _, f := range acc {
+		sort.Ints(f.ranks)
+		var score float64
+		for _, r := range f.ranks {
+			score += 1 / float64(RRFK+r)
+		}
+		h := f.hit
+		h.Score = score
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		x, y := out[i], out[j]
+		if x.Score != y.Score {
+			return x.Score > y.Score
+		}
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
+		}
+		return x.ID < y.ID
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

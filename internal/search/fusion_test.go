@@ -1,0 +1,238 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"laminar/internal/core"
+)
+
+// genLeg builds a random ranked hit list. Scores are descending but
+// arbitrary; ids are drawn from a small pool so legs overlap, and a few
+// in-leg duplicates are injected to exercise first-occurrence dedup.
+func genLeg(rng *rand.Rand, n int) []core.SearchHit {
+	kinds := []string{"pe", "workflow"}
+	leg := make([]core.SearchHit, 0, n)
+	score := 1.0
+	for i := 0; i < n; i++ {
+		score -= rng.Float64() * 0.05
+		kind := kinds[rng.Intn(2)]
+		id := rng.Intn(20)
+		leg = append(leg, core.SearchHit{
+			Kind: kind, ID: id,
+			Name:        fmt.Sprintf("%s-%d", kind, id),
+			Description: fmt.Sprintf("doc %d", id),
+			Score:       score,
+		})
+	}
+	return leg
+}
+
+func TestFuseRRFPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		nLegs := 2 + rng.Intn(3)
+		legs := make([][]core.SearchHit, nLegs)
+		for i := range legs {
+			legs[i] = genLeg(rng, 1+rng.Intn(30))
+		}
+		want := FuseRRF(10, legs...)
+		perm := rng.Perm(nLegs)
+		shuffled := make([][]core.SearchHit, nLegs)
+		for i, p := range perm {
+			shuffled[i] = legs[p]
+		}
+		got := FuseRRF(10, shuffled...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: fusion depends on leg order\nperm %v\n got %+v\nwant %+v",
+				trial, perm, got, want)
+		}
+	}
+}
+
+func TestFuseRRFDeterministicUnderTies(t *testing.T) {
+	// Disjoint single-doc legs: every doc gets the identical score
+	// 1/(RRFK+1), so the entire output order is decided by the tiebreak.
+	mk := func(kind string, id int) []core.SearchHit {
+		return []core.SearchHit{{Kind: kind, ID: id, Name: "n", Score: 0.5}}
+	}
+	legs := [][]core.SearchHit{
+		mk("workflow", 3), mk("pe", 9), mk("pe", 2), mk("workflow", 1), mk("pe", 5),
+	}
+	want := []struct {
+		kind string
+		id   int
+	}{{"pe", 2}, {"pe", 5}, {"pe", 9}, {"workflow", 1}, {"workflow", 3}}
+	for trial := 0; trial < 50; trial++ {
+		got := FuseRRF(10, legs...)
+		if len(got) != len(want) {
+			t.Fatalf("got %d hits, want %d", len(got), len(want))
+		}
+		for i, w := range want {
+			if got[i].Kind != w.kind || got[i].ID != w.id {
+				t.Fatalf("trial %d: tied docs ordered %+v, want kind asc then id asc %+v",
+					trial, got, want)
+			}
+			if got[i].Score != 1/float64(RRFK+1) {
+				t.Fatalf("rank-1 single-leg score = %v, want 1/%d", got[i].Score, RRFK+1)
+			}
+		}
+	}
+}
+
+func TestFuseRRFDegradesToSurvivingLeg(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		leg := genLeg(rng, 1+rng.Intn(25))
+		for _, legs := range [][][]core.SearchHit{
+			{leg, nil},
+			{nil, leg},
+			{leg, {}},
+			{nil, leg, nil},
+		} {
+			got := FuseRRF(100, legs...)
+			// The surviving leg passes through in its own order (deduped):
+			// 1/(RRFK+rank) is strictly decreasing in rank.
+			var want []core.SearchHit
+			seen := map[string]bool{}
+			for i, h := range leg {
+				key := fmt.Sprintf("%s/%d", h.Kind, h.ID)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				h.Score = 1 / float64(RRFK+i+1)
+				want = append(want, h)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: single surviving leg not preserved\n got %+v\nwant %+v",
+					trial, got, want)
+			}
+		}
+	}
+	if got := FuseRRF(10, nil, nil); got != nil {
+		t.Fatalf("all-empty legs returned %+v, want nil", got)
+	}
+	if got := FuseRRF(10); got != nil {
+		t.Fatalf("no legs returned %+v, want nil", got)
+	}
+}
+
+func TestFuseRRFScoresAndLimit(t *testing.T) {
+	a := []core.SearchHit{
+		{Kind: "pe", ID: 1, Score: 0.9},
+		{Kind: "pe", ID: 2, Score: 0.8},
+		{Kind: "pe", ID: 3, Score: 0.7},
+	}
+	b := []core.SearchHit{
+		{Kind: "pe", ID: 2, Score: 12.0},
+		{Kind: "pe", ID: 4, Score: 11.0},
+	}
+	got := FuseRRF(10, a, b)
+	// Doc 2 appears in both legs (ranks 2 and 1) and must win.
+	if got[0].ID != 2 {
+		t.Fatalf("doc in both legs should rank first, got %+v", got)
+	}
+	wantTop := 1/float64(RRFK+2) + 1/float64(RRFK+1)
+	if got[0].Score != wantTop {
+		t.Fatalf("fused score = %v, want %v", got[0].Score, wantTop)
+	}
+	// Docs 1 and 4 are both sole-leg rank-1... no: doc 1 is rank 1 in a,
+	// doc 4 is rank 2 in b. Order: 2, 1 (1/61), 4 (1/62), 3 (1/63).
+	wantIDs := []int{2, 1, 4, 3}
+	for i, id := range wantIDs {
+		if got[i].ID != id {
+			t.Fatalf("fused order %+v, want ids %v", got, wantIDs)
+		}
+	}
+	if limited := FuseRRF(2, a, b); len(limited) != 2 || limited[0].ID != 2 || limited[1].ID != 1 {
+		t.Fatalf("limit=2 gave %+v", limited)
+	}
+}
+
+func TestFuseRRFDuplicateWithinLegCountsOnce(t *testing.T) {
+	leg := []core.SearchHit{
+		{Kind: "pe", ID: 7, Score: 0.9},
+		{Kind: "pe", ID: 7, Score: 0.8}, // duplicate: ignored
+		{Kind: "pe", ID: 8, Score: 0.7},
+	}
+	got := FuseRRF(10, leg)
+	if len(got) != 2 {
+		t.Fatalf("got %d hits, want 2: %+v", len(got), got)
+	}
+	if got[0].ID != 7 || got[0].Score != 1/float64(RRFK+1) {
+		t.Fatalf("duplicate counted at wrong rank: %+v", got[0])
+	}
+	if got[1].ID != 8 || got[1].Score != 1/float64(RRFK+3) {
+		t.Fatalf("doc after duplicate keeps its own rank 3: %+v", got[1])
+	}
+}
+
+func TestMergeRankedDeterministicUnderTies(t *testing.T) {
+	// MergeRanked is the SearchBoth score-merge; the fusion property wall
+	// covers it too since hybrid SearchBoth fuses its output. Equal scores
+	// must break kind asc then id asc regardless of argument order.
+	a := []core.SearchHit{
+		{Kind: "workflow", ID: 1, Score: 0.5},
+		{Kind: "workflow", ID: 3, Score: 0.5},
+	}
+	b := []core.SearchHit{
+		{Kind: "pe", ID: 2, Score: 0.5},
+		{Kind: "pe", ID: 9, Score: 0.5},
+	}
+	want := []struct {
+		kind string
+		id   int
+	}{{"pe", 2}, {"pe", 9}, {"workflow", 1}, {"workflow", 3}}
+	for _, got := range [][]core.SearchHit{MergeRanked(a, b, 10), MergeRanked(b, a, 10)} {
+		if len(got) != 4 {
+			t.Fatalf("got %d hits: %+v", len(got), got)
+		}
+		for i, w := range want {
+			if got[i].Kind != w.kind || got[i].ID != w.id {
+				t.Fatalf("tied merge ordered %+v, want %+v", got, want)
+			}
+		}
+	}
+}
+
+func TestRerankEmptyQueryAndPoolPassThrough(t *testing.T) {
+	hits := []core.SearchHit{
+		{Kind: "pe", ID: 1, Name: "alpha", Description: "first", Score: 0.03},
+		{Kind: "pe", ID: 2, Name: "beta", Description: "second", Score: 0.02},
+		{Kind: "pe", ID: 3, Name: "gamma", Description: "third", Score: 0.01},
+	}
+	if got := Rerank("", hits, 2); len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("empty query should pass through top-limit, got %+v", got)
+	}
+	if got := Rerank("query", nil, 5); got != nil {
+		t.Fatalf("empty pool returned %+v, want nil", got)
+	}
+}
+
+func TestRerankDeterministicAndScored(t *testing.T) {
+	hits := []core.SearchHit{
+		{Kind: "pe", ID: 1, Name: "renderDashboard", Description: "a PE that renders dashboard widgets", Score: 0.03},
+		{Kind: "pe", ID: 2, Name: "filterPhotons", Description: "a PE that filters photon events by threshold", Score: 0.02},
+		{Kind: "pe", ID: 3, Name: "aggregateCounts", Description: "a PE that aggregates window counts", Score: 0.01},
+	}
+	first := Rerank("filter photon events", hits, 3)
+	if len(first) != 3 {
+		t.Fatalf("got %d hits, want 3", len(first))
+	}
+	if first[0].ID != 2 {
+		t.Fatalf("cross-encoder should surface the matching PE first, got %+v", first)
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Score < first[i].Score {
+			t.Fatalf("rerank scores not descending: %+v", first)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		if got := Rerank("filter photon events", hits, 3); !reflect.DeepEqual(got, first) {
+			t.Fatalf("trial %d: rerank nondeterministic\n got %+v\nwant %+v", trial, got, first)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package search
+
+import (
+	"laminar/internal/core"
+	"laminar/internal/embed"
+)
+
+// Rerank is the optional third retrieval stage: the ColBERT-style
+// CrossEncoder rescores every hit in the (typically fused, overfetched)
+// pool against the query text with token-level soft alignment, and the
+// best limit survive. Hits come back carrying their cross-encoder score.
+//
+// The stage is deterministic: RankStrings breaks score ties by input
+// position, so when the cross-encoder cannot discriminate (all-stopword
+// queries score every candidate 0) the incoming fused order survives
+// untouched. A query with no text to align (empty string — e.g. a
+// pre-embedded request that never shipped its words) skips rescoring and
+// returns the pool's own top limit.
+func Rerank(query string, hits []core.SearchHit, limit int) []core.SearchHit {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	if query == "" {
+		if len(hits) > limit {
+			hits = hits[:limit]
+		}
+		return hits
+	}
+	texts := make([]string, len(hits))
+	for i, h := range hits {
+		texts[i] = h.Name + "\n" + h.Description
+	}
+	ce := embed.NewCrossEncoder(embed.MustLookup(TextModel))
+	order, scores := ce.RankStrings(query, texts)
+	out := make([]core.SearchHit, 0, min(limit, len(hits)))
+	for i, idx := range order {
+		if len(out) == limit {
+			break
+		}
+		h := hits[idx]
+		h.Score = scores[i]
+		out = append(out, h)
+	}
+	return out
+}

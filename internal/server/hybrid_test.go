@@ -1,0 +1,214 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"laminar/internal/core"
+	"laminar/internal/engine"
+	"laminar/internal/search"
+)
+
+// addHybridPE registers a PE the bi-encoder way — client-computed
+// embeddings travel with the record — so both hybrid legs have something
+// to retrieve. The code is raw source (not an envelope): the lexical index
+// falls back to indexing it verbatim.
+func addHybridPE(t *testing.T, addr, name, desc, source string) core.PERecord {
+	t.Helper()
+	var rec core.PERecord
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", core.AddPERequest{
+		PEName:        name,
+		Description:   desc,
+		PECode:        source,
+		CodeEmbedding: search.EmbedCode(source),
+		DescEmbedding: search.EmbedDescription(desc),
+	}, &rec)
+	if code != http.StatusCreated {
+		t.Fatalf("add PE %s: %d %s", name, code, raw)
+	}
+	return rec
+}
+
+func TestSearchModeHybridFindsExactIdentifier(t *testing.T) {
+	addr := startServer(t)
+	// Near-identical descriptions: the ANN leg cannot tell these apart, so
+	// only the BM25 leg over the code can pin the exact identifier.
+	var want core.PERecord
+	for i, ident := range []string{"seismic_pick_0042", "seismic_pick_0043", "seismic_pick_0044"} {
+		rec := addHybridPE(t, addr, ident,
+			"a PE that picks seismic phase arrivals",
+			"def "+ident+"(stream):\n    return stream")
+		if i == 0 {
+			want = rec
+		}
+	}
+	q := "seismic_pick_0042"
+	var res core.SearchResponse
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search:         q,
+		SearchType:     core.SearchPEs,
+		QueryType:      core.QuerySemantic,
+		QueryEmbedding: search.EmbedDescription(q),
+		Mode:           core.ModeHybrid,
+		Limit:          2,
+	}, &res)
+	if code != 200 || len(res.Hits) == 0 || res.Hits[0].ID != want.PEID {
+		t.Fatalf("hybrid exact-identifier query: %d %s", code, raw)
+	}
+	// The reranked mode answers the same query too.
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search:         q,
+		SearchType:     core.SearchPEs,
+		QueryType:      core.QuerySemantic,
+		QueryEmbedding: search.EmbedDescription(q),
+		Mode:           core.ModeReranked,
+		Limit:          2,
+	}, &res)
+	if code != 200 || len(res.Hits) == 0 {
+		t.Fatalf("reranked query: %d %s", code, raw)
+	}
+}
+
+func TestSearchModeGETFormAndBadMode(t *testing.T) {
+	addr := startServer(t)
+	rec := addHybridPE(t, addr, "waveform_taper_7731",
+		"a PE that tapers waveform windows",
+		"def waveform_taper_7731(stream):\n    return stream")
+	// The GET path form carries the mode as a query parameter; no client
+	// embedding travels, so the server embeds and the lexical leg still
+	// pins the exact identifier.
+	var res core.SearchResponse
+	u := fmt.Sprintf("%s/registry/zz46/search/%s/type/pe?query=semantic&mode=hybrid",
+		addr, url.PathEscape("waveform_taper_7731"))
+	code, raw := doReq(t, http.MethodGet, u, nil, &res)
+	if code != 200 || len(res.Hits) == 0 || res.Hits[0].ID != rec.PEID {
+		t.Fatalf("GET hybrid search: %d %s", code, raw)
+	}
+	// An unknown mode is a 400, not a silent ANN fallback.
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search:    "waveform",
+		QueryType: core.QuerySemantic,
+		Mode:      "bm25",
+	}, nil)
+	if code != http.StatusBadRequest || !strings.Contains(raw, "BadRequestError") {
+		t.Fatalf("unknown mode: %d %s", code, raw)
+	}
+	// Code queries accept modes too.
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search:     "waveform_taper_7731",
+		SearchType: core.SearchPEs,
+		QueryType:  core.QueryCode,
+		Mode:       core.ModeHybrid,
+	}, &res)
+	if code != 200 || len(res.Hits) == 0 || res.Hits[0].ID != rec.PEID {
+		t.Fatalf("hybrid code query: %d %s", code, raw)
+	}
+}
+
+// TestSearchModeServerDefault pins Config.SearchMode: requests that name
+// no mode run the configured pipeline, and an explicit per-request mode
+// overrides it.
+func TestSearchModeServerDefault(t *testing.T) {
+	srv := New(Config{
+		Engine:     engine.New(engine.Config{InstallDelayScale: 0}),
+		SearchMode: core.ModeHybrid,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	if code, _ := doReq(t, http.MethodPost, addr+"/auth/register",
+		core.RegisterUserRequest{UserName: "zz46", Password: "password"}, nil); code != http.StatusCreated {
+		t.Fatalf("register status %d", code)
+	}
+	var want core.PERecord
+	for i, ident := range []string{"tremor_scan_0917", "tremor_scan_0918"} {
+		rec := addHybridPE(t, addr, ident,
+			"a PE that scans tremor episodes",
+			"def "+ident+"(stream):\n    return stream")
+		if i == 0 {
+			want = rec
+		}
+	}
+	// No mode in the request: the server's hybrid default finds the exact
+	// identifier the pure-ANN pipeline cannot separate.
+	var res core.SearchResponse
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search:         "tremor_scan_0917",
+		SearchType:     core.SearchPEs,
+		QueryType:      core.QuerySemantic,
+		QueryEmbedding: search.EmbedDescription("tremor_scan_0917"),
+		Limit:          1,
+	}, &res)
+	if code != 200 || len(res.Hits) != 1 || res.Hits[0].ID != want.PEID {
+		t.Fatalf("server-default hybrid: %d %s", code, raw)
+	}
+	// An explicit per-request mode still overrides the default.
+	code, raw = doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search:         "scans tremor episodes",
+		SearchType:     core.SearchPEs,
+		QueryType:      core.QuerySemantic,
+		QueryEmbedding: search.EmbedDescription("scans tremor episodes"),
+		Mode:           core.ModeANN,
+		Limit:          1,
+	}, &res)
+	if code != 200 || len(res.Hits) != 1 {
+		t.Fatalf("explicit ann override: %d %s", code, raw)
+	}
+}
+
+func TestBadSearchModePanicsAtStartup(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a bogus Config.SearchMode")
+		}
+	}()
+	New(Config{SearchMode: "bm25"})
+}
+
+// TestHybridPreEmbeddedQuerySkipsServerEmbedding audits the bi-encoder
+// contract on the hybrid path: a request that carries its own embedding is
+// compared, never re-embedded. The probe sends a search TEXT aimed at one
+// PE with an EMBEDDING aimed at a semantically disjoint one — the second
+// PE can only surface if the server used the client's embedding verbatim
+// (re-embedding the text server-side would point the ANN leg at the first).
+func TestHybridPreEmbeddedQuerySkipsServerEmbedding(t *testing.T) {
+	addr := startServer(t)
+	lexTarget := addHybridPE(t, addr, "photon_gate_5501",
+		"a PE that gates photon arrival events",
+		"def photon_gate_5501(stream):\n    return stream")
+	annTarget := addHybridPE(t, addr, "orbitPlotter",
+		"a PE that renders orbital trajectory dashboards",
+		"def orbit_plotter(stream):\n    return stream")
+	var res core.SearchResponse
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/search", core.SearchRequest{
+		Search:         "photon_gate_5501",
+		SearchType:     core.SearchPEs,
+		QueryType:      core.QuerySemantic,
+		QueryEmbedding: search.EmbedDescription("renders orbital trajectory dashboards"),
+		Mode:           core.ModeHybrid,
+		Limit:          5,
+	}, &res)
+	if code != 200 {
+		t.Fatalf("hybrid search: %d %s", code, raw)
+	}
+	var sawLex, sawANN bool
+	for _, h := range res.Hits {
+		switch h.ID {
+		case lexTarget.PEID:
+			sawLex = true
+		case annTarget.PEID:
+			sawANN = true
+		}
+	}
+	if !sawANN {
+		t.Fatalf("ANN leg ignored the client embedding (server re-embedded the text?): %+v", res.Hits)
+	}
+	if !sawLex {
+		t.Fatalf("lexical leg missed its exact identifier: %+v", res.Hits)
+	}
+}

@@ -48,6 +48,12 @@ type Config struct {
 	Engine *engine.Engine
 	// SearchLimit caps search hit lists (0 = search.DefaultLimit).
 	SearchLimit int
+	// SearchMode is the default retrieval pipeline for semantic and code
+	// queries when the request doesn't name one: core.ModeANN (the default
+	// when empty), core.ModeHybrid or core.ModeReranked. Any other value
+	// panics in New — a typo silently falling back to ANN would hide the
+	// operator's intent.
+	SearchMode string
 	// MaxBodyBytes caps request body sizes (0 = DefaultMaxBodyBytes;
 	// negative disables the limit).
 	MaxBodyBytes int64
@@ -127,6 +133,14 @@ func New(cfg Config) *Server {
 	clusterMetrics := cluster.NewMetrics(s.telem)
 	if cfg.Cluster != nil {
 		cfg.Cluster.SetMetrics(clusterMetrics)
+	}
+	// Fail fast on a bad default search mode, same rationale as the CIDR
+	// check below: configuration typos should stop the process, not
+	// silently serve a different pipeline than the operator asked for.
+	switch cfg.SearchMode {
+	case "", core.ModeANN, core.ModeHybrid, core.ModeReranked:
+	default:
+		panic(fmt.Sprintf("server: bad -search-mode %q (want ann, hybrid or reranked)", cfg.SearchMode))
 	}
 	// Fail fast on an unparsable scrape allowlist: a typo silently skipped
 	// would leave /metrics more open (or more closed) than configured.
@@ -645,6 +659,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, user *core
 		Search:     r.PathValue("search"),
 		SearchType: core.SearchType(strings.ToLower(r.PathValue("type"))),
 		QueryType:  core.QueryType(strings.ToLower(r.URL.Query().Get("query"))),
+		Mode:       strings.ToLower(r.URL.Query().Get("mode")),
 	}
 	if req.QueryType == "" {
 		req.QueryType = core.QueryText
@@ -685,6 +700,15 @@ func (s *Server) search(w http.ResponseWriter, r *http.Request, user *core.UserR
 	// it ranks over the user's own listing, which every shard-broadcast
 	// user resolves locally.
 	if s.cfg.Cluster != nil && (req.QueryType == core.QuerySemantic || req.QueryType == core.QueryCode) {
+		// Resolve the retrieval mode here, against the coordinator's
+		// default, and forward it explicitly — every shard then runs the
+		// same pipeline regardless of its own configured default.
+		mode, err := s.resolveMode(req.Mode)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		req.Mode = mode
 		if req.QueryEmbedding == nil {
 			if req.QueryType == core.QueryCode {
 				req.QueryEmbedding = search.EmbedCode(req.Search)
@@ -721,11 +745,25 @@ func (s *Server) searchHits(user *core.UserRecord, req core.SearchRequest) ([]co
 		wfs := s.reg.WorkflowsForUser(user.UserID)
 		hits = search.Text(req.Search, req.SearchType, pes, wfs, limit)
 	case core.QuerySemantic:
+		mode, err := s.resolveMode(req.Mode)
+		if err != nil {
+			return nil, err
+		}
 		// Bi-encoder contract: clients embed their own queries; embed
 		// server-side only when the request carries none.
 		emb := req.QueryEmbedding
 		if emb == nil {
 			emb = search.EmbedDescription(req.Search)
+		}
+		if mode != core.ModeANN {
+			hits = s.reg.HybridSearch(user.UserID, registry.HybridQuery{
+				Text:      req.Search,
+				Embedding: emb,
+				Type:      req.SearchType,
+				Limit:     limit,
+				Rerank:    mode == core.ModeReranked,
+			})
+			break
 		}
 		// Both kinds are semantically indexed (PE descriptions and workflow
 		// descriptions share the embedding model), so SearchBoth ranks them
@@ -739,6 +777,10 @@ func (s *Server) searchHits(user *core.UserRecord, req core.SearchRequest) ([]co
 			hits = s.reg.SemanticSearchBoth(user.UserID, emb, limit)
 		}
 	case core.QueryCode:
+		mode, err := s.resolveMode(req.Mode)
+		if err != nil {
+			return nil, err
+		}
 		// Only PEs carry code embeddings; a workflow-only code query has
 		// nothing to rank and returns no hits.
 		if req.SearchType == core.SearchWorkflows {
@@ -748,11 +790,39 @@ func (s *Server) searchHits(user *core.UserRecord, req core.SearchRequest) ([]co
 		if emb == nil {
 			emb = search.EmbedCode(req.Search)
 		}
+		if mode != core.ModeANN {
+			hits = s.reg.HybridSearch(user.UserID, registry.HybridQuery{
+				Text:      req.Search,
+				Embedding: emb,
+				Code:      true,
+				Type:      req.SearchType,
+				Limit:     limit,
+				Rerank:    mode == core.ModeReranked,
+			})
+			break
+		}
 		hits = s.reg.CompletionSearch(user.UserID, emb, limit)
 	default:
 		return nil, core.ErrBadRequest("query", "unknown query type %q (want text, semantic or code)", req.QueryType)
 	}
 	return hits, nil
+}
+
+// resolveMode picks the retrieval pipeline for a semantic or code query:
+// the request's explicit mode wins, else the server's configured default,
+// else pure ANN. An unknown mode is a client error, not a fallback.
+func (s *Server) resolveMode(reqMode string) (string, error) {
+	mode := reqMode
+	if mode == "" {
+		mode = s.cfg.SearchMode
+	}
+	switch mode {
+	case "", core.ModeANN:
+		return core.ModeANN, nil
+	case core.ModeHybrid, core.ModeReranked:
+		return mode, nil
+	}
+	return "", core.ErrBadRequest("mode", "unknown search mode %q (want ann, hybrid or reranked)", mode)
 }
 
 // ClusterSearchLocal answers one search against this node's own registry

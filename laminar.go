@@ -61,6 +61,11 @@ const (
 	QueryText       = core.QueryText
 	QuerySemantic   = core.QuerySemantic
 	QueryCode       = core.QueryCode
+	// Retrieval modes for semantic and code queries (ServerOptions.SearchMode
+	// and the per-request "mode" field — see docs/search.md).
+	ModeANN      = core.ModeANN
+	ModeHybrid   = core.ModeHybrid
+	ModeReranked = core.ModeReranked
 )
 
 // ServerOptions configure a full Laminar deployment.
@@ -120,6 +125,12 @@ type ServerOptions struct {
 	// Bypassed at IndexRecallTarget 1.0, whose exactness needs exact
 	// scores. See docs/vecmath.md.
 	IndexQuantize bool
+	// SearchMode is the default retrieval pipeline for semantic and code
+	// queries: "ann" (pure vector index, the default when empty), "hybrid"
+	// (ANN + BM25 lexical leg fused with reciprocal-rank fusion) or
+	// "reranked" (hybrid plus a cross-encoder rerank of the fused pool).
+	// Requests can override it per query. See docs/search.md.
+	SearchMode string
 	// IndexRetrainCooldown, when > 0, rate-limits automatic clustered
 	// retrains: triggers within the window of the last launch coalesce
 	// into a single deferred retrain, so a churn burst cannot retrain
@@ -258,6 +269,7 @@ func NewServer(opts ServerOptions) *Server {
 	s := server.New(server.Config{
 		Registry:         reg,
 		Engine:           eng,
+		SearchMode:       opts.SearchMode,
 		Metrics:          opts.Metrics,
 		MetricsAuthToken: opts.MetricsAuthToken,
 		MetricsAllow:     opts.MetricsAllow,
