@@ -9,16 +9,17 @@ GO ?= go
 # dataflow mappings and the Redis transport under them) run under the race
 # detector; running the whole tree under -race would double the verify wall
 # clock for packages with no shared state.
-RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server ./internal/telemetry ./internal/dataflow ./internal/resp ./internal/redisserver ./internal/cluster ./internal/lexical ./internal/search
+RACE_PKGS = ./internal/registry/... ./internal/index ./internal/server ./internal/telemetry ./internal/dataflow ./internal/resp ./internal/redisserver ./internal/cluster ./internal/lexical ./internal/search ./internal/qcache
 
-# The hybrid-retrieval packages carry a statement-coverage floor: their
-# test walls (BM25/RRF properties, tokenizer fuzz seeds, rerank goldens)
-# are the only thing standing between a scoring regression and silently
-# worse retrieval, so `make verify` fails if coverage decays below this.
+# The hybrid-retrieval and persistence packages carry a statement-coverage
+# floor: their test walls (BM25/RRF properties, tokenizer and delta-segment
+# fuzz seeds, rerank goldens, crash-consistency torture tests) are the only
+# thing standing between a scoring or durability regression and silent data
+# loss, so `make verify` fails if coverage decays below this.
 COVER_FLOOR = 85
-COVER_PKGS = ./internal/lexical ./internal/search
+COVER_PKGS = ./internal/lexical ./internal/search ./internal/registry/storage ./internal/qcache
 
-.PHONY: build test vet fmt-check docs bench race purego cover-check searchbench-smoke metrics-smoke flowbench-smoke clusterbench-smoke verify
+.PHONY: build test vet fmt-check docs bench race purego cover-check searchbench-smoke metrics-smoke flowbench-smoke clusterbench-smoke persistbench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -104,4 +105,12 @@ flowbench-smoke:
 clusterbench-smoke:
 	$(GO) run ./cmd/laminar-bench -clusterbench-smoke
 
-verify: build vet fmt-check docs test race purego cover-check searchbench-smoke metrics-smoke flowbench-smoke clusterbench-smoke
+# persistbench-smoke is the durability gate: drive a churning registry
+# through delta saves, compare delta-save vs full-save latency and bytes,
+# force a compaction, crash-reload through the journal chain, and fail when
+# the reloaded state diverges from the live one, when delta saves stop
+# being cheaper than full saves, or when compaction never triggers.
+persistbench-smoke:
+	$(GO) run ./cmd/laminar-bench -persistbench-smoke
+
+verify: build vet fmt-check docs test race purego cover-check searchbench-smoke metrics-smoke flowbench-smoke clusterbench-smoke persistbench-smoke

@@ -35,8 +35,9 @@ func main() {
 	indexQuantize := flag.Bool("index-quantize", false, "int8-quantized candidate scoring for -searchbench (final top-k is always exact-rescored)")
 	vecBench := flag.Bool("vecbench", false, "run only the scoring-kernel throughput table (scalar vs vecmath, float32 vs int8) plus batched-vs-sequential search timing")
 	frontierSize := flag.Int("frontier-size", 10000, "corpus size for the -searchbench knob frontier (0 disables the sweep)")
-	persistBench := flag.Bool("persistbench", false, "run only the index persistence + background-retrain benchmark")
+	persistBench := flag.Bool("persistbench", false, "run only the index persistence + background-retrain benchmark, plus the churn table: delta-journal save cost per churn fraction and the query-cache hit-rate curve on a repeated workload")
 	persistSize := flag.Int("persist-size", 10000, "registry size (PEs) for -persistbench")
+	persistSmoke := flag.Bool("persistbench-smoke", false, "run the ingestion CI gate: at 5k PEs a 10% churn delta save must cost < 50% of a full save, the repeated-query cache hit rate must reach 0.8, a mutation must invalidate cached results, and a delta chain must reload losslessly")
 	metricsSmoke := flag.Bool("metrics-smoke", false, "run the telemetry CI gate: boot a metrics-enabled server on a corpus, issue searches, scrape /metrics, and fail when the probe/route histograms are empty, the exposition stops parsing, or the runbook's metric names drift from the live endpoint")
 	metricsSmokeDoc := flag.String("metrics-smoke-doc", "docs/operations.md", "runbook whose metric names -metrics-smoke validates against the live endpoint")
 	flowBench := flag.Bool("flowbench", false, "run only the dataflow-engine benchmark: one skewed 4-PE streaming pipeline through all four mappings plus a cost-weighted MULTI run, with a throughput/latency/allocation/backpressure table (reading guide in docs/dataflow.md)")
@@ -48,7 +49,7 @@ func main() {
 	clusterSmoke := flag.Bool("clusterbench-smoke", false, "run the cluster CI gate: small sharded corpus, failing when the 3-shard p50 exceeds 1.3x the single-node baseline at 3x the corpus, when the merged ranking drifts from a global exact scan, when replica failover degrades, or when a killed shard errors instead of degrading")
 	flag.Parse()
 
-	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke && !*metricsSmoke && !*vecBench && !*flowBench && !*flowSmoke && !*clusterBench && !*clusterSmoke
+	all := *table == 0 && !*figures && !*ablations && !*searchBench && !*persistBench && !*searchSmoke && !*metricsSmoke && !*vecBench && !*flowBench && !*flowSmoke && !*clusterBench && !*clusterSmoke && !*persistSmoke
 
 	if all || *table == 5 {
 		res, err := bench.RunTable5(bench.DefaultTable5Options())
@@ -188,6 +189,20 @@ func main() {
 			log.Fatalf("persist bench: %v", err)
 		}
 		fmt.Println(pb.Render())
+		cb, err := bench.RunChurnBench(*persistSize / 2)
+		if err != nil {
+			log.Fatalf("churn bench: %v", err)
+		}
+		fmt.Println(cb.Render())
+	}
+	if *persistSmoke {
+		summary, err := bench.RunPersistSmoke()
+		if summary != "" {
+			fmt.Println(summary)
+		}
+		if err != nil {
+			log.Fatalf("persistbench-smoke: %v", err)
+		}
 	}
 	if all || *ablations {
 		bv, err := bench.RunBiVsCross(61, 1)

@@ -46,6 +46,12 @@ type serverConfig struct {
 
 	searchMode string
 
+	cacheSize       int
+	clusterCacheTTL time.Duration
+
+	deltaMaxSegments  int
+	deltaCompactRatio float64
+
 	flowQueueCap int
 	flowAlloc    string
 }
@@ -79,6 +85,10 @@ func registerFlags(fs *flag.FlagSet) *serverConfig {
 	fs.BoolVar(&c.indexQuantize, "index-quantize", false, "int8 scalar quantization for the clustered candidate pass: maintain quantized companions of the stored vectors and score probed shards with cheap int8 dot products, always exact-rescoring the final top-k from float32 (off by default; bypassed at -index-recall-target 1.0, whose exactness needs exact scores)")
 	fs.DurationVar(&c.indexRetrainCooldown, "index-retrain-cooldown", 0, "rate limit on automatic clustered retrains: triggers within this window of the last launch coalesce into one deferred retrain, so a churn burst cannot retrain back-to-back (0 = no limit; tuning guidance in docs/operations.md)")
 	fs.StringVar(&c.searchMode, "search-mode", "ann", "default retrieval pipeline for semantic and code queries: ann (pure vector index), hybrid (ANN + BM25 lexical leg fused with reciprocal-rank fusion) or reranked (hybrid plus a cross-encoder rerank of the fused pool); requests override per query with the mode field (see docs/search.md)")
+	fs.IntVar(&c.cacheSize, "cache-size", 0, "generation-tagged query-result cache capacity in entries (0 = off): repeated semantic/code queries are served from cache until a registry mutation or index retrain invalidates them (see docs/search.md; laminar_cache_* metrics in docs/operations.md)")
+	fs.DurationVar(&c.clusterCacheTTL, "cluster-cache-ttl", 0, "staleness bound on a coordinator's fan-out cache — shard epochs are invisible to the coordinator, so its cached results expire by clock (0 = 2s default; negative disables the coordinator tier; needs -cache-size)")
+	fs.IntVar(&c.deltaMaxSegments, "delta-max-segments", 0, "delta-journal segments allowed to accumulate before an incremental save compacts the chain into a full snapshot (0 = 64 default; see docs/storage.md)")
+	fs.Float64Var(&c.deltaCompactRatio, "delta-compact-ratio", 0, "compact the delta chain once its on-disk size or the dirty record fraction exceeds this ratio of the base snapshot, in (0,1] (0 = 0.5 default)")
 	fs.IntVar(&c.flowQueueCap, "flow-queue-cap", 0, "bound on each PE instance's input queue during workflow enactment; senders park when a downstream queue fills (0 = default 1024; see docs/dataflow.md)")
 	fs.StringVar(&c.flowAlloc, "flow-alloc", "even", "instance division for parallel workflow mappings: even (the paper's split) or weighted (proportional to per-PE cost measured across runs; see docs/dataflow.md)")
 	return c
@@ -130,6 +140,15 @@ func (c *serverConfig) validate() error {
 	if c.replica && c.registryPath == "" {
 		return fmt.Errorf("-replica needs -registry: a read-only replica serves a restored snapshot")
 	}
+	if c.cacheSize < 0 {
+		return fmt.Errorf("-cache-size %d out of range (want >= 0)", c.cacheSize)
+	}
+	if c.deltaMaxSegments < 0 {
+		return fmt.Errorf("-delta-max-segments %d out of range (want >= 0)", c.deltaMaxSegments)
+	}
+	if c.deltaCompactRatio < 0 || c.deltaCompactRatio > 1 {
+		return fmt.Errorf("-delta-compact-ratio %g out of range (want 0, or a ratio in (0,1])", c.deltaCompactRatio)
+	}
 	return nil
 }
 
@@ -171,5 +190,9 @@ func (c *serverConfig) serverOptions() laminar.ServerOptions {
 		ClusterShardTimeout:  c.clusterShardTimeout,
 		ClusterHedgeDelay:    c.clusterHedgeDelay,
 		ReadOnlyReplica:      c.replica,
+		CacheSize:            c.cacheSize,
+		ClusterCacheTTL:      c.clusterCacheTTL,
+		DeltaMaxSegments:     c.deltaMaxSegments,
+		DeltaCompactRatio:    c.deltaCompactRatio,
 	}
 }

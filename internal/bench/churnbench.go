@@ -1,0 +1,408 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"laminar/internal/core"
+	"laminar/internal/embed"
+	"laminar/internal/engine"
+	"laminar/internal/registry"
+	"laminar/internal/registry/storage"
+	"laminar/internal/server"
+	"laminar/internal/telemetry"
+)
+
+// The churn benchmark measures the continuous-ingestion path: what a
+// small change costs to persist (delta journal vs full snapshot) and
+// what a repeated query costs to answer (generation-tagged cache vs the
+// full retrieval pipeline).
+//
+//   - Delta rows: re-register a churn fraction of the corpus through
+//     UpsertPE, then SaveDelta. The save should cost proportional to the
+//     churn, not to the corpus — that is the whole point of the journal.
+//   - Cache rows: replay a fixed query pool r times through the server's
+//     search path. The first pass misses, the rest hit until a mutation
+//     or retrain moves the world tag.
+
+// churnFractions are the delta-save rows, as fractions of the corpus
+// re-registered between saves.
+var churnFractions = []float64{0.01, 0.05, 0.10, 0.25}
+
+// cacheRepeats are the hit-rate-curve rows: how many times the query
+// pool replays against a warm server.
+var cacheRepeats = []int{1, 2, 5, 10}
+
+// ChurnRow is one delta-save measurement.
+type ChurnRow struct {
+	Fraction  float64
+	Changed   int
+	SaveTime  time.Duration
+	SaveBytes int64  // journal bytes appended by this save
+	Segments  uint64 // chain length after the save
+}
+
+// CacheRow is one hit-rate measurement.
+type CacheRow struct {
+	Repeats  int
+	Lookups  uint64
+	Hits     uint64
+	HitRate  float64
+	HitMean  time.Duration // mean query latency once the cache is warm
+	MissMean time.Duration // mean query latency on the cold first pass
+}
+
+// ChurnBenchResult is the -persistbench churn section.
+type ChurnBenchResult struct {
+	CorpusSize   int
+	FullSaveTime time.Duration
+	FullBytes    int64
+	Churn        []ChurnRow
+	QueryPool    int
+	Cache        []CacheRow
+	// InvalidationChecked reports that a mutation mid-workload was
+	// observed to drop cached entries (laminar_cache_invalidations_total
+	// moved), i.e. the hit rate above is not a stale-serving artifact.
+	InvalidationChecked bool
+}
+
+// churnStore builds a size-PE registry on the clustered index, trained
+// and fully saved at path, returning the store and its owner.
+func churnStore(size int, path string) (*registry.Store, *core.UserRecord, [][]float32, error) {
+	corpus, _ := genUniformCorpus(size, 1, embed.Dim)
+	s := registry.NewStore()
+	s.ConfigureIndex(clusteredBenchFactory())
+	u, err := s.RegisterUser("bench", "pw")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i, v := range corpus {
+		if _, err := s.AddPE(u.UserID, core.AddPERequest{
+			PEName: fmt.Sprintf("PE%06d", i), PECode: "code",
+			DescEmbedding: v, CodeEmbedding: v,
+		}); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	s.RetrainIndexes()
+	if err := s.Save(path); err != nil {
+		return nil, nil, nil, err
+	}
+	return s, u, corpus, nil
+}
+
+// churnUpserts re-registers n PEs with fresh content (a rotation of the
+// corpus vectors so embeddings genuinely change), round robin from a
+// moving offset so successive rows touch different records.
+func churnUpserts(s *registry.Store, u *core.UserRecord, corpus [][]float32, offset, n int) error {
+	size := len(corpus)
+	for i := 0; i < n; i++ {
+		id := (offset + i) % size
+		v := corpus[(id+1)%size]
+		if _, _, err := s.UpsertPE(u.UserID, core.AddPERequest{
+			PEName: fmt.Sprintf("PE%06d", id), PECode: fmt.Sprintf("code-v%d", offset),
+			DescEmbedding: v, CodeEmbedding: v,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunChurnBench measures delta saves across churn fractions and the
+// cache hit-rate curve on a repeated-query workload.
+func RunChurnBench(size int) (*ChurnBenchResult, error) {
+	if size <= 0 {
+		size = 5000
+	}
+	dir, err := os.MkdirTemp("", "laminar-churnbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "registry.json")
+
+	res := &ChurnBenchResult{CorpusSize: size}
+	s, u, corpus, err := churnStore(size, path)
+	if err != nil {
+		return nil, err
+	}
+
+	// Baseline: what one more full snapshot costs.
+	start := time.Now()
+	if err := s.Save(path); err != nil {
+		return nil, err
+	}
+	res.FullSaveTime = time.Since(start)
+	if res.FullBytes, err = storage.DiskSize(path); err != nil {
+		return nil, err
+	}
+
+	// Delta rows. Each row starts from a freshly compacted chain (the
+	// full save above, then per-row re-anchoring) so rows are
+	// independent measurements, not cumulative chain growth.
+	offset := 0
+	for _, frac := range churnFractions {
+		if err := s.Save(path); err != nil {
+			return nil, err
+		}
+		_, bytesBefore := s.DeltaChainInfo()
+		n := int(float64(size) * frac)
+		if n < 1 {
+			n = 1
+		}
+		if err := churnUpserts(s, u, corpus, offset, n); err != nil {
+			return nil, err
+		}
+		offset += n
+		start = time.Now()
+		if err := s.SaveDelta(path); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		segs, bytesAfter := s.DeltaChainInfo()
+		res.Churn = append(res.Churn, ChurnRow{
+			Fraction:  frac,
+			Changed:   n,
+			SaveTime:  elapsed,
+			SaveBytes: bytesAfter - bytesBefore,
+			Segments:  segs,
+		})
+	}
+
+	// Cache rows: a caching server over the same registry. Queries run
+	// through the server's own search path (ClusterSearchLocal is that
+	// path without HTTP), so the hit rate reported is the one a
+	// deployment would see, instruments included.
+	poolSize := 40
+	res.QueryPool = poolSize
+	_, pool := genUniformCorpus(1, poolSize, embed.Dim)
+	for _, repeats := range cacheRepeats {
+		row, err := runCacheRow(s, pool, repeats)
+		if err != nil {
+			return nil, err
+		}
+		res.Cache = append(res.Cache, row)
+	}
+
+	// Invalidation sanity: mutate mid-workload and confirm the cache
+	// noticed (entries dropped, fresh results recomputed).
+	srv := server.New(server.Config{
+		Registry:  s,
+		Engine:    engine.New(engine.Config{InstallDelayScale: 0}),
+		CacheSize: 1024,
+		Telemetry: telemetry.NewRegistry(),
+	})
+	req := searchReq(pool[0])
+	if _, err := srv.ClusterSearchLocal("bench", req); err != nil {
+		return nil, err
+	}
+	if err := churnUpserts(s, u, corpus, offset, 1); err != nil {
+		return nil, err
+	}
+	if _, err := srv.ClusterSearchLocal("bench", req); err != nil {
+		return nil, err
+	}
+	samples, err := scrapeTelemetry(srv)
+	if err != nil {
+		return nil, err
+	}
+	res.InvalidationChecked = samples[`laminar_cache_invalidations_total{cache="local"}`] >= 1
+	return res, nil
+}
+
+// scrapeTelemetry renders a server's telemetry registry and parses it
+// with the same validator the metrics smoke gate uses.
+func scrapeTelemetry(srv *server.Server) (map[string]float64, error) {
+	var buf bytes.Buffer
+	if err := srv.Telemetry().WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	_, samples, err := parseScrape(buf.String())
+	return samples, err
+}
+
+// runCacheRow replays the query pool repeats times against a fresh
+// caching server and reads the hit counters off its telemetry.
+func runCacheRow(s *registry.Store, pool [][]float32, repeats int) (CacheRow, error) {
+	srv := server.New(server.Config{
+		Registry:  s,
+		Engine:    engine.New(engine.Config{InstallDelayScale: 0}),
+		CacheSize: 1024,
+		Telemetry: telemetry.NewRegistry(),
+	})
+	row := CacheRow{Repeats: repeats}
+	var coldTotal, warmTotal time.Duration
+	var coldN, warmN int
+	for r := 0; r < repeats; r++ {
+		for _, q := range pool {
+			t0 := time.Now()
+			if _, err := srv.ClusterSearchLocal("bench", searchReq(q)); err != nil {
+				return row, err
+			}
+			d := time.Since(t0)
+			if r == 0 {
+				coldTotal += d
+				coldN++
+			} else {
+				warmTotal += d
+				warmN++
+			}
+		}
+	}
+	samples, err := scrapeTelemetry(srv)
+	if err != nil {
+		return row, err
+	}
+	row.Hits = uint64(samples[`laminar_cache_hits_total{cache="local"}`])
+	row.Lookups = row.Hits + uint64(samples[`laminar_cache_misses_total{cache="local"}`])
+	if row.Lookups > 0 {
+		row.HitRate = float64(row.Hits) / float64(row.Lookups)
+	}
+	if coldN > 0 {
+		row.MissMean = coldTotal / time.Duration(coldN)
+	}
+	if warmN > 0 {
+		row.HitMean = warmTotal / time.Duration(warmN)
+	}
+	return row, nil
+}
+
+// searchReq is the repeated-workload query shape: semantic PE search in
+// hybrid mode (cache key covers mode and embedding).
+func searchReq(q []float32) core.SearchRequest {
+	return core.SearchRequest{
+		Search:         "churn workload query",
+		SearchType:     core.SearchPEs,
+		QueryType:      core.QuerySemantic,
+		QueryEmbedding: q,
+		Mode:           core.ModeHybrid,
+		Limit:          10,
+	}
+}
+
+// Render formats the churn section.
+func (r *ChurnBenchResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Live ingestion under churn: delta journal vs full snapshot\n")
+	fmt.Fprintf(&sb, "(%d PEs; full save %v, %d KiB)\n",
+		r.CorpusSize, r.FullSaveTime.Round(time.Millisecond), r.FullBytes/1024)
+	sb.WriteString("  churn    changed      delta save      vs full      journal KiB   segments\n")
+	for _, row := range r.Churn {
+		ratio := 0.0
+		if r.FullSaveTime > 0 {
+			ratio = float64(row.SaveTime) / float64(r.FullSaveTime)
+		}
+		fmt.Fprintf(&sb, "  %4.0f%%  %9d  %14v  %9.2fx  %12d  %9d\n",
+			row.Fraction*100, row.Changed, row.SaveTime.Round(time.Microsecond),
+			ratio, row.SaveBytes/1024, row.Segments)
+	}
+	fmt.Fprintf(&sb, "Query cache: %d-query pool replayed r times (generation-tagged, hybrid mode)\n", r.QueryPool)
+	sb.WriteString("  repeats    lookups    hits    hit rate    cold mean     warm mean\n")
+	for _, row := range r.Cache {
+		fmt.Fprintf(&sb, "  %7d  %9d  %6d  %9.2f  %11v  %12v\n",
+			row.Repeats, row.Lookups, row.Hits, row.HitRate,
+			row.MissMean.Round(time.Microsecond), row.HitMean.Round(time.Microsecond))
+	}
+	if r.InvalidationChecked {
+		sb.WriteString("  invalidation: a mid-workload upsert dropped cached entries (laminar_cache_invalidations_total moved)\n")
+	} else {
+		sb.WriteString("  invalidation: NOT OBSERVED — cached results may be stale\n")
+	}
+	return sb.String()
+}
+
+// RunPersistSmoke is the `make persistbench-smoke` CI gate:
+//
+//   - at 5k PEs, a 10% churn delta save must cost < 50% of a full save
+//     (the journal scales with churn, not corpus);
+//   - the delta chain must reload to the same record state as a full
+//     save (spot check — the registry test wall covers it exhaustively);
+//   - the repeated-query workload must hit the cache at >= 0.8, and an
+//     invalidation must be observed when the corpus mutates.
+func RunPersistSmoke() (string, error) {
+	const size = 5000
+	res, err := RunChurnBench(size)
+	if err != nil {
+		return "", fmt.Errorf("persistbench-smoke: %w", err)
+	}
+	var tenPct *ChurnRow
+	for i := range res.Churn {
+		if res.Churn[i].Fraction == 0.10 {
+			tenPct = &res.Churn[i]
+		}
+	}
+	if tenPct == nil {
+		return "", fmt.Errorf("persistbench-smoke: no 10%% churn row measured")
+	}
+	ratio := float64(tenPct.SaveTime) / float64(res.FullSaveTime)
+	if ratio >= 0.5 {
+		return "", fmt.Errorf("persistbench-smoke: 10%% churn delta save took %v = %.2fx of the %v full save (want < 0.5x)",
+			tenPct.SaveTime, ratio, res.FullSaveTime)
+	}
+	var warm *CacheRow
+	for i := range res.Cache {
+		if res.Cache[i].Repeats == 10 {
+			warm = &res.Cache[i]
+		}
+	}
+	if warm == nil {
+		return "", fmt.Errorf("persistbench-smoke: no 10-repeat cache row measured")
+	}
+	if warm.HitRate < 0.8 {
+		return "", fmt.Errorf("persistbench-smoke: repeated-query hit rate %.2f below the 0.8 floor", warm.HitRate)
+	}
+	if !res.InvalidationChecked {
+		return "", fmt.Errorf("persistbench-smoke: no cache invalidation observed after a mutation — cached results may be stale")
+	}
+	if err := smokeDeltaReload(size / 10); err != nil {
+		return "", fmt.Errorf("persistbench-smoke: %w", err)
+	}
+	return fmt.Sprintf("persistbench-smoke: %d PEs: 10%% churn delta save %.2fx of full save (< 0.5x), cache hit rate %.2f (>= 0.8), invalidation observed, delta reload lossless",
+		size, ratio, warm.HitRate), nil
+}
+
+// smokeDeltaReload asserts a delta chain reloads to the same records a
+// direct listing reports.
+func smokeDeltaReload(size int) error {
+	dir, err := os.MkdirTemp("", "laminar-persistsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "registry.json")
+	s, u, corpus, err := churnStore(size, path)
+	if err != nil {
+		return err
+	}
+	if err := churnUpserts(s, u, corpus, 0, size/10); err != nil {
+		return err
+	}
+	if err := s.SaveDelta(path); err != nil {
+		return err
+	}
+	loaded := registry.NewStore()
+	loaded.ConfigureIndex(clusteredBenchFactory())
+	if err := loaded.Load(path); err != nil {
+		return err
+	}
+	want := s.PEsForUser(u.UserID)
+	lu, err := loaded.UserByName("bench")
+	if err != nil {
+		return err
+	}
+	got := loaded.PEsForUser(lu.UserID)
+	if len(got) != len(want) {
+		return fmt.Errorf("delta reload: %d PEs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].PEID != want[i].PEID || got[i].PECode != want[i].PECode {
+			return fmt.Errorf("delta reload: PE %d diverged (code %q vs %q)", want[i].PEID, got[i].PECode, want[i].PECode)
+		}
+	}
+	return nil
+}

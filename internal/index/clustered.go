@@ -243,6 +243,18 @@ func (c *Clustered) Retrains() int {
 	return c.retrains
 }
 
+// Generation reports a counter that advances whenever the trained
+// structure an answer depends on is replaced — a completed retrain or a
+// snapshot Restore. Result caches key their entries to it: the same query
+// against the same generation (and the same record set) returns the same
+// candidates, so a generation bump is exactly when cached ANN answers must
+// be discarded. Monotonic: both underlying counters only ever increase.
+func (c *Clustered) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return uint64(c.retrains) + uint64(c.gen)
+}
+
 // WaitRetrain blocks until no background retrain is in flight. Benchmarks
 // and tests call it to reach a settled clustering; serving code never needs
 // to.

@@ -1,0 +1,80 @@
+package qcache
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Key builds a cache key by FNV-1a hashing the query's identity fields.
+// Every field write is length-prefixed (or fixed-width), so distinct
+// field sequences cannot collide by concatenation ("ab","c" ≠ "a","bc").
+// The zero Key is ready to use.
+type Key struct {
+	h uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewKey returns a key builder seeded with the FNV offset basis.
+func NewKey() *Key { return &Key{h: fnvOffset} }
+
+func (k *Key) byte(b byte) {
+	if k.h == 0 {
+		k.h = fnvOffset
+	}
+	k.h ^= uint64(b)
+	k.h *= fnvPrime
+}
+
+// String mixes a length-prefixed string.
+func (k *Key) String(s string) *Key {
+	k.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		k.byte(s[i])
+	}
+	return k
+}
+
+// Int mixes a fixed-width integer.
+func (k *Key) Int(v int) *Key {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	for _, b := range buf {
+		k.byte(b)
+	}
+	return k
+}
+
+// Bool mixes a boolean.
+func (k *Key) Bool(v bool) *Key {
+	if v {
+		k.byte(1)
+	} else {
+		k.byte(0)
+	}
+	return k
+}
+
+// Floats mixes a length-prefixed float32 slice (query embeddings).
+func (k *Key) Floats(vs []float32) *Key {
+	k.Int(len(vs))
+	var buf [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		for _, b := range buf {
+			k.byte(b)
+		}
+	}
+	return k
+}
+
+// Sum returns the accumulated 64-bit key.
+func (k *Key) Sum() uint64 {
+	if k.h == 0 {
+		return fnvOffset
+	}
+	return k.h
+}

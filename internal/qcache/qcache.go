@@ -1,0 +1,190 @@
+// Package qcache is a generation-tagged query-result cache for the
+// retrieval hot path. A cached result is valid only while the world it
+// was computed against still exists, so every entry carries a Tag — the
+// registry's mutation epoch paired with the vector indexes' retrain
+// generation — captured when the result was computed. A Get whose tag
+// differs from the entry's is not a hit: the entry is dropped (counted
+// as an invalidation) and the caller recomputes. Nothing subscribes to
+// anything; correctness costs two atomic loads per lookup.
+//
+// Capacity is bounded by an LRU list; an optional TTL bounds staleness
+// for tiers whose tag cannot observe every source of change (a cluster
+// coordinator cannot see its shards' epochs, so its cache leans on the
+// clock instead).
+package qcache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"laminar/internal/telemetry"
+)
+
+// Tag identifies the world state a cached result was computed against.
+// Two tags are interchangeable only when both coordinates match: the
+// epoch covers registry mutations (adds, removes, loads, read-only
+// flips, index swaps), the generation covers index retrains that
+// re-rank without mutating records.
+type Tag struct {
+	Epoch int64
+	Gen   uint64
+}
+
+// Metrics carries the instruments a cache increments; any nil field is
+// skipped. Callers typically curry a shared laminar_cache_* family by
+// its "cache" label (local | coordinator) so tiers share one family.
+type Metrics struct {
+	Hits          *telemetry.Counter
+	Misses        *telemetry.Counter
+	Invalidations *telemetry.Counter
+	Evictions     *telemetry.Counter
+	// Entries tracks the live entry count (set, not incremented).
+	Entries *telemetry.Gauge
+}
+
+// Options configures a Cache.
+type Options struct {
+	// MaxEntries bounds the cache; <= 0 disables caching entirely (every
+	// Get misses, every Put is dropped), which lets callers wire the
+	// cache unconditionally and gate it by configuration.
+	MaxEntries int
+	// TTL, when positive, expires entries by wall clock in addition to
+	// tag mismatch.
+	TTL time.Duration
+	// Now supplies the clock for TTL checks; nil means time.Now. Tests
+	// and simulated clusters inject their own.
+	Now func() time.Time
+	// Metrics receives hit/miss/invalidation/eviction counts.
+	Metrics Metrics
+}
+
+type entry[V any] struct {
+	key   uint64
+	tag   Tag
+	value V
+	at    time.Time
+}
+
+// Cache is a tag-validated LRU from query-key to result. All methods
+// are safe for concurrent use.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	cap     int
+	ttl     time.Duration
+	now     func() time.Time
+	metrics Metrics
+	order   *list.List               // front = most recently used
+	entries map[uint64]*list.Element // key → element holding *entry[V]
+}
+
+// New builds a cache. See Options for the zero-value semantics.
+func New[V any](opts Options) *Cache[V] {
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Cache[V]{
+		cap:     opts.MaxEntries,
+		ttl:     opts.TTL,
+		now:     now,
+		metrics: opts.Metrics,
+		order:   list.New(),
+		entries: map[uint64]*list.Element{},
+	}
+}
+
+// Get returns the cached value for key if one exists and was computed
+// against the same world state (tag match, TTL unexpired). A stale
+// entry is removed and counted as an invalidation; every non-hit is
+// also counted as a miss, so hits+misses is the total lookup count.
+func (c *Cache[V]) Get(key uint64, tag Tag) (V, bool) {
+	var zero V
+	if c == nil || c.cap <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		inc(c.metrics.Misses)
+		return zero, false
+	}
+	e := el.Value.(*entry[V])
+	if e.tag != tag || (c.ttl > 0 && c.now().Sub(e.at) > c.ttl) {
+		c.removeLocked(el)
+		c.sizeLocked()
+		inc(c.metrics.Invalidations)
+		inc(c.metrics.Misses)
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	inc(c.metrics.Hits)
+	return e.value, true
+}
+
+// Put stores a value computed against tag, evicting the least recently
+// used entry when the cache is full. A same-key Put replaces the old
+// entry (newer tag wins — the recompute that produced it is fresher).
+func (c *Cache[V]) Put(key uint64, tag Tag, value V) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry[V])
+		e.tag, e.value, e.at = tag, value, c.now()
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		c.removeLocked(c.order.Back())
+		inc(c.metrics.Evictions)
+	}
+	c.entries[key] = c.order.PushFront(&entry[V]{key: key, tag: tag, value: value, at: c.now()})
+	c.sizeLocked()
+}
+
+// Len reports the number of live entries (for laminar_cache_entries
+// gauges; expired-but-unswept entries count until touched).
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Purge drops every entry without touching the counters.
+func (c *Cache[V]) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = map[uint64]*list.Element{}
+	c.sizeLocked()
+}
+
+func (c *Cache[V]) removeLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	delete(c.entries, el.Value.(*entry[V]).key)
+	c.order.Remove(el)
+}
+
+func (c *Cache[V]) sizeLocked() {
+	if c.metrics.Entries != nil {
+		c.metrics.Entries.Set(float64(c.order.Len()))
+	}
+}
+
+func inc(ctr *telemetry.Counter) {
+	if ctr != nil {
+		ctr.Inc()
+	}
+}

@@ -1,0 +1,224 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"laminar/internal/telemetry"
+)
+
+func TestHitMissAndTagInvalidation(t *testing.T) {
+	c := New[string](Options{MaxEntries: 4})
+	tag := Tag{Epoch: 1, Gen: 1}
+	if _, ok := c.Get(1, tag); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, tag, "one")
+	if v, ok := c.Get(1, tag); !ok || v != "one" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+	// Any coordinate moving invalidates: epoch (mutation) or generation
+	// (retrain).
+	for _, stale := range []Tag{{Epoch: 2, Gen: 1}, {Epoch: 1, Gen: 2}} {
+		c.Put(1, tag, "one")
+		if _, ok := c.Get(1, stale); ok {
+			t.Fatalf("hit across tag change %+v", stale)
+		}
+		// The stale entry is dropped, not resurrected by the old tag.
+		if _, ok := c.Get(1, tag); ok {
+			t.Fatal("stale entry survived invalidation")
+		}
+	}
+}
+
+func TestPutReplacesSameKey(t *testing.T) {
+	c := New[int](Options{MaxEntries: 2})
+	c.Put(7, Tag{Epoch: 1}, 10)
+	c.Put(7, Tag{Epoch: 2}, 20)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after same-key puts", c.Len())
+	}
+	if v, ok := c.Get(7, Tag{Epoch: 2}); !ok || v != 20 {
+		t.Fatalf("replaced value = %d, %v", v, ok)
+	}
+	// The old tag no longer matches — and the stale probe drops the entry.
+	if _, ok := c.Get(7, Tag{Epoch: 1}); ok {
+		t.Fatal("old tag still hits after replace")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale probe left %d entries", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](Options{MaxEntries: 2})
+	tag := Tag{Epoch: 1}
+	c.Put(1, tag, 1)
+	c.Put(2, tag, 2)
+	if _, ok := c.Get(1, tag); !ok { // touch 1: now 2 is least recent
+		t.Fatal("warm get missed")
+	}
+	c.Put(3, tag, 3)
+	if _, ok := c.Get(2, tag); ok {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+	for _, key := range []uint64{1, 3} {
+		if _, ok := c.Get(key, tag); !ok {
+			t.Fatalf("entry %d evicted out of order", key)
+		}
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	c := New[int](Options{MaxEntries: 4, TTL: time.Minute, Now: func() time.Time { return clock }})
+	tag := Tag{Epoch: 1}
+	c.Put(1, tag, 1)
+	clock = clock.Add(59 * time.Second)
+	if _, ok := c.Get(1, tag); !ok {
+		t.Fatal("entry expired before TTL")
+	}
+	clock = clock.Add(2 * time.Minute)
+	if _, ok := c.Get(1, tag); ok {
+		t.Fatal("entry survived past TTL")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry not swept: len %d", c.Len())
+	}
+}
+
+func TestDisabledAndNilCache(t *testing.T) {
+	var nilCache *Cache[int]
+	if _, ok := nilCache.Get(1, Tag{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	nilCache.Put(1, Tag{}, 1) // must not panic
+	nilCache.Purge()
+	if nilCache.Len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+
+	off := New[int](Options{MaxEntries: 0})
+	off.Put(1, Tag{}, 1)
+	if _, ok := off.Get(1, Tag{}); ok {
+		t.Fatal("disabled cache hit")
+	}
+	if off.Len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int](Options{MaxEntries: 4})
+	for i := uint64(0); i < 4; i++ {
+		c.Put(i, Tag{}, int(i))
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get(1, Tag{}); ok {
+		t.Fatal("purged entry still hits")
+	}
+}
+
+// TestMetricsCounts wires real telemetry instruments and checks the
+// accounting identity: hits + misses == lookups, and every stale drop is
+// an invalidation.
+func TestMetricsCounts(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	vec := reg.CounterVec("qcache_test_events_total", "test", "kind")
+	gauge := reg.GaugeVec("qcache_test_entries", "test", "cache").With("t")
+	m := Metrics{
+		Hits:          vec.With("hit"),
+		Misses:        vec.With("miss"),
+		Invalidations: vec.With("inv"),
+		Evictions:     vec.With("evict"),
+		Entries:       gauge,
+	}
+	c := New[int](Options{MaxEntries: 2, Metrics: m})
+	tag := Tag{Epoch: 1}
+	c.Put(1, tag, 1)
+	c.Get(1, tag)           // hit
+	c.Get(2, tag)           // miss (absent)
+	c.Get(1, Tag{Epoch: 2}) // invalidation + miss
+	c.Put(1, tag, 1)
+	c.Put(2, tag, 2)
+	c.Put(3, tag, 3) // evicts
+
+	want := map[string]uint64{"hit": 1, "miss": 2, "inv": 1, "evict": 1}
+	for kind, n := range want {
+		if got := vec.With(kind).Value(); got != n {
+			t.Fatalf("%s = %v, want %v", kind, got, n)
+		}
+	}
+	if got := gauge.Value(); got != 2 {
+		t.Fatalf("entries gauge = %v, want 2", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](Options{MaxEntries: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := uint64((g*31 + i) % 64)
+				tag := Tag{Epoch: int64(i % 3)}
+				if v, ok := c.Get(key, tag); ok && v != int(key) {
+					t.Errorf("cache returned %d for key %d", v, key)
+					return
+				}
+				c.Put(key, tag, int(key))
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestKeyFieldBoundaries(t *testing.T) {
+	if NewKey().Sum() != (&Key{}).Sum() {
+		t.Fatal("zero Key and NewKey disagree")
+	}
+	// Length prefixing: shifting bytes across a field boundary must change
+	// the key.
+	a := NewKey().String("ab").String("c").Sum()
+	b := NewKey().String("a").String("bc").Sum()
+	if a == b {
+		t.Fatal("field boundary collision")
+	}
+	if NewKey().Bool(true).Sum() == NewKey().Bool(false).Sum() {
+		t.Fatal("bool values collide")
+	}
+	if NewKey().Int(1).Sum() == NewKey().Int(2).Sum() {
+		t.Fatal("int values collide")
+	}
+	if NewKey().Floats([]float32{1, 2}).Sum() == NewKey().Floats([]float32{2, 1}).Sum() {
+		t.Fatal("float order does not matter")
+	}
+	if NewKey().Floats(nil).Sum() == NewKey().Floats([]float32{0}).Sum() {
+		t.Fatal("empty and zero-valued float slices collide")
+	}
+	// Distinct field sequences should essentially never collide; spot-check
+	// a pile of near-miss inputs.
+	seen := map[uint64]string{}
+	for i := 0; i < 100; i++ {
+		for _, k := range []struct {
+			name string
+			sum  uint64
+		}{
+			{fmt.Sprintf("s%d", i), NewKey().String(fmt.Sprintf("s%d", i)).Sum()},
+			{fmt.Sprintf("i%d", i), NewKey().Int(i).Sum()},
+			{fmt.Sprintf("f%d", i), NewKey().Floats([]float32{float32(i)}).Sum()},
+		} {
+			if prev, dup := seen[k.sum]; dup {
+				t.Fatalf("collision between %s and %s", prev, k.name)
+			}
+			seen[k.sum] = k.name
+		}
+	}
+}

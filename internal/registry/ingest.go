@@ -1,0 +1,283 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"laminar/internal/core"
+)
+
+// Live ingestion: a watcher (or any event source) feeds upsert/remove
+// events for PEs; the Ingestor coalesces them per record, debounces the
+// burst, and applies the surviving batch through the store's incremental
+// paths — UpsertPE / RemovePEByName keep the vector indexes, the BM25
+// postings and the quantized sets in step without a rebuild, and an
+// optional SaveDelta per batch journals the change to disk. An editor
+// save storm on one file therefore costs one registry mutation, not
+// fifty, and a small change persists as a small delta segment.
+
+// Ingest event kinds, used as the "kind" label on the laminar_ingest_*
+// metric families.
+const (
+	IngestUpsert = "upsert"
+	IngestRemove = "remove"
+)
+
+// IngestEvent is one observed source change.
+type IngestEvent struct {
+	// Kind is IngestUpsert or IngestRemove.
+	Kind string
+	// UserID owns the registration.
+	UserID int
+	// Req carries the new content for upserts; Req.PEName is the
+	// coalescing identity for both kinds.
+	Req core.AddPERequest
+}
+
+// name returns the event's PE name regardless of kind.
+func (e IngestEvent) name() string { return e.Req.PEName }
+
+// IngestorOptions configures an Ingestor.
+type IngestorOptions struct {
+	// Debounce is how long the ingestor waits after the last event before
+	// applying the pending batch (0 = 50ms). Events for the same PE
+	// arriving within the window coalesce to the last one.
+	Debounce time.Duration
+	// MaxBatch applies the batch early once this many distinct records
+	// are pending, bounding memory under sustained churn (0 = 256).
+	MaxBatch int
+	// SavePath, when non-empty, journals each applied batch with
+	// Store.SaveDelta — the persistence leg of continuous ingestion.
+	SavePath string
+	// Buffer sizes the event channel (0 = 1024). Enqueue blocks when
+	// full, back-pressuring the watcher rather than dropping events.
+	Buffer int
+}
+
+// Ingestor is the debounced apply loop. Create with Store.NewIngestor,
+// feed with Upsert/Remove, stop with Close. All methods are safe for
+// concurrent use; events enqueued before Close returns are applied.
+type Ingestor struct {
+	store *Store
+	opts  IngestorOptions
+
+	events chan IngestEvent
+	flush  chan chan error
+	quit   chan struct{}
+	done   chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewIngestor starts an ingestor's apply loop against the store.
+func (s *Store) NewIngestor(opts IngestorOptions) *Ingestor {
+	if opts.Debounce <= 0 {
+		opts.Debounce = 50 * time.Millisecond
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 256
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = 1024
+	}
+	ing := &Ingestor{
+		store:  s,
+		opts:   opts,
+		events: make(chan IngestEvent, opts.Buffer),
+		flush:  make(chan chan error),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go ing.run()
+	return ing
+}
+
+// Upsert enqueues a registration (create or in-place replace) for the
+// named PE. Blocks only when the event buffer is full.
+func (ing *Ingestor) Upsert(userID int, req core.AddPERequest) {
+	ing.enqueue(IngestEvent{Kind: IngestUpsert, UserID: userID, Req: req})
+}
+
+// Remove enqueues a removal of the user's PE by name.
+func (ing *Ingestor) Remove(userID int, peName string) {
+	ing.enqueue(IngestEvent{Kind: IngestRemove, UserID: userID, Req: core.AddPERequest{PEName: peName}})
+}
+
+// Enqueue submits an arbitrary event (the watcher-facing entry point).
+func (ing *Ingestor) Enqueue(ev IngestEvent) { ing.enqueue(ev) }
+
+func (ing *Ingestor) enqueue(ev IngestEvent) {
+	if m := ing.store.instruments(); m != nil {
+		m.ingestEvents.With(ev.Kind).Inc()
+	}
+	select {
+	case ing.events <- ev:
+	case <-ing.quit:
+		// Closed ingestor: drop silently — the watcher is racing shutdown
+		// and the next full save or session replays the source of truth.
+	}
+}
+
+// Flush applies everything enqueued so far and blocks until the batch
+// (and its delta save, when configured) lands. Returns the first apply
+// or save error of that batch.
+func (ing *Ingestor) Flush() error {
+	ack := make(chan error, 1)
+	select {
+	case ing.flush <- ack:
+		return <-ack
+	case <-ing.done:
+		return ing.closeErr
+	}
+}
+
+// Close flushes pending events, stops the apply loop and waits for it
+// to exit. Safe to call more than once; later calls return the first
+// close's error.
+func (ing *Ingestor) Close() error {
+	ing.closeOnce.Do(func() {
+		close(ing.quit)
+		<-ing.done
+	})
+	return ing.closeErr
+}
+
+// batch is the coalesced pending set: one slot per (user, PE name),
+// last event wins, apply order is first-touch order for determinism.
+type batch struct {
+	pending map[string]IngestEvent
+	order   []string
+}
+
+func newBatch() *batch {
+	return &batch{pending: map[string]IngestEvent{}}
+}
+
+func (b *batch) add(ev IngestEvent) {
+	key := fmt.Sprintf("%d\x00%s", ev.UserID, ev.name())
+	if _, seen := b.pending[key]; !seen {
+		b.order = append(b.order, key)
+	}
+	b.pending[key] = ev
+}
+
+func (b *batch) len() int { return len(b.order) }
+
+func (ing *Ingestor) run() {
+	defer close(ing.done)
+	b := newBatch()
+	timer := time.NewTimer(ing.opts.Debounce)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			<-timer.C
+		}
+		armed = false
+	}
+	apply := func() error {
+		disarm()
+		if b.len() == 0 {
+			return nil
+		}
+		err := ing.apply(b)
+		b = newBatch()
+		return err
+	}
+	for {
+		select {
+		case ev := <-ing.events:
+			b.add(ev)
+			if b.len() >= ing.opts.MaxBatch {
+				if err := apply(); err != nil && ing.closeErr == nil {
+					ing.closeErr = err
+				}
+				continue
+			}
+			disarm()
+			timer.Reset(ing.opts.Debounce)
+			armed = true
+		case <-timer.C:
+			armed = false
+			if err := apply(); err != nil && ing.closeErr == nil {
+				ing.closeErr = err
+			}
+		case ack := <-ing.flush:
+			ing.drain(b)
+			ack <- apply()
+		case <-ing.quit:
+			ing.drain(b)
+			if err := apply(); err != nil && ing.closeErr == nil {
+				ing.closeErr = err
+			}
+			return
+		}
+	}
+}
+
+// drain moves everything already sitting in the event channel into the
+// batch without blocking, so Flush/Close cover events enqueued before
+// the call.
+func (ing *Ingestor) drain(b *batch) {
+	for {
+		select {
+		case ev := <-ing.events:
+			b.add(ev)
+		default:
+			return
+		}
+	}
+}
+
+// apply runs the coalesced batch against the store and journals it.
+func (ing *Ingestor) apply(b *batch) error {
+	m := ing.store.instruments()
+	start := time.Now()
+	var firstErr error
+	for _, key := range b.order {
+		ev := b.pending[key]
+		var err error
+		switch ev.Kind {
+		case IngestUpsert:
+			_, _, err = ing.store.UpsertPE(ev.UserID, ev.Req)
+		case IngestRemove:
+			err = ing.store.RemovePEByName(ev.UserID, ev.name())
+			// Removing a record that never landed (or was already removed)
+			// is the natural end state of a churned file; not an error.
+			var apiErr *core.APIError
+			if errors.As(err, &apiErr) && apiErr.Code == http.StatusNotFound {
+				err = nil
+			}
+		default:
+			err = fmt.Errorf("ingest: unknown event kind %q", ev.Kind)
+		}
+		if err != nil {
+			if m != nil {
+				m.ingestErrors.Inc()
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if m != nil {
+			m.ingestApplied.With(ev.Kind).Inc()
+		}
+	}
+	if ing.opts.SavePath != "" {
+		if err := ing.store.SaveDelta(ing.opts.SavePath); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if m != nil {
+		m.ingestBatches.Inc()
+		m.ingestBatchSeconds.Observe(time.Since(start).Seconds())
+	}
+	return firstErr
+}

@@ -1,0 +1,199 @@
+package registry
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"laminar/internal/core"
+)
+
+func upsertReq(name, code string) core.AddPERequest {
+	return core.AddPERequest{
+		PEName: name, Description: "desc " + name, PECode: code,
+		CodeEmbedding: []float32{1, 2, 3}, DescEmbedding: []float32{4, 5, 6},
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestIngestorCoalescesSaveStorm models an editor save storm: many
+// versions of one PE inside the debounce window must apply as one upsert
+// carrying the final content.
+func TestIngestorCoalescesSaveStorm(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "ann")
+	ing := s.NewIngestor(IngestorOptions{Debounce: time.Hour}) // flush drives the apply
+	defer ing.Close()
+
+	for i := 0; i < 50; i++ {
+		ing.Upsert(u.UserID, upsertReq("Churned", fmt.Sprintf("v%d", i)))
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	pe, err := s.PEByName(u.UserID, "Churned")
+	if err != nil || pe.PECode != "v49" {
+		t.Fatalf("pe = %+v, %v; want final version v49", pe, err)
+	}
+	if got := len(s.PEsForUser(u.UserID)); got != 1 {
+		t.Fatalf("%d PEs after coalesced storm, want 1", got)
+	}
+	// Upsert kept the identity stable across the storm.
+	if pe.PEID != 1 {
+		t.Fatalf("coalesced upsert minted a new id: %d", pe.PEID)
+	}
+}
+
+// TestIngestorRemoveWinsOverEarlierUpsert: the last event for a name wins
+// the coalescing slot, so an upsert followed by a remove leaves nothing.
+func TestIngestorRemoveWinsOverEarlierUpsert(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "ann")
+	ing := s.NewIngestor(IngestorOptions{Debounce: time.Hour})
+	defer ing.Close()
+
+	ing.Upsert(u.UserID, upsertReq("Fleeting", "v1"))
+	ing.Remove(u.UserID, "Fleeting")
+	if err := ing.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if _, err := s.PEByName(u.UserID, "Fleeting"); err == nil {
+		t.Fatal("removed PE still present")
+	}
+	// Removing something that never existed is the natural end state of a
+	// churned file, not an error.
+	ing.Remove(u.UserID, "NeverExisted")
+	if err := ing.Flush(); err != nil {
+		t.Fatalf("flush after missing remove: %v", err)
+	}
+}
+
+// TestIngestorDebounceApplies verifies the timer path: no Flush, the batch
+// lands on its own after the debounce window.
+func TestIngestorDebounceApplies(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "ann")
+	ing := s.NewIngestor(IngestorOptions{Debounce: 5 * time.Millisecond})
+	defer ing.Close()
+
+	ing.Upsert(u.UserID, upsertReq("Timed", "v1"))
+	waitFor(t, "debounced apply", func() bool {
+		_, err := s.PEByName(u.UserID, "Timed")
+		return err == nil
+	})
+}
+
+// TestIngestorMaxBatchAppliesEarly verifies the memory bound: the batch
+// applies as soon as MaxBatch distinct records are pending, without
+// waiting out the debounce.
+func TestIngestorMaxBatchAppliesEarly(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "ann")
+	ing := s.NewIngestor(IngestorOptions{Debounce: time.Hour, MaxBatch: 3})
+	defer ing.Close()
+
+	for i := 0; i < 3; i++ {
+		ing.Upsert(u.UserID, upsertReq(fmt.Sprintf("Early%d", i), "v1"))
+	}
+	waitFor(t, "max-batch apply", func() bool {
+		return len(s.PEsForUser(u.UserID)) == 3
+	})
+}
+
+// TestIngestorJournalsBatches wires SavePath: each applied batch lands as
+// a delta segment chained to the base snapshot, and a cold reload sees
+// the churned state.
+func TestIngestorJournalsBatches(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reg.json")
+	s := NewStore()
+	u := newUser(t, s, "ann")
+	addPE(t, s, u.UserID, "Stable")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	ing := s.NewIngestor(IngestorOptions{Debounce: time.Hour, SavePath: path})
+	ing.Upsert(u.UserID, upsertReq("Live", "v1"))
+	if err := ing.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if segs, bytes := s.DeltaChainInfo(); segs != 1 || bytes <= 0 {
+		t.Fatalf("chain = %d segments, %d bytes; want one journaled batch", segs, bytes)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2 := NewStore()
+	if err := s2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.PEByName(u.UserID, "Live"); err != nil {
+		t.Fatalf("journaled PE missing after reload: %v", err)
+	}
+	if _, err := s2.PEByName(u.UserID, "Stable"); err != nil {
+		t.Fatalf("base PE missing after reload: %v", err)
+	}
+}
+
+// TestIngestorCloseDrains: events enqueued before Close are applied by it,
+// and the worker goroutine is gone afterwards.
+func TestIngestorCloseDrains(t *testing.T) {
+	s := NewStore()
+	u := newUser(t, s, "ann")
+
+	before := runtime.NumGoroutine()
+	ing := s.NewIngestor(IngestorOptions{Debounce: time.Hour})
+	ing.Upsert(u.UserID, upsertReq("LastGasp", "v1"))
+	if err := ing.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := s.PEByName(u.UserID, "LastGasp"); err != nil {
+		t.Fatalf("event enqueued before Close was dropped: %v", err)
+	}
+	// Close is idempotent, and the API stays callable after it.
+	if err := ing.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := ing.Flush(); err != nil {
+		t.Fatalf("flush after close: %v", err)
+	}
+	ing.Upsert(u.UserID, upsertReq("Ghost", "v1")) // dropped, must not panic
+	waitFor(t, "worker goroutine exit", func() bool {
+		return runtime.NumGoroutine() <= before
+	})
+}
+
+// TestIngestorSurfacesApplyErrors: a batch whose apply fails reports the
+// first error through Flush.
+func TestIngestorSurfacesApplyErrors(t *testing.T) {
+	s := NewStore()
+	ing := s.NewIngestor(IngestorOptions{Debounce: time.Hour})
+	defer ing.Close()
+
+	// No such user: UpsertPE fails.
+	ing.Upsert(999, upsertReq("Orphan", "v1"))
+	if err := ing.Flush(); err == nil {
+		t.Fatal("flush swallowed the apply error")
+	}
+	// Unknown event kinds are rejected, not silently skipped.
+	ing.Enqueue(IngestEvent{Kind: "rename", UserID: 1, Req: core.AddPERequest{PEName: "x"}})
+	if err := ing.Flush(); err == nil {
+		t.Fatal("unknown event kind accepted")
+	}
+}

@@ -46,22 +46,16 @@ func (s *Store) format() storage.Format {
 // (concurrent searches keep running; writers wait only for the copy, not
 // the serialization or the disk), then the storage layer streams it out.
 // Saves themselves are serialized by saveMu so two concurrent Saves to
-// the same path cannot sweep each other's sidecar generation.
+// the same path cannot sweep each other's sidecar generation. A full save
+// also re-anchors the delta journal: the fresh base subsumes (and its
+// install sweeps) any segments chained to the previous one. Owners saving
+// under churn should prefer SaveDelta, which writes a journal segment
+// proportional to what changed and compacts through this path when the
+// policy says so.
 func (s *Store) Save(path string) error {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
-	m := s.instruments()
-	start := time.Now()
-	err := storage.Save(path, s.format(), s.collectSnapshot())
-	if m != nil {
-		if err != nil {
-			m.saveErrors.Inc()
-		} else {
-			m.saves.Inc()
-			m.saveSeconds.ObserveSince(start)
-		}
-	}
-	return err
+	return s.saveFullLocked(path, false)
 }
 
 // instruments reads the telemetry handle under the idx shard lock.
@@ -77,8 +71,10 @@ func (s *Store) instruments() *storeMetrics {
 // the same locks, which is what keeps their checksums bound to exactly the
 // copied records. Vector slices are shared, not copied — they are
 // immutable by convention once stored (writers always replace, never
-// mutate in place).
-func (s *Store) collectSnapshot() *storage.Snapshot {
+// mutate in place). The dirty set is swapped out under the same locks —
+// a full snapshot covers every pending change by construction — and
+// returned so a failed save can merge it back.
+func (s *Store) collectSnapshot() (*storage.Snapshot, dirtyState) {
 	s.usersMu.RLock()
 	defer s.usersMu.RUnlock()
 	s.pesMu.RLock()
@@ -87,6 +83,8 @@ func (s *Store) collectSnapshot() *storage.Snapshot {
 	defer s.wfsMu.RUnlock()
 	s.idxMu.RLock()
 	defer s.idxMu.RUnlock()
+
+	captured := s.swapDirtyLocked()
 
 	snap := &storage.Snapshot{
 		PasswordHashes:   map[int]string{},
@@ -142,15 +140,19 @@ func (s *Store) collectSnapshot() *storage.Snapshot {
 		PE:       s.peLex.Snapshot(),
 		Workflow: s.wfLex.Snapshot(),
 	}
-	return snap
+	return snap, captured
 }
 
 // Load replaces the registry contents from a snapshot file (either
-// format; auto-detected).
+// format; auto-detected) plus any delta journal chained to it: the base
+// installs first (restoring trained indexes when the snapshots still
+// match), then each journal segment replays through the incremental index
+// paths — the restored structure is kept, never retrained, exactly as if
+// the segments' mutations had arrived live.
 func (s *Store) Load(path string) error {
 	m := s.instruments()
 	start := time.Now()
-	snap, _, err := storage.Load(path)
+	snap, deltas, chain, _, err := storage.LoadWithDeltas(path)
 	if err != nil {
 		// An absent file is a fresh start, not a failed load — owners
 		// treat it as a no-op, so the error counter must too.
@@ -165,6 +167,11 @@ func (s *Store) Load(path string) error {
 			m.loadSeconds.ObserveSince(start)
 		}
 	}()
+	// saveMu before the shard locks — the same order Save uses (saveMu →
+	// shard read locks) — because the chain bookkeeping updated below
+	// belongs to it.
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
 	s.usersMu.Lock()
 	defer s.usersMu.Unlock()
 	s.pesMu.Lock()
@@ -241,6 +248,26 @@ func (s *Store) Load(path string) error {
 	// not stashed: unlike the vector indexes their kind never changes, so
 	// no later ConfigureIndex could use a retained snapshot.
 	s.restoreOrRebuildLexicalLocked(snap.Lexical)
+	// Replay the journal on top of the installed base. The storage layer
+	// already proved the segments form an unbroken chain to exactly this
+	// base, so applying them in order reproduces the last saved state.
+	for _, d := range deltas {
+		s.applyDeltaLocked(d)
+	}
+	// Continue the journal where it left off, with a clean dirty set (the
+	// in-memory state now equals the on-disk state byte for byte). saveMu
+	// is already held (taken above, before the shard locks).
+	s.chainPath = path
+	s.chain = chain
+	s.chainSegments.Store(int64(chain.Seq))
+	if size, serr := storage.DiskSize(path); serr == nil {
+		s.chainBaseBytes = size - chain.Bytes
+	} else {
+		s.chainBaseBytes = 0
+	}
+	s.swapDirtyLocked()
+	// A load replaces every record a cached result could reference.
+	s.epoch.Add(1)
 	return nil
 }
 

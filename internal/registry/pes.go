@@ -55,6 +55,13 @@ func (s *Store) AddPE(userID int, req core.AddPERequest) (*core.PERecord, error)
 			if adopted {
 				s.indexPE(pe.PEID, pe)
 			}
+			peID := pe.PEID
+			s.markDirty(func(d *dirtyState) {
+				if adopted {
+					d.pes[peID] = true
+				}
+				d.ownerPEs[userID] = true
+			})
 			return pe, nil
 		}
 	}
@@ -86,7 +93,79 @@ func (s *Store) AddPE(userID int, req core.AddPERequest) (*core.PERecord, error)
 	s.pes[pe.PEID] = pe
 	s.userPEs[userID][pe.PEID] = true
 	s.indexPE(pe.PEID, pe)
+	s.markDirty(func(d *dirtyState) {
+		d.pes[pe.PEID] = true
+		d.ownerPEs[userID] = true
+	})
 	return pe, nil
+}
+
+// UpsertPE registers a PE or — unlike AddPE, whose same-name path only
+// *adds an owner* — replaces an existing same-name PE's content in place:
+// description, code, imports and embeddings are overwritten (the id, the
+// creation time and every ownership row survive) and all indexes are
+// updated incrementally. This is the re-registration path continuous
+// ingestion needs: a watched source file changed, so the record must
+// follow it. Reports whether a new record was created.
+func (s *Store) UpsertPE(userID int, req core.AddPERequest) (*core.PERecord, bool, error) {
+	s.simulateWAN()
+	if err := s.checkWritable(); err != nil {
+		return nil, false, err
+	}
+	if strings.TrimSpace(req.PEName) == "" {
+		return nil, false, core.ErrBadRequest("peName", "PE name must not be empty")
+	}
+	if req.PECode == "" {
+		return nil, false, core.ErrBadRequest("peCode", "PE code must not be empty")
+	}
+	if !s.userExists(userID) {
+		return nil, false, core.ErrNotFound("user", "no such user id %d", userID)
+	}
+	s.pesMu.Lock()
+	var existing *core.PERecord
+	for _, pe := range s.pes {
+		if pe.PEName == req.PEName {
+			existing = pe
+			break
+		}
+	}
+	if existing == nil {
+		s.pesMu.Unlock()
+		// No record to replace: a plain registration. AddPE re-validates and
+		// re-scans under its own lock acquisition; a same-name record that
+		// appeared in the window becomes an owner association, which a
+		// subsequent upsert will replace — eventual convergence under racing
+		// ingestors, never a duplicate.
+		pe, err := s.AddPE(userID, req)
+		return pe, err == nil, err
+	}
+	defer s.pesMu.Unlock()
+	if s.userPEs[userID] == nil {
+		s.userPEs[userID] = map[int]bool{}
+	}
+	s.userPEs[userID][existing.PEID] = true
+	existing.Description = req.Description
+	existing.AutoSummarized = req.AutoSummarized
+	existing.PECode = req.PECode
+	existing.PEImports = append([]string(nil), req.PEImports...)
+	existing.DescEmbedding = append([]float32(nil), req.DescEmbedding...)
+	existing.CodeEmbedding = append([]float32(nil), req.CodeEmbedding...)
+	// Re-index under the same shard lock. indexPE skips empty embeddings,
+	// so stale index entries for an embedding the new content dropped must
+	// be deleted explicitly.
+	desc, code, _ := s.indexes()
+	if len(existing.DescEmbedding) == 0 {
+		desc.Delete(existing.PEID)
+	}
+	if len(existing.CodeEmbedding) == 0 {
+		code.Delete(existing.PEID)
+	}
+	s.indexPE(existing.PEID, existing)
+	s.markDirty(func(d *dirtyState) {
+		d.pes[existing.PEID] = true
+		d.ownerPEs[userID] = true
+	})
+	return existing, false, nil
 }
 
 // PEByID fetches a PE owned by (or visible to) the user.
@@ -156,6 +235,7 @@ func (s *Store) RemovePE(userID, peID int) error {
 			break
 		}
 	}
+	var detachedWFs []int
 	if !owned {
 		delete(s.pes, peID)
 		desc, code, _ := s.indexes()
@@ -167,10 +247,22 @@ func (s *Store) RemovePE(userID, peID int) error {
 		// while holding the pes lock follows the pes → wfs shard order.
 		s.wfsMu.Lock()
 		for wid := range s.workflowPEs {
+			if s.workflowPEs[wid][peID] {
+				detachedWFs = append(detachedWFs, wid)
+			}
 			delete(s.workflowPEs[wid], peID)
 		}
 		s.wfsMu.Unlock()
 	}
+	s.markDirty(func(d *dirtyState) {
+		d.ownerPEs[userID] = true
+		if !owned {
+			d.pes[peID] = true
+			for _, wid := range detachedWFs {
+				d.assocWFs[wid] = true
+			}
+		}
+	})
 	return nil
 }
 

@@ -104,8 +104,28 @@ type Store struct {
 	// safe, but two interleaved v2 installs to the same path could each
 	// sweep the sidecar the other's JSON references; one save at a time
 	// keeps the sweep sound (and overlapping full-snapshot writes would
-	// only waste IO anyway).
+	// only waste IO anyway). It also guards the delta-chain bookkeeping
+	// below — chain continuity is meaningless across interleaved saves.
 	saveMu sync.Mutex
+	// chain/chainPath/chainBaseBytes track the delta journal anchored to
+	// the last full save or load at chainPath; deltaPolicy holds the
+	// compaction thresholds. All guarded by saveMu. chainSegments mirrors
+	// chain.Seq for lock-free telemetry scrapes.
+	chain          storage.DeltaChain
+	chainPath      string
+	chainBaseBytes int64
+	deltaPolicy    DeltaPolicy
+	chainSegments  atomic.Int64
+
+	// epoch counts mutations (plus loads, index reconfigurations and
+	// read-only flips — anything that may change what a search returns).
+	// Query caches tag entries with it; see Epoch.
+	epoch atomic.Int64
+	// dirtyMu guards dirty, the record/row change set the next SaveDelta
+	// drains. A leaf lock: taken briefly under shard locks, never around
+	// them.
+	dirtyMu sync.Mutex
+	dirty   dirtyState
 
 	// readOnly, when set, rejects every mutating operation with
 	// core.ErrReadOnly. Cluster query replicas restored from a snapshot
@@ -143,6 +163,8 @@ func NewStore() *Store {
 		nextPEID:       1,
 		nextWorkflowID: 1,
 		clock:          time.Now,
+		dirty:          newDirtyState(),
+		deltaPolicy:    DefaultDeltaPolicy(),
 	}
 }
 
@@ -164,6 +186,10 @@ func (s *Store) ConfigureIndex(factory index.Factory) {
 		s.rebuildIndexesLocked()
 	}
 	s.loadedIndexSnaps = nil
+	// Swapping the index implementation replaces the structures every
+	// cached ANN answer came from; the epoch bump is what invalidates them
+	// (the per-index generation counter restarts with the fresh indexes).
+	s.epoch.Add(1)
 }
 
 // IndexName reports the active vector-index implementation.
@@ -276,8 +302,14 @@ func (s *Store) indexWorkflow(id int, wf *core.WorkflowRecord) {
 // SetReadOnly switches the store's write protection. A read-only store
 // (a cluster query replica) rejects registrations, removals and
 // associations with a 403 ReadOnlyError; reads, logins and searches are
-// unaffected.
-func (s *Store) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+// unaffected. An actual flip bumps the mutation epoch: a replica being
+// promoted (or a primary demoted) is exactly the moment cached results
+// from the previous role must stop being served.
+func (s *Store) SetReadOnly(ro bool) {
+	if s.readOnly.Swap(ro) != ro {
+		s.epoch.Add(1)
+	}
+}
 
 // ReadOnly reports whether the store rejects mutations.
 func (s *Store) ReadOnly() bool { return s.readOnly.Load() }

@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// pristineSegment writes one valid journal segment and returns its bytes.
+func pristineSegment(t *testing.T) []byte {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "seg")
+	meta := deltaMeta{Format: deltaFormatName, Version: deltaVersion, Seq: 1, Base: "b", Parent: "p"}
+	if _, _, err := writeDeltaSegment(p, meta, churnDelta(1)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSectionTableValidation drives every structural check in
+// readSectionTable through DecodeDelta by surgically damaging the parts of
+// a valid segment that no checksum covers: the head, the trailer and the
+// footer itself.
+func TestSectionTableValidation(t *testing.T) {
+	pristine := pristineSegment(t)
+	footerOff := binary.LittleEndian.Uint64(pristine[len(pristine)-12 : len(pristine)-4])
+
+	mutate := func(fn func(b []byte)) []byte {
+		b := append([]byte(nil), pristine...)
+		fn(b)
+		return b
+	}
+	for name, tc := range map[string]struct {
+		data []byte
+		want string
+	}{
+		"head too short": {pristine[:6], "too short"},
+		"wrong magic": {mutate(func(b []byte) {
+			copy(b, "XXXX")
+		}), "not a delta segment"},
+		"version mismatch": {mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:], 99)
+		}), "version 99"},
+		"no room for trailer": {pristine[:10], "truncated"},
+		"trailer magic damaged": {mutate(func(b []byte) {
+			copy(b[len(b)-4:], "XXXX")
+		}), "trailer damaged"},
+		"footer offset out of range": {mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[len(b)-12:], uint64(len(b))*2)
+		}), "footer offset out of range"},
+		"absurd section count": {mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[footerOff:], 65)
+		}), "claims 65 sections"},
+		"section overruns footer": {mutate(func(b []byte) {
+			// First section header: u16 name len, name, then
+			// offset/length/sum u64s. Blow up the length.
+			nameLen := binary.LittleEndian.Uint16(b[footerOff+4:])
+			numsOff := footerOff + 4 + 2 + uint64(nameLen)
+			binary.LittleEndian.PutUint64(b[numsOff+8:], uint64(len(b))*4)
+		}), "overruns footer"},
+		"truncated footer": {mutate(func(b []byte) {
+			// Point the trailer just before its own offset: the section
+			// table read runs out of bytes mid-header.
+			binary.LittleEndian.PutUint64(b[len(b)-12:], uint64(len(b))-14)
+		}), ""},
+	} {
+		_, _, _, err := DecodeDelta(tc.data)
+		if err == nil {
+			t.Fatalf("%s: decode accepted damaged segment", name)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestSectionChecksumMismatch flips a payload byte without touching the
+// footer: the per-section checksum must catch it.
+func TestSectionChecksumMismatch(t *testing.T) {
+	pristine := pristineSegment(t)
+	b := append([]byte(nil), pristine...)
+	b[10] ^= 0x01 // inside the meta section payload
+	_, _, _, err := DecodeDelta(b)
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("err = %v, want checksum mismatch", err)
+	}
+}
+
+func TestVecSectionCodec(t *testing.T) {
+	vecs := map[int][]float32{1: {0.5, -1}, 42: {}, -7: {3}}
+	var buf bytes.Buffer
+	if err := encodeVecSection(&buf, vecs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeVecSection(bytes.NewReader(buf.Bytes()))
+	if err != nil || !reflect.DeepEqual(got, vecs) {
+		t.Fatalf("round trip: %v, %v", got, err)
+	}
+
+	// Validation: absurd counts and dims are rejected before allocation,
+	// truncation is an error.
+	huge := make([]byte, 8)
+	binary.LittleEndian.PutUint64(huge, 1<<41)
+	if _, err := decodeVecSection(bytes.NewReader(huge)); err == nil {
+		t.Fatal("accepted absurd entry count")
+	}
+	var bad bytes.Buffer
+	binary.LittleEndian.PutUint64(huge, 1)
+	bad.Write(huge)
+	var rec [12]byte
+	binary.LittleEndian.PutUint32(rec[8:], 1<<21)
+	bad.Write(rec[:])
+	if _, err := decodeVecSection(bytes.NewReader(bad.Bytes())); err == nil {
+		t.Fatal("accepted absurd dim")
+	}
+	if _, err := decodeVecSection(bytes.NewReader(buf.Bytes()[:9])); err == nil {
+		t.Fatal("accepted truncated section")
+	}
+	if _, err := decodeVecSection(bytes.NewReader(nil)); err == nil {
+		t.Fatal("accepted empty section")
+	}
+}
+
+func TestIsSidecarName(t *testing.T) {
+	base := "registry.json"
+	for name, want := range map[string]bool{
+		"registry.json-0123456789abcdef.vec": true,
+		"registry.json-0123456789ABCDEF.vec": false, // uppercase hex
+		"registry.json-0123456789abcde.vec":  false, // 15 chars
+		"registry.json-0123456789abcdef.bak": false,
+		"other.json-0123456789abcdef.vec":    false,
+		"registry.json-0123456789abcdeg.vec": false, // non-hex
+	} {
+		if got := isSidecarName(name, base); got != want {
+			t.Fatalf("isSidecarName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestReadV2Header(t *testing.T) {
+	dir := t.TempDir()
+	write := func(content string) string {
+		p := filepath.Join(dir, "h.json")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := readV2Header(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("read header of missing file")
+	}
+	if _, err := readV2Header(write("[1,2]")); err == nil {
+		t.Fatal("accepted non-object document")
+	}
+	if _, err := readV2Header(write(`{"format":`)); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	// Header fields then a record key: parse stops at the first non-header
+	// key once the sidecar name is known.
+	hdr, err := readV2Header(write(`{"format":"laminar/registry","version":2,"sidecar":"s.vec","sidecarSum":"ab","users":[]}`))
+	if err != nil || hdr.Sidecar != "s.vec" || hdr.SidecarSum != "ab" {
+		t.Fatalf("header = %+v, %v", hdr, err)
+	}
+	// An unknown key before the sidecar field is skipped, not fatal.
+	hdr, err = readV2Header(write(`{"comment":{"x":1},"format":"laminar/registry","version":2,"sidecar":"t.vec","sidecarSum":"cd"}`))
+	if err != nil || hdr.Sidecar != "t.vec" {
+		t.Fatalf("header with leading unknown key = %+v, %v", hdr, err)
+	}
+}

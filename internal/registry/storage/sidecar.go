@@ -372,53 +372,68 @@ func openSidecar(path string) (f *os.File, sections []sidecarSection, err error)
 	if err != nil {
 		return nil, nil, err
 	}
-	size := fi.Size()
+	sections, err = readSectionTable(f, fi.Size(), sidecarMagic, sidecarTrailerMagic, sidecarVersion, "sidecar")
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, sections, nil
+}
+
+// readSectionTable validates the magic/version head and the
+// footer-at-the-end section table shared by every sectioned container
+// (the v2 sidecar and the delta journal segments). kind only flavors the
+// error messages.
+func readSectionTable(r io.ReaderAt, size int64, magic, trailerMagic string, version uint32, kind string) ([]sidecarSection, error) {
 	var head [8]byte
-	if _, err = f.ReadAt(head[:], 0); err != nil {
-		return nil, nil, fmt.Errorf("storage: sidecar too short: %w", err)
+	if size < int64(len(head)) {
+		return nil, fmt.Errorf("storage: %s too short", kind)
 	}
-	if string(head[:4]) != sidecarMagic {
-		return nil, nil, fmt.Errorf("storage: %s is not a sidecar file", path)
+	if _, err := r.ReadAt(head[:], 0); err != nil {
+		return nil, fmt.Errorf("storage: %s too short: %w", kind, err)
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != sidecarVersion {
-		return nil, nil, fmt.Errorf("storage: sidecar version %d, want %d", v, sidecarVersion)
+	if string(head[:4]) != magic {
+		return nil, fmt.Errorf("storage: not a %s file", kind)
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != version {
+		return nil, fmt.Errorf("storage: %s version %d, want %d", kind, v, version)
 	}
 	var trailer [12]byte
 	if size < int64(len(trailer)) {
-		return nil, nil, fmt.Errorf("storage: sidecar truncated")
+		return nil, fmt.Errorf("storage: %s truncated", kind)
 	}
-	if _, err = f.ReadAt(trailer[:], size-int64(len(trailer))); err != nil {
-		return nil, nil, err
+	if _, err := r.ReadAt(trailer[:], size-int64(len(trailer))); err != nil {
+		return nil, err
 	}
-	if string(trailer[8:]) != sidecarTrailerMagic {
-		return nil, nil, fmt.Errorf("storage: sidecar trailer damaged (truncated write?)")
+	if string(trailer[8:]) != trailerMagic {
+		return nil, fmt.Errorf("storage: %s trailer damaged (truncated write?)", kind)
 	}
 	footerOff := int64(binary.LittleEndian.Uint64(trailer[:8]))
 	if footerOff < 8 || footerOff >= size-int64(len(trailer)) {
-		return nil, nil, fmt.Errorf("storage: sidecar footer offset out of range")
+		return nil, fmt.Errorf("storage: %s footer offset out of range", kind)
 	}
-	fr := bufio.NewReader(io.NewSectionReader(f, footerOff, size-int64(len(trailer))-footerOff))
+	fr := bufio.NewReader(io.NewSectionReader(r, footerOff, size-int64(len(trailer))-footerOff))
 	var cnt [4]byte
-	if _, err = io.ReadFull(fr, cnt[:]); err != nil {
-		return nil, nil, err
+	if _, err := io.ReadFull(fr, cnt[:]); err != nil {
+		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(cnt[:])
 	if n > 64 {
-		return nil, nil, fmt.Errorf("storage: sidecar claims %d sections", n)
+		return nil, fmt.Errorf("storage: %s claims %d sections", kind, n)
 	}
+	var sections []sidecarSection
 	for i := uint32(0); i < n; i++ {
 		var nl [2]byte
-		if _, err = io.ReadFull(fr, nl[:]); err != nil {
-			return nil, nil, err
+		if _, err := io.ReadFull(fr, nl[:]); err != nil {
+			return nil, err
 		}
 		nameLen := int(binary.LittleEndian.Uint16(nl[:]))
 		nameBuf := make([]byte, nameLen)
-		if _, err = io.ReadFull(fr, nameBuf); err != nil {
-			return nil, nil, err
+		if _, err := io.ReadFull(fr, nameBuf); err != nil {
+			return nil, err
 		}
 		var nums [24]byte
-		if _, err = io.ReadFull(fr, nums[:]); err != nil {
-			return nil, nil, err
+		if _, err := io.ReadFull(fr, nums[:]); err != nil {
+			return nil, err
 		}
 		sec := sidecarSection{
 			name:   string(nameBuf),
@@ -427,18 +442,18 @@ func openSidecar(path string) (f *os.File, sections []sidecarSection, err error)
 			sum:    binary.LittleEndian.Uint64(nums[16:]),
 		}
 		if sec.offset+sec.length > uint64(footerOff) {
-			return nil, nil, fmt.Errorf("storage: sidecar section %s overruns footer", sec.name)
+			return nil, fmt.Errorf("storage: %s section %s overruns footer", kind, sec.name)
 		}
 		sections = append(sections, sec)
 	}
-	return f, sections, nil
+	return sections, nil
 }
 
 // readSection validates a section's checksum and hands the payload to
 // decode. The checksum pass is separate from the decode pass on purpose:
 // the sum must cover exactly the payload bytes, independent of how much a
 // buffered decoder happens to consume.
-func readSection(f *os.File, sec sidecarSection, decode func(io.Reader) error) error {
+func readSection(f io.ReaderAt, sec sidecarSection, decode func(io.Reader) error) error {
 	h := fnv.New64a()
 	if _, err := io.Copy(h, io.NewSectionReader(f, int64(sec.offset), int64(sec.length))); err != nil {
 		return fmt.Errorf("storage: sidecar section %s: %w", sec.name, err)

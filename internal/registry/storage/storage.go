@@ -194,6 +194,20 @@ func DiskSize(path string) (int64, error) {
 			return 0, err
 		}
 		total += sfi.Size()
+		// Journal segments are part of the snapshot's footprint: a reload
+		// reads base + segments, and the churn benchmarks compare exactly
+		// that against a monolithic full save.
+		dir, base := filepath.Dir(path), filepath.Base(path)
+		if matches, err := filepath.Glob(filepath.Join(dir, base+".delta-*")); err == nil {
+			for _, m := range matches {
+				if parseDeltaSeq(filepath.Base(m), base) == 0 {
+					continue
+				}
+				if fi, err := os.Stat(m); err == nil {
+					total += fi.Size()
+				}
+			}
+		}
 	}
 	return total, nil
 }

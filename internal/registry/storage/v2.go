@@ -58,6 +58,11 @@ func saveV2(path string, snap *Snapshot) error {
 		return err
 	}
 	cleanSidecars(dir, base, vecName)
+	// A full snapshot subsumes any delta journal that was chained to the
+	// previous base; sweep it only after the JSON rename committed. A crash
+	// before this point leaves stale segments whose base fingerprint no
+	// longer matches — the loader ignores them and the next save sweeps.
+	cleanDeltaSegments(dir, base)
 	return nil
 }
 

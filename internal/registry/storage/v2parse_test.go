@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestV2ParseRejections drives decodeV2JSON's validation branches through
+// hand-written files that pass format sniffing (they start with the exact
+// v2 prefix) but are structurally wrong.
+func TestV2ParseRejections(t *testing.T) {
+	dir := t.TempDir()
+	load := func(content string) error {
+		p := filepath.Join(dir, "r.json")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := Load(p)
+		return err
+	}
+	for name, tc := range map[string]struct {
+		doc  string
+		want string
+	}{
+		"truncated mid-document": {v2Prefix + `,"version":2,"sid`, ""},
+		"non-string key":         {v2Prefix + `,"version":2,"sidecar":"s.vec",3:1}`, ""},
+		"bad users array":        {v2Prefix + `,"version":2,"sidecar":"s.vec","users":{"not":"array"}}`, `field "users"`},
+		"bad record element":     {v2Prefix + `,"version":2,"sidecar":"s.vec","pes":[17]}`, `field "pes"`},
+		"wrong version":          {v2Prefix + `,"version":3,"sidecar":"s.vec"}`, "claims version 3"},
+		"no sidecar":             {v2Prefix + `,"version":2}`, "names no sidecar"},
+	} {
+		err := load(tc.doc)
+		if err == nil {
+			t.Fatalf("%s: load accepted malformed v2 file", name)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want %q", name, err, tc.want)
+		}
+	}
+	// Unknown top-level fields from a newer minor revision are skipped, so
+	// the only remaining complaint is the missing sidecar file, not a parse
+	// error.
+	err := load(v2Prefix + `,"version":2,"sidecar":"nope.vec","futureField":{"a":[1,2]}}`)
+	if err == nil || !strings.Contains(err.Error(), "sidecar") || strings.Contains(err.Error(), "parse") {
+		t.Fatalf("future-field doc: err = %v, want missing-sidecar failure", err)
+	}
+}
+
+// TestBaseIdentityErrors covers the identity probe's failure modes: missing
+// file and a v2-sniffing file whose header does not parse.
+func TestBaseIdentityErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := BaseIdentity(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("BaseIdentity of missing file succeeded")
+	}
+	p := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(p, []byte(v2Prefix+",,,"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BaseIdentity(p); err == nil {
+		t.Fatal("BaseIdentity of unparseable v2 header succeeded")
+	}
+	if _, err := DiskSize(p); err == nil {
+		t.Fatal("DiskSize of unparseable v2 header succeeded")
+	}
+	if _, err := DeltaChainOf(p); err == nil {
+		t.Fatal("DeltaChainOf of unparseable v2 header succeeded")
+	}
+}

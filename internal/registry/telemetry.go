@@ -29,6 +29,21 @@ type storeMetrics struct {
 	loadErrors  *telemetry.Counter
 	loadSeconds *telemetry.Histogram
 
+	// delta-journal instruments: incremental saves, their failures, the
+	// full-save compactions the policy triggers, and save latency.
+	deltaSaves       *telemetry.Counter
+	deltaSaveErrors  *telemetry.Counter
+	deltaSaveSeconds *telemetry.Histogram
+	compactions      *telemetry.Counter
+
+	// live-ingestion instruments, shared by every Ingestor attached to the
+	// store (watcher events in, batches applied, failures).
+	ingestEvents       *telemetry.CounterVec
+	ingestBatches      *telemetry.Counter
+	ingestBatchSeconds *telemetry.Histogram
+	ingestApplied      *telemetry.CounterVec
+	ingestErrors       *telemetry.Counter
+
 	// hybrid-retrieval instruments: the BM25 lexical leg and the optional
 	// cross-encoder rerank stage.
 	lexicalSearches *telemetry.Counter
@@ -61,6 +76,24 @@ func (s *Store) SetTelemetry(t *telemetry.Registry) {
 			"Registry snapshot loads that returned an error."),
 		loadSeconds: t.Histogram("laminar_registry_load_seconds",
 			"Wall-clock duration of successful registry loads.", telemetry.LatencyBuckets()),
+		deltaSaves: t.Counter("laminar_registry_delta_saves_total",
+			"Successful incremental delta-journal saves."),
+		deltaSaveErrors: t.Counter("laminar_registry_delta_save_errors_total",
+			"Delta-journal saves that returned an error."),
+		deltaSaveSeconds: t.Histogram("laminar_registry_delta_save_seconds",
+			"Wall-clock duration of successful delta-journal saves.", telemetry.LatencyBuckets()),
+		compactions: t.Counter("laminar_registry_delta_compactions_total",
+			"Delta chains compacted into a full snapshot by the save policy."),
+		ingestEvents: t.CounterVec("laminar_ingest_events_total",
+			"Ingestion events accepted by the live ingestor.", "kind"),
+		ingestBatches: t.Counter("laminar_ingest_batches_total",
+			"Coalesced ingestion batches applied to the registry."),
+		ingestBatchSeconds: t.Histogram("laminar_ingest_batch_seconds",
+			"Wall-clock duration of applied ingestion batches.", telemetry.LatencyBuckets()),
+		ingestApplied: t.CounterVec("laminar_ingest_applied_total",
+			"Registry mutations applied by the live ingestor.", "kind"),
+		ingestErrors: t.Counter("laminar_ingest_errors_total",
+			"Ingestion events whose registry mutation failed."),
 		lexicalSearches: t.Counter("laminar_lexical_searches_total",
 			"BM25 lexical-leg retrievals served by hybrid search."),
 		lexicalSeconds: t.Histogram("laminar_lexical_search_seconds",
@@ -99,6 +132,9 @@ func (s *Store) SetTelemetry(t *telemetry.Registry) {
 		}
 	}
 
+	t.GaugeFunc("laminar_registry_delta_segments", "Delta-journal segments pending compaction.", func() float64 {
+		return float64(s.chainSegments.Load())
+	})
 	t.GaugeFunc("laminar_registry_users", "Registered user accounts.", func() float64 {
 		s.usersMu.RLock()
 		defer s.usersMu.RUnlock()

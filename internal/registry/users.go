@@ -47,6 +47,7 @@ func (s *Store) RegisterUser(userName, password string) (*core.UserRecord, error
 	s.users[u.UserID] = u
 	// The per-user ownership sets on the pes/wfs shards are created lazily
 	// by AddPE/AddWorkflow, so registration touches only this shard.
+	s.markDirty(func(d *dirtyState) { d.users[u.UserID] = true })
 	return u, nil
 }
 

@@ -45,10 +45,19 @@ func (s *Store) AddWorkflow(userID int, req core.AddWorkflowRequest) (*core.Work
 			// workflow embeddings, re-registered by a newer client) so the
 			// workflow becomes semantically searchable instead of silently
 			// dropping what the client computed.
+			adopted := false
 			if len(wf.DescEmbedding) == 0 && len(req.DescEmbedding) > 0 {
 				wf.DescEmbedding = append([]float32(nil), req.DescEmbedding...)
 				s.indexWorkflow(wf.WorkflowID, wf)
+				adopted = true
 			}
+			wfID := wf.WorkflowID
+			s.markDirty(func(d *dirtyState) {
+				if adopted {
+					d.wfs[wfID] = true
+				}
+				d.ownerWFs[userID] = true
+			})
 			return wf, nil
 		}
 	}
@@ -82,6 +91,11 @@ func (s *Store) AddWorkflow(userID int, req core.AddWorkflowRequest) (*core.Work
 			s.workflowPEs[wf.WorkflowID][peID] = true
 		}
 	}
+	s.markDirty(func(d *dirtyState) {
+		d.wfs[wf.WorkflowID] = true
+		d.ownerWFs[userID] = true
+		d.assocWFs[wf.WorkflowID] = true
+	})
 	return wf, nil
 }
 
@@ -159,6 +173,12 @@ func (s *Store) RemoveWorkflow(userID, wfID int) error {
 		_, wfLex := s.lexIndexes()
 		wfLex.Delete(wfID)
 	}
+	s.markDirty(func(d *dirtyState) {
+		d.ownerWFs[userID] = true
+		if !owned {
+			d.wfs[wfID] = true
+		}
+	})
 	return nil
 }
 
@@ -192,6 +212,7 @@ func (s *Store) AssociatePE(userID, wfID, peID int) error {
 		s.workflowPEs[wfID] = map[int]bool{}
 	}
 	s.workflowPEs[wfID][peID] = true
+	s.markDirty(func(d *dirtyState) { d.assocWFs[wfID] = true })
 	return nil
 }
 

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"laminar/internal/codec"
+	"laminar/internal/core"
+	"laminar/internal/engine"
+	"laminar/internal/search"
+)
+
+// startCacheServer boots a server with the local query cache enabled and
+// the metrics endpoint exposed, plus the standard test user.
+func startCacheServer(t *testing.T, cacheSize int) (*Server, string) {
+	t.Helper()
+	srv := New(Config{
+		Engine:    engine.New(engine.Config{InstallDelayScale: 0}),
+		CacheSize: cacheSize,
+		Metrics:   true,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	code, _ := doReq(t, http.MethodPost, addr+"/auth/register",
+		core.RegisterUserRequest{UserName: "zz46", Password: "password"}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("register status %d", code)
+	}
+	return srv, addr
+}
+
+// addEmbeddedPE registers a PE carrying real description and code
+// embeddings, so it participates in semantic and code retrieval.
+func addEmbeddedPE(t *testing.T, addr, name, desc string) core.PERecord {
+	t.Helper()
+	enc, err := codec.Encode(codec.Envelope{Kind: codec.KindPE, Name: name, Source: peSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec core.PERecord
+	code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/pe/add", core.AddPERequest{
+		PEName: name, Description: desc, PECode: enc,
+		DescEmbedding: search.EmbedDescription(desc),
+		CodeEmbedding: search.EmbedCode(peSource),
+	}, &rec)
+	if code != http.StatusCreated {
+		t.Fatalf("add %s: %d %s", name, code, raw)
+	}
+	return rec
+}
+
+// cacheMetric scrapes /metrics and returns the local-tier sample of one
+// laminar_cache_* family.
+func cacheMetric(t *testing.T, addr, family string) float64 {
+	t.Helper()
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := family + `{cache="local"} `
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, prefix), 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no %s sample for the local tier in scrape", family)
+	return 0
+}
+
+// TestSearchCacheMatchesUncachedAcrossModes runs the same queries against a
+// cached and an uncached server holding identical corpora, across all three
+// retrieval modes and through churn + retrain. Cached answers — first
+// (miss, pipeline) and second (hit, cache) — must equal the uncached
+// server's, before and after the world changes.
+func TestSearchCacheMatchesUncachedAcrossModes(t *testing.T) {
+	cached, cachedAddr := startCacheServer(t, 32)
+	uncachedAddr := startServer(t)
+
+	descs := []string{
+		"echoes values downstream", "filters odd numbers", "joins two streams",
+		"splits a stream by key", "counts words per window", "echoes values twice",
+	}
+	seed := func(addr string) {
+		for i, d := range descs {
+			addEmbeddedPE(t, addr, fmt.Sprintf("Corpus%d", i), d)
+		}
+	}
+	seed(cachedAddr)
+	seed(uncachedAddr)
+
+	query := func(srv *Server, req core.SearchRequest) []core.SearchHit {
+		t.Helper()
+		res, err := srv.ClusterSearchLocal("zz46", req)
+		if err != nil {
+			t.Fatalf("search %+v: %v", req, err)
+		}
+		return res.Hits
+	}
+	httpQuery := func(addr string, req core.SearchRequest) []core.SearchHit {
+		t.Helper()
+		var res core.SearchResponse
+		code, raw := doReq(t, http.MethodPost, addr+"/registry/zz46/search", req, &res)
+		if code != http.StatusOK {
+			t.Fatalf("search: %d %s", code, raw)
+		}
+		return res.Hits
+	}
+
+	requests := []core.SearchRequest{}
+	for _, mode := range []string{core.ModeANN, core.ModeHybrid, core.ModeReranked} {
+		requests = append(requests, core.SearchRequest{
+			Search: "echoes values", SearchType: core.SearchPEs,
+			QueryType: core.QuerySemantic, Mode: mode, Limit: 4,
+		})
+	}
+	requests = append(requests, core.SearchRequest{
+		Search: "class EchoPE", SearchType: core.SearchPEs,
+		QueryType: core.QueryCode, Mode: core.ModeANN, Limit: 4,
+	})
+
+	check := func(stage string) {
+		t.Helper()
+		for _, req := range requests {
+			want := httpQuery(uncachedAddr, req)
+			first := query(cached, req)
+			second := query(cached, req) // answered from cache
+			if !reflect.DeepEqual(first, want) {
+				t.Fatalf("%s mode=%s %s: cached pipeline diverged\n got %+v\nwant %+v",
+					stage, req.Mode, req.QueryType, first, want)
+			}
+			if !reflect.DeepEqual(second, first) {
+				t.Fatalf("%s mode=%s %s: cache hit diverged from pipeline\n got %+v\nwant %+v",
+					stage, req.Mode, req.QueryType, second, first)
+			}
+		}
+	}
+	check("cold")
+	if hits := cacheMetric(t, cachedAddr, "laminar_cache_hits_total"); hits < float64(len(requests)) {
+		t.Fatalf("cache hits = %v after %d repeated queries", hits, len(requests))
+	}
+
+	// Churn both corpora identically, then retrain the cached side: every
+	// previously cached entry is now stale and must not be served.
+	addEmbeddedPE(t, cachedAddr, "Fresh", "echoes values loudly")
+	addEmbeddedPE(t, uncachedAddr, "Fresh", "echoes values loudly")
+	cached.Registry().RetrainIndexes()
+	check("post-churn")
+	if inv := cacheMetric(t, cachedAddr, "laminar_cache_invalidations_total"); inv < 1 {
+		t.Fatalf("no invalidations recorded after churn (got %v)", inv)
+	}
+}
+
+// TestCacheServesNoPreRestoreResults is the replica regression: a cached
+// search result must not survive a registry restore (Load), which replaces
+// the whole world without touching any record through the mutation API.
+func TestCacheServesNoPreRestoreResults(t *testing.T) {
+	srv, addr := startCacheServer(t, 32)
+	addEmbeddedPE(t, addr, "Old", "echoes values quietly")
+	path := filepath.Join(t.TempDir(), "replica.json")
+	if err := srv.Registry().Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := addEmbeddedPE(t, addr, "BrandNew", "echoes values")
+	req := core.SearchRequest{
+		Search: "echoes values", SearchType: core.SearchPEs,
+		QueryType: core.QuerySemantic, Limit: 10,
+	}
+	sawNew := false
+	for i := 0; i < 2; i++ { // second pass caches, then hits
+		res, err := srv.ClusterSearchLocal("zz46", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range res.Hits {
+			if h.ID == rec.PEID {
+				sawNew = true
+			}
+		}
+	}
+	if !sawNew {
+		t.Fatal("pre-restore search never returned the new PE; test is vacuous")
+	}
+
+	// Roll back to the snapshot taken before BrandNew existed.
+	if err := srv.Registry().Load(path); err != nil {
+		t.Fatal(err)
+	}
+	srv.Registry().WaitIndexReady()
+
+	res, err := srv.ClusterSearchLocal("zz46", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("post-restore search returned nothing")
+	}
+	for _, h := range res.Hits {
+		if h.ID == rec.PEID || h.Name == "BrandNew" {
+			t.Fatalf("cache served a pre-restore result after Load: %+v", h)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"laminar/internal/dataflow"
 	"laminar/internal/embed"
 	"laminar/internal/engine"
+	"laminar/internal/qcache"
 	"laminar/internal/registry"
 	"laminar/internal/search"
 	"laminar/internal/telemetry"
@@ -78,7 +79,29 @@ type Config struct {
 	// probing the local indexes. Text search and every other endpoint stay
 	// local.
 	Cluster *cluster.Coordinator
+	// CacheSize bounds the generation-tagged query-result cache, in
+	// entries (0 = caching off). Cached semantic/code results are
+	// invalidated by the registry mutation epoch and the vector indexes'
+	// retrain generation, so the cache can never serve results computed
+	// against a world that has since changed. See docs/search.md.
+	CacheSize int
+	// ClusterCacheTTL bounds staleness of the coordinator-tier cache. A
+	// coordinator cannot observe its shards' mutation epochs, so its
+	// cached fan-out results expire by clock instead of by tag
+	// (0 = DefaultClusterCacheTTL; negative disables the coordinator
+	// tier while keeping the local one). Ignored without Cluster.
+	ClusterCacheTTL time.Duration
+	// DeltaMaxSegments and DeltaCompactRatio override the registry's
+	// delta-journal compaction policy when > 0 (see
+	// registry.DeltaPolicy and docs/storage.md).
+	DeltaMaxSegments  int
+	DeltaCompactRatio float64
 }
+
+// DefaultClusterCacheTTL bounds coordinator-tier cache staleness when
+// Config.ClusterCacheTTL is 0: long enough to absorb a hot-query burst,
+// short enough that a shard-side write is visible within a beat.
+const DefaultClusterCacheTTL = 2 * time.Second
 
 // Server is the Laminar API server.
 type Server struct {
@@ -93,6 +116,13 @@ type Server struct {
 	telem       *telemetry.Registry
 	httpReqs    *telemetry.CounterVec   // laminar_http_requests_total{route,code}
 	httpLatency *telemetry.HistogramVec // laminar_http_request_seconds{route}
+
+	// cache holds local semantic/code search results tagged with the
+	// registry epoch + index generation they were computed against;
+	// coordCache holds coordinator fan-out results, TTL-expired (shard
+	// epochs are invisible here). Both nil when caching is off.
+	cache      *qcache.Cache[[]core.SearchHit]
+	coordCache *qcache.Cache[cluster.Result]
 
 	// metricsAllow holds the parsed Config.MetricsAllow networks.
 	metricsAllow []*net.IPNet
@@ -133,6 +163,54 @@ func New(cfg Config) *Server {
 	clusterMetrics := cluster.NewMetrics(s.telem)
 	if cfg.Cluster != nil {
 		cfg.Cluster.SetMetrics(clusterMetrics)
+	}
+	// The laminar_cache_* families register unconditionally (same runbook
+	// contract as the cluster families above); both tiers' children exist
+	// from startup so a scrape shows zeros, not absence. The caches
+	// themselves come to life only with a CacheSize.
+	cacheHits := s.telem.CounterVec("laminar_cache_hits_total",
+		"Query-cache lookups answered from cache.", "cache")
+	cacheMisses := s.telem.CounterVec("laminar_cache_misses_total",
+		"Query-cache lookups that had to run the full retrieval pipeline.", "cache")
+	cacheInvalidations := s.telem.CounterVec("laminar_cache_invalidations_total",
+		"Query-cache entries dropped because their epoch/generation tag or TTL no longer matched.", "cache")
+	cacheEvictions := s.telem.CounterVec("laminar_cache_evictions_total",
+		"Query-cache entries evicted by the LRU capacity bound.", "cache")
+	cacheEntries := s.telem.GaugeVec("laminar_cache_entries",
+		"Live query-cache entries.", "cache")
+	tierMetrics := func(tier string) qcache.Metrics {
+		return qcache.Metrics{
+			Hits:          cacheHits.With(tier),
+			Misses:        cacheMisses.With(tier),
+			Invalidations: cacheInvalidations.With(tier),
+			Evictions:     cacheEvictions.With(tier),
+			Entries:       cacheEntries.With(tier),
+		}
+	}
+	localCacheMetrics := tierMetrics("local")
+	coordCacheMetrics := tierMetrics("coordinator")
+	if cfg.CacheSize > 0 {
+		s.cache = qcache.New[[]core.SearchHit](qcache.Options{
+			MaxEntries: cfg.CacheSize,
+			Metrics:    localCacheMetrics,
+		})
+		if cfg.Cluster != nil && cfg.ClusterCacheTTL >= 0 {
+			ttl := cfg.ClusterCacheTTL
+			if ttl == 0 {
+				ttl = DefaultClusterCacheTTL
+			}
+			s.coordCache = qcache.New[cluster.Result](qcache.Options{
+				MaxEntries: cfg.CacheSize,
+				TTL:        ttl,
+				Metrics:    coordCacheMetrics,
+			})
+		}
+	}
+	if cfg.DeltaMaxSegments > 0 || cfg.DeltaCompactRatio > 0 {
+		s.reg.SetDeltaPolicy(registry.DeltaPolicy{
+			MaxSegments:  cfg.DeltaMaxSegments,
+			CompactRatio: cfg.DeltaCompactRatio,
+		})
 	}
 	// Fail fast on a bad default search mode, same rationale as the CIDR
 	// check below: configuration typos should stop the process, not
@@ -719,7 +797,22 @@ func (s *Server) search(w http.ResponseWriter, r *http.Request, user *core.UserR
 		if req.Limit <= 0 {
 			req.Limit = s.cfg.SearchLimit
 		}
+		// Coordinator-tier cache: a repeated fan-out within the TTL is
+		// answered here, costing zero shard round trips. Degraded results
+		// are never cached — a shard coming back should be visible on the
+		// next attempt, not after a TTL.
+		var ckey uint64
+		if s.coordCache != nil {
+			ckey = searchKey(user.UserID, mode, req)
+			if res, ok := s.coordCache.Get(ckey, qcache.Tag{}); ok {
+				writeJSON(w, http.StatusOK, core.SearchResponse{Hits: res.Hits, Degraded: res.Degraded})
+				return
+			}
+		}
 		res := s.cfg.Cluster.Search(r.Context(), user.UserName, req)
+		if s.coordCache != nil && !res.Degraded {
+			s.coordCache.Put(ckey, qcache.Tag{}, res)
+		}
 		writeJSON(w, http.StatusOK, core.SearchResponse{Hits: res.Hits, Degraded: res.Degraded})
 		return
 	}
@@ -737,6 +830,17 @@ func (s *Server) searchHits(user *core.UserRecord, req core.SearchRequest) ([]co
 	limit := req.Limit
 	if limit <= 0 {
 		limit = s.cfg.SearchLimit
+	}
+	// Local-tier cache: embedding-ranked queries short-circuit the ANN
+	// walk (and the hybrid/rerank stages behind it) when the same query
+	// already ran against the same world state. The tag pairs the
+	// registry mutation epoch with the index retrain generation, so any
+	// add/remove/load/restore or retrain invalidates on the next lookup.
+	ckey, ctag, cacheable := s.searchCacheKey(user.UserID, req, limit)
+	if cacheable {
+		if hits, ok := s.cache.Get(ckey, ctag); ok {
+			return hits, nil
+		}
 	}
 	var hits []core.SearchHit
 	switch req.QueryType {
@@ -805,7 +909,51 @@ func (s *Server) searchHits(user *core.UserRecord, req core.SearchRequest) ([]co
 	default:
 		return nil, core.ErrBadRequest("query", "unknown query type %q (want text, semantic or code)", req.QueryType)
 	}
+	if cacheable {
+		s.cache.Put(ckey, ctag, hits)
+	}
 	return hits, nil
+}
+
+// searchCacheKey decides whether a query is cacheable on the local tier
+// and, when it is, returns its key and the current world tag. Text
+// queries rank over the user's own listing (cheap, no index walk to
+// save) and stay uncached; mode errors fall through so the pipeline
+// branch reports them.
+func (s *Server) searchCacheKey(userID int, req core.SearchRequest, limit int) (uint64, qcache.Tag, bool) {
+	if s.cache == nil || (req.QueryType != core.QuerySemantic && req.QueryType != core.QueryCode) {
+		return 0, qcache.Tag{}, false
+	}
+	mode, err := s.resolveMode(req.Mode)
+	if err != nil {
+		return 0, qcache.Tag{}, false
+	}
+	key := searchKey(userID, mode, core.SearchRequest{
+		Search:         req.Search,
+		SearchType:     req.SearchType,
+		QueryType:      req.QueryType,
+		QueryEmbedding: req.QueryEmbedding,
+		Limit:          limit,
+	})
+	tag := qcache.Tag{Epoch: s.reg.Epoch(), Gen: s.reg.IndexGeneration()}
+	return key, tag, true
+}
+
+// searchKey hashes a query's identity fields: who asked, what ran
+// (mode + query type + search type), over what input (text and any
+// client-supplied embedding) and how much of it (limit). The embedding
+// is part of the key because the bi-encoder contract lets clients send
+// one that differs from what the text would embed to server-side.
+func searchKey(userID int, mode string, req core.SearchRequest) uint64 {
+	return qcache.NewKey().
+		Int(userID).
+		String(mode).
+		String(string(req.QueryType)).
+		String(string(req.SearchType)).
+		Int(req.Limit).
+		String(req.Search).
+		Floats(req.QueryEmbedding).
+		Sum()
 }
 
 // resolveMode picks the retrieval pipeline for a semantic or code query:

@@ -177,6 +177,26 @@ type ServerOptions struct {
 	// or "weighted" (proportional to per-PE cost measured by telemetry
 	// across runs). See docs/dataflow.md.
 	FlowAlloc string
+	// CacheSize bounds the generation-tagged query-result cache, in
+	// entries (0 = caching off). Cached semantic/code results carry the
+	// registry mutation epoch + index retrain generation they were
+	// computed against and are invalidated the moment either moves, so
+	// hot repeated queries short-circuit the ANN walk without ever
+	// serving stale rankings. See docs/search.md.
+	CacheSize int
+	// ClusterCacheTTL bounds staleness of a coordinator's fan-out cache
+	// (shard epochs are invisible to the coordinator, so its tier
+	// expires by clock). 0 = the server default (2s); negative disables
+	// the coordinator tier. Ignored without ClusterPeers.
+	ClusterCacheTTL time.Duration
+	// DeltaMaxSegments caps how many delta-journal segments may
+	// accumulate before SaveDelta compacts the chain into a full v2
+	// snapshot (0 = the registry default, 64). See docs/storage.md.
+	DeltaMaxSegments int
+	// DeltaCompactRatio compacts the delta chain once its on-disk size
+	// (or the dirty fraction of the corpus) exceeds this ratio of the
+	// base snapshot (0 = the registry default, 0.5).
+	DeltaCompactRatio float64
 }
 
 // Server is a full Laminar deployment: registry + API server + embedded
@@ -267,14 +287,18 @@ func NewServer(opts ServerOptions) *Server {
 		FlowAlloc:         allocMode,
 	})
 	s := server.New(server.Config{
-		Registry:         reg,
-		Engine:           eng,
-		SearchMode:       opts.SearchMode,
-		Metrics:          opts.Metrics,
-		MetricsAuthToken: opts.MetricsAuthToken,
-		MetricsAllow:     opts.MetricsAllow,
-		Telemetry:        telem,
-		Cluster:          coord,
+		Registry:          reg,
+		Engine:            eng,
+		SearchMode:        opts.SearchMode,
+		Metrics:           opts.Metrics,
+		MetricsAuthToken:  opts.MetricsAuthToken,
+		MetricsAllow:      opts.MetricsAllow,
+		Telemetry:         telem,
+		Cluster:           coord,
+		CacheSize:         opts.CacheSize,
+		ClusterCacheTTL:   opts.ClusterCacheTTL,
+		DeltaMaxSegments:  opts.DeltaMaxSegments,
+		DeltaCompactRatio: opts.DeltaCompactRatio,
 	})
 	return &Server{Server: s, registryPath: opts.RegistryPath}
 }
